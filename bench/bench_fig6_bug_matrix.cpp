@@ -1,0 +1,67 @@
+//===- bench/bench_fig6_bug_matrix.cpp - Figure 6 / H2 ---------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the tool-comparison result of Section 5.3 (the bugs of
+/// Figure 6): which of Light, Clap, and Chimera reproduces each of the 8
+/// real-world bugs. Paper result: Light 8/8; Clap misses Ftpserver,
+/// Lucene-481, Lucene-651, Tomcat-53498, Weblech (5); Chimera misses
+/// Cache4j, Tomcat-37458, Tomcat-50885 (3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bugs/BugHarness.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace light;
+using namespace light::bugs;
+
+int main() {
+  std::printf("Section 5.3 (Figure 6 bugs): reproduction by tool\n\n");
+
+  Table T({"bug", "light", "clap", "chimera", "clap note / chimera note"});
+  int LightOk = 0, ClapOk = 0, ChimeraOk = 0, Mismatches = 0;
+
+  for (const BugBenchmark &Bench : makeBugSuite()) {
+    std::optional<uint64_t> Seed = findBuggySeed(Bench.Prog, 300);
+    if (!Seed) {
+      T.addRow({Bench.Name, "no failing schedule found", "-", "-", "-"});
+      ++Mismatches;
+      continue;
+    }
+    ToolAttempt L = lightReproduce(Bench, *Seed);
+    ToolAttempt C = clapReproduce(Bench, *Seed);
+    ToolAttempt H = chimeraReproduce(Bench);
+
+    LightOk += L.Reproduced;
+    ClapOk += C.Reproduced;
+    ChimeraOk += H.Reproduced;
+    if (!L.Reproduced || C.Reproduced != Bench.ClapExpected ||
+        H.Reproduced != Bench.ChimeraExpected)
+      ++Mismatches;
+
+    std::string Note;
+    if (!C.Reproduced)
+      Note += "clap: " + C.Note;
+    if (!H.Reproduced)
+      Note += (Note.empty() ? "" : " | ") + ("chimera: " + H.Note);
+    if (Note.size() > 70)
+      Note = Note.substr(0, 67) + "...";
+    T.addRow({Bench.Name, L.Reproduced ? "yes" : "NO",
+              C.Reproduced ? "yes" : "no", H.Reproduced ? "yes" : "no",
+              Note});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("Totals: Light %d/8 (paper 8/8), Clap %d/8 (paper 3/8), "
+              "Chimera %d/8 (paper 5/8)\n",
+              LightOk, ClapOk, ChimeraOk);
+  std::printf("Matrix matches the paper: %s\n",
+              Mismatches == 0 ? "YES" : "NO");
+  return Mismatches == 0 ? 0 : 1;
+}

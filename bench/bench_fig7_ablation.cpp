@@ -1,0 +1,80 @@
+//===- bench/bench_fig7_ablation.cpp - Figure 7 (H3 ablation) --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 7: the contribution of optimization O1 (uninterleaved
+/// sequence spans, Lemma 4.3) and O2 (lock-subsumption, Lemma 4.2) to
+/// Light's time overhead (7a) and space (7b), measured as the three
+/// recorder versions V_basic, V_O1, V_both over the 24 benchmarks.
+///
+/// The paper reports (time) O1 >= 20% reduction on 20/24 benchmarks and
+/// (space) O1 >= 50% reduction on 16/24; O2 contributes mostly on the
+/// lock-heavy (STAMP/server) profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/OverheadHarness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+using namespace light;
+using namespace light::workloads;
+
+int main(int argc, char **argv) {
+  int Repeats = argc > 1 && std::strcmp(argv[1], "--fast") == 0 ? 1 : 2;
+
+  std::printf("Figure 7a/7b: overhead breakdown across V_basic, V_O1, "
+              "V_both\n\n");
+
+  Table T({"benchmark", "time basic", "time +O1", "time +O2(both)",
+           "space basic(K)", "space +O1(K)", "space both(K)"});
+
+  int TimeO1Wins = 0, SpaceO1Big = 0, SpaceO2Helps = 0, N = 0;
+  for (const WorkloadSpec &Spec : paperWorkloads()) {
+    double TB = measureOverhead(Spec, Scheme::LightBasic, Repeats) - 1.0;
+    double TO1 = measureOverhead(Spec, Scheme::LightO1, Repeats) - 1.0;
+    double TBoth = measureOverhead(Spec, Scheme::Light, Repeats) - 1.0;
+    Measurement SB = runWorkload(Spec, Scheme::LightBasic);
+    Measurement SO1 = runWorkload(Spec, Scheme::LightO1);
+    Measurement SBoth = runWorkload(Spec, Scheme::Light);
+
+    TB = std::max(TB, 0.0);
+    TO1 = std::max(TO1, 0.0);
+    TBoth = std::max(TBoth, 0.0);
+
+    ++N;
+    if (TO1 <= TB)
+      ++TimeO1Wins;
+    if (SO1.SpaceLongs * 2 <= SB.SpaceLongs)
+      ++SpaceO1Big; // >= 50% reduction
+    if (SBoth.SpaceLongs < SO1.SpaceLongs)
+      ++SpaceO2Helps;
+
+    T.addRow({Spec.Name, Table::fmt(TB), Table::fmt(TO1), Table::fmt(TBoth),
+              Table::fmt(SB.SpaceLongs / 1000.0, 1),
+              Table::fmt(SO1.SpaceLongs / 1000.0, 1),
+              Table::fmt(SBoth.SpaceLongs / 1000.0, 1)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("H3 shape checks:\n");
+  std::printf("  time:  V_O1 <= V_basic on %d/%d benchmarks (paper: O1 "
+              "helps nearly everywhere)\n",
+              TimeO1Wins, N);
+  std::printf("  space: O1 cuts >= 50%% on %d/%d (paper: 16/24)\n",
+              SpaceO1Big, N);
+  std::printf("  space: O2 reduces further on %d/%d (paper: 6/24 by >= "
+              "20%%, lock-heavy suites)\n",
+              SpaceO2Helps, N);
+  bool Holds = SpaceO1Big > N / 2 && SpaceO2Helps > 0;
+  std::printf("H3 (both optimizations significant): %s\n",
+              Holds ? "HOLDS" : "VIOLATED");
+  return Holds ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+//===- bench/bench_smt_solver.cpp - IDL solver scaling ---------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Google-benchmark comparison of the in-tree DPLL(T) IDL solver against Z3
+/// on replay-shaped constraint systems of growing size: per-thread order
+/// chains, flow-dependence edges, and binary noninterference disjunctions —
+/// the exact mix ConstraintGen emits (Section 4.2 / Equation 1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/IdlSolver.h"
+#include "smt/Z3Backend.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace light;
+using namespace light::smt;
+
+namespace {
+
+/// Builds a satisfiable replay-shaped system: T threads of N accesses each
+/// over V locations, with read-after-write dependence edges and pairwise
+/// noninterference disjunctions.
+OrderSystem replayShaped(int Threads, int PerThread, int Locations,
+                         uint64_t Seed) {
+  Rng R(Seed);
+  OrderSystem S;
+  std::vector<std::vector<Var>> Chain(Threads);
+  std::vector<std::vector<Var>> WritesOn(Locations);
+  for (int T = 0; T < Threads; ++T) {
+    for (int I = 0; I < PerThread; ++I) {
+      Var V = S.newVar();
+      if (I)
+        S.addLess(Chain[T].back(), V);
+      Chain[T].push_back(V);
+      int L = static_cast<int>(R.below(Locations));
+      if (R.chance(1, 3))
+        WritesOn[L].push_back(V);
+      else if (!WritesOn[L].empty()) {
+        // A dependence on some prior write of this location.
+        Var W = WritesOn[L][R.below(WritesOn[L].size())];
+        if (W != V)
+          S.addClause({Atom::less(W, V)});
+      }
+    }
+  }
+  // Noninterference-style disjunctions between writes on each location.
+  for (int L = 0; L < Locations; ++L) {
+    auto &Ws = WritesOn[L];
+    for (size_t I = 0; I + 1 < Ws.size() && I < 40; ++I)
+      S.addEitherLess(Ws[I], Ws[I + 1], Ws[I + 1], Ws[I]);
+  }
+  return S;
+}
+
+} // namespace
+
+static void BM_IdlSolver(benchmark::State &State) {
+  OrderSystem S = replayShaped(8, static_cast<int>(State.range(0)), 32, 99);
+  for (auto _ : State) {
+    SolveResult R = solveWithIdl(S);
+    benchmark::DoNotOptimize(R.sat());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+static void BM_Z3(benchmark::State &State) {
+  OrderSystem S = replayShaped(8, static_cast<int>(State.range(0)), 32, 99);
+  for (auto _ : State) {
+    SolveResult R = solveWithZ3(S);
+    benchmark::DoNotOptimize(R.sat());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+BENCHMARK(BM_IdlSolver)->Arg(50)->Arg(200)->Arg(800)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_Z3)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,73 @@
+//===- examples/solver_tour.cpp - The replay constraint system -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A tour of Section 4.2: builds the paper's worked constraint example
+/// (accesses c1..c6) by hand, prints the system, and solves it with both
+/// the in-tree DPLL(T) IDL solver and Z3, recovering the schedule the
+/// paper derives (c3 c4 c5 c1 c2 ... with c5 before c1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/IdlSolver.h"
+#include "smt/Z3Backend.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace light;
+using namespace light::smt;
+
+int main() {
+  OrderSystem S;
+  Var C1 = S.newVar("c1"), C2 = S.newVar("c2"), C3 = S.newVar("c3"),
+      C4 = S.newVar("c4"), C5 = S.newVar("c5"), C6 = S.newVar("c6");
+
+  // Flow dependences: c4 -> c5, c1 -> c6, c3 -> c2.
+  S.addLess(C4, C5);
+  S.addLess(C1, C6);
+  S.addLess(C3, C2);
+  // Noninterference on x (Equation 1): O(c5) < O(c1) or O(c6) < O(c4).
+  S.addEitherLess(C5, C1, C6, C4);
+  // Thread-local orders: t1 = c1 c2; t2 = c3 c4 c5 c6.
+  S.addLess(C1, C2);
+  S.addLess(C3, C4);
+  S.addLess(C4, C5);
+  S.addLess(C5, C6);
+
+  std::printf("The constraint system of Section 4.2:\n%s\n", S.str().c_str());
+
+  for (SolverEngine Engine : {SolverEngine::Idl, SolverEngine::Z3}) {
+    SolveResult R = solveOrder(S, Engine);
+    std::printf("--- %s ---\n",
+                Engine == SolverEngine::Idl ? "in-tree IDL solver" : "Z3");
+    if (!R.sat()) {
+      std::printf("unsat?!\n");
+      return 1;
+    }
+    std::vector<std::pair<int64_t, Var>> Order;
+    for (Var V = 0; V < S.numVars(); ++V)
+      Order.push_back({R.Values[V], V});
+    std::sort(Order.begin(), Order.end());
+    std::printf("schedule: ");
+    for (auto &[Val, V] : Order)
+      std::printf("%s ", S.name(V).c_str());
+    std::printf("\n(decisions=%llu propagations=%llu conflicts=%llu, "
+                "%.3f ms)\n\n",
+                static_cast<unsigned long long>(R.Decisions),
+                static_cast<unsigned long long>(R.Propagations),
+                static_cast<unsigned long long>(R.Conflicts),
+                R.SolveSeconds * 1000);
+    if (R.Values[C5] >= R.Values[C1]) {
+      std::printf("expected c5 before c1!\n");
+      return 1;
+    }
+  }
+  std::printf("Both engines recover a schedule preserving every "
+              "dependence,\nwith c5 scheduled before c1 exactly as the paper "
+              "derives.\n");
+  return 0;
+}

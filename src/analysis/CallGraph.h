@@ -1,0 +1,46 @@
+//===- analysis/CallGraph.h - MIR call graph utilities ----------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call-graph helpers shared by the analyses: direct-call edges, thread
+/// entry points (main + ThreadStart targets), and reachability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_ANALYSIS_CALLGRAPH_H
+#define LIGHT_ANALYSIS_CALLGRAPH_H
+
+#include "mir/Program.h"
+
+#include <vector>
+
+namespace light {
+namespace analysis {
+
+/// Direct call graph over a MIR program (MIR has no indirect calls).
+class CallGraph {
+  std::vector<std::vector<mir::FuncId>> Callees;
+
+public:
+  explicit CallGraph(const mir::Program &P);
+
+  const std::vector<mir::FuncId> &calleesOf(mir::FuncId F) const {
+    return Callees[F];
+  }
+
+  /// Functions reachable from \p Roots (inclusive).
+  std::vector<bool> reachableFrom(const std::vector<mir::FuncId> &Roots) const;
+};
+
+/// Entry points of spawned threads: all ThreadStart targets in \p P.
+/// Each pair is (entry function, number of syntactic spawn sites).
+std::vector<std::pair<mir::FuncId, uint32_t>>
+threadEntries(const mir::Program &P);
+
+} // namespace analysis
+} // namespace light
+
+#endif // LIGHT_ANALYSIS_CALLGRAPH_H

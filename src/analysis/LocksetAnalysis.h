@@ -1,0 +1,78 @@
+//===- analysis/LocksetAnalysis.h - Lock-consistency analysis ---*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conservative static analysis of Section 4.3: "we used a conservative
+/// static analysis to determine if a location is consistently guarded by
+/// some lock. When the analysis fails to reach a definitive answer, we
+/// simply disable the optimization w.r.t. accesses to the given location."
+///
+/// Lock abstraction: MIR programs name locks through single-assignment
+/// globals holding the lock object; a MonitorEnter whose operand is not
+/// traceable to such a global contributes no lockset facts (conservative).
+/// Held-lockset facts are computed flow-sensitively per instruction with
+/// intersection at control-flow joins, propagated through calls by context
+/// (entry lockset) memoization.
+///
+/// Results feed optimization O2 (as a GuardSpec) and the static race
+/// detector behind the Chimera baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_ANALYSIS_LOCKSETANALYSIS_H
+#define LIGHT_ANALYSIS_LOCKSETANALYSIS_H
+
+#include "mir/Program.h"
+#include "trace/GuardSpec.h"
+
+#include <map>
+#include <vector>
+
+namespace light {
+namespace analysis {
+
+/// Per-site lockset facts for one program.
+class LocksetAnalysis {
+public:
+  /// Lock abstraction id: index into lockNames().
+  using LockId = uint32_t;
+  static constexpr uint32_t NoLock = ~0u;
+
+  explicit LocksetAnalysis(const mir::Program &P);
+
+  /// Locks definitely held at instruction \p Idx of function \p F
+  /// (meaningful for heap-access instructions).
+  const std::vector<LockId> &heldAt(mir::FuncId F, uint32_t Idx) const;
+
+  /// Human-readable name of a lock abstraction (the lock global).
+  const std::string &lockName(LockId L) const { return LockNames[L]; }
+  size_t numLocks() const { return LockNames.size(); }
+
+  /// Locations consistently guarded by some common lock across every shared
+  /// access (Lemma 4.2's precondition), as a sealed GuardSpec.
+  GuardSpec consistentlyGuarded() const;
+
+  /// Entry-function sites where no spawned thread can be alive (before the
+  /// first start / after the last join). Such accesses cannot race.
+  std::vector<bool> entrySoloSites() const { return soloSitesInEntry(); }
+
+private:
+  const mir::Program &Prog;
+  std::vector<std::string> LockNames;
+  /// (func, instr) -> sorted held lockset.
+  std::vector<std::vector<std::vector<LockId>>> Held;
+  std::vector<LockId> Empty;
+
+  /// Sites in the entry function where no spawned thread may be alive.
+  std::vector<bool> soloSitesInEntry() const;
+
+  friend class RaceDetectorImpl;
+};
+
+} // namespace analysis
+} // namespace light
+
+#endif // LIGHT_ANALYSIS_LOCKSETANALYSIS_H

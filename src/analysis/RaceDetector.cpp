@@ -1,0 +1,144 @@
+//===- analysis/RaceDetector.cpp - Static race detection -------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RaceDetector.h"
+
+#include "analysis/CallGraph.h"
+
+#include <unordered_map>
+
+using namespace light;
+using namespace light::analysis;
+using namespace light::mir;
+
+namespace {
+
+bool isWriteOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::PutGlobal:
+  case Opcode::PutField:
+  case Opcode::AStore:
+  case Opcode::MapPut:
+  case Opcode::MapRemove:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isAccessOp(Opcode Op) { return isHeapAccess(Op); }
+
+uint64_t abstractionOf(const Instr &I) {
+  constexpr uint64_t GlobalTag = 1ull << 62;
+  constexpr uint64_t FieldTag = 2ull << 62;
+  constexpr uint64_t ArrayTag = 3ull << 62;
+  switch (I.Op) {
+  case Opcode::GetGlobal:
+  case Opcode::PutGlobal:
+    return GlobalTag | static_cast<uint64_t>(I.Imm);
+  case Opcode::GetField:
+  case Opcode::PutField:
+    return FieldTag | static_cast<uint64_t>(I.Imm);
+  default:
+    return ArrayTag;
+  }
+}
+
+} // namespace
+
+std::vector<RacePair> light::analysis::detectRaces(const Program &P,
+                                                   const LocksetAnalysis &LA) {
+  CallGraph CG(P);
+  std::vector<std::pair<FuncId, uint32_t>> Entries = threadEntries(P);
+
+  struct ClassInfo {
+    std::vector<bool> Reach;
+    bool Multi;
+  };
+  std::vector<ClassInfo> Classes;
+  Classes.push_back({CG.reachableFrom({P.Entry}), false});
+  for (auto &[Entry, Sites] : Entries)
+    Classes.push_back({CG.reachableFrom({Entry}), true});
+
+  auto ClassMask = [&](FuncId F) {
+    uint32_t Mask = 0;
+    for (size_t C = 0; C < Classes.size(); ++C)
+      if (Classes[C].Reach[F])
+        Mask |= 1u << C;
+    return Mask;
+  };
+  auto MultiMask = [&] {
+    uint32_t Mask = 0;
+    for (size_t C = 0; C < Classes.size(); ++C)
+      if (Classes[C].Multi)
+        Mask |= 1u << C;
+    return Mask;
+  }();
+
+  // Gather shared access sites per abstraction, with lockset masks.
+  struct Site {
+    RaceSite RS;
+    uint64_t LockMask;
+    uint32_t Classes;
+  };
+  std::vector<bool> SoloInMain = LA.entrySoloSites();
+  std::unordered_map<uint64_t, std::vector<Site>> ByAbs;
+  for (size_t F = 0; F < P.Functions.size(); ++F) {
+    const Function &Fn = P.Functions[F];
+    uint32_t Mask = ClassMask(static_cast<FuncId>(F));
+    for (size_t I = 0; I < Fn.Body.size(); ++I) {
+      const Instr &In = Fn.Body[I];
+      if (!isAccessOp(In.Op) || !In.SharedAccess)
+        continue;
+      // Entry-function accesses while no spawned thread is alive cannot
+      // race (main's init/teardown idiom).
+      if (F == P.Entry && I < SoloInMain.size() && SoloInMain[I])
+        continue;
+      uint64_t LockMask = 0;
+      for (auto L : LA.heldAt(static_cast<FuncId>(F), static_cast<uint32_t>(I)))
+        LockMask |= 1ull << L;
+      ByAbs[abstractionOf(In)].push_back(
+          {{static_cast<FuncId>(F), static_cast<uint32_t>(I),
+            isWriteOp(In.Op)},
+           LockMask,
+           Mask});
+    }
+  }
+
+  std::vector<RacePair> Races;
+  for (auto &[Abs, Sites] : ByAbs) {
+    for (size_t I = 0; I < Sites.size(); ++I) {
+      for (size_t J = I; J < Sites.size(); ++J) {
+        const Site &A = Sites[I];
+        const Site &B = Sites[J];
+        if (!A.RS.IsWrite && !B.RS.IsWrite)
+          continue;
+        if (A.LockMask & B.LockMask)
+          continue; // a common lock serializes them
+        // May-happen-in-parallel: the two sites can run in distinct thread
+        // classes, or in two instances of one multi-instance class.
+        if (!A.Classes || !B.Classes)
+          continue; // unreachable code
+        bool SingleSameClass =
+            A.Classes == B.Classes && (A.Classes & (A.Classes - 1)) == 0;
+        bool CrossClass = !SingleSameClass;
+        bool SameMultiClass = (A.Classes & B.Classes & MultiMask) != 0;
+        if (!CrossClass && !SameMultiClass)
+          continue;
+        RacePair R;
+        R.A = A.RS;
+        R.B = B.RS;
+        R.Abstraction = Abs;
+        R.What = P.Functions[A.RS.Func].Name + "@" +
+                 std::to_string(A.RS.Instr) + " vs " +
+                 P.Functions[B.RS.Func].Name + "@" +
+                 std::to_string(B.RS.Instr);
+        Races.push_back(std::move(R));
+      }
+    }
+  }
+  return Races;
+}

@@ -1,0 +1,50 @@
+//===- analysis/RaceDetector.h - Static race detection ----------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static race detector in the style of Chord [26], used by the Chimera
+/// baseline (Section 5.3): pairs of statements that may access the same
+/// location abstraction from different threads, at least one writing, with
+/// disjoint held locksets. Chimera patches the enclosing methods of every
+/// reported pair with a pair-specific lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_ANALYSIS_RACEDETECTOR_H
+#define LIGHT_ANALYSIS_RACEDETECTOR_H
+
+#include "analysis/LocksetAnalysis.h"
+#include "mir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace light {
+namespace analysis {
+
+/// One side of a potential race.
+struct RaceSite {
+  mir::FuncId Func = 0;
+  uint32_t Instr = 0;
+  bool IsWrite = false;
+};
+
+/// A statically detected race pair.
+struct RacePair {
+  RaceSite A, B;
+  uint64_t Abstraction = 0;
+  std::string What; ///< human-readable location description
+};
+
+/// Runs the detector. \p LA supplies the lockset facts; thread-parallelism
+/// facts are recomputed from the program's spawn structure.
+std::vector<RacePair> detectRaces(const mir::Program &P,
+                                  const LocksetAnalysis &LA);
+
+} // namespace analysis
+} // namespace light
+
+#endif // LIGHT_ANALYSIS_RACEDETECTOR_H

@@ -1,0 +1,146 @@
+//===- analysis/SharedAccessAnalysis.cpp - Shared-location detection ------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharedAccessAnalysis.h"
+
+#include "analysis/CallGraph.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace light;
+using namespace light::analysis;
+using namespace light::mir;
+
+CallGraph::CallGraph(const Program &P) {
+  Callees.resize(P.Functions.size());
+  for (size_t F = 0; F < P.Functions.size(); ++F)
+    for (const Instr &I : P.Functions[F].Body)
+      if (I.Op == Opcode::Call || I.Op == Opcode::ThreadStart)
+        Callees[F].push_back(static_cast<FuncId>(I.Imm));
+}
+
+std::vector<bool>
+CallGraph::reachableFrom(const std::vector<FuncId> &Roots) const {
+  std::vector<bool> Seen(Callees.size(), false);
+  std::vector<FuncId> Work(Roots);
+  for (FuncId R : Roots)
+    Seen[R] = true;
+  while (!Work.empty()) {
+    FuncId F = Work.back();
+    Work.pop_back();
+    for (FuncId C : Callees[F])
+      if (!Seen[C]) {
+        Seen[C] = true;
+        Work.push_back(C);
+      }
+  }
+  return Seen;
+}
+
+std::vector<std::pair<FuncId, uint32_t>>
+light::analysis::threadEntries(const Program &P) {
+  std::unordered_map<FuncId, uint32_t> Sites;
+  for (const Function &F : P.Functions)
+    for (const Instr &I : F.Body)
+      if (I.Op == Opcode::ThreadStart)
+        ++Sites[static_cast<FuncId>(I.Imm)];
+  std::vector<std::pair<FuncId, uint32_t>> Out(Sites.begin(), Sites.end());
+  return Out;
+}
+
+namespace {
+
+/// Coarse location abstraction: kind tag in the top bits.
+enum AbsKind : uint64_t {
+  AbsGlobal = 1ull << 62,
+  AbsField = 2ull << 62,
+  AbsArray = 3ull << 62, // single abstraction for all array/map contents
+};
+
+uint64_t abstractionOf(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::GetGlobal:
+  case Opcode::PutGlobal:
+    return AbsGlobal | static_cast<uint64_t>(I.Imm);
+  case Opcode::GetField:
+  case Opcode::PutField:
+    return AbsField | static_cast<uint64_t>(I.Imm);
+  case Opcode::ALoad:
+  case Opcode::AStore:
+  case Opcode::MapGet:
+  case Opcode::MapPut:
+  case Opcode::MapContains:
+  case Opcode::MapRemove:
+    return AbsArray;
+  default:
+    return 0;
+  }
+}
+
+} // namespace
+
+SharedAccessStats light::analysis::markSharedAccesses(Program &P) {
+  CallGraph CG(P);
+
+  // Thread classes: main, plus every ThreadStart target. A class spawned
+  // from a site that may execute repeatedly is conservatively treated as
+  // multi-instance; MIR has loops, so any spawned class counts as
+  // multi-instance unless proven otherwise — we keep the conservative
+  // reading and only rely on the cross-class criterion below plus the
+  // multi-instance flag for spawned classes.
+  std::vector<std::pair<FuncId, uint32_t>> Entries = threadEntries(P);
+
+  struct ClassInfo {
+    std::vector<bool> Reach;
+    bool MultiInstance;
+  };
+  std::vector<ClassInfo> Classes;
+  Classes.push_back({CG.reachableFrom({P.Entry}), false}); // main
+  for (auto &[Entry, Sites] : Entries)
+    Classes.push_back({CG.reachableFrom({Entry}), true});
+
+  // Which thread classes access each abstraction.
+  std::unordered_map<uint64_t, uint32_t> AccessedBy; // abstraction -> bitmask
+  std::unordered_map<uint64_t, bool> MultiAccess;    // by a multi-instance?
+  for (size_t F = 0; F < P.Functions.size(); ++F) {
+    uint32_t Mask = 0;
+    bool Multi = false;
+    for (size_t C = 0; C < Classes.size(); ++C)
+      if (Classes[C].Reach[F]) {
+        Mask |= 1u << C;
+        Multi |= Classes[C].MultiInstance;
+      }
+    for (const Instr &I : P.Functions[F].Body) {
+      uint64_t Abs = abstractionOf(I);
+      if (!Abs)
+        continue;
+      AccessedBy[Abs] |= Mask;
+      MultiAccess[Abs] = MultiAccess[Abs] || Multi;
+    }
+  }
+
+  auto IsShared = [&](uint64_t Abs) {
+    uint32_t Mask = AccessedBy[Abs];
+    bool MultipleClasses = (Mask & (Mask - 1)) != 0;
+    return MultipleClasses || MultiAccess[Abs];
+  };
+
+  SharedAccessStats Stats;
+  for (Function &F : P.Functions) {
+    for (Instr &I : F.Body) {
+      uint64_t Abs = abstractionOf(I);
+      if (!Abs)
+        continue;
+      I.SharedAccess = IsShared(Abs);
+      if (I.SharedAccess)
+        ++Stats.InstrumentedSites;
+      else
+        ++Stats.SuppressedSites;
+    }
+  }
+  return Stats;
+}

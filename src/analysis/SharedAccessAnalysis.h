@@ -1,0 +1,46 @@
+//===- analysis/SharedAccessAnalysis.h - Shared-location detection -*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stand-in for the Soot/Chord analyses the paper uses to detect shared
+/// locations (Section 3.2: "Restricting the replay algorithm only to shared
+/// locations is a natural yet significant performance optimization").
+///
+/// Location abstractions are coarse and conservative: global ids, object
+/// field indices, and a single abstraction each for array and map contents.
+/// An abstraction is *shared* when it is accessed by code reachable from a
+/// spawned-thread entry point and by at least one other thread class (or by
+/// a thread class that can be instantiated more than once). Accesses whose
+/// every abstraction is unshared have their SharedAccess flag cleared and
+/// run uninstrumented.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_ANALYSIS_SHAREDACCESSANALYSIS_H
+#define LIGHT_ANALYSIS_SHAREDACCESSANALYSIS_H
+
+#include "mir/Program.h"
+
+#include <cstdint>
+
+namespace light {
+namespace analysis {
+
+/// Result summary of markSharedAccesses.
+struct SharedAccessStats {
+  uint32_t InstrumentedSites = 0;
+  uint32_t SuppressedSites = 0;
+};
+
+/// Computes shared-location abstractions and clears Instr::SharedAccess on
+/// provably thread-local accesses. Conservative: when in doubt, keeps the
+/// access instrumented.
+SharedAccessStats markSharedAccesses(mir::Program &Program);
+
+} // namespace analysis
+} // namespace light
+
+#endif // LIGHT_ANALYSIS_SHAREDACCESSANALYSIS_H

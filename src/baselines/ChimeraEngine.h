@@ -1,0 +1,125 @@
+//===- baselines/ChimeraEngine.h - The Chimera baseline ---------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of Chimera [Lee et al., PLDI 2012], the hybrid
+/// baseline of Section 5.3. Chimera statically detects racing statement
+/// pairs, then *patches* the program — wrapping the enclosing methods of
+/// each racy pair in a pair lock, transforming it into race-free code — and
+/// at runtime records only the order of lock operations, which suffices for
+/// deterministic replay of race-free programs (cheap!).
+///
+/// The paper's evaluation exposes the cost of this design: when the racing
+/// methods rarely run in parallel, the patch serializes them outright, and
+/// bugs that require an interleaving *inside* those method bodies can no
+/// longer manifest at all — Chimera "hides" them (Cache4j, Tomcat-37458,
+/// Tomcat-50885 in Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_BASELINES_CHIMERAENGINE_H
+#define LIGHT_BASELINES_CHIMERAENGINE_H
+
+#include "analysis/RaceDetector.h"
+#include "interp/Machine.h"
+#include "runtime/TotalOrderDirector.h"
+
+#include <string>
+#include <vector>
+
+namespace light {
+
+/// Result of Chimera's patching phase.
+struct ChimeraPatch {
+  mir::Program Patched;
+  /// Functions that were wrapped in a chimera lock, by name.
+  std::vector<std::string> SerializedFunctions;
+  uint32_t NumChimeraLocks = 0;
+};
+
+/// Detects races in \p P and wraps each racy pair's enclosing functions
+/// with a per-component chimera lock (connected components over the
+/// function-race graph share one lock).
+ChimeraPatch chimeraPatch(const mir::Program &P,
+                          const std::vector<analysis::RacePair> &Races);
+
+/// Chimera's recording: the global order of synchronization operations
+/// (all ghost accesses), nothing at the field level.
+struct ChimeraLog {
+  std::vector<AccessId> SyncOrder;
+  std::vector<std::vector<uint64_t>> SyscallValues;
+  std::vector<SpawnRecord> Spawns;
+
+  uint64_t spaceLongs() const {
+    uint64_t Inputs = 0;
+    for (const auto &T : SyscallValues)
+      Inputs += T.size();
+    return SyncOrder.size() + Inputs * 2;
+  }
+};
+
+/// The Chimera runtime hook: appends every ghost synchronization access to
+/// a global order (cheap — sync ops are rare), passes data accesses
+/// through untouched.
+class ChimeraRecorder : public AccessHook {
+  PerThreadCounters Counters;
+  std::mutex M;
+  std::vector<AccessId> SyncOrder;
+  std::vector<std::vector<uint64_t>> Syscalls;
+
+public:
+  ChimeraRecorder();
+
+  void onWrite(ThreadId T, LocationId L, LocMeta &Meta,
+               FunctionRef<void()> Perform) override;
+  void onRead(ThreadId T, LocationId L, LocMeta &Meta,
+              FunctionRef<void()> Perform) override;
+  void onRmw(ThreadId T, LocationId L, LocMeta &Meta,
+             FunctionRef<void()> Perform) override;
+  uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) override;
+  Counter counterOf(ThreadId T) const override;
+
+  ChimeraLog finish();
+};
+
+/// Replay director: gates ghost (synchronization) accesses by the recorded
+/// sync order; data accesses run free — sound only because the patched
+/// program is race-free.
+class ChimeraDirector : public AccessHook, public TurnSource {
+public:
+  explicit ChimeraDirector(const ChimeraLog &Log);
+
+  void onWrite(ThreadId T, LocationId L, LocMeta &M,
+               FunctionRef<void()> Perform) override;
+  void onRead(ThreadId T, LocationId L, LocMeta &M,
+              FunctionRef<void()> Perform) override;
+  void onRmw(ThreadId T, LocationId L, LocMeta &M,
+             FunctionRef<void()> Perform) override;
+  uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) override;
+  Counter counterOf(ThreadId T) const override;
+
+  AccessId currentTurn() const override;
+  bool failed() const override { return Diverged.load(); }
+  const std::string &divergence() const { return Error; }
+
+private:
+  std::vector<AccessId> Order;
+  std::unordered_map<uint64_t, uint32_t> TurnOf;
+  std::vector<Counter> Horizon;
+  PerThreadCounters Counters;
+  std::atomic<uint32_t> Turn{0};
+  std::atomic<bool> Diverged{false};
+  std::string Error;
+  std::vector<std::vector<uint64_t>> SyscallQueues;
+  std::vector<size_t> SyscallPos;
+
+  void gate(ThreadId T, LocationId L, FunctionRef<void()> Perform);
+  void diverge(const std::string &Message);
+};
+
+} // namespace light
+
+#endif // LIGHT_BASELINES_CHIMERAENGINE_H

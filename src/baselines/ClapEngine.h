@@ -1,0 +1,105 @@
+//===- baselines/ClapEngine.h - The Clap baseline ----------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of Clap [Huang et al., PLDI 2013], the representative
+/// *computation-based* replay baseline of Section 5.3. Clap records almost
+/// nothing at runtime — per-thread branch outcomes and environment inputs —
+/// and reconstructs the schedule offline by symbolically re-executing each
+/// thread in isolation: every shared read becomes a fresh symbolic
+/// variable, and a solver (Z3) searches for read-to-write matchings plus a
+/// global order that reproduces the recorded control flow and the failure.
+///
+/// This inherits the approach's fundamental limitation the paper evaluates
+/// ("63% of the real bugs ... are outside the scope"): whenever the
+/// symbolic re-execution meets an operation without native solver support —
+/// hash-map intrinsics, nonlinear arithmetic, symbolic references, symbolic
+/// array indices, wait/notify — Clap reports the program unsupported and
+/// fails to reproduce the bug. Light, which never reasons about values,
+/// has no such limitation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_BASELINES_CLAPENGINE_H
+#define LIGHT_BASELINES_CLAPENGINE_H
+
+#include "interp/Machine.h"
+#include "runtime/TotalOrderDirector.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace light {
+
+/// Everything Clap logs during the original run: branch outcomes, input
+/// values, thread structure, and where the failure occurred.
+struct ClapRecording {
+  BranchTrace Branches;
+  std::vector<std::vector<uint64_t>> SyscallValues; ///< per thread, in order
+  std::vector<SpawnRecord> Spawns;
+  std::vector<Counter> FinalCounters;
+  BugReport Bug;
+
+  /// Long-integer accounting: branch outcomes are bits; count them packed,
+  /// plus two longs per recorded input.
+  uint64_t spaceLongs() const;
+};
+
+/// Clap's runtime hook: pure pass-through with counters and input logging.
+/// Pair with Machine::setBranchTracer for the branch trace.
+class ClapRecorder : public AccessHook {
+  PerThreadCounters Counters;
+  std::vector<std::unique_ptr<std::vector<uint64_t>>> Syscalls;
+
+public:
+  ClapRecorder();
+  ~ClapRecorder() override;
+
+  void onWrite(ThreadId T, LocationId L, LocMeta &M,
+               FunctionRef<void()> Perform) override;
+  void onRead(ThreadId T, LocationId L, LocMeta &M,
+              FunctionRef<void()> Perform) override;
+  void onRmw(ThreadId T, LocationId L, LocMeta &M,
+             FunctionRef<void()> Perform) override;
+  uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) override;
+  Counter counterOf(ThreadId T) const override;
+
+  /// Builds the recording; Branches must be filled by the caller from the
+  /// machine's tracer, Spawns from its registry, Bug from the run result.
+  ClapRecording finish();
+};
+
+/// Outcome of Clap's offline symbolic analysis.
+struct ClapSolveResult {
+  /// False when the program used operations outside solver support; the
+  /// bug is then *not reproducible* by Clap (the paper's H2 failures).
+  bool Supported = false;
+  std::string UnsupportedWhy;
+
+  /// Whether the constraint system was satisfiable.
+  bool Solved = false;
+
+  /// The reconstructed total schedule over instrumented accesses.
+  std::vector<AccessId> Order;
+
+  double SolveSeconds = 0;
+};
+
+/// Runs the offline phase: per-thread symbolic re-execution along the
+/// recorded branch traces, constraint generation, Z3 solving.
+ClapSolveResult clapSolve(const mir::Program &Program,
+                          const ClapRecording &Recording);
+
+/// Convenience: replays \p Program under the solved schedule and returns
+/// the run result (validate against the recorded bug with sameAs()).
+RunResult clapReplay(const mir::Program &Program,
+                     const ClapRecording &Recording,
+                     const ClapSolveResult &Solved);
+
+} // namespace light
+
+#endif // LIGHT_BASELINES_CLAPENGINE_H

@@ -1,0 +1,75 @@
+//===- baselines/LeapReplayer.cpp - Leap-style replay ----------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/LeapReplayer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace light;
+
+LeapOrder light::linearizeLeapLog(const LeapLog &Log) {
+  LeapOrder Out;
+
+  struct Entry {
+    LocationId Loc;
+    AccessId Id;
+    uint32_t PosInLoc;
+  };
+  std::vector<Entry> All;
+  size_t MaxThread = 0;
+  for (const auto &[L, V] : Log.AccessVectors) {
+    for (uint32_t P = 0; P < V.size(); ++P) {
+      AccessId Id = AccessId::unpack(V[P]);
+      All.push_back({L, Id, P});
+      MaxThread = std::max(MaxThread, static_cast<size_t>(Id.Thread));
+    }
+  }
+
+  std::vector<std::vector<Entry>> PerThread(MaxThread + 1);
+  for (const Entry &E : All)
+    PerThread[E.Id.Thread].push_back(E);
+  for (auto &Seq : PerThread)
+    std::sort(Seq.begin(), Seq.end(), [](const Entry &A, const Entry &B) {
+      return A.Id.Count < B.Id.Count;
+    });
+
+  // Greedy merge: emit a thread's next access when it heads its location's
+  // queue. The original execution witnesses such a linearization, so the
+  // merge succeeds on well-formed logs.
+  std::unordered_map<LocationId, uint32_t> LocHead;
+  std::vector<size_t> ThreadHead(PerThread.size(), 0);
+  Out.Order.reserve(All.size());
+  while (Out.Order.size() < All.size()) {
+    bool Progress = false;
+    for (size_t T = 0; T < PerThread.size(); ++T) {
+      while (ThreadHead[T] < PerThread[T].size()) {
+        const Entry &E = PerThread[T][ThreadHead[T]];
+        uint32_t &Head = LocHead[E.Loc];
+        if (E.PosInLoc != Head)
+          break;
+        Out.Order.push_back(E.Id);
+        ++Head;
+        ++ThreadHead[T];
+        Progress = true;
+      }
+    }
+    if (!Progress) {
+      Out.Error =
+          "Leap log vectors are mutually inconsistent (no linearization)";
+      return Out;
+    }
+  }
+
+  Out.SyscallValues.resize(MaxThread + 2);
+  for (const SyscallRecord &R : Log.Syscalls) {
+    if (Out.SyscallValues.size() <= R.Thread)
+      Out.SyscallValues.resize(R.Thread + 1);
+    Out.SyscallValues[R.Thread].push_back(R.Value);
+  }
+  Out.Ok = true;
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- baselines/LeapReplayer.h - Leap-style replay --------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replay for the Leap baseline: the recorded per-location access vectors
+/// are merged (offline, respecting per-thread counter order) into a total
+/// order over all shared accesses, enforced by a TotalOrderDirector. No
+/// solver is needed — Leap recorded the complete order — at the recording
+/// cost the paper's evaluation quantifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_BASELINES_LEAPREPLAYER_H
+#define LIGHT_BASELINES_LEAPREPLAYER_H
+
+#include "baselines/LeapRecorder.h"
+#include "runtime/TotalOrderDirector.h"
+
+#include <string>
+#include <vector>
+
+namespace light {
+
+/// Result of linearizing a LeapLog.
+struct LeapOrder {
+  bool Ok = false;
+  std::string Error;
+  std::vector<AccessId> Order;
+  std::vector<std::vector<uint64_t>> SyscallValues;
+};
+
+/// Merges the per-location vectors of \p Log into one total order,
+/// respecting per-thread counter order. Fails when the vectors are
+/// mutually inconsistent (no linearization exists).
+LeapOrder linearizeLeapLog(const LeapLog &Log);
+
+} // namespace light
+
+#endif // LIGHT_BASELINES_LEAPREPLAYER_H

@@ -1,0 +1,123 @@
+//===- baselines/StrideRecorder.cpp - The Stride baseline ------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/StrideRecorder.h"
+
+using namespace light;
+
+StrideRecorder::StrideRecorder() : Shards(NumShards) {
+  Threads.reserve(MaxThreads);
+  for (uint32_t I = 0; I < MaxThreads; ++I)
+    Threads.push_back(std::make_unique<PerThread>());
+}
+
+StrideRecorder::~StrideRecorder() = default;
+
+Counter StrideRecorder::counterOf(ThreadId T) const { return Counters.get(T); }
+
+StrideRecorder::LocState &StrideRecorder::stateFor(LocationId L) {
+  Shard &S = shardFor(L);
+  std::lock_guard<std::mutex> Guard(S.M);
+  std::unique_ptr<LocState> &Slot = S.Locs[L];
+  if (!Slot)
+    Slot = std::make_unique<LocState>();
+  return *Slot;
+}
+
+void StrideRecorder::onWrite(ThreadId T, LocationId L, LocMeta &M,
+                             FunctionRef<void()> Perform) {
+  Counter C = Counters.bump(T);
+  Shard &S = shardFor(L);
+  // Writes are globally ordered per location under synchronization, like
+  // Leap's vectors.
+  std::lock_guard<std::mutex> Guard(S.M);
+  std::unique_ptr<LocState> &Slot = S.Locs[L];
+  if (!Slot)
+    Slot = std::make_unique<LocState>();
+  Perform();
+  Slot->Writes.push_back(AccessId(T, C).pack());
+  Slot->Version.store(static_cast<uint32_t>(Slot->Writes.size()));
+}
+
+void StrideRecorder::onRead(ThreadId T, LocationId L, LocMeta &M,
+                            FunctionRef<void()> Perform) {
+  Counter C = Counters.bump(T);
+  LocState &State = stateFor(L);
+  // Version-validated read: retry until the version is stable across the
+  // program read, so (value, version) is a consistent pair.
+  uint32_t V1, V2;
+  do {
+    V1 = State.Version.load();
+    Perform();
+    V2 = State.Version.load();
+  } while (V1 != V2);
+  Threads[T]->Reads.push_back({L, V1, AccessId(T, C).pack()});
+}
+
+void StrideRecorder::onRmw(ThreadId T, LocationId L, LocMeta &M,
+                           FunctionRef<void()> Perform) {
+  // An RMW is a read (of the current version) plus a write. Perform first:
+  // lock acquisitions must not run inside our shard lock (lock-order
+  // inversion against guarded data accesses); the acquired region itself
+  // serializes the version bump.
+  Counter C = Counters.bump(T);
+  Perform();
+  Shard &S = shardFor(L);
+  std::lock_guard<std::mutex> Guard(S.M);
+  std::unique_ptr<LocState> &Slot = S.Locs[L];
+  if (!Slot)
+    Slot = std::make_unique<LocState>();
+  uint32_t V = Slot->Version.load();
+  Threads[T]->Reads.push_back({L, V, AccessId(T, C).pack()});
+  Slot->Writes.push_back(AccessId(T, C).pack());
+  Slot->Version.store(static_cast<uint32_t>(Slot->Writes.size()));
+}
+
+uint64_t StrideRecorder::onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) {
+  uint64_t Value = Compute();
+  Threads[T]->Syscalls.push_back({T, Value});
+  return Value;
+}
+
+StrideLog StrideRecorder::finish() {
+  StrideLog Log;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S.M);
+    for (auto &[L, State] : S.Locs)
+      Log.WriteLists[L] = State->Writes;
+  }
+  for (auto &T : Threads) {
+    Log.Reads.insert(Log.Reads.end(), T->Reads.begin(), T->Reads.end());
+    Log.Syscalls.insert(Log.Syscalls.end(), T->Syscalls.begin(),
+                        T->Syscalls.end());
+  }
+  return Log;
+}
+
+uint64_t StrideRecorder::longIntegersRecorded() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    for (const auto &[L, State] : S.Locs)
+      Total += State->Writes.size();
+  for (const auto &T : Threads)
+    Total += T->Reads.size() * 2 + T->Syscalls.size() * 2;
+  return Total;
+}
+
+StrideLinkage StrideRecorder::reconstruct(const StrideLog &Log) {
+  StrideLinkage Linkage;
+  for (const StrideLog::ReadRecord &R : Log.Reads) {
+    if (R.Version == 0) {
+      Linkage.SourceOf[R.Reader] = 0;
+      continue;
+    }
+    auto It = Log.WriteLists.find(R.Loc);
+    if (It == Log.WriteLists.end() || R.Version > It->second.size())
+      continue; // malformed record; leave unlinked
+    Linkage.SourceOf[R.Reader] = It->second[R.Version - 1];
+  }
+  return Linkage;
+}

@@ -1,0 +1,116 @@
+//===- baselines/StrideRecorder.h - The Stride baseline ---------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of Stride [Zhou et al., ICSE 2012], the second
+/// record-based baseline of Section 5.2. Stride records:
+///
+///  * per location, a globally ordered (synchronized) *write* list plus a
+///    write version counter;
+///  * per read, thread-locally, the (location, version) pair observed —
+///    obtained with a version-validation retry so the pair is consistent.
+///
+/// Offline, each read links to the version-th write of its location
+/// ("bounded linkage", polynomial-time reconstruction — exact here because
+/// versions are precise). Space: one long per write plus two per read,
+/// reflecting the paper's accounting where Stride's ints count as half
+/// longs; time: writes pay the same synchronized-append cost as Leap while
+/// reads pay version validation plus a thread-local append.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_BASELINES_STRIDERECORDER_H
+#define LIGHT_BASELINES_STRIDERECORDER_H
+
+#include "runtime/AccessHook.h"
+#include "trace/DepSpan.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace light {
+
+/// Stride's recording, before linkage reconstruction.
+struct StrideLog {
+  /// Location -> packed AccessIds of writes, in version order.
+  std::unordered_map<LocationId, std::vector<uint64_t>> WriteLists;
+  /// Per-read records: (location, version, packed reader AccessId).
+  struct ReadRecord {
+    LocationId Loc;
+    uint32_t Version; ///< 0 = initial value, k = k-th write
+    uint64_t Reader;
+  };
+  std::vector<ReadRecord> Reads;
+  std::vector<SyscallRecord> Syscalls;
+
+  uint64_t spaceLongs() const {
+    uint64_t Total = 0;
+    for (const auto &[L, V] : WriteLists)
+      Total += V.size();
+    return Total + Reads.size() * 2 + Syscalls.size() * 2;
+  }
+};
+
+/// A reconstructed read-to-write linkage (the offline phase's output).
+struct StrideLinkage {
+  /// Reader access -> source write access (0 = initial value).
+  std::unordered_map<uint64_t, uint64_t> SourceOf;
+};
+
+/// The Stride recording hook.
+class StrideRecorder : public AccessHook {
+public:
+  StrideRecorder();
+  ~StrideRecorder() override;
+
+  void onWrite(ThreadId T, LocationId L, LocMeta &M,
+               FunctionRef<void()> Perform) override;
+  void onRead(ThreadId T, LocationId L, LocMeta &M,
+              FunctionRef<void()> Perform) override;
+  void onRmw(ThreadId T, LocationId L, LocMeta &M,
+             FunctionRef<void()> Perform) override;
+  uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) override;
+  Counter counterOf(ThreadId T) const override;
+
+  StrideLog finish();
+
+  uint64_t longIntegersRecorded() const;
+
+  /// The polynomial-time offline linkage reconstruction: read with version
+  /// v on location l reads the v-th write in l's write list.
+  static StrideLinkage reconstruct(const StrideLog &Log);
+
+private:
+  static constexpr uint32_t NumShards = 256;
+  struct LocState {
+    std::atomic<uint32_t> Version{0};
+    std::vector<uint64_t> Writes;
+  };
+  struct alignas(64) Shard {
+    std::mutex M;
+    std::unordered_map<LocationId, std::unique_ptr<LocState>> Locs;
+  };
+  struct alignas(64) PerThread {
+    std::vector<StrideLog::ReadRecord> Reads;
+    std::vector<SyscallRecord> Syscalls;
+  };
+
+  PerThreadCounters Counters;
+  std::vector<Shard> Shards;
+  std::vector<std::unique_ptr<PerThread>> Threads;
+
+  Shard &shardFor(LocationId L) {
+    return Shards[(loc::stripeKey(L) * 0x9e3779b1u >> 16) % NumShards];
+  }
+  LocState &stateFor(LocationId L);
+};
+
+} // namespace light
+
+#endif // LIGHT_BASELINES_STRIDERECORDER_H

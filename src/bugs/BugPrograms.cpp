@@ -1,0 +1,471 @@
+//===- bugs/BugPrograms.cpp - The 8 real-world bugs of Section 5 ----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bugs/BugPrograms.h"
+
+#include "analysis/SharedAccessAnalysis.h"
+#include "mir/Builder.h"
+
+#include <cassert>
+
+using namespace light;
+using namespace light::bugs;
+using namespace light::mir;
+
+namespace {
+
+/// Emits `for (i = 0; i < N; ++i) { body }`. \p Body receives the loop
+/// counter register.
+template <typename Fn>
+void emitLoop(FunctionBuilder &FB, int64_t N, Fn Body) {
+  Reg I = FB.newReg(), Bound = FB.newReg(), One = FB.newReg();
+  Reg Cond = FB.newReg();
+  FB.constInt(I, 0);
+  FB.constInt(Bound, N);
+  FB.constInt(One, 1);
+  Label Head = FB.makeLabel(), BodyL = FB.makeLabel(), Done = FB.makeLabel();
+  FB.place(Head);
+  FB.cmpLt(Cond, I, Bound);
+  FB.br(Cond, BodyL, Done);
+  FB.place(BodyL);
+  Body(I);
+  FB.add(I, I, One);
+  FB.jmp(Head);
+  FB.place(Done);
+}
+
+} // namespace
+
+// --- Cache4j: the paper's running example (Section 2.1) ---------------------
+//
+// put() resets _createTime then _value without synchronization; get() reads
+// _createTime, the value, and re-validates _createTime (the valid() check).
+// A put() landing inside get() tears the pair — the illegal value is the
+// mismatched timestamp. Integer flow only: Clap handles it; Chimera
+// serializes put/get and hides it.
+Program light::bugs::cache4j() {
+  ProgramBuilder PB;
+  ClassId CacheObj = PB.addClass("CacheObject", {"_createTime", "_value"});
+  uint32_t GCache = PB.addGlobal("cache");
+
+  FuncId Putter = PB.declareFunction("put", 0);
+  FuncId Getter = PB.declareFunction("get", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("put", 0);
+    Reg Obj = FB.newReg(), Now = FB.newReg();
+    FB.getGlobal(Obj, GCache);
+    emitLoop(FB, 10, [&](Reg I) {
+      FB.sysTime(Now);
+      FB.putField(Obj, 0, Now); // resetCacheObject(): _createTime = now
+      FB.putField(Obj, 1, I);   // ... and the payload
+    });
+    FB.ret();
+    PB.defineFunction(Putter, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("get", 0);
+    Reg Obj = FB.newReg(), T1 = FB.newReg(), V = FB.newReg();
+    Reg T2 = FB.newReg(), Same = FB.newReg();
+    FB.getGlobal(Obj, GCache);
+    emitLoop(FB, 10, [&](Reg I) {
+      FB.getField(T1, Obj, 0); // timestamp before the read
+      FB.getField(V, Obj, 1);  // the cached value
+      FB.getField(T2, Obj, 0); // valid(): timestamp must be unchanged
+      FB.cmpEq(Same, T1, T2);
+      FB.assertTrue(Same, /*BugId=*/1); // torn entry observed
+      FB.print(V);
+    });
+    FB.ret();
+    PB.defineFunction(Getter, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Obj = FB.newReg(), Zero = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(Obj, CacheObj);
+    FB.constInt(Zero, 0);
+    FB.putField(Obj, 0, Zero);
+    FB.putField(Obj, 1, Zero);
+    FB.putGlobal(GCache, Obj);
+    FB.threadStart(T1, Putter);
+    FB.threadStart(T2, Getter);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+// --- Tomcat 37458: connector stop tears the (ready, val) pair ----------------
+Program light::bugs::tomcat37458() {
+  ProgramBuilder PB;
+  ClassId Conn = PB.addClass("Connector", {"ready", "val"});
+  uint32_t GConn = PB.addGlobal("connector");
+
+  FuncId Handler = PB.declareFunction("handleRequest", 0);
+  FuncId Stopper = PB.declareFunction("stop", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("handleRequest", 0);
+    Reg Obj = FB.newReg(), Ready = FB.newReg(), V = FB.newReg();
+    FB.getGlobal(Obj, GConn);
+    emitLoop(FB, 8, [&](Reg I) {
+      Label Use = FB.makeLabel(), Skip = FB.makeLabel();
+      FB.getField(Ready, Obj, 0);
+      FB.br(Ready, Use, Skip);
+      FB.place(Use);
+      // stop() clears val *before* ready: a request passing the ready
+      // check can read the already-cleared endpoint — the NPE of 37458,
+      // modeled as use of the illegal zero handle.
+      FB.getField(V, Obj, 1);
+      FB.assertTrue(V, /*BugId=*/5);
+      FB.place(Skip);
+    });
+    FB.ret();
+    PB.defineFunction(Handler, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("stop", 0);
+    Reg Obj = FB.newReg(), Zero = FB.newReg();
+    FB.getGlobal(Obj, GConn);
+    FB.constInt(Zero, 0);
+    FB.putField(Obj, 1, Zero); // wrong order: handle first...
+    FB.putField(Obj, 0, Zero); // ...then the ready flag
+    FB.ret();
+    PB.defineFunction(Stopper, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Obj = FB.newReg(), One = FB.newReg(), H = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(Obj, Conn);
+    FB.constInt(One, 1);
+    FB.constInt(H, 42);
+    FB.putField(Obj, 0, One);
+    FB.putField(Obj, 1, H);
+    FB.putGlobal(GConn, Obj);
+    FB.threadStart(T1, Handler);
+    FB.threadStart(T2, Stopper);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+// --- Tomcat 50885: log rotation tears the (len, cap) pair --------------------
+Program light::bugs::tomcat50885() {
+  ProgramBuilder PB;
+  ClassId Log = PB.addClass("LogBuffer", {"len", "cap"});
+  uint32_t GLog = PB.addGlobal("log");
+
+  FuncId Worker = PB.declareFunction("append", 0);
+  FuncId Rotator = PB.declareFunction("rotate", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("append", 0);
+    Reg Obj = FB.newReg(), Len = FB.newReg(), Cap = FB.newReg();
+    Reg Fits = FB.newReg(), One = FB.newReg(), NewLen = FB.newReg();
+    FB.getGlobal(Obj, GLog);
+    FB.constInt(One, 1);
+    emitLoop(FB, 12, [&](Reg I) {
+      FB.getField(Len, Obj, 0);
+      FB.getField(Cap, Obj, 1);
+      // A rotation between the two reads yields len > cap — the
+      // ArrayIndexOutOfBounds of 50885, modeled as the invariant check.
+      FB.cmpLe(Fits, Len, Cap);
+      FB.assertTrue(Fits, /*BugId=*/6);
+      FB.add(NewLen, Len, One);
+      FB.putField(Obj, 0, NewLen);
+    });
+    FB.ret();
+    PB.defineFunction(Worker, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("rotate", 0);
+    Reg Obj = FB.newReg(), Zero = FB.newReg(), Full = FB.newReg();
+    FB.getGlobal(Obj, GLog);
+    FB.constInt(Zero, 0);
+    FB.constInt(Full, 64);
+    emitLoop(FB, 3, [&](Reg I) {
+      FB.putField(Obj, 1, Zero); // capacity drops first...
+      FB.putField(Obj, 0, Zero); // ...then the length resets
+      FB.putField(Obj, 1, Full); // ...and the new file opens
+    });
+    FB.ret();
+    PB.defineFunction(Rotator, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Obj = FB.newReg(), Zero = FB.newReg(), Cap = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(Obj, Log);
+    FB.constInt(Zero, 0);
+    FB.constInt(Cap, 64);
+    FB.putField(Obj, 0, Zero);
+    FB.putField(Obj, 1, Cap);
+    FB.putGlobal(GLog, Obj);
+    FB.threadStart(T1, Worker);
+    FB.threadStart(T2, Rotator);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+// --- Shared shape for the map-based, lock-granularity bugs ------------------
+//
+// A keyed table protected by one lock; "mutator" threads remove or clear
+// entries inside synchronized regions; "reader" threads look entries up
+// inside synchronized regions and fail on a missing entry. The failure
+// depends only on the order of whole critical sections, so Chimera's
+// lock-order recording reproduces it — while the map intrinsics put it
+// beyond Clap's solver model.
+namespace {
+
+struct MapBugParts {
+  ProgramBuilder PB;
+  ClassId LockCls;
+  uint32_t GTable, GLock;
+};
+
+MapBugParts mapBugSkeleton() {
+  MapBugParts P;
+  P.LockCls = P.PB.addClass("Lock", {"pad"});
+  P.GTable = P.PB.addGlobal("table");
+  P.GLock = P.PB.addGlobal("tableLock");
+  return P;
+}
+
+/// reader: loop { lock; v = table[key]; assertNonNull(v); unlock }
+FuncId emitMapReader(MapBugParts &P, const std::string &Name, int64_t Key,
+                     int64_t Iters, int64_t BugId) {
+  FunctionBuilder FB = P.PB.beginFunction(Name, 0);
+  Reg Table = FB.newReg(), LockR = FB.newReg(), K = FB.newReg();
+  Reg V = FB.newReg();
+  FB.getGlobal(Table, P.GTable);
+  FB.getGlobal(LockR, P.GLock);
+  FB.constInt(K, Key);
+  emitLoop(FB, Iters, [&](Reg I) {
+    FB.monitorEnter(LockR);
+    FB.mapGet(V, Table, K);
+    FB.assertNonNull(V, BugId);
+    FB.monitorExit(LockR);
+  });
+  FB.ret();
+  return P.PB.endFunction(FB);
+}
+
+/// remover: lock; remove table[key]; unlock (optionally after re-putting
+/// \p Churn other keys to fatten the log).
+FuncId emitMapRemover(MapBugParts &P, const std::string &Name, int64_t Key,
+                      int64_t Churn) {
+  FunctionBuilder FB = P.PB.beginFunction(Name, 0);
+  Reg Table = FB.newReg(), LockR = FB.newReg(), K = FB.newReg();
+  Reg CK = FB.newReg(), CV = FB.newReg(), Base = FB.newReg();
+  FB.getGlobal(Table, P.GTable);
+  FB.getGlobal(LockR, P.GLock);
+  FB.constInt(K, Key);
+  if (Churn > 0) {
+    FB.constInt(Base, 100);
+    emitLoop(FB, Churn, [&](Reg I) {
+      FB.monitorEnter(LockR);
+      FB.add(CK, I, Base);
+      FB.constInt(CV, 7);
+      FB.mapPut(Table, CK, CV);
+      FB.monitorExit(LockR);
+    });
+  }
+  FB.monitorEnter(LockR);
+  FB.mapRemove(Table, K);
+  FB.monitorExit(LockR);
+  FB.ret();
+  return P.PB.endFunction(FB);
+}
+
+/// main: build the table, spawn the given workers, join.
+Program finishMapBug(MapBugParts &P, int64_t NumKeys,
+                     const std::vector<FuncId> &Workers) {
+  FunctionBuilder FB = P.PB.beginFunction("main", 0);
+  Reg Table = FB.newReg(), LockObj = FB.newReg();
+  Reg V = FB.newReg();
+  FB.mapNew(Table);
+  FB.putGlobal(P.GTable, Table);
+  FB.newObject(LockObj, P.LockCls);
+  FB.putGlobal(P.GLock, LockObj);
+  emitLoop(FB, NumKeys, [&](Reg I) {
+    FB.constInt(V, 1000);
+    FB.mapPut(Table, I, V);
+  });
+  std::vector<Reg> Tids;
+  for (FuncId W : Workers) {
+    Reg T = FB.newReg();
+    FB.threadStart(T, W);
+    Tids.push_back(T);
+  }
+  for (Reg T : Tids)
+    FB.threadJoin(T);
+  FB.ret();
+  P.PB.setEntry(P.PB.endFunction(FB));
+  return P.PB.take();
+}
+
+} // namespace
+
+Program light::bugs::ftpserver() {
+  // close() removes the connection entry; a concurrent write() fails with
+  // the FileNotFound/closed-connection exception when close wins.
+  MapBugParts P = mapBugSkeleton();
+  FuncId Closer = emitMapRemover(P, "close", /*Key=*/0, /*Churn=*/2);
+  FuncId Writer = emitMapReader(P, "write", /*Key=*/0, /*Iters=*/4,
+                                /*BugId=*/3);
+  return finishMapBug(P, /*NumKeys=*/3, {Closer, Writer});
+}
+
+Program light::bugs::lucene481() {
+  // FieldCache invalidation vs. a searcher using the cached entry.
+  MapBugParts P = mapBugSkeleton();
+  FuncId Invalidator = emitMapRemover(P, "invalidate", /*Key=*/2,
+                                      /*Churn=*/6);
+  FuncId Searcher = emitMapReader(P, "search", /*Key=*/2, /*Iters=*/8,
+                                  /*BugId=*/4);
+  FuncId Searcher2 = emitMapReader(P, "search2", /*Key=*/1, /*Iters=*/8,
+                                   /*BugId=*/41);
+  (void)Searcher2;
+  return finishMapBug(P, /*NumKeys=*/6, {Invalidator, Searcher});
+}
+
+Program light::bugs::lucene651() {
+  // commit() clears the pending-document table while readers walk it; the
+  // largest workload of Table 1.
+  MapBugParts P = mapBugSkeleton();
+  FuncId Committer = emitMapRemover(P, "commit", /*Key=*/5, /*Churn=*/20);
+  FuncId Reader1 = emitMapReader(P, "reader1", /*Key=*/5, /*Iters=*/20,
+                                 /*BugId=*/42);
+  FuncId Reader2 = emitMapReader(P, "reader2", /*Key=*/3, /*Iters=*/20,
+                                 /*BugId=*/43);
+  return finishMapBug(P, /*NumKeys=*/8, {Committer, Reader1, Reader2});
+}
+
+Program light::bugs::tomcat53498() {
+  // Session expiry removes the session while a request accesses it. The
+  // expiry thread churns background sessions first, so schedules where the
+  // request completes before expiry (clean runs) exist alongside failing
+  // ones.
+  MapBugParts P = mapBugSkeleton();
+  FuncId Expirer = emitMapRemover(P, "expire", /*Key=*/1, /*Churn=*/4);
+  FuncId Accessor = emitMapReader(P, "access", /*Key=*/1, /*Iters=*/3,
+                                  /*BugId=*/7);
+  return finishMapBug(P, /*NumKeys=*/4, {Expirer, Accessor});
+}
+
+// --- Weblech: shutdown notify wakes the consumer on an empty queue -----------
+Program light::bugs::weblech() {
+  ProgramBuilder PB;
+  ClassId LockCls = PB.addClass("Queue", {"pad"});
+  uint32_t GQueue = PB.addGlobal("urlQueue");
+  uint32_t GLock = PB.addGlobal("queueLock");
+  uint32_t GStop = PB.addGlobal("stopped");
+
+  FuncId Producer = PB.declareFunction("spider", 0);
+  FuncId Consumer = PB.declareFunction("downloader", 0);
+  FuncId Stopper = PB.declareFunction("shutdown", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("spider", 0);
+    Reg Q = FB.newReg(), L = FB.newReg(), K = FB.newReg(), V = FB.newReg();
+    FB.getGlobal(Q, GQueue);
+    FB.getGlobal(L, GLock);
+    FB.constInt(K, 0);
+    FB.constInt(V, 777);
+    FB.burnCpu(64); // crawling takes a while before the first URL lands
+    FB.monitorEnter(L);
+    FB.mapPut(Q, K, V);
+    FB.notifyAll(L);
+    FB.monitorExit(L);
+    FB.ret();
+    PB.defineFunction(Producer, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("downloader", 0);
+    Reg Q = FB.newReg(), L = FB.newReg(), K = FB.newReg();
+    Reg Has = FB.newReg(), St = FB.newReg(), V = FB.newReg();
+    FB.getGlobal(Q, GQueue);
+    FB.getGlobal(L, GLock);
+    FB.constInt(K, 0);
+    Label Loop = FB.makeLabel(), Take = FB.makeLabel();
+    Label CheckStop = FB.makeLabel(), DoWait = FB.makeLabel();
+    FB.monitorEnter(L);
+    FB.place(Loop);
+    FB.mapContains(Has, Q, K);
+    FB.br(Has, Take, CheckStop);
+    FB.place(CheckStop);
+    FB.getGlobal(St, GStop);
+    // The bug: on shutdown the downloader leaves the wait loop and
+    // dequeues from the (possibly still empty) queue.
+    FB.br(St, Take, DoWait);
+    FB.place(DoWait);
+    FB.wait(L);
+    FB.jmp(Loop);
+    FB.place(Take);
+    FB.mapGet(V, Q, K);
+    FB.assertNonNull(V, /*BugId=*/8);
+    FB.print(V);
+    FB.monitorExit(L);
+    FB.ret();
+    PB.defineFunction(Consumer, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("shutdown", 0);
+    Reg L = FB.newReg(), One = FB.newReg();
+    FB.getGlobal(L, GLock);
+    FB.constInt(One, 1);
+    FB.monitorEnter(L);
+    FB.putGlobal(GStop, One);
+    FB.notifyAll(L);
+    FB.monitorExit(L);
+    FB.ret();
+    PB.defineFunction(Stopper, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Q = FB.newReg(), LockObj = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg(), T3 = FB.newReg();
+    FB.mapNew(Q);
+    FB.putGlobal(GQueue, Q);
+    FB.newObject(LockObj, LockCls);
+    FB.putGlobal(GLock, LockObj);
+    FB.threadStart(T2, Consumer);
+    FB.threadStart(T1, Producer);
+    FB.threadStart(T3, Stopper);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.threadJoin(T3);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+std::vector<BugBenchmark> light::bugs::makeBugSuite() {
+  std::vector<BugBenchmark> Suite;
+  auto Add = [&](std::string Name, Program P, bool Clap, bool Chimera,
+                 uint32_t Scale) {
+    assert(P.verify().empty() && "bug program failed verification");
+    analysis::markSharedAccesses(P);
+    Suite.push_back({std::move(Name), std::move(P), Clap, Chimera, Scale});
+  };
+  Add("Cache4j", cache4j(), /*Clap=*/true, /*Chimera=*/false, 4);
+  Add("Ftpserver", ftpserver(), /*Clap=*/false, /*Chimera=*/true, 1);
+  Add("Lucene-481", lucene481(), /*Clap=*/false, /*Chimera=*/true, 5);
+  Add("Lucene-651", lucene651(), /*Clap=*/false, /*Chimera=*/true, 8);
+  Add("Tomcat-37458", tomcat37458(), /*Clap=*/true, /*Chimera=*/false, 1);
+  Add("Tomcat-50885", tomcat50885(), /*Clap=*/true, /*Chimera=*/false, 3);
+  Add("Tomcat-53498", tomcat53498(), /*Clap=*/false, /*Chimera=*/true, 1);
+  Add("Weblech", weblech(), /*Clap=*/false, /*Chimera=*/true, 1);
+  return Suite;
+}

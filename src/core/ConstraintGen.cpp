@@ -1,0 +1,164 @@
+//===- core/ConstraintGen.cpp - Equation 1 over span intervals ------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pairwise noninterference rules (per location, unordered span pair A, B):
+//
+//  R1. Both read-only (Read/Init) with the same source: compatible — reads
+//      of one write may interleave freely. No constraint.
+//  R2. Same source, exactly one side contains writes (a ReadSpan of w vs an
+//      RMW-headed OwnSpan reading w): the reads must complete before the
+//      overwrite. Hard: O(reader.Last) < O(writer.First).
+//  R3. A span whose source write lies *inside* an OwnSpan of the writing
+//      thread (a foreign read of the span's final write):
+//        - read-only consumer: compatible (the own span's tail after the
+//          source contains only reads of that same write). No constraint.
+//        - write-bearing consumer: hard O(own.Last) < O(consumer.First).
+//  R4. An Init span (reads of the never-written initial value) against any
+//      span containing or implying a write: every write must come after the
+//      init reads. Hard: O(init.Last) < O(other.Start).
+//  R5. Same thread, and both spans' start vars belong to that thread: the
+//      intra-thread order chain already serializes them. No constraint.
+//  R6. Otherwise: interval disjointness, the span generalization of
+//      Equation 1:  O(A.Last) < O(B.Start)  or  O(B.Last) < O(A.Start),
+//      where Start is the source write when present, else the first access.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConstraintGen.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace light;
+
+namespace {
+
+struct SpanVars {
+  const DepSpan *S;
+  smt::Var Src = ~0u;   ///< valid when S->Src.valid()
+  smt::Var First = 0;
+  smt::Var Last = 0;
+
+  bool readOnly() const { return S->Kind != SpanKind::Own; }
+  bool hasWrites() const { return S->Kind == SpanKind::Own; }
+
+  /// The order variable at which this span's interval begins.
+  smt::Var startVar() const { return S->Src.valid() ? Src : First; }
+};
+
+/// True when \p Consumer's source write lies inside \p Own (rule R3).
+bool sourceInside(const SpanVars &Consumer, const SpanVars &Own) {
+  if (!Own.hasWrites() || !Consumer.S->Src.valid())
+    return false;
+  const AccessId &Src = Consumer.S->Src;
+  return Src.Thread == Own.S->Thread && Src.Count >= Own.S->First &&
+         Src.Count <= Own.S->Last;
+}
+
+} // namespace
+
+ScheduleProblem light::buildScheduleProblem(const RecordingLog &Log) {
+  ScheduleProblem P;
+
+  auto GetVar = [&](AccessId A) -> smt::Var {
+    auto [It, Inserted] = P.AccessVar.try_emplace(A.pack(), 0);
+    if (Inserted) {
+      It->second = P.System.newVar(A.str());
+      P.VarAccess.push_back(A);
+    }
+    return It->second;
+  };
+
+  // 1. Order variables for every recorded access, grouped per location.
+  std::unordered_map<LocationId, std::vector<SpanVars>> ByLoc;
+  for (const DepSpan &S : Log.Spans) {
+    SpanVars SV;
+    SV.S = &S;
+    if (S.Src.valid())
+      SV.Src = GetVar(S.Src);
+    SV.First = GetVar(S.first());
+    SV.Last = S.Last == S.First ? SV.First : GetVar(S.last());
+    ByLoc[S.Loc].push_back(SV);
+  }
+
+  // 2. Intra-thread order chains: same-thread accesses keep their counter
+  //    order ("for two accesses c1 and c2 within the same thread ... we
+  //    further assert O(c1) < O(c2)", Section 4.2).
+  {
+    std::unordered_map<ThreadId, std::vector<AccessId>> PerThread;
+    for (const AccessId &A : P.VarAccess)
+      PerThread[A.Thread].push_back(A);
+    for (auto &[T, List] : PerThread) {
+      std::sort(List.begin(), List.end(),
+                [](const AccessId &X, const AccessId &Y) {
+                  return X.Count < Y.Count;
+                });
+      for (size_t I = 1; I < List.size(); ++I)
+        P.System.addLess(P.AccessVar[List[I - 1].pack()],
+                         P.AccessVar[List[I].pack()]);
+    }
+  }
+
+  // 3. Dependence + noninterference constraints per location.
+  for (auto &[Loc, Spans] : ByLoc) {
+    // Single-dependence constraints: O(c_w) < O(c_r).
+    for (const SpanVars &SV : Spans)
+      if (SV.S->Src.valid())
+        P.System.addLess(SV.Src, SV.First);
+
+    for (size_t I = 0; I < Spans.size(); ++I) {
+      for (size_t J = I + 1; J < Spans.size(); ++J) {
+        const SpanVars &A = Spans[I];
+        const SpanVars &B = Spans[J];
+
+        bool SameSrc = A.S->Src.valid() == B.S->Src.valid() &&
+                       (!A.S->Src.valid() || A.S->Src == B.S->Src);
+
+        // R1: shared source, read-only on both sides.
+        if (SameSrc && A.readOnly() && B.readOnly())
+          continue;
+
+        // R2: shared *valid* source, exactly one side writes.
+        if (SameSrc && A.S->Src.valid() && A.readOnly() != B.readOnly()) {
+          const SpanVars &Reader = A.readOnly() ? A : B;
+          const SpanVars &Writer = A.readOnly() ? B : A;
+          P.System.addLess(Reader.Last, Writer.First);
+          continue;
+        }
+
+        // R3: a consumer whose source lies inside the other (own) span.
+        if (sourceInside(A, B) || sourceInside(B, A)) {
+          const SpanVars &Own = sourceInside(A, B) ? B : A;
+          const SpanVars &Consumer = sourceInside(A, B) ? A : B;
+          if (Consumer.hasWrites())
+            P.System.addLess(Own.Last, Consumer.First);
+          continue;
+        }
+
+        // R4: init reads precede every write-implying span.
+        if (A.S->Kind == SpanKind::Init || B.S->Kind == SpanKind::Init) {
+          const SpanVars &Init = A.S->Kind == SpanKind::Init ? A : B;
+          const SpanVars &Other = A.S->Kind == SpanKind::Init ? B : A;
+          // Other is not Init (both-Init hits R1) and therefore contains or
+          // depends on a write.
+          P.System.addLess(Init.Last, Other.startVar());
+          continue;
+        }
+
+        // R5: both intervals fully owned by one thread's chain.
+        if (A.S->Thread == B.S->Thread &&
+            (!A.S->Src.valid() || A.S->Src.Thread == A.S->Thread) &&
+            (!B.S->Src.valid() || B.S->Src.Thread == B.S->Thread))
+          continue;
+
+        // R6: interval disjointness (Equation 1 generalized).
+        P.System.addEitherLess(A.Last, B.startVar(), B.Last, A.startVar());
+      }
+    }
+  }
+
+  return P;
+}

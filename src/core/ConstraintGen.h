@@ -1,0 +1,52 @@
+//===- core/ConstraintGen.h - Equation 1 over span intervals ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a RecordingLog into the replay constraint system of Section 4.2:
+///
+///  * one order variable O(c) per recorded access (span endpoints and
+///    dependence sources),
+///  * intra-thread order: O(c1) < O(c2) for same-thread accesses with
+///    c1 < c2,
+///  * dependence constraints O(c_w) < O(c_r),
+///  * noninterference (Equation 1), generalized from single dependences to
+///    the span intervals produced by the prec map and O1: two spans on the
+///    same location must not overlap unless they read the same source
+///    write. The rules are derived in trace/DepSpan.h and below.
+///
+/// The resulting system is pure Integer Difference Logic and is handed to
+/// smt::IdlSolver or the Z3 backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_CORE_CONSTRAINTGEN_H
+#define LIGHT_CORE_CONSTRAINTGEN_H
+
+#include "smt/OrderSystem.h"
+#include "trace/RecordingLog.h"
+
+#include <unordered_map>
+
+namespace light {
+
+/// A constraint system plus the access <-> variable correspondence.
+struct ScheduleProblem {
+  smt::OrderSystem System;
+  std::vector<AccessId> VarAccess;                   ///< var -> access
+  std::unordered_map<uint64_t, smt::Var> AccessVar;  ///< packed -> var
+
+  smt::Var varOf(AccessId A) const {
+    auto It = AccessVar.find(A.pack());
+    return It == AccessVar.end() ? ~0u : It->second;
+  }
+};
+
+/// Builds the constraint system for \p Log.
+ScheduleProblem buildScheduleProblem(const RecordingLog &Log);
+
+} // namespace light
+
+#endif // LIGHT_CORE_CONSTRAINTGEN_H

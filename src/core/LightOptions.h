@@ -1,0 +1,67 @@
+//===- core/LightOptions.h - Recorder configuration --------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the Light recorder, including the two optimizations the
+/// evaluation ablates in Section 5.4: O1 (uninterleaved-sequence spans,
+/// Lemma 4.3) and O2 (lock-order subsumption of consistently guarded
+/// locations, Lemma 4.2). The three versions measured in Figure 7 are:
+///
+///   V_basic: EnableO1 = false, EnableO2 = false
+///   V_O1:    EnableO1 = true,  EnableO2 = false
+///   V_both:  EnableO1 = true,  EnableO2 = true
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_CORE_LIGHTOPTIONS_H
+#define LIGHT_CORE_LIGHTOPTIONS_H
+
+#include <cstddef>
+#include <string>
+
+namespace light {
+
+/// Tuning knobs for LightRecorder.
+struct LightOptions {
+  /// Optimization O1 (Lemma 4.3): compress uninterleaved same-thread access
+  /// sequences into [start, end] spans instead of per-dependence records.
+  bool EnableO1 = true;
+
+  /// Optimization O2 (Lemma 4.2): skip field-level recording for locations
+  /// that the guard analysis proved consistently lock-protected; the
+  /// recorded lock operation order subsumes their dependences.
+  bool EnableO2 = true;
+
+  /// Dump the log to disk with the buffered scheme of Section 5.2 (flush
+  /// once the in-memory buffer exceeds FlushThresholdSpans). Disabled in
+  /// unit tests that only inspect the in-memory log.
+  bool WriteToDisk = true;
+
+  /// Per-thread span-buffer capacity before a disk flush.
+  size_t FlushThresholdSpans = 1 << 14;
+
+  /// Directory for log files; empty selects the system temp directory.
+  std::string LogDir;
+
+  /// Named presets matching the paper's ablation (Section 5.4).
+  static LightOptions basic() {
+    LightOptions O;
+    O.EnableO1 = false;
+    O.EnableO2 = false;
+    return O;
+  }
+  static LightOptions o1Only() {
+    LightOptions O;
+    O.EnableO1 = true;
+    O.EnableO2 = false;
+    return O;
+  }
+  static LightOptions both() { return LightOptions(); }
+};
+
+} // namespace light
+
+#endif // LIGHT_CORE_LIGHTOPTIONS_H

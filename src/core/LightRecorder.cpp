@@ -1,0 +1,291 @@
+//===- core/LightRecorder.cpp - Algorithm 1 with O1/O2 --------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LightRecorder.h"
+
+#include <cassert>
+
+using namespace light;
+
+LightRecorder::LightRecorder(LightOptions O) : Opts(std::move(O)) {
+  Threads.reserve(MaxThreads);
+  for (uint32_t I = 0; I < MaxThreads; ++I)
+    Threads.push_back(std::make_unique<PerThread>());
+}
+
+LightRecorder::~LightRecorder() = default;
+
+void LightRecorder::setGuards(GuardSpec Spec) { Guards = std::move(Spec); }
+
+Counter LightRecorder::counterOf(ThreadId T) const { return state(T).Ctr; }
+
+LightRecorder::OpenSpan &LightRecorder::spanFor(PerThread &S, LocationId L) {
+  // unordered_map references are stable across inserts, so the one-entry
+  // cache stays valid until the map is cleared.
+  if (S.CachedLoc == L && S.CachedSpan)
+    return *S.CachedSpan;
+  OpenSpan &Sp = S.Open[L];
+  S.CachedLoc = L;
+  S.CachedSpan = &Sp;
+  return Sp;
+}
+
+
+void LightRecorder::closeSpan(PerThread &S, ThreadId T, LocationId L,
+                              OpenSpan &Sp) {
+  if (!Sp.Active)
+    return;
+  // A single plain write with no incoming dependence carries no ordering
+  // obligation of its own: if some thread read it, that reader's recorded
+  // dependence names it (making it a gated source); otherwise it is blind.
+  // Dropping it keeps O1 from ever logging more than Algorithm 1 does.
+  if (Sp.Kind == SpanKind::Own && !Sp.HeadIsRmw && Sp.SrcPacked == 0 &&
+      Sp.First == Sp.Last) {
+    Sp.Active = false;
+    return;
+  }
+  DepSpan D;
+  D.Loc = L;
+  D.Kind = Sp.Kind;
+  if (Sp.SrcPacked)
+    D.Src = AccessId::unpack(Sp.SrcPacked);
+  D.Thread = T;
+  D.First = Sp.First;
+  D.Last = Sp.Last;
+  S.Buffer.push_back(D);
+  Sp.Active = false;
+  maybeFlush(S, T);
+}
+
+void LightRecorder::maybeFlush(PerThread &S, ThreadId T) {
+  if (!Opts.WriteToDisk || S.Buffer.size() < Opts.FlushThresholdSpans)
+    return;
+  if (!S.Writer) {
+    std::string Stem = "light-t" + std::to_string(T);
+    std::string Path = Opts.LogDir.empty()
+                           ? makeTempPath(Stem)
+                           : Opts.LogDir + "/" + Stem + ".log";
+    S.Writer = std::make_unique<LongWriter>(Path);
+  }
+  for (const DepSpan &D : S.Buffer) {
+    S.Writer->put(D.Loc);
+    S.Writer->put(D.Src.valid() ? D.Src.pack() : 0);
+    S.Writer->put(AccessId(D.Thread, D.First).pack() |
+                  (static_cast<uint64_t>(D.Kind) << 62));
+    S.Writer->put(D.Last);
+  }
+  S.Writer->flush();
+  S.Archived.insert(S.Archived.end(), S.Buffer.begin(), S.Buffer.end());
+  S.Buffer.clear();
+}
+
+// --- The recording protocol ------------------------------------------------
+
+void LightRecorder::onWrite(ThreadId T, LocationId L, LocMeta &M,
+                            FunctionRef<void()> Perform) {
+  PerThread &S = state(T);
+  Counter C = ++S.Ctr;
+  if (isGuarded(L)) {
+    // O2: the lock operation order subsumes this location's dependences
+    // (Lemma 4.2); perform the access uninstrumented.
+    Perform();
+    return;
+  }
+  uint32_t PrevAccessor;
+  {
+    // "The simple update (lw_l = n) is placed in the same atomic section
+    // with the shared access from [the] program" — Section 2.3.
+    std::lock_guard<std::mutex> Guard(Stripes.stripeFor(L));
+    Perform();
+    M.LastWrite.store(AccessId(T, C).pack());
+    PrevAccessor = M.LastAccessor.exchange(T + 1u);
+  }
+  noteWrite(S, T, L, C, PrevAccessor);
+}
+
+void LightRecorder::onRead(ThreadId T, LocationId L, LocMeta &M,
+                           FunctionRef<void()> Perform) {
+  PerThread &S = state(T);
+  Counter C = ++S.Ctr;
+  if (isGuarded(L)) {
+    Perform();
+    return;
+  }
+  // Optimistic write/read matching (Section 2.3): snapshot lw, perform the
+  // read, re-check lw; retry when a write slipped in between. Only a
+  // *foreign* reader leaves the last-accessor mark (it is the one event
+  // that must close the writer's O1 span); the common same-thread burst
+  // path stays free of shared stores.
+  uint64_t N1, N2;
+  while (true) {
+    N1 = M.LastWrite.load();
+    if (N1 != 0 && AccessId::unpack(N1).Thread != T)
+      M.LastAccessor.store(T + 1u);
+    Perform();
+    N2 = M.LastWrite.load();
+    if (N1 == N2)
+      break;
+    ++S.Retries;
+  }
+  noteRead(S, T, L, N1, C, M.LastAccessor.load(std::memory_order_relaxed));
+}
+
+void LightRecorder::onRmw(ThreadId T, LocationId L, LocMeta &M,
+                          FunctionRef<void()> Perform) {
+  PerThread &S = state(T);
+  Counter C = ++S.Ctr;
+  if (isGuarded(L)) {
+    Perform();
+    return;
+  }
+  // Lock acquisition et al.: the ghost read+write run inside the lock
+  // region, which already provides the atomicity Algorithm 1 needs
+  // (Section 4.3) — no striped lock required.
+  Perform();
+  uint64_t Src = M.LastWrite.load();
+  M.LastWrite.store(AccessId(T, C).pack());
+  uint32_t PrevAccessor = M.LastAccessor.exchange(T + 1u);
+  noteRmw(S, T, L, Src, C, PrevAccessor);
+}
+
+// --- Thread-local span maintenance (no synchronization) ---------------------
+
+void LightRecorder::noteRead(PerThread &S, ThreadId T, LocationId L,
+                             uint64_t Src, Counter C, uint32_t PrevAccessor) {
+  OpenSpan &Sp = spanFor(S, L);
+  if (Sp.Active) {
+    // prec hit (Algorithm 1 lines 7-9): same source as the previous read.
+    if ((Sp.Kind == SpanKind::Read || Sp.Kind == SpanKind::Init) &&
+        Sp.SrcPacked == Src) {
+      Sp.Last = C;
+      return;
+    }
+    // O1 extension: reading my own write from the current uninterleaved
+    // span, with no other thread having touched the location meanwhile.
+    if (Opts.EnableO1 && Sp.Kind == SpanKind::Own && Src != 0) {
+      AccessId SrcId = AccessId::unpack(Src);
+      if (SrcId.Thread == T && SrcId.Count >= Sp.First &&
+          SrcId.Count <= Sp.Last &&
+          (PrevAccessor == 0 || PrevAccessor == T + 1u)) {
+        Sp.Last = C;
+        return;
+      }
+    }
+    closeSpan(S, T, L, Sp);
+  }
+  Sp.Active = true;
+  Sp.HeadIsRmw = false;
+  Sp.SrcPacked = Src;
+  Sp.Kind = Src ? SpanKind::Read : SpanKind::Init;
+  Sp.First = Sp.Last = C;
+}
+
+void LightRecorder::noteWrite(PerThread &S, ThreadId T, LocationId L,
+                              Counter C, uint32_t PrevAccessor) {
+  OpenSpan &Sp = spanFor(S, L);
+  if (Sp.Active) {
+    if (Opts.EnableO1 && Sp.Kind == SpanKind::Own &&
+        (PrevAccessor == 0 || PrevAccessor == T + 1u)) {
+      Sp.Last = C;
+      return;
+    }
+    closeSpan(S, T, L, Sp);
+  }
+  if (!Opts.EnableO1)
+    return; // Plain writes are only recorded as dependence sources.
+  Sp.Active = true;
+  Sp.HeadIsRmw = false;
+  Sp.Kind = SpanKind::Own;
+  Sp.SrcPacked = 0;
+  Sp.First = Sp.Last = C;
+}
+
+void LightRecorder::noteRmw(PerThread &S, ThreadId T, LocationId L,
+                            uint64_t Src, Counter C, uint32_t PrevAccessor) {
+  OpenSpan &Sp = spanFor(S, L);
+  if (Sp.Active) {
+    if (Opts.EnableO1 && Sp.Kind == SpanKind::Own &&
+        (PrevAccessor == 0 || PrevAccessor == T + 1u)) {
+      // Reentrant own sequence (e.g. repeated acquisitions with no
+      // contention in between).
+      Sp.Last = C;
+      return;
+    }
+    closeSpan(S, T, L, Sp);
+  }
+  // An RMW always heads a new span: it reads Src and writes, so the span is
+  // Own-kind with an (optional) incoming dependence.
+  Sp.Active = true;
+  Sp.HeadIsRmw = true;
+  Sp.Kind = SpanKind::Own;
+  Sp.SrcPacked = Src;
+  Sp.First = Sp.Last = C;
+  if (!Opts.EnableO1) {
+    // Without O1 the span must not grow: emit it immediately.
+    closeSpan(S, T, L, Sp);
+  }
+}
+
+uint64_t LightRecorder::onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) {
+  uint64_t Value = Compute();
+  state(T).Syscalls.push_back({T, Value});
+  return Value;
+}
+
+void LightRecorder::onThreadFinish(ThreadId T) {
+  PerThread &S = state(T);
+  for (auto &[L, Sp] : S.Open)
+    closeSpan(S, T, L, Sp);
+  S.Open.clear();
+  S.CachedLoc = InvalidLocation;
+  S.CachedSpan = nullptr;
+}
+
+RecordingLog LightRecorder::finish(const ThreadRegistry *Registry) {
+  RecordingLog Log;
+  Counter MaxThread = 0;
+  for (uint32_t T = 0; T < MaxThreads; ++T) {
+    PerThread &S = *Threads[T];
+    for (auto &[L, Sp] : S.Open)
+      closeSpan(S, static_cast<ThreadId>(T), L, Sp);
+    S.Open.clear();
+    S.CachedLoc = InvalidLocation;
+    S.CachedSpan = nullptr;
+    if (S.Ctr)
+      MaxThread = T;
+    Log.Spans.insert(Log.Spans.end(), S.Archived.begin(), S.Archived.end());
+    Log.Spans.insert(Log.Spans.end(), S.Buffer.begin(), S.Buffer.end());
+    Log.Syscalls.insert(Log.Syscalls.end(), S.Syscalls.begin(),
+                        S.Syscalls.end());
+    if (S.Writer) {
+      S.Writer->finish();
+      S.Writer.reset();
+    }
+  }
+  Log.FinalCounters.resize(MaxThread + 1, 0);
+  for (uint32_t T = 0; T <= MaxThread; ++T)
+    Log.FinalCounters[T] = Threads[T]->Ctr;
+  if (Registry)
+    Log.Spawns = Registry->spawnTable();
+  if (Opts.EnableO2)
+    Log.Guards = Guards;
+  return Log;
+}
+
+uint64_t LightRecorder::longIntegersRecorded() const {
+  uint64_t Total = 0;
+  for (const auto &S : Threads)
+    Total += (S->Archived.size() + S->Buffer.size()) * 4 +
+             S->Syscalls.size() * 2;
+  return Total;
+}
+
+uint64_t LightRecorder::readRetries() const {
+  uint64_t Total = 0;
+  for (const auto &S : Threads)
+    Total += S->Retries;
+  return Total;
+}

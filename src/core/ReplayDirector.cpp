@@ -1,0 +1,242 @@
+//===- core/ReplayDirector.cpp - Schedule-enforcing hook -------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ReplayDirector.h"
+
+#include <chrono>
+
+using namespace light;
+
+ReplayDirector::ReplayDirector(const ReplaySchedule &Schedule,
+                               bool RealThreadsIn, bool ValidateIn)
+    : Plan(Schedule), RealThreads(RealThreadsIn), Validate(ValidateIn) {}
+
+Counter ReplayDirector::counterOf(ThreadId T) const { return Counters.get(T); }
+
+AccessId ReplayDirector::currentTurn() const {
+  uint32_t I = Turn.load();
+  if (I >= Plan.order().size())
+    return AccessId();
+  return Plan.order()[I];
+}
+
+bool ReplayDirector::complete() const {
+  return !Diverged.load() && Turn.load() >= Plan.order().size();
+}
+
+void ReplayDirector::diverge(const std::string &Message) {
+  bool Expected = false;
+  if (Diverged.compare_exchange_strong(Expected, true))
+    Error = Message;
+  if (RealThreads) {
+    std::lock_guard<std::mutex> Guard(GateM);
+    GateCv.notify_all();
+  }
+}
+
+void ReplayDirector::bumpStat(uint64_t ReplayStats::*Field) {
+  std::lock_guard<std::mutex> Guard(StatsM);
+  Stats.*Field += 1;
+}
+
+bool ReplayDirector::waitForTurn(uint32_t TurnIdx, ThreadId T) {
+  if (Diverged.load())
+    return false;
+  if (!RealThreads) {
+    // Cooperative mode: the interpreter must have scheduled exactly the
+    // turn thread; anything else is a divergence.
+    if (Turn.load() != TurnIdx) {
+      diverge("gated access of thread " + std::to_string(T) +
+              " arrived at turn " + std::to_string(Turn.load()) +
+              " instead of " + std::to_string(TurnIdx));
+      return false;
+    }
+    return true;
+  }
+  std::unique_lock<std::mutex> Lock(GateM);
+  bool Ok = GateCv.wait_for(Lock, std::chrono::seconds(60), [&] {
+    return Diverged.load() || Turn.load() >= TurnIdx;
+  });
+  if (!Ok) {
+    Lock.unlock();
+    diverge("replay gate timeout waiting for turn " + std::to_string(TurnIdx));
+    return false;
+  }
+  if (Diverged.load())
+    return false;
+  if (Turn.load() != TurnIdx) {
+    Lock.unlock();
+    diverge("replay turn " + std::to_string(TurnIdx) + " was skipped");
+    return false;
+  }
+  return true;
+}
+
+void ReplayDirector::advanceTurn() {
+  if (!RealThreads) {
+    Turn.fetch_add(1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Guard(GateM);
+    Turn.fetch_add(1);
+  }
+  GateCv.notify_all();
+}
+
+void ReplayDirector::onWrite(ThreadId T, LocationId L, LocMeta &M,
+                             FunctionRef<void()> Perform) {
+  Counter C = Counters.bump(T);
+  uint32_t TurnIdx;
+  uint64_t Expected;
+  switch (Plan.classify(T, L, C, /*IsWrite=*/true, TurnIdx, Expected)) {
+  case AccessClass::BeyondHorizon:
+    Perform();
+    return;
+  case AccessClass::Guarded:
+    Perform();
+    bumpStat(&ReplayStats::GuardedAccesses);
+    return;
+  case AccessClass::Gated:
+    if (!waitForTurn(TurnIdx, T))
+      return;
+    Perform();
+    M.LastWrite.store(AccessId(T, C).pack());
+    bumpStat(&ReplayStats::GatedAccesses);
+    advanceTurn();
+    return;
+  case AccessClass::Interior:
+    Perform();
+    M.LastWrite.store(AccessId(T, C).pack());
+    bumpStat(&ReplayStats::InteriorAccesses);
+    return;
+  case AccessClass::Blind:
+    // "Light adopts the simple solution of avoiding execution of blind
+    // writes" (Section 4.2): no read depends on this value.
+    bumpStat(&ReplayStats::BlindSuppressed);
+    return;
+  case AccessClass::Unknown:
+    diverge("write classified as Unknown (corrupt schedule)");
+    return;
+  }
+}
+
+void ReplayDirector::onRead(ThreadId T, LocationId L, LocMeta &M,
+                            FunctionRef<void()> Perform) {
+  Counter C = Counters.bump(T);
+  uint32_t TurnIdx;
+  uint64_t Expected;
+  AccessClass Cls = Plan.classify(T, L, C, /*IsWrite=*/false, TurnIdx,
+                                  Expected);
+  if (Cls == AccessClass::BeyondHorizon) {
+    Perform();
+    return;
+  }
+  if (Cls == AccessClass::Guarded) {
+    Perform();
+    bumpStat(&ReplayStats::GuardedAccesses);
+    return;
+  }
+  if (Cls == AccessClass::Unknown) {
+    if (Validate) {
+      diverge("unrecorded read of " + loc::str(L) + " by thread " +
+              std::to_string(T));
+      return;
+    }
+    Perform();
+    return;
+  }
+  if (Cls == AccessClass::Gated && !waitForTurn(TurnIdx, T))
+    return;
+
+  uint64_t Actual = M.LastWrite.load();
+  Perform();
+  if (Validate) {
+    bool SourceOk =
+        Expected == ReplaySchedule::OwnSpanSource
+            ? (Actual != 0 && AccessId::unpack(Actual).Thread == T)
+            : Actual == Expected;
+    if (!SourceOk) {
+      diverge("read " + AccessId(T, C).str() + " of " + loc::str(L) +
+              " observed source " + AccessId::unpack(Actual).str() +
+              " but the recording promised " +
+              (Expected == ReplaySchedule::OwnSpanSource
+                   ? std::string("an own-span write")
+                   : AccessId::unpack(Expected).str()));
+      return;
+    }
+    bumpStat(&ReplayStats::ValidatedReads);
+  }
+  if (Cls == AccessClass::Gated) {
+    bumpStat(&ReplayStats::GatedAccesses);
+    advanceTurn();
+  } else {
+    bumpStat(&ReplayStats::InteriorAccesses);
+  }
+}
+
+void ReplayDirector::onRmw(ThreadId T, LocationId L, LocMeta &M,
+                           FunctionRef<void()> Perform) {
+  Counter C = Counters.bump(T);
+  uint32_t TurnIdx;
+  uint64_t Expected;
+  AccessClass Cls =
+      Plan.classify(T, L, C, /*IsWrite=*/true, TurnIdx, Expected);
+  switch (Cls) {
+  case AccessClass::BeyondHorizon:
+    Perform();
+    return;
+  case AccessClass::Guarded:
+    Perform();
+    bumpStat(&ReplayStats::GuardedAccesses);
+    return;
+  case AccessClass::Gated: {
+    if (!waitForTurn(TurnIdx, T))
+      return;
+    Perform();
+    uint64_t Actual = M.LastWrite.load();
+    if (Validate && Expected != ReplaySchedule::OwnSpanSource &&
+        Actual != Expected) {
+      diverge("rmw " + AccessId(T, C).str() + " of " + loc::str(L) +
+              " observed source " + AccessId::unpack(Actual).str() +
+              " but the recording promised " +
+              AccessId::unpack(Expected).str());
+      return;
+    }
+    M.LastWrite.store(AccessId(T, C).pack());
+    bumpStat(&ReplayStats::GatedAccesses);
+    advanceTurn();
+    return;
+  }
+  case AccessClass::Interior:
+    Perform();
+    M.LastWrite.store(AccessId(T, C).pack());
+    bumpStat(&ReplayStats::InteriorAccesses);
+    return;
+  case AccessClass::Blind:
+  case AccessClass::Unknown:
+    diverge("rmw " + AccessId(T, C).str() + " of " + loc::str(L) +
+            " missing from the recording");
+    return;
+  }
+}
+
+uint64_t ReplayDirector::onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) {
+  // Substitute the recorded value (Section 3.2). Positions are keyed by the
+  // (replay-stable) thread id, guarded for real-thread mode.
+  {
+    std::lock_guard<std::mutex> Guard(StatsM);
+    if (SyscallPos.size() <= T)
+      SyscallPos.resize(T + 1, 0);
+    const auto &Queues = Plan.syscalls();
+    if (T >= Queues.size() || SyscallPos[T] >= Queues[T].size()) {
+      // Past the recorded horizon (the original run stopped at the bug
+      // before this syscall); compute a fresh value.
+      return Compute();
+    }
+    return Queues[T][SyscallPos[T]++];
+  }
+}

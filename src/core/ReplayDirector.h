@@ -1,0 +1,103 @@
+//===- core/ReplayDirector.h - Schedule-enforcing hook ----------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay-phase access hook: enforces the solved total order over gated
+/// accesses ("our scheduler enforces [the computed global order]
+/// faithfully", Section 4.2), lets span-interior and O2-guarded accesses run
+/// freely, suppresses blind writes, substitutes recorded syscall values, and
+/// — in validation mode — checks that every read observes exactly the write
+/// the recording promised (the property Theorem 1 guarantees).
+///
+/// Works in two modes:
+///  * cooperative (MIR interpreter): the machine always runs the turn
+///    thread, so a gated access arriving out of turn is a divergence;
+///  * real threads (runtime API): gated accesses block on a condition
+///    variable until their turn arrives (with a watchdog timeout so broken
+///    schedules fail tests instead of hanging them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_CORE_REPLAYDIRECTOR_H
+#define LIGHT_CORE_REPLAYDIRECTOR_H
+
+#include "core/ReplaySchedule.h"
+#include "runtime/AccessHook.h"
+#include "runtime/TurnSource.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+namespace light {
+
+/// Replay statistics surfaced to tests and benches.
+struct ReplayStats {
+  uint64_t GatedAccesses = 0;
+  uint64_t InteriorAccesses = 0;
+  uint64_t GuardedAccesses = 0;
+  uint64_t BlindSuppressed = 0;
+  uint64_t ValidatedReads = 0;
+};
+
+/// Drives one replay run from a ReplaySchedule.
+class ReplayDirector : public AccessHook, public TurnSource {
+public:
+  /// \p RealThreads selects blocking gates (true) or cooperative mode.
+  /// \p Validate enables read-source checking.
+  ReplayDirector(const ReplaySchedule &Schedule, bool RealThreads,
+                 bool Validate = true);
+
+  // AccessHook interface.
+  void onWrite(ThreadId T, LocationId L, LocMeta &M,
+               FunctionRef<void()> Perform) override;
+  void onRead(ThreadId T, LocationId L, LocMeta &M,
+              FunctionRef<void()> Perform) override;
+  void onRmw(ThreadId T, LocationId L, LocMeta &M,
+             FunctionRef<void()> Perform) override;
+  uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) override;
+  Counter counterOf(ThreadId T) const override;
+
+  // TurnSource interface.
+  AccessId currentTurn() const override;
+  bool failed() const override { return Diverged.load(); }
+
+  /// Divergence diagnostics.
+  const std::string &divergence() const { return Error; }
+
+  /// True when every turn in the schedule has executed.
+  bool complete() const;
+
+  const ReplayStats &stats() const { return Stats; }
+
+private:
+  const ReplaySchedule &Plan;
+  bool RealThreads;
+  bool Validate;
+
+  PerThreadCounters Counters;
+  std::atomic<uint32_t> Turn{0};
+  std::atomic<bool> Diverged{false};
+  std::string Error;
+
+  mutable std::mutex GateM;
+  std::condition_variable GateCv;
+
+  ReplayStats Stats;
+  std::mutex StatsM;
+  std::vector<size_t> SyscallPos;
+
+  /// Blocks (or checks, in cooperative mode) until \p TurnIdx is current.
+  /// Returns false on divergence/timeout.
+  bool waitForTurn(uint32_t TurnIdx, ThreadId T);
+  void advanceTurn();
+  void diverge(const std::string &Message);
+  void bumpStat(uint64_t ReplayStats::*Field);
+};
+
+} // namespace light
+
+#endif // LIGHT_CORE_REPLAYDIRECTOR_H

@@ -1,0 +1,118 @@
+//===- core/ReplaySchedule.cpp - Solved replay schedules -------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ReplaySchedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace light;
+
+ReplaySchedule ReplaySchedule::build(const RecordingLog &Log,
+                                     smt::SolverEngine Engine) {
+  ReplaySchedule RS;
+
+  ScheduleProblem P = buildScheduleProblem(Log);
+  RS.Stats = smt::solveOrder(P.System, Engine);
+  if (!RS.Stats.sat()) {
+    RS.Error = "replay constraint system unsatisfiable (malformed log?)";
+    return RS;
+  }
+  RS.Satisfiable = true;
+
+  // Total order: sort order variables by model value; ties are
+  // unconstrained and broken deterministically by access id.
+  std::vector<uint32_t> Perm(P.VarAccess.size());
+  for (uint32_t I = 0; I < Perm.size(); ++I)
+    Perm[I] = I;
+  std::sort(Perm.begin(), Perm.end(), [&](uint32_t X, uint32_t Y) {
+    int64_t VX = RS.Stats.Values[X], VY = RS.Stats.Values[Y];
+    if (VX != VY)
+      return VX < VY;
+    return P.VarAccess[X].pack() < P.VarAccess[Y].pack();
+  });
+  RS.Order.reserve(Perm.size());
+  for (uint32_t I : Perm) {
+    RS.TurnOf[P.VarAccess[I].pack()] = static_cast<uint32_t>(RS.Order.size());
+    RS.Order.push_back(P.VarAccess[I]);
+  }
+
+  // Span index for interior classification.
+  size_t NumThreads = Log.FinalCounters.size();
+  for (const DepSpan &S : Log.Spans)
+    NumThreads = std::max(NumThreads, static_cast<size_t>(S.Thread) + 1);
+  RS.Spans.resize(NumThreads);
+  for (const DepSpan &S : Log.Spans)
+    RS.Spans[S.Thread][S.Loc].push_back(
+        {S.First, S.Last, S.Kind, S.Src.valid() ? S.Src.pack() : 0});
+  for (auto &PerThread : RS.Spans)
+    for (auto &[L, List] : PerThread)
+      std::sort(List.begin(), List.end(),
+                [](const SpanInfo &A, const SpanInfo &B) {
+                  return A.First < B.First;
+                });
+
+  RS.Guards = Log.Guards;
+
+  RS.SyscallValues.resize(NumThreads);
+  for (const SyscallRecord &R : Log.Syscalls)
+    if (R.Thread < NumThreads)
+      RS.SyscallValues[R.Thread].push_back(R.Value);
+
+  RS.Spawns = Log.Spawns;
+  RS.FinalCounters = Log.FinalCounters;
+  return RS;
+}
+
+AccessClass ReplaySchedule::classify(ThreadId T, LocationId L, Counter C,
+                                     bool IsWrite, uint32_t &TurnOut,
+                                     uint64_t &ExpectedSrcOut) const {
+  TurnOut = 0;
+  ExpectedSrcOut = 0;
+  if (T >= FinalCounters.size() || C > FinalCounters[T])
+    return AccessClass::BeyondHorizon;
+  if (!Guards.empty() && Guards.covers(L))
+    return AccessClass::Guarded;
+
+  // Locate the span (if any) covering counter C on (T, L).
+  const SpanInfo *Covering = nullptr;
+  if (T < Spans.size()) {
+    auto It = Spans[T].find(L);
+    if (It != Spans[T].end()) {
+      const std::vector<SpanInfo> &List = It->second;
+      // Last span with First <= C.
+      auto Pos = std::upper_bound(
+          List.begin(), List.end(), C,
+          [](Counter Val, const SpanInfo &S) { return Val < S.First; });
+      if (Pos != List.begin()) {
+        const SpanInfo &Cand = *std::prev(Pos);
+        if (C <= Cand.Last)
+          Covering = &Cand;
+      }
+    }
+  }
+
+  if (Covering) {
+    if (Covering->Kind == SpanKind::Own) {
+      // The span head reads its recorded source; every later access reads
+      // some write of the span itself.
+      ExpectedSrcOut =
+          C == Covering->First ? Covering->SrcPacked : OwnSpanSource;
+    } else {
+      ExpectedSrcOut = Covering->SrcPacked;
+    }
+  }
+
+  auto TurnIt = TurnOf.find(AccessId(T, C).pack());
+  if (TurnIt != TurnOf.end()) {
+    TurnOut = TurnIt->second;
+    return AccessClass::Gated;
+  }
+
+  if (Covering)
+    return AccessClass::Interior;
+  return IsWrite ? AccessClass::Blind : AccessClass::Unknown;
+}

@@ -1,0 +1,893 @@
+//===- interp/Machine.cpp - The MIR concurrent interpreter ----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+/// Keys of map intrinsics double as element locations and must fit the
+/// 20-bit element index of LocationId (see trace/Ids.h). Collisions would
+/// merge distinct keys into one recorded location and break value
+/// determinism, so out-of-range keys are a runtime error.
+constexpr int64_t MaxMapKey = (1 << 20) - 1;
+
+std::string bugKindName(BugReport::Kind K) {
+  switch (K) {
+  case BugReport::Kind::None:
+    return "none";
+  case BugReport::Kind::DivideByZero:
+    return "divide-by-zero";
+  case BugReport::Kind::NullPointer:
+    return "null-pointer";
+  case BugReport::Kind::ArrayBounds:
+    return "array-bounds";
+  case BugReport::Kind::AssertionFailure:
+    return "assertion-failure";
+  case BugReport::Kind::Deadlock:
+    return "deadlock";
+  case BugReport::Kind::ReplayDivergence:
+    return "replay-divergence";
+  case BugReport::Kind::RuntimeError:
+    return "runtime-error";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string BugReport::str() const {
+  if (!happened())
+    return "no bug";
+  return bugKindName(What) + " in f" + std::to_string(Func) + "@" +
+         std::to_string(Instr) + " thread t" + std::to_string(Thread) +
+         " D(t)=" + std::to_string(AccessCount) + " bugId=" +
+         std::to_string(BugId) + " illegal=" + Illegal.str() +
+         (Detail.empty() ? "" : (" (" + Detail + ")"));
+}
+
+Machine::Machine(const Program &P, AccessHook &H) : Prog(P), Hook(&H) {
+  Globals.assign(Prog.Globals.size(), Value::intVal(0));
+}
+
+Machine::WriteObserver::~WriteObserver() = default;
+
+void Machine::seedEnvironment(uint64_t Seed) { EnvRng.reseed(Seed); }
+
+void Machine::prepareReplay(const std::vector<SpawnRecord> &Spawns) {
+  Registry.loadForReplay(Spawns);
+}
+
+Machine::HeapObject *Machine::resolve(ObjectId O) {
+  auto It = Heap.find(O.pack());
+  return It == Heap.end() ? nullptr : &It->second;
+}
+
+bool Machine::isRunnable(const ThreadCtx &C) const {
+  switch (C.St) {
+  case TStatus::Unborn:
+  case TStatus::Ready:
+    return true;
+  case TStatus::Finished:
+    return false;
+  case TStatus::BlockedLock: {
+    auto It = Heap.find(C.BlockObj.pack());
+    if (It == Heap.end())
+      return false;
+    return !It->second.Locked || It->second.Owner == C.Id;
+  }
+  case TStatus::Waiting: {
+    auto It = Heap.find(C.BlockObj.pack());
+    if (It == Heap.end())
+      return false;
+    for (const NotifyToken &Tok : It->second.Tokens)
+      if (std::find(Tok.Eligible.begin(), Tok.Eligible.end(), C.Id) !=
+          Tok.Eligible.end())
+        return true;
+    return false;
+  }
+  case TStatus::Woken:
+    // Must reacquire the monitor.
+    return !Heap.at(C.BlockObj.pack()).Locked ||
+           Heap.at(C.BlockObj.pack()).Owner == C.Id;
+  case TStatus::BlockedJoin:
+    return C.JoinTarget < Threads.size() &&
+           Threads[C.JoinTarget].St == TStatus::Finished;
+  }
+  return false;
+}
+
+std::vector<ThreadId> Machine::runnableThreads() const {
+  std::vector<ThreadId> Out;
+  for (const ThreadCtx &C : Threads)
+    if (isRunnable(C))
+      Out.push_back(C.Id);
+  return Out;
+}
+
+void Machine::bug(ThreadCtx &C, BugReport::Kind K, const Instr &I,
+                  Value Illegal, std::string Detail) {
+  if (Pending.happened())
+    return;
+  Pending.What = K;
+  Pending.Thread = C.Id;
+  Pending.AccessCount = Hook->counterOf(C.Id);
+  Pending.Func = C.Stack.empty() ? 0 : C.Stack.back().Func;
+  Pending.Instr = C.Stack.empty() ? 0 : C.Stack.back().PC;
+  Pending.Illegal = Illegal;
+  Pending.Detail = std::move(Detail);
+  // BugId for assertion opcodes.
+  if (I.Op == Opcode::AssertTrue || I.Op == Opcode::AssertNonNull)
+    Pending.BugId = I.Imm;
+}
+
+Value Machine::readLoc(ThreadCtx &C, LocationId L, bool Shared,
+                       FunctionRef<Value()> Load) {
+  if (!Shared)
+    return Load();
+  ++SharedAccessCount;
+  Value V;
+  Hook->onRead(C.Id, L, Meta.get(L), [&] { V = Load(); });
+  return V;
+}
+
+void Machine::writeLoc(ThreadCtx &C, LocationId L, bool Shared,
+                       FunctionRef<void()> Store) {
+  if (!Shared) {
+    Store();
+    return;
+  }
+  ++SharedAccessCount;
+  Hook->onWrite(C.Id, L, Meta.get(L), Store);
+}
+
+bool Machine::acquireMonitor(ThreadCtx &C, ObjectId Obj) {
+  HeapObject *O = resolve(Obj);
+  assert(O && "acquireMonitor on dangling object");
+  if (O->Locked && O->Owner != C.Id)
+    return false;
+  O->Locked = true;
+  O->Owner = C.Id;
+  ++O->LockCount;
+  // Ghost RMW of the lock word, inside the (virtual) lock region.
+  LocationId L = loc::lock(Obj);
+  ++SharedAccessCount;
+  Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+  return true;
+}
+
+void Machine::releaseMonitor(ThreadCtx &C, ObjectId Obj) {
+  HeapObject *O = resolve(Obj);
+  assert(O && O->Locked && O->Owner == C.Id && "invalid monitor release");
+  LocationId L = loc::lock(Obj);
+  ++SharedAccessCount;
+  Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+  if (--O->LockCount == 0) {
+    O->Locked = false;
+    O->Owner = 0;
+  }
+}
+
+bool Machine::stepThread(ThreadCtx &C) {
+  // Status-machine phases that are scheduling operations by themselves.
+  switch (C.St) {
+  case TStatus::Unborn: {
+    // The thread's first transition reads the ghost start token written by
+    // its spawner (Section 4.3).
+    LocationId L = loc::threadStart(C.Id);
+    ++SharedAccessCount;
+    Hook->onRead(C.Id, L, Meta.get(L), [] {});
+    C.St = TStatus::Ready;
+    return !Pending.happened();
+  }
+  case TStatus::Waiting: {
+    HeapObject *O = resolve(C.BlockObj);
+    assert(O && "wait set on dangling object");
+    // Consume an eligible notify token and issue the ghost condition read
+    // (the wait_after wake-up edge: notify -> wait).
+    for (size_t I = 0; I < O->Tokens.size(); ++I) {
+      auto &El = O->Tokens[I].Eligible;
+      auto It = std::find(El.begin(), El.end(), C.Id);
+      if (It == El.end())
+        continue;
+      O->Tokens.erase(O->Tokens.begin() + I);
+      O->WaitSet.erase(
+          std::find(O->WaitSet.begin(), O->WaitSet.end(), C.Id));
+      LocationId L = loc::cond(C.BlockObj);
+      ++SharedAccessCount;
+      Hook->onRead(C.Id, L, Meta.get(L), [] {});
+      C.St = TStatus::Woken;
+      return !Pending.happened();
+    }
+    assert(false && "stepped a Waiting thread with no eligible token");
+    return false;
+  }
+  case TStatus::Woken: {
+    HeapObject *O = resolve(C.BlockObj);
+    if (O->Locked && O->Owner != C.Id)
+      return true; // not actually runnable; caller picked wrongly
+    // Reacquire with the saved reentrancy count: ghost RMW once.
+    O->Locked = true;
+    O->Owner = C.Id;
+    O->LockCount = C.SavedLockCount;
+    LocationId L = loc::lock(C.BlockObj);
+    ++SharedAccessCount;
+    Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+    C.St = TStatus::Ready;
+    ++C.Stack.back().PC; // move past the Wait instruction
+    return !Pending.happened();
+  }
+  case TStatus::Finished:
+    return true;
+  default:
+    break;
+  }
+
+  // Ready / BlockedLock / BlockedJoin: run instructions until one
+  // scheduling-relevant operation completes.
+  bool DidSchedulingOp = false;
+  while (!DidSchedulingOp) {
+    if (Pending.happened())
+      return false;
+    if (Instructions >= MaxInstr) {
+      if (!C.Stack.empty())
+        bug(C, BugReport::Kind::RuntimeError,
+            Prog.function(C.Stack.back().Func).Body[C.Stack.back().PC],
+            Value::intVal(0), "instruction budget exhausted");
+      return false;
+    }
+    if (!execInstr(C, DidSchedulingOp))
+      return !Pending.happened();
+  }
+  return !Pending.happened();
+}
+
+bool Machine::execInstr(ThreadCtx &C, bool &DidSchedulingOp) {
+  Frame &F = C.Stack.back();
+  const Function &Fn = Prog.function(F.Func);
+  assert(F.PC >= 0 && static_cast<size_t>(F.PC) < Fn.Body.size() &&
+         "program counter out of range");
+  const Instr &I = Fn.Body[F.PC];
+  ++Instructions;
+
+  auto Regs = [&]() -> std::vector<Value> & { return C.Stack.back().Regs; };
+  auto RV = [&](Reg R) -> Value & { return Regs()[R]; };
+
+  auto RequireInt = [&](Reg R, int64_t &Out) -> bool {
+    const Value &V = RV(R);
+    if (!V.isInt()) {
+      bug(C, BugReport::Kind::RuntimeError, I, V, "expected an integer");
+      return false;
+    }
+    Out = V.Int;
+    return true;
+  };
+
+  auto RequireObject = [&](Reg R, ObjectId &Obj,
+                           HeapObject *&O) -> bool {
+    const Value &V = RV(R);
+    if (!V.isRef() || V.isNull()) {
+      bug(C, BugReport::Kind::NullPointer, I, V,
+          V.isRef() ? "null dereference" : "non-reference dereference");
+      return false;
+    }
+    Obj = V.Ref;
+    O = resolve(Obj);
+    if (!O) {
+      bug(C, BugReport::Kind::RuntimeError, I, V, "dangling reference");
+      return false;
+    }
+    return true;
+  };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    ++F.PC;
+    return true;
+  case Opcode::ConstInt:
+    RV(I.A) = Value::intVal(I.Imm);
+    ++F.PC;
+    return true;
+  case Opcode::ConstNull:
+    RV(I.A) = Value::null();
+    ++F.PC;
+    return true;
+  case Opcode::Move:
+    RV(I.A) = RV(I.B);
+    ++F.PC;
+    return true;
+
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe: {
+    int64_t L, R;
+    if (!RequireInt(I.B, L) || !RequireInt(I.C, R))
+      return false;
+    int64_t Out = 0;
+    switch (I.Op) {
+    case Opcode::Add:
+      Out = L + R;
+      break;
+    case Opcode::Sub:
+      Out = L - R;
+      break;
+    case Opcode::Mul:
+      Out = L * R;
+      break;
+    case Opcode::Div:
+    case Opcode::Mod:
+      if (R == 0) {
+        // Definition 3.2's canonical illegal-value bug.
+        bug(C, BugReport::Kind::DivideByZero, I, Value::intVal(R),
+            "division by zero");
+        return false;
+      }
+      Out = I.Op == Opcode::Div ? L / R : L % R;
+      break;
+    case Opcode::CmpLt:
+      Out = L < R;
+      break;
+    case Opcode::CmpLe:
+      Out = L <= R;
+      break;
+    default:
+      break;
+    }
+    RV(I.A) = Value::intVal(Out);
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::CmpEq:
+    RV(I.A) = Value::intVal(RV(I.B) == RV(I.C));
+    ++F.PC;
+    return true;
+  case Opcode::CmpNe:
+    RV(I.A) = Value::intVal(RV(I.B) != RV(I.C));
+    ++F.PC;
+    return true;
+  case Opcode::Not:
+    RV(I.A) = Value::intVal(!RV(I.B).truthy());
+    ++F.PC;
+    return true;
+
+  case Opcode::Jmp:
+    F.PC = I.Target;
+    return true;
+  case Opcode::Br: {
+    bool Taken = RV(I.A).truthy();
+    if (Branches)
+      Branches->record(C.Id, Taken);
+    F.PC = Taken ? I.Target : I.Target2;
+    return true;
+  }
+
+  case Opcode::Call: {
+    const Function &Callee = Prog.function(static_cast<FuncId>(I.Imm));
+    Frame NF;
+    NF.Func = static_cast<FuncId>(I.Imm);
+    NF.PC = 0;
+    NF.RetReg = I.A;
+    NF.Regs.assign(Callee.NumRegs, Value::intVal(0));
+    for (size_t P = 0; P < I.Args.size(); ++P)
+      NF.Regs[P] = RV(I.Args[P]);
+    ++F.PC; // return address
+    C.Stack.push_back(std::move(NF));
+    return true;
+  }
+
+  case Opcode::Ret: {
+    Value Result = I.A == NoReg ? Value::intVal(0) : RV(I.A);
+    Reg RetTo = F.RetReg;
+    C.Stack.pop_back();
+    if (C.Stack.empty()) {
+      // Thread termination: ghost write of the termination token.
+      LocationId L = loc::threadTerm(C.Id);
+      ++SharedAccessCount;
+      Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+      Hook->onThreadFinish(C.Id);
+      C.St = TStatus::Finished;
+      DidSchedulingOp = true;
+      return false;
+    }
+    if (RetTo != NoReg)
+      C.Stack.back().Regs[RetTo] = Result;
+    return true;
+  }
+
+  case Opcode::New: {
+    HeapObject O;
+    O.What = HeapObject::Kind::Plain;
+    O.Class = static_cast<ClassId>(I.Imm);
+    O.Fields.assign(Prog.classDef(O.Class).numFields(), Value::intVal(0));
+    ObjectId Id(C.Id, ++C.AllocCount);
+    Heap.emplace(Id.pack(), std::move(O));
+    RV(I.A) = Value::ref(Id);
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::NewArray: {
+    int64_t Len;
+    if (!RequireInt(I.B, Len))
+      return false;
+    if (Len < 0 || Len > MaxMapKey) {
+      bug(C, BugReport::Kind::RuntimeError, I, Value::intVal(Len),
+          "invalid array length");
+      return false;
+    }
+    HeapObject O;
+    O.What = HeapObject::Kind::Array;
+    O.Fields.assign(static_cast<size_t>(Len), Value::intVal(0));
+    ObjectId Id(C.Id, ++C.AllocCount);
+    Heap.emplace(Id.pack(), std::move(O));
+    RV(I.A) = Value::ref(Id);
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::MapNew: {
+    HeapObject O;
+    O.What = HeapObject::Kind::Map;
+    ObjectId Id(C.Id, ++C.AllocCount);
+    Heap.emplace(Id.pack(), std::move(O));
+    RV(I.A) = Value::ref(Id);
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::GetField: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.B, Obj, O))
+      return false;
+    uint32_t Field = static_cast<uint32_t>(I.Imm);
+    assert(Field < O->Fields.size() && "field index out of range");
+    RV(I.A) = readLoc(C, loc::field(Obj, Field), I.SharedAccess,
+                      [&]() -> Value { return O->Fields[Field]; });
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::PutField: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    uint32_t Field = static_cast<uint32_t>(I.Imm);
+    assert(Field < O->Fields.size() && "field index out of range");
+    Value V = RV(I.B);
+    if (Observer && I.SharedAccess)
+      Observer->onSharedWrite(loc::field(Obj, Field), V);
+    writeLoc(C, loc::field(Obj, Field), I.SharedAccess,
+             [&] { O->Fields[Field] = V; });
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::GetGlobal: {
+    uint32_t G = static_cast<uint32_t>(I.Imm);
+    RV(I.A) = readLoc(C, loc::var(G), I.SharedAccess,
+                      [&]() -> Value { return Globals[G]; });
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::PutGlobal: {
+    uint32_t G = static_cast<uint32_t>(I.Imm);
+    Value V = RV(I.A);
+    if (Observer && I.SharedAccess)
+      Observer->onSharedWrite(loc::var(G), V);
+    writeLoc(C, loc::var(G), I.SharedAccess, [&] { Globals[G] = V; });
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ALoad:
+  case Opcode::AStore: {
+    ObjectId Obj;
+    HeapObject *O;
+    Reg ArrReg = I.Op == Opcode::ALoad ? I.B : I.A;
+    if (!RequireObject(ArrReg, Obj, O))
+      return false;
+    int64_t Idx;
+    if (!RequireInt(I.Op == Opcode::ALoad ? I.C : I.B, Idx))
+      return false;
+    if (Idx < 0 || static_cast<size_t>(Idx) >= O->Fields.size()) {
+      bug(C, BugReport::Kind::ArrayBounds, I, Value::intVal(Idx),
+          "array index out of bounds");
+      return false;
+    }
+    LocationId L = loc::arrayElem(Obj, static_cast<uint32_t>(Idx));
+    if (I.Op == Opcode::ALoad) {
+      RV(I.A) = readLoc(C, L, I.SharedAccess,
+                        [&]() -> Value { return O->Fields[Idx]; });
+    } else {
+      Value V = RV(I.C);
+      if (Observer && I.SharedAccess)
+        Observer->onSharedWrite(L, V);
+      writeLoc(C, L, I.SharedAccess, [&] { O->Fields[Idx] = V; });
+    }
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ArrayLen: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.B, Obj, O))
+      return false;
+    RV(I.A) = Value::intVal(static_cast<int64_t>(O->Fields.size()));
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::MapPut:
+  case Opcode::MapGet:
+  case Opcode::MapContains:
+  case Opcode::MapRemove: {
+    Reg MapReg = I.Op == Opcode::MapGet || I.Op == Opcode::MapContains ? I.B
+                                                                       : I.A;
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(MapReg, Obj, O))
+      return false;
+    Reg KeyReg = I.Op == Opcode::MapPut ? I.B
+                 : I.Op == Opcode::MapRemove ? I.B
+                                             : I.C;
+    int64_t Key;
+    if (!RequireInt(KeyReg, Key))
+      return false;
+    if (Key < 0 || Key > MaxMapKey) {
+      bug(C, BugReport::Kind::RuntimeError, I, Value::intVal(Key),
+          "map key outside the recordable range");
+      return false;
+    }
+    LocationId L = loc::arrayElem(Obj, static_cast<uint32_t>(Key));
+    switch (I.Op) {
+    case Opcode::MapPut: {
+      Value V = RV(I.C);
+      if (Observer && I.SharedAccess)
+        Observer->onSharedWrite(L, V);
+      writeLoc(C, L, I.SharedAccess, [&] { O->Map[Key] = V; });
+      break;
+    }
+    case Opcode::MapGet:
+      RV(I.A) = readLoc(C, L, I.SharedAccess, [&]() -> Value {
+        auto It = O->Map.find(Key);
+        return It == O->Map.end() ? Value::null() : It->second;
+      });
+      break;
+    case Opcode::MapContains:
+      RV(I.A) = readLoc(C, L, I.SharedAccess, [&]() -> Value {
+        return Value::intVal(O->Map.count(Key) != 0);
+      });
+      break;
+    case Opcode::MapRemove:
+      writeLoc(C, L, I.SharedAccess, [&] { O->Map.erase(Key); });
+      break;
+    default:
+      break;
+    }
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::MonitorEnter: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    if (O->Locked && O->Owner != C.Id) {
+      C.St = TStatus::BlockedLock;
+      C.BlockObj = Obj;
+      return false; // yield; instruction retried once the lock frees up
+    }
+    if (C.St == TStatus::BlockedLock)
+      C.St = TStatus::Ready;
+    acquireMonitor(C, Obj);
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::MonitorExit: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    if (!O->Locked || O->Owner != C.Id) {
+      bug(C, BugReport::Kind::RuntimeError, I, RV(I.A),
+          "monitor exit without ownership");
+      return false;
+    }
+    releaseMonitor(C, Obj);
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::Wait: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    if (!O->Locked || O->Owner != C.Id) {
+      bug(C, BugReport::Kind::RuntimeError, I, RV(I.A),
+          "wait without monitor ownership");
+      return false;
+    }
+    // wait_before (Section 4.3): release the monitor entirely; the ghost
+    // release write carries the happens-before edge.
+    C.SavedLockCount = O->LockCount;
+    LocationId L = loc::lock(Obj);
+    ++SharedAccessCount;
+    Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+    O->LockCount = 0;
+    O->Locked = false;
+    O->Owner = 0;
+    O->WaitSet.push_back(C.Id);
+    C.BlockObj = Obj;
+    C.St = TStatus::Waiting;
+    DidSchedulingOp = true;
+    return false; // PC advances when the wake-up completes (Woken phase)
+  }
+
+  case Opcode::Notify:
+  case Opcode::NotifyAll: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    if (!O->Locked || O->Owner != C.Id) {
+      bug(C, BugReport::Kind::RuntimeError, I, RV(I.A),
+          "notify without monitor ownership");
+      return false;
+    }
+    // Ghost write of the condition word: the notify side of the recorded
+    // notify -> wait order.
+    LocationId L = loc::cond(Obj);
+    ++SharedAccessCount;
+    Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+    if (!O->WaitSet.empty()) {
+      if (I.Op == Opcode::Notify) {
+        O->Tokens.push_back({O->WaitSet});
+      } else {
+        for (ThreadId W : O->WaitSet)
+          O->Tokens.push_back({{W}});
+      }
+    }
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ThreadStart: {
+    ThreadId Child = Registry.registerSpawn(C.Id);
+    if (Child == 0) {
+      bug(C, BugReport::Kind::ReplayDivergence, I, Value::intVal(0),
+          "spawn structure diverged from the recording");
+      return false;
+    }
+    const Function &Entry = Prog.function(static_cast<FuncId>(I.Imm));
+    if (Threads.size() <= Child)
+      Threads.resize(Child + 1);
+    ThreadCtx &CC = Threads[Child];
+    CC.Id = Child;
+    CC.St = TStatus::Unborn;
+    Frame NF;
+    NF.Func = static_cast<FuncId>(I.Imm);
+    NF.PC = 0;
+    NF.Regs.assign(Entry.NumRegs, Value::intVal(0));
+    if (Entry.NumParams == 1)
+      NF.Regs[0] = RV(I.B);
+    CC.Stack.push_back(std::move(NF));
+    // Ghost start token write by the spawner (Section 4.3).
+    LocationId L = loc::threadStart(Child);
+    ++SharedAccessCount;
+    Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+    RV(I.A) = Value::intVal(Child);
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ThreadJoin: {
+    int64_t Target;
+    if (!RequireInt(I.A, Target))
+      return false;
+    if (Target <= 0 || static_cast<size_t>(Target) >= Threads.size()) {
+      bug(C, BugReport::Kind::RuntimeError, I, Value::intVal(Target),
+          "join of unknown thread");
+      return false;
+    }
+    ThreadId TT = static_cast<ThreadId>(Target);
+    if (Threads[TT].St != TStatus::Finished) {
+      C.St = TStatus::BlockedJoin;
+      C.JoinTarget = TT;
+      return false; // retried once the target finishes
+    }
+    if (C.St == TStatus::BlockedJoin)
+      C.St = TStatus::Ready;
+    // Ghost read of the termination token: join's happens-before edge.
+    LocationId L = loc::threadTerm(TT);
+    ++SharedAccessCount;
+    Hook->onRead(C.Id, L, Meta.get(L), [] {});
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::AssertTrue: {
+    if (!RV(I.A).truthy()) {
+      bug(C, BugReport::Kind::AssertionFailure, I, RV(I.A),
+          "assertion failed");
+      return false;
+    }
+    ++F.PC;
+    return true;
+  }
+  case Opcode::AssertNonNull: {
+    if (RV(I.A).isNull()) {
+      bug(C, BugReport::Kind::NullPointer, I, RV(I.A),
+          "assertNonNull failed");
+      return false;
+    }
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::SysTime: {
+    uint64_t V = Hook->onSyscall(C.Id, [&]() -> uint64_t {
+      return ++VirtualClock;
+    });
+    RV(I.A) = Value::intVal(static_cast<int64_t>(V));
+    ++F.PC;
+    return true;
+  }
+  case Opcode::SysRand: {
+    uint64_t Bound = I.Imm > 0 ? static_cast<uint64_t>(I.Imm) : 1;
+    uint64_t V = Hook->onSyscall(C.Id, [&]() -> uint64_t {
+      return EnvRng.below(Bound);
+    });
+    RV(I.A) = Value::intVal(static_cast<int64_t>(V));
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::Print:
+    C.Output += RV(I.A).str() + "\n";
+    ++F.PC;
+    return true;
+
+  case Opcode::BurnCpu: {
+    // Local CPU work for the workload kernels; no shared effects.
+    volatile int64_t Sink = 0;
+    for (int64_t K = 0; K < I.Imm; ++K)
+      Sink = Sink + K;
+    Instructions += static_cast<uint64_t>(I.Imm);
+    ++F.PC;
+    return true;
+  }
+  }
+  assert(false && "unhandled opcode");
+  return false;
+}
+
+RunResult Machine::finishResult(bool Completed) {
+  RunResult R;
+  R.Completed = Completed && !Pending.happened();
+  R.Bug = Pending;
+  R.InstructionsExecuted = Instructions;
+  R.SharedAccesses = SharedAccessCount;
+  R.OutputByThread.reserve(Threads.size());
+  for (ThreadCtx &C : Threads)
+    R.OutputByThread.push_back(C.Output);
+  return R;
+}
+
+RunResult Machine::run(Scheduler &Sched, uint64_t MaxInstructions) {
+  MaxInstr = MaxInstructions;
+  Threads.clear();
+  Threads.resize(1);
+  ThreadCtx &Main = Threads[0];
+  Main.Id = 0;
+  Main.St = TStatus::Ready;
+  Frame MF;
+  MF.Func = Prog.Entry;
+  MF.PC = 0;
+  MF.Regs.assign(Prog.function(Prog.Entry).NumRegs, Value::intVal(0));
+  Main.Stack.push_back(std::move(MF));
+
+  while (true) {
+    if (Pending.happened())
+      return finishResult(false);
+    std::vector<ThreadId> Runnable = runnableThreads();
+    if (Runnable.empty()) {
+      bool AllDone = true;
+      for (const ThreadCtx &C : Threads)
+        if (C.St != TStatus::Finished)
+          AllDone = false;
+      if (AllDone)
+        return finishResult(true);
+      Pending.What = BugReport::Kind::Deadlock;
+      Pending.Detail = "no runnable thread";
+      return finishResult(false);
+    }
+    ThreadId T = Sched.pick(Runnable);
+    stepThread(ctx(T));
+  }
+}
+
+RunResult Machine::runReplay(TurnSource &Turns, uint64_t MaxInstructions) {
+  MaxInstr = MaxInstructions;
+  Threads.clear();
+  Threads.resize(1);
+  ThreadCtx &Main = Threads[0];
+  Main.Id = 0;
+  Main.St = TStatus::Ready;
+  Frame MF;
+  MF.Func = Prog.Entry;
+  MF.PC = 0;
+  MF.Regs.assign(Prog.function(Prog.Entry).NumRegs, Value::intVal(0));
+  Main.Stack.push_back(std::move(MF));
+
+  auto Diverge = [&](const std::string &Why) {
+    if (!Pending.happened()) {
+      Pending.What = BugReport::Kind::ReplayDivergence;
+      Pending.Detail = Why;
+    }
+    return finishResult(false);
+  };
+
+  while (true) {
+    if (Pending.happened())
+      return finishResult(false);
+    if (Turns.failed())
+      return Diverge("replay director reported divergence");
+
+    AccessId Turn = Turns.currentTurn();
+    if (!Turn.valid()) {
+      // Solved order exhausted: drain remaining threads deterministically.
+      std::vector<ThreadId> Runnable = runnableThreads();
+      if (Runnable.empty()) {
+        bool AllDone = true;
+        for (const ThreadCtx &C : Threads)
+          if (C.St != TStatus::Finished)
+            AllDone = false;
+        if (AllDone)
+          return finishResult(true);
+        return Diverge("threads stuck after the solved order drained");
+      }
+      stepThread(ctx(Runnable[0]));
+      continue;
+    }
+
+    if (Turn.Thread >= Threads.size())
+      return Diverge("turn thread has not been spawned");
+    ThreadCtx &C = ctx(Turn.Thread);
+    if (C.St == TStatus::Finished)
+      return Diverge("turn thread already finished");
+    if (!isRunnable(C))
+      return Diverge("turn thread is not runnable (infeasible schedule?)");
+    stepThread(C);
+  }
+}

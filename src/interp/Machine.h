@@ -1,0 +1,236 @@
+//===- interp/Machine.h - The MIR concurrent interpreter --------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cooperative interpreter for MIR programs — the stand-in for the
+/// instrumented JVM in this reproduction. Every shared heap access, ghost
+/// synchronization access (Section 4.3 modeling), and nondeterministic
+/// syscall flows through the attached AccessHook, so the same Machine runs:
+///
+///   * free executions under a Scheduler (bug search / recording),
+///   * directed executions under a TurnSource (replay of a solved schedule).
+///
+/// Heap object identities and thread ids are replay-stable (per-thread
+/// allocation indices; spawn-structure thread keys), which is what makes
+/// the (thread, counter) correlation of Definition 3.3 meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_INTERP_MACHINE_H
+#define LIGHT_INTERP_MACHINE_H
+
+#include "interp/Scheduler.h"
+#include "mir/Program.h"
+#include "mir/Value.h"
+#include "runtime/AccessHook.h"
+#include "runtime/MetaTable.h"
+#include "runtime/ThreadRegistry.h"
+#include "runtime/TurnSource.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace light {
+
+/// A detected bug (Definition 3.2: use of an illegal value) or execution
+/// anomaly.
+struct BugReport {
+  enum class Kind {
+    None,
+    DivideByZero,
+    NullPointer,
+    ArrayBounds,
+    AssertionFailure,
+    Deadlock,
+    ReplayDivergence,
+    RuntimeError,
+  };
+
+  Kind What = Kind::None;
+  ThreadId Thread = 0;
+  /// D(t) at the failure point — the correlation key of Definition 3.3.
+  Counter AccessCount = 0;
+  mir::FuncId Func = 0;
+  int32_t Instr = 0;
+  int64_t BugId = 0;
+  /// The illegal value that was used (Theorem 1 guarantees replay
+  /// reproduces exactly this value at this use).
+  mir::Value Illegal;
+  std::string Detail;
+
+  bool happened() const { return What != Kind::None; }
+
+  /// Theorem 1's correlation: same kind, same statement, same thread, same
+  /// thread-local counter, same illegal value.
+  bool sameAs(const BugReport &O) const {
+    return What == O.What && Thread == O.Thread &&
+           AccessCount == O.AccessCount && Func == O.Func &&
+           Instr == O.Instr && BugId == O.BugId && Illegal == O.Illegal;
+  }
+
+  std::string str() const;
+};
+
+/// Outcome of one Machine run.
+struct RunResult {
+  bool Completed = false; ///< all threads finished without a bug
+  BugReport Bug;
+  std::vector<std::string> OutputByThread; ///< Print transcripts
+  uint64_t InstructionsExecuted = 0;
+  uint64_t SharedAccesses = 0;
+};
+
+/// Per-thread branch-outcome traces, the only control-flow information the
+/// computation-based Clap baseline records (Section 1: "record little
+/// runtime information (e.g., only branch outcomes)").
+struct BranchTrace {
+  std::vector<std::vector<uint8_t>> PerThread;
+
+  void record(ThreadId T, bool Taken) {
+    if (PerThread.size() <= T)
+      PerThread.resize(T + 1);
+    PerThread[T].push_back(Taken ? 1 : 0);
+  }
+};
+
+/// The interpreter. One instance executes one run.
+class Machine {
+public:
+  /// \p Hook receives every instrumented access; pass a NullHook for plain
+  /// functional runs.
+  Machine(const mir::Program &Program, AccessHook &Hook);
+
+  /// Seeds the environment (SysRand/SysTime) generator; only meaningful for
+  /// recording runs (replay substitutes logged values).
+  void seedEnvironment(uint64_t Seed);
+
+  /// Preloads recorded spawn structure for a replay run.
+  void prepareReplay(const std::vector<SpawnRecord> &Spawns);
+
+  /// Attaches a branch-outcome sink (Clap recording mode).
+  void setBranchTracer(BranchTrace *Tracer) { Branches = Tracer; }
+
+  /// Observer for shared heap writes (value-level). Used by the Clap
+  /// engine's points-to oracle pass.
+  class WriteObserver {
+  public:
+    virtual ~WriteObserver();
+    virtual void onSharedWrite(LocationId L, const mir::Value &V) = 0;
+  };
+  void setWriteObserver(WriteObserver *Obs) { Observer = Obs; }
+
+  /// Free run under \p Sched.
+  RunResult run(Scheduler &Sched, uint64_t MaxInstructions = 100000000ull);
+
+  /// Directed run following \p Turns (the replay phase).
+  RunResult runReplay(TurnSource &Turns,
+                      uint64_t MaxInstructions = 100000000ull);
+
+  ThreadRegistry &registry() { return Registry; }
+
+private:
+  struct Frame {
+    mir::FuncId Func = 0;
+    int32_t PC = 0;
+    mir::Reg RetReg = mir::NoReg;
+    std::vector<mir::Value> Regs;
+  };
+
+  enum class TStatus : uint8_t {
+    Unborn,      ///< created, has not yet issued its ghost start read
+    Ready,
+    BlockedLock, ///< waiting to acquire BlockObj's monitor
+    Waiting,     ///< in BlockObj's wait set
+    Woken,       ///< consumed a notify token; must reacquire BlockObj
+    BlockedJoin, ///< waiting for JoinTarget to finish
+    Finished,
+  };
+
+  struct ThreadCtx {
+    ThreadId Id = 0;
+    TStatus St = TStatus::Unborn;
+    std::vector<Frame> Stack;
+    ObjectId BlockObj;
+    ThreadId JoinTarget = 0;
+    uint32_t SavedLockCount = 0;
+    uint32_t AllocCount = 0;
+    std::string Output;
+  };
+
+  struct NotifyToken {
+    std::vector<ThreadId> Eligible;
+  };
+
+  struct HeapObject {
+    enum class Kind : uint8_t { Plain, Array, Map } What = Kind::Plain;
+    mir::ClassId Class = 0;
+    std::vector<mir::Value> Fields; ///< plain fields or array elements
+    std::unordered_map<int64_t, mir::Value> Map;
+
+    // Monitor state.
+    ThreadId Owner = 0;
+    bool Locked = false;
+    uint32_t LockCount = 0;
+    std::vector<ThreadId> WaitSet;
+    std::vector<NotifyToken> Tokens;
+  };
+
+  const mir::Program &Prog;
+  AccessHook *Hook;
+  ThreadRegistry Registry;
+  MetaTable Meta;
+
+  /// Deque for reference stability: ThreadStart grows this while the parent
+  /// context is live.
+  std::deque<ThreadCtx> Threads;
+  std::unordered_map<uint64_t, HeapObject> Heap; ///< ObjectId.pack -> object
+  std::vector<mir::Value> Globals;
+
+  BranchTrace *Branches = nullptr;
+  WriteObserver *Observer = nullptr;
+  Rng EnvRng{0x5eedull};
+  uint64_t VirtualClock = 0;
+  uint64_t Instructions = 0;
+  uint64_t SharedAccessCount = 0;
+  uint64_t MaxInstr = 0;
+  BugReport Pending;
+
+  // --- helpers ---
+  ThreadCtx &ctx(ThreadId T) { return Threads[T]; }
+  HeapObject *resolve(ObjectId O);
+  bool isRunnable(const ThreadCtx &C) const;
+  std::vector<ThreadId> runnableThreads() const;
+
+  /// Executes thread \p T until it completes one scheduling-relevant
+  /// operation, blocks, finishes, or trips a bug. Returns false when the
+  /// run must stop (bug pending or instruction budget exhausted).
+  bool stepThread(ThreadCtx &C);
+
+  /// Executes one instruction; sets \p DidSchedulingOp when the instruction
+  /// was a scheduling-relevant operation. Returns false to stop the thread's
+  /// current step loop (blocked / finished / bug).
+  bool execInstr(ThreadCtx &C, bool &DidSchedulingOp);
+
+  // Instrumented heap helpers.
+  mir::Value readLoc(ThreadCtx &C, LocationId L, bool Shared,
+                     FunctionRef<mir::Value()> Load);
+  void writeLoc(ThreadCtx &C, LocationId L, bool Shared,
+                FunctionRef<void()> Store);
+
+  void bug(ThreadCtx &C, BugReport::Kind K, const mir::Instr &I,
+           mir::Value Illegal, std::string Detail);
+
+  bool acquireMonitor(ThreadCtx &C, ObjectId Obj);  ///< ghost RMW included
+  void releaseMonitor(ThreadCtx &C, ObjectId Obj);  ///< ghost write included
+
+  RunResult finishResult(bool Completed);
+};
+
+} // namespace light
+
+#endif // LIGHT_INTERP_MACHINE_H

@@ -1,0 +1,11 @@
+//===- interp/Scheduler.cpp - Cooperative thread schedulers ---------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Scheduler.h"
+
+using namespace light;
+
+Scheduler::~Scheduler() = default;

@@ -1,0 +1,88 @@
+//===- interp/Scheduler.h - Cooperative thread schedulers -------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling policies for the cooperative MIR interpreter. The interpreter
+/// consults the scheduler at every scheduling-relevant operation (shared
+/// access, synchronization, syscall), realizing the nondeterministic [NoDet]
+/// rule of the paper's execution model (Section 3.1). Different random seeds
+/// explore different interleavings — this is how the bug harness finds the
+/// buggy schedules of Section 5.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_INTERP_SCHEDULER_H
+#define LIGHT_INTERP_SCHEDULER_H
+
+#include "support/Random.h"
+#include "trace/Ids.h"
+
+#include <vector>
+
+namespace light {
+
+/// Picks which runnable thread performs the next scheduling-relevant step.
+class Scheduler {
+public:
+  virtual ~Scheduler();
+
+  /// \p Runnable is never empty. Returns one of its elements.
+  virtual ThreadId pick(const std::vector<ThreadId> &Runnable) = 0;
+};
+
+/// Uniform random scheduling from a deterministic seed.
+class RandomScheduler : public Scheduler {
+  Rng R;
+
+public:
+  explicit RandomScheduler(uint64_t Seed) : R(Seed) {}
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override {
+    return Runnable[R.below(Runnable.size())];
+  }
+};
+
+/// Runs the lowest-id runnable thread until it blocks — a degenerate,
+/// maximally unfair policy, useful in tests for pinning schedules.
+class FifoScheduler : public Scheduler {
+public:
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override {
+    ThreadId Min = Runnable[0];
+    for (ThreadId T : Runnable)
+      if (T < Min)
+        Min = T;
+    return Min;
+  }
+};
+
+/// Sticky random scheduling: keeps running the same thread for a random
+/// burst before switching. Produces the long uninterleaved runs (Figure 2's
+/// access pattern) that optimization O1 exploits.
+class BurstScheduler : public Scheduler {
+  Rng R;
+  ThreadId Current = 0;
+  uint32_t Remaining = 0;
+  uint32_t MaxBurst;
+
+public:
+  explicit BurstScheduler(uint64_t Seed, uint32_t MaxBurstLen = 32)
+      : R(Seed), MaxBurst(MaxBurstLen) {}
+
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override {
+    if (Remaining > 0)
+      for (ThreadId T : Runnable)
+        if (T == Current) {
+          --Remaining;
+          return T;
+        }
+    Current = Runnable[R.below(Runnable.size())];
+    Remaining = static_cast<uint32_t>(R.below(MaxBurst)) + 1;
+    return Current;
+  }
+};
+
+} // namespace light
+
+#endif // LIGHT_INTERP_SCHEDULER_H

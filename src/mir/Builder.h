@@ -1,0 +1,290 @@
+//===- mir/Builder.h - Fluent MIR construction -------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder API for assembling MIR programs in C++: the bug programs
+/// of Section 5.3, the random programs of the property tests, and the
+/// examples are all written against this interface.
+///
+/// Typical shape:
+/// \code
+///   ProgramBuilder PB;
+///   ClassId Cache = PB.addClass("Cache", {"_createTime", "_value"});
+///   FunctionBuilder FB = PB.beginFunction("put", /*params=*/1);
+///   Reg Obj = FB.param(0);
+///   Reg Time = FB.newReg();
+///   FB.sysTime(Time);
+///   FB.putField(Obj, /*field=*/0, Time);
+///   FB.ret();
+///   PB.endFunction(FB);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_MIR_BUILDER_H
+#define LIGHT_MIR_BUILDER_H
+
+#include "mir/Program.h"
+
+#include <cassert>
+#include <string>
+
+namespace light {
+namespace mir {
+
+class ProgramBuilder;
+
+/// Marker for a not-yet-emitted branch destination.
+struct Label {
+  int32_t Id = -1;
+};
+
+/// Builds one function. Obtain from ProgramBuilder::beginFunction and commit
+/// with ProgramBuilder::endFunction.
+class FunctionBuilder {
+  friend class ProgramBuilder;
+
+  Function Fn;
+  std::vector<int32_t> LabelPositions;           ///< label -> instr index
+  std::vector<std::pair<size_t, int32_t>> Fixups; ///< (instr, label) x Target
+  std::vector<std::pair<size_t, int32_t>> Fixups2;
+
+  FunctionBuilder(std::string Name, uint16_t NumParams) {
+    Fn.Name = std::move(Name);
+    Fn.NumParams = NumParams;
+    Fn.NumRegs = NumParams;
+  }
+
+  size_t emit(Instr I) {
+    Fn.Body.push_back(std::move(I));
+    return Fn.Body.size() - 1;
+  }
+
+public:
+  /// Returns the register holding parameter \p I.
+  Reg param(uint16_t I) const {
+    assert(I < Fn.NumParams && "parameter index out of range");
+    return I;
+  }
+
+  /// Allocates a fresh register.
+  Reg newReg() {
+    assert(Fn.NumRegs < NoReg && "register file exhausted");
+    return Fn.NumRegs++;
+  }
+
+  /// Creates a label to be placed later with place().
+  Label makeLabel() {
+    LabelPositions.push_back(-1);
+    return Label{static_cast<int32_t>(LabelPositions.size() - 1)};
+  }
+
+  /// Binds \p L to the next emitted instruction.
+  void place(Label L) {
+    assert(L.Id >= 0 && LabelPositions[L.Id] == -1 && "label placed twice");
+    LabelPositions[L.Id] = static_cast<int32_t>(Fn.Body.size());
+  }
+
+  // --- Straight-line emission helpers -----------------------------------
+
+  void constInt(Reg Dst, int64_t V) {
+    emit({.Op = Opcode::ConstInt, .A = Dst, .Imm = V});
+  }
+  void constNull(Reg Dst) { emit({.Op = Opcode::ConstNull, .A = Dst}); }
+  void move(Reg Dst, Reg Src) {
+    emit({.Op = Opcode::Move, .A = Dst, .B = Src});
+  }
+  void arith(Opcode Op, Reg Dst, Reg L, Reg R) {
+    emit({.Op = Op, .A = Dst, .B = L, .C = R});
+  }
+  void add(Reg Dst, Reg L, Reg R) { arith(Opcode::Add, Dst, L, R); }
+  void sub(Reg Dst, Reg L, Reg R) { arith(Opcode::Sub, Dst, L, R); }
+  void mul(Reg Dst, Reg L, Reg R) { arith(Opcode::Mul, Dst, L, R); }
+  void div(Reg Dst, Reg L, Reg R) { arith(Opcode::Div, Dst, L, R); }
+  void mod(Reg Dst, Reg L, Reg R) { arith(Opcode::Mod, Dst, L, R); }
+  void cmpEq(Reg Dst, Reg L, Reg R) { arith(Opcode::CmpEq, Dst, L, R); }
+  void cmpNe(Reg Dst, Reg L, Reg R) { arith(Opcode::CmpNe, Dst, L, R); }
+  void cmpLt(Reg Dst, Reg L, Reg R) { arith(Opcode::CmpLt, Dst, L, R); }
+  void cmpLe(Reg Dst, Reg L, Reg R) { arith(Opcode::CmpLe, Dst, L, R); }
+  void logicalNot(Reg Dst, Reg Src) {
+    emit({.Op = Opcode::Not, .A = Dst, .B = Src});
+  }
+
+  void jmp(Label L) {
+    Fixups.push_back({emit({.Op = Opcode::Jmp}), L.Id});
+  }
+  void br(Reg Cond, Label IfTrue, Label IfFalse) {
+    size_t I = emit({.Op = Opcode::Br, .A = Cond});
+    Fixups.push_back({I, IfTrue.Id});
+    Fixups2.push_back({I, IfFalse.Id});
+  }
+
+  void call(Reg Dst, FuncId Callee, std::vector<Reg> Args = {}) {
+    emit({.Op = Opcode::Call,
+          .A = Dst,
+          .Imm = static_cast<int64_t>(Callee),
+          .Args = std::move(Args)});
+  }
+  void ret() { emit({.Op = Opcode::Ret, .A = NoReg}); }
+  void ret(Reg Src) { emit({.Op = Opcode::Ret, .A = Src}); }
+
+  void newObject(Reg Dst, ClassId Cls) {
+    emit({.Op = Opcode::New, .A = Dst, .Imm = static_cast<int64_t>(Cls)});
+  }
+  void getField(Reg Dst, Reg Obj, uint32_t Field) {
+    emit({.Op = Opcode::GetField,
+          .A = Dst,
+          .B = Obj,
+          .Imm = static_cast<int64_t>(Field)});
+  }
+  void putField(Reg Obj, uint32_t Field, Reg Src) {
+    emit({.Op = Opcode::PutField,
+          .A = Obj,
+          .B = Src,
+          .Imm = static_cast<int64_t>(Field)});
+  }
+  void getGlobal(Reg Dst, uint32_t Global) {
+    emit({.Op = Opcode::GetGlobal,
+          .A = Dst,
+          .Imm = static_cast<int64_t>(Global)});
+  }
+  void putGlobal(uint32_t Global, Reg Src) {
+    emit({.Op = Opcode::PutGlobal,
+          .A = Src,
+          .Imm = static_cast<int64_t>(Global)});
+  }
+  void newArray(Reg Dst, Reg Len) {
+    emit({.Op = Opcode::NewArray, .A = Dst, .B = Len});
+  }
+  void aload(Reg Dst, Reg Arr, Reg Idx) {
+    emit({.Op = Opcode::ALoad, .A = Dst, .B = Arr, .C = Idx});
+  }
+  void astore(Reg Arr, Reg Idx, Reg Src) {
+    emit({.Op = Opcode::AStore, .A = Arr, .B = Idx, .C = Src});
+  }
+  void arrayLen(Reg Dst, Reg Arr) {
+    emit({.Op = Opcode::ArrayLen, .A = Dst, .B = Arr});
+  }
+
+  void mapNew(Reg Dst) { emit({.Op = Opcode::MapNew, .A = Dst}); }
+  void mapPut(Reg Map, Reg Key, Reg Val) {
+    emit({.Op = Opcode::MapPut, .A = Map, .B = Key, .C = Val});
+  }
+  void mapGet(Reg Dst, Reg Map, Reg Key) {
+    emit({.Op = Opcode::MapGet, .A = Dst, .B = Map, .C = Key});
+  }
+  void mapContains(Reg Dst, Reg Map, Reg Key) {
+    emit({.Op = Opcode::MapContains, .A = Dst, .B = Map, .C = Key});
+  }
+  void mapRemove(Reg Map, Reg Key) {
+    emit({.Op = Opcode::MapRemove, .A = Map, .B = Key});
+  }
+
+  void monitorEnter(Reg Obj) {
+    emit({.Op = Opcode::MonitorEnter, .A = Obj});
+  }
+  void monitorExit(Reg Obj) { emit({.Op = Opcode::MonitorExit, .A = Obj}); }
+  void wait(Reg Obj) { emit({.Op = Opcode::Wait, .A = Obj}); }
+  void notifyOne(Reg Obj) { emit({.Op = Opcode::Notify, .A = Obj}); }
+  void notifyAll(Reg Obj) { emit({.Op = Opcode::NotifyAll, .A = Obj}); }
+
+  void threadStart(Reg Dst, FuncId Fn, Reg Arg = NoReg) {
+    emit({.Op = Opcode::ThreadStart,
+          .A = Dst,
+          .B = Arg,
+          .Imm = static_cast<int64_t>(Fn)});
+  }
+  void threadJoin(Reg Tid) { emit({.Op = Opcode::ThreadJoin, .A = Tid}); }
+
+  void assertTrue(Reg Cond, int64_t BugId) {
+    emit({.Op = Opcode::AssertTrue, .A = Cond, .Imm = BugId});
+  }
+  void assertNonNull(Reg Val, int64_t BugId) {
+    emit({.Op = Opcode::AssertNonNull, .A = Val, .Imm = BugId});
+  }
+
+  void sysTime(Reg Dst) { emit({.Op = Opcode::SysTime, .A = Dst}); }
+  void sysRand(Reg Dst, int64_t Bound) {
+    emit({.Op = Opcode::SysRand, .A = Dst, .Imm = Bound});
+  }
+  void print(Reg Src) { emit({.Op = Opcode::Print, .A = Src}); }
+  void burnCpu(int64_t Units) {
+    emit({.Op = Opcode::BurnCpu, .Imm = Units});
+  }
+};
+
+/// Builds a whole Program.
+class ProgramBuilder {
+  Program Prog;
+
+public:
+  ClassId addClass(std::string Name, std::vector<std::string> Fields) {
+    Prog.Classes.push_back({std::move(Name), std::move(Fields)});
+    return static_cast<ClassId>(Prog.Classes.size() - 1);
+  }
+
+  uint32_t addGlobal(std::string Name) {
+    Prog.Globals.push_back(std::move(Name));
+    return static_cast<uint32_t>(Prog.Globals.size() - 1);
+  }
+
+  /// Reserves a function id before its body exists, enabling forward
+  /// references (thread entry points, mutual recursion).
+  FuncId declareFunction(std::string Name, uint16_t NumParams) {
+    Function F;
+    F.Name = std::move(Name);
+    F.NumParams = NumParams;
+    F.NumRegs = NumParams;
+    Prog.Functions.push_back(std::move(F));
+    return static_cast<FuncId>(Prog.Functions.size() - 1);
+  }
+
+  FunctionBuilder beginFunction(std::string Name, uint16_t NumParams) {
+    return FunctionBuilder(std::move(Name), NumParams);
+  }
+
+  /// Commits \p FB as a new function and returns its id.
+  FuncId endFunction(FunctionBuilder &FB) {
+    FuncId Id = static_cast<FuncId>(Prog.Functions.size());
+    Prog.Functions.emplace_back();
+    fillFunction(Id, FB);
+    return Id;
+  }
+
+  /// Commits \p FB into the previously declared slot \p Id.
+  void defineFunction(FuncId Id, FunctionBuilder &FB) {
+    assert(Id < Prog.Functions.size() && "undeclared function id");
+    assert(Prog.Functions[Id].Body.empty() && "function defined twice");
+    fillFunction(Id, FB);
+  }
+
+  void setEntry(FuncId F) { Prog.Entry = F; }
+
+  /// Finalizes and returns the program (verify() is the caller's business).
+  Program take() { return std::move(Prog); }
+
+private:
+  void fillFunction(FuncId Id, FunctionBuilder &FB) {
+    for (auto &[InstrIdx, LabelId] : FB.Fixups) {
+      assert(FB.LabelPositions[LabelId] >= 0 && "label never placed");
+      FB.Fn.Body[InstrIdx].Target = FB.LabelPositions[LabelId];
+    }
+    for (auto &[InstrIdx, LabelId] : FB.Fixups2) {
+      assert(FB.LabelPositions[LabelId] >= 0 && "label never placed");
+      FB.Fn.Body[InstrIdx].Target2 = FB.LabelPositions[LabelId];
+    }
+    std::string Name = FB.Fn.Name;
+    uint16_t Params = FB.Fn.NumParams;
+    Prog.Functions[Id] = std::move(FB.Fn);
+    Prog.Functions[Id].Name = std::move(Name);
+    Prog.Functions[Id].NumParams = Params;
+  }
+};
+
+} // namespace mir
+} // namespace light
+
+#endif // LIGHT_MIR_BUILDER_H

@@ -1,0 +1,137 @@
+//===- mir/Instr.h - MIR instruction set ------------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the MIR concurrent mini-language. MIR is the
+/// stand-in for Java bytecode in this reproduction: it has heap objects with
+/// fields, arrays, hash-map intrinsics, monitors (synchronized regions),
+/// wait/notify, thread start/join, nondeterministic syscalls, and explicit
+/// assertion points where "buggy usage" of an illegal value manifests
+/// (Definition 3.2 of the paper).
+///
+/// Statements are three-address style over per-frame registers, matching the
+/// paper's simple-statement assumption in Section 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_MIR_INSTR_H
+#define LIGHT_MIR_INSTR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace mir {
+
+/// Register index within a frame.
+using Reg = uint16_t;
+
+/// Sentinel meaning "no register" (e.g. a Call with ignored result).
+constexpr Reg NoReg = 0xffff;
+
+/// MIR opcodes.
+enum class Opcode : uint8_t {
+  // Constants and moves.
+  ConstInt,  ///< A <- Imm
+  ConstNull, ///< A <- null
+  Move,      ///< A <- B
+
+  // Integer arithmetic / comparison (operands must be ints).
+  Add, ///< A <- B + C
+  Sub, ///< A <- B - C
+  Mul, ///< A <- B * C
+  Div, ///< A <- B / C; C == 0 raises a DivideByZero bug
+  Mod, ///< A <- B % C; C == 0 raises a DivideByZero bug
+  CmpEq, ///< A <- (B == C), works on refs too
+  CmpNe, ///< A <- (B != C), works on refs too
+  CmpLt, ///< A <- (B < C)
+  CmpLe, ///< A <- (B <= C)
+  Not,   ///< A <- !truthy(B)
+
+  // Control flow.
+  Jmp, ///< goto Target
+  Br,  ///< if truthy(A) goto Target else goto Target2
+  Call, ///< A(opt) <- call Imm(Args...)
+  Ret,  ///< return A (or nothing when A == NoReg)
+
+  // Heap.
+  New,      ///< A <- new object of class Imm
+  GetField, ///< A <- B.field[Imm]   (global read; instrumented if shared)
+  PutField, ///< A.field[Imm] <- B   (global write)
+  GetGlobal, ///< A <- global[Imm]
+  PutGlobal, ///< global[Imm] <- A
+  NewArray, ///< A <- new array of length reg B
+  ALoad,    ///< A <- B[C]
+  AStore,   ///< A[B] <- C
+  ArrayLen, ///< A <- length(B)
+
+  // Hash-map intrinsics: the "data types without native solver support"
+  // that defeat computation-based replay (Section 5.3). Keys are ints.
+  MapNew,      ///< A <- new map
+  MapPut,      ///< A[key B] <- C
+  MapGet,      ///< A <- B[key C]; missing key yields null
+  MapContains, ///< A <- (key C in B)
+  MapRemove,   ///< remove key B from map A
+
+  // Synchronization (modeled as ghost shared accesses per Section 4.3).
+  MonitorEnter, ///< acquire monitor of object A (reentrant)
+  MonitorExit,  ///< release monitor of object A
+  Wait,         ///< wait on monitor A (must be held)
+  Notify,       ///< notify one waiter of monitor A
+  NotifyAll,    ///< notify all waiters of monitor A
+
+  // Threading.
+  ThreadStart, ///< A <- start thread running function Imm with arg reg B
+  ThreadJoin,  ///< join thread whose id is in reg A
+
+  // Bug manifestation points (Definition 3.2).
+  AssertTrue,    ///< raise AssertionFailure(bug Imm) when !truthy(A)
+  AssertNonNull, ///< raise NullPointer(bug Imm) when A is null
+
+  // Environment nondeterminism, recorded and substituted per Section 3.2.
+  SysTime, ///< A <- current (virtual) time
+  SysRand, ///< A <- recorded-random in [0, Imm)
+
+  // Miscellaneous.
+  Print,   ///< append value A to the machine's output transcript
+  BurnCpu, ///< spin for Imm units of local work (workload kernels)
+  Nop,
+};
+
+/// One MIR instruction. Field roles depend on the opcode; see Opcode docs.
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  Reg A = 0;
+  Reg B = 0;
+  Reg C = 0;
+  int64_t Imm = 0;
+  int32_t Target = 0;
+  int32_t Target2 = 0;
+  std::vector<Reg> Args; ///< Call arguments only.
+
+  /// Set by SharedAccessAnalysis: false means the access provably touches
+  /// thread-local data and is left uninstrumented (Section 3.2's shared
+  /// location restriction). Meaningful only for heap/global/map opcodes.
+  bool SharedAccess = true;
+
+  std::string str() const;
+};
+
+/// Returns the mnemonic of \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns true if \p Op reads or writes the global heap (and is therefore
+/// subject to instrumentation when marked shared).
+bool isHeapAccess(Opcode Op);
+
+/// Returns true if \p Op is a synchronization or threading operation.
+bool isSyncOp(Opcode Op);
+
+} // namespace mir
+} // namespace light
+
+#endif // LIGHT_MIR_INSTR_H

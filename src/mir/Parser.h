@@ -1,0 +1,51 @@
+//===- mir/Parser.h - Textual MIR parsing -----------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual MIR format emitted by Program::str(), so programs
+/// can be written, stored, and replayed as plain files (used by the
+/// light-replay CLI and the round-trip tests). The grammar, line-oriented:
+///
+/// \code
+///   class Name { field1, field2 }
+///   global 0 name
+///   func f0 main(params=0, regs=3) [entry]
+///     @0: const r0, 42
+///     @1: br r0, @3, @2
+///     @2: call r1, f1(r0)
+///     @3: ret _, _, _
+/// \endcode
+///
+/// Registers are `rN` or `_` (no register); branch targets `@N`;
+/// immediates are bare integers or `#N`; function references `fN`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_MIR_PARSER_H
+#define LIGHT_MIR_PARSER_H
+
+#include "mir/Program.h"
+
+#include <string>
+
+namespace light {
+namespace mir {
+
+/// Result of parsing: either a program or a diagnostic.
+struct ParseResult {
+  bool Ok = false;
+  Program Prog;
+  std::string Error; ///< "line N: message" when !Ok
+};
+
+/// Parses the textual MIR format. The result still needs
+/// Program::verify() — the parser checks syntax, not semantics.
+ParseResult parseProgram(const std::string &Text);
+
+} // namespace mir
+} // namespace light
+
+#endif // LIGHT_MIR_PARSER_H

@@ -1,0 +1,306 @@
+//===- mir/Program.cpp - MIR structure, verifier, printer -----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Program.h"
+
+using namespace light;
+using namespace light::mir;
+
+const char *light::mir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+    return "const";
+  case Opcode::ConstNull:
+    return "null";
+  case Opcode::Move:
+    return "move";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::New:
+    return "new";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetGlobal:
+    return "getglobal";
+  case Opcode::PutGlobal:
+    return "putglobal";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::ArrayLen:
+    return "arraylen";
+  case Opcode::MapNew:
+    return "mapnew";
+  case Opcode::MapPut:
+    return "mapput";
+  case Opcode::MapGet:
+    return "mapget";
+  case Opcode::MapContains:
+    return "mapcontains";
+  case Opcode::MapRemove:
+    return "mapremove";
+  case Opcode::MonitorEnter:
+    return "monitorenter";
+  case Opcode::MonitorExit:
+    return "monitorexit";
+  case Opcode::Wait:
+    return "wait";
+  case Opcode::Notify:
+    return "notify";
+  case Opcode::NotifyAll:
+    return "notifyall";
+  case Opcode::ThreadStart:
+    return "start";
+  case Opcode::ThreadJoin:
+    return "join";
+  case Opcode::AssertTrue:
+    return "assert";
+  case Opcode::AssertNonNull:
+    return "assertnonnull";
+  case Opcode::SysTime:
+    return "systime";
+  case Opcode::SysRand:
+    return "sysrand";
+  case Opcode::Print:
+    return "print";
+  case Opcode::BurnCpu:
+    return "burncpu";
+  case Opcode::Nop:
+    return "nop";
+  }
+  return "<bad-op>";
+}
+
+bool light::mir::isHeapAccess(Opcode Op) {
+  switch (Op) {
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::GetGlobal:
+  case Opcode::PutGlobal:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+  case Opcode::MapPut:
+  case Opcode::MapGet:
+  case Opcode::MapContains:
+  case Opcode::MapRemove:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool light::mir::isSyncOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::MonitorEnter:
+  case Opcode::MonitorExit:
+  case Opcode::Wait:
+  case Opcode::Notify:
+  case Opcode::NotifyAll:
+  case Opcode::ThreadStart:
+  case Opcode::ThreadJoin:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string Instr::str() const {
+  std::string Out = opcodeName(Op);
+  auto R = [](Reg X) {
+    return X == NoReg ? std::string("_") : "r" + std::to_string(X);
+  };
+  switch (Op) {
+  case Opcode::ConstInt:
+    Out += " " + R(A) + ", " + std::to_string(Imm);
+    break;
+  case Opcode::Jmp:
+    Out += " @" + std::to_string(Target);
+    break;
+  case Opcode::Br:
+    Out += " " + R(A) + ", @" + std::to_string(Target) + ", @" +
+           std::to_string(Target2);
+    break;
+  case Opcode::Call: {
+    Out += " " + R(A) + ", f" + std::to_string(Imm) + "(";
+    for (size_t I = 0; I < Args.size(); ++I)
+      Out += (I ? ", " : "") + R(Args[I]);
+    Out += ")";
+    break;
+  }
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::GetGlobal:
+  case Opcode::PutGlobal:
+  case Opcode::New:
+  case Opcode::AssertTrue:
+  case Opcode::AssertNonNull:
+  case Opcode::ThreadStart:
+  case Opcode::SysRand:
+  case Opcode::BurnCpu:
+    Out += " " + R(A) + ", " + R(B) + ", #" + std::to_string(Imm);
+    break;
+  default:
+    Out += " " + R(A) + ", " + R(B) + ", " + R(C);
+    break;
+  }
+  return Out;
+}
+
+FuncId Program::findFunction(const std::string &Name) const {
+  for (size_t I = 0; I < Functions.size(); ++I)
+    if (Functions[I].Name == Name)
+      return static_cast<FuncId>(I);
+  return ~0u;
+}
+
+std::string Program::verify() const {
+  auto Err = [](const std::string &Where, const std::string &What) {
+    return Where + ": " + What;
+  };
+
+  if (Entry >= Functions.size())
+    return "entry function id out of range";
+
+  for (size_t FI = 0; FI < Functions.size(); ++FI) {
+    const Function &F = Functions[FI];
+    std::string Where = "function '" + F.Name + "'";
+    if (F.NumParams > F.NumRegs)
+      return Err(Where, "more parameters than registers");
+    if (F.Body.empty())
+      return Err(Where, "empty body (missing ret?)");
+    if (F.Body.back().Op != Opcode::Ret && F.Body.back().Op != Opcode::Jmp)
+      return Err(Where, "body does not end in ret or jmp");
+
+    int64_t N = static_cast<int64_t>(F.Body.size());
+    for (size_t II = 0; II < F.Body.size(); ++II) {
+      const Instr &I = F.Body[II];
+      std::string At = Where + " @" + std::to_string(II);
+
+      auto CheckReg = [&](Reg X, bool AllowNone) -> bool {
+        return (AllowNone && X == NoReg) || X < F.NumRegs;
+      };
+
+      switch (I.Op) {
+      case Opcode::Jmp:
+        if (I.Target < 0 || I.Target >= N)
+          return Err(At, "jmp target out of range");
+        break;
+      case Opcode::Br:
+        if (I.Target < 0 || I.Target >= N || I.Target2 < 0 || I.Target2 >= N)
+          return Err(At, "br target out of range");
+        if (!CheckReg(I.A, false))
+          return Err(At, "condition register out of range");
+        break;
+      case Opcode::Call: {
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Functions.size())
+          return Err(At, "call of unknown function");
+        const Function &Callee = Functions[I.Imm];
+        if (I.Args.size() != Callee.NumParams)
+          return Err(At, "call arity mismatch for '" + Callee.Name + "'");
+        for (Reg Arg : I.Args)
+          if (!CheckReg(Arg, false))
+            return Err(At, "call argument register out of range");
+        if (!CheckReg(I.A, true))
+          return Err(At, "call result register out of range");
+        break;
+      }
+      case Opcode::Ret:
+        if (!CheckReg(I.A, true))
+          return Err(At, "return register out of range");
+        break;
+      case Opcode::New:
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Classes.size())
+          return Err(At, "new of unknown class");
+        if (!CheckReg(I.A, false))
+          return Err(At, "destination register out of range");
+        break;
+      case Opcode::GetField:
+      case Opcode::PutField:
+        if (!CheckReg(I.A, false) || !CheckReg(I.B, false))
+          return Err(At, "field access register out of range");
+        break;
+      case Opcode::GetGlobal:
+      case Opcode::PutGlobal:
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Globals.size())
+          return Err(At, "unknown global");
+        if (!CheckReg(I.A, false))
+          return Err(At, "global access register out of range");
+        break;
+      case Opcode::ThreadStart:
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Functions.size())
+          return Err(At, "thread start of unknown function");
+        if (Functions[I.Imm].NumParams > 1)
+          return Err(At, "thread entry takes at most one parameter");
+        if (Functions[I.Imm].NumParams == 1 && I.B == NoReg)
+          return Err(At, "thread entry expects an argument");
+        if (!CheckReg(I.A, false) || !CheckReg(I.B, true))
+          return Err(At, "thread start register out of range");
+        break;
+      default: {
+        // Generic register checks for remaining three-register forms.
+        if (!CheckReg(I.A, true) || !CheckReg(I.B, true) ||
+            !CheckReg(I.C, true))
+          return Err(At, "register out of range");
+        break;
+      }
+      }
+    }
+  }
+  return std::string();
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (size_t CI = 0; CI < Classes.size(); ++CI) {
+    Out += "class " + Classes[CI].Name + " {";
+    for (size_t FI = 0; FI < Classes[CI].Fields.size(); ++FI)
+      Out += (FI ? ", " : " ") + Classes[CI].Fields[FI];
+    Out += " }\n";
+  }
+  for (size_t GI = 0; GI < Globals.size(); ++GI)
+    Out += "global " + std::to_string(GI) + " " + Globals[GI] + "\n";
+  for (size_t FI = 0; FI < Functions.size(); ++FI) {
+    const Function &F = Functions[FI];
+    Out += "func f" + std::to_string(FI) + " " + F.Name + "(params=" +
+           std::to_string(F.NumParams) +
+           ", regs=" + std::to_string(F.NumRegs) + ")" +
+           (Entry == FI ? " [entry]" : "") + "\n";
+    for (size_t II = 0; II < F.Body.size(); ++II)
+      Out += "  @" + std::to_string(II) + ": " + F.Body[II].str() + "\n";
+  }
+  return Out;
+}

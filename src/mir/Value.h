@@ -1,0 +1,79 @@
+//===- mir/Value.h - MIR runtime values -------------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the MIR concurrent mini-language: 64-bit integers and
+/// heap references (with null). This mirrors the semantic domain of
+/// Section 3.1 of the paper, Val = O ∪ {null} extended with integers so the
+/// bug programs can compute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_MIR_VALUE_H
+#define LIGHT_MIR_VALUE_H
+
+#include "trace/Ids.h"
+
+#include <cstdint>
+#include <string>
+
+namespace light {
+namespace mir {
+
+/// Discriminator for Value.
+enum class ValueKind : uint8_t { Int, Ref };
+
+/// A runtime value: tagged int64 or object reference.
+struct Value {
+  ValueKind Kind = ValueKind::Int;
+  int64_t Int = 0;
+  ObjectId Ref;
+
+  Value() = default;
+
+  static Value intVal(int64_t I) {
+    Value V;
+    V.Kind = ValueKind::Int;
+    V.Int = I;
+    return V;
+  }
+
+  static Value ref(ObjectId O) {
+    Value V;
+    V.Kind = ValueKind::Ref;
+    V.Ref = O;
+    return V;
+  }
+
+  static Value null() { return ref(ObjectId()); }
+
+  bool isInt() const { return Kind == ValueKind::Int; }
+  bool isRef() const { return Kind == ValueKind::Ref; }
+  bool isNull() const { return isRef() && Ref.isNull(); }
+
+  /// Truthiness for branches: nonzero int or non-null ref.
+  bool truthy() const { return isInt() ? Int != 0 : !Ref.isNull(); }
+
+  friend bool operator==(const Value &A, const Value &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    if (A.isInt())
+      return A.Int == B.Int;
+    return A.Ref == B.Ref;
+  }
+  friend bool operator!=(const Value &A, const Value &B) { return !(A == B); }
+
+  std::string str() const {
+    if (isInt())
+      return std::to_string(Int);
+    return Ref.str();
+  }
+};
+
+} // namespace mir
+} // namespace light
+
+#endif // LIGHT_MIR_VALUE_H

@@ -1,0 +1,39 @@
+//===- runtime/AccessHook.cpp - Instrumentation hook interface ------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AccessHook.h"
+
+using namespace light;
+
+AccessHook::~AccessHook() = default;
+
+void AccessHook::onThreadFinish(ThreadId T) {}
+
+NullHook::NullHook() = default;
+
+void NullHook::onWrite(ThreadId T, LocationId L, LocMeta &M,
+                       FunctionRef<void()> Perform) {
+  Counters.bump(T);
+  Perform();
+}
+
+void NullHook::onRead(ThreadId T, LocationId L, LocMeta &M,
+                      FunctionRef<void()> Perform) {
+  Counters.bump(T);
+  Perform();
+}
+
+void NullHook::onRmw(ThreadId T, LocationId L, LocMeta &M,
+                     FunctionRef<void()> Perform) {
+  Counters.bump(T);
+  Perform();
+}
+
+uint64_t NullHook::onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) {
+  return Compute();
+}
+
+Counter NullHook::counterOf(ThreadId T) const { return Counters.get(T); }

@@ -1,0 +1,61 @@
+//===- runtime/MetaTable.h - LocationId -> LocMeta storage ------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps LocationIds to their LocMeta (the last-write map of Algorithm 1)
+/// for the MIR interpreter, where locations are created dynamically. The
+/// real-thread runtime instead embeds LocMeta directly in SharedVar /
+/// InstrumentedMutex, avoiding any lookup on the hot path.
+///
+/// The table is sharded and internally synchronized so it can also back
+/// dynamically allocated locations under real threads if needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_RUNTIME_METATABLE_H
+#define LIGHT_RUNTIME_METATABLE_H
+
+#include "runtime/AccessHook.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace light {
+
+/// Sharded LocationId -> LocMeta map. Pointers returned remain valid for
+/// the table's lifetime (values are never erased or moved).
+class MetaTable {
+  static constexpr uint32_t NumShards = 64;
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<LocationId, std::unique_ptr<LocMeta>> Map;
+  };
+  Shard Shards[NumShards];
+
+public:
+  /// Returns the metadata for \p L, creating it on first use.
+  LocMeta &get(LocationId L) {
+    Shard &S = Shards[(L ^ (L >> 17)) % NumShards];
+    std::lock_guard<std::mutex> Guard(S.M);
+    std::unique_ptr<LocMeta> &Slot = S.Map[L];
+    if (!Slot)
+      Slot = std::make_unique<LocMeta>();
+    return *Slot;
+  }
+
+  /// Drops all entries (between independent runs on one table).
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Guard(S.M);
+      S.Map.clear();
+    }
+  }
+};
+
+} // namespace light
+
+#endif // LIGHT_RUNTIME_METATABLE_H

@@ -1,0 +1,39 @@
+//===- runtime/Runtime.cpp - Real-thread instrumented runtime -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <cassert>
+
+using namespace light;
+
+Runtime::Handle Runtime::spawn(ThreadId Parent,
+                               std::function<void(ThreadId)> Body) {
+  ThreadId Child = Registry.registerSpawn(Parent);
+  assert(Child != 0 && "spawn diverged from the recorded thread structure");
+
+  // Ghost start token: written by the parent, read by the child as its
+  // first transition (Section 4.3), creating the start happens-before edge.
+  LocationId StartLoc = loc::threadStart(Child);
+  Hook->onWrite(Parent, StartLoc, GhostMeta.get(StartLoc), [] {});
+
+  Handle H;
+  H.Id = Child;
+  H.Thread = std::thread([this, Child, StartLoc, Body = std::move(Body)] {
+    Hook->onRead(Child, StartLoc, GhostMeta.get(StartLoc), [] {});
+    Body(Child);
+    LocationId TermLoc = loc::threadTerm(Child);
+    Hook->onWrite(Child, TermLoc, GhostMeta.get(TermLoc), [] {});
+    Hook->onThreadFinish(Child);
+  });
+  return H;
+}
+
+void Runtime::join(ThreadId Joiner, Handle &H) {
+  H.Thread.join();
+  LocationId TermLoc = loc::threadTerm(H.Id);
+  Hook->onRead(Joiner, TermLoc, GhostMeta.get(TermLoc), [] {});
+}

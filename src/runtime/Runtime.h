@@ -1,0 +1,144 @@
+//===- runtime/Runtime.h - Real-thread instrumented runtime ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-thread execution substrate: workload kernels run on std::thread
+/// and perform shared accesses through SharedVar / InstrumentedMutex, which
+/// route every access through the attached AccessHook. This is the substrate
+/// the overhead evaluation (Figures 4, 5, 7) runs on, where the *relative*
+/// cost of each recording scheme's synchronization is what the paper
+/// measures.
+///
+/// Threading primitives are modeled as ghost shared accesses per
+/// Section 4.3: spawn = ghost write of the child's start token (read by the
+/// child first thing), join = ghost read of the child's termination token
+/// (written by the child last thing), lock acquire = ghost RMW inside the
+/// region, release = ghost write before unlocking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_RUNTIME_RUNTIME_H
+#define LIGHT_RUNTIME_RUNTIME_H
+
+#include "runtime/AccessHook.h"
+#include "runtime/MetaTable.h"
+#include "runtime/ThreadRegistry.h"
+
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace light {
+
+/// Execution context tying a hook, a thread registry, and ghost-location
+/// metadata together for one run.
+class Runtime {
+  AccessHook *Hook;
+  ThreadRegistry Registry;
+  MetaTable GhostMeta;
+
+public:
+  explicit Runtime(AccessHook &H) : Hook(&H) {}
+
+  AccessHook &hook() { return *Hook; }
+  ThreadRegistry &registry() { return Registry; }
+
+  /// The id of the main thread.
+  static constexpr ThreadId MainThread = 0;
+
+  /// A spawned instrumented thread.
+  struct Handle {
+    std::thread Thread;
+    ThreadId Id = 0;
+  };
+
+  /// Spawns \p Body on a new std::thread with a replay-stable ThreadId,
+  /// issuing the ghost start access pair.
+  Handle spawn(ThreadId Parent, std::function<void(ThreadId)> Body);
+
+  /// Joins \p H from thread \p Joiner, issuing the ghost termination read.
+  void join(ThreadId Joiner, Handle &H);
+
+  /// Records/replays a nondeterministic environment value.
+  uint64_t syscall(ThreadId T, FunctionRef<uint64_t()> Compute) {
+    return Hook->onSyscall(T, Compute);
+  }
+};
+
+/// An instrumented shared 64-bit variable with embedded last-write metadata.
+class SharedVar {
+  std::atomic<int64_t> Data{0};
+  LocMeta Meta;
+  LocationId Loc;
+
+public:
+  /// \p Id must be unique among this run's SharedVars.
+  explicit SharedVar(uint64_t Id, int64_t Initial = 0)
+      : Data(Initial), Loc(loc::var(Id)) {}
+
+  LocationId location() const { return Loc; }
+
+  int64_t read(Runtime &RT, ThreadId T) {
+    int64_t V = 0;
+    RT.hook().onRead(T, Loc, Meta,
+                     [&] { V = Data.load(std::memory_order_relaxed); });
+    return V;
+  }
+
+  void write(Runtime &RT, ThreadId T, int64_t V) {
+    RT.hook().onWrite(T, Loc, Meta,
+                      [&] { Data.store(V, std::memory_order_relaxed); });
+  }
+
+  /// Raw, uninstrumented access for test assertions after all threads join.
+  int64_t peek() const { return Data.load(std::memory_order_relaxed); }
+};
+
+/// An instrumented mutex whose acquire/release are modeled as ghost
+/// accesses to the lock word (Section 4.3).
+class InstrumentedMutex {
+  std::mutex M;
+  LocMeta Meta;
+  LocationId Loc;
+
+public:
+  /// \p Id must be unique among this run's mutexes.
+  explicit InstrumentedMutex(uint64_t Id)
+      : Loc(loc::make(LocationKind::Lock, Id)) {}
+
+  LocationId location() const { return Loc; }
+
+  void lock(Runtime &RT, ThreadId T) {
+    RT.hook().onRmw(T, Loc, Meta, [&] { M.lock(); });
+  }
+
+  void unlock(Runtime &RT, ThreadId T) {
+    RT.hook().onWrite(T, Loc, Meta, [] {});
+    M.unlock();
+  }
+};
+
+/// RAII guard over InstrumentedMutex.
+class InstrumentedGuard {
+  Runtime &RT;
+  InstrumentedMutex &Mu;
+  ThreadId T;
+
+public:
+  InstrumentedGuard(Runtime &R, InstrumentedMutex &M, ThreadId Tid)
+      : RT(R), Mu(M), T(Tid) {
+    Mu.lock(RT, T);
+  }
+  ~InstrumentedGuard() { Mu.unlock(RT, T); }
+
+  InstrumentedGuard(const InstrumentedGuard &) = delete;
+  InstrumentedGuard &operator=(const InstrumentedGuard &) = delete;
+};
+
+} // namespace light
+
+#endif // LIGHT_RUNTIME_RUNTIME_H

@@ -1,0 +1,90 @@
+//===- runtime/ThreadRegistry.h - Replay-stable thread identity -*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns ThreadIds that are stable across the record run and the replay
+/// run. A thread is identified structurally by (parent thread, per-parent
+/// spawn index); by thread determinism each thread performs the same spawn
+/// sequence in both runs, so this key names "the same" thread even though
+/// the global spawn order differs between schedules.
+///
+/// In record mode ids are assigned on demand and the (key -> id) table is
+/// saved into the RecordingLog; in replay mode the table is preloaded so
+/// every thread receives its recorded id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_RUNTIME_THREADREGISTRY_H
+#define LIGHT_RUNTIME_THREADREGISTRY_H
+
+#include "trace/DepSpan.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace light {
+
+/// Thread-identity table. Thread 0 is always the main thread.
+class ThreadRegistry {
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, ThreadId> Table; ///< key(parent,idx) -> child
+  std::vector<uint32_t> SpawnCounts;            ///< per parent
+  std::vector<SpawnRecord> Spawns;
+  ThreadId NextId = 1;
+  bool ReplayMode = false;
+
+  static uint64_t key(ThreadId Parent, uint32_t SpawnIndex) {
+    return (static_cast<uint64_t>(Parent) << 32) | SpawnIndex;
+  }
+
+public:
+  ThreadRegistry() : SpawnCounts(1, 0) {}
+
+  /// Preloads the table from a recording; subsequent registrations must
+  /// match recorded spawns exactly.
+  void loadForReplay(const std::vector<SpawnRecord> &Recorded) {
+    std::lock_guard<std::mutex> Guard(M);
+    ReplayMode = true;
+    for (const SpawnRecord &R : Recorded)
+      Table[key(R.Parent, R.SpawnIndex)] = R.Child;
+  }
+
+  /// Registers the next spawn of \p Parent and returns the child's stable
+  /// id. In replay mode an unrecorded spawn returns 0 cast as failure — the
+  /// caller reports divergence (thread determinism violated).
+  ThreadId registerSpawn(ThreadId Parent) {
+    std::lock_guard<std::mutex> Guard(M);
+    if (SpawnCounts.size() <= Parent)
+      SpawnCounts.resize(Parent + 1, 0);
+    uint32_t Index = SpawnCounts[Parent]++;
+    uint64_t K = key(Parent, Index);
+    if (ReplayMode) {
+      auto It = Table.find(K);
+      return It == Table.end() ? 0 : It->second;
+    }
+    ThreadId Child = NextId++;
+    Table[K] = Child;
+    Spawns.push_back({Parent, Index, Child});
+    return Child;
+  }
+
+  /// Number of threads registered so far (including main).
+  ThreadId numThreads() const {
+    std::lock_guard<std::mutex> Guard(M);
+    return ReplayMode ? static_cast<ThreadId>(Table.size() + 1) : NextId;
+  }
+
+  /// The spawn table to embed into a RecordingLog.
+  std::vector<SpawnRecord> spawnTable() const {
+    std::lock_guard<std::mutex> Guard(M);
+    return Spawns;
+  }
+};
+
+} // namespace light
+
+#endif // LIGHT_RUNTIME_THREADREGISTRY_H

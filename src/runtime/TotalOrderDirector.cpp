@@ -1,0 +1,83 @@
+//===- runtime/TotalOrderDirector.cpp - Full-order replay gate -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TotalOrderDirector.h"
+
+#include <algorithm>
+
+using namespace light;
+
+TotalOrderDirector::TotalOrderDirector(
+    std::vector<AccessId> OrderIn,
+    std::vector<std::vector<uint64_t>> SyscallValues)
+    : Order(std::move(OrderIn)), SyscallQueues(std::move(SyscallValues)) {
+  for (uint32_t I = 0; I < Order.size(); ++I) {
+    TurnOf[Order[I].pack()] = I;
+    if (Horizon.size() <= Order[I].Thread)
+      Horizon.resize(Order[I].Thread + 1, 0);
+    Horizon[Order[I].Thread] =
+        std::max(Horizon[Order[I].Thread], Order[I].Count);
+  }
+  SyscallPos.assign(std::max<size_t>(SyscallQueues.size(), 1), 0);
+}
+
+Counter TotalOrderDirector::counterOf(ThreadId T) const {
+  return Counters.get(T);
+}
+
+AccessId TotalOrderDirector::currentTurn() const {
+  uint32_t I = Turn.load();
+  return I < Order.size() ? Order[I] : AccessId();
+}
+
+void TotalOrderDirector::diverge(const std::string &Message) {
+  bool Expected = false;
+  if (Diverged.compare_exchange_strong(Expected, true))
+    Error = Message;
+}
+
+void TotalOrderDirector::gate(ThreadId T, LocationId L,
+                              FunctionRef<void()> Perform) {
+  Counter C = Counters.bump(T);
+  if (T >= Horizon.size() || C > Horizon[T]) {
+    Perform(); // past the recorded horizon
+    return;
+  }
+  auto It = TurnOf.find(AccessId(T, C).pack());
+  if (It == TurnOf.end()) {
+    diverge("access " + AccessId(T, C).str() + " of " + loc::str(L) +
+            " missing from the total order");
+    return;
+  }
+  if (Turn.load() != It->second) {
+    diverge("total-order replay out of order at " + AccessId(T, C).str());
+    return;
+  }
+  Perform();
+  Turn.fetch_add(1);
+}
+
+void TotalOrderDirector::onWrite(ThreadId T, LocationId L, LocMeta &M,
+                                 FunctionRef<void()> Perform) {
+  gate(T, L, Perform);
+}
+
+void TotalOrderDirector::onRead(ThreadId T, LocationId L, LocMeta &M,
+                                FunctionRef<void()> Perform) {
+  gate(T, L, Perform);
+}
+
+void TotalOrderDirector::onRmw(ThreadId T, LocationId L, LocMeta &M,
+                               FunctionRef<void()> Perform) {
+  gate(T, L, Perform);
+}
+
+uint64_t TotalOrderDirector::onSyscall(ThreadId T,
+                                       FunctionRef<uint64_t()> Compute) {
+  if (T < SyscallQueues.size() && SyscallPos[T] < SyscallQueues[T].size())
+    return SyscallQueues[T][SyscallPos[T]++];
+  return Compute();
+}

@@ -1,0 +1,78 @@
+//===- runtime/TotalOrderDirector.h - Full-order replay gate ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A replay director that enforces one *total* order over every
+/// instrumented access — the replay discipline of the baselines: Leap
+/// (whose recording is already a total per-location order), Stride (after
+/// linkage reconstruction), and Clap (whose solver emits a full schedule).
+/// Light's own director (core/ReplayDirector) is more refined: it gates
+/// only recorded accesses and runs span interiors free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_RUNTIME_TOTALORDERDIRECTOR_H
+#define LIGHT_RUNTIME_TOTALORDERDIRECTOR_H
+
+#include "runtime/AccessHook.h"
+#include "runtime/TurnSource.h"
+
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace light {
+
+/// Gates every instrumented access by its position in a given total order;
+/// accesses past each thread's recorded horizon run permissively (the
+/// original run was truncated by the bug there).
+class TotalOrderDirector : public AccessHook, public TurnSource {
+public:
+  /// \p Order is the full schedule; \p SyscallValues[t] are thread t's
+  /// recorded environment values in order.
+  TotalOrderDirector(std::vector<AccessId> Order,
+                     std::vector<std::vector<uint64_t>> SyscallValues);
+
+  // AccessHook interface.
+  void onWrite(ThreadId T, LocationId L, LocMeta &M,
+               FunctionRef<void()> Perform) override;
+  void onRead(ThreadId T, LocationId L, LocMeta &M,
+              FunctionRef<void()> Perform) override;
+  void onRmw(ThreadId T, LocationId L, LocMeta &M,
+             FunctionRef<void()> Perform) override;
+  uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) override;
+  Counter counterOf(ThreadId T) const override;
+
+  // TurnSource interface.
+  AccessId currentTurn() const override;
+  bool failed() const override { return Diverged.load(); }
+
+  bool complete() const {
+    return !Diverged.load() && Turn.load() >= Order.size();
+  }
+  const std::string &divergence() const { return Error; }
+
+private:
+  std::vector<AccessId> Order;
+  std::unordered_map<uint64_t, uint32_t> TurnOf;
+  std::vector<Counter> Horizon;
+
+  PerThreadCounters Counters;
+  std::atomic<uint32_t> Turn{0};
+  std::atomic<bool> Diverged{false};
+  std::string Error;
+
+  std::vector<std::vector<uint64_t>> SyscallQueues;
+  std::vector<size_t> SyscallPos;
+
+  void gate(ThreadId T, LocationId L, FunctionRef<void()> Perform);
+  void diverge(const std::string &Message);
+};
+
+} // namespace light
+
+#endif // LIGHT_RUNTIME_TOTALORDERDIRECTOR_H

@@ -1,0 +1,11 @@
+//===- runtime/TurnSource.cpp - Replay turn feed ---------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TurnSource.h"
+
+using namespace light;
+
+TurnSource::~TurnSource() = default;

@@ -1,0 +1,36 @@
+//===- runtime/TurnSource.h - Replay turn feed -------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal interface between a replay director (which owns the solved total
+/// order over gated accesses) and a cooperative scheduler (the MIR
+/// interpreter), which must always run the thread owning the current turn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_RUNTIME_TURNSOURCE_H
+#define LIGHT_RUNTIME_TURNSOURCE_H
+
+#include "trace/Ids.h"
+
+namespace light {
+
+/// Feed of replay turns for cooperative scheduling.
+class TurnSource {
+public:
+  virtual ~TurnSource();
+
+  /// The gated access that must execute next; invalid AccessId when the
+  /// solved order is exhausted (remaining threads run freely).
+  virtual AccessId currentTurn() const = 0;
+
+  /// True when replay has failed (divergence); the scheduler should stop.
+  virtual bool failed() const = 0;
+};
+
+} // namespace light
+
+#endif // LIGHT_RUNTIME_TURNSOURCE_H

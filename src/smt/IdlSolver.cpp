@@ -1,0 +1,393 @@
+//===- smt/IdlSolver.cpp - DPLL(T) difference-logic solver ----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/IdlSolver.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+using namespace light;
+using namespace light::smt;
+
+namespace {
+
+using AtomId = uint32_t;
+
+/// A literal: atom index with a sign bit. Positive literal asserts the atom
+/// x_U - x_V <= K; negative asserts its negation x_V - x_U <= -K - 1.
+using Lit = uint32_t;
+
+inline Lit posLit(AtomId A) { return A << 1; }
+inline Lit negLit(AtomId A) { return (A << 1) | 1; }
+inline AtomId atomOf(Lit L) { return L >> 1; }
+inline bool isNeg(Lit L) { return L & 1; }
+inline Lit negate(Lit L) { return L ^ 1; }
+
+} // namespace
+
+struct IdlSolver::Impl {
+  const OrderSystem &Sys;
+
+  struct IAtom {
+    Var U, V;
+    int64_t K;
+  };
+  std::vector<IAtom> Atoms;
+  /// Canonicalization map keyed on (U, V); collisions on K resolved by the
+  /// short list behind each key.
+  std::unordered_map<uint64_t, std::vector<AtomId>> AtomIndex;
+
+  struct IClause {
+    std::vector<Lit> Lits;
+  };
+  std::vector<IClause> Clauses;
+
+  /// Per-atom occurrence lists: clauses containing the positive / negative
+  /// literal of the atom.
+  std::vector<std::vector<uint32_t>> OccPos, OccNeg;
+
+  /// Per-atom assignment: 0 unassigned, +1 true, -1 false.
+  std::vector<int8_t> Val;
+
+  struct TrailStep {
+    Lit L;
+    bool HasEdge;
+    Var EdgeFrom;
+  };
+  std::vector<TrailStep> Trail;
+  /// Decision stack: trail position at decision time plus the decided
+  /// literal (which may have failed to assert and thus be absent from the
+  /// trail itself).
+  struct Decision {
+    uint32_t TrailPos;
+    Lit L;
+  };
+  std::vector<Decision> Decisions;
+
+  /// Difference-constraint graph: edge (From -> To, W) models the
+  /// constraint x_To - x_From <= W... maintained with potentials Pot such
+  /// that Pot[To] <= Pot[From] + W for every asserted edge.
+  struct Edge {
+    Var To;
+    int64_t W;
+    Lit L;
+  };
+  std::vector<std::vector<Edge>> Adj;
+  std::vector<int64_t> Pot;
+
+  // Relaxation scratch.
+  std::vector<std::pair<Var, int64_t>> TouchedPot;
+  std::vector<Var> RelaxQueue;
+  std::vector<Var> ParentFrom;
+  std::vector<Lit> ParentLit;
+
+  SolveResult Result;
+
+  explicit Impl(const OrderSystem &S) : Sys(S) {
+    Adj.resize(Sys.numVars());
+    Pot.assign(Sys.numVars(), 0);
+    ParentFrom.assign(Sys.numVars(), 0);
+    ParentLit.assign(Sys.numVars(), 0);
+    for (const Clause &C : Sys.clauses()) {
+      IClause IC;
+      IC.Lits.reserve(C.size());
+      for (const Atom &A : C)
+        IC.Lits.push_back(posLit(internAtom(A)));
+      addClauseInternal(std::move(IC));
+    }
+  }
+
+  AtomId internAtom(const Atom &A) {
+    uint64_t Key = (static_cast<uint64_t>(A.U) << 32) | A.V;
+    auto &Bucket = AtomIndex[Key];
+    for (AtomId Id : Bucket)
+      if (Atoms[Id].K == A.K)
+        return Id;
+    AtomId Id = static_cast<AtomId>(Atoms.size());
+    Atoms.push_back({A.U, A.V, A.K});
+    Val.push_back(0);
+    OccPos.emplace_back();
+    OccNeg.emplace_back();
+    Bucket.push_back(Id);
+    return Id;
+  }
+
+  void addClauseInternal(IClause IC) {
+    uint32_t Index = static_cast<uint32_t>(Clauses.size());
+    for (Lit L : IC.Lits)
+      (isNeg(L) ? OccNeg : OccPos)[atomOf(L)].push_back(Index);
+    Clauses.push_back(std::move(IC));
+  }
+
+  int8_t litValue(Lit L) const {
+    int8_t V = Val[atomOf(L)];
+    return isNeg(L) ? static_cast<int8_t>(-V) : V;
+  }
+
+  /// The difference-graph edge asserted by making \p L true.
+  /// Positive atom (U,V,K): x_U - x_V <= K  => edge V -> U, weight K.
+  /// Negative: x_V - x_U <= -K-1            => edge U -> V, weight -K-1.
+  void edgeFor(Lit L, Var &From, Var &To, int64_t &W) const {
+    const IAtom &A = Atoms[atomOf(L)];
+    if (!isNeg(L)) {
+      From = A.V;
+      To = A.U;
+      W = A.K;
+    } else {
+      From = A.U;
+      To = A.V;
+      W = -A.K - 1;
+    }
+  }
+
+  /// Adds the theory edge for \p L. On a negative cycle, restores the
+  /// potentials, removes the edge again, fills \p ConflictLits with the true
+  /// literals forming the cycle, and returns false.
+  bool addEdge(Lit L, std::vector<Lit> &ConflictLits, bool &AddedEdge) {
+    Var From, To;
+    int64_t W;
+    edgeFor(L, From, To, W);
+    Adj[From].push_back({To, W, L});
+    AddedEdge = true;
+    if (Pot[To] <= Pot[From] + W)
+      return true;
+
+    TouchedPot.clear();
+    RelaxQueue.clear();
+    TouchedPot.push_back({To, Pot[To]});
+    Pot[To] = Pot[From] + W;
+    ParentFrom[To] = From;
+    ParentLit[To] = L;
+    RelaxQueue.push_back(To);
+
+    for (size_t Head = 0; Head < RelaxQueue.size(); ++Head) {
+      Var A = RelaxQueue[Head];
+      int64_t Base = Pot[A];
+      for (const Edge &E : Adj[A]) {
+        if (Pot[E.To] <= Base + E.W)
+          continue;
+        if (E.To == From) {
+          // Negative cycle through the new edge: collect its literals by
+          // walking the relaxation parents from A back to From.
+          ConflictLits.clear();
+          ConflictLits.push_back(E.L);
+          Var Cur = A;
+          while (Cur != From) {
+            ConflictLits.push_back(ParentLit[Cur]);
+            Cur = ParentFrom[Cur];
+          }
+          // Roll back potentials and the new edge.
+          for (auto It = TouchedPot.rbegin(); It != TouchedPot.rend(); ++It)
+            Pot[It->first] = It->second;
+          Adj[From].pop_back();
+          AddedEdge = false;
+          return false;
+        }
+        TouchedPot.push_back({E.To, Pot[E.To]});
+        Pot[E.To] = Base + E.W;
+        ParentFrom[E.To] = A;
+        ParentLit[E.To] = E.L;
+        RelaxQueue.push_back(E.To);
+      }
+    }
+    return true;
+  }
+
+  /// Assigns \p L true, updates the theory, and performs boolean unit
+  /// propagation. Returns false on conflict; \p ConflictLits then holds a
+  /// (possibly empty) set of true literals that cannot all hold.
+  bool enqueueAndPropagate(Lit L, std::vector<Lit> &ConflictLits) {
+    std::vector<Lit> Pending{L};
+    while (!Pending.empty()) {
+      Lit Cur = Pending.back();
+      Pending.pop_back();
+      int8_t V = litValue(Cur);
+      if (V > 0)
+        continue;
+      if (V < 0) {
+        // Boolean conflict; no cycle explanation available here.
+        ConflictLits.clear();
+        return false;
+      }
+      bool AddedEdge = false;
+      Val[atomOf(Cur)] = isNeg(Cur) ? -1 : 1;
+      if (!addEdge(Cur, ConflictLits, AddedEdge)) {
+        Val[atomOf(Cur)] = 0;
+        return false;
+      }
+      Trail.push_back({Cur, AddedEdge, 0});
+      if (AddedEdge) {
+        Var From, To;
+        int64_t W;
+        edgeFor(Cur, From, To, W);
+        Trail.back().EdgeFrom = From;
+      }
+      ++Result.Propagations;
+
+      // Clauses where Cur just became false may now be unit or empty.
+      Lit Falsified = negate(Cur);
+      const auto &Occ =
+          (isNeg(Falsified) ? OccNeg : OccPos)[atomOf(Falsified)];
+      for (uint32_t CI : Occ) {
+        const IClause &C = Clauses[CI];
+        Lit Unit = 0;
+        bool Satisfied = false;
+        unsigned Unassigned = 0;
+        for (Lit CL : C.Lits) {
+          int8_t CV = litValue(CL);
+          if (CV > 0) {
+            Satisfied = true;
+            break;
+          }
+          if (CV == 0) {
+            ++Unassigned;
+            Unit = CL;
+          }
+        }
+        if (Satisfied)
+          continue;
+        if (Unassigned == 0) {
+          ConflictLits.clear();
+          return false;
+        }
+        if (Unassigned == 1)
+          Pending.push_back(Unit);
+      }
+    }
+    return true;
+  }
+
+  void undoTo(size_t TrailSize) {
+    while (Trail.size() > TrailSize) {
+      TrailStep &S = Trail.back();
+      if (S.HasEdge)
+        Adj[S.EdgeFrom].pop_back();
+      Val[atomOf(S.L)] = 0;
+      Trail.pop_back();
+    }
+  }
+
+  SolveResult run() {
+    Stopwatch Timer;
+
+    // Assert all unit input clauses up front.
+    std::vector<Lit> ConflictLits;
+    size_t NumInput = Clauses.size();
+    for (size_t CI = 0; CI < NumInput; ++CI) {
+      if (Clauses[CI].Lits.size() != 1)
+        continue;
+      if (!enqueueAndPropagate(Clauses[CI].Lits[0], ConflictLits)) {
+        if (!resolveConflict(ConflictLits)) {
+          Result.Outcome = SolveResult::Status::Unsat;
+          Result.SolveSeconds = Timer.seconds();
+          return Result;
+        }
+      }
+    }
+
+    size_t CI = 0;
+    while (CI < Clauses.size()) {
+      const IClause &C = Clauses[CI];
+      bool Satisfied = false;
+      Lit Choice = 0;
+      bool HaveChoice = false;
+      for (Lit L : C.Lits) {
+        int8_t V = litValue(L);
+        if (V > 0) {
+          Satisfied = true;
+          break;
+        }
+        if (V == 0 && !HaveChoice) {
+          Choice = L;
+          HaveChoice = true;
+        }
+      }
+      if (Satisfied) {
+        ++CI;
+        continue;
+      }
+      if (!HaveChoice) {
+        // All literals false: conflict discovered lazily.
+        if (!resolveConflict(ConflictLits)) {
+          Result.Outcome = SolveResult::Status::Unsat;
+          Result.SolveSeconds = Timer.seconds();
+          return Result;
+        }
+        CI = 0;
+        continue;
+      }
+      ++Result.Decisions;
+      Decisions.push_back({static_cast<uint32_t>(Trail.size()), Choice});
+      if (!enqueueAndPropagate(Choice, ConflictLits)) {
+        if (!resolveConflict(ConflictLits)) {
+          Result.Outcome = SolveResult::Status::Unsat;
+          Result.SolveSeconds = Timer.seconds();
+          return Result;
+        }
+        CI = 0;
+        continue;
+      }
+      ++CI;
+    }
+
+    // Model extraction: the potentials already satisfy every asserted atom;
+    // unconstrained variables keep potential 0.
+    Result.Outcome = SolveResult::Status::Sat;
+    Result.Values.assign(Pot.begin(), Pot.end());
+    Result.SolveSeconds = Timer.seconds();
+    assert(Sys.satisfiedBy(Result.Values) && "model does not satisfy system");
+    return Result;
+  }
+
+  /// Chronological backtracking with decision flipping. Learns the
+  /// negative-cycle clause when one is available. Returns false when no
+  /// decision is left to flip (UNSAT).
+  bool resolveConflict(std::vector<Lit> &ConflictLits) {
+    ++Result.Conflicts;
+    if (ConflictLits.size() > 1) {
+      // Learn the negation of the cycle: at least one of its literals must
+      // be false in any model.
+      IClause Learned;
+      Learned.Lits.reserve(ConflictLits.size());
+      for (Lit L : ConflictLits)
+        Learned.Lits.push_back(negate(L));
+      addClauseInternal(std::move(Learned));
+    }
+    while (true) {
+      if (Decisions.empty())
+        return false;
+      Decision D = Decisions.back();
+      Decisions.pop_back();
+      undoTo(D.TrailPos);
+      std::vector<Lit> SubConflict;
+      if (enqueueAndPropagate(negate(D.L), SubConflict))
+        return true;
+      ++Result.Conflicts;
+      if (SubConflict.size() > 1) {
+        IClause Learned;
+        for (Lit L : SubConflict)
+          Learned.Lits.push_back(negate(L));
+        addClauseInternal(std::move(Learned));
+      }
+    }
+  }
+};
+
+IdlSolver::IdlSolver(const OrderSystem &System)
+    : I(std::make_unique<Impl>(System)) {}
+
+IdlSolver::~IdlSolver() = default;
+
+SolveResult IdlSolver::solve() { return I->run(); }
+
+SolveResult light::smt::solveWithIdl(const OrderSystem &System) {
+  IdlSolver Solver(System);
+  return Solver.solve();
+}

@@ -1,0 +1,57 @@
+//===- smt/IdlSolver.h - DPLL(T) difference-logic solver --------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained SMT solver for the Integer Difference Logic fragment the
+/// replay constraint system lives in (Section 4.2). It combines:
+///
+///   * a DPLL search over clause literals with chronological backtracking
+///     and decision flipping,
+///   * an incremental difference-constraint theory: asserted atoms become
+///     weighted edges; feasibility is maintained via potential functions and
+///     incremental Bellman-Ford relaxation with negative-cycle detection,
+///   * conflict learning from negative-cycle explanations.
+///
+/// The paper discharges the same constraints to Z3's IDL theory; this solver
+/// plays that role by default, and smt/Z3Backend provides the actual Z3 for
+/// differential validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SMT_IDLSOLVER_H
+#define LIGHT_SMT_IDLSOLVER_H
+
+#include "smt/OrderSystem.h"
+
+#include <memory>
+
+namespace light {
+namespace smt {
+
+/// Solves an OrderSystem. A fresh instance should be created per solve call.
+class IdlSolver {
+  struct Impl;
+  std::unique_ptr<Impl> I;
+
+public:
+  explicit IdlSolver(const OrderSystem &System);
+  ~IdlSolver();
+
+  IdlSolver(const IdlSolver &) = delete;
+  IdlSolver &operator=(const IdlSolver &) = delete;
+
+  /// Runs the search. On Sat the result holds a model that
+  /// OrderSystem::satisfiedBy accepts.
+  SolveResult solve();
+};
+
+/// Convenience wrapper: construct, solve, return.
+SolveResult solveWithIdl(const OrderSystem &System);
+
+} // namespace smt
+} // namespace light
+
+#endif // LIGHT_SMT_IDLSOLVER_H

@@ -1,0 +1,59 @@
+//===- smt/OrderSystem.cpp - Difference-logic constraint systems ---------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/OrderSystem.h"
+
+#include <cassert>
+
+using namespace light;
+using namespace light::smt;
+
+void OrderSystem::addClause(Clause C) {
+  assert(!C.empty() && "empty clause would make the system trivially unsat");
+  for ([[maybe_unused]] const Atom &A : C) {
+    assert(A.U < NumVariables && A.V < NumVariables &&
+           "atom references an undeclared variable");
+  }
+  Clauses.push_back(std::move(C));
+}
+
+bool OrderSystem::satisfiedBy(const std::vector<int64_t> &Values) const {
+  if (Values.size() < NumVariables)
+    return false;
+  for (const Clause &C : Clauses) {
+    bool Holds = false;
+    for (const Atom &A : C) {
+      if (Values[A.U] - Values[A.V] <= A.K) {
+        Holds = true;
+        break;
+      }
+    }
+    if (!Holds)
+      return false;
+  }
+  return true;
+}
+
+std::string OrderSystem::str() const {
+  auto VarName = [&](Var V) {
+    return Names[V].empty() ? "v" + std::to_string(V) : Names[V];
+  };
+  std::string Out;
+  for (const Clause &C : Clauses) {
+    for (size_t I = 0; I < C.size(); ++I) {
+      if (I)
+        Out += " \\/ ";
+      const Atom &A = C[I];
+      if (A.K == -1)
+        Out += VarName(A.U) + " < " + VarName(A.V);
+      else
+        Out += VarName(A.U) + " - " + VarName(A.V) +
+               " <= " + std::to_string(A.K);
+    }
+    Out += "\n";
+  }
+  return Out;
+}

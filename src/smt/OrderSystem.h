@@ -1,0 +1,109 @@
+//===- smt/OrderSystem.h - Difference-logic constraint systems --*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint-system vocabulary the replay phase discharges to a solver.
+///
+/// Section 4.2 of the paper encodes the replay schedule as ordering
+/// constraints over order variables O(c): single-dependence constraints
+/// O(c_w) < O(c_r), noninterference disjunctions
+/// (O(c2_r) < O(c1_w) or O(c1_r) < O(c2_w)), and intra-thread order chains.
+/// All of these are clauses over Integer Difference Logic atoms
+/// x_u - x_v <= k, solved via the IDL theory (the paper uses Z3's IDL; we
+/// provide both our own DPLL(T) IDL solver and a Z3 backend).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SMT_ORDERSYSTEM_H
+#define LIGHT_SMT_ORDERSYSTEM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace smt {
+
+/// Index of an integer-valued order variable.
+using Var = uint32_t;
+
+/// One difference-logic atom: x_U - x_V <= K.
+struct Atom {
+  Var U = 0;
+  Var V = 0;
+  int64_t K = 0;
+
+  /// Convenience constructor for the strict order x_U < x_V, i.e.
+  /// x_U - x_V <= -1.
+  static Atom less(Var U, Var V) { return Atom{U, V, -1}; }
+
+  friend bool operator==(const Atom &A, const Atom &B) {
+    return A.U == B.U && A.V == B.V && A.K == B.K;
+  }
+};
+
+/// A disjunction of atoms. The replay encoding only ever produces positive
+/// clauses: unit clauses for dependences and thread order, binary clauses
+/// for noninterference (Equation 1).
+using Clause = std::vector<Atom>;
+
+/// A complete constraint system plus optional debug names for variables.
+class OrderSystem {
+  uint32_t NumVariables = 0;
+  std::vector<Clause> Clauses;
+  std::vector<std::string> Names;
+
+public:
+  /// Creates a fresh order variable. \p Name is kept for diagnostics only.
+  Var newVar(std::string Name = std::string()) {
+    Names.push_back(std::move(Name));
+    return NumVariables++;
+  }
+
+  /// Adds a disjunction of atoms. Empty clauses are rejected (they would be
+  /// trivially unsatisfiable and indicate a generator bug).
+  void addClause(Clause C);
+
+  /// Adds the unit constraint x_U < x_V.
+  void addLess(Var U, Var V) { addClause({Atom::less(U, V)}); }
+
+  /// Adds the binary noninterference disjunction
+  /// (x_A < x_B) or (x_C < x_D).
+  void addEitherLess(Var A, Var B, Var C, Var D) {
+    addClause({Atom::less(A, B), Atom::less(C, D)});
+  }
+
+  uint32_t numVars() const { return NumVariables; }
+  const std::vector<Clause> &clauses() const { return Clauses; }
+  const std::string &name(Var V) const { return Names[V]; }
+
+  /// Checks a candidate assignment against every clause; used by tests and
+  /// by the replayer's paranoid mode to validate solver models.
+  bool satisfiedBy(const std::vector<int64_t> &Values) const;
+
+  std::string str() const;
+};
+
+/// Solver verdict plus model and statistics.
+struct SolveResult {
+  enum class Status { Sat, Unsat } Outcome = Status::Unsat;
+
+  /// Model: one integer per variable (valid when Outcome == Sat).
+  std::vector<int64_t> Values;
+
+  // Statistics.
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  double SolveSeconds = 0;
+
+  bool sat() const { return Outcome == Status::Sat; }
+};
+
+} // namespace smt
+} // namespace light
+
+#endif // LIGHT_SMT_ORDERSYSTEM_H

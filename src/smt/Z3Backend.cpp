@@ -1,0 +1,59 @@
+//===- smt/Z3Backend.cpp - Z3-based order solving --------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Z3Backend.h"
+
+#include "smt/IdlSolver.h"
+#include "support/Timer.h"
+
+#include <z3++.h>
+
+using namespace light;
+using namespace light::smt;
+
+SolveResult light::smt::solveWithZ3(const OrderSystem &System) {
+  Stopwatch Timer;
+  SolveResult Result;
+
+  z3::context Ctx;
+  z3::solver Solver(Ctx, "QF_IDL");
+
+  std::vector<z3::expr> Vars;
+  Vars.reserve(System.numVars());
+  for (uint32_t I = 0; I < System.numVars(); ++I)
+    Vars.push_back(Ctx.int_const(("o" + std::to_string(I)).c_str()));
+
+  for (const Clause &C : System.clauses()) {
+    z3::expr_vector Disjuncts(Ctx);
+    for (const Atom &A : C)
+      Disjuncts.push_back(Vars[A.U] - Vars[A.V] <=
+                          Ctx.int_val(static_cast<int64_t>(A.K)));
+    Solver.add(z3::mk_or(Disjuncts));
+  }
+
+  if (Solver.check() != z3::sat) {
+    Result.Outcome = SolveResult::Status::Unsat;
+    Result.SolveSeconds = Timer.seconds();
+    return Result;
+  }
+
+  z3::model Model = Solver.get_model();
+  Result.Outcome = SolveResult::Status::Sat;
+  Result.Values.resize(System.numVars(), 0);
+  for (uint32_t I = 0; I < System.numVars(); ++I) {
+    z3::expr Value = Model.eval(Vars[I], /*model_completion=*/true);
+    Result.Values[I] = Value.get_numeral_int64();
+  }
+  Result.SolveSeconds = Timer.seconds();
+  return Result;
+}
+
+SolveResult light::smt::solveOrder(const OrderSystem &System,
+                                   SolverEngine Engine) {
+  if (Engine == SolverEngine::Z3)
+    return solveWithZ3(System);
+  return solveWithIdl(System);
+}

@@ -1,0 +1,37 @@
+//===- smt/Z3Backend.h - Z3-based order solving ------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discharges an OrderSystem to the real Z3 SMT solver, exactly as the
+/// paper's prototype does ("Our modeling is efficiently solved via the
+/// Integer Difference Logic (IDL) theory provided by Z3", Section 5.1).
+/// The in-tree IdlSolver is the default engine; this backend exists to
+/// (a) mirror the paper's setup and (b) differentially validate IdlSolver
+/// in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SMT_Z3BACKEND_H
+#define LIGHT_SMT_Z3BACKEND_H
+
+#include "smt/OrderSystem.h"
+
+namespace light {
+namespace smt {
+
+/// Solves \p System with Z3. Semantics identical to solveWithIdl.
+SolveResult solveWithZ3(const OrderSystem &System);
+
+/// Which engine a client wants schedules computed with.
+enum class SolverEngine { Idl, Z3 };
+
+/// Dispatches on \p Engine.
+SolveResult solveOrder(const OrderSystem &System, SolverEngine Engine);
+
+} // namespace smt
+} // namespace light
+
+#endif // LIGHT_SMT_Z3BACKEND_H

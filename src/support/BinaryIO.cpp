@@ -1,0 +1,72 @@
+//===- support/BinaryIO.cpp - Long-integer log serialization -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryIO.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+using namespace light;
+
+LongWriter::LongWriter(std::string PathIn, size_t FlushThresholdWords)
+    : Path(std::move(PathIn)), FlushThreshold(FlushThresholdWords) {
+  File = std::fopen(Path.c_str(), "wb");
+  assert(File && "failed to open log file for writing");
+  if (FlushThreshold)
+    Buffer.reserve(FlushThreshold);
+}
+
+LongWriter::~LongWriter() {
+  if (File)
+    finish();
+}
+
+void LongWriter::flush() {
+  if (!File || Buffer.empty())
+    return;
+  size_t Wrote =
+      std::fwrite(Buffer.data(), sizeof(uint64_t), Buffer.size(), File);
+  (void)Wrote;
+  assert(Wrote == Buffer.size() && "short write while flushing log");
+  std::fflush(File); // a flush must actually reach the OS
+  Buffer.clear();
+}
+
+uint64_t LongWriter::finish() {
+  if (File) {
+    flush();
+    std::fclose(File);
+    File = nullptr;
+  }
+  return Written;
+}
+
+LongReader::LongReader(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return;
+  Loaded = true;
+  uint64_t Chunk[4096];
+  size_t Got;
+  while ((Got = std::fread(Chunk, sizeof(uint64_t), 4096, File)) > 0)
+    Words.insert(Words.end(), Chunk, Chunk + Got);
+  std::fclose(File);
+}
+
+uint64_t LongReader::get() {
+  assert(Pos < Words.size() && "LongReader read past end of log");
+  return Words[Pos++];
+}
+
+std::string light::makeTempPath(const std::string &Stem) {
+  static std::atomic<uint64_t> Serial{0};
+  const char *Dir = std::getenv("TMPDIR");
+  std::string Base = Dir ? Dir : "/tmp";
+  return Base + "/light-" + Stem + "-" +
+         std::to_string(Serial.fetch_add(1, std::memory_order_relaxed)) +
+         ".log";
+}

@@ -1,0 +1,89 @@
+//===- support/BinaryIO.h - Long-integer log serialization ------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary writers/readers for recording logs. All three recording schemes in
+/// the paper (Light, Leap, Stride) dump their logs to disk as sequences of
+/// long integers; the evaluation counts space in "Long-integer" units
+/// (Section 5.2). LongWriter both serializes and counts those units so the
+/// space figures come directly from the bytes that actually hit the disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_BINARYIO_H
+#define LIGHT_SUPPORT_BINARYIO_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace light {
+
+/// Appends 64-bit little-endian words to a file, buffering in memory and
+/// flushing once the buffer exceeds a threshold — the same buffered dump
+/// scheme all three tools were configured with in Section 5.2 to avoid
+/// out-of-memory crashes in long-running benchmarks.
+class LongWriter {
+  std::string Path;
+  std::FILE *File = nullptr;
+  std::vector<uint64_t> Buffer;
+  size_t FlushThreshold;
+  uint64_t Written = 0;
+
+public:
+  /// Opens \p Path for writing. \p FlushThresholdWords bounds the in-memory
+  /// buffer; 0 keeps everything buffered until finish().
+  explicit LongWriter(std::string Path, size_t FlushThresholdWords = 1 << 16);
+  ~LongWriter();
+
+  LongWriter(const LongWriter &) = delete;
+  LongWriter &operator=(const LongWriter &) = delete;
+
+  /// Appends one long-integer unit.
+  void put(uint64_t Word) {
+    Buffer.push_back(Word);
+    ++Written;
+    if (FlushThreshold && Buffer.size() >= FlushThreshold)
+      flush();
+  }
+
+  /// Forces buffered words to disk.
+  void flush();
+
+  /// Flushes and closes the file. Returns the total long-integer count.
+  uint64_t finish();
+
+  /// Total long-integer units written so far (including buffered ones).
+  uint64_t wordsWritten() const { return Written; }
+};
+
+/// Reads back a file produced by LongWriter.
+class LongReader {
+  std::vector<uint64_t> Words;
+  size_t Pos = 0;
+
+public:
+  /// Loads the whole file; ok() reports whether the open succeeded.
+  explicit LongReader(const std::string &Path);
+
+  bool ok() const { return Loaded; }
+  bool atEnd() const { return Pos >= Words.size(); }
+  size_t size() const { return Words.size(); }
+
+  /// Returns the next word; must not be called at end.
+  uint64_t get();
+
+private:
+  bool Loaded = false;
+};
+
+/// Returns a fresh unique path under the system temporary directory.
+std::string makeTempPath(const std::string &Stem);
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_BINARYIO_H

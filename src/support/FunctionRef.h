@@ -1,0 +1,57 @@
+//===- support/FunctionRef.h - Non-owning callable reference ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight, non-owning reference to a callable, in the style of
+/// llvm::function_ref. Used on the instrumentation hot path so that recorder
+/// implementations can wrap the program's memory access inside whatever
+/// atomic section they require without a std::function allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_FUNCTIONREF_H
+#define LIGHT_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace light {
+
+template <typename Fn> class FunctionRef;
+
+/// A type-erased reference to a callable object. The referenced callable must
+/// outlive the FunctionRef; FunctionRef is intended purely for parameter
+/// passing, never for storage.
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+  Ret (*Callback)(intptr_t Callee, Params... Ps) = nullptr;
+  intptr_t Callee = 0;
+
+  template <typename Callable>
+  static Ret callbackFn(intptr_t C, Params... Ps) {
+    return (*reinterpret_cast<Callable *>(C))(std::forward<Params>(Ps)...);
+  }
+
+public:
+  FunctionRef() = default;
+
+  template <typename Callable>
+  FunctionRef(Callable &&C,
+              std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Callable>,
+                                               FunctionRef>> * = nullptr)
+      : Callback(callbackFn<std::remove_reference_t<Callable>>),
+        Callee(reinterpret_cast<intptr_t>(&C)) {}
+
+  Ret operator()(Params... Ps) const {
+    return Callback(Callee, std::forward<Params>(Ps)...);
+  }
+
+  explicit operator bool() const { return Callback; }
+};
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_FUNCTIONREF_H

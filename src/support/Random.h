@@ -1,0 +1,79 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, fully deterministic PRNG (splitmix64 seeded xoshiro256**).
+/// All schedule exploration, workload generation, and property tests draw
+/// randomness from this generator so that every run is reproducible from a
+/// single 64-bit seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_RANDOM_H
+#define LIGHT_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace light {
+
+/// Deterministic xoshiro256** generator with splitmix64 seeding.
+class Rng {
+  uint64_t State[4];
+
+  static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the generator from \p Seed via splitmix64.
+  void reseed(uint64_t Seed) {
+    for (uint64_t &S : State) {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      S = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t *S = State;
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below() requires a nonzero bound");
+    // Multiply-shift bounded rejection is unnecessary for simulation use;
+    // modulo bias is negligible for the bounds we draw.
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Returns a double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_RANDOM_H

@@ -1,0 +1,41 @@
+//===- support/Statistics.cpp - Aggregate statistics helpers -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace light;
+
+double light::mean(const std::vector<double> &Samples) {
+  if (Samples.empty())
+    return 0;
+  double Total = std::accumulate(Samples.begin(), Samples.end(), 0.0);
+  return Total / static_cast<double>(Samples.size());
+}
+
+double light::median(std::vector<double> Samples) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t N = Samples.size();
+  if (N % 2 == 1)
+    return Samples[N / 2];
+  return (Samples[N / 2 - 1] + Samples[N / 2]) / 2.0;
+}
+
+Summary light::summarize(const std::vector<double> &Samples) {
+  Summary S;
+  if (Samples.empty())
+    return S;
+  S.Count = Samples.size();
+  S.Average = mean(Samples);
+  S.Median = median(Samples);
+  S.Minimum = *std::min_element(Samples.begin(), Samples.end());
+  S.Maximum = *std::max_element(Samples.begin(), Samples.end());
+  return S;
+}

@@ -1,0 +1,46 @@
+//===- support/Statistics.h - Aggregate statistics helpers -----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregate statistics (average / median / min / max) over a sample set.
+/// The evaluation section of the paper reports exactly these four aggregates
+/// for both time overhead (Section 5.2) and space consumption, so the bench
+/// harness funnels every per-benchmark measurement through this helper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_STATISTICS_H
+#define LIGHT_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace light {
+
+/// Four-number summary of a sample set, matching the aggregate rows the
+/// paper reports in Section 5.2.
+struct Summary {
+  double Average = 0;
+  double Median = 0;
+  double Minimum = 0;
+  double Maximum = 0;
+  size_t Count = 0;
+};
+
+/// Computes the average/median/min/max summary of \p Samples.
+/// An empty sample set yields an all-zero summary.
+Summary summarize(const std::vector<double> &Samples);
+
+/// Returns the arithmetic mean of \p Samples (0 for an empty set).
+double mean(const std::vector<double> &Samples);
+
+/// Returns the median of \p Samples (0 for an empty set). For an even count
+/// the average of the two middle elements is returned.
+double median(std::vector<double> Samples);
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_STATISTICS_H

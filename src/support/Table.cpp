@@ -1,0 +1,73 @@
+//===- support/Table.cpp - Plain-text table rendering --------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+
+using namespace light;
+
+Table::Table(std::vector<std::string> Header) : NumCols(Header.size()) {
+  assert(NumCols > 0 && "a table needs at least one column");
+  Rows.push_back(std::move(Header));
+  addSeparator();
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == NumCols && "row arity must match the header");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() { Rows.push_back({}); }
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  std::string Out;
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      // Separator.
+      for (size_t I = 0; I < NumCols; ++I) {
+        Out += (I == 0 ? "+" : "+");
+        Out.append(Widths[I] + 2, '-');
+      }
+      Out += "+\n";
+      continue;
+    }
+    for (size_t I = 0; I < NumCols; ++I) {
+      Out += "| ";
+      Out += Row[I];
+      Out.append(Widths[I] - Row[I].size() + 1, ' ');
+    }
+    Out += "|\n";
+  }
+  return Out;
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::fmtInt(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Out.insert(Out.begin(), ',');
+    Out.insert(Out.begin(), *It);
+    ++Count;
+  }
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- support/Table.h - Plain-text table rendering -------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fixed-width table renderer. Every bench binary regenerates one of
+/// the paper's tables or figures as rows on stdout; this helper keeps their
+/// formatting uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_TABLE_H
+#define LIGHT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace light {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class Table {
+  std::vector<std::vector<std::string>> Rows;
+  size_t NumCols;
+
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table to a string (trailing newline included).
+  std::string render() const;
+
+  /// Formats \p Value with \p Precision digits after the decimal point.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats an integer quantity with thousands separators.
+  static std::string fmtInt(uint64_t Value);
+};
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_TABLE_H

@@ -1,0 +1,47 @@
+//===- support/Timer.h - Wall-clock stopwatch -------------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch used by the bench harness to measure recording
+/// overhead, constraint solving time, and replay time (Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_TIMER_H
+#define LIGHT_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace light {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+  std::chrono::steady_clock::time_point Start;
+
+public:
+  Stopwatch() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Returns elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    auto Delta = std::chrono::steady_clock::now() - Start;
+    return std::chrono::duration<double>(Delta).count();
+  }
+
+  /// Returns elapsed time in nanoseconds.
+  uint64_t nanos() const {
+    auto Delta = std::chrono::steady_clock::now() - Start;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Delta).count());
+  }
+};
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_TIMER_H

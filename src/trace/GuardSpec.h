@@ -1,0 +1,69 @@
+//===- trace/GuardSpec.h - Consistently-guarded location sets ---*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product of the lock-consistency analysis consumed by optimization O2
+/// (Lemma 4.2): which locations are provably always accessed under a common
+/// lock, so their field-level recording can be subsumed by the recorded
+/// lock operation order.
+///
+/// Static analysis cannot name concrete heap locations (objects do not
+/// exist yet), so guards are expressed over the same abstractions the
+/// analysis uses — field indices and global/variable ids — plus exact
+/// LocationIds for the runtime API where variables are concrete objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_TRACE_GUARDSPEC_H
+#define LIGHT_TRACE_GUARDSPEC_H
+
+#include "trace/Ids.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace light {
+
+/// A set of consistently lock-guarded locations, in abstraction space.
+struct GuardSpec {
+  /// Exact locations (runtime-API shared variables, ghost ids).
+  std::vector<LocationId> Exact;
+  /// Guarded object-field indices (LocationKind::Field payload low bits).
+  std::vector<uint32_t> FieldIndices;
+  /// Guarded global-variable ids (LocationKind::Var payload).
+  std::vector<uint64_t> GlobalIds;
+
+  bool empty() const {
+    return Exact.empty() && FieldIndices.empty() && GlobalIds.empty();
+  }
+
+  /// Normalizes for binary search; call once after construction.
+  void seal() {
+    std::sort(Exact.begin(), Exact.end());
+    std::sort(FieldIndices.begin(), FieldIndices.end());
+    std::sort(GlobalIds.begin(), GlobalIds.end());
+  }
+
+  /// True if accesses to \p L are covered by the guard analysis.
+  bool covers(LocationId L) const {
+    if (std::binary_search(Exact.begin(), Exact.end(), L))
+      return true;
+    switch (loc::kindOf(L)) {
+    case LocationKind::Field:
+      return std::binary_search(FieldIndices.begin(), FieldIndices.end(),
+                                static_cast<uint32_t>(L & 0xfffff));
+    case LocationKind::Var:
+      return std::binary_search(GlobalIds.begin(), GlobalIds.end(),
+                                loc::payloadOf(L));
+    default:
+      return false;
+    }
+  }
+};
+
+} // namespace light
+
+#endif // LIGHT_TRACE_GUARDSPEC_H

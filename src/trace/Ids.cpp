@@ -1,0 +1,34 @@
+//===- trace/Ids.cpp - Location pretty-printing ---------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Ids.h"
+
+using namespace light;
+
+std::string light::loc::str(LocationId L) {
+  uint64_t P = payloadOf(L);
+  switch (kindOf(L)) {
+  case LocationKind::Invalid:
+    return "<invalid-loc>";
+  case LocationKind::Field:
+    return ObjectId::unpack(P >> 20).str() + ".f" +
+           std::to_string(P & 0xfffff);
+  case LocationKind::ArrayElem:
+    return ObjectId::unpack(P >> 20).str() + "[" +
+           std::to_string(P & 0xfffff) + "]";
+  case LocationKind::Lock:
+    return "lock(" + ObjectId::unpack(P).str() + ")";
+  case LocationKind::Cond:
+    return "cond(" + ObjectId::unpack(P).str() + ")";
+  case LocationKind::ThreadStart:
+    return "start(t" + std::to_string(P) + ")";
+  case LocationKind::ThreadTerm:
+    return "term(t" + std::to_string(P) + ")";
+  case LocationKind::Var:
+    return "var" + std::to_string(P);
+  }
+  return "<bad-loc>";
+}

@@ -1,0 +1,205 @@
+//===- trace/Ids.h - Threads, counters, accesses, locations -----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core identifier vocabulary shared by the recorder, the replayer, the
+/// constraint generator, and both execution substrates (the MIR interpreter
+/// and the real-thread runtime).
+///
+/// Following Section 2.3 of the paper, every shared access is denoted by a
+/// thread-local index (t, c): the thread t and the value c of the thread's
+/// local access counter. Such pairs are the "order variables" of the replay
+/// constraint system and must be *stable* across the record run and the
+/// replay run, which is why object identities are derived from
+/// (allocating thread, per-thread allocation index) rather than from any
+/// global allocation order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_TRACE_IDS_H
+#define LIGHT_TRACE_IDS_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace light {
+
+/// Dense identifier of a thread, stable across record and replay (see
+/// ThreadRegistry / interp thread tables for how stability is maintained).
+using ThreadId = uint16_t;
+
+/// Thread-local shared-access counter. Counters start at 1 so that a packed
+/// AccessId of 0 can serve as "no access".
+using Counter = uint64_t;
+
+/// A shared access identified by (thread, thread-local counter), packed into
+/// 64 bits: thread in the top 16 bits, counter in the low 48.
+struct AccessId {
+  ThreadId Thread = 0;
+  Counter Count = 0;
+
+  AccessId() = default;
+  AccessId(ThreadId T, Counter C) : Thread(T), Count(C) {}
+
+  bool valid() const { return Count != 0; }
+
+  uint64_t pack() const {
+    assert(Count < (1ull << 48) && "access counter overflow");
+    return (static_cast<uint64_t>(Thread) << 48) | Count;
+  }
+
+  static AccessId unpack(uint64_t Packed) {
+    AccessId A;
+    A.Thread = static_cast<ThreadId>(Packed >> 48);
+    A.Count = Packed & ((1ull << 48) - 1);
+    return A;
+  }
+
+  friend bool operator==(const AccessId &A, const AccessId &B) {
+    return A.Thread == B.Thread && A.Count == B.Count;
+  }
+  friend bool operator!=(const AccessId &A, const AccessId &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const AccessId &A, const AccessId &B) {
+    return A.pack() < B.pack();
+  }
+
+  std::string str() const {
+    return "(t" + std::to_string(Thread) + "," + std::to_string(Count) + ")";
+  }
+};
+
+/// Identity of a heap object, stable across runs: the allocating thread plus
+/// that thread's allocation index. By thread determinism (Assumption 1 in the
+/// paper) each thread performs the same allocation sequence in the replay
+/// run, so these identities name the "same" objects in both runs.
+struct ObjectId {
+  ThreadId AllocThread = 0;
+  uint32_t AllocIndex = 0; ///< 1-based; 0 encodes the null object.
+
+  ObjectId() = default;
+  ObjectId(ThreadId T, uint32_t Index) : AllocThread(T), AllocIndex(Index) {}
+
+  bool isNull() const { return AllocIndex == 0; }
+
+  /// 40-bit packed form: thread(12) | index(28).
+  uint64_t pack() const {
+    assert(AllocThread < (1u << 12) && "too many allocating threads");
+    assert(AllocIndex < (1u << 28) && "per-thread allocation overflow");
+    return (static_cast<uint64_t>(AllocThread) << 28) | AllocIndex;
+  }
+
+  static ObjectId unpack(uint64_t Packed) {
+    ObjectId O;
+    O.AllocThread = static_cast<ThreadId>((Packed >> 28) & 0xfff);
+    O.AllocIndex = static_cast<uint32_t>(Packed & ((1u << 28) - 1));
+    return O;
+  }
+
+  friend bool operator==(const ObjectId &A, const ObjectId &B) {
+    return A.AllocThread == B.AllocThread && A.AllocIndex == B.AllocIndex;
+  }
+
+  std::string str() const {
+    if (isNull())
+      return "null";
+    return "o" + std::to_string(AllocThread) + "." + std::to_string(AllocIndex);
+  }
+};
+
+/// A shared memory location (or ghost location modeling a synchronization
+/// primitive, per Section 4.3 of the paper) packed into 64 bits.
+///
+/// Layout: kind(4 bits, 63..60) | payload(60 bits).
+using LocationId = uint64_t;
+
+constexpr LocationId InvalidLocation = 0;
+
+/// The classes of locations the recorder tracks.
+enum class LocationKind : uint8_t {
+  Invalid = 0,
+  Field = 1,       ///< object field: obj(40) | fieldIdx(20)
+  ArrayElem = 2,   ///< array element: obj(40) | index(20)
+  Lock = 3,        ///< ghost lock word of a monitor: obj(40)
+  Cond = 4,        ///< ghost condition word (wait/notify): obj(40)
+  ThreadStart = 5, ///< ghost start token of a thread: threadId
+  ThreadTerm = 6,  ///< ghost termination token of a thread: threadId
+  Var = 7,         ///< runtime-API shared variable: user-assigned id
+};
+
+namespace loc {
+
+inline LocationId make(LocationKind K, uint64_t Payload) {
+  assert(Payload < (1ull << 60) && "location payload overflow");
+  return (static_cast<uint64_t>(K) << 60) | Payload;
+}
+
+inline LocationKind kindOf(LocationId L) {
+  return static_cast<LocationKind>(L >> 60);
+}
+
+inline uint64_t payloadOf(LocationId L) { return L & ((1ull << 60) - 1); }
+
+inline LocationId field(ObjectId Obj, uint32_t FieldIdx) {
+  assert(FieldIdx < (1u << 20) && "field index overflow");
+  return make(LocationKind::Field, (Obj.pack() << 20) | FieldIdx);
+}
+
+inline LocationId arrayElem(ObjectId Obj, uint32_t Index) {
+  assert(Index < (1u << 20) && "array index too large to form a location");
+  return make(LocationKind::ArrayElem, (Obj.pack() << 20) | Index);
+}
+
+inline LocationId lock(ObjectId Obj) {
+  return make(LocationKind::Lock, Obj.pack());
+}
+
+inline LocationId cond(ObjectId Obj) {
+  return make(LocationKind::Cond, Obj.pack());
+}
+
+inline LocationId threadStart(ThreadId T) {
+  return make(LocationKind::ThreadStart, T);
+}
+
+inline LocationId threadTerm(ThreadId T) {
+  return make(LocationKind::ThreadTerm, T);
+}
+
+inline LocationId var(uint64_t VarId) { return make(LocationKind::Var, VarId); }
+
+/// Returns true if \p L is a ghost location synthesized for a
+/// synchronization primitive rather than actual program data.
+inline bool isGhost(LocationId L) {
+  LocationKind K = kindOf(L);
+  return K == LocationKind::Lock || K == LocationKind::Cond ||
+         K == LocationKind::ThreadStart || K == LocationKind::ThreadTerm;
+}
+
+/// The field index used for striping decisions ("the offset of field f
+/// within the class definition", Section 4.1). For non-field locations the
+/// low payload bits serve the same purpose.
+inline uint32_t stripeKey(LocationId L) {
+  return static_cast<uint32_t>(L & 0xfffff) ^ static_cast<uint32_t>(L >> 20);
+}
+
+std::string str(LocationId L);
+
+} // namespace loc
+
+/// Hash functor so LocationId/AccessId maps can be declared tersely.
+struct AccessIdHash {
+  size_t operator()(const AccessId &A) const {
+    return std::hash<uint64_t>()(A.pack());
+  }
+};
+
+} // namespace light
+
+#endif // LIGHT_TRACE_IDS_H

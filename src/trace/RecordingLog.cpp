@@ -1,0 +1,174 @@
+//===- trace/RecordingLog.cpp - The on-disk recording ---------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/RecordingLog.h"
+
+#include "support/BinaryIO.h"
+
+using namespace light;
+
+namespace {
+constexpr uint64_t LogMagic = 0x4c49474854303031ull; // "LIGHT001"
+} // namespace
+
+uint64_t RecordingLog::save(const std::string &Path) const {
+  LongWriter Writer(Path);
+  Writer.put(LogMagic);
+
+  Writer.put(Spans.size());
+  for (const DepSpan &S : Spans) {
+    // The span kind shares the top two bits of the packed (thread, first)
+    // word, which caps thread ids at 2^14 - 1. Far beyond any realistic
+    // concurrency level, but keep the invariant checked.
+    assert(S.Thread < (1u << 14) && "thread id too large for span encoding");
+    Writer.put(S.Loc);
+    Writer.put(S.Src.valid() ? S.Src.pack() : 0);
+    Writer.put(AccessId(S.Thread, S.First).pack() |
+               (static_cast<uint64_t>(S.Kind) << 62));
+    Writer.put(S.Last);
+  }
+
+  Writer.put(Syscalls.size());
+  for (const SyscallRecord &R : Syscalls) {
+    Writer.put(R.Thread);
+    Writer.put(R.Value);
+  }
+
+  Writer.put(Spawns.size());
+  for (const SpawnRecord &R : Spawns) {
+    Writer.put((static_cast<uint64_t>(R.Parent) << 48) |
+               (static_cast<uint64_t>(R.SpawnIndex) << 16) | R.Child);
+  }
+
+  Writer.put(FinalCounters.size());
+  for (Counter C : FinalCounters)
+    Writer.put(C);
+
+  Writer.put(Guards.Exact.size());
+  for (LocationId L : Guards.Exact)
+    Writer.put(L);
+  Writer.put(Guards.FieldIndices.size());
+  for (uint32_t F : Guards.FieldIndices)
+    Writer.put(F);
+  Writer.put(Guards.GlobalIds.size());
+  for (uint64_t G : Guards.GlobalIds)
+    Writer.put(G);
+
+  return Writer.finish();
+}
+
+bool RecordingLog::load(const std::string &Path) {
+  LongReader Reader(Path);
+  if (!Reader.ok() || Reader.size() < 2 || Reader.get() != LogMagic)
+    return false;
+
+  auto HasWords = [&](uint64_t N) {
+    return N <= Reader.size(); // conservative sanity bound
+  };
+
+  uint64_t NumSpans = Reader.get();
+  if (!HasWords(NumSpans))
+    return false;
+  Spans.clear();
+  Spans.reserve(NumSpans);
+  for (uint64_t I = 0; I < NumSpans; ++I) {
+    if (Reader.atEnd())
+      return false;
+    DepSpan S;
+    S.Loc = Reader.get();
+    uint64_t Src = Reader.get();
+    if (Src)
+      S.Src = AccessId::unpack(Src);
+    uint64_t FirstWord = Reader.get();
+    S.Kind = static_cast<SpanKind>(FirstWord >> 62);
+    AccessId First = AccessId::unpack(FirstWord & ~(3ull << 62));
+    S.Thread = First.Thread;
+    S.First = First.Count;
+    S.Last = Reader.get();
+    Spans.push_back(S);
+  }
+
+  uint64_t NumSyscalls = Reader.get();
+  if (!HasWords(NumSyscalls))
+    return false;
+  Syscalls.clear();
+  for (uint64_t I = 0; I < NumSyscalls; ++I) {
+    SyscallRecord R;
+    R.Thread = static_cast<ThreadId>(Reader.get());
+    R.Value = Reader.get();
+    Syscalls.push_back(R);
+  }
+
+  uint64_t NumSpawns = Reader.get();
+  if (!HasWords(NumSpawns))
+    return false;
+  Spawns.clear();
+  for (uint64_t I = 0; I < NumSpawns; ++I) {
+    uint64_t W = Reader.get();
+    SpawnRecord R;
+    R.Parent = static_cast<ThreadId>(W >> 48);
+    R.SpawnIndex = static_cast<uint32_t>((W >> 16) & 0xffffffff);
+    R.Child = static_cast<ThreadId>(W & 0xffff);
+    Spawns.push_back(R);
+  }
+
+  uint64_t NumCounters = Reader.get();
+  if (!HasWords(NumCounters))
+    return false;
+  FinalCounters.clear();
+  for (uint64_t I = 0; I < NumCounters; ++I)
+    FinalCounters.push_back(Reader.get());
+
+  uint64_t NumExact = Reader.get();
+  if (!HasWords(NumExact))
+    return false;
+  Guards.Exact.clear();
+  for (uint64_t I = 0; I < NumExact; ++I)
+    Guards.Exact.push_back(Reader.get());
+  uint64_t NumFields = Reader.get();
+  if (!HasWords(NumFields))
+    return false;
+  Guards.FieldIndices.clear();
+  for (uint64_t I = 0; I < NumFields; ++I)
+    Guards.FieldIndices.push_back(static_cast<uint32_t>(Reader.get()));
+  uint64_t NumGlobals = Reader.get();
+  if (!HasWords(NumGlobals))
+    return false;
+  Guards.GlobalIds.clear();
+  for (uint64_t I = 0; I < NumGlobals; ++I)
+    Guards.GlobalIds.push_back(Reader.get());
+  Guards.seal();
+
+  return Reader.atEnd();
+}
+
+std::string DepSpan::str() const {
+  std::string Out = loc::str(Loc) + ": ";
+  switch (Kind) {
+  case SpanKind::Read:
+    Out += Src.str() + " -> " + first().str();
+    break;
+  case SpanKind::Own:
+    Out += "own " + first().str();
+    break;
+  case SpanKind::Init:
+    Out += "init -> " + first().str();
+    break;
+  }
+  if (Last != First)
+    Out += " .. " + std::to_string(Last);
+  return Out;
+}
+
+std::string RecordingLog::str() const {
+  std::string Out;
+  Out += "spans: " + std::to_string(Spans.size()) + "\n";
+  for (const DepSpan &S : Spans)
+    Out += "  " + S.str() + "\n";
+  Out += "syscalls: " + std::to_string(Syscalls.size()) + "\n";
+  Out += "spawns: " + std::to_string(Spawns.size()) + "\n";
+  return Out;
+}

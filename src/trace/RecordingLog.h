@@ -1,0 +1,69 @@
+//===- trace/RecordingLog.h - The on-disk recording -------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete recording of one run: the merged flow-dependence spans of
+/// all threads, per-thread syscall value streams, the thread-identity table,
+/// and final per-thread access counters. This is what the Light recorder
+/// dumps to disk and what the replay phase consumes.
+///
+/// Space accounting: the paper measures space in "Long-integer" units
+/// (Section 5.2), directly counting the long integers recorded. spaceLongs()
+/// returns exactly the number of 64-bit words the serialized dependence data
+/// occupies, so Figure 5 / Figure 7b come from real serialized sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_TRACE_RECORDINGLOG_H
+#define LIGHT_TRACE_RECORDINGLOG_H
+
+#include "trace/DepSpan.h"
+#include "trace/GuardSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace light {
+
+/// A full recording of one execution.
+struct RecordingLog {
+  /// All dependence spans, merged from the per-thread local buffers.
+  std::vector<DepSpan> Spans;
+
+  /// Recorded nondeterministic syscall values, in per-thread order.
+  std::vector<SyscallRecord> Syscalls;
+
+  /// Thread-identity table for replay-stable thread ids.
+  std::vector<SpawnRecord> Spawns;
+
+  /// Final access-counter value per thread id (index = ThreadId); used by
+  /// the replayer to sanity-check termination.
+  std::vector<Counter> FinalCounters;
+
+  /// Locations whose field-level recording was subsumed by lock-order
+  /// recording (optimization O2 / Lemma 4.2). The replayer leaves accesses
+  /// to these locations ungated and never treats their writes as blind.
+  GuardSpec Guards;
+
+  /// Number of long-integer units the dependence spans occupy when
+  /// serialized (4 words per span: Loc, Src, packed(Thread, First), Last).
+  uint64_t spaceLongs() const { return Spans.size() * 4; }
+
+  /// Serializes the log to \p Path using the buffered LongWriter scheme.
+  /// Returns the number of long-integer units written (all sections).
+  uint64_t save(const std::string &Path) const;
+
+  /// Loads a log previously written by save(). Returns false on I/O or
+  /// format error.
+  bool load(const std::string &Path);
+
+  /// Human-readable dump for debugging and the examples.
+  std::string str() const;
+};
+
+} // namespace light
+
+#endif // LIGHT_TRACE_RECORDINGLOG_H

@@ -1,0 +1,185 @@
+//===- workloads/OverheadHarness.cpp - Figure 4/5/7 measurements ----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/OverheadHarness.h"
+
+#include "baselines/LeapRecorder.h"
+#include "baselines/StrideRecorder.h"
+#include "core/LightRecorder.h"
+#include "runtime/Runtime.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <vector>
+
+using namespace light;
+using namespace light::workloads;
+
+const char *light::workloads::schemeName(Scheme S) {
+  switch (S) {
+  case Scheme::Baseline:
+    return "baseline";
+  case Scheme::Light:
+    return "light";
+  case Scheme::LightO1:
+    return "light-o1";
+  case Scheme::LightBasic:
+    return "light-basic";
+  case Scheme::Leap:
+    return "leap";
+  case Scheme::Stride:
+    return "stride";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The kernel: each thread alternates local arithmetic with shared
+/// accesses. Unguarded traffic runs in bursts over NumVars variables
+/// (Figure 2's pattern); guarded traffic acquires the variable's lock and
+/// touches a consistently protected variable.
+void kernelBody(Runtime &RT, ThreadId Self, const WorkloadSpec &Spec,
+                std::vector<std::unique_ptr<SharedVar>> &Vars,
+                std::vector<std::unique_ptr<SharedVar>> &GuardedVars,
+                std::vector<std::unique_ptr<InstrumentedMutex>> &Locks) {
+  Rng R(Spec.Seed * 1315423911ull + Self * 2654435761ull);
+  int Var = 0;
+  int Burst = 0;
+  volatile int64_t Sink = 0;
+
+  for (int Op = 0; Op < Spec.OpsPerThread; ++Op) {
+    for (int W = 0; W < Spec.LocalWork; ++W)
+      Sink = Sink + W;
+
+    if (Spec.NumGuardedVars > 0 &&
+        R.below(100) < static_cast<uint64_t>(Spec.GuardedPct)) {
+      // Transactional section: lock, read-modify-write a guarded var.
+      int G = static_cast<int>(R.below(Spec.NumGuardedVars));
+      InstrumentedMutex &Mu = *Locks[G % Spec.NumLocks];
+      InstrumentedGuard Guard(RT, Mu, Self);
+      int64_t V = GuardedVars[G]->read(RT, Self);
+      GuardedVars[G]->write(RT, Self, V + 1);
+      continue;
+    }
+
+    if (Burst == 0) {
+      Var = static_cast<int>(R.below(Spec.NumVars));
+      Burst = 1 + static_cast<int>(R.below(Spec.BurstLen));
+    }
+    --Burst;
+    if (R.below(100) < static_cast<uint64_t>(Spec.ReadPct)) {
+      Sink = Sink + Vars[Var]->read(RT, Self);
+    } else {
+      Vars[Var]->write(RT, Self, Op);
+    }
+  }
+}
+
+struct SchemeHook {
+  std::unique_ptr<AccessHook> Hook;
+  LightRecorder *Light = nullptr;
+  LeapRecorder *Leap = nullptr;
+  StrideRecorder *Stride = nullptr;
+};
+
+SchemeHook makeHook(Scheme S) {
+  SchemeHook H;
+  switch (S) {
+  case Scheme::Baseline:
+    H.Hook = std::make_unique<NullHook>();
+    break;
+  case Scheme::Light:
+  case Scheme::LightO1:
+  case Scheme::LightBasic: {
+    LightOptions Opts = S == Scheme::Light      ? LightOptions::both()
+                        : S == Scheme::LightO1 ? LightOptions::o1Only()
+                                                : LightOptions::basic();
+    Opts.WriteToDisk = false; // symmetric in-memory logs for all schemes
+    auto Rec = std::make_unique<LightRecorder>(Opts);
+    H.Light = Rec.get();
+    H.Hook = std::move(Rec);
+    break;
+  }
+  case Scheme::Leap: {
+    auto Rec = std::make_unique<LeapRecorder>();
+    H.Leap = Rec.get();
+    H.Hook = std::move(Rec);
+    break;
+  }
+  case Scheme::Stride: {
+    auto Rec = std::make_unique<StrideRecorder>();
+    H.Stride = Rec.get();
+    H.Hook = std::move(Rec);
+    break;
+  }
+  }
+  return H;
+}
+
+} // namespace
+
+Measurement light::workloads::runWorkload(const WorkloadSpec &Spec,
+                                          Scheme S) {
+  SchemeHook H = makeHook(S);
+  Runtime RT(*H.Hook);
+
+  std::vector<std::unique_ptr<SharedVar>> Vars, GuardedVars;
+  std::vector<std::unique_ptr<InstrumentedMutex>> Locks;
+  for (int I = 0; I < Spec.NumVars; ++I)
+    Vars.push_back(std::make_unique<SharedVar>(/*Id=*/1000 + I));
+  for (int I = 0; I < Spec.NumGuardedVars; ++I)
+    GuardedVars.push_back(std::make_unique<SharedVar>(/*Id=*/5000 + I));
+  for (int I = 0; I < Spec.NumLocks; ++I)
+    Locks.push_back(std::make_unique<InstrumentedMutex>(/*Id=*/9000 + I));
+
+  // O2's guard set: the analysis-certified guarded variables. The dynamic
+  // lock discipline of the kernel guarantees the premise of Lemma 4.2.
+  if (H.Light) {
+    GuardSpec Guards;
+    for (const auto &GV : GuardedVars)
+      Guards.Exact.push_back(GV->location());
+    Guards.seal();
+    H.Light->setGuards(std::move(Guards));
+  }
+
+  Measurement M;
+  Stopwatch Timer;
+  {
+    std::vector<Runtime::Handle> Handles;
+    Handles.reserve(Spec.Threads);
+    for (int T = 0; T < Spec.Threads; ++T)
+      Handles.push_back(RT.spawn(Runtime::MainThread, [&](ThreadId Self) {
+        kernelBody(RT, Self, Spec, Vars, GuardedVars, Locks);
+      }));
+    for (Runtime::Handle &Handle : Handles)
+      RT.join(Runtime::MainThread, Handle);
+  }
+  M.Seconds = Timer.seconds();
+
+  if (H.Light) {
+    M.SpaceLongs = H.Light->longIntegersRecorded();
+    M.Retries = H.Light->readRetries();
+  } else if (H.Leap) {
+    M.SpaceLongs = H.Leap->longIntegersRecorded();
+  } else if (H.Stride) {
+    M.SpaceLongs = H.Stride->longIntegersRecorded();
+  }
+  for (int T = 0; T <= Spec.Threads; ++T)
+    M.SharedOps += H.Hook->counterOf(static_cast<ThreadId>(T));
+  return M;
+}
+
+double light::workloads::measureOverhead(const WorkloadSpec &Spec, Scheme S,
+                                         int Repeats) {
+  double BestBase = 1e99, BestScheme = 1e99;
+  for (int I = 0; I < Repeats; ++I) {
+    BestBase = std::min(BestBase, runWorkload(Spec, Scheme::Baseline).Seconds);
+    BestScheme = std::min(BestScheme, runWorkload(Spec, S).Seconds);
+  }
+  return BestScheme / BestBase;
+}

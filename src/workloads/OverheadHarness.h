@@ -1,0 +1,58 @@
+//===- workloads/OverheadHarness.h - Figure 4/5/7 measurements --*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a workload kernel on real std::threads under a chosen recording
+/// scheme and reports wall time plus the long-integer space consumed —
+/// the raw measurements behind Figure 4 (time overhead), Figure 5 (space),
+/// the aggregate tables of Section 5.2, and the ablation of Figure 7.
+///
+/// Overhead is normalized against the Baseline scheme (the uninstrumented
+/// pass-through hook): overhead = time(scheme)/time(baseline) - 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_WORKLOADS_OVERHEADHARNESS_H
+#define LIGHT_WORKLOADS_OVERHEADHARNESS_H
+
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+
+namespace light {
+namespace workloads {
+
+/// The measurable recording schemes.
+enum class Scheme {
+  Baseline,   ///< NullHook (uninstrumented reference)
+  Light,      ///< V_both: Algorithm 1 + O1 + O2
+  LightO1,    ///< V_O1: Algorithm 1 + O1
+  LightBasic, ///< V_basic: Algorithm 1 only
+  Leap,
+  Stride,
+};
+
+const char *schemeName(Scheme S);
+
+/// One measurement.
+struct Measurement {
+  double Seconds = 0;
+  uint64_t SpaceLongs = 0;
+  uint64_t SharedOps = 0;
+  uint64_t Retries = 0; ///< optimistic-read retries (Light only)
+};
+
+/// Runs \p Spec once under \p S. Deterministic kernel; wall time varies.
+Measurement runWorkload(const WorkloadSpec &Spec, Scheme S);
+
+/// Runs baseline plus \p S \p Repeats times each and returns the best-of
+/// ratio time(S)/time(Baseline) (best-of damps scheduler noise).
+double measureOverhead(const WorkloadSpec &Spec, Scheme S, int Repeats = 3);
+
+} // namespace workloads
+} // namespace light
+
+#endif // LIGHT_WORKLOADS_OVERHEADHARNESS_H

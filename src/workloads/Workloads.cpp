@@ -1,0 +1,88 @@
+//===- workloads/Workloads.cpp - The 24 overhead benchmarks ---------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Profile rationale (per suite):
+//
+//  * JGF kernels are compute-heavy with phase-wise sharing: large LocalWork
+//    (shared ops are sparse), long bursts.
+//  * STAMP ports are transaction-shaped: much of the traffic runs inside
+//    critical sections on consistently guarded data (O2 territory), with
+//    moderate bursts.
+//  * Server applications (the paper's Cache4j profile of Figure 2) are
+//    bursty and lock-heavy with read-mostly tables.
+//  * DaCapo programs span the spectrum: from the nearly-uninstrumentable
+//    (sunflow: private rays, rare sharing) to write-heavy shared indices
+//    (h2, xalan) where record-based overheads explode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace light;
+using namespace light::workloads;
+
+const std::vector<WorkloadSpec> &light::workloads::paperWorkloads() {
+  static const std::vector<WorkloadSpec> Specs = [] {
+    std::vector<WorkloadSpec> W;
+    auto Add = [&](std::string Name, std::string Suite, int Ops, int Vars,
+                   int GuardedVars, int ReadPct, int Burst, int Local,
+                   int GuardedPct) {
+      WorkloadSpec S;
+      S.Name = std::move(Name);
+      S.Suite = std::move(Suite);
+      S.OpsPerThread = Ops;
+      S.NumVars = Vars;
+      S.NumGuardedVars = GuardedVars;
+      S.ReadPct = ReadPct;
+      S.BurstLen = Burst;
+      S.LocalWork = Local;
+      S.GuardedPct = GuardedPct;
+      S.Seed = 0x9e3779b9u + W.size();
+      W.push_back(std::move(S));
+    };
+
+    // --- Java Grande Forum (3): compute kernels, sparse bursty sharing.
+    Add("jgf-moldyn", "JGF", 24000, 48, 8, 60, 48, 90, 10);
+    Add("jgf-montecarlo", "JGF", 20000, 32, 8, 85, 64, 120, 8);
+    Add("jgf-raytracer", "JGF", 20000, 24, 4, 90, 96, 110, 5);
+
+    // --- STAMP (8): transactional, guarded-heavy.
+    Add("stamp-bayes", "STAMP", 16000, 64, 32, 70, 12, 40, 55);
+    Add("stamp-genome", "STAMP", 20000, 96, 32, 75, 16, 30, 45);
+    Add("stamp-intruder", "STAMP", 24000, 64, 24, 55, 6, 22, 40);
+    Add("stamp-kmeans", "STAMP", 24000, 32, 16, 65, 24, 18, 35);
+    Add("stamp-labyrinth", "STAMP", 14000, 128, 32, 60, 32, 60, 50);
+    Add("stamp-ssca2", "STAMP", 28000, 160, 16, 50, 4, 18, 15);
+    Add("stamp-vacation", "STAMP", 18000, 96, 48, 75, 10, 25, 60);
+    Add("stamp-yada", "STAMP", 16000, 80, 24, 55, 8, 20, 35);
+
+    // --- Server / crawler applications (7): bursty, lock-heavy tables.
+    Add("cache4j", "Server", 22000, 40, 24, 85, 40, 30, 45);
+    Add("ftpserver", "Server", 16000, 48, 24, 70, 24, 45, 55);
+    Add("hedc", "Server", 14000, 32, 12, 80, 32, 50, 35);
+    Add("jigsaw", "Server", 18000, 64, 24, 80, 28, 35, 40);
+    Add("openjms", "Server", 16000, 48, 24, 65, 20, 30, 50);
+    Add("tomcat", "Server", 20000, 80, 32, 75, 24, 25, 45);
+    Add("weblech", "Server", 12000, 24, 12, 70, 36, 55, 40);
+
+    // --- DaCapo (6): mixed regimes.
+    Add("dacapo-avrora", "DaCapo", 26000, 64, 16, 60, 8, 24, 20);
+    Add("dacapo-h2", "DaCapo", 24000, 96, 32, 55, 4, 20, 30);
+    Add("dacapo-luindex", "DaCapo", 16000, 48, 16, 70, 40, 70, 25);
+    Add("dacapo-lusearch", "DaCapo", 20000, 48, 16, 90, 56, 60, 15);
+    Add("dacapo-sunflow", "DaCapo", 18000, 24, 4, 92, 80, 140, 5);
+    Add("dacapo-xalan", "DaCapo", 26000, 72, 24, 45, 6, 20, 25);
+    return W;
+  }();
+  return Specs;
+}
+
+const WorkloadSpec *light::workloads::findWorkload(const std::string &Name) {
+  for (const WorkloadSpec &S : paperWorkloads())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}

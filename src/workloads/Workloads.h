@@ -1,0 +1,58 @@
+//===- workloads/Workloads.h - The 24 overhead benchmarks -------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 24-benchmark overhead suite of Section 5.2: 3 Java Grande kernels,
+/// 8 STAMP ports, 7 server/crawler applications, and 6 DaCapo programs.
+/// The originals are Java applications; what determines recording overhead
+/// is their *shared-access profile* — thread count, access density,
+/// read/write mix, run-length of same-thread bursts (Figure 2's pattern,
+/// which O1 exploits), and lock discipline (which O2 exploits). Each paper
+/// benchmark is represented by a synthetic kernel with a matching profile,
+/// running on real std::threads through the instrumented runtime API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_WORKLOADS_WORKLOADS_H
+#define LIGHT_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace workloads {
+
+/// Profile of one benchmark.
+struct WorkloadSpec {
+  std::string Name;
+  std::string Suite; ///< JGF / STAMP / Server / DaCapo
+
+  int Threads = 8; ///< the paper's concurrency level
+  int OpsPerThread = 20000;
+
+  int NumVars = 64;        ///< unguarded shared locations
+  int NumGuardedVars = 16; ///< consistently lock-protected locations
+  int NumLocks = 4;
+
+  int ReadPct = 70;    ///< reads among data ops
+  int BurstLen = 16;   ///< same-location run length per thread
+  int LocalWork = 24;  ///< local arithmetic units between shared ops
+  int GuardedPct = 20; ///< ops executed on guarded vars inside locks
+
+  uint64_t Seed = 1;
+};
+
+/// The 24 paper benchmarks with their profiles.
+const std::vector<WorkloadSpec> &paperWorkloads();
+
+/// Looks a workload up by name; nullptr if unknown.
+const WorkloadSpec *findWorkload(const std::string &Name);
+
+} // namespace workloads
+} // namespace light
+
+#endif // LIGHT_WORKLOADS_WORKLOADS_H

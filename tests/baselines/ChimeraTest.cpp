@@ -1,0 +1,207 @@
+//===- tests/baselines/ChimeraTest.cpp - Chimera baseline tests ------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ChimeraEngine.h"
+
+#include "analysis/LocksetAnalysis.h"
+#include "analysis/RaceDetector.h"
+#include "analysis/SharedAccessAnalysis.h"
+
+#include "../TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+using namespace light::testprogs;
+
+namespace {
+
+ChimeraPatch patchProgram(Program P) {
+  analysis::markSharedAccesses(P);
+  analysis::LocksetAnalysis LA(P);
+  std::vector<analysis::RacePair> Races = analysis::detectRaces(P, LA);
+  return chimeraPatch(P, Races);
+}
+
+struct ChimeraOutcome {
+  RunResult Result;
+  ChimeraLog Log;
+  std::vector<SpawnRecord> Spawns;
+};
+
+ChimeraOutcome chimeraRecord(const Program &Patched, uint64_t Seed) {
+  ChimeraRecorder Rec;
+  Machine M(Patched, Rec);
+  M.seedEnvironment(Seed ^ 0x5a5a);
+  RandomScheduler Sched(Seed);
+  ChimeraOutcome Out;
+  Out.Result = M.run(Sched);
+  Out.Log = Rec.finish();
+  Out.Spawns = M.registry().spawnTable();
+  return Out;
+}
+
+/// A bug at lock granularity: both methods are synchronized; the failure
+/// depends only on which critical section runs first. Chimera handles
+/// these (no data race to patch; lock order reproduces the bug).
+Program lockLevelBug() {
+  ProgramBuilder PB;
+  ClassId LockCls = PB.addClass("Lock", {"pad"});
+  uint32_t GState = PB.addGlobal("state");
+  uint32_t GLock = PB.addGlobal("lock");
+
+  FuncId Opener = PB.declareFunction("opener", 0);
+  FuncId User = PB.declareFunction("user", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("opener", 0);
+    Reg L = FB.newReg(), One = FB.newReg();
+    FB.getGlobal(L, GLock);
+    FB.monitorEnter(L);
+    FB.constInt(One, 1);
+    FB.putGlobal(GState, One);
+    FB.monitorExit(L);
+    FB.ret();
+    PB.defineFunction(Opener, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("user", 0);
+    Reg L = FB.newReg(), V = FB.newReg();
+    FB.getGlobal(L, GLock);
+    FB.monitorEnter(L);
+    FB.getGlobal(V, GState);
+    FB.assertTrue(V, /*BugId=*/11); // use-before-open
+    FB.monitorExit(L);
+    FB.ret();
+    PB.defineFunction(User, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg L = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(L, LockCls);
+    FB.putGlobal(GLock, L);
+    FB.threadStart(T1, Opener);
+    FB.threadStart(T2, User);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+} // namespace
+
+TEST(Chimera, PatchSerializesRacyFunctions) {
+  ChimeraPatch Patch = patchProgram(racyNull());
+  EXPECT_EQ(Patch.Patched.verify(), "") << Patch.Patched.str();
+  ASSERT_GE(Patch.SerializedFunctions.size(), 2u);
+  EXPECT_GE(Patch.NumChimeraLocks, 1u);
+}
+
+TEST(Chimera, PatchedProgramStillComputesCorrectly) {
+  // Patching must preserve sequential semantics: the locked counter's
+  // final value is unchanged.
+  ChimeraPatch Patch = patchProgram(counterRace(3, 5));
+  ASSERT_EQ(Patch.Patched.verify(), "") << Patch.Patched.str();
+  NullHook Null;
+  Machine M(Patch.Patched, Null);
+  FifoScheduler Sched;
+  RunResult R = M.run(Sched);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+  EXPECT_EQ(R.OutputByThread[0], "15\n"); // 3 workers x 5 increments
+}
+
+TEST(Chimera, HidesIntraMethodInterleavingBugs) {
+  // The paper's H2 negative result: a check-then-act bug needs the
+  // writer's null store to interleave between the reader's check and use —
+  // after Chimera serializes the two methods the bug cannot manifest at
+  // all ("Chimera serializes the methods, thereby hiding the bugs").
+  Program Original = checkThenAct();
+  ASSERT_EQ(Original.verify(), "");
+
+  int BuggyOriginal = 0;
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    NullHook Null;
+    Machine M(Original, Null);
+    RandomScheduler Sched(Seed);
+    if (M.run(Sched).Bug.happened())
+      ++BuggyOriginal;
+  }
+  ASSERT_GT(BuggyOriginal, 0) << "TOCTOU bug never manifested unpatched";
+
+  ChimeraPatch Patch = patchProgram(checkThenAct());
+  ASSERT_FALSE(Patch.SerializedFunctions.empty());
+  int BuggyPatched = 0;
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    ChimeraOutcome Out = chimeraRecord(Patch.Patched, Seed);
+    if (Out.Result.Bug.happened())
+      ++BuggyPatched;
+  }
+  EXPECT_EQ(BuggyPatched, 0)
+      << "serialization should have hidden the bug entirely";
+}
+
+TEST(Chimera, StillReproducesMethodOrderBugs) {
+  // racyNull fails on whole-method order (writer before reader), which
+  // serialization does not hide: Chimera records and replays it.
+  ChimeraPatch Patch = patchProgram(racyNull());
+  int Buggy = 0, Reproduced = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    ChimeraOutcome Rec = chimeraRecord(Patch.Patched, Seed);
+    if (!Rec.Result.Bug.happened())
+      continue;
+    ++Buggy;
+    ChimeraDirector Director(Rec.Log);
+    Machine M(Patch.Patched, Director);
+    M.prepareReplay(Rec.Spawns);
+    RunResult Rep = M.runReplay(Director);
+    if (Rec.Result.Bug.sameAs(Rep.Bug))
+      ++Reproduced;
+  }
+  ASSERT_GT(Buggy, 0);
+  EXPECT_EQ(Reproduced, Buggy);
+}
+
+TEST(Chimera, ReproducesLockLevelBugs) {
+  Program P = lockLevelBug();
+  ASSERT_EQ(P.verify(), "");
+  ChimeraPatch Patch = patchProgram(P);
+  // No data races: nothing to serialize, the bug survives patching.
+  EXPECT_TRUE(Patch.SerializedFunctions.empty());
+
+  int Buggy = 0, Reproduced = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    ChimeraOutcome Rec = chimeraRecord(Patch.Patched, Seed);
+    if (!Rec.Result.Bug.happened())
+      continue;
+    ++Buggy;
+    ChimeraDirector Director(Rec.Log);
+    Machine M(Patch.Patched, Director);
+    M.prepareReplay(Rec.Spawns);
+    RunResult Rep = M.runReplay(Director);
+    EXPECT_FALSE(Director.failed()) << Director.divergence();
+    if (Rec.Result.Bug.sameAs(Rep.Bug))
+      ++Reproduced;
+  }
+  ASSERT_GT(Buggy, 0) << "lock-level bug never manifested";
+  EXPECT_EQ(Reproduced, Buggy);
+}
+
+TEST(Chimera, ReplaysRaceFreeRunsFaithfully) {
+  Program P = lockedCounter(3, 4);
+  ChimeraPatch Patch = patchProgram(P);
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    ChimeraOutcome Rec = chimeraRecord(Patch.Patched, Seed);
+    ASSERT_TRUE(Rec.Result.Completed) << Rec.Result.Bug.str();
+    ChimeraDirector Director(Rec.Log);
+    Machine M(Patch.Patched, Director);
+    M.prepareReplay(Rec.Spawns);
+    RunResult Rep = M.runReplay(Director);
+    EXPECT_FALSE(Director.failed()) << Director.divergence();
+    EXPECT_EQ(Rec.Result.OutputByThread, Rep.OutputByThread);
+  }
+}

@@ -1,0 +1,223 @@
+//===- tests/baselines/ClapTest.cpp - Clap baseline tests ------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ClapEngine.h"
+
+#include "../TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+using namespace light::testprogs;
+
+namespace {
+
+/// An integer-flow concurrency bug Clap *can* handle: main sets flag = 1;
+/// the resetter clears it; the checker reads it and asserts non-zero.
+Program intFlagBug() {
+  ProgramBuilder PB;
+  uint32_t GFlag = PB.addGlobal("flag");
+
+  FuncId Resetter = PB.declareFunction("resetter", 0);
+  FuncId Checker = PB.declareFunction("checker", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("resetter", 0);
+    Reg Z = FB.newReg();
+    FB.constInt(Z, 0);
+    FB.putGlobal(GFlag, Z);
+    FB.ret();
+    PB.defineFunction(Resetter, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("checker", 0);
+    Reg V = FB.newReg();
+    FB.getGlobal(V, GFlag);
+    FB.assertTrue(V, /*BugId=*/7);
+    FB.ret();
+    PB.defineFunction(Checker, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg One = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.constInt(One, 1);
+    FB.putGlobal(GFlag, One);
+    FB.threadStart(T1, Resetter);
+    FB.threadStart(T2, Checker);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// A map-based variant of the same bug: the table of Section 5.3's failing
+/// cases — "Real-world Java programs ... often use data types that do not
+/// have native solver support, such as HashMap".
+Program mapFlagBug() {
+  ProgramBuilder PB;
+  uint32_t GMap = PB.addGlobal("table");
+
+  FuncId Remover = PB.declareFunction("remover", 0);
+  FuncId Checker = PB.declareFunction("checker", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("remover", 0);
+    Reg Map = FB.newReg(), Key = FB.newReg();
+    FB.getGlobal(Map, GMap);
+    FB.constInt(Key, 5);
+    FB.mapRemove(Map, Key);
+    FB.ret();
+    PB.defineFunction(Remover, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("checker", 0);
+    Reg Map = FB.newReg(), Key = FB.newReg(), V = FB.newReg();
+    FB.getGlobal(Map, GMap);
+    FB.constInt(Key, 5);
+    FB.mapGet(V, Map, Key);
+    FB.assertNonNull(V, /*BugId=*/8);
+    FB.ret();
+    PB.defineFunction(Checker, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Map = FB.newReg(), Key = FB.newReg(), Val = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.mapNew(Map);
+    FB.constInt(Key, 5);
+    FB.constInt(Val, 42);
+    FB.mapPut(Map, Key, Val);
+    FB.putGlobal(GMap, Map);
+    FB.threadStart(T1, Remover);
+    FB.threadStart(T2, Checker);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+struct ClapOutcome {
+  RunResult Result;
+  ClapRecording Recording;
+};
+
+ClapOutcome clapRecord(const Program &P, uint64_t Seed) {
+  ClapRecorder Rec;
+  BranchTrace Trace;
+  Machine M(P, Rec);
+  M.setBranchTracer(&Trace);
+  M.seedEnvironment(Seed ^ 0x5a5a);
+  RandomScheduler Sched(Seed);
+  ClapOutcome Out;
+  Out.Result = M.run(Sched);
+  Out.Recording = Rec.finish();
+  Out.Recording.Branches = Trace;
+  Out.Recording.Spawns = M.registry().spawnTable();
+  Out.Recording.Bug = Out.Result.Bug;
+  return Out;
+}
+
+} // namespace
+
+TEST(Clap, ReproducesIntegerFlowBug) {
+  Program P = intFlagBug();
+  ASSERT_EQ(P.verify(), "");
+  int Reproduced = 0, Buggy = 0;
+  for (uint64_t Seed = 1; Seed <= 25 && Buggy < 5; ++Seed) {
+    ClapOutcome Rec = clapRecord(P, Seed);
+    if (!Rec.Result.Bug.happened())
+      continue;
+    ++Buggy;
+    ClapSolveResult Solved = clapSolve(P, Rec.Recording);
+    ASSERT_TRUE(Solved.Supported) << Solved.UnsupportedWhy;
+    ASSERT_TRUE(Solved.Solved);
+    RunResult Rep = clapReplay(P, Rec.Recording, Solved);
+    if (Rec.Result.Bug.sameAs(Rep.Bug))
+      ++Reproduced;
+    else
+      ADD_FAILURE() << "recorded " << Rec.Result.Bug.str() << "\nreplayed "
+                    << Rep.Bug.str();
+  }
+  ASSERT_GT(Buggy, 0) << "bug never manifested; test vacuous";
+  EXPECT_EQ(Reproduced, Buggy);
+}
+
+TEST(Clap, BailsOnHashMaps) {
+  Program P = mapFlagBug();
+  ASSERT_EQ(P.verify(), "");
+  bool SawBug = false;
+  for (uint64_t Seed = 1; Seed <= 25 && !SawBug; ++Seed) {
+    ClapOutcome Rec = clapRecord(P, Seed);
+    if (!Rec.Result.Bug.happened())
+      continue;
+    SawBug = true;
+    ClapSolveResult Solved = clapSolve(P, Rec.Recording);
+    EXPECT_FALSE(Solved.Supported);
+    EXPECT_NE(Solved.UnsupportedWhy.find("map"), std::string::npos)
+        << Solved.UnsupportedWhy;
+  }
+  ASSERT_TRUE(SawBug) << "bug never manifested; test vacuous";
+}
+
+TEST(Clap, BailsOnNonlinearArithmetic) {
+  // x = read * read feeds the failure: symbolic * symbolic.
+  ProgramBuilder PB;
+  uint32_t G = PB.addGlobal("g");
+  FuncId Writer = PB.declareFunction("writer", 0);
+  FuncId Reader = PB.declareFunction("reader", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("writer", 0);
+    Reg Z = FB.newReg();
+    FB.constInt(Z, 0);
+    FB.putGlobal(G, Z);
+    FB.ret();
+    PB.defineFunction(Writer, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("reader", 0);
+    Reg A = FB.newReg(), B = FB.newReg(), C = FB.newReg();
+    FB.getGlobal(A, G);
+    FB.getGlobal(B, G);
+    FB.mul(C, A, B);
+    FB.assertTrue(C, 9);
+    FB.ret();
+    PB.defineFunction(Reader, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg One = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.constInt(One, 3);
+    FB.putGlobal(G, One);
+    FB.threadStart(T1, Writer);
+    FB.threadStart(T2, Reader);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program P = PB.take();
+  ASSERT_EQ(P.verify(), "");
+
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    ClapOutcome Rec = clapRecord(P, Seed);
+    if (!Rec.Result.Bug.happened())
+      continue;
+    ClapSolveResult Solved = clapSolve(P, Rec.Recording);
+    EXPECT_FALSE(Solved.Supported);
+    return;
+  }
+  FAIL() << "bug never manifested";
+}
+
+TEST(Clap, RecordingIsTiny) {
+  Program P = intFlagBug();
+  ClapOutcome Rec = clapRecord(P, 1);
+  // Branch bits + inputs only: a handful of longs.
+  EXPECT_LT(Rec.Recording.spaceLongs(), 16u);
+}

@@ -1,0 +1,184 @@
+//===- tests/core/ConstraintGenTest.cpp - Equation 1 unit tests ------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConstraintGen.h"
+#include "core/ReplaySchedule.h"
+#include "smt/IdlSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+
+namespace {
+
+DepSpan readSpan(LocationId L, AccessId Src, ThreadId T, Counter First,
+                 Counter Last) {
+  DepSpan S;
+  S.Loc = L;
+  S.Src = Src;
+  S.Thread = T;
+  S.First = First;
+  S.Last = Last;
+  S.Kind = SpanKind::Read;
+  return S;
+}
+
+DepSpan ownSpan(LocationId L, ThreadId T, Counter First, Counter Last,
+                AccessId Src = AccessId()) {
+  DepSpan S;
+  S.Loc = L;
+  S.Src = Src;
+  S.Thread = T;
+  S.First = First;
+  S.Last = Last;
+  S.Kind = SpanKind::Own;
+  return S;
+}
+
+int64_t valueOf(const ScheduleProblem &P, const smt::SolveResult &R,
+                AccessId A) {
+  smt::Var V = P.varOf(A);
+  EXPECT_NE(V, ~0u);
+  return R.Values[V];
+}
+
+} // namespace
+
+TEST(ConstraintGen, SingleDependenceOrdersWriteBeforeRead) {
+  RecordingLog Log;
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 1), 2, 1, 3));
+  ScheduleProblem P = buildScheduleProblem(Log);
+  smt::SolveResult R = smt::solveWithIdl(P.System);
+  ASSERT_TRUE(R.sat());
+  EXPECT_LT(valueOf(P, R, AccessId(1, 1)), valueOf(P, R, AccessId(2, 1)));
+  EXPECT_LT(valueOf(P, R, AccessId(2, 1)), valueOf(P, R, AccessId(2, 3)));
+}
+
+TEST(ConstraintGen, NoninterferenceKeepsForeignWriteOutOfInterval) {
+  // Two dependences on one location: (t1,1) -> t2 reads 1..4 and
+  // (t1,2) -> t3 reads 1..2. The solver must not place (t1,2) inside
+  // t2's interval.
+  RecordingLog Log;
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 1), 2, 1, 4));
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 2), 3, 1, 2));
+  ScheduleProblem P = buildScheduleProblem(Log);
+  smt::SolveResult R = smt::solveWithIdl(P.System);
+  ASSERT_TRUE(R.sat());
+  int64_t W1 = valueOf(P, R, AccessId(1, 1));
+  int64_t W2 = valueOf(P, R, AccessId(1, 2));
+  int64_t R2Last = valueOf(P, R, AccessId(2, 4));
+  int64_t R3Last = valueOf(P, R, AccessId(3, 2));
+  // Thread order makes W1 < W2; noninterference then forces all of t2's
+  // interval before W2.
+  EXPECT_LT(W1, W2);
+  EXPECT_LT(R2Last, W2);
+  EXPECT_LT(W2, R3Last);
+}
+
+TEST(ConstraintGen, SameSourceReadersMayInterleave) {
+  // Two read spans of the same write need no mutual constraint: the
+  // system has exactly the dependence and thread-order edges.
+  RecordingLog Log;
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 1), 2, 1, 2));
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 1), 3, 1, 2));
+  ScheduleProblem P = buildScheduleProblem(Log);
+  for (const smt::Clause &C : P.System.clauses())
+    EXPECT_EQ(C.size(), 1u) << "unexpected disjunction for same-source reads";
+  EXPECT_TRUE(smt::solveWithIdl(P.System).sat());
+}
+
+TEST(ConstraintGen, InitSpanPrecedesEveryWrite) {
+  RecordingLog Log;
+  DepSpan Init;
+  Init.Loc = loc::var(1);
+  Init.Thread = 2;
+  Init.First = 1;
+  Init.Last = 3;
+  Init.Kind = SpanKind::Init;
+  Log.Spans.push_back(Init);
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 1), 3, 1, 1));
+  ScheduleProblem P = buildScheduleProblem(Log);
+  smt::SolveResult R = smt::solveWithIdl(P.System);
+  ASSERT_TRUE(R.sat());
+  EXPECT_LT(valueOf(P, R, AccessId(2, 3)), valueOf(P, R, AccessId(1, 1)));
+}
+
+TEST(ConstraintGen, OwnSpansAreMutuallyDisjoint) {
+  RecordingLog Log;
+  Log.Spans.push_back(ownSpan(loc::var(1), 1, 1, 5));
+  Log.Spans.push_back(ownSpan(loc::var(1), 2, 1, 5));
+  ScheduleProblem P = buildScheduleProblem(Log);
+  smt::SolveResult R = smt::solveWithIdl(P.System);
+  ASSERT_TRUE(R.sat());
+  int64_t A1 = valueOf(P, R, AccessId(1, 1)), A2 = valueOf(P, R, AccessId(1, 5));
+  int64_t B1 = valueOf(P, R, AccessId(2, 1)), B2 = valueOf(P, R, AccessId(2, 5));
+  bool ABeforeB = A2 < B1;
+  bool BBeforeA = B2 < A1;
+  EXPECT_TRUE(ABeforeB || BBeforeA);
+}
+
+TEST(ConstraintGen, RmwChainIsTotallyOrdered) {
+  // Lock-style chain: t1 own span (acquire..release), t2's RMW span reads
+  // the span's last write (R3): hard order span1.Last < span2.First.
+  RecordingLog Log;
+  Log.Spans.push_back(ownSpan(loc::lock(ObjectId(1, 1)), 1, 1, 2));
+  Log.Spans.push_back(
+      ownSpan(loc::lock(ObjectId(1, 1)), 2, 1, 2, AccessId(1, 2)));
+  ScheduleProblem P = buildScheduleProblem(Log);
+  smt::SolveResult R = smt::solveWithIdl(P.System);
+  ASSERT_TRUE(R.sat());
+  EXPECT_LT(valueOf(P, R, AccessId(1, 2)), valueOf(P, R, AccessId(2, 1)));
+}
+
+TEST(ConstraintGen, ReadOfSpanInteriorIsCompatible) {
+  // A foreign read span whose source is the last write of an own span
+  // (rule R3, read-only consumer): satisfiable with the consumer after
+  // the source, before the owner's successor span.
+  RecordingLog Log;
+  Log.Spans.push_back(ownSpan(loc::var(1), 1, 1, 4));      // contains writes
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 4), 2, 1, 2));
+  Log.Spans.push_back(ownSpan(loc::var(1), 1, 5, 7));      // successor span
+  ScheduleProblem P = buildScheduleProblem(Log);
+  smt::SolveResult R = smt::solveWithIdl(P.System);
+  ASSERT_TRUE(R.sat());
+  EXPECT_LT(valueOf(P, R, AccessId(1, 4)), valueOf(P, R, AccessId(2, 1)));
+  EXPECT_LT(valueOf(P, R, AccessId(2, 2)), valueOf(P, R, AccessId(1, 5)));
+}
+
+TEST(ConstraintGen, VariableNamesAidDebugging) {
+  RecordingLog Log;
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 1), 2, 1, 1));
+  ScheduleProblem P = buildScheduleProblem(Log);
+  ASSERT_GE(P.System.numVars(), 2u);
+  EXPECT_EQ(P.System.name(P.varOf(AccessId(1, 1))), "(t1,1)");
+}
+
+TEST(ReplayScheduleClassify, ClassesAreConsistent) {
+  RecordingLog Log;
+  Log.Spans.push_back(readSpan(loc::var(1), AccessId(1, 1), 2, 1, 3));
+  Log.FinalCounters = {0, 2, 4};
+  ReplaySchedule RS = ReplaySchedule::build(Log);
+  ASSERT_TRUE(RS.ok());
+
+  uint32_t Turn;
+  uint64_t Src;
+  // The source write is gated.
+  EXPECT_EQ(RS.classify(1, loc::var(1), 1, true, Turn, Src),
+            AccessClass::Gated);
+  // The span endpoints are gated; the interior read runs free.
+  EXPECT_EQ(RS.classify(2, loc::var(1), 1, false, Turn, Src),
+            AccessClass::Gated);
+  EXPECT_EQ(Src, AccessId(1, 1).pack());
+  EXPECT_EQ(RS.classify(2, loc::var(1), 2, false, Turn, Src),
+            AccessClass::Interior);
+  EXPECT_EQ(RS.classify(2, loc::var(1), 3, false, Turn, Src),
+            AccessClass::Gated);
+  // An unrecorded write below the horizon is blind; past it, permissive.
+  EXPECT_EQ(RS.classify(1, loc::var(1), 2, true, Turn, Src),
+            AccessClass::Blind);
+  EXPECT_EQ(RS.classify(1, loc::var(1), 3, true, Turn, Src),
+            AccessClass::BeyondHorizon);
+}

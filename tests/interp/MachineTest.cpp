@@ -1,0 +1,248 @@
+//===- tests/interp/MachineTest.cpp - Interpreter semantics ----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Machine.h"
+
+#include "../TestPrograms.h"
+#include "mir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+RunResult runOnce(const Program &P, uint64_t Seed = 1) {
+  NullHook Null;
+  Machine M(P, Null);
+  M.seedEnvironment(Seed);
+  RandomScheduler Sched(Seed);
+  return M.run(Sched);
+}
+
+Program expressionProgram() {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg A = FB.newReg(), B = FB.newReg(), C = FB.newReg();
+  FB.constInt(A, 20);
+  FB.constInt(B, 6);
+  FB.add(C, A, B);
+  FB.print(C); // 26
+  FB.sub(C, A, B);
+  FB.print(C); // 14
+  FB.mul(C, A, B);
+  FB.print(C); // 120
+  FB.div(C, A, B);
+  FB.print(C); // 3
+  FB.mod(C, A, B);
+  FB.print(C); // 2
+  FB.cmpLt(C, B, A);
+  FB.print(C); // 1
+  FB.cmpLe(C, A, A);
+  FB.print(C); // 1
+  FB.cmpEq(C, A, B);
+  FB.print(C); // 0
+  FB.cmpNe(C, A, B);
+  FB.print(C); // 1
+  FB.logicalNot(C, C);
+  FB.print(C); // 0
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  return PB.take();
+}
+
+} // namespace
+
+TEST(Machine, EvaluatesArithmetic) {
+  Program P = expressionProgram();
+  ASSERT_EQ(P.verify(), "");
+  RunResult R = runOnce(P);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+  EXPECT_EQ(R.OutputByThread[0], "26\n14\n120\n3\n2\n1\n1\n0\n1\n0\n");
+}
+
+TEST(Machine, DetectsDivideByZero) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg A = FB.newReg(), B = FB.newReg(), C = FB.newReg();
+  FB.constInt(A, 5);
+  FB.constInt(B, 0);
+  FB.div(C, A, B);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  RunResult R = runOnce(P);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::DivideByZero);
+  EXPECT_EQ(R.Bug.Illegal, mir::Value::intVal(0));
+}
+
+TEST(Machine, DetectsNullDeref) {
+  ProgramBuilder PB;
+  PB.addClass("C", {"f"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg A = FB.newReg(), B = FB.newReg();
+  FB.constNull(A);
+  FB.getField(B, A, 0);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  RunResult R = runOnce(P);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::NullPointer);
+}
+
+TEST(Machine, DetectsArrayBounds) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg Len = FB.newReg(), Arr = FB.newReg(), Idx = FB.newReg(),
+      V = FB.newReg();
+  FB.constInt(Len, 4);
+  FB.newArray(Arr, Len);
+  FB.constInt(Idx, 9);
+  FB.aload(V, Arr, Idx);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  RunResult R = runOnce(P);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::ArrayBounds);
+  EXPECT_EQ(R.Bug.Illegal, mir::Value::intVal(9));
+}
+
+TEST(Machine, ArraysAndMapsWork) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg Len = FB.newReg(), Arr = FB.newReg(), Idx = FB.newReg(),
+      V = FB.newReg(), Map = FB.newReg(), Has = FB.newReg();
+  FB.constInt(Len, 3);
+  FB.newArray(Arr, Len);
+  FB.arrayLen(V, Arr);
+  FB.print(V); // 3
+  FB.constInt(Idx, 1);
+  FB.constInt(V, 77);
+  FB.astore(Arr, Idx, V);
+  FB.aload(V, Arr, Idx);
+  FB.print(V); // 77
+  FB.mapNew(Map);
+  FB.mapPut(Map, Idx, V);
+  FB.mapContains(Has, Map, Idx);
+  FB.print(Has); // 1
+  FB.mapGet(V, Map, Idx);
+  FB.print(V); // 77
+  FB.mapRemove(Map, Idx);
+  FB.mapContains(Has, Map, Idx);
+  FB.print(Has); // 0
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  ASSERT_EQ(P.verify(), "");
+  RunResult R = runOnce(P);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+  EXPECT_EQ(R.OutputByThread[0], "3\n77\n1\n77\n0\n");
+}
+
+TEST(Machine, CallsAndRecursion) {
+  ProgramBuilder PB;
+  FuncId Fact = PB.declareFunction("fact", 1);
+  {
+    FunctionBuilder FB = PB.beginFunction("fact", 1);
+    Reg N = FB.param(0);
+    Reg One = FB.newReg(), Cond = FB.newReg(), Rec = FB.newReg(),
+        Out = FB.newReg();
+    Label Base = FB.makeLabel(), Step = FB.makeLabel();
+    FB.constInt(One, 1);
+    FB.cmpLe(Cond, N, One);
+    FB.br(Cond, Base, Step);
+    FB.place(Base);
+    FB.ret(One);
+    FB.place(Step);
+    FB.sub(Rec, N, One);
+    FB.call(Rec, Fact, {Rec});
+    FB.mul(Out, N, Rec);
+    FB.ret(Out);
+    PB.defineFunction(Fact, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg N = FB.newReg(), R = FB.newReg();
+    FB.constInt(N, 6);
+    FB.call(R, Fact, {N});
+    FB.print(R);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program P = PB.take();
+  ASSERT_EQ(P.verify(), "");
+  RunResult Res = runOnce(P);
+  ASSERT_TRUE(Res.Completed) << Res.Bug.str();
+  EXPECT_EQ(Res.OutputByThread[0], "720\n");
+}
+
+TEST(Machine, SyscallsAreDeterministicPerSeed) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg T = FB.newReg();
+  FB.sysTime(T);
+  FB.print(T);
+  FB.sysRand(T, 100);
+  FB.print(T);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  RunResult A = runOnce(P, 9);
+  RunResult B = runOnce(P, 9);
+  EXPECT_EQ(A.OutputByThread[0], B.OutputByThread[0]);
+}
+
+TEST(Machine, InstructionBudgetStopsInfiniteLoops) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Label L = FB.makeLabel();
+  FB.place(L);
+  FB.jmp(L);
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  NullHook Null;
+  Machine M(P, Null);
+  FifoScheduler Sched;
+  RunResult R = M.run(Sched, /*MaxInstructions=*/10000);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::RuntimeError);
+}
+
+TEST(Machine, ObjectIdentityIsPerThreadStable) {
+  // Two workers allocate; field accesses of their own objects never
+  // interfere (distinct ObjectIds) regardless of schedule.
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("C", {"f"});
+  FuncId Worker = PB.declareFunction("worker", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("worker", 0);
+    Reg O = FB.newReg(), V = FB.newReg();
+    FB.newObject(O, Cls);
+    FB.constInt(V, 11);
+    FB.putField(O, 0, V);
+    FB.getField(V, O, 0);
+    FB.print(V);
+    FB.ret();
+    PB.defineFunction(Worker, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.threadStart(T1, Worker);
+    FB.threadStart(T2, Worker);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program P = PB.take();
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed);
+    EXPECT_EQ(R.OutputByThread[1], "11\n");
+    EXPECT_EQ(R.OutputByThread[2], "11\n");
+  }
+}

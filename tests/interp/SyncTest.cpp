@@ -1,0 +1,173 @@
+//===- tests/interp/SyncTest.cpp - Monitor/wait/join semantics -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Machine.h"
+
+#include "../TestPrograms.h"
+#include "mir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+RunResult runOnce(const Program &P, uint64_t Seed) {
+  NullHook Null;
+  Machine M(P, Null);
+  M.seedEnvironment(Seed);
+  RandomScheduler Sched(Seed);
+  return M.run(Sched);
+}
+
+} // namespace
+
+TEST(Sync, MonitorsEnsureMutualExclusion) {
+  // With locks, the counter never loses an update in any schedule.
+  Program P = testprogs::lockedCounter(4, 8);
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[0], "32\n");
+  }
+}
+
+TEST(Sync, UnlockedCounterLosesUpdatesSomewhere) {
+  // Sanity check of the interleaving model: without locks, some schedule
+  // must drop an increment.
+  Program P = testprogs::counterRace(4, 8);
+  bool SawLost = false;
+  for (uint64_t Seed = 1; Seed <= 30 && !SawLost; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed);
+    if (R.OutputByThread[0] != "32\n")
+      SawLost = true;
+  }
+  EXPECT_TRUE(SawLost);
+}
+
+TEST(Sync, ReentrantMonitors) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("L", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg(), V = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.monitorEnter(O);
+  FB.monitorEnter(O); // reentrant
+  FB.constInt(V, 1);
+  FB.monitorExit(O);
+  FB.monitorExit(O);
+  FB.print(V);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  RunResult R = runOnce(P, 1);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+}
+
+TEST(Sync, UnownedExitIsARuntimeError) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("L", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.monitorExit(O);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  RunResult R = runOnce(P, 1);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::RuntimeError);
+}
+
+TEST(Sync, WaitNotifyMailboxIsFifoCorrect) {
+  Program P = testprogs::waitNotify(6);
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[2], "0\n1\n2\n3\n4\n5\n");
+  }
+}
+
+TEST(Sync, DeadlockIsDetected) {
+  // Classic ABBA deadlock: with the right schedule, both threads block.
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("L", {"pad"});
+  uint32_t GA = PB.addGlobal("a"), GB = PB.addGlobal("b");
+  FuncId W1 = PB.declareFunction("w1", 0);
+  FuncId W2 = PB.declareFunction("w2", 0);
+  auto MakeWorker = [&](FuncId Id, uint32_t First, uint32_t Second) {
+    FunctionBuilder FB = PB.beginFunction("w", 0);
+    Reg A = FB.newReg(), B = FB.newReg();
+    FB.getGlobal(A, First);
+    FB.getGlobal(B, Second);
+    FB.monitorEnter(A);
+    FB.monitorEnter(B);
+    FB.monitorExit(B);
+    FB.monitorExit(A);
+    FB.ret();
+    PB.defineFunction(Id, FB);
+  };
+  MakeWorker(W1, GA, GB);
+  MakeWorker(W2, GB, GA);
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg O = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(O, Cls);
+    FB.putGlobal(GA, O);
+    FB.newObject(O, Cls);
+    FB.putGlobal(GB, O);
+    FB.threadStart(T1, W1);
+    FB.threadStart(T2, W2);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program P = PB.take();
+  ASSERT_EQ(P.verify(), "");
+  bool SawDeadlock = false, SawClean = false;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    if (R.Bug.What == BugReport::Kind::Deadlock)
+      SawDeadlock = true;
+    else if (R.Completed)
+      SawClean = true;
+  }
+  EXPECT_TRUE(SawDeadlock);
+  EXPECT_TRUE(SawClean);
+}
+
+TEST(Sync, JoinObservesChildEffects) {
+  // The join edge orders the child's writes before main's read, always.
+  ProgramBuilder PB;
+  uint32_t G = PB.addGlobal("g");
+  FuncId Child = PB.declareFunction("child", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("child", 0);
+    Reg V = FB.newReg();
+    FB.constInt(V, 123);
+    FB.putGlobal(G, V);
+    FB.ret();
+    PB.defineFunction(Child, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg T = FB.newReg(), V = FB.newReg();
+    FB.threadStart(T, Child);
+    FB.threadJoin(T);
+    FB.getGlobal(V, G);
+    FB.print(V);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program P = PB.take();
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed);
+    EXPECT_EQ(R.OutputByThread[0], "123\n");
+  }
+}

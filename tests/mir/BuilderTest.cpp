@@ -1,0 +1,77 @@
+//===- tests/mir/BuilderTest.cpp - MIR construction tests ------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Builder.h"
+
+#include "../TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+
+TEST(Builder, LabelsResolveToTargets) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("f", 0);
+  Reg C = FB.newReg();
+  Label A = FB.makeLabel(), B = FB.makeLabel();
+  FB.constInt(C, 1);
+  FB.br(C, A, B);
+  FB.place(A);
+  FB.constInt(C, 2);
+  FB.place(B);
+  FB.ret();
+  FuncId F = PB.endFunction(FB);
+  Program P = PB.take();
+  const Instr &Br = P.function(F).Body[1];
+  EXPECT_EQ(Br.Op, Opcode::Br);
+  EXPECT_EQ(Br.Target, 2);
+  EXPECT_EQ(Br.Target2, 3);
+}
+
+TEST(Builder, ForwardDeclaredFunctionsResolve) {
+  ProgramBuilder PB;
+  FuncId Fwd = PB.declareFunction("later", 0);
+  FunctionBuilder Main = PB.beginFunction("main", 0);
+  Reg R = Main.newReg();
+  Main.call(R, Fwd);
+  Main.ret();
+  FuncId MainId = PB.endFunction(Main);
+  FunctionBuilder Later = PB.beginFunction("later", 0);
+  Later.ret();
+  PB.defineFunction(Fwd, Later);
+  PB.setEntry(MainId);
+  Program P = PB.take();
+  EXPECT_EQ(P.verify(), "");
+  EXPECT_EQ(P.findFunction("later"), Fwd);
+}
+
+TEST(Builder, RegistersAreSequential) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunction("f", 2);
+  EXPECT_EQ(FB.param(0), 0);
+  EXPECT_EQ(FB.param(1), 1);
+  EXPECT_EQ(FB.newReg(), 2);
+  EXPECT_EQ(FB.newReg(), 3);
+  FB.ret();
+  PB.endFunction(FB);
+}
+
+TEST(Builder, SharedTestProgramsVerify) {
+  EXPECT_EQ(testprogs::racyNull().verify(), "");
+  EXPECT_EQ(testprogs::counterRace(3, 4).verify(), "");
+  EXPECT_EQ(testprogs::lockedCounter(2, 2).verify(), "");
+  EXPECT_EQ(testprogs::waitNotify(3).verify(), "");
+  EXPECT_EQ(testprogs::checkThenAct().verify(), "");
+}
+
+TEST(Builder, PrinterProducesText) {
+  Program P = testprogs::racyNull();
+  std::string Text = P.str();
+  EXPECT_NE(Text.find("class Box"), std::string::npos);
+  EXPECT_NE(Text.find("[entry]"), std::string::npos);
+  EXPECT_NE(Text.find("putfield"), std::string::npos);
+}

@@ -1,0 +1,103 @@
+//===- tests/mir/ParserTest.cpp - Textual MIR round-trips ------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Parser.h"
+
+#include "../TestPrograms.h"
+#include "bugs/BugPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+/// print -> parse -> print must be a fixpoint, and the reparsed program
+/// must verify.
+void expectRoundTrip(const Program &P) {
+  std::string Text = P.str();
+  ParseResult R = parseProgram(Text);
+  ASSERT_TRUE(R.Ok) << R.Error << "\n" << Text;
+  EXPECT_EQ(R.Prog.verify(), "");
+  EXPECT_EQ(R.Prog.str(), Text);
+  EXPECT_EQ(R.Prog.Entry, P.Entry);
+  EXPECT_EQ(R.Prog.Functions.size(), P.Functions.size());
+  EXPECT_EQ(R.Prog.Globals, P.Globals);
+}
+
+} // namespace
+
+TEST(Parser, RoundTripsTheTestPrograms) {
+  expectRoundTrip(testprogs::racyNull());
+  expectRoundTrip(testprogs::counterRace(3, 4));
+  expectRoundTrip(testprogs::lockedCounter(2, 3));
+  expectRoundTrip(testprogs::waitNotify(4));
+  expectRoundTrip(testprogs::checkThenAct());
+}
+
+TEST(Parser, RoundTripsTheWholeBugSuite) {
+  for (const bugs::BugBenchmark &B : bugs::makeBugSuite())
+    expectRoundTrip(B.Prog);
+}
+
+TEST(Parser, ParsedProgramExecutesIdentically) {
+  Program P = testprogs::counterRace(2, 4);
+  ParseResult R = parseProgram(P.str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    NullHook N1, N2;
+    Machine M1(P, N1), M2(R.Prog, N2);
+    RandomScheduler S1(Seed), S2(Seed);
+    RunResult A = M1.run(S1), B = M2.run(S2);
+    EXPECT_EQ(A.OutputByThread, B.OutputByThread);
+  }
+}
+
+TEST(Parser, RecordedParsedProgramReplays) {
+  // Full pipeline over a parsed program: the CLI's main path.
+  ParseResult R = parseProgram(testprogs::racyNull().str());
+  ASSERT_TRUE(R.Ok);
+  testprogs::RecordOutcome Rec = testprogs::recordRun(R.Prog, 4);
+  testprogs::expectFaithfulReplay(R.Prog, Rec);
+}
+
+TEST(Parser, ReportsLineNumbersOnErrors) {
+  ParseResult R = parseProgram("func f0 main(params=0, regs=1) [entry]\n"
+                               "  @0: frobnicate r0, r0, r0\n");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos);
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parser, RejectsOutOfOrderDeclarations) {
+  EXPECT_FALSE(parseProgram("global 1 g\n").Ok);
+  EXPECT_FALSE(parseProgram("func f3 main(params=0, regs=0)\n").Ok);
+  EXPECT_FALSE(parseProgram("  @0: nop _, _, _\n").Ok);
+}
+
+TEST(Parser, RejectsMalformedInstructions) {
+  const char *Prefix = "func f0 main(params=0, regs=2) [entry]\n";
+  EXPECT_FALSE(parseProgram(std::string(Prefix) + "  @0: br r0, @1\n").Ok);
+  EXPECT_FALSE(parseProgram(std::string(Prefix) + "  @0: const r0\n").Ok);
+  EXPECT_FALSE(
+      parseProgram(std::string(Prefix) + "  @1: ret _, _, _\n").Ok);
+  EXPECT_FALSE(
+      parseProgram(std::string(Prefix) + "  @0: ret _, _, _ junk\n").Ok);
+}
+
+TEST(Parser, EmptyInputFails) { EXPECT_FALSE(parseProgram("").Ok); }
+
+TEST(Parser, AcceptsClassWithNoFields) {
+  ParseResult R = parseProgram("class Empty { }\n"
+                               "func f0 main(params=0, regs=1) [entry]\n"
+                               "  @0: new r0, _, #0\n"
+                               "  @1: ret _, _, _\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.Classes.size(), 1u);
+  EXPECT_TRUE(R.Prog.Classes[0].Fields.empty());
+  EXPECT_EQ(R.Prog.verify(), "");
+}

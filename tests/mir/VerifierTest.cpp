@@ -1,0 +1,102 @@
+//===- tests/mir/VerifierTest.cpp - MIR verifier tests ---------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+Program singleFunction(std::vector<Instr> Body, uint16_t Regs) {
+  Program P;
+  Function F;
+  F.Name = "f";
+  F.NumRegs = Regs;
+  F.Body = std::move(Body);
+  P.Functions.push_back(std::move(F));
+  P.Entry = 0;
+  return P;
+}
+
+} // namespace
+
+TEST(Verifier, AcceptsMinimal) {
+  Program P = singleFunction({{.Op = Opcode::Ret, .A = NoReg}}, 0);
+  EXPECT_EQ(P.verify(), "");
+}
+
+TEST(Verifier, RejectsEmptyBody) {
+  Program P = singleFunction({}, 0);
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Program P = singleFunction({{.Op = Opcode::ConstInt, .A = 0, .Imm = 1}}, 1);
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsBadJumpTarget) {
+  Program P = singleFunction({{.Op = Opcode::Jmp, .Target = 7},
+                              {.Op = Opcode::Ret, .A = NoReg}},
+                             0);
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsRegisterOutOfRange) {
+  Program P = singleFunction({{.Op = Opcode::ConstInt, .A = 3, .Imm = 0},
+                              {.Op = Opcode::Ret, .A = NoReg}},
+                             2);
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsUnknownCallee) {
+  Program P = singleFunction({{.Op = Opcode::Call, .A = NoReg, .Imm = 9},
+                              {.Op = Opcode::Ret, .A = NoReg}},
+                             1);
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Program P;
+  Function Callee;
+  Callee.Name = "callee";
+  Callee.NumParams = 1;
+  Callee.NumRegs = 1;
+  Callee.Body = {{.Op = Opcode::Ret, .A = NoReg}};
+  Function Main;
+  Main.Name = "main";
+  Main.NumRegs = 1;
+  Main.Body = {{.Op = Opcode::Call, .A = NoReg, .Imm = 0},
+               {.Op = Opcode::Ret, .A = NoReg}};
+  P.Functions.push_back(std::move(Callee));
+  P.Functions.push_back(std::move(Main));
+  P.Entry = 1;
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsUnknownGlobal) {
+  Program P = singleFunction({{.Op = Opcode::GetGlobal, .A = 0, .Imm = 3},
+                              {.Op = Opcode::Ret, .A = NoReg}},
+                             1);
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsBadEntry) {
+  Program P = singleFunction({{.Op = Opcode::Ret, .A = NoReg}}, 0);
+  P.Entry = 5;
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Verifier, RejectsUnknownThreadEntry) {
+  Program P = singleFunction(
+      {{.Op = Opcode::ThreadStart, .A = 0, .B = NoReg, .Imm = 4},
+       {.Op = Opcode::Ret, .A = NoReg}},
+      1);
+  EXPECT_NE(P.verify(), "");
+}

@@ -1,0 +1,113 @@
+//===- tests/smt/Z3DifferentialTest.cpp - IdlSolver vs Z3 ------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential validation of the in-tree IDL solver against the real Z3
+/// (the solver the paper's prototype uses): on randomly generated order
+/// systems — both satisfiable and over-constrained — the two engines must
+/// agree on sat/unsat, and each returned model must satisfy the system.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/IdlSolver.h"
+#include "smt/Z3Backend.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::smt;
+
+namespace {
+
+OrderSystem randomSystem(Rng &R, bool AllowContradictions) {
+  OrderSystem S;
+  uint32_t N = 4 + R.below(24);
+  for (uint32_t I = 0; I < N; ++I)
+    S.newVar();
+  uint32_t NumClauses = 4 + static_cast<uint32_t>(R.below(40));
+  for (uint32_t K = 0; K < NumClauses; ++K) {
+    Clause C;
+    uint32_t Arity = 1 + R.below(2);
+    for (uint32_t L = 0; L < Arity; ++L) {
+      Var A = static_cast<Var>(R.below(N));
+      Var B = static_cast<Var>(R.below(N));
+      if (A == B)
+        B = (B + 1) % N;
+      if (!AllowContradictions && A > B)
+        std::swap(A, B); // forward edges only: keeps it satisfiable
+      C.push_back(Atom::less(A, B));
+    }
+    S.addClause(std::move(C));
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(Z3Differential, AgreesOnSatisfiableSystems) {
+  Rng R(7);
+  for (int Round = 0; Round < 40; ++Round) {
+    OrderSystem S = randomSystem(R, /*AllowContradictions=*/false);
+    SolveResult Mine = solveWithIdl(S);
+    SolveResult Z3s = solveWithZ3(S);
+    ASSERT_TRUE(Mine.sat()) << "round " << Round;
+    ASSERT_TRUE(Z3s.sat()) << "round " << Round;
+    EXPECT_TRUE(S.satisfiedBy(Mine.Values));
+    EXPECT_TRUE(S.satisfiedBy(Z3s.Values));
+  }
+}
+
+TEST(Z3Differential, AgreesOnArbitrarySystems) {
+  Rng R(1234);
+  int SatCount = 0, UnsatCount = 0;
+  for (int Round = 0; Round < 80; ++Round) {
+    OrderSystem S = randomSystem(R, /*AllowContradictions=*/true);
+    SolveResult Mine = solveWithIdl(S);
+    SolveResult Z3s = solveWithZ3(S);
+    ASSERT_EQ(Mine.sat(), Z3s.sat()) << "engines disagree in round " << Round
+                                     << "\n" << S.str();
+    if (Mine.sat()) {
+      ++SatCount;
+      EXPECT_TRUE(S.satisfiedBy(Mine.Values)) << "round " << Round;
+    } else {
+      ++UnsatCount;
+    }
+  }
+  // The generator should exercise both outcomes.
+  EXPECT_GT(SatCount, 0);
+  EXPECT_GT(UnsatCount, 0);
+}
+
+TEST(Z3Differential, AgreesWithMixedOffsets) {
+  Rng R(99);
+  for (int Round = 0; Round < 40; ++Round) {
+    OrderSystem S;
+    uint32_t N = 3 + R.below(10);
+    for (uint32_t I = 0; I < N; ++I)
+      S.newVar();
+    for (int K = 0; K < 15; ++K) {
+      Var A = static_cast<Var>(R.below(N));
+      Var B = static_cast<Var>(R.below(N));
+      if (A == B)
+        continue;
+      int64_t Off = R.range(-4, 4);
+      Clause C{Atom{A, B, Off}};
+      if (R.chance(1, 2)) {
+        Var X = static_cast<Var>(R.below(N));
+        Var Y = static_cast<Var>(R.below(N));
+        if (X != Y)
+          C.push_back(Atom{X, Y, R.range(-4, 4)});
+      }
+      S.addClause(std::move(C));
+    }
+    SolveResult Mine = solveWithIdl(S);
+    SolveResult Z3s = solveWithZ3(S);
+    ASSERT_EQ(Mine.sat(), Z3s.sat()) << "round " << Round << "\n" << S.str();
+    if (Mine.sat()) {
+      EXPECT_TRUE(S.satisfiedBy(Mine.Values));
+    }
+  }
+}

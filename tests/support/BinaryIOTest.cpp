@@ -1,0 +1,63 @@
+//===- tests/support/BinaryIOTest.cpp ---------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace light;
+
+TEST(BinaryIO, RoundTrip) {
+  std::string Path = makeTempPath("binio");
+  {
+    LongWriter W(Path);
+    for (uint64_t I = 0; I < 1000; ++I)
+      W.put(I * I + 7);
+    EXPECT_EQ(W.finish(), 1000u);
+  }
+  LongReader R(Path);
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.size(), 1000u);
+  for (uint64_t I = 0; I < 1000; ++I)
+    EXPECT_EQ(R.get(), I * I + 7);
+  EXPECT_TRUE(R.atEnd());
+  std::remove(Path.c_str());
+}
+
+TEST(BinaryIO, FlushThresholdForcesEarlyWrites) {
+  std::string Path = makeTempPath("binio-flush");
+  LongWriter W(Path, /*FlushThresholdWords=*/16);
+  for (uint64_t I = 0; I < 100; ++I)
+    W.put(I);
+  // The file already holds most of the words before finish().
+  LongReader Early(Path);
+  EXPECT_GE(Early.size(), 96u);
+  W.finish();
+  LongReader Full(Path);
+  EXPECT_EQ(Full.size(), 100u);
+  std::remove(Path.c_str());
+}
+
+TEST(BinaryIO, MissingFileReportsNotOk) {
+  LongReader R("/nonexistent/definitely/missing.log");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(BinaryIO, TempPathsAreUnique) {
+  EXPECT_NE(makeTempPath("a"), makeTempPath("a"));
+}
+
+TEST(BinaryIO, WordsWrittenTracksBuffered) {
+  std::string Path = makeTempPath("binio-count");
+  LongWriter W(Path, /*FlushThresholdWords=*/0);
+  W.put(1);
+  W.put(2);
+  EXPECT_EQ(W.wordsWritten(), 2u);
+  W.finish();
+  std::remove(Path.c_str());
+}

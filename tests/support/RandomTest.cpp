@@ -1,0 +1,71 @@
+//===- tests/support/RandomTest.cpp -----------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+
+TEST(Random, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Random, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Random, UnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Random, ReseedRestartsTheStream) {
+  Rng R(5);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(5);
+  EXPECT_EQ(R.next(), First);
+}
+
+TEST(Random, ChanceIsRoughlyCalibrated) {
+  Rng R(13);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.chance(1, 4);
+  EXPECT_GT(Hits, 2200);
+  EXPECT_LT(Hits, 2800);
+}

@@ -1,0 +1,49 @@
+//===- tests/support/StatisticsTest.cpp ------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+
+TEST(Statistics, EmptySet) {
+  Summary S = summarize({});
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Average, 0);
+  EXPECT_EQ(S.Median, 0);
+}
+
+TEST(Statistics, SingleElement) {
+  Summary S = summarize({4.5});
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_DOUBLE_EQ(S.Average, 4.5);
+  EXPECT_DOUBLE_EQ(S.Median, 4.5);
+  EXPECT_DOUBLE_EQ(S.Minimum, 4.5);
+  EXPECT_DOUBLE_EQ(S.Maximum, 4.5);
+}
+
+TEST(Statistics, OddMedian) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2);
+}
+
+TEST(Statistics, EvenMedian) {
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Statistics, PaperAggregateShape) {
+  // The aggregate rows of Section 5.2 are consistent with each other:
+  // median <= average is typical for the right-skewed overhead data.
+  std::vector<double> LeapLike = {0.17, 1.0, 2.58, 3.1, 4.0, 17.85};
+  Summary S = summarize(LeapLike);
+  EXPECT_LT(S.Median, S.Average);
+  EXPECT_DOUBLE_EQ(S.Minimum, 0.17);
+  EXPECT_DOUBLE_EQ(S.Maximum, 17.85);
+}
+
+TEST(Statistics, MeanOfKnownSet) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+}

@@ -1,0 +1,39 @@
+//===- tests/support/TableTest.cpp ------------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+
+TEST(Table, RendersAlignedColumns) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer-name", "2"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| name"), std::string::npos);
+  EXPECT_NE(Out.find("| longer-name"), std::string::npos);
+  // All lines equal width.
+  size_t FirstLine = Out.find('\n');
+  for (size_t Pos = 0; Pos < Out.size();) {
+    size_t End = Out.find('\n', Pos);
+    EXPECT_EQ(End - Pos, FirstLine);
+    Pos = End + 1;
+  }
+}
+
+TEST(Table, FormatsDoubles) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(0.5, 0), "0");
+}
+
+TEST(Table, FormatsThousands) {
+  EXPECT_EQ(Table::fmtInt(0), "0");
+  EXPECT_EQ(Table::fmtInt(999), "999");
+  EXPECT_EQ(Table::fmtInt(1000), "1,000");
+  EXPECT_EQ(Table::fmtInt(94362000), "94,362,000");
+}

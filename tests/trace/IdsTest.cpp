@@ -1,0 +1,76 @@
+//===- tests/trace/IdsTest.cpp - Identifier packing tests ------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Ids.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+
+TEST(AccessId, PackUnpackRoundTrip) {
+  AccessId A(513, 123456789ull);
+  AccessId B = AccessId::unpack(A.pack());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(B.Thread, 513);
+  EXPECT_EQ(B.Count, 123456789ull);
+}
+
+TEST(AccessId, ZeroIsInvalid) {
+  EXPECT_FALSE(AccessId().valid());
+  EXPECT_TRUE(AccessId(0, 1).valid());
+  EXPECT_EQ(AccessId().pack(), 0u);
+}
+
+TEST(AccessId, OrderingFollowsThreadThenCounter) {
+  EXPECT_LT(AccessId(1, 99), AccessId(2, 1));
+  EXPECT_LT(AccessId(1, 1), AccessId(1, 2));
+}
+
+TEST(ObjectId, PackUnpackRoundTrip) {
+  ObjectId O(17, 424242);
+  ObjectId P = ObjectId::unpack(O.pack());
+  EXPECT_EQ(O, P);
+  EXPECT_FALSE(O.isNull());
+  EXPECT_TRUE(ObjectId().isNull());
+}
+
+TEST(Location, KindsAreDistinguished) {
+  ObjectId O(1, 1);
+  LocationId F = loc::field(O, 3);
+  LocationId A = loc::arrayElem(O, 3);
+  LocationId L = loc::lock(O);
+  LocationId C = loc::cond(O);
+  EXPECT_NE(F, A);
+  EXPECT_NE(L, C);
+  EXPECT_EQ(loc::kindOf(F), LocationKind::Field);
+  EXPECT_EQ(loc::kindOf(A), LocationKind::ArrayElem);
+  EXPECT_EQ(loc::kindOf(L), LocationKind::Lock);
+}
+
+TEST(Location, GhostDetection) {
+  ObjectId O(1, 1);
+  EXPECT_FALSE(loc::isGhost(loc::field(O, 0)));
+  EXPECT_FALSE(loc::isGhost(loc::var(5)));
+  EXPECT_TRUE(loc::isGhost(loc::lock(O)));
+  EXPECT_TRUE(loc::isGhost(loc::cond(O)));
+  EXPECT_TRUE(loc::isGhost(loc::threadStart(3)));
+  EXPECT_TRUE(loc::isGhost(loc::threadTerm(3)));
+}
+
+TEST(Location, DistinctFieldsOfDistinctObjects) {
+  LocationId A = loc::field(ObjectId(1, 1), 0);
+  LocationId B = loc::field(ObjectId(1, 2), 0);
+  LocationId C = loc::field(ObjectId(2, 1), 0);
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(B, C);
+}
+
+TEST(Location, PrettyPrinting) {
+  EXPECT_EQ(loc::str(loc::var(7)), "var7");
+  EXPECT_EQ(loc::str(loc::threadStart(2)), "start(t2)");
+  EXPECT_EQ(loc::str(loc::field(ObjectId(1, 3), 4)), "o1.3.f4");
+}

@@ -1,0 +1,96 @@
+//===- tests/workloads/WorkloadTest.cpp - Overhead harness tests -----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/OverheadHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace light;
+using namespace light::workloads;
+
+namespace {
+
+WorkloadSpec shrunk(const char *Name, int Divisor = 8) {
+  const WorkloadSpec *S = findWorkload(Name);
+  EXPECT_NE(S, nullptr);
+  WorkloadSpec Out = *S;
+  Out.OpsPerThread /= Divisor;
+  Out.Threads = 4;
+  return Out;
+}
+
+} // namespace
+
+TEST(Workloads, SuiteHasThePaper24) {
+  const auto &All = paperWorkloads();
+  ASSERT_EQ(All.size(), 24u);
+  std::set<std::string> Names;
+  int JGF = 0, STAMP = 0, Server = 0, DaCapo = 0;
+  for (const WorkloadSpec &S : All) {
+    Names.insert(S.Name);
+    JGF += S.Suite == "JGF";
+    STAMP += S.Suite == "STAMP";
+    Server += S.Suite == "Server";
+    DaCapo += S.Suite == "DaCapo";
+  }
+  EXPECT_EQ(Names.size(), 24u) << "duplicate workload names";
+  EXPECT_EQ(JGF, 3);
+  EXPECT_EQ(STAMP, 8);
+  EXPECT_EQ(Server, 7);
+  EXPECT_EQ(DaCapo, 6);
+  EXPECT_NE(findWorkload("cache4j"), nullptr);
+  EXPECT_EQ(findWorkload("nonexistent"), nullptr);
+}
+
+TEST(Workloads, KernelIsDeterministicInOpsAndSpace) {
+  WorkloadSpec Spec = shrunk("cache4j");
+  Measurement A = runWorkload(Spec, Scheme::Leap);
+  Measurement B = runWorkload(Spec, Scheme::Leap);
+  // Leap records every access: counts are schedule-independent.
+  EXPECT_EQ(A.SpaceLongs, B.SpaceLongs);
+  EXPECT_EQ(A.SharedOps, B.SharedOps);
+  EXPECT_GT(A.SharedOps, 1000u);
+}
+
+TEST(Workloads, LeapRecordsEveryAccessLightRecordsFewLongs) {
+  WorkloadSpec Spec = shrunk("cache4j");
+  Measurement L = runWorkload(Spec, Scheme::Light);
+  Measurement P = runWorkload(Spec, Scheme::Leap);
+  EXPECT_EQ(P.SpaceLongs, P.SharedOps);
+  EXPECT_LT(L.SpaceLongs * 2, P.SpaceLongs)
+      << "light=" << L.SpaceLongs << " leap=" << P.SpaceLongs;
+}
+
+TEST(Workloads, AblationSpaceOrderingHolds) {
+  // V_basic >= V_O1 >= V_both in recorded volume (Figure 7b's direction)
+  // on a bursty, lock-heavy profile.
+  WorkloadSpec Spec = shrunk("stamp-vacation");
+  Measurement Basic = runWorkload(Spec, Scheme::LightBasic);
+  Measurement O1 = runWorkload(Spec, Scheme::LightO1);
+  Measurement Both = runWorkload(Spec, Scheme::Light);
+  EXPECT_GE(Basic.SpaceLongs, O1.SpaceLongs);
+  EXPECT_GT(O1.SpaceLongs, Both.SpaceLongs);
+}
+
+TEST(Workloads, RetriesAreRare) {
+  // Section 2.3: "the optimistic retry loop is highly effective, yielding
+  // few retries in practice".
+  WorkloadSpec Spec = shrunk("dacapo-h2"); // write-heavy, worst case
+  Measurement L = runWorkload(Spec, Scheme::Light);
+  EXPECT_LT(L.Retries * 20, L.SharedOps)
+      << "retries=" << L.Retries << " ops=" << L.SharedOps;
+}
+
+TEST(Workloads, StrideSpaceComparableToLeap) {
+  WorkloadSpec Spec = shrunk("dacapo-xalan");
+  Measurement P = runWorkload(Spec, Scheme::Leap);
+  Measurement S = runWorkload(Spec, Scheme::Stride);
+  // Paper: Leap and Stride are "largely tied in space consumption".
+  EXPECT_GT(S.SpaceLongs, P.SpaceLongs / 2);
+  EXPECT_LT(S.SpaceLongs, P.SpaceLongs * 3);
+}

@@ -1,0 +1,226 @@
+//===- tools/light-replay.cpp - The Light command-line driver --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The user-facing pipeline driver, mirroring the three components of the
+/// paper's prototype (Section 5.1): the *transformer* (here: the MIR
+/// loader + shared-access analysis), the *recorder*, and the *replayer*
+/// (offline schedule computation + directed re-execution).
+///
+/// \code
+///   light-replay list
+///   light-replay print  <bug|file.mir>
+///   light-replay run    <bug|file.mir> [seed]      # plain execution
+///   light-replay hunt   <bug|file.mir> [max-seeds] # find a failing seed
+///   light-replay record <bug|file.mir> <seed> <log>
+///   light-replay show   <log>
+///   light-replay replay <bug|file.mir> <log> [--z3]
+/// \endcode
+///
+/// A <bug> is one of the built-in Figure-6 benchmarks; anything else is
+/// treated as a path to a textual MIR file (see mir/Parser.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharedAccessAnalysis.h"
+#include "bugs/BugHarness.h"
+#include "core/LightRecorder.h"
+#include "core/ReplayDirector.h"
+#include "core/ReplaySchedule.h"
+#include "interp/Machine.h"
+#include "mir/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+using namespace light;
+using namespace light::bugs;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: light-replay <command> ...\n"
+      "  list                                 the built-in bug benchmarks\n"
+      "  print  <bug|file.mir>                dump the program\n"
+      "  run    <bug|file.mir> [seed]         execute under a random "
+      "schedule\n"
+      "  hunt   <bug|file.mir> [max-seeds]    search for a failing "
+      "schedule\n"
+      "  record <bug|file.mir> <seed> <log>   record with Light\n"
+      "  show   <log>                         dump a recording\n"
+      "  replay <bug|file.mir> <log> [--z3]   solve + validated replay\n");
+  return 2;
+}
+
+std::optional<mir::Program> loadProgram(const std::string &Name) {
+  for (BugBenchmark &B : makeBugSuite())
+    if (B.Name == Name)
+      return std::move(B.Prog);
+
+  std::ifstream In(Name);
+  if (!In) {
+    std::fprintf(stderr, "error: no built-in bug and no file named '%s'\n",
+                 Name.c_str());
+    return std::nullopt;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  mir::ParseResult Parsed = mir::parseProgram(Buf.str());
+  if (!Parsed.Ok) {
+    std::fprintf(stderr, "error: %s: %s\n", Name.c_str(),
+                 Parsed.Error.c_str());
+    return std::nullopt;
+  }
+  std::string Verify = Parsed.Prog.verify();
+  if (!Verify.empty()) {
+    std::fprintf(stderr, "error: %s: %s\n", Name.c_str(), Verify.c_str());
+    return std::nullopt;
+  }
+  analysis::markSharedAccesses(Parsed.Prog);
+  return std::move(Parsed.Prog);
+}
+
+void printOutcome(const RunResult &R) {
+  if (R.Completed)
+    std::printf("run completed cleanly (%llu shared accesses)\n",
+                static_cast<unsigned long long>(R.SharedAccesses));
+  else
+    std::printf("run failed: %s\n", R.Bug.str().c_str());
+  for (size_t T = 0; T < R.OutputByThread.size(); ++T)
+    if (!R.OutputByThread[T].empty()) {
+      std::string Flat = R.OutputByThread[T];
+      for (char &Ch : Flat)
+        if (Ch == '\n')
+          Ch = ' ';
+      std::printf("  t%zu printed: %s\n", T, Flat.c_str());
+    }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+
+  if (Cmd == "list") {
+    for (const BugBenchmark &B : makeBugSuite())
+      std::printf("%-14s clap=%s chimera=%s\n", B.Name.c_str(),
+                  B.ClapExpected ? "yes" : "no",
+                  B.ChimeraExpected ? "yes" : "no");
+    return 0;
+  }
+
+  if (argc < 3)
+    return usage();
+  std::optional<mir::Program> Prog = loadProgram(argv[2]);
+
+  if (Cmd == "print") {
+    if (!Prog)
+      return 1;
+    std::printf("%s", Prog->str().c_str());
+    return 0;
+  }
+
+  if (Cmd == "run") {
+    if (!Prog)
+      return 1;
+    uint64_t Seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    NullHook Null;
+    Machine M(*Prog, Null);
+    M.seedEnvironment(Seed ^ 0x5a5a);
+    RandomScheduler Sched(Seed);
+    printOutcome(M.run(Sched));
+    return 0;
+  }
+
+  if (Cmd == "hunt") {
+    if (!Prog)
+      return 1;
+    uint64_t Max = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 300;
+    BugReport Bug;
+    std::optional<uint64_t> Seed = findBuggySeed(*Prog, Max, &Bug);
+    if (!Seed) {
+      std::printf("no failing schedule in %llu seeds\n",
+                  static_cast<unsigned long long>(Max));
+      return 1;
+    }
+    std::printf("seed %llu fails: %s\n",
+                static_cast<unsigned long long>(*Seed), Bug.str().c_str());
+    return 0;
+  }
+
+  if (Cmd == "record") {
+    if (!Prog || argc < 5)
+      return usage();
+    uint64_t Seed = std::strtoull(argv[3], nullptr, 10);
+    LightOptions Opts;
+    Opts.WriteToDisk = false;
+    LightRecorder Rec(Opts);
+    Machine M(*Prog, Rec);
+    M.seedEnvironment(Seed ^ 0x5a5a);
+    RandomScheduler Sched(Seed);
+    RunResult R = M.run(Sched);
+    RecordingLog Log = Rec.finish(&M.registry());
+    uint64_t Words = Log.save(argv[4]);
+    printOutcome(R);
+    std::printf("recorded %zu spans (%llu long-integers on disk) -> %s\n",
+                Log.Spans.size(), static_cast<unsigned long long>(Words),
+                argv[4]);
+    return 0;
+  }
+
+  if (Cmd == "show") {
+    RecordingLog Log;
+    if (!Log.load(argv[2])) {
+      std::fprintf(stderr, "error: cannot load '%s'\n", argv[2]);
+      return 1;
+    }
+    std::printf("%s", Log.str().c_str());
+    return 0;
+  }
+
+  if (Cmd == "replay") {
+    if (!Prog || argc < 4)
+      return usage();
+    RecordingLog Log;
+    if (!Log.load(argv[3])) {
+      std::fprintf(stderr, "error: cannot load '%s'\n", argv[3]);
+      return 1;
+    }
+    bool UseZ3 = argc > 4 && std::strcmp(argv[4], "--z3") == 0;
+    ReplaySchedule Plan = ReplaySchedule::build(
+        Log, UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl);
+    if (!Plan.ok()) {
+      std::fprintf(stderr, "error: %s\n", Plan.error().c_str());
+      return 1;
+    }
+    std::printf("solved %zu-turn schedule in %.2f ms\n",
+                Plan.order().size(), Plan.solveStats().SolveSeconds * 1000);
+    ReplayDirector Director(Plan, /*RealThreads=*/false, /*Validate=*/true);
+    Machine M(*Prog, Director);
+    M.prepareReplay(Log.Spawns);
+    RunResult R = M.runReplay(Director);
+    printOutcome(R);
+    if (Director.failed()) {
+      std::printf("REPLAY DIVERGED: %s\n", Director.divergence().c_str());
+      return 1;
+    }
+    std::printf("replay faithful: %llu reads validated, %llu blind writes "
+                "suppressed\n",
+                static_cast<unsigned long long>(
+                    Director.stats().ValidatedReads),
+                static_cast<unsigned long long>(
+                    Director.stats().BlindSuppressed));
+    return 0;
+  }
+
+  return usage();
+}
