@@ -1,0 +1,117 @@
+//===- bench/GBenchJson.h - light-bench-v1 output for gbench ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared main() for the google-benchmark binaries: runs the registered
+/// benchmarks through the normal console reporter while capturing every run,
+/// then — when `--json [file]` was passed — writes the same light-bench-v1
+/// report the table benches emit (rows = one per benchmark run, with
+/// per-iteration real/cpu nanoseconds, iteration count, and any
+/// State.counters, e.g. the solver.* stats).
+///
+/// Use via LIGHT_GBENCH_MAIN(name) instead of linking benchmark_main.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_BENCH_GBENCHJSON_H
+#define LIGHT_BENCH_GBENCHJSON_H
+
+#include "obs/BenchReport.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace benchjson {
+
+/// Console reporter that also captures each non-aggregate run.
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+  struct Captured {
+    std::string Name;
+    double RealNanosPerIter = 0;
+    double CpuNanosPerIter = 0;
+    uint64_t Iterations = 0;
+    std::vector<std::pair<std::string, double>> Counters;
+  };
+
+  std::vector<Captured> Runs;
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      Captured C;
+      C.Name = R.benchmark_name();
+      double Iters = R.iterations ? static_cast<double>(R.iterations) : 1.0;
+      C.RealNanosPerIter = R.real_accumulated_time / Iters * 1e9;
+      C.CpuNanosPerIter = R.cpu_accumulated_time / Iters * 1e9;
+      C.Iterations = static_cast<uint64_t>(R.iterations);
+      for (const auto &[Key, Counter] : R.counters)
+        C.Counters.emplace_back(Key, Counter.value);
+      Runs.push_back(std::move(C));
+    }
+    ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
+/// Runs the registered benchmarks; handles `--json [file]` (stripped before
+/// google-benchmark sees argv) by writing a light-bench-v1 report.
+inline int gbenchMain(int Argc, char **Argv, const char *BenchName) {
+  bool WantJson = false;
+  std::string JsonPath;
+  std::vector<char *> Pass;
+  Pass.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      WantJson = true;
+      if (I + 1 < Argc && std::strncmp(Argv[I + 1], "--", 2) != 0)
+        JsonPath = Argv[++I];
+      continue;
+    }
+    Pass.push_back(Argv[I]);
+  }
+  int PassArgc = static_cast<int>(Pass.size());
+  benchmark::Initialize(&PassArgc, Pass.data());
+  if (benchmark::ReportUnrecognizedArguments(PassArgc, Pass.data()))
+    return 1;
+
+  CaptureReporter Reporter;
+  size_t Ran = benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  if (WantJson) {
+    obs::BenchReport Report(BenchName);
+    for (const CaptureReporter::Captured &C : Reporter.Runs) {
+      obs::BenchReport::Row &Row = Report.row();
+      Row.set("name", C.Name)
+          .set("real_ns_per_iter", C.RealNanosPerIter)
+          .set("cpu_ns_per_iter", C.CpuNanosPerIter)
+          .set("iterations", C.Iterations);
+      for (const auto &[Key, Value] : C.Counters)
+        Row.set(Key, Value);
+    }
+    Report.aggregate("benchmarks_run", static_cast<double>(Ran));
+    Report.ok(Ran > 0);
+    Report.withMetrics();
+    if (!Report.write(JsonPath))
+      return 1;
+  }
+  return 0;
+}
+
+} // namespace benchjson
+} // namespace light
+
+#define LIGHT_GBENCH_MAIN(NAME)                                               \
+  int main(int argc, char **argv) {                                           \
+    return light::benchjson::gbenchMain(argc, argv, NAME);                    \
+  }
+
+#endif // LIGHT_BENCH_GBENCHJSON_H

@@ -10,30 +10,27 @@
 /// Stride avg 4.66, Light avg 0.44).
 ///
 /// Pass a benchmark name to run only that benchmark; pass --fast for a
-/// quick single-repeat pass.
+/// quick single-repeat pass; pass --json [file] to also write a
+/// light-bench-v1 report (default BENCH_fig4_time_overhead.json).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Args.h"
+#include "obs/BenchReport.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "workloads/OverheadHarness.h"
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 using namespace light;
 using namespace light::workloads;
 
 int main(int argc, char **argv) {
-  int Repeats = 3;
-  std::string Only;
-  for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--fast") == 0)
-      Repeats = 1;
-    else
-      Only = argv[I];
-  }
+  obs::ArgList Args(argc, argv, {"json"}, {"fast"});
+  int Repeats = Args.has("fast") ? 1 : 3;
+  std::string Only = Args.positionalOr(0, "");
 
   std::printf("Figure 4: normalized time overhead (recording time / "
               "uninstrumented time - 1)\n");
@@ -46,6 +43,7 @@ int main(int argc, char **argv) {
   Table T({"benchmark", "suite", "light", "leap", "stride",
            "light/leap ratio"});
   std::vector<double> LightOv, LeapOv, StrideOv;
+  obs::BenchReport Report("fig4_time_overhead");
 
   for (const WorkloadSpec &Spec : paperWorkloads()) {
     if (!Only.empty() && Spec.Name != Only)
@@ -62,6 +60,12 @@ int main(int argc, char **argv) {
     T.addRow({Spec.Name, Spec.Suite, Table::fmt(L), Table::fmt(P),
               Table::fmt(S),
               P > 0 ? Table::fmt(L / std::max(P, 1e-9)) : "-"});
+    Report.row()
+        .set("benchmark", Spec.Name)
+        .set("suite", Spec.Suite)
+        .set("light_overhead", L)
+        .set("leap_overhead", P)
+        .set("stride_overhead", S);
     std::fflush(stdout);
   }
   std::printf("%s\n", T.render().c_str());
@@ -84,5 +88,22 @@ int main(int argc, char **argv) {
   bool ShapeHolds = SL.Average < SP.Average && SL.Average < SS.Average;
   std::printf("Shape check (Light below both baselines on average): %s\n",
               ShapeHolds ? "HOLDS" : "VIOLATED");
+
+  if (Args.has("json")) {
+    Report.aggregate("light_avg", SL.Average);
+    Report.aggregate("light_median", SL.Median);
+    Report.aggregate("leap_avg", SP.Average);
+    Report.aggregate("leap_median", SP.Median);
+    Report.aggregate("stride_avg", SS.Average);
+    Report.aggregate("stride_median", SS.Median);
+    Report.aggregate("repeats", Repeats);
+    Report.ok(ShapeHolds);
+    Report.withMetrics();
+    if (!Report.write(Args.get("json")))
+      return 1;
+  }
+  // With a name filter the aggregate shape check is informational only.
+  if (!Only.empty())
+    return 0;
   return ShapeHolds ? 0 : 1;
 }

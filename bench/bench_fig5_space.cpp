@@ -9,8 +9,13 @@
 /// space table of Section 5.2 (paper: Leap avg 94,362K, Stride 135,570K,
 /// Light 9,429K; i.e. Light at ~10% of Leap).
 ///
+/// Pass a benchmark name to run only that benchmark; pass --json [file] to
+/// also write a light-bench-v1 report.
+///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Args.h"
+#include "obs/BenchReport.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "workloads/OverheadHarness.h"
@@ -22,7 +27,8 @@ using namespace light;
 using namespace light::workloads;
 
 int main(int argc, char **argv) {
-  std::string Only = argc > 1 ? argv[1] : "";
+  obs::ArgList Args(argc, argv, {"json"}, {});
+  std::string Only = Args.positionalOr(0, "");
 
   std::printf("Figure 5: space consumption (K long-integer units recorded)\n");
   std::printf("Paper reference: Light records ~10%% of Leap's volume on "
@@ -31,6 +37,7 @@ int main(int argc, char **argv) {
   Table T({"benchmark", "suite", "light (K)", "leap (K)", "stride (K)",
            "light/leap"});
   std::vector<double> LightK, LeapK, StrideK;
+  obs::BenchReport Report("fig5_space");
 
   for (const WorkloadSpec &Spec : paperWorkloads()) {
     if (!Only.empty() && Spec.Name != Only)
@@ -46,6 +53,12 @@ int main(int argc, char **argv) {
     StrideK.push_back(SK);
     T.addRow({Spec.Name, Spec.Suite, Table::fmt(LK, 1), Table::fmt(PK, 1),
               Table::fmt(SK, 1), Table::fmt(LK / PK, 3)});
+    Report.row()
+        .set("benchmark", Spec.Name)
+        .set("suite", Spec.Suite)
+        .set("light_klongs", LK)
+        .set("leap_klongs", PK)
+        .set("stride_klongs", SK);
     std::fflush(stdout);
   }
   std::printf("%s\n", T.render().c_str());
@@ -69,5 +82,18 @@ int main(int argc, char **argv) {
   bool ShapeHolds = SL.Average < SP.Average && SL.Average < SS.Average;
   std::printf("Shape check (Light far below both baselines): %s\n",
               ShapeHolds ? "HOLDS" : "VIOLATED");
+
+  if (Args.has("json")) {
+    Report.aggregate("light_avg_klongs", SL.Average);
+    Report.aggregate("leap_avg_klongs", SP.Average);
+    Report.aggregate("stride_avg_klongs", SS.Average);
+    Report.aggregate("light_leap_ratio", Ratio);
+    Report.ok(ShapeHolds);
+    Report.withMetrics();
+    if (!Report.write(Args.get("json")))
+      return 1;
+  }
+  if (!Only.empty())
+    return 0;
   return ShapeHolds ? 0 : 1;
 }

@@ -13,6 +13,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bugs/BugHarness.h"
+#include "obs/Args.h"
+#include "obs/BenchReport.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -20,16 +22,20 @@
 using namespace light;
 using namespace light::bugs;
 
-int main() {
+int main(int argc, char **argv) {
+  obs::ArgList Args(argc, argv, {"json"}, {});
+
   std::printf("Section 5.3 (Figure 6 bugs): reproduction by tool\n\n");
 
   Table T({"bug", "light", "clap", "chimera", "clap note / chimera note"});
   int LightOk = 0, ClapOk = 0, ChimeraOk = 0, Mismatches = 0;
+  obs::BenchReport Report("fig6_bug_matrix");
 
   for (const BugBenchmark &Bench : makeBugSuite()) {
     std::optional<uint64_t> Seed = findBuggySeed(Bench.Prog, 300);
     if (!Seed) {
       T.addRow({Bench.Name, "no failing schedule found", "-", "-", "-"});
+      Report.row().set("bug", Bench.Name).set("seed_found", false);
       ++Mismatches;
       continue;
     }
@@ -43,6 +49,15 @@ int main() {
     if (!L.Reproduced || C.Reproduced != Bench.ClapExpected ||
         H.Reproduced != Bench.ChimeraExpected)
       ++Mismatches;
+
+    Report.row()
+        .set("bug", Bench.Name)
+        .set("seed_found", true)
+        .set("light", L.Reproduced)
+        .set("clap", C.Reproduced)
+        .set("chimera", H.Reproduced)
+        .set("clap_expected", Bench.ClapExpected)
+        .set("chimera_expected", Bench.ChimeraExpected);
 
     std::string Note;
     if (!C.Reproduced)
@@ -63,5 +78,16 @@ int main() {
               LightOk, ClapOk, ChimeraOk);
   std::printf("Matrix matches the paper: %s\n",
               Mismatches == 0 ? "YES" : "NO");
+
+  if (Args.has("json")) {
+    Report.aggregate("light_reproduced", LightOk);
+    Report.aggregate("clap_reproduced", ClapOk);
+    Report.aggregate("chimera_reproduced", ChimeraOk);
+    Report.aggregate("mismatches", Mismatches);
+    Report.ok(Mismatches == 0);
+    Report.withMetrics();
+    if (!Report.write(Args.get("json")))
+      return 1;
+  }
   return Mismatches == 0 ? 0 : 1;
 }

@@ -15,19 +15,21 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Args.h"
+#include "obs/BenchReport.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "workloads/OverheadHarness.h"
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
 using namespace light;
 using namespace light::workloads;
 
 int main(int argc, char **argv) {
-  int Repeats = argc > 1 && std::strcmp(argv[1], "--fast") == 0 ? 1 : 2;
+  obs::ArgList Args(argc, argv, {"json"}, {"fast"});
+  int Repeats = Args.has("fast") ? 1 : 2;
 
   std::printf("Figure 7a/7b: overhead breakdown across V_basic, V_O1, "
               "V_both\n\n");
@@ -36,6 +38,7 @@ int main(int argc, char **argv) {
            "space basic(K)", "space +O1(K)", "space both(K)"});
 
   int TimeO1Wins = 0, SpaceO1Big = 0, SpaceO2Helps = 0, N = 0;
+  obs::BenchReport Report("fig7_ablation");
   for (const WorkloadSpec &Spec : paperWorkloads()) {
     double TB = measureOverhead(Spec, Scheme::LightBasic, Repeats) - 1.0;
     double TO1 = measureOverhead(Spec, Scheme::LightO1, Repeats) - 1.0;
@@ -60,6 +63,14 @@ int main(int argc, char **argv) {
               Table::fmt(SB.SpaceLongs / 1000.0, 1),
               Table::fmt(SO1.SpaceLongs / 1000.0, 1),
               Table::fmt(SBoth.SpaceLongs / 1000.0, 1)});
+    Report.row()
+        .set("benchmark", Spec.Name)
+        .set("time_basic", TB)
+        .set("time_o1", TO1)
+        .set("time_both", TBoth)
+        .set("space_basic_longs", static_cast<double>(SB.SpaceLongs))
+        .set("space_o1_longs", static_cast<double>(SO1.SpaceLongs))
+        .set("space_both_longs", static_cast<double>(SBoth.SpaceLongs));
     std::fflush(stdout);
   }
   std::printf("%s\n", T.render().c_str());
@@ -76,5 +87,16 @@ int main(int argc, char **argv) {
   bool Holds = SpaceO1Big > N / 2 && SpaceO2Helps > 0;
   std::printf("H3 (both optimizations significant): %s\n",
               Holds ? "HOLDS" : "VIOLATED");
+
+  if (Args.has("json")) {
+    Report.aggregate("time_o1_wins", TimeO1Wins);
+    Report.aggregate("space_o1_big", SpaceO1Big);
+    Report.aggregate("space_o2_helps", SpaceO2Helps);
+    Report.aggregate("benchmarks", N);
+    Report.ok(Holds);
+    Report.withMetrics();
+    if (!Report.write(Args.get("json")))
+      return 1;
+  }
   return Holds ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "GBenchJson.h"
+
 #include "smt/IdlSolver.h"
 #include "smt/Z3Backend.h"
 #include "support/Random.h"
@@ -21,6 +23,14 @@ using namespace light;
 using namespace light::smt;
 
 namespace {
+
+/// Exposes one solve's statistics as State.counters under the canonical
+/// solver.* names (solveStatEntries), so this bench and bench_table1_replay
+/// report identical metric keys.
+void setSolverCounters(benchmark::State &State, const SolveResult &R) {
+  for (const auto &[Name, Value] : solveStatEntries(R))
+    State.counters[Name] = benchmark::Counter(Value);
+}
 
 /// Builds a satisfiable replay-shaped system: T threads of N accesses each
 /// over V locations, with read-after-write dependence edges and pairwise
@@ -61,22 +71,28 @@ OrderSystem replayShaped(int Threads, int PerThread, int Locations,
 
 static void BM_IdlSolver(benchmark::State &State) {
   OrderSystem S = replayShaped(8, static_cast<int>(State.range(0)), 32, 99);
+  SolveResult Last;
   for (auto _ : State) {
-    SolveResult R = solveWithIdl(S);
-    benchmark::DoNotOptimize(R.sat());
+    Last = solveWithIdl(S);
+    benchmark::DoNotOptimize(Last.sat());
   }
+  setSolverCounters(State, Last);
   State.SetComplexityN(State.range(0));
 }
 
 static void BM_Z3(benchmark::State &State) {
   OrderSystem S = replayShaped(8, static_cast<int>(State.range(0)), 32, 99);
+  SolveResult Last;
   for (auto _ : State) {
-    SolveResult R = solveWithZ3(S);
-    benchmark::DoNotOptimize(R.sat());
+    Last = solveWithZ3(S);
+    benchmark::DoNotOptimize(Last.sat());
   }
+  setSolverCounters(State, Last);
   State.SetComplexityN(State.range(0));
 }
 
 BENCHMARK(BM_IdlSolver)->Arg(50)->Arg(200)->Arg(800)->Unit(
     benchmark::kMicrosecond);
 BENCHMARK(BM_Z3)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMicrosecond);
+
+LIGHT_GBENCH_MAIN("smt_solver")

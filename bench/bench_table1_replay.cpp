@@ -14,6 +14,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bugs/BugHarness.h"
+#include "obs/Args.h"
+#include "obs/BenchReport.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -21,7 +23,9 @@
 using namespace light;
 using namespace light::bugs;
 
-int main() {
+int main(int argc, char **argv) {
+  obs::ArgList Args(argc, argv, {"json"}, {});
+
   std::printf("Table 1: Light replay measurement per bug\n");
   std::printf("Paper columns for reference (their scale: full applications; "
               "ours: reconstructed kernels).\n\n");
@@ -47,6 +51,7 @@ int main() {
            "paper space(K)", "paper solve(s)", "paper replay(s)"});
 
   std::vector<BugBenchmark> Suite = makeBugSuite();
+  obs::BenchReport Report("table1_replay");
   bool AllReproduced = true;
   for (size_t I = 0; I < Suite.size(); ++I) {
     const BugBenchmark &Bench = Suite[I];
@@ -54,6 +59,7 @@ int main() {
     if (!Seed) {
       T.addRow({Bench.Name, "-", "-", "-", Paper[I].Space, Paper[I].Solve,
                 Paper[I].Replay});
+      Report.row().set("bug", Bench.Name).set("reproduced", false);
       AllReproduced = false;
       continue;
     }
@@ -63,6 +69,15 @@ int main() {
               Table::fmt(A.SolveSeconds * 1000, 2),
               Table::fmt(A.ReplaySeconds * 1000, 2), Paper[I].Space,
               Paper[I].Solve, Paper[I].Replay});
+    obs::BenchReport::Row &Row = Report.row();
+    Row.set("bug", Bench.Name)
+        .set("reproduced", A.Reproduced)
+        .set("space_longs", static_cast<double>(A.SpaceLongs))
+        .set("solve_ms", A.SolveSeconds * 1000)
+        .set("replay_ms", A.ReplaySeconds * 1000);
+    // Canonical solver.* stat names shared with bench_smt_solver.
+    for (const auto &[Name, Value] : smt::solveStatEntries(A.SolverStats))
+      Row.set(Name, Value);
     std::fflush(stdout);
   }
   std::printf("%s\n", T.render().c_str());
@@ -71,5 +86,13 @@ int main() {
   std::printf("Shape note: solving time correlates with recorded space, as "
               "the paper observes\n(\"constraint solving time is correlated "
               "with space consumption\").\n");
+
+  if (Args.has("json")) {
+    Report.aggregate("bugs", static_cast<double>(Suite.size()));
+    Report.ok(AllReproduced);
+    Report.withMetrics();
+    if (!Report.write(Args.get("json")))
+      return 1;
+  }
   return AllReproduced ? 0 : 1;
 }

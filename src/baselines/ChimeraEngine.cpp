@@ -6,6 +6,8 @@
 
 #include "baselines/ChimeraEngine.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -188,6 +190,9 @@ ChimeraLog ChimeraRecorder::finish() {
     if (!Syscalls[T].empty())
       MaxT = T;
   Log.SyscallValues.assign(Syscalls.begin(), Syscalls.begin() + MaxT + 1);
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("baseline.chimera.sync_ops").add(Log.SyncOrder.size());
+  Reg.counter("baseline.chimera.long_integers").add(Log.spaceLongs());
   return Log;
 }
 

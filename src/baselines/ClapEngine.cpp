@@ -27,6 +27,8 @@
 
 #include "baselines/ClapEngine.h"
 
+#include "obs/Metrics.h"
+
 #include "support/Timer.h"
 
 #include <z3++.h>
@@ -88,6 +90,11 @@ ClapRecording ClapRecorder::finish() {
     R.FinalCounters[T] = Counters.get(T);
     R.SyscallValues[T] = *Syscalls[T];
   }
+  uint64_t Accesses = 0;
+  for (Counter C : R.FinalCounters)
+    Accesses += C;
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("baseline.clap.accesses").add(Accesses);
   return R;
 }
 

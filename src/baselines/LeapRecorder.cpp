@@ -6,6 +6,8 @@
 
 #include "baselines/LeapRecorder.h"
 
+#include "obs/Metrics.h"
+
 #include "support/BinaryIO.h"
 
 using namespace light;
@@ -78,6 +80,9 @@ LeapLog LeapRecorder::finish(const std::string &DumpPath) {
     }
     Writer.finish();
   }
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("baseline.leap.access_vectors").add(Log.AccessVectors.size());
+  Reg.counter("baseline.leap.long_integers").add(longIntegersRecorded());
   return Log;
 }
 

@@ -6,6 +6,8 @@
 
 #include "baselines/StrideRecorder.h"
 
+#include "obs/Metrics.h"
+
 using namespace light;
 
 StrideRecorder::StrideRecorder() : Shards(NumShards) {
@@ -94,6 +96,9 @@ StrideLog StrideRecorder::finish() {
     Log.Syscalls.insert(Log.Syscalls.end(), T->Syscalls.begin(),
                         T->Syscalls.end());
   }
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("baseline.stride.reads").add(Log.Reads.size());
+  Reg.counter("baseline.stride.long_integers").add(longIntegersRecorded());
   return Log;
 }
 

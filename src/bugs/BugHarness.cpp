@@ -13,6 +13,7 @@
 #include "core/LightRecorder.h"
 #include "core/ReplayDirector.h"
 #include "core/ReplaySchedule.h"
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 using namespace light;
@@ -71,11 +72,17 @@ ToolAttempt light::bugs::lightReproduce(const BugBenchmark &Bench,
     Rec.setGuards(Guards);
 
   Stopwatch RecordTimer;
-  Machine M(Bench.Prog, Rec);
-  M.seedEnvironment(Seed ^ 0x5a5a);
-  RandomScheduler Sched(Seed);
-  RunResult Recorded = M.run(Sched);
-  RecordingLog Log = Rec.finish(&M.registry());
+  RunResult Recorded;
+  RecordingLog Log;
+  {
+    obs::TraceSpan Phase("harness.record", "harness");
+    Machine M(Bench.Prog, Rec);
+    M.seedEnvironment(Seed ^ 0x5a5a);
+    RandomScheduler Sched(Seed);
+    Recorded = M.run(Sched);
+    Log = Rec.finish(&M.registry());
+    Phase.arg("spans", Log.Spans.size());
+  }
   Out.RecordSeconds = RecordTimer.seconds();
   Out.SpaceLongs = Rec.longIntegersRecorded();
   Out.BugFound = Recorded.Bug.happened();
@@ -87,16 +94,20 @@ ToolAttempt light::bugs::lightReproduce(const BugBenchmark &Bench,
   Stopwatch SolveTimer;
   ReplaySchedule RS = ReplaySchedule::build(Log, Engine);
   Out.SolveSeconds = SolveTimer.seconds();
+  Out.SolverStats = RS.solveStats();
+  Out.SolverStats.Values.clear();
   if (!RS.ok()) {
     Out.Note = "constraint system unsatisfiable: " + RS.error();
     return Out;
   }
 
   Stopwatch ReplayTimer;
+  obs::TraceSpan ReplayPhase("harness.replay", "harness");
   ReplayDirector Director(RS, /*RealThreads=*/false, /*Validate=*/true);
   Machine RM(Bench.Prog, Director);
   RM.prepareReplay(Log.Spawns);
   RunResult Replayed = RM.runReplay(Director);
+  Director.publishMetrics();
   Out.ReplaySeconds = ReplayTimer.seconds();
 
   Out.Reproduced = Recorded.Bug.sameAs(Replayed.Bug);

@@ -39,6 +39,12 @@ struct ToolAttempt {
   double SolveSeconds = 0;
   double ReplaySeconds = 0;
   uint64_t SpaceLongs = 0;
+
+  /// Solver statistics of the schedule solve (Values cleared; only the
+  /// counts and timing are kept). Zero for tools that do not solve a
+  /// constraint system. Report these via smt::solveStatEntries so every
+  /// bench uses the same metric names.
+  smt::SolveResult SolverStats;
 };
 
 /// Searches seeds [1, MaxSeeds] for a schedule where \p Prog fails with an

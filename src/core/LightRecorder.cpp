@@ -6,7 +6,11 @@
 
 #include "core/LightRecorder.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cassert>
+#include <mutex>
 
 using namespace light;
 
@@ -57,6 +61,10 @@ void LightRecorder::closeSpan(PerThread &S, ThreadId T, LocationId L,
   D.Last = Sp.Last;
   S.Buffer.push_back(D);
   Sp.Active = false;
+  obs::Tracer &Tr = obs::Tracer::global();
+  if (Tr.enabled())
+    Tr.instant("record.span", "record", T, {"loc", L},
+               {"len", Sp.Last - Sp.First + 1});
   maybeFlush(S, T);
 }
 
@@ -91,6 +99,7 @@ void LightRecorder::onWrite(ThreadId T, LocationId L, LocMeta &M,
   if (isGuarded(L)) {
     // O2: the lock operation order subsumes this location's dependences
     // (Lemma 4.2); perform the access uninstrumented.
+    ++S.GuardedElided;
     Perform();
     return;
   }
@@ -98,7 +107,21 @@ void LightRecorder::onWrite(ThreadId T, LocationId L, LocMeta &M,
   {
     // "The simple update (lw_l = n) is placed in the same atomic section
     // with the shared access from [the] program" — Section 2.3.
-    std::lock_guard<std::mutex> Guard(Stripes.stripeFor(L));
+    std::unique_lock<std::mutex> Guard(Stripes.stripeFor(L),
+                                       std::defer_lock);
+    // Contention probe, sampled 1/64 by the per-thread access counter: an
+    // unconditional try_lock costs ~40% on this fast path (pthread trylock
+    // is slower than the lock fast path), which would distort the very
+    // overhead Figs. 4/7 measure. Sampling keeps the signal within the
+    // <= 1% telemetry budget; finish() publishes the raw sampled count.
+    if (Opts.Telemetry && (C & 63) == 0) {
+      if (!Guard.try_lock()) {
+        ++S.StripeContended;
+        Guard.lock();
+      }
+    } else {
+      Guard.lock();
+    }
     Perform();
     M.LastWrite.store(AccessId(T, C).pack());
     PrevAccessor = M.LastAccessor.exchange(T + 1u);
@@ -111,6 +134,7 @@ void LightRecorder::onRead(ThreadId T, LocationId L, LocMeta &M,
   PerThread &S = state(T);
   Counter C = ++S.Ctr;
   if (isGuarded(L)) {
+    ++S.GuardedElided;
     Perform();
     return;
   }
@@ -129,6 +153,9 @@ void LightRecorder::onRead(ThreadId T, LocationId L, LocMeta &M,
     if (N1 == N2)
       break;
     ++S.Retries;
+    obs::Tracer &Tr = obs::Tracer::global();
+    if (Tr.enabled())
+      Tr.instant("record.read_retry", "record", T, {"loc", L});
   }
   noteRead(S, T, L, N1, C, M.LastAccessor.load(std::memory_order_relaxed));
 }
@@ -138,6 +165,7 @@ void LightRecorder::onRmw(ThreadId T, LocationId L, LocMeta &M,
   PerThread &S = state(T);
   Counter C = ++S.Ctr;
   if (isGuarded(L)) {
+    ++S.GuardedElided;
     Perform();
     return;
   }
@@ -161,6 +189,7 @@ void LightRecorder::noteRead(PerThread &S, ThreadId T, LocationId L,
     if ((Sp.Kind == SpanKind::Read || Sp.Kind == SpanKind::Init) &&
         Sp.SrcPacked == Src) {
       Sp.Last = C;
+      ++S.SpanMerges;
       return;
     }
     // O1 extension: reading my own write from the current uninterleaved
@@ -171,6 +200,7 @@ void LightRecorder::noteRead(PerThread &S, ThreadId T, LocationId L,
           SrcId.Count <= Sp.Last &&
           (PrevAccessor == 0 || PrevAccessor == T + 1u)) {
         Sp.Last = C;
+        ++S.SpanMerges;
         return;
       }
     }
@@ -190,6 +220,7 @@ void LightRecorder::noteWrite(PerThread &S, ThreadId T, LocationId L,
     if (Opts.EnableO1 && Sp.Kind == SpanKind::Own &&
         (PrevAccessor == 0 || PrevAccessor == T + 1u)) {
       Sp.Last = C;
+      ++S.SpanMerges;
       return;
     }
     closeSpan(S, T, L, Sp);
@@ -212,6 +243,7 @@ void LightRecorder::noteRmw(PerThread &S, ThreadId T, LocationId L,
       // Reentrant own sequence (e.g. repeated acquisitions with no
       // contention in between).
       Sp.Last = C;
+      ++S.SpanMerges;
       return;
     }
     closeSpan(S, T, L, Sp);
@@ -272,6 +304,26 @@ RecordingLog LightRecorder::finish(const ThreadRegistry *Registry) {
     Log.Spawns = Registry->spawnTable();
   if (Opts.EnableO2)
     Log.Guards = Guards;
+
+  // Publish the per-thread tallies into the process registry. This is the
+  // only place recording telemetry touches shared metric storage.
+  uint64_t Accesses = 0, Merges = 0, Retries = 0, Elided = 0, Contended = 0;
+  for (const auto &S : Threads) {
+    Accesses += S->Ctr;
+    Merges += S->SpanMerges;
+    Retries += S->Retries;
+    Elided += S->GuardedElided;
+    Contended += S->StripeContended;
+  }
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("record.accesses").add(Accesses);
+  Reg.counter("record.spans").add(Log.Spans.size());
+  Reg.counter("record.span_merges").add(Merges);
+  Reg.counter("record.read_retries").add(Retries);
+  Reg.counter("record.elided_guarded").add(Elided);
+  Reg.counter("record.stripe_contention").add(Contended);
+  Reg.counter("record.syscalls").add(Log.Syscalls.size());
+  Reg.counter("record.long_integers").add(longIntegersRecorded());
   return Log;
 }
 

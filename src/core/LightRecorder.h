@@ -100,6 +100,12 @@ private:
     std::vector<SyscallRecord> Syscalls;
     std::unique_ptr<LongWriter> Writer;
     uint64_t Retries = 0;
+    // Telemetry tallies. Plain fields on the already thread-local struct —
+    // the recording hot path never touches shared metric storage; the
+    // registry sees these only when finish() publishes them.
+    uint64_t SpanMerges = 0;      ///< O1/prec extensions of an open span
+    uint64_t GuardedElided = 0;   ///< accesses skipped via O2 (Lemma 4.2)
+    uint64_t StripeContended = 0; ///< write-stripe try_lock misses
   };
 
   LightOptions Opts;

@@ -6,6 +6,9 @@
 
 #include "core/ReplayDirector.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <chrono>
 
 using namespace light;
@@ -29,17 +32,44 @@ bool ReplayDirector::complete() const {
 
 void ReplayDirector::diverge(const std::string &Message) {
   bool Expected = false;
-  if (Diverged.compare_exchange_strong(Expected, true))
+  if (Diverged.compare_exchange_strong(Expected, true)) {
     Error = Message;
+    bumpStat(&AtomicStats::Divergences);
+    obs::Tracer &Tr = obs::Tracer::global();
+    if (Tr.enabled())
+      Tr.instant("replay.divergence", "replay", 0, {"turn", Turn.load()});
+  }
   if (RealThreads) {
     std::lock_guard<std::mutex> Guard(GateM);
     GateCv.notify_all();
   }
 }
 
-void ReplayDirector::bumpStat(uint64_t ReplayStats::*Field) {
-  std::lock_guard<std::mutex> Guard(StatsM);
-  Stats.*Field += 1;
+ReplayStats ReplayDirector::stats() const {
+  ReplayStats S;
+  S.GatedAccesses = Stats.GatedAccesses.load(std::memory_order_relaxed);
+  S.InteriorAccesses = Stats.InteriorAccesses.load(std::memory_order_relaxed);
+  S.GuardedAccesses = Stats.GuardedAccesses.load(std::memory_order_relaxed);
+  S.BlindSuppressed = Stats.BlindSuppressed.load(std::memory_order_relaxed);
+  S.ValidatedReads = Stats.ValidatedReads.load(std::memory_order_relaxed);
+  S.Turns = Turn.load(std::memory_order_relaxed);
+  S.Stalls = Stats.Stalls.load(std::memory_order_relaxed);
+  S.Divergences = Stats.Divergences.load(std::memory_order_relaxed);
+  return S;
+}
+
+void ReplayDirector::publishMetrics() const {
+  ReplayStats S = stats();
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("replay.runs").add(1);
+  Reg.counter("replay.gated_accesses").add(S.GatedAccesses);
+  Reg.counter("replay.interior_accesses").add(S.InteriorAccesses);
+  Reg.counter("replay.guarded_accesses").add(S.GuardedAccesses);
+  Reg.counter("replay.blind_suppressed").add(S.BlindSuppressed);
+  Reg.counter("replay.validated_reads").add(S.ValidatedReads);
+  Reg.counter("replay.turns").add(S.Turns);
+  Reg.counter("replay.stalls").add(S.Stalls);
+  Reg.counter("replay.divergences").add(S.Divergences);
 }
 
 bool ReplayDirector::waitForTurn(uint32_t TurnIdx, ThreadId T) {
@@ -57,6 +87,8 @@ bool ReplayDirector::waitForTurn(uint32_t TurnIdx, ThreadId T) {
     return true;
   }
   std::unique_lock<std::mutex> Lock(GateM);
+  if (!Diverged.load() && Turn.load() < TurnIdx)
+    bumpStat(&AtomicStats::Stalls);
   bool Ok = GateCv.wait_for(Lock, std::chrono::seconds(60), [&] {
     return Diverged.load() || Turn.load() >= TurnIdx;
   });
@@ -76,6 +108,12 @@ bool ReplayDirector::waitForTurn(uint32_t TurnIdx, ThreadId T) {
 }
 
 void ReplayDirector::advanceTurn() {
+  obs::Tracer &Tr = obs::Tracer::global();
+  if (Tr.enabled()) {
+    AccessId Cur = currentTurn();
+    Tr.instant("replay.turn", "replay", Cur.Thread, {"turn", Turn.load()},
+               {"count", Cur.Count});
+  }
   if (!RealThreads) {
     Turn.fetch_add(1);
     return;
@@ -98,25 +136,25 @@ void ReplayDirector::onWrite(ThreadId T, LocationId L, LocMeta &M,
     return;
   case AccessClass::Guarded:
     Perform();
-    bumpStat(&ReplayStats::GuardedAccesses);
+    bumpStat(&AtomicStats::GuardedAccesses);
     return;
   case AccessClass::Gated:
     if (!waitForTurn(TurnIdx, T))
       return;
     Perform();
     M.LastWrite.store(AccessId(T, C).pack());
-    bumpStat(&ReplayStats::GatedAccesses);
+    bumpStat(&AtomicStats::GatedAccesses);
     advanceTurn();
     return;
   case AccessClass::Interior:
     Perform();
     M.LastWrite.store(AccessId(T, C).pack());
-    bumpStat(&ReplayStats::InteriorAccesses);
+    bumpStat(&AtomicStats::InteriorAccesses);
     return;
   case AccessClass::Blind:
     // "Light adopts the simple solution of avoiding execution of blind
     // writes" (Section 4.2): no read depends on this value.
-    bumpStat(&ReplayStats::BlindSuppressed);
+    bumpStat(&AtomicStats::BlindSuppressed);
     return;
   case AccessClass::Unknown:
     diverge("write classified as Unknown (corrupt schedule)");
@@ -137,7 +175,7 @@ void ReplayDirector::onRead(ThreadId T, LocationId L, LocMeta &M,
   }
   if (Cls == AccessClass::Guarded) {
     Perform();
-    bumpStat(&ReplayStats::GuardedAccesses);
+    bumpStat(&AtomicStats::GuardedAccesses);
     return;
   }
   if (Cls == AccessClass::Unknown) {
@@ -168,13 +206,13 @@ void ReplayDirector::onRead(ThreadId T, LocationId L, LocMeta &M,
                    : AccessId::unpack(Expected).str()));
       return;
     }
-    bumpStat(&ReplayStats::ValidatedReads);
+    bumpStat(&AtomicStats::ValidatedReads);
   }
   if (Cls == AccessClass::Gated) {
-    bumpStat(&ReplayStats::GatedAccesses);
+    bumpStat(&AtomicStats::GatedAccesses);
     advanceTurn();
   } else {
-    bumpStat(&ReplayStats::InteriorAccesses);
+    bumpStat(&AtomicStats::InteriorAccesses);
   }
 }
 
@@ -191,7 +229,7 @@ void ReplayDirector::onRmw(ThreadId T, LocationId L, LocMeta &M,
     return;
   case AccessClass::Guarded:
     Perform();
-    bumpStat(&ReplayStats::GuardedAccesses);
+    bumpStat(&AtomicStats::GuardedAccesses);
     return;
   case AccessClass::Gated: {
     if (!waitForTurn(TurnIdx, T))
@@ -207,14 +245,14 @@ void ReplayDirector::onRmw(ThreadId T, LocationId L, LocMeta &M,
       return;
     }
     M.LastWrite.store(AccessId(T, C).pack());
-    bumpStat(&ReplayStats::GatedAccesses);
+    bumpStat(&AtomicStats::GatedAccesses);
     advanceTurn();
     return;
   }
   case AccessClass::Interior:
     Perform();
     M.LastWrite.store(AccessId(T, C).pack());
-    bumpStat(&ReplayStats::InteriorAccesses);
+    bumpStat(&AtomicStats::InteriorAccesses);
     return;
   case AccessClass::Blind:
   case AccessClass::Unknown:
@@ -228,7 +266,7 @@ uint64_t ReplayDirector::onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) 
   // Substitute the recorded value (Section 3.2). Positions are keyed by the
   // (replay-stable) thread id, guarded for real-thread mode.
   {
-    std::lock_guard<std::mutex> Guard(StatsM);
+    std::lock_guard<std::mutex> Guard(SyscallM);
     if (SyscallPos.size() <= T)
       SyscallPos.resize(T + 1, 0);
     const auto &Queues = Plan.syscalls();

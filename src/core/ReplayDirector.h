@@ -28,19 +28,24 @@
 #include "runtime/AccessHook.h"
 #include "runtime/TurnSource.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <string>
 
 namespace light {
 
-/// Replay statistics surfaced to tests and benches.
+/// Replay statistics surfaced to tests and benches (a point-in-time
+/// snapshot; the director maintains them as relaxed atomics).
 struct ReplayStats {
   uint64_t GatedAccesses = 0;
   uint64_t InteriorAccesses = 0;
   uint64_t GuardedAccesses = 0;
   uint64_t BlindSuppressed = 0;
   uint64_t ValidatedReads = 0;
+  uint64_t Turns = 0;       ///< schedule turns executed
+  uint64_t Stalls = 0;      ///< gate waits that actually blocked
+  uint64_t Divergences = 0; ///< divergence events (0 or 1 per run)
 };
 
 /// Drives one replay run from a ReplaySchedule.
@@ -71,7 +76,12 @@ public:
   /// True when every turn in the schedule has executed.
   bool complete() const;
 
-  const ReplayStats &stats() const { return Stats; }
+  /// Point-in-time snapshot of the replay statistics.
+  ReplayStats stats() const;
+
+  /// Adds this run's statistics to the global metrics registry under the
+  /// replay.* counter names.
+  void publishMetrics() const;
 
 private:
   const ReplaySchedule &Plan;
@@ -86,8 +96,19 @@ private:
   mutable std::mutex GateM;
   std::condition_variable GateCv;
 
-  ReplayStats Stats;
-  std::mutex StatsM;
+  /// Relaxed atomic counters: every access path bumps one, so a per-bump
+  /// mutex would serialize the replay hot path for bookkeeping.
+  struct AtomicStats {
+    std::atomic<uint64_t> GatedAccesses{0};
+    std::atomic<uint64_t> InteriorAccesses{0};
+    std::atomic<uint64_t> GuardedAccesses{0};
+    std::atomic<uint64_t> BlindSuppressed{0};
+    std::atomic<uint64_t> ValidatedReads{0};
+    std::atomic<uint64_t> Stalls{0};
+    std::atomic<uint64_t> Divergences{0};
+  };
+  AtomicStats Stats;
+  std::mutex SyscallM;
   std::vector<size_t> SyscallPos;
 
   /// Blocks (or checks, in cooperative mode) until \p TurnIdx is current.
@@ -95,7 +116,9 @@ private:
   bool waitForTurn(uint32_t TurnIdx, ThreadId T);
   void advanceTurn();
   void diverge(const std::string &Message);
-  void bumpStat(uint64_t ReplayStats::*Field);
+  void bumpStat(std::atomic<uint64_t> AtomicStats::*Field) {
+    (Stats.*Field).fetch_add(1, std::memory_order_relaxed);
+  }
 };
 
 } // namespace light

@@ -6,6 +6,9 @@
 
 #include "core/ReplaySchedule.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -15,7 +18,16 @@ ReplaySchedule ReplaySchedule::build(const RecordingLog &Log,
                                      smt::SolverEngine Engine) {
   ReplaySchedule RS;
 
-  ScheduleProblem P = buildScheduleProblem(Log);
+  ScheduleProblem P = [&] {
+    obs::TraceSpan Span("schedule.constraint_gen", "solve");
+    ScheduleProblem Problem = buildScheduleProblem(Log);
+    Span.arg("vars", Problem.System.numVars());
+    Span.arg("clauses", Problem.System.clauses().size());
+    return Problem;
+  }();
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("schedule.order_vars").add(P.System.numVars());
+  Reg.counter("schedule.clauses").add(P.System.clauses().size());
   RS.Stats = smt::solveOrder(P.System, Engine);
   if (!RS.Stats.sat()) {
     RS.Error = "replay constraint system unsatisfiable (malformed log?)";

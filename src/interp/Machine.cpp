@@ -6,6 +6,9 @@
 
 #include "interp/Machine.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -801,11 +804,23 @@ RunResult Machine::finishResult(bool Completed) {
   R.OutputByThread.reserve(Threads.size());
   for (ThreadCtx &C : Threads)
     R.OutputByThread.push_back(C.Output);
+
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("interp.runs").add(1);
+  Reg.counter("interp.instructions").add(Instructions);
+  Reg.counter("interp.shared_accesses").add(SharedAccessCount);
+  Reg.counter("interp.sched_picks").add(SchedPicks);
+  Reg.counter("interp.context_switches").add(ContextSwitches);
+  Reg.counter("interp.threads").add(Threads.size());
   return R;
 }
 
 RunResult Machine::run(Scheduler &Sched, uint64_t MaxInstructions) {
+  obs::TraceSpan Span("interp.run", "interp");
   MaxInstr = MaxInstructions;
+  SchedPicks = 0;
+  ContextSwitches = 0;
+  LastPicked = 0;
   Threads.clear();
   Threads.resize(1);
   ThreadCtx &Main = Threads[0];
@@ -833,12 +848,19 @@ RunResult Machine::run(Scheduler &Sched, uint64_t MaxInstructions) {
       return finishResult(false);
     }
     ThreadId T = Sched.pick(Runnable);
+    if (SchedPicks++ && T != LastPicked)
+      ++ContextSwitches;
+    LastPicked = T;
     stepThread(ctx(T));
   }
 }
 
 RunResult Machine::runReplay(TurnSource &Turns, uint64_t MaxInstructions) {
+  obs::TraceSpan Span("interp.run_replay", "interp");
   MaxInstr = MaxInstructions;
+  SchedPicks = 0;
+  ContextSwitches = 0;
+  LastPicked = 0;
   Threads.clear();
   Threads.resize(1);
   ThreadCtx &Main = Threads[0];
@@ -888,6 +910,9 @@ RunResult Machine::runReplay(TurnSource &Turns, uint64_t MaxInstructions) {
       return Diverge("turn thread already finished");
     if (!isRunnable(C))
       return Diverge("turn thread is not runnable (infeasible schedule?)");
+    if (SchedPicks++ && Turn.Thread != LastPicked)
+      ++ContextSwitches;
+    LastPicked = Turn.Thread;
     stepThread(C);
   }
 }

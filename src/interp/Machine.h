@@ -198,6 +198,9 @@ private:
   uint64_t Instructions = 0;
   uint64_t SharedAccessCount = 0;
   uint64_t MaxInstr = 0;
+  uint64_t SchedPicks = 0;       ///< scheduler decisions this run
+  uint64_t ContextSwitches = 0;  ///< picks that changed the running thread
+  ThreadId LastPicked = 0;
   BugReport Pending;
 
   // --- helpers ---

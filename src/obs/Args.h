@@ -1,0 +1,104 @@
+//===- obs/Args.h - Position-independent CLI flag scanner -------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny position-independent argv scanner shared by the light-replay
+/// driver and every bench binary. It replaced the brittle fixed-position
+/// parsing (`--z3` used to be recognized only as argv[4]): flags may now
+/// appear anywhere, in any order, mixed with positional operands.
+///
+/// Tokens starting with "--" are flags; a flag listed as value-taking
+/// consumes the following token as its value (unless that token is itself a
+/// flag, in which case the value is empty — useful for flags with an
+/// optional value like `--json [file]`). Everything else is positional.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_ARGS_H
+#define LIGHT_OBS_ARGS_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace obs {
+
+/// Scanned argv. Unknown flags are collected (callers decide whether to
+/// reject them) rather than silently treated as positionals.
+class ArgList {
+  std::vector<std::string> Positionals;
+  std::vector<std::pair<std::string, std::string>> Flags; ///< name -> value
+  std::vector<std::string> Unknown;
+
+  static bool isFlag(const std::string &S) {
+    return S.size() > 2 && S[0] == '-' && S[1] == '-';
+  }
+
+public:
+  /// Scans argv[Begin..argc). \p ValueFlags lists the value-taking flags,
+  /// \p BoolFlags the known no-value flags (both without the "--" prefix).
+  ArgList(int Argc, char **Argv,
+          std::initializer_list<const char *> ValueFlags,
+          std::initializer_list<const char *> BoolFlags, int Begin = 1) {
+    auto Listed = [](std::initializer_list<const char *> L,
+                     const std::string &Name) {
+      for (const char *F : L)
+        if (Name == F)
+          return true;
+      return false;
+    };
+    for (int I = Begin; I < Argc; ++I) {
+      std::string Tok = Argv[I];
+      if (!isFlag(Tok)) {
+        Positionals.push_back(std::move(Tok));
+        continue;
+      }
+      std::string Name = Tok.substr(2);
+      if (Listed(ValueFlags, Name)) {
+        std::string Value;
+        if (I + 1 < Argc && !isFlag(Argv[I + 1]))
+          Value = Argv[++I];
+        Flags.emplace_back(std::move(Name), std::move(Value));
+      } else if (Listed(BoolFlags, Name)) {
+        Flags.emplace_back(std::move(Name), std::string());
+      } else {
+        Unknown.push_back(std::move(Tok));
+      }
+    }
+  }
+
+  bool has(const std::string &Name) const {
+    for (const auto &[F, V] : Flags)
+      if (F == Name)
+        return true;
+    return false;
+  }
+
+  /// The flag's value; \p Default when absent, \p IfEmpty when present with
+  /// no value (covers `--json` without a path).
+  std::string get(const std::string &Name, const std::string &Default = "",
+                  const std::string &IfEmpty = "") const {
+    for (const auto &[F, V] : Flags)
+      if (F == Name)
+        return V.empty() ? (IfEmpty.empty() ? V : IfEmpty) : V;
+    return Default;
+  }
+
+  size_t size() const { return Positionals.size(); }
+  const std::string &positional(size_t I) const { return Positionals[I]; }
+  std::string positionalOr(size_t I, const std::string &Default) const {
+    return I < Positionals.size() ? Positionals[I] : Default;
+  }
+
+  const std::vector<std::string> &unknown() const { return Unknown; }
+};
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_ARGS_H

@@ -1,0 +1,82 @@
+//===- obs/BenchReport.cpp - Machine-readable bench output -----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchReport.h"
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace light;
+using namespace light::obs;
+
+BenchReport::BenchReport(std::string BenchName) : Bench(std::move(BenchName)) {}
+
+BenchReport::Row &BenchReport::row() {
+  Rows.emplace_back();
+  return Rows.back();
+}
+
+void BenchReport::aggregate(std::string Key, double Value) {
+  Aggregates.emplace_back(std::move(Key), Value);
+}
+
+std::string BenchReport::defaultPath(const std::string &BenchName) {
+  return "BENCH_" + BenchName + ".json";
+}
+
+std::string BenchReport::json() const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema", "light-bench-v1");
+  W.field("bench", Bench);
+  W.key("rows");
+  W.beginArray();
+  for (const Row &R : Rows) {
+    W.beginObject();
+    for (const auto &[Key, C] : R.Cells) {
+      switch (C.What) {
+      case Cell::Kind::Str:
+        W.field(Key, C.S);
+        break;
+      case Cell::Kind::Num:
+        W.field(Key, C.N);
+        break;
+      case Cell::Kind::Bool:
+        W.field(Key, C.B);
+        break;
+      }
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.key("aggregates");
+  W.beginObject();
+  for (const auto &[Key, V] : Aggregates)
+    W.field(Key, V);
+  W.endObject();
+  W.field("ok", Ok);
+  if (IncludeMetrics) {
+    W.key("metrics");
+    W.raw(Registry::global().snapshot().json());
+  }
+  W.endObject();
+  return W.take();
+}
+
+bool BenchReport::write(const std::string &Path) const {
+  std::string Target = Path.empty() ? defaultPath(Bench) : Path;
+  std::ofstream Out(Target, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << json() << "\n";
+  if (!Out)
+    return false;
+  std::printf("bench report written -> %s\n", Target.c_str());
+  return true;
+}

@@ -1,0 +1,116 @@
+//===- obs/BenchReport.h - Machine-readable bench output --------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stable JSON schema every bench binary emits under `--json`, so CI can
+/// track the perf trajectory across commits (`BENCH_<name>.json` files).
+///
+/// Schema `light-bench-v1`:
+///   {
+///     "schema":     "light-bench-v1",
+///     "bench":      "<bench name>",
+///     "rows":       [ {<column>: <string|number|bool>, ...}, ... ],
+///     "aggregates": { "<stat>": <number>, ... },
+///     "ok":         <bool>,        // the bench's shape check
+///     "metrics":    {...}          // optional Registry snapshot
+///   }
+///
+/// tools/check_bench_json validates this shape; the ctest smoke target runs
+/// one bench with --json and checks the file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_BENCHREPORT_H
+#define LIGHT_OBS_BENCHREPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace obs {
+
+/// Builder for one light-bench-v1 report.
+class BenchReport {
+public:
+  /// One row cell value.
+  struct Cell {
+    enum class Kind { Str, Num, Bool } What = Kind::Num;
+    std::string S;
+    double N = 0;
+    bool B = false;
+  };
+
+  /// One report row under construction.
+  class Row {
+    friend class BenchReport;
+    std::vector<std::pair<std::string, Cell>> Cells;
+
+  public:
+    Row &set(std::string Key, std::string V) {
+      Cells.push_back({std::move(Key), {Cell::Kind::Str, std::move(V)}});
+      return *this;
+    }
+    Row &set(std::string Key, const char *V) {
+      return set(std::move(Key), std::string(V));
+    }
+    Row &set(std::string Key, double V) {
+      Cell C;
+      C.What = Cell::Kind::Num;
+      C.N = V;
+      Cells.push_back({std::move(Key), std::move(C)});
+      return *this;
+    }
+    Row &set(std::string Key, uint64_t V) {
+      return set(std::move(Key), static_cast<double>(V));
+    }
+    Row &set(std::string Key, int V) {
+      return set(std::move(Key), static_cast<double>(V));
+    }
+    Row &set(std::string Key, bool V) {
+      Cell C;
+      C.What = Cell::Kind::Bool;
+      C.B = V;
+      Cells.push_back({std::move(Key), std::move(C)});
+      return *this;
+    }
+  };
+
+  explicit BenchReport(std::string BenchName);
+
+  /// Appends and returns a fresh row.
+  Row &row();
+
+  /// Sets one aggregate statistic.
+  void aggregate(std::string Key, double Value);
+
+  /// Records the bench's shape-check verdict (serialized as "ok").
+  void ok(bool Holds) { Ok = Holds; }
+
+  /// Includes the global metrics-registry snapshot under "metrics".
+  void withMetrics() { IncludeMetrics = true; }
+
+  /// Conventional output path: BENCH_<name>.json in the working directory.
+  static std::string defaultPath(const std::string &BenchName);
+
+  std::string json() const;
+
+  /// Writes json() to \p Path (empty selects defaultPath()); false on I/O
+  /// failure.
+  bool write(const std::string &Path = std::string()) const;
+
+private:
+  std::string Bench;
+  std::vector<Row> Rows;
+  std::vector<std::pair<std::string, double>> Aggregates;
+  bool Ok = true;
+  bool IncludeMetrics = false;
+};
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_BENCHREPORT_H

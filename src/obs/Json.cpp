@@ -1,0 +1,355 @@
+//===- obs/Json.cpp - Minimal JSON writer and parser -----------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace light;
+using namespace light::obs;
+
+// --- Writer ------------------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (!HasElement.empty()) {
+    if (HasElement.back())
+      Out.push_back(',');
+    HasElement.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  separate();
+  Out.push_back('{');
+  HasElement.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  if (!HasElement.empty())
+    HasElement.pop_back();
+  Out.push_back('}');
+}
+
+void JsonWriter::beginArray() {
+  separate();
+  Out.push_back('[');
+  HasElement.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  if (!HasElement.empty())
+    HasElement.pop_back();
+  Out.push_back(']');
+}
+
+void JsonWriter::key(std::string_view K) {
+  separate();
+  Out.push_back('"');
+  Out += escape(K);
+  Out += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::value(std::string_view S) {
+  separate();
+  Out.push_back('"');
+  Out += escape(S);
+  Out.push_back('"');
+}
+
+void JsonWriter::value(double D) {
+  separate();
+  if (!std::isfinite(D)) {
+    // JSON has no Inf/NaN; clamp to null so documents always parse.
+    Out += "null";
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  Out += Buf;
+}
+
+void JsonWriter::value(uint64_t U) {
+  separate();
+  Out += std::to_string(U);
+}
+
+void JsonWriter::value(int64_t I) {
+  separate();
+  Out += std::to_string(I);
+}
+
+void JsonWriter::value(bool B) {
+  separate();
+  Out += B ? "true" : "false";
+}
+
+void JsonWriter::valueNull() {
+  separate();
+  Out += "null";
+}
+
+void JsonWriter::raw(std::string_view Json) {
+  separate();
+  Out += Json;
+}
+
+std::string JsonWriter::escape(std::string_view S) {
+  std::string E;
+  E.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      E += "\\\"";
+      break;
+    case '\\':
+      E += "\\\\";
+      break;
+    case '\n':
+      E += "\\n";
+      break;
+    case '\r':
+      E += "\\r";
+      break;
+    case '\t':
+      E += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        E += Buf;
+      } else {
+        E.push_back(Ch);
+      }
+    }
+  }
+  return E;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (What != Kind::Object)
+    return nullptr;
+  for (const auto &[K, V] : Members)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool fail(const std::string &Message) {
+    if (Error.empty())
+      Error = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code += 10 + H - 'a';
+          else if (H >= 'A' && H <= 'F')
+            Code += 10 + H - 'A';
+          else
+            return fail("bad \\u escape digit");
+        }
+        // Telemetry strings are ASCII; encode the low byte and drop the
+        // rest rather than implementing full UTF-16 surrogate handling.
+        Out.push_back(static_cast<char>(Code & 0x7f));
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue &V) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.What = JsonValue::Kind::Object;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        std::string Key;
+        skipWs();
+        if (!parseString(Key))
+          return false;
+        if (!consume(':'))
+          return false;
+        JsonValue Member;
+        if (!parseValue(Member))
+          return false;
+        V.Members.emplace_back(std::move(Key), std::move(Member));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      V.What = JsonValue::Kind::Array;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JsonValue Item;
+        if (!parseValue(Item))
+          return false;
+        V.Items.push_back(std::move(Item));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      V.What = JsonValue::Kind::String;
+      return parseString(V.Str);
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      V.What = JsonValue::Kind::Bool;
+      V.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      V.What = JsonValue::Kind::Bool;
+      V.B = false;
+      Pos += 5;
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      V.What = JsonValue::Kind::Null;
+      Pos += 4;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool SawDigit = false;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+')) {
+      SawDigit |= std::isdigit(static_cast<unsigned char>(Text[Pos])) != 0;
+      ++Pos;
+    }
+    if (!SawDigit) {
+      Pos = Start;
+      return fail("invalid value");
+    }
+    V.What = JsonValue::Kind::Number;
+    V.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                        nullptr);
+    return true;
+  }
+};
+
+} // namespace
+
+JsonParseResult light::obs::parseJson(std::string_view Text) {
+  Parser P{Text};
+  JsonParseResult R;
+  if (!P.parseValue(R.Value)) {
+    R.Error = P.Error;
+    return R;
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    R.Error = "trailing characters at offset " + std::to_string(P.Pos);
+    return R;
+  }
+  R.Ok = true;
+  return R;
+}

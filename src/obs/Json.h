@@ -1,0 +1,108 @@
+//===- obs/Json.h - Minimal JSON writer and parser --------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON layer for the telemetry subsystem: a
+/// streaming writer (metrics snapshots, Chrome trace events, bench reports)
+/// and a strict recursive-descent parser (round-trip validation in tests and
+/// the bench-schema smoke checker). Not a general-purpose JSON library —
+/// exactly the subset the observability layer needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_JSON_H
+#define LIGHT_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace light {
+namespace obs {
+
+/// Streaming JSON writer. Callers drive structure with begin/end calls; the
+/// writer tracks comma placement. Invalid nesting is the caller's bug (it
+/// produces malformed output rather than throwing).
+class JsonWriter {
+  std::string Out;
+  /// One entry per open container: true once the first element was written.
+  std::vector<bool> HasElement;
+  bool PendingKey = false;
+
+  void separate();
+
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Writes an object key; the next value call supplies its value.
+  void key(std::string_view K);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(double D);
+  void value(uint64_t U);
+  void value(int64_t I);
+  void value(int I) { value(static_cast<int64_t>(I)); }
+  void value(bool B);
+  void valueNull();
+
+  /// Splices an already-serialized JSON value verbatim (e.g. a nested
+  /// snapshot document). The caller guarantees \p Json is valid.
+  void raw(std::string_view Json);
+
+  /// key() + value() in one call.
+  template <typename T> void field(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  /// Escapes \p S per RFC 8259 (quotes, backslash, control characters).
+  static std::string escape(std::string_view S);
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+};
+
+/// A parsed JSON value (object members keep insertion order).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind What = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;                            ///< Array
+  std::vector<std::pair<std::string, JsonValue>> Members;  ///< Object
+
+  bool isObject() const { return What == Kind::Object; }
+  bool isArray() const { return What == Kind::Array; }
+  bool isNumber() const { return What == Kind::Number; }
+  bool isString() const { return What == Kind::String; }
+  bool isBool() const { return What == Kind::Bool; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(std::string_view Key) const;
+};
+
+/// Outcome of parseJson.
+struct JsonParseResult {
+  bool Ok = false;
+  std::string Error; ///< message with character offset when !Ok
+  JsonValue Value;
+};
+
+/// Parses \p Text as a single JSON document (trailing garbage is an error).
+JsonParseResult parseJson(std::string_view Text);
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_JSON_H

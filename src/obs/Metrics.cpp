@@ -1,0 +1,232 @@
+//===- obs/Metrics.cpp - Lock-free process-wide metrics registry -----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <bit>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+using namespace light;
+using namespace light::obs;
+
+uint32_t light::obs::shardIndex() {
+  static std::atomic<uint32_t> NextShard{0};
+  thread_local uint32_t Shard =
+      NextShard.fetch_add(1, std::memory_order_relaxed) & (MetricShards - 1);
+  return Shard;
+}
+
+uint64_t Counter::value() const {
+  if (!C)
+    return 0;
+  uint64_t Total = 0;
+  for (const detail::CounterCell &Cell : C->Cells)
+    Total += Cell.V.load(std::memory_order_relaxed);
+  return Total;
+}
+
+uint32_t Histogram::bucketOf(uint64_t V) {
+  if (V == 0)
+    return 0;
+  uint32_t B = static_cast<uint32_t>(64 - std::countl_zero(V));
+  return B < HistogramBuckets ? B : HistogramBuckets - 1;
+}
+
+uint64_t Histogram::bucketLowerBound(uint32_t I) {
+  if (I == 0)
+    return 0;
+  return 1ull << (I - 1);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex M;
+  /// Deques give pointer stability across registration.
+  std::deque<detail::CounterCells> CounterStore;
+  std::deque<detail::GaugeCell> GaugeStore;
+  std::deque<detail::HistogramCells> HistogramStore;
+  /// Name -> index, plus ordered name lists for deterministic snapshots.
+  std::unordered_map<std::string, size_t> CounterIndex, GaugeIndex,
+      HistogramIndex;
+  std::vector<std::string> CounterNames, GaugeNames, HistogramNames;
+};
+
+Registry::Registry() : I(new Impl) {}
+
+Registry::~Registry() {
+  // The global registry is intentionally leaked (handles may be used from
+  // static destructors); private instances clean up.
+  if (this != &global())
+    delete I;
+}
+
+Registry &Registry::global() {
+  static Registry *G = new Registry();
+  return *G;
+}
+
+Counter Registry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Guard(I->M);
+  std::string Key(Name);
+  auto It = I->CounterIndex.find(Key);
+  if (It == I->CounterIndex.end()) {
+    It = I->CounterIndex.emplace(Key, I->CounterStore.size()).first;
+    I->CounterStore.emplace_back();
+    I->CounterNames.push_back(Key);
+  }
+  Counter H;
+  H.C = &I->CounterStore[It->second];
+  return H;
+}
+
+Gauge Registry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Guard(I->M);
+  std::string Key(Name);
+  auto It = I->GaugeIndex.find(Key);
+  if (It == I->GaugeIndex.end()) {
+    It = I->GaugeIndex.emplace(Key, I->GaugeStore.size()).first;
+    I->GaugeStore.emplace_back();
+    I->GaugeNames.push_back(Key);
+  }
+  Gauge H;
+  H.G = &I->GaugeStore[It->second];
+  return H;
+}
+
+Histogram Registry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Guard(I->M);
+  std::string Key(Name);
+  auto It = I->HistogramIndex.find(Key);
+  if (It == I->HistogramIndex.end()) {
+    It = I->HistogramIndex.emplace(Key, I->HistogramStore.size()).first;
+    I->HistogramStore.emplace_back();
+    I->HistogramNames.push_back(Key);
+  }
+  Histogram H;
+  H.H = &I->HistogramStore[It->second];
+  return H;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> Guard(I->M);
+  Snapshot S;
+  S.Counters.reserve(I->CounterNames.size());
+  for (size_t N = 0; N < I->CounterNames.size(); ++N) {
+    uint64_t Total = 0;
+    for (const detail::CounterCell &Cell : I->CounterStore[N].Cells)
+      Total += Cell.V.load(std::memory_order_relaxed);
+    S.Counters.push_back({I->CounterNames[N], Total});
+  }
+  S.Gauges.reserve(I->GaugeNames.size());
+  for (size_t N = 0; N < I->GaugeNames.size(); ++N)
+    S.Gauges.push_back(
+        {I->GaugeNames[N], I->GaugeStore[N].V.load(std::memory_order_relaxed)});
+  S.Histograms.reserve(I->HistogramNames.size());
+  for (size_t N = 0; N < I->HistogramNames.size(); ++N) {
+    Snapshot::HistogramRow Row;
+    Row.Name = I->HistogramNames[N];
+    Row.Buckets.assign(HistogramBuckets, 0);
+    for (const detail::HistogramShard &Sh : I->HistogramStore[N].Shards) {
+      Row.Count += Sh.Count.load(std::memory_order_relaxed);
+      Row.Sum += Sh.Sum.load(std::memory_order_relaxed);
+      for (uint32_t B = 0; B < HistogramBuckets; ++B)
+        Row.Buckets[B] += Sh.Buckets[B].load(std::memory_order_relaxed);
+    }
+    S.Histograms.push_back(std::move(Row));
+  }
+  return S;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Guard(I->M);
+  for (detail::CounterCells &C : I->CounterStore)
+    for (detail::CounterCell &Cell : C.Cells)
+      Cell.V.store(0, std::memory_order_relaxed);
+  for (detail::GaugeCell &G : I->GaugeStore)
+    G.V.store(0, std::memory_order_relaxed);
+  for (detail::HistogramCells &H : I->HistogramStore)
+    for (detail::HistogramShard &Sh : H.Shards) {
+      Sh.Count.store(0, std::memory_order_relaxed);
+      Sh.Sum.store(0, std::memory_order_relaxed);
+      for (std::atomic<uint64_t> &B : Sh.Buckets)
+        B.store(0, std::memory_order_relaxed);
+    }
+}
+
+bool Registry::writeJson(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << snapshot().json() << "\n";
+  return static_cast<bool>(Out);
+}
+
+// --- Snapshot ----------------------------------------------------------------
+
+uint64_t Snapshot::counter(std::string_view Name) const {
+  for (const CounterRow &R : Counters)
+    if (R.Name == Name)
+      return R.Value;
+  return 0;
+}
+
+int64_t Snapshot::gauge(std::string_view Name) const {
+  for (const GaugeRow &R : Gauges)
+    if (R.Name == Name)
+      return R.Value;
+  return 0;
+}
+
+const Snapshot::HistogramRow *
+Snapshot::histogram(std::string_view Name) const {
+  for (const HistogramRow &R : Histograms)
+    if (R.Name == Name)
+      return &R;
+  return nullptr;
+}
+
+std::string Snapshot::json() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const CounterRow &R : Counters)
+    W.field(R.Name, R.Value);
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const GaugeRow &R : Gauges)
+    W.field(R.Name, R.Value);
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const HistogramRow &R : Histograms) {
+    W.key(R.Name);
+    W.beginObject();
+    W.field("count", R.Count);
+    W.field("sum", R.Sum);
+    W.key("buckets");
+    W.beginArray();
+    // Trailing all-zero buckets are elided to keep snapshots compact; the
+    // bucket index still identifies the range (lower bound 2^(i-1)).
+    size_t Last = R.Buckets.size();
+    while (Last > 0 && R.Buckets[Last - 1] == 0)
+      --Last;
+    for (size_t B = 0; B < Last; ++B)
+      W.value(R.Buckets[B]);
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return W.take();
+}

@@ -1,0 +1,211 @@
+//===- obs/Metrics.h - Lock-free process-wide metrics registry --*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide metrics registry behind `light-replay --metrics-json`
+/// and the bench JSON reports. Three metric kinds:
+///
+///  * Counter — monotonically increasing. Increments go to one of a fixed
+///    set of cache-line-padded shard cells selected by a thread-local shard
+///    index, so the hot path is a single relaxed fetch_add on a line that is
+///    (almost always) owned by the incrementing core. Values merge on
+///    snapshot, mirroring how LightRecorder's own thread-local buffers merge
+///    at finish() — observability follows the paper's recording cost model.
+///  * Gauge — a settable signed value (last write wins).
+///  * Histogram — fixed power-of-two buckets (no dynamic resizing, no locks
+///    on the record path) with per-shard bucket arrays merged on snapshot.
+///    Bucket i counts values in [2^(i-1), 2^i), bucket 0 counts zero.
+///
+/// Handles are cheap POD-like wrappers over registry-owned storage; look a
+/// metric up once and keep the handle. The registry itself is append-only
+/// (metrics are never unregistered); registration and snapshot take a lock,
+/// the update paths never do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_METRICS_H
+#define LIGHT_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace light {
+namespace obs {
+
+/// Number of shard cells per counter/histogram. Power of two; threads map
+/// onto cells by a thread-local index, so contention only appears when more
+/// than MetricShards threads update one metric simultaneously.
+constexpr uint32_t MetricShards = 16;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket i (i >= 1)
+/// holds values in [2^(i-1), 2^i), the last bucket is open-ended.
+constexpr uint32_t HistogramBuckets = 44;
+
+/// This thread's shard slot (stable for the thread's lifetime).
+uint32_t shardIndex();
+
+namespace detail {
+
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> V{0};
+};
+
+struct CounterCells {
+  CounterCell Cells[MetricShards];
+};
+
+struct GaugeCell {
+  std::atomic<int64_t> V{0};
+};
+
+struct alignas(64) HistogramShard {
+  std::atomic<uint64_t> Buckets[HistogramBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+};
+
+struct HistogramCells {
+  HistogramShard Shards[MetricShards];
+};
+
+} // namespace detail
+
+/// Handle to a registered counter. Default-constructed handles are inert
+/// (add() is a no-op), so telemetry can be compiled in unconditionally.
+class Counter {
+  detail::CounterCells *C = nullptr;
+  friend class Registry;
+
+public:
+  Counter() = default;
+
+  void add(uint64_t N = 1) {
+    if (C)
+      C->Cells[shardIndex()].V.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Merged value across all shards.
+  uint64_t value() const;
+};
+
+/// Handle to a registered gauge.
+class Gauge {
+  detail::GaugeCell *G = nullptr;
+  friend class Registry;
+
+public:
+  Gauge() = default;
+
+  void set(int64_t V) {
+    if (G)
+      G->V.store(V, std::memory_order_relaxed);
+  }
+  void add(int64_t V) {
+    if (G)
+      G->V.fetch_add(V, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    return G ? G->V.load(std::memory_order_relaxed) : 0;
+  }
+};
+
+/// Handle to a registered fixed-bucket histogram.
+class Histogram {
+  detail::HistogramCells *H = nullptr;
+  friend class Registry;
+
+public:
+  Histogram() = default;
+
+  /// Bucket index for \p V (0 for 0, otherwise 1 + floor(log2 V), capped).
+  static uint32_t bucketOf(uint64_t V);
+
+  /// Inclusive lower bound of bucket \p I.
+  static uint64_t bucketLowerBound(uint32_t I);
+
+  void record(uint64_t V) {
+    if (!H)
+      return;
+    detail::HistogramShard &S = H->Shards[shardIndex()];
+    S.Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    S.Count.fetch_add(1, std::memory_order_relaxed);
+    S.Sum.fetch_add(V, std::memory_order_relaxed);
+  }
+};
+
+/// Point-in-time merged view of every registered metric.
+struct Snapshot {
+  struct CounterRow {
+    std::string Name;
+    uint64_t Value = 0;
+  };
+  struct GaugeRow {
+    std::string Name;
+    int64_t Value = 0;
+  };
+  struct HistogramRow {
+    std::string Name;
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    std::vector<uint64_t> Buckets; ///< HistogramBuckets entries
+  };
+
+  std::vector<CounterRow> Counters;
+  std::vector<GaugeRow> Gauges;
+  std::vector<HistogramRow> Histograms;
+
+  /// Counter value by name (0 when absent).
+  uint64_t counter(std::string_view Name) const;
+  /// Gauge value by name (0 when absent).
+  int64_t gauge(std::string_view Name) const;
+  /// Histogram row by name (nullptr when absent).
+  const HistogramRow *histogram(std::string_view Name) const;
+
+  /// Serializes the snapshot as a JSON object:
+  /// {"counters":{name:value,...},"gauges":{...},
+  ///  "histograms":{name:{"count":..,"sum":..,"buckets":[..]},...}}
+  std::string json() const;
+};
+
+/// The metrics registry. One process-wide instance (global()); tests may
+/// construct private instances.
+class Registry {
+  struct Impl;
+  Impl *I; ///< never freed for the global instance (metrics outlive exit)
+
+public:
+  Registry();
+  ~Registry();
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  /// The process-wide registry.
+  static Registry &global();
+
+  /// Finds or registers a metric. Handles stay valid for the registry's
+  /// lifetime; repeated lookups of one name return the same storage.
+  Counter counter(std::string_view Name);
+  Gauge gauge(std::string_view Name);
+  Histogram histogram(std::string_view Name);
+
+  /// Merged point-in-time view of everything registered so far.
+  Snapshot snapshot() const;
+
+  /// Zeroes every value (registrations and live handles stay valid). Used
+  /// by tests and by bench binaries between measurement phases.
+  void reset();
+
+  /// Writes snapshot().json() to \p Path; false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+};
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_METRICS_H

@@ -1,0 +1,198 @@
+//===- obs/Trace.cpp - Ring-buffer event tracer (Chrome trace) -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+using namespace light;
+using namespace light::obs;
+
+struct Tracer::Impl {
+  struct Shard {
+    std::mutex M;
+    std::vector<TraceEvent> Ring;
+    size_t Next = 0;      ///< next write slot
+    size_t Count = 0;     ///< valid slots (<= Ring.size())
+    uint64_t Dropped = 0; ///< overwritten events
+  };
+
+  Shard Shards[MetricShards];
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+
+  void push(const TraceEvent &E) {
+    Shard &S = Shards[shardIndex()];
+    std::lock_guard<std::mutex> Guard(S.M);
+    if (S.Ring.empty())
+      return;
+    if (S.Count == S.Ring.size())
+      ++S.Dropped;
+    else
+      ++S.Count;
+    S.Ring[S.Next] = E;
+    S.Next = (S.Next + 1) % S.Ring.size();
+  }
+};
+
+Tracer::Tracer() : I(new Impl) {}
+
+Tracer::~Tracer() {
+  if (this != &global())
+    delete I;
+}
+
+Tracer &Tracer::global() {
+  static Tracer *G = new Tracer();
+  return *G;
+}
+
+void Tracer::start(size_t Capacity) {
+  size_t PerShard = std::max<size_t>(16, Capacity / MetricShards);
+  for (Impl::Shard &S : I->Shards) {
+    std::lock_guard<std::mutex> Guard(S.M);
+    S.Ring.assign(PerShard, TraceEvent());
+    S.Next = S.Count = 0;
+    S.Dropped = 0;
+  }
+  I->Epoch = std::chrono::steady_clock::now();
+  Enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { Enabled.store(false, std::memory_order_release); }
+
+uint64_t Tracer::now() const {
+  auto Delta = std::chrono::steady_clock::now() - I->Epoch;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Delta).count());
+}
+
+void Tracer::instant(const char *Name, const char *Cat, uint32_t Tid,
+                     TraceArg A0, TraceArg A1) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Phase = 'i';
+  E.Tid = Tid;
+  E.TsNanos = now();
+  if (A0.Name)
+    E.Args[E.NumArgs++] = A0;
+  if (A1.Name)
+    E.Args[E.NumArgs++] = A1;
+  I->push(E);
+}
+
+void Tracer::complete(const char *Name, const char *Cat, uint32_t Tid,
+                      uint64_t TsNanos, uint64_t DurNanos, TraceArg A0,
+                      TraceArg A1) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Phase = 'X';
+  E.Tid = Tid;
+  E.TsNanos = TsNanos;
+  E.DurNanos = DurNanos;
+  if (A0.Name)
+    E.Args[E.NumArgs++] = A0;
+  if (A1.Name)
+    E.Args[E.NumArgs++] = A1;
+  I->push(E);
+}
+
+size_t Tracer::size() const {
+  size_t Total = 0;
+  for (Impl::Shard &S : I->Shards) {
+    std::lock_guard<std::mutex> Guard(S.M);
+    Total += S.Count;
+  }
+  return Total;
+}
+
+uint64_t Tracer::dropped() const {
+  uint64_t Total = 0;
+  for (Impl::Shard &S : I->Shards) {
+    std::lock_guard<std::mutex> Guard(S.M);
+    Total += S.Dropped;
+  }
+  return Total;
+}
+
+void Tracer::clear() {
+  for (Impl::Shard &S : I->Shards) {
+    std::lock_guard<std::mutex> Guard(S.M);
+    S.Next = S.Count = 0;
+    S.Dropped = 0;
+  }
+}
+
+std::string Tracer::chromeJson() const {
+  std::vector<TraceEvent> All;
+  for (Impl::Shard &S : I->Shards) {
+    std::lock_guard<std::mutex> Guard(S.M);
+    if (S.Ring.empty())
+      continue;
+    // Oldest-first: the ring's logical order starts at Next when full.
+    size_t Start = S.Count == S.Ring.size() ? S.Next : 0;
+    for (size_t K = 0; K < S.Count; ++K)
+      All.push_back(S.Ring[(Start + K) % S.Ring.size()]);
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TsNanos < B.TsNanos;
+                   });
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  auto Us = [](uint64_t Nanos) { return static_cast<double>(Nanos) / 1000.0; };
+  for (const TraceEvent &E : All) {
+    W.beginObject();
+    W.field("name", E.Name ? E.Name : "?");
+    W.field("cat", E.Cat ? E.Cat : "light");
+    char Ph[2] = {E.Phase, 0};
+    W.field("ph", Ph);
+    W.field("ts", Us(E.TsNanos));
+    if (E.Phase == 'X')
+      W.field("dur", Us(E.DurNanos));
+    if (E.Phase == 'i')
+      W.field("s", "t"); // thread-scoped instant
+    W.field("pid", static_cast<int64_t>(1));
+    W.field("tid", static_cast<int64_t>(E.Tid));
+    if (E.NumArgs) {
+      W.key("args");
+      W.beginObject();
+      for (uint32_t A = 0; A < E.NumArgs; ++A)
+        W.field(E.Args[A].Name, E.Args[A].Value);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.field("displayTimeUnit", "ns");
+  W.endObject();
+  return W.take();
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << chromeJson() << "\n";
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,145 @@
+//===- obs/Trace.h - Ring-buffer event tracer (Chrome trace) ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event tracer behind `light-replay --trace-out`: a bounded, sharded
+/// ring buffer of timestamped events exported as Chrome trace-event JSON
+/// (load in chrome://tracing or https://ui.perfetto.dev). Events show
+/// per-thread record activity, read-retry storms, span compression, solver
+/// phases, and replay turn hand-offs — the self-observability a production
+/// replay system needs (rr treats trace dumps the same way).
+///
+/// Cost model: when tracing is disabled (the default) every record call is
+/// one relaxed atomic load and a branch. When enabled, a call takes its
+/// shard's (almost always uncontended) lock and writes one fixed-size slot;
+/// the ring never allocates after start(). Event name/category strings must
+/// be string literals (the tracer stores the pointers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_TRACE_H
+#define LIGHT_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace light {
+namespace obs {
+
+/// One numeric event argument (rendered into the Chrome "args" object).
+struct TraceArg {
+  const char *Name = nullptr;
+  uint64_t Value = 0;
+};
+
+/// One trace event slot. Phase follows the Chrome trace-event vocabulary:
+/// 'X' = complete (has DurNanos), 'i' = instant.
+struct TraceEvent {
+  const char *Name = nullptr;
+  const char *Cat = nullptr;
+  char Phase = 'i';
+  uint32_t Tid = 0;
+  uint64_t TsNanos = 0;
+  uint64_t DurNanos = 0;
+  uint32_t NumArgs = 0;
+  TraceArg Args[2];
+};
+
+/// The process-wide tracer. start() arms it with a fixed capacity; each of
+/// the MetricShards shards owns capacity/shards slots and wraps
+/// independently (oldest events in a shard are overwritten), so a hot
+/// thread cannot evict every other thread's history.
+class Tracer {
+  struct Impl;
+  Impl *I;
+  std::atomic<bool> Enabled{false};
+
+public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  static Tracer &global();
+
+  /// Arms the tracer with room for \p Capacity events (rounded up to a
+  /// multiple of the shard count) and resets the clock to zero.
+  void start(size_t Capacity = 1 << 16);
+
+  /// Disarms the tracer; recorded events stay available for export.
+  void stop();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since start() on the steady clock.
+  uint64_t now() const;
+
+  /// Records an instant event ('i').
+  void instant(const char *Name, const char *Cat, uint32_t Tid,
+               TraceArg A0 = {}, TraceArg A1 = {});
+
+  /// Records a complete event ('X') covering [TsNanos, TsNanos+DurNanos].
+  void complete(const char *Name, const char *Cat, uint32_t Tid,
+                uint64_t TsNanos, uint64_t DurNanos, TraceArg A0 = {},
+                TraceArg A1 = {});
+
+  /// Number of events currently buffered (across shards).
+  size_t size() const;
+  /// Events overwritten because a shard's ring wrapped.
+  uint64_t dropped() const;
+  /// Clears all buffered events (keeps the armed/disarmed state).
+  void clear();
+
+  /// Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ns"}.
+  /// Events are sorted by timestamp; ts/dur are in microseconds per the
+  /// trace-event spec.
+  std::string chromeJson() const;
+
+  /// Writes chromeJson() to \p Path; false on I/O failure.
+  bool writeChromeTrace(const std::string &Path) const;
+};
+
+/// RAII complete-event: records an 'X' span over the scope's lifetime when
+/// the tracer is armed (construction cost is one relaxed load otherwise).
+class TraceSpan {
+  Tracer &T;
+  const char *Name;
+  const char *Cat;
+  uint32_t Tid;
+  uint64_t Ts = 0;
+  bool Armed;
+  TraceArg A0{}, A1{};
+
+public:
+  TraceSpan(const char *NameIn, const char *CatIn, uint32_t TidIn = 0,
+            Tracer &Tr = Tracer::global())
+      : T(Tr), Name(NameIn), Cat(CatIn), Tid(TidIn), Armed(Tr.enabled()) {
+    if (Armed)
+      Ts = T.now();
+  }
+
+  /// Attaches up to two numeric args, rendered when the span closes.
+  void arg(const char *ArgName, uint64_t Value) {
+    if (!A0.Name)
+      A0 = {ArgName, Value};
+    else
+      A1 = {ArgName, Value};
+  }
+
+  ~TraceSpan() {
+    if (Armed)
+      T.complete(Name, Cat, Tid, Ts, T.now() - Ts, A0, A1);
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+};
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_TRACE_H

@@ -6,6 +6,7 @@
 
 #include "smt/IdlSolver.h"
 
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -159,6 +160,7 @@ struct IdlSolver::Impl {
     if (Pot[To] <= Pot[From] + W)
       return true;
 
+    ++Result.CycleChecks;
     TouchedPot.clear();
     RelaxQueue.clear();
     TouchedPot.push_back({To, Pot[To]});
@@ -275,6 +277,15 @@ struct IdlSolver::Impl {
   }
 
   SolveResult run() {
+    obs::TraceSpan Span("solver.solve", "solver");
+    SolveResult R = runInner();
+    Span.arg("decisions", R.Decisions);
+    Span.arg("conflicts", R.Conflicts);
+    publishSolveStats(R);
+    return R;
+  }
+
+  SolveResult runInner() {
     Stopwatch Timer;
 
     // Assert all unit input clauses up front.

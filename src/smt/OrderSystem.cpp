@@ -6,6 +6,8 @@
 
 #include "smt/OrderSystem.h"
 
+#include "obs/Metrics.h"
+
 #include <cassert>
 
 using namespace light;
@@ -56,4 +58,27 @@ std::string OrderSystem::str() const {
     Out += "\n";
   }
   return Out;
+}
+
+std::vector<std::pair<std::string, double>>
+light::smt::solveStatEntries(const SolveResult &R) {
+  return {
+      {"solver.decisions", static_cast<double>(R.Decisions)},
+      {"solver.propagations", static_cast<double>(R.Propagations)},
+      {"solver.conflicts", static_cast<double>(R.Conflicts)},
+      {"solver.cycle_checks", static_cast<double>(R.CycleChecks)},
+      {"solver.solve_ms", R.SolveSeconds * 1000.0},
+  };
+}
+
+void light::smt::publishSolveStats(const SolveResult &R) {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("solver.solves").add(1);
+  Reg.counter("solver.decisions").add(R.Decisions);
+  Reg.counter("solver.propagations").add(R.Propagations);
+  Reg.counter("solver.conflicts").add(R.Conflicts);
+  Reg.counter("solver.cycle_checks").add(R.CycleChecks);
+  Reg.counter(R.sat() ? "solver.sat" : "solver.unsat").add(1);
+  Reg.histogram("solver.solve_ns")
+      .record(static_cast<uint64_t>(R.SolveSeconds * 1e9));
 }

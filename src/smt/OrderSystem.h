@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace light {
@@ -98,10 +99,26 @@ struct SolveResult {
   uint64_t Decisions = 0;
   uint64_t Propagations = 0;
   uint64_t Conflicts = 0;
+  /// Negative-cycle detections triggered in the difference-constraint
+  /// theory (relaxation passes that found an infeasible edge). Zero for the
+  /// Z3 backend, which does not expose the equivalent statistic.
+  uint64_t CycleChecks = 0;
   double SolveSeconds = 0;
 
   bool sat() const { return Outcome == Status::Sat; }
 };
+
+/// The canonical (name, value) statistics of one solve, with the metric
+/// names every consumer must use — bench_smt_solver, bench_table1_replay,
+/// and the registry all report solver effort under exactly these keys:
+/// solver.decisions, solver.propagations, solver.conflicts,
+/// solver.cycle_checks, solver.solve_ms.
+std::vector<std::pair<std::string, double>>
+solveStatEntries(const SolveResult &R);
+
+/// Adds one solve's statistics to the global metrics registry (counters
+/// under the solveStatEntries names, plus the solver.solve_ns histogram).
+void publishSolveStats(const SolveResult &R);
 
 } // namespace smt
 } // namespace light

@@ -6,6 +6,7 @@
 
 #include "smt/Z3Backend.h"
 
+#include "obs/Trace.h"
 #include "smt/IdlSolver.h"
 #include "support/Timer.h"
 
@@ -15,6 +16,7 @@ using namespace light;
 using namespace light::smt;
 
 SolveResult light::smt::solveWithZ3(const OrderSystem &System) {
+  obs::TraceSpan Span("solver.solve.z3", "solver");
   Stopwatch Timer;
   SolveResult Result;
 
@@ -37,6 +39,7 @@ SolveResult light::smt::solveWithZ3(const OrderSystem &System) {
   if (Solver.check() != z3::sat) {
     Result.Outcome = SolveResult::Status::Unsat;
     Result.SolveSeconds = Timer.seconds();
+    publishSolveStats(Result);
     return Result;
   }
 
@@ -48,6 +51,7 @@ SolveResult light::smt::solveWithZ3(const OrderSystem &System) {
     Result.Values[I] = Value.get_numeral_int64();
   }
   Result.SolveSeconds = Timer.seconds();
+  publishSolveStats(Result);
   return Result;
 }
 

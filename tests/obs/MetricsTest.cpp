@@ -1,0 +1,183 @@
+//===- tests/obs/MetricsTest.cpp -------------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Args.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace light;
+using namespace light::obs;
+
+TEST(Metrics, CounterSingleThread) {
+  Registry Reg;
+  Counter C = Reg.counter("hits");
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  // Repeated lookup returns the same storage.
+  EXPECT_EQ(Reg.counter("hits").value(), 42u);
+}
+
+TEST(Metrics, DefaultHandlesAreInert) {
+  Counter C;
+  Gauge G;
+  Histogram H;
+  C.add(5);
+  G.set(7);
+  H.record(9);
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+}
+
+TEST(Metrics, CounterConcurrentEightThreads) {
+  Registry Reg;
+  Counter C = Reg.counter("concurrent");
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 100000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&] {
+      Counter Local = Reg.counter("concurrent");
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Local.add();
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value(), Threads * PerThread);
+}
+
+TEST(Metrics, HistogramConcurrentEightThreads) {
+  Registry Reg;
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 50000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      Histogram Local = Reg.histogram("latency");
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Local.record(T + 1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  Snapshot Snap = Reg.snapshot();
+  const Snapshot::HistogramRow *Row = Snap.histogram("latency");
+  ASSERT_NE(Row, nullptr);
+  EXPECT_EQ(Row->Count, Threads * PerThread);
+  // Sum of (1 + 2 + ... + 8) * PerThread.
+  EXPECT_EQ(Row->Sum, 36 * PerThread);
+  uint64_t BucketTotal = 0;
+  for (uint64_t B : Row->Buckets)
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, Row->Count);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(~0ull), HistogramBuckets - 1);
+  EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketLowerBound(3), 4u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  Registry Reg;
+  Gauge G = Reg.gauge("depth");
+  G.set(10);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 7);
+  EXPECT_EQ(Reg.snapshot().gauge("depth"), 7);
+}
+
+TEST(Metrics, SnapshotMergesShards) {
+  Registry Reg;
+  // Touch the counter from several threads so multiple shard cells hold
+  // partial values; snapshot must report the merged total.
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < 4; ++T)
+    Pool.emplace_back([&] { Reg.counter("merged").add(10); });
+  for (std::thread &T : Pool)
+    T.join();
+  Snapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.counter("merged"), 40u);
+  EXPECT_EQ(Snap.counter("absent"), 0u);
+}
+
+TEST(Metrics, ResetKeepsHandlesValid) {
+  Registry Reg;
+  Counter C = Reg.counter("r");
+  C.add(5);
+  Reg.reset();
+  EXPECT_EQ(C.value(), 0u);
+  C.add(2);
+  EXPECT_EQ(C.value(), 2u);
+}
+
+TEST(Metrics, SnapshotJsonRoundTrips) {
+  Registry Reg;
+  Reg.counter("record.accesses").add(123);
+  Reg.gauge("threads").set(-4);
+  Reg.histogram("ns").record(7);
+  Reg.histogram("ns").record(0);
+
+  JsonParseResult Parsed = parseJson(Reg.snapshot().json());
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  const JsonValue &Root = Parsed.Value;
+  ASSERT_EQ(Root.What, JsonValue::Kind::Object);
+
+  const JsonValue *Counters = Root.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  const JsonValue *Accesses = Counters->find("record.accesses");
+  ASSERT_NE(Accesses, nullptr);
+  EXPECT_DOUBLE_EQ(Accesses->Num, 123.0);
+
+  const JsonValue *Gauges = Root.find("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  EXPECT_DOUBLE_EQ(Gauges->find("threads")->Num, -4.0);
+
+  const JsonValue *Histograms = Root.find("histograms");
+  ASSERT_NE(Histograms, nullptr);
+  const JsonValue *Ns = Histograms->find("ns");
+  ASSERT_NE(Ns, nullptr);
+  EXPECT_DOUBLE_EQ(Ns->find("count")->Num, 2.0);
+  EXPECT_DOUBLE_EQ(Ns->find("sum")->Num, 7.0);
+  // Trailing all-zero buckets are elided: 0 lands in bucket 0, 7 in bucket
+  // bucketOf(7) == 3, so exactly four buckets serialize.
+  const JsonValue *Buckets = Ns->find("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  ASSERT_EQ(Buckets->Items.size(), Histogram::bucketOf(7) + 1);
+  EXPECT_DOUBLE_EQ(Buckets->Items.front().Num, 1.0);
+  EXPECT_DOUBLE_EQ(Buckets->Items.back().Num, 1.0);
+}
+
+TEST(Args, PositionIndependentFlags) {
+  const char *Argv[] = {"prog",         "record", "--trace-out", "t.json",
+                        "Cache4j",      "--z3",   "--json",      "--fast",
+                        "--mystery"};
+  obs::ArgList Args(9, const_cast<char **>(Argv),
+                    {"trace-out", "json"}, {"z3", "fast"});
+  EXPECT_EQ(Args.size(), 2u);
+  EXPECT_EQ(Args.positional(0), "record");
+  EXPECT_EQ(Args.positional(1), "Cache4j");
+  EXPECT_TRUE(Args.has("z3"));
+  EXPECT_TRUE(Args.has("fast"));
+  EXPECT_EQ(Args.get("trace-out"), "t.json");
+  // --json with no value (next token is a flag) gets the fallback.
+  EXPECT_TRUE(Args.has("json"));
+  EXPECT_EQ(Args.get("json", "", "default.json"), "default.json");
+  ASSERT_EQ(Args.unknown().size(), 1u);
+  EXPECT_EQ(Args.unknown()[0], "--mystery");
+  EXPECT_EQ(Args.positionalOr(5, "fallback"), "fallback");
+}

@@ -1,0 +1,130 @@
+//===- tests/obs/TraceTest.cpp ---------------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace light;
+using namespace light::obs;
+
+TEST(Trace, DisabledRecordsNothing) {
+  Tracer T;
+  T.instant("noop", "test", 0);
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_FALSE(T.enabled());
+}
+
+TEST(Trace, InstantAndCompleteEvents) {
+  Tracer T;
+  T.start(1024);
+  T.instant("read_retry", "record", /*Tid=*/3, {"loc", 17});
+  T.complete("solve", "solver", /*Tid=*/0, /*TsNanos=*/100, /*DurNanos=*/250,
+             {"decisions", 5}, {"conflicts", 1});
+  EXPECT_EQ(T.size(), 2u);
+  T.stop();
+  EXPECT_FALSE(T.enabled());
+  // Events stay exportable after stop().
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(Trace, ChromeJsonRoundTrips) {
+  Tracer T;
+  T.start(1024);
+  T.instant("record.span", "record", 1, {"loc", 4}, {"len", 9});
+  {
+    TraceSpan Span("solver.solve", "solver", 0, T);
+    Span.arg("decisions", 12);
+  }
+  T.stop();
+
+  JsonParseResult Parsed = parseJson(T.chromeJson());
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  const JsonValue *Events = Parsed.Value.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->Items.size(), 2u);
+
+  bool SawInstant = false, SawComplete = false;
+  for (const JsonValue &E : Events->Items) {
+    ASSERT_TRUE(E.isObject());
+    ASSERT_NE(E.find("name"), nullptr);
+    ASSERT_NE(E.find("ph"), nullptr);
+    ASSERT_NE(E.find("ts"), nullptr);
+    ASSERT_NE(E.find("pid"), nullptr);
+    ASSERT_NE(E.find("tid"), nullptr);
+    if (E.find("ph")->Str == "i") {
+      SawInstant = true;
+      EXPECT_EQ(E.find("name")->Str, "record.span");
+      const JsonValue *Args = E.find("args");
+      ASSERT_NE(Args, nullptr);
+      EXPECT_DOUBLE_EQ(Args->find("loc")->Num, 4.0);
+      EXPECT_DOUBLE_EQ(Args->find("len")->Num, 9.0);
+    } else if (E.find("ph")->Str == "X") {
+      SawComplete = true;
+      EXPECT_EQ(E.find("name")->Str, "solver.solve");
+      ASSERT_NE(E.find("dur"), nullptr);
+      const JsonValue *Args = E.find("args");
+      ASSERT_NE(Args, nullptr);
+      EXPECT_DOUBLE_EQ(Args->find("decisions")->Num, 12.0);
+    }
+  }
+  EXPECT_TRUE(SawInstant);
+  EXPECT_TRUE(SawComplete);
+}
+
+TEST(Trace, SpanIsFreeWhenDisarmed) {
+  Tracer T;
+  {
+    TraceSpan Span("never", "test", 0, T);
+    Span.arg("x", 1);
+  }
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST(Trace, RingWrapsPerShardAndCountsDrops) {
+  Tracer T;
+  // Small capacity; this thread maps onto one shard, so its slice wraps
+  // quickly while the other shards stay empty.
+  T.start(64);
+  for (int I = 0; I < 500; ++I)
+    T.instant("spin", "test", 0);
+  T.stop();
+  EXPECT_GT(T.dropped(), 0u);
+  EXPECT_LE(T.size(), 64u);
+  // The survivors still render as valid JSON.
+  EXPECT_TRUE(parseJson(T.chromeJson()).Ok);
+}
+
+TEST(Trace, ConcurrentWritersKeepTheirHistory) {
+  Tracer T;
+  T.start(1 << 12);
+  std::vector<std::thread> Pool;
+  for (int W = 0; W < 8; ++W)
+    Pool.emplace_back([&, W] {
+      for (int I = 0; I < 50; ++I)
+        T.instant("work", "test", static_cast<uint32_t>(W));
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  T.stop();
+  EXPECT_EQ(T.size() + T.dropped(), 400u);
+}
+
+TEST(Trace, ClearKeepsArmedState) {
+  Tracer T;
+  T.start(256);
+  T.instant("a", "test", 0);
+  T.clear();
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_TRUE(T.enabled());
+  T.instant("b", "test", 0);
+  EXPECT_EQ(T.size(), 1u);
+  T.stop();
+}

@@ -1,0 +1,113 @@
+//===- tools/check_bench_json.cpp - light-bench-v1 schema validator --------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Validates a `--json` report written by one of the bench binaries against
+/// the light-bench-v1 schema:
+///
+///   {
+///     "schema": "light-bench-v1",
+///     "bench": "<name>",
+///     "rows": [ { ... }, ... ],
+///     "aggregates": { "<key>": <number>, ... },
+///     "ok": true|false,
+///     "metrics": { "counters": {...}, "gauges": {...},
+///                  "histograms": {...} }   // optional
+///   }
+///
+/// Used by the ctest smoke target (bench produces the file, this binary
+/// checks it), and handy interactively: `check_bench_json BENCH_fig4.json`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+int fail(const std::string &Path, const std::string &Why) {
+  std::fprintf(stderr, "%s: FAIL: %s\n", Path.c_str(), Why.c_str());
+  return 1;
+}
+
+int checkOne(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return fail(Path, "cannot open file");
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  JsonParseResult Parsed = parseJson(Buf.str());
+  if (!Parsed.Ok)
+    return fail(Path, "invalid JSON: " + Parsed.Error);
+  const JsonValue &Root = Parsed.Value;
+  if (Root.What != JsonValue::Kind::Object)
+    return fail(Path, "root is not an object");
+
+  const JsonValue *Schema = Root.find("schema");
+  if (!Schema || Schema->What != JsonValue::Kind::String ||
+      Schema->Str != "light-bench-v1")
+    return fail(Path, "missing or wrong \"schema\" (want light-bench-v1)");
+
+  const JsonValue *Bench = Root.find("bench");
+  if (!Bench || Bench->What != JsonValue::Kind::String || Bench->Str.empty())
+    return fail(Path, "missing \"bench\" name");
+
+  const JsonValue *Rows = Root.find("rows");
+  if (!Rows || Rows->What != JsonValue::Kind::Array)
+    return fail(Path, "missing \"rows\" array");
+  for (size_t I = 0; I < Rows->Items.size(); ++I)
+    if (Rows->Items[I].What != JsonValue::Kind::Object)
+      return fail(Path, "rows[" + std::to_string(I) + "] is not an object");
+
+  const JsonValue *Aggregates = Root.find("aggregates");
+  if (!Aggregates || Aggregates->What != JsonValue::Kind::Object)
+    return fail(Path, "missing \"aggregates\" object");
+  for (const auto &[Key, V] : Aggregates->Members)
+    if (V.What != JsonValue::Kind::Number &&
+        V.What != JsonValue::Kind::Null)
+      return fail(Path, "aggregate \"" + Key + "\" is not a number");
+
+  const JsonValue *Ok = Root.find("ok");
+  if (!Ok || Ok->What != JsonValue::Kind::Bool)
+    return fail(Path, "missing boolean \"ok\"");
+
+  if (const JsonValue *Metrics = Root.find("metrics")) {
+    if (Metrics->What != JsonValue::Kind::Object)
+      return fail(Path, "\"metrics\" is not an object");
+    for (const char *Section : {"counters", "gauges", "histograms"}) {
+      const JsonValue *S = Metrics->find(Section);
+      if (!S || S->What != JsonValue::Kind::Object)
+        return fail(Path,
+                    std::string("metrics missing \"") + Section + "\"");
+    }
+  }
+
+  std::printf("%s: OK (bench=%s, %zu rows, %zu aggregates%s)\n", Path.c_str(),
+              Bench->Str.c_str(), Rows->Items.size(),
+              Aggregates->Members.size(),
+              Root.find("metrics") ? ", with metrics" : "");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: check_bench_json <report.json>...\n");
+    return 2;
+  }
+  int Rc = 0;
+  for (int I = 1; I < argc; ++I)
+    Rc |= checkOne(argv[I]);
+  return Rc;
+}

@@ -14,10 +14,21 @@
 ///   light-replay print  <bug|file.mir>
 ///   light-replay run    <bug|file.mir> [seed]      # plain execution
 ///   light-replay hunt   <bug|file.mir> [max-seeds] # find a failing seed
-///   light-replay record <bug|file.mir> <seed> <log>
+///   light-replay record <bug|file.mir> [seed] [log]
 ///   light-replay show   <log>
-///   light-replay replay <bug|file.mir> <log> [--z3]
+///   light-replay replay <bug|file.mir> <log>
 /// \endcode
+///
+/// Flags are position-independent and accepted by every subcommand:
+///
+///   --z3                   solve with the Z3 backend instead of the
+///                          built-in IDL solver (record verification,
+///                          replay)
+///   --no-verify            record only; skip the solve + validated replay
+///                          pass that `record` runs by default
+///   --metrics-json <file>  write the merged metrics-registry snapshot
+///   --trace-out <file>     arm the event tracer and write Chrome
+///                          trace-event JSON (chrome://tracing, Perfetto)
 ///
 /// A <bug> is one of the built-in Figure-6 benchmarks; anything else is
 /// treated as a path to a textual MIR file (see mir/Parser.h).
@@ -31,6 +42,9 @@
 #include "core/ReplaySchedule.h"
 #include "interp/Machine.h"
 #include "mir/Parser.h"
+#include "obs/Args.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -46,16 +60,22 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: light-replay <command> ...\n"
+      "usage: light-replay <command> ... [flags]\n"
       "  list                                 the built-in bug benchmarks\n"
       "  print  <bug|file.mir>                dump the program\n"
       "  run    <bug|file.mir> [seed]         execute under a random "
       "schedule\n"
       "  hunt   <bug|file.mir> [max-seeds]    search for a failing "
       "schedule\n"
-      "  record <bug|file.mir> <seed> <log>   record with Light\n"
+      "  record <bug|file.mir> [seed] [log]   record with Light, then\n"
+      "                                       solve + validated replay\n"
       "  show   <log>                         dump a recording\n"
-      "  replay <bug|file.mir> <log> [--z3]   solve + validated replay\n");
+      "  replay <bug|file.mir> <log>          solve + validated replay\n"
+      "flags (any position, any subcommand):\n"
+      "  --z3                   use the Z3 solver backend\n"
+      "  --no-verify            skip record's solve+replay verification\n"
+      "  --metrics-json <file>  write the metrics snapshot as JSON\n"
+      "  --trace-out <file>     write a Chrome trace of the run\n");
   return 2;
 }
 
@@ -103,64 +123,154 @@ void printOutcome(const RunResult &R) {
     }
 }
 
+/// Solves \p Log and runs one validated replay, printing the summary.
+/// Returns 0 on a faithful replay.
+int solveAndReplay(const mir::Program &Prog, const RecordingLog &Log,
+                   bool UseZ3) {
+  ReplaySchedule Plan = ReplaySchedule::build(
+      Log, UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl);
+  if (!Plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", Plan.error().c_str());
+    return 1;
+  }
+  std::printf("solved %zu-turn schedule in %.2f ms\n", Plan.order().size(),
+              Plan.solveStats().SolveSeconds * 1000);
+  ReplayDirector Director(Plan, /*RealThreads=*/false, /*Validate=*/true);
+  Machine M(Prog, Director);
+  M.prepareReplay(Log.Spawns);
+  RunResult R = M.runReplay(Director);
+  Director.publishMetrics();
+  printOutcome(R);
+  if (Director.failed()) {
+    std::printf("REPLAY DIVERGED: %s\n", Director.divergence().c_str());
+    return 1;
+  }
+  ReplayStats Stats = Director.stats();
+  std::printf("replay faithful: %llu reads validated, %llu blind writes "
+              "suppressed\n",
+              static_cast<unsigned long long>(Stats.ValidatedReads),
+              static_cast<unsigned long long>(Stats.BlindSuppressed));
+  return 0;
+}
+
+/// Writes the telemetry outputs requested on the command line. Runs on
+/// every exit path so a failed replay still leaves its trace behind.
+int finishTelemetry(int Rc, const std::string &MetricsPath,
+                    const std::string &TracePath) {
+  if (!TracePath.empty()) {
+    obs::Tracer::global().stop();
+    if (obs::Tracer::global().writeChromeTrace(TracePath))
+      std::printf("trace written -> %s (%zu events, %llu dropped)\n",
+                  TracePath.c_str(), obs::Tracer::global().size(),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::global().dropped()));
+    else
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   TracePath.c_str());
+  }
+  if (!MetricsPath.empty()) {
+    if (obs::Registry::global().writeJson(MetricsPath))
+      std::printf("metrics written -> %s\n", MetricsPath.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write metrics '%s'\n",
+                   MetricsPath.c_str());
+  }
+  return Rc;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
+  if (Cmd.size() >= 2 && Cmd[0] == '-' && Cmd[1] == '-') {
+    std::fprintf(stderr,
+                 "error: expected a command before '%s' (flags go after "
+                 "the command)\n",
+                 Cmd.c_str());
+    return usage();
+  }
+
+  obs::ArgList Args(argc, argv, {"metrics-json", "trace-out"},
+                    {"z3", "no-verify"}, /*Begin=*/2);
+  for (const std::string &F : Args.unknown())
+    std::fprintf(stderr, "error: unknown flag '%s'\n", F.c_str());
+  if (!Args.unknown().empty())
+    return usage();
+
+  // A valueless flag falls back to a conventional filename rather than
+  // silently dropping the request.
+  std::string MetricsPath = Args.get("metrics-json", "", "metrics.json");
+  std::string TracePath = Args.get("trace-out", "", "trace.json");
+  bool UseZ3 = Args.has("z3");
+  if (!TracePath.empty())
+    obs::Tracer::global().start();
+  auto Finish = [&](int Rc) {
+    return finishTelemetry(Rc, MetricsPath, TracePath);
+  };
 
   if (Cmd == "list") {
     for (const BugBenchmark &B : makeBugSuite())
       std::printf("%-14s clap=%s chimera=%s\n", B.Name.c_str(),
                   B.ClapExpected ? "yes" : "no",
                   B.ChimeraExpected ? "yes" : "no");
-    return 0;
+    return Finish(0);
   }
 
-  if (argc < 3)
+  if (Args.size() < 1)
     return usage();
-  std::optional<mir::Program> Prog = loadProgram(argv[2]);
+  const std::string &Target = Args.positional(0);
+
+  if (Cmd == "show") {
+    RecordingLog Log;
+    if (!Log.load(Target)) {
+      std::fprintf(stderr, "error: cannot load '%s'\n", Target.c_str());
+      return Finish(1);
+    }
+    std::printf("%s", Log.str().c_str());
+    return Finish(0);
+  }
+
+  std::optional<mir::Program> Prog = loadProgram(Target);
+  if (!Prog)
+    return Finish(1);
 
   if (Cmd == "print") {
-    if (!Prog)
-      return 1;
     std::printf("%s", Prog->str().c_str());
-    return 0;
+    return Finish(0);
   }
 
   if (Cmd == "run") {
-    if (!Prog)
-      return 1;
-    uint64_t Seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    uint64_t Seed = std::strtoull(Args.positionalOr(1, "1").c_str(),
+                                  nullptr, 10);
     NullHook Null;
     Machine M(*Prog, Null);
     M.seedEnvironment(Seed ^ 0x5a5a);
     RandomScheduler Sched(Seed);
     printOutcome(M.run(Sched));
-    return 0;
+    return Finish(0);
   }
 
   if (Cmd == "hunt") {
-    if (!Prog)
-      return 1;
-    uint64_t Max = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 300;
+    uint64_t Max = std::strtoull(Args.positionalOr(1, "300").c_str(),
+                                 nullptr, 10);
     BugReport Bug;
     std::optional<uint64_t> Seed = findBuggySeed(*Prog, Max, &Bug);
     if (!Seed) {
       std::printf("no failing schedule in %llu seeds\n",
                   static_cast<unsigned long long>(Max));
-      return 1;
+      return Finish(1);
     }
     std::printf("seed %llu fails: %s\n",
                 static_cast<unsigned long long>(*Seed), Bug.str().c_str());
-    return 0;
+    return Finish(0);
   }
 
   if (Cmd == "record") {
-    if (!Prog || argc < 5)
-      return usage();
-    uint64_t Seed = std::strtoull(argv[3], nullptr, 10);
+    uint64_t Seed = std::strtoull(Args.positionalOr(1, "1").c_str(),
+                                  nullptr, 10);
+    std::string LogPath = Args.positionalOr(2, Target + ".lightlog");
     LightOptions Opts;
     Opts.WriteToDisk = false;
     LightRecorder Rec(Opts);
@@ -169,57 +279,29 @@ int main(int argc, char **argv) {
     RandomScheduler Sched(Seed);
     RunResult R = M.run(Sched);
     RecordingLog Log = Rec.finish(&M.registry());
-    uint64_t Words = Log.save(argv[4]);
+    uint64_t Words = Log.save(LogPath);
     printOutcome(R);
     std::printf("recorded %zu spans (%llu long-integers on disk) -> %s\n",
                 Log.Spans.size(), static_cast<unsigned long long>(Words),
-                argv[4]);
-    return 0;
-  }
-
-  if (Cmd == "show") {
-    RecordingLog Log;
-    if (!Log.load(argv[2])) {
-      std::fprintf(stderr, "error: cannot load '%s'\n", argv[2]);
-      return 1;
-    }
-    std::printf("%s", Log.str().c_str());
-    return 0;
+                LogPath.c_str());
+    if (Args.has("no-verify"))
+      return Finish(0);
+    // Default verification pass: solve the schedule and re-execute it under
+    // validation, so the one command exercises record + solve + replay (and
+    // the telemetry outputs cover all three layers).
+    return Finish(solveAndReplay(*Prog, Log, UseZ3));
   }
 
   if (Cmd == "replay") {
-    if (!Prog || argc < 4)
+    if (Args.size() < 2)
       return usage();
     RecordingLog Log;
-    if (!Log.load(argv[3])) {
-      std::fprintf(stderr, "error: cannot load '%s'\n", argv[3]);
-      return 1;
+    if (!Log.load(Args.positional(1))) {
+      std::fprintf(stderr, "error: cannot load '%s'\n",
+                   Args.positional(1).c_str());
+      return Finish(1);
     }
-    bool UseZ3 = argc > 4 && std::strcmp(argv[4], "--z3") == 0;
-    ReplaySchedule Plan = ReplaySchedule::build(
-        Log, UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl);
-    if (!Plan.ok()) {
-      std::fprintf(stderr, "error: %s\n", Plan.error().c_str());
-      return 1;
-    }
-    std::printf("solved %zu-turn schedule in %.2f ms\n",
-                Plan.order().size(), Plan.solveStats().SolveSeconds * 1000);
-    ReplayDirector Director(Plan, /*RealThreads=*/false, /*Validate=*/true);
-    Machine M(*Prog, Director);
-    M.prepareReplay(Log.Spawns);
-    RunResult R = M.runReplay(Director);
-    printOutcome(R);
-    if (Director.failed()) {
-      std::printf("REPLAY DIVERGED: %s\n", Director.divergence().c_str());
-      return 1;
-    }
-    std::printf("replay faithful: %llu reads validated, %llu blind writes "
-                "suppressed\n",
-                static_cast<unsigned long long>(
-                    Director.stats().ValidatedReads),
-                static_cast<unsigned long long>(
-                    Director.stats().BlindSuppressed));
-    return 0;
+    return Finish(solveAndReplay(*Prog, Log, UseZ3));
   }
 
   return usage();
