@@ -46,6 +46,26 @@ struct LightOptions {
   /// Directory for log files; empty selects the system temp directory.
   std::string LogDir;
 
+  /// Epoch durability (crash tolerance): when nonzero, the recorder streams
+  /// every completed epoch into a LIGHT002 durable log (see
+  /// support/DurableLog.h) as a checksummed segment, flushed to the OS at
+  /// the epoch boundary — a crashed or SIGKILL'd process leaves a
+  /// salvageable prefix covering all closed epochs. An epoch closes once
+  /// this many records (spans + syscalls) are pending in a thread; 0
+  /// disables the count trigger. Epoch durability is on when either
+  /// EpochSpans or EpochMs is set, and the machinery stays off the
+  /// per-access hot path either way.
+  size_t EpochSpans = 0;
+
+  /// Also close an epoch once this many milliseconds have passed since the
+  /// thread's last durable flush (checked when spans close, so an idle
+  /// thread writes nothing). 0 disables the time trigger.
+  uint64_t EpochMs = 0;
+
+  /// Target file for the durable epoch log; empty selects a temp path.
+  /// Only consulted when EpochSpans or EpochMs is set.
+  std::string DurableLogPath;
+
   /// Collect the optional hot-path telemetry (stripe-contention counting via
   /// a try_lock probe sampled on 1/64 accesses). Everything else — span
   /// merges, retries, O2 elisions — rides on fields the recorder maintains

@@ -18,11 +18,16 @@ LightRecorder::LightRecorder(LightOptions O) : Opts(std::move(O)) {
   Threads.reserve(MaxThreads);
   for (uint32_t I = 0; I < MaxThreads; ++I)
     Threads.push_back(std::make_unique<PerThread>());
+  EpochsOn = Opts.EpochSpans != 0 || Opts.EpochMs != 0;
 }
 
 LightRecorder::~LightRecorder() = default;
 
 void LightRecorder::setGuards(GuardSpec Spec) { Guards = std::move(Spec); }
+
+void LightRecorder::attachRegistry(const ThreadRegistry *Registry) {
+  SpawnSource = Registry;
+}
 
 Counter LightRecorder::counterOf(ThreadId T) const { return state(T).Ctr; }
 
@@ -66,6 +71,8 @@ void LightRecorder::closeSpan(PerThread &S, ThreadId T, LocationId L,
     Tr.instant("record.span", "record", T, {"loc", L},
                {"len", Sp.Last - Sp.First + 1});
   maybeFlush(S, T);
+  if (EpochsOn)
+    maybeEpochFlush(S, T);
 }
 
 void LightRecorder::maybeFlush(PerThread &S, ThreadId T) {
@@ -88,6 +95,107 @@ void LightRecorder::maybeFlush(PerThread &S, ThreadId T) {
   S.Writer->flush();
   S.Archived.insert(S.Archived.end(), S.Buffer.begin(), S.Buffer.end());
   S.Buffer.clear();
+}
+
+// --- Epoch durability -------------------------------------------------------
+//
+// Everything below is reached only from span-close and syscall paths when
+// EpochSpans/EpochMs enable it — never from the per-access protocol — so the
+// recording overhead the paper measures is untouched by default.
+
+void LightRecorder::maybeEpochFlush(PerThread &S, ThreadId T) {
+  size_t Pending = S.Archived.size() + S.Buffer.size() - S.DurableSpans +
+                   (S.Syscalls.size() - S.DurableSyscalls);
+  if (!Pending)
+    return;
+  bool Due = Opts.EpochSpans && Pending >= Opts.EpochSpans;
+  if (!Due && Opts.EpochMs)
+    Due = std::chrono::steady_clock::now() - S.LastEpoch >=
+          std::chrono::milliseconds(Opts.EpochMs);
+  if (Due)
+    flushEpoch(S, T);
+}
+
+void LightRecorder::appendPendingSections(std::vector<uint64_t> &Payload,
+                                          PerThread &S, ThreadId T) {
+  size_t Total = S.Archived.size() + S.Buffer.size();
+  if (S.DurableSpans < Total) {
+    // Spans emit in stable Archived-then-Buffer order; gather the suffix
+    // that postdates the last durable flush.
+    std::vector<DepSpan> Fresh;
+    Fresh.reserve(Total - S.DurableSpans);
+    for (size_t I = S.DurableSpans; I < Total; ++I)
+      Fresh.push_back(I < S.Archived.size()
+                          ? S.Archived[I]
+                          : S.Buffer[I - S.Archived.size()]);
+    encodeSpanSection(Payload, Fresh.data(), Fresh.size());
+    S.DurableSpans = Total;
+  }
+  if (S.DurableSyscalls < S.Syscalls.size()) {
+    encodeSyscallSection(Payload, S.Syscalls.data() + S.DurableSyscalls,
+                         S.Syscalls.size() - S.DurableSyscalls);
+    S.DurableSyscalls = S.Syscalls.size();
+  }
+  encodeCounterSection(Payload, {{T, S.Ctr}});
+  S.LastEpoch = std::chrono::steady_clock::now();
+}
+
+void LightRecorder::flushEpoch(PerThread &S, ThreadId T) {
+  std::vector<uint64_t> Payload;
+  appendPendingSections(Payload, S, T);
+  // The spawn table rides along on every epoch (replace semantics) so a
+  // salvaged prefix can still map replay threads to recorded ones.
+  if (SpawnSource)
+    encodeSpawnSection(Payload, SpawnSource->spawnTable());
+  writeDurableSegment(Payload);
+}
+
+bool LightRecorder::writeDurableSegment(const std::vector<uint64_t> &Payload) {
+  std::lock_guard<std::mutex> Guard(EpochMutex);
+  if (!Durable) {
+    std::string Path = Opts.DurableLogPath.empty() ? makeTempPath("durable")
+                                                   : Opts.DurableLogPath;
+    Durable = std::make_unique<DurableLogWriter>(std::move(Path));
+  }
+  if (!Durable->ok())
+    return false;
+  if (!GuardsEmitted) {
+    GuardsEmitted = true;
+    if (Opts.EnableO2 && !Guards.empty()) {
+      std::vector<uint64_t> GuardWords;
+      encodeGuardSections(GuardWords, Guards);
+      if (!Durable->writeSegment(GuardWords))
+        return false;
+    }
+  }
+  return Durable->writeSegment(Payload);
+}
+
+bool LightRecorder::crashFlush() {
+  if (!EpochsOn)
+    return false;
+  std::vector<uint64_t> Payload;
+  for (uint32_t T = 0; T < MaxThreads; ++T) {
+    PerThread &S = *Threads[T];
+    for (auto &[L, Sp] : S.Open)
+      closeSpan(S, static_cast<ThreadId>(T), L, Sp);
+    S.Open.clear();
+    S.CachedLoc = InvalidLocation;
+    S.CachedSpan = nullptr;
+    if (S.Ctr || S.DurableSyscalls < S.Syscalls.size())
+      appendPendingSections(Payload, S, static_cast<ThreadId>(T));
+  }
+  if (SpawnSource)
+    encodeSpawnSection(Payload, SpawnSource->spawnTable());
+  // An empty trailing zero-payload segment would masquerade as the
+  // clean-close marker; with nothing to save, leave only what is already
+  // durable on disk.
+  bool Ok = Payload.empty() ? true : writeDurableSegment(Payload);
+  std::lock_guard<std::mutex> Guard(EpochMutex);
+  if (!Durable)
+    return false;
+  Durable->abandon(); // deliberately no clean-close marker
+  return Ok;
 }
 
 // --- The recording protocol ------------------------------------------------
@@ -263,7 +371,10 @@ void LightRecorder::noteRmw(PerThread &S, ThreadId T, LocationId L,
 
 uint64_t LightRecorder::onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) {
   uint64_t Value = Compute();
-  state(T).Syscalls.push_back({T, Value});
+  PerThread &S = state(T);
+  S.Syscalls.push_back({T, Value});
+  if (EpochsOn)
+    maybeEpochFlush(S, T);
   return Value;
 }
 
@@ -300,10 +411,28 @@ RecordingLog LightRecorder::finish(const ThreadRegistry *Registry) {
   Log.FinalCounters.resize(MaxThread + 1, 0);
   for (uint32_t T = 0; T <= MaxThread; ++T)
     Log.FinalCounters[T] = Threads[T]->Ctr;
-  if (Registry)
-    Log.Spawns = Registry->spawnTable();
+  if (const ThreadRegistry *Reg = Registry ? Registry : SpawnSource)
+    Log.Spawns = Reg->spawnTable();
   if (Opts.EnableO2)
     Log.Guards = Guards;
+
+  if (EpochsOn) {
+    // Final durable segment: whatever each thread still holds, the complete
+    // counter table and spawn table, then the clean-close marker.
+    std::vector<uint64_t> Payload;
+    for (uint32_t T = 0; T < MaxThreads; ++T) {
+      PerThread &S = *Threads[T];
+      if (S.Ctr || S.DurableSpans < S.Archived.size() + S.Buffer.size() ||
+          S.DurableSyscalls < S.Syscalls.size())
+        appendPendingSections(Payload, S, static_cast<ThreadId>(T));
+    }
+    if (!Log.Spawns.empty())
+      encodeSpawnSection(Payload, Log.Spawns);
+    writeDurableSegment(Payload);
+    std::lock_guard<std::mutex> Guard(EpochMutex);
+    if (Durable)
+      Durable->closeClean();
+  }
 
   // Publish the per-thread tallies into the process registry. This is the
   // only place recording telemetry touches shared metric storage.

@@ -36,9 +36,12 @@
 #include "runtime/LockStripes.h"
 #include "runtime/ThreadRegistry.h"
 #include "support/BinaryIO.h"
+#include "support/DurableLog.h"
 #include "trace/RecordingLog.h"
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -66,9 +69,35 @@ public:
   void onThreadFinish(ThreadId T) override;
   Counter counterOf(ThreadId T) const override;
 
+  /// Supplies the spawn table for durable epoch segments (and as the
+  /// default for finish()), so a mid-run crash still leaves the
+  /// thread-identity table on disk. Only consulted at epoch boundaries.
+  void attachRegistry(const ThreadRegistry *Registry);
+
   /// Closes all open spans, merges every thread's local buffer, and builds
-  /// the RecordingLog. \p Registry (optional) supplies the spawn table.
+  /// the RecordingLog. \p Registry (optional) supplies the spawn table;
+  /// when omitted, an attachRegistry() registry is used. With epoch
+  /// durability on, also writes the final segment and the clean-close
+  /// marker to the durable log.
   RecordingLog finish(const ThreadRegistry *Registry = nullptr);
+
+  /// Crash-handler path: closes every open span and writes everything not
+  /// yet durable — spans, syscalls, counters, spawn table, guards — as one
+  /// final segment, then closes the durable log *without* its clean-close
+  /// marker, exactly as a crash-signal handler would leave it. The caller
+  /// guarantees all worker threads are quiescent. Returns false when no
+  /// durable log is configured or the write failed. The process is expected
+  /// to exit afterwards; the recorder is not reusable.
+  bool crashFlush();
+
+  /// The durable epoch log (nullptr until the first durable write, or when
+  /// epoch durability is off). Valid until the recorder is destroyed.
+  const DurableLogWriter *durableLog() const { return Durable.get(); }
+
+  /// Path of the durable epoch log ("" until the first durable write).
+  std::string durableLogPath() const {
+    return Durable ? Durable->path() : std::string();
+  }
 
   /// Long-integer units written (spans * 4 + syscalls * 2), the unit of the
   /// paper's space measurements.
@@ -100,6 +129,13 @@ private:
     std::vector<SyscallRecord> Syscalls;
     std::unique_ptr<LongWriter> Writer;
     uint64_t Retries = 0;
+    // Epoch durability bookkeeping: how much of this thread's output is
+    // already in the durable log. DurableSpans indexes the stable
+    // Archived-then-Buffer emission order.
+    size_t DurableSpans = 0;
+    size_t DurableSyscalls = 0;
+    std::chrono::steady_clock::time_point LastEpoch =
+        std::chrono::steady_clock::now();
     // Telemetry tallies. Plain fields on the already thread-local struct —
     // the recording hot path never touches shared metric storage; the
     // registry sees these only when finish() publishes them.
@@ -113,6 +149,14 @@ private:
   std::vector<std::unique_ptr<PerThread>> Threads;
   GuardSpec Guards;
 
+  /// True when EpochSpans/EpochMs enable the durable epoch log. Cached so
+  /// span-close paths pay one bool test when the feature is off.
+  bool EpochsOn = false;
+  std::mutex EpochMutex; ///< serializes segment writes across threads
+  std::unique_ptr<DurableLogWriter> Durable; ///< guarded by EpochMutex
+  bool GuardsEmitted = false;                ///< guarded by EpochMutex
+  const ThreadRegistry *SpawnSource = nullptr;
+
   PerThread &state(ThreadId T) { return *Threads[T]; }
   const PerThread &state(ThreadId T) const { return *Threads[T]; }
 
@@ -123,6 +167,11 @@ private:
   OpenSpan &spanFor(PerThread &S, LocationId L);
   void closeSpan(PerThread &S, ThreadId T, LocationId L, OpenSpan &Sp);
   void maybeFlush(PerThread &S, ThreadId T);
+  void maybeEpochFlush(PerThread &S, ThreadId T);
+  void flushEpoch(PerThread &S, ThreadId T);
+  void appendPendingSections(std::vector<uint64_t> &Payload, PerThread &S,
+                             ThreadId T);
+  bool writeDurableSegment(const std::vector<uint64_t> &Payload);
   void noteRead(PerThread &S, ThreadId T, LocationId L, uint64_t Src,
                 Counter C, uint32_t PrevAccessor);
   void noteWrite(PerThread &S, ThreadId T, LocationId L, Counter C,

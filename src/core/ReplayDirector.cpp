@@ -30,14 +30,47 @@ bool ReplayDirector::complete() const {
   return !Diverged.load() && Turn.load() >= Plan.order().size();
 }
 
-void ReplayDirector::diverge(const std::string &Message) {
+std::string light::divergenceCauseStr(DivergenceCause Cause) {
+  switch (Cause) {
+  case DivergenceCause::None:
+    return "none";
+  case DivergenceCause::WrongTurn:
+    return "wrong-turn";
+  case DivergenceCause::SkippedTurn:
+    return "skipped-turn";
+  case DivergenceCause::GateTimeout:
+    return "gate-timeout";
+  case DivergenceCause::ReadSourceMismatch:
+    return "read-source-mismatch";
+  case DivergenceCause::UnknownRead:
+    return "unknown-read";
+  case DivergenceCause::UnknownWrite:
+    return "unknown-write";
+  case DivergenceCause::MissingRmw:
+    return "missing-rmw";
+  }
+  return "unknown";
+}
+
+std::string DivergenceInfo::str() const {
+  if (!diverged())
+    return std::string();
+  return "[" + divergenceCauseStr(Cause) + "] " + Message;
+}
+
+void ReplayDirector::diverge(DivergenceCause Cause, ThreadId T, Counter C,
+                             const std::string &Message) {
   bool Expected = false;
   if (Diverged.compare_exchange_strong(Expected, true)) {
-    Error = Message;
+    Info.Cause = Cause;
+    Info.Thread = T;
+    Info.Count = C;
+    Info.Turn = Turn.load();
+    Info.Message = Message;
     bumpStat(&AtomicStats::Divergences);
     obs::Tracer &Tr = obs::Tracer::global();
     if (Tr.enabled())
-      Tr.instant("replay.divergence", "replay", 0, {"turn", Turn.load()});
+      Tr.instant("replay.divergence", "replay", T, {"turn", Turn.load()});
   }
   if (RealThreads) {
     std::lock_guard<std::mutex> Guard(GateM);
@@ -79,9 +112,10 @@ bool ReplayDirector::waitForTurn(uint32_t TurnIdx, ThreadId T) {
     // Cooperative mode: the interpreter must have scheduled exactly the
     // turn thread; anything else is a divergence.
     if (Turn.load() != TurnIdx) {
-      diverge("gated access of thread " + std::to_string(T) +
-              " arrived at turn " + std::to_string(Turn.load()) +
-              " instead of " + std::to_string(TurnIdx));
+      diverge(DivergenceCause::WrongTurn, T, 0,
+              "gated access of thread " + std::to_string(T) +
+                  " arrived at turn " + std::to_string(Turn.load()) +
+                  " instead of " + std::to_string(TurnIdx));
       return false;
     }
     return true;
@@ -94,14 +128,16 @@ bool ReplayDirector::waitForTurn(uint32_t TurnIdx, ThreadId T) {
   });
   if (!Ok) {
     Lock.unlock();
-    diverge("replay gate timeout waiting for turn " + std::to_string(TurnIdx));
+    diverge(DivergenceCause::GateTimeout, T, 0,
+            "replay gate timeout waiting for turn " + std::to_string(TurnIdx));
     return false;
   }
   if (Diverged.load())
     return false;
   if (Turn.load() != TurnIdx) {
     Lock.unlock();
-    diverge("replay turn " + std::to_string(TurnIdx) + " was skipped");
+    diverge(DivergenceCause::SkippedTurn, T, 0,
+            "replay turn " + std::to_string(TurnIdx) + " was skipped");
     return false;
   }
   return true;
@@ -157,7 +193,8 @@ void ReplayDirector::onWrite(ThreadId T, LocationId L, LocMeta &M,
     bumpStat(&AtomicStats::BlindSuppressed);
     return;
   case AccessClass::Unknown:
-    diverge("write classified as Unknown (corrupt schedule)");
+    diverge(DivergenceCause::UnknownWrite, T, C,
+            "write classified as Unknown (corrupt schedule)");
     return;
   }
 }
@@ -180,8 +217,9 @@ void ReplayDirector::onRead(ThreadId T, LocationId L, LocMeta &M,
   }
   if (Cls == AccessClass::Unknown) {
     if (Validate) {
-      diverge("unrecorded read of " + loc::str(L) + " by thread " +
-              std::to_string(T));
+      diverge(DivergenceCause::UnknownRead, T, C,
+              "unrecorded read of " + loc::str(L) + " by thread " +
+                  std::to_string(T));
       return;
     }
     Perform();
@@ -198,12 +236,13 @@ void ReplayDirector::onRead(ThreadId T, LocationId L, LocMeta &M,
             ? (Actual != 0 && AccessId::unpack(Actual).Thread == T)
             : Actual == Expected;
     if (!SourceOk) {
-      diverge("read " + AccessId(T, C).str() + " of " + loc::str(L) +
-              " observed source " + AccessId::unpack(Actual).str() +
-              " but the recording promised " +
-              (Expected == ReplaySchedule::OwnSpanSource
-                   ? std::string("an own-span write")
-                   : AccessId::unpack(Expected).str()));
+      diverge(DivergenceCause::ReadSourceMismatch, T, C,
+              "read " + AccessId(T, C).str() + " of " + loc::str(L) +
+                  " observed source " + AccessId::unpack(Actual).str() +
+                  " but the recording promised " +
+                  (Expected == ReplaySchedule::OwnSpanSource
+                       ? std::string("an own-span write")
+                       : AccessId::unpack(Expected).str()));
       return;
     }
     bumpStat(&AtomicStats::ValidatedReads);
@@ -238,10 +277,11 @@ void ReplayDirector::onRmw(ThreadId T, LocationId L, LocMeta &M,
     uint64_t Actual = M.LastWrite.load();
     if (Validate && Expected != ReplaySchedule::OwnSpanSource &&
         Actual != Expected) {
-      diverge("rmw " + AccessId(T, C).str() + " of " + loc::str(L) +
-              " observed source " + AccessId::unpack(Actual).str() +
-              " but the recording promised " +
-              AccessId::unpack(Expected).str());
+      diverge(DivergenceCause::ReadSourceMismatch, T, C,
+              "rmw " + AccessId(T, C).str() + " of " + loc::str(L) +
+                  " observed source " + AccessId::unpack(Actual).str() +
+                  " but the recording promised " +
+                  AccessId::unpack(Expected).str());
       return;
     }
     M.LastWrite.store(AccessId(T, C).pack());
@@ -256,8 +296,9 @@ void ReplayDirector::onRmw(ThreadId T, LocationId L, LocMeta &M,
     return;
   case AccessClass::Blind:
   case AccessClass::Unknown:
-    diverge("rmw " + AccessId(T, C).str() + " of " + loc::str(L) +
-            " missing from the recording");
+    diverge(DivergenceCause::MissingRmw, T, C,
+            "rmw " + AccessId(T, C).str() + " of " + loc::str(L) +
+                " missing from the recording");
     return;
   }
 }

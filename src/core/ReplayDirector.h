@@ -35,6 +35,38 @@
 
 namespace light {
 
+/// Why a replay run diverged from the recorded schedule. Every divergence
+/// the director can detect has a distinct cause, so callers (and the
+/// crashtest harness) can react structurally instead of parsing messages.
+enum class DivergenceCause {
+  None,               ///< no divergence
+  WrongTurn,          ///< cooperative gated access arrived out of turn
+  SkippedTurn,        ///< real-thread gate woke past its own turn
+  GateTimeout,        ///< watchdog expired waiting for the turn
+  ReadSourceMismatch, ///< validated read/rmw observed the wrong write
+  UnknownRead,        ///< unrecorded read under validation
+  UnknownWrite,       ///< write the schedule cannot classify
+  MissingRmw,         ///< rmw missing from the recording
+};
+
+/// Printable name of a DivergenceCause ("wrong-turn", "gate-timeout"...).
+std::string divergenceCauseStr(DivergenceCause Cause);
+
+/// Structured divergence report: the cause, where it happened, and the
+/// human-readable message the director previously reported alone.
+struct DivergenceInfo {
+  DivergenceCause Cause = DivergenceCause::None;
+  ThreadId Thread = 0;  ///< diverging thread
+  Counter Count = 0;    ///< its access counter at divergence (0 if n/a)
+  uint32_t Turn = 0;    ///< schedule turn at divergence
+  std::string Message;
+
+  bool diverged() const { return Cause != DivergenceCause::None; }
+
+  /// "[cause] message" (empty when no divergence).
+  std::string str() const;
+};
+
 /// Replay statistics surfaced to tests and benches (a point-in-time
 /// snapshot; the director maintains them as relaxed atomics).
 struct ReplayStats {
@@ -70,8 +102,11 @@ public:
   AccessId currentTurn() const override;
   bool failed() const override { return Diverged.load(); }
 
-  /// Divergence diagnostics.
-  const std::string &divergence() const { return Error; }
+  /// Divergence diagnostics (the human-readable message).
+  const std::string &divergence() const { return Info.Message; }
+
+  /// Structured divergence diagnostics; Cause is None while !failed().
+  const DivergenceInfo &divergenceInfo() const { return Info; }
 
   /// True when every turn in the schedule has executed.
   bool complete() const;
@@ -91,7 +126,7 @@ private:
   PerThreadCounters Counters;
   std::atomic<uint32_t> Turn{0};
   std::atomic<bool> Diverged{false};
-  std::string Error;
+  DivergenceInfo Info;
 
   mutable std::mutex GateM;
   std::condition_variable GateCv;
@@ -115,7 +150,8 @@ private:
   /// Returns false on divergence/timeout.
   bool waitForTurn(uint32_t TurnIdx, ThreadId T);
   void advanceTurn();
-  void diverge(const std::string &Message);
+  void diverge(DivergenceCause Cause, ThreadId T, Counter C,
+               const std::string &Message);
   void bumpStat(std::atomic<uint64_t> AtomicStats::*Field) {
     (Stats.*Field).fetch_add(1, std::memory_order_relaxed);
   }

@@ -15,7 +15,8 @@
 using namespace light;
 
 ReplaySchedule ReplaySchedule::build(const RecordingLog &Log,
-                                     smt::SolverEngine Engine) {
+                                     smt::SolverEngine Engine,
+                                     smt::SolverLimits Limits) {
   ReplaySchedule RS;
 
   ScheduleProblem P = [&] {
@@ -28,9 +29,12 @@ ReplaySchedule ReplaySchedule::build(const RecordingLog &Log,
   obs::Registry &Reg = obs::Registry::global();
   Reg.counter("schedule.order_vars").add(P.System.numVars());
   Reg.counter("schedule.clauses").add(P.System.clauses().size());
-  RS.Stats = smt::solveOrder(P.System, Engine);
+  RS.Stats = smt::solveOrder(P.System, Engine, Limits);
   if (!RS.Stats.sat()) {
-    RS.Error = "replay constraint system unsatisfiable (malformed log?)";
+    RS.Error = RS.Stats.failed()
+                   ? "schedule solve failed (" + RS.Stats.failReasonStr() +
+                         "): " + RS.Stats.Message
+                   : "replay constraint system unsatisfiable (malformed log?)";
     return RS;
   }
   RS.Satisfiable = true;

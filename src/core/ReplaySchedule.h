@@ -50,11 +50,15 @@ enum class AccessClass : uint8_t {
 /// A solved, executable replay schedule.
 class ReplaySchedule {
 public:
-  /// Builds the constraint system for \p Log, solves it with \p Engine, and
-  /// assembles the schedule. Fails (ok() == false) only if the system is
-  /// unsatisfiable, which Lemma 4.1 rules out for well-formed logs.
+  /// Builds the constraint system for \p Log, solves it with \p Engine
+  /// under \p Limits (falling back to the other engine once on
+  /// timeout/error, see smt::solveOrder), and assembles the schedule. Fails
+  /// (ok() == false) if the system is unsatisfiable — which Lemma 4.1 rules
+  /// out for well-formed logs — or if both solver engines gave up;
+  /// solveStats() distinguishes the two.
   static ReplaySchedule build(const RecordingLog &Log,
-                              smt::SolverEngine Engine = smt::SolverEngine::Idl);
+                              smt::SolverEngine Engine = smt::SolverEngine::Idl,
+                              smt::SolverLimits Limits = {});
 
   bool ok() const { return Satisfiable; }
   const std::string &error() const { return Error; }

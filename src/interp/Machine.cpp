@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -132,10 +133,25 @@ void Machine::bug(ThreadCtx &C, BugReport::Kind K, const Instr &I,
     Pending.BugId = I.Imm;
 }
 
+bool Machine::injectThreadCrash(ThreadCtx &C) {
+  if (!fault::Injector::global().shouldFire("interp.thread_crash"))
+    return false;
+  // Simulated thread death mid-run: surface it as a runtime-error report
+  // (never an application bug, so bug-hunting harnesses ignore it) and stop
+  // the machine, like an uncaught exception killing the run.
+  static const mir::Instr CrashSite;
+  bug(C, BugReport::Kind::RuntimeError, CrashSite, Value(),
+      "injected fault: interp.thread_crash on thread " +
+          std::to_string(C.Id));
+  return true;
+}
+
 Value Machine::readLoc(ThreadCtx &C, LocationId L, bool Shared,
                        FunctionRef<Value()> Load) {
   if (!Shared)
     return Load();
+  if (injectThreadCrash(C))
+    return Value();
   ++SharedAccessCount;
   Value V;
   Hook->onRead(C.Id, L, Meta.get(L), [&] { V = Load(); });
@@ -148,6 +164,8 @@ void Machine::writeLoc(ThreadCtx &C, LocationId L, bool Shared,
     Store();
     return;
   }
+  if (injectThreadCrash(C))
+    return;
   ++SharedAccessCount;
   Hook->onWrite(C.Id, L, Meta.get(L), Store);
 }
@@ -903,8 +921,18 @@ RunResult Machine::runReplay(TurnSource &Turns, uint64_t MaxInstructions) {
       continue;
     }
 
-    if (Turn.Thread >= Threads.size())
-      return Diverge("turn thread has not been spawned");
+    if (Turn.Thread >= Threads.size()) {
+      // A salvaged prefix log can gate a thread whose spawning ghost
+      // accesses were lost with the torn tail: the spawn is beyond some
+      // surviving thread's horizon and happens freely, so run the
+      // existing threads forward until it does. Diverge only when nothing
+      // can make progress (a genuinely infeasible schedule).
+      std::vector<ThreadId> Runnable = runnableThreads();
+      if (Runnable.empty())
+        return Diverge("turn thread has not been spawned");
+      stepThread(ctx(Runnable[0]));
+      continue;
+    }
     ThreadCtx &C = ctx(Turn.Thread);
     if (C.St == TStatus::Finished)
       return Diverge("turn thread already finished");

@@ -225,6 +225,11 @@ private:
   void writeLoc(ThreadCtx &C, LocationId L, bool Shared,
                 FunctionRef<void()> Store);
 
+  /// Fires the interp.thread_crash fault site (if armed): reports a
+  /// RuntimeError bug simulating the thread dying mid-access and returns
+  /// true; the access must then be skipped.
+  bool injectThreadCrash(ThreadCtx &C);
+
   void bug(ThreadCtx &C, BugReport::Kind K, const mir::Instr &I,
            mir::Value Illegal, std::string Detail);
 

@@ -7,6 +7,7 @@
 #include "smt/IdlSolver.h"
 
 #include "obs/Trace.h"
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -35,6 +36,7 @@ inline Lit negate(Lit L) { return L ^ 1; }
 
 struct IdlSolver::Impl {
   const OrderSystem &Sys;
+  SolverLimits Limits;
 
   struct IAtom {
     Var U, V;
@@ -91,7 +93,12 @@ struct IdlSolver::Impl {
 
   SolveResult Result;
 
-  explicit Impl(const OrderSystem &S) : Sys(S) {
+  /// Sampled wall-clock probing: reading the clock on every decision would
+  /// dominate small solves, so the budget check only consults the clock on
+  /// 1/256 of probes (plus every conflict, which is already expensive).
+  uint32_t BudgetProbe = 0;
+
+  explicit Impl(const OrderSystem &S, SolverLimits L) : Sys(S), Limits(L) {
     Adj.resize(Sys.numVars());
     Pot.assign(Sys.numVars(), 0);
     ParentFrom.assign(Sys.numVars(), 0);
@@ -285,8 +292,38 @@ struct IdlSolver::Impl {
     return R;
   }
 
+  /// Checks the solve budget (conflict count always, wall clock on a 1/256
+  /// sampled cadence). On exhaustion fills the Timeout outcome and returns
+  /// true; the search must stop without a verdict.
+  bool overBudget(Stopwatch &Timer) {
+    if (Limits.MaxConflicts && Result.Conflicts >= Limits.MaxConflicts) {
+      Result.Outcome = SolveResult::Status::Timeout;
+      Result.Reason = SolveResult::FailReason::ConflictBudget;
+      Result.Message = "conflict budget of " +
+                       std::to_string(Limits.MaxConflicts) + " exhausted";
+      return true;
+    }
+    if (Limits.WallSeconds > 0 && (++BudgetProbe & 255) == 0 &&
+        Timer.seconds() > Limits.WallSeconds) {
+      Result.Outcome = SolveResult::Status::Timeout;
+      Result.Reason = SolveResult::FailReason::WallClock;
+      Result.Message = "wall-clock budget of " +
+                       std::to_string(Limits.WallSeconds) + "s exhausted";
+      return true;
+    }
+    return false;
+  }
+
   SolveResult runInner() {
     Stopwatch Timer;
+
+    if (fault::Injector::global().shouldFire("solver.timeout")) {
+      Result.Outcome = SolveResult::Status::Timeout;
+      Result.Reason = SolveResult::FailReason::WallClock;
+      Result.Message = "injected fault: solver.timeout";
+      Result.SolveSeconds = Timer.seconds();
+      return Result;
+    }
 
     // Assert all unit input clauses up front.
     std::vector<Lit> ConflictLits;
@@ -305,6 +342,10 @@ struct IdlSolver::Impl {
 
     size_t CI = 0;
     while (CI < Clauses.size()) {
+      if (!Limits.unlimited() && overBudget(Timer)) {
+        Result.SolveSeconds = Timer.seconds();
+        return Result;
+      }
       const IClause &C = Clauses[CI];
       bool Satisfied = false;
       Lit Choice = 0;
@@ -391,14 +432,15 @@ struct IdlSolver::Impl {
   }
 };
 
-IdlSolver::IdlSolver(const OrderSystem &System)
-    : I(std::make_unique<Impl>(System)) {}
+IdlSolver::IdlSolver(const OrderSystem &System, SolverLimits Limits)
+    : I(std::make_unique<Impl>(System, Limits)) {}
 
 IdlSolver::~IdlSolver() = default;
 
 SolveResult IdlSolver::solve() { return I->run(); }
 
-SolveResult light::smt::solveWithIdl(const OrderSystem &System) {
-  IdlSolver Solver(System);
+SolveResult light::smt::solveWithIdl(const OrderSystem &System,
+                                     SolverLimits Limits) {
+  IdlSolver Solver(System, Limits);
   return Solver.solve();
 }

@@ -37,7 +37,9 @@ class IdlSolver {
   std::unique_ptr<Impl> I;
 
 public:
-  explicit IdlSolver(const OrderSystem &System);
+  /// \p Limits bounds the search; an exhausted budget yields
+  /// Status::Timeout with the structured reason, never a wrong verdict.
+  explicit IdlSolver(const OrderSystem &System, SolverLimits Limits = {});
   ~IdlSolver();
 
   IdlSolver(const IdlSolver &) = delete;
@@ -49,7 +51,7 @@ public:
 };
 
 /// Convenience wrapper: construct, solve, return.
-SolveResult solveWithIdl(const OrderSystem &System);
+SolveResult solveWithIdl(const OrderSystem &System, SolverLimits Limits = {});
 
 } // namespace smt
 } // namespace light

@@ -60,6 +60,22 @@ std::string OrderSystem::str() const {
   return Out;
 }
 
+std::string SolveResult::failReasonStr() const {
+  switch (Reason) {
+  case FailReason::None:
+    return "none";
+  case FailReason::WallClock:
+    return "wall-clock";
+  case FailReason::ConflictBudget:
+    return "conflict-budget";
+  case FailReason::EngineUnavailable:
+    return "engine-unavailable";
+  case FailReason::EngineError:
+    return "engine-error";
+  }
+  return "unknown";
+}
+
 std::vector<std::pair<std::string, double>>
 light::smt::solveStatEntries(const SolveResult &R) {
   return {
@@ -78,7 +94,10 @@ void light::smt::publishSolveStats(const SolveResult &R) {
   Reg.counter("solver.propagations").add(R.Propagations);
   Reg.counter("solver.conflicts").add(R.Conflicts);
   Reg.counter("solver.cycle_checks").add(R.CycleChecks);
-  Reg.counter(R.sat() ? "solver.sat" : "solver.unsat").add(1);
+  Reg.counter(R.sat() ? "solver.sat"
+              : R.failed() ? "solver.failed"
+                           : "solver.unsat")
+      .add(1);
   Reg.histogram("solver.solve_ns")
       .record(static_cast<uint64_t>(R.SolveSeconds * 1e9));
 }

@@ -88,9 +88,39 @@ public:
   std::string str() const;
 };
 
+/// Resource budget for one solve call. Zero fields mean unlimited; an
+/// exhausted budget yields Status::Timeout, never a wrong verdict.
+struct SolverLimits {
+  /// Wall-clock budget in seconds (checked on a sampled cadence inside the
+  /// search, so slight overshoot is possible).
+  double WallSeconds = 0;
+
+  /// Conflict budget: the search gives up after this many conflicts.
+  uint64_t MaxConflicts = 0;
+
+  bool unlimited() const { return WallSeconds <= 0 && MaxConflicts == 0; }
+};
+
 /// Solver verdict plus model and statistics.
 struct SolveResult {
-  enum class Status { Sat, Unsat } Outcome = Status::Unsat;
+  /// Sat/Unsat are definitive verdicts. Timeout means a budget
+  /// (SolverLimits) was exhausted before a verdict; Error means the engine
+  /// itself failed (unavailable backend, internal exception). Neither
+  /// failure outcome says anything about satisfiability.
+  enum class Status { Sat, Unsat, Timeout, Error } Outcome = Status::Unsat;
+
+  /// Structured cause for Timeout/Error outcomes.
+  enum class FailReason {
+    None,              ///< Sat or Unsat
+    WallClock,         ///< SolverLimits::WallSeconds exhausted
+    ConflictBudget,    ///< SolverLimits::MaxConflicts exhausted
+    EngineUnavailable, ///< the requested backend cannot run at all
+    EngineError,       ///< the backend threw / reported an internal error
+  };
+  FailReason Reason = FailReason::None;
+
+  /// Human-readable diagnostic; set for Timeout/Error outcomes.
+  std::string Message;
 
   /// Model: one integer per variable (valid when Outcome == Sat).
   std::vector<int64_t> Values;
@@ -106,6 +136,14 @@ struct SolveResult {
   double SolveSeconds = 0;
 
   bool sat() const { return Outcome == Status::Sat; }
+
+  /// True when no verdict was reached (Timeout or Error).
+  bool failed() const {
+    return Outcome == Status::Timeout || Outcome == Status::Error;
+  }
+
+  /// Short name of the failure cause ("wall-clock", "conflict-budget"...).
+  std::string failReasonStr() const;
 };
 
 /// The canonical (name, value) statistics of one solve, with the metric

@@ -6,8 +6,10 @@
 
 #include "smt/Z3Backend.h"
 
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "smt/IdlSolver.h"
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <z3++.h>
@@ -15,49 +17,106 @@
 using namespace light;
 using namespace light::smt;
 
-SolveResult light::smt::solveWithZ3(const OrderSystem &System) {
+SolveResult light::smt::solveWithZ3(const OrderSystem &System,
+                                    SolverLimits Limits) {
   obs::TraceSpan Span("solver.solve.z3", "solver");
   Stopwatch Timer;
   SolveResult Result;
 
-  z3::context Ctx;
-  z3::solver Solver(Ctx, "QF_IDL");
-
-  std::vector<z3::expr> Vars;
-  Vars.reserve(System.numVars());
-  for (uint32_t I = 0; I < System.numVars(); ++I)
-    Vars.push_back(Ctx.int_const(("o" + std::to_string(I)).c_str()));
-
-  for (const Clause &C : System.clauses()) {
-    z3::expr_vector Disjuncts(Ctx);
-    for (const Atom &A : C)
-      Disjuncts.push_back(Vars[A.U] - Vars[A.V] <=
-                          Ctx.int_val(static_cast<int64_t>(A.K)));
-    Solver.add(z3::mk_or(Disjuncts));
-  }
-
-  if (Solver.check() != z3::sat) {
-    Result.Outcome = SolveResult::Status::Unsat;
-    Result.SolveSeconds = Timer.seconds();
+  if (fault::Injector::global().shouldFire("solver.z3_unavailable")) {
+    Result.Outcome = SolveResult::Status::Error;
+    Result.Reason = SolveResult::FailReason::EngineUnavailable;
+    Result.Message = "injected fault: solver.z3_unavailable";
     publishSolveStats(Result);
     return Result;
   }
 
-  z3::model Model = Solver.get_model();
-  Result.Outcome = SolveResult::Status::Sat;
-  Result.Values.resize(System.numVars(), 0);
-  for (uint32_t I = 0; I < System.numVars(); ++I) {
-    z3::expr Value = Model.eval(Vars[I], /*model_completion=*/true);
-    Result.Values[I] = Value.get_numeral_int64();
+  try {
+    z3::context Ctx;
+    z3::solver Solver(Ctx, "QF_IDL");
+    if (Limits.WallSeconds > 0) {
+      z3::params Params(Ctx);
+      Params.set("timeout",
+                 static_cast<unsigned>(Limits.WallSeconds * 1000.0));
+      Solver.set(Params);
+    }
+
+    std::vector<z3::expr> Vars;
+    Vars.reserve(System.numVars());
+    for (uint32_t I = 0; I < System.numVars(); ++I)
+      Vars.push_back(Ctx.int_const(("o" + std::to_string(I)).c_str()));
+
+    for (const Clause &C : System.clauses()) {
+      z3::expr_vector Disjuncts(Ctx);
+      for (const Atom &A : C)
+        Disjuncts.push_back(Vars[A.U] - Vars[A.V] <=
+                            Ctx.int_val(static_cast<int64_t>(A.K)));
+      Solver.add(z3::mk_or(Disjuncts));
+    }
+
+    z3::check_result Verdict = Solver.check();
+    if (Verdict == z3::unknown) {
+      // Z3 reports budget exhaustion (and any internal give-up) as unknown.
+      Result.Outcome = SolveResult::Status::Timeout;
+      Result.Reason = SolveResult::FailReason::WallClock;
+      Result.Message = "z3 gave up: " + Solver.reason_unknown();
+      Result.SolveSeconds = Timer.seconds();
+      publishSolveStats(Result);
+      return Result;
+    }
+    if (Verdict != z3::sat) {
+      Result.Outcome = SolveResult::Status::Unsat;
+      Result.SolveSeconds = Timer.seconds();
+      publishSolveStats(Result);
+      return Result;
+    }
+
+    z3::model Model = Solver.get_model();
+    Result.Outcome = SolveResult::Status::Sat;
+    Result.Values.resize(System.numVars(), 0);
+    for (uint32_t I = 0; I < System.numVars(); ++I) {
+      z3::expr Value = Model.eval(Vars[I], /*model_completion=*/true);
+      Result.Values[I] = Value.get_numeral_int64();
+    }
+    Result.SolveSeconds = Timer.seconds();
+    publishSolveStats(Result);
+    return Result;
+  } catch (const z3::exception &E) {
+    Result.Outcome = SolveResult::Status::Error;
+    Result.Reason = SolveResult::FailReason::EngineError;
+    Result.Message = std::string("z3 exception: ") + E.msg();
+    Result.Values.clear();
+    Result.SolveSeconds = Timer.seconds();
+    publishSolveStats(Result);
+    return Result;
   }
-  Result.SolveSeconds = Timer.seconds();
-  publishSolveStats(Result);
-  return Result;
 }
 
 SolveResult light::smt::solveOrder(const OrderSystem &System,
-                                   SolverEngine Engine) {
-  if (Engine == SolverEngine::Z3)
-    return solveWithZ3(System);
-  return solveWithIdl(System);
+                                   SolverEngine Engine, SolverLimits Limits) {
+  auto Run = [&](SolverEngine E) {
+    return E == SolverEngine::Z3 ? solveWithZ3(System, Limits)
+                                 : solveWithIdl(System, Limits);
+  };
+  SolveResult First = Run(Engine);
+  if (!First.failed())
+    return First;
+
+  // Graceful degradation: one bounded retry on the other engine. Both
+  // engines implement identical semantics over the same fragment, so any
+  // definitive verdict from the fallback is as good as the original.
+  SolverEngine Other =
+      Engine == SolverEngine::Z3 ? SolverEngine::Idl : SolverEngine::Z3;
+  obs::Registry::global().counter("solver.fallbacks").add(1);
+  SolveResult Second = Run(Other);
+  if (!Second.failed())
+    return Second;
+  Second.Message = "both engines failed: [" +
+                   (First.Message.empty() ? First.failReasonStr()
+                                          : First.Message) +
+                   "] then [" +
+                   (Second.Message.empty() ? Second.failReasonStr()
+                                           : Second.Message) +
+                   "]";
+  return Second;
 }

@@ -12,6 +12,12 @@
 /// (a) mirror the paper's setup and (b) differentially validate IdlSolver
 /// in the test suite.
 ///
+/// solveOrder() adds graceful degradation between the engines: when the
+/// requested engine times out or errors (including the injected
+/// solver.timeout / solver.z3_unavailable faults), the other engine is
+/// retried once under the same limits, bumping the solver.fallbacks
+/// counter. Only when both fail does the failure reach the caller.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIGHT_SMT_Z3BACKEND_H
@@ -22,14 +28,19 @@
 namespace light {
 namespace smt {
 
-/// Solves \p System with Z3. Semantics identical to solveWithIdl.
-SolveResult solveWithZ3(const OrderSystem &System);
+/// Solves \p System with Z3. Semantics identical to solveWithIdl: a budget
+/// in \p Limits maps onto Z3's own timeout, an exhausted budget or an
+/// engine failure comes back as Status::Timeout/Error with the structured
+/// reason.
+SolveResult solveWithZ3(const OrderSystem &System, SolverLimits Limits = {});
 
 /// Which engine a client wants schedules computed with.
 enum class SolverEngine { Idl, Z3 };
 
-/// Dispatches on \p Engine.
-SolveResult solveOrder(const OrderSystem &System, SolverEngine Engine);
+/// Dispatches on \p Engine. A Timeout/Error outcome triggers one bounded
+/// retry on the other engine (same limits) before the failure is returned.
+SolveResult solveOrder(const OrderSystem &System, SolverEngine Engine,
+                       SolverLimits Limits = {});
 
 } // namespace smt
 } // namespace light

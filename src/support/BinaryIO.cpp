@@ -6,16 +6,26 @@
 
 #include "support/BinaryIO.h"
 
+#include "support/FaultInjection.h"
+
 #include <atomic>
-#include <cassert>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <unistd.h>
 
 using namespace light;
 
 LongWriter::LongWriter(std::string PathIn, size_t FlushThresholdWords)
     : Path(std::move(PathIn)), FlushThreshold(FlushThresholdWords) {
-  File = std::fopen(Path.c_str(), "wb");
-  assert(File && "failed to open log file for writing");
+  File = fault::Injector::global().shouldFire("io.open_fail")
+             ? nullptr
+             : std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    Failed = true;
+    Err = "cannot open log '" + Path + "' for writing: " + std::strerror(errno);
+    return;
+  }
   if (FlushThreshold)
     Buffer.reserve(FlushThreshold);
 }
@@ -25,22 +35,41 @@ LongWriter::~LongWriter() {
     finish();
 }
 
-void LongWriter::flush() {
-  if (!File || Buffer.empty())
-    return;
-  size_t Wrote =
-      std::fwrite(Buffer.data(), sizeof(uint64_t), Buffer.size(), File);
-  (void)Wrote;
-  assert(Wrote == Buffer.size() && "short write while flushing log");
+bool LongWriter::flush() {
+  if (!File) {
+    Buffer.clear();
+    return !Failed;
+  }
+  if (Buffer.empty())
+    return true;
+  size_t ToWrite = Buffer.size();
+  if (fault::Injector::global().shouldFire("io.short_write"))
+    ToWrite /= 2;
+  size_t Wrote = std::fwrite(Buffer.data(), sizeof(uint64_t), ToWrite, File);
+  if (Wrote != Buffer.size()) {
+    Failed = true;
+    if (Err.empty())
+      Err = "short write while flushing log '" + Path +
+            "': " + std::strerror(errno);
+    Buffer.clear();
+    return false;
+  }
   std::fflush(File); // a flush must actually reach the OS
   Buffer.clear();
+  return true;
 }
 
 uint64_t LongWriter::finish() {
   if (File) {
     flush();
-    std::fclose(File);
+    std::FILE *F = File;
     File = nullptr;
+    bool CloseFault = fault::Injector::global().shouldFire("io.close_fail");
+    if (std::fclose(F) != 0 || CloseFault) {
+      Failed = true;
+      if (Err.empty())
+        Err = "cannot close log '" + Path + "': " + std::strerror(errno);
+    }
   }
   return Written;
 }
@@ -57,16 +86,14 @@ LongReader::LongReader(const std::string &Path) {
   std::fclose(File);
 }
 
-uint64_t LongReader::get() {
-  assert(Pos < Words.size() && "LongReader read past end of log");
-  return Words[Pos++];
-}
-
 std::string light::makeTempPath(const std::string &Stem) {
   static std::atomic<uint64_t> Serial{0};
   const char *Dir = std::getenv("TMPDIR");
   std::string Base = Dir ? Dir : "/tmp";
-  return Base + "/light-" + Stem + "-" +
+  // The PID keeps concurrent processes (forked crashtest children, parallel
+  // ctest shards) from racing to the same name; the serial separates calls
+  // within one process.
+  return Base + "/light-" + Stem + "-p" + std::to_string(::getpid()) + "-" +
          std::to_string(Serial.fetch_add(1, std::memory_order_relaxed)) +
          ".log";
 }

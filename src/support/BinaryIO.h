@@ -11,6 +11,14 @@
 /// (Section 5.2). LongWriter both serializes and counts those units so the
 /// space figures come directly from the bytes that actually hit the disk.
 ///
+/// I/O failures are propagated, not asserted: a writer that fails to open or
+/// suffers a short write reports it through ok()/error() (and keeps
+/// accepting puts, which are counted but dropped — the caller decides
+/// whether a lossy log is fatal), and a reader that is drained past its end
+/// reports overran() instead of invoking undefined behavior. The
+/// fault-injection sites io.open_fail, io.short_write, and io.close_fail
+/// (support/FaultInjection.h) exercise exactly these paths.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIGHT_SUPPORT_BINARYIO_H
@@ -33,17 +41,27 @@ class LongWriter {
   std::vector<uint64_t> Buffer;
   size_t FlushThreshold;
   uint64_t Written = 0;
+  bool Failed = false;
+  std::string Err;
 
 public:
   /// Opens \p Path for writing. \p FlushThresholdWords bounds the in-memory
-  /// buffer; 0 keeps everything buffered until finish().
+  /// buffer; 0 keeps everything buffered until finish(). A failed open is
+  /// reported through ok()/error(), not asserted.
   explicit LongWriter(std::string Path, size_t FlushThresholdWords = 1 << 16);
   ~LongWriter();
 
   LongWriter(const LongWriter &) = delete;
   LongWriter &operator=(const LongWriter &) = delete;
 
-  /// Appends one long-integer unit.
+  /// True while no open/write/close failure has occurred.
+  bool ok() const { return !Failed; }
+
+  /// Description of the first failure (empty while ok()).
+  const std::string &error() const { return Err; }
+
+  /// Appends one long-integer unit. Accepted (and counted) even after a
+  /// failure so space accounting stays meaningful; the words are dropped.
   void put(uint64_t Word) {
     Buffer.push_back(Word);
     ++Written;
@@ -51,10 +69,12 @@ public:
       flush();
   }
 
-  /// Forces buffered words to disk.
-  void flush();
+  /// Forces buffered words to disk. Returns false (and records the error)
+  /// on a short write or an earlier open failure.
+  bool flush();
 
-  /// Flushes and closes the file. Returns the total long-integer count.
+  /// Flushes and closes the file. Returns the total long-integer count;
+  /// check ok() to learn whether all of them actually reached the disk.
   uint64_t finish();
 
   /// Total long-integer units written so far (including buffered ones).
@@ -74,14 +94,28 @@ public:
   bool atEnd() const { return Pos >= Words.size(); }
   size_t size() const { return Words.size(); }
 
-  /// Returns the next word; must not be called at end.
-  uint64_t get();
+  /// Returns the next word. Reading past the end returns 0 and latches
+  /// overran() — a checked error, not UB; parsers test it once at the end
+  /// instead of guarding every get().
+  uint64_t get() {
+    if (Pos >= Words.size()) {
+      Overran = true;
+      return 0;
+    }
+    return Words[Pos++];
+  }
+
+  /// True once any get() was issued past the end of the data.
+  bool overran() const { return Overran; }
 
 private:
   bool Loaded = false;
+  bool Overran = false;
 };
 
-/// Returns a fresh unique path under the system temporary directory.
+/// Returns a fresh unique path under the system temporary directory. Unique
+/// across concurrent processes: the name mixes in the PID alongside the
+/// per-process serial.
 std::string makeTempPath(const std::string &Stem);
 
 } // namespace light

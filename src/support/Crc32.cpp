@@ -1,0 +1,33 @@
+//===- support/Crc32.cpp - CRC32C checksums for durable logs --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32.h"
+
+namespace {
+
+struct Crc32cTable {
+  uint32_t T[256];
+  constexpr Crc32cTable() : T{} {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? (0x82f63b78u ^ (C >> 1)) : (C >> 1);
+      T[I] = C;
+    }
+  }
+};
+
+constexpr Crc32cTable Table;
+
+} // namespace
+
+uint32_t light::crc32c(const void *Data, size_t Len, uint32_t Seed) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I < Len; ++I)
+    C = Table.T[(C ^ P[I]) & 0xff] ^ (C >> 8);
+  return ~C;
+}

@@ -1,0 +1,31 @@
+//===- support/Crc32.h - CRC32C checksums for durable logs ------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over byte
+/// ranges. Every LIGHT002 log segment carries one of these so a torn tail or
+/// a flipped bit is detected at load time instead of silently corrupting the
+/// replay schedule. Software table implementation — checksums are computed
+/// once per epoch segment, far off the recording hot path, so there is no
+/// need for hardware CRC instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_CRC32_H
+#define LIGHT_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace light {
+
+/// CRC32C of \p Len bytes at \p Data, continuing from \p Seed (pass the
+/// previous return value to checksum a range in chunks; 0 starts fresh).
+uint32_t crc32c(const void *Data, size_t Len, uint32_t Seed = 0);
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_CRC32_H

@@ -1,0 +1,177 @@
+//===- support/DurableLog.cpp - Checksummed segmented log files -----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DurableLog.h"
+
+#include "support/Crc32.h"
+#include "support/FaultInjection.h"
+
+#include <cerrno>
+#include <cstring>
+
+using namespace light;
+
+void DurableLogWriter::fail(const std::string &What) {
+  Ok = false;
+  // errno is 0 when the failure was injected rather than real.
+  if (Err.empty())
+    Err = What + " '" + Path + "'" +
+          (errno ? std::string(": ") + std::strerror(errno) : std::string());
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+DurableLogWriter::DurableLogWriter(std::string PathIn)
+    : Path(std::move(PathIn)) {
+  fault::Injector &Faults = fault::Injector::global();
+  File = Faults.shouldFire("io.open_fail") ? nullptr
+                                           : std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    fail("cannot open durable log");
+    return;
+  }
+  Ok = true;
+  uint64_t Magic = DurableFileMagic;
+  if (std::fwrite(&Magic, sizeof(Magic), 1, File) != 1) {
+    fail("cannot write durable log header to");
+    return;
+  }
+  std::fflush(File);
+  ++Words;
+}
+
+DurableLogWriter::~DurableLogWriter() {
+  if (File)
+    abandon();
+}
+
+bool DurableLogWriter::writeSegment(const uint64_t *Payload, size_t N) {
+  if (Dead)
+    return true; // the simulated-killed process "keeps writing" into the void
+  if (!Ok)
+    return false;
+
+  uint64_t Frame[3] = {DurableSegmentMagic, N,
+                       (Segments << 32) |
+                           crc32c(Payload, N * sizeof(uint64_t))};
+
+  fault::Injector &Faults = fault::Injector::global();
+  if (Faults.shouldFire("log.crash_at_epoch")) {
+    // Simulated hard kill mid-write: a few bytes of the segment reach the
+    // disk, then the "process" is gone — later writes are silently lost.
+    size_t TornBytes = Faults.param("log.torn_bytes", 12);
+    size_t FrameBytes = TornBytes < sizeof(Frame) ? TornBytes : sizeof(Frame);
+    std::fwrite(Frame, 1, FrameBytes, File);
+    if (TornBytes > sizeof(Frame))
+      std::fwrite(Payload, 1, TornBytes - sizeof(Frame), File);
+    std::fflush(File);
+    Dead = true;
+    return true;
+  }
+
+  bool Short = Faults.shouldFire("io.short_write");
+  if (std::fwrite(Frame, sizeof(uint64_t), 3, File) != 3) {
+    fail("short write to durable log");
+    return false;
+  }
+  size_t ToWrite = Short ? N / 2 : N;
+  // The clean-close marker has no payload; fwrite requires non-null even
+  // for zero items.
+  size_t Wrote =
+      ToWrite ? std::fwrite(Payload, sizeof(uint64_t), ToWrite, File) : 0;
+  if (Short || Wrote != N) {
+    std::fflush(File);
+    fail("short write to durable log");
+    return false;
+  }
+  std::fflush(File);
+  Words += 3 + N;
+  ++Segments;
+  return true;
+}
+
+bool DurableLogWriter::closeClean() {
+  if (Dead) {
+    abandon();
+    return true;
+  }
+  if (!Ok)
+    return false;
+  if (!writeSegment(nullptr, 0))
+    return false;
+  std::FILE *F = File;
+  File = nullptr;
+  bool CloseFailed = fault::Injector::global().shouldFire("io.close_fail");
+  if (std::fclose(F) != 0 || CloseFailed) {
+    Ok = false;
+    if (Err.empty())
+      Err = "cannot close durable log '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+void DurableLogWriter::abandon() {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+SegmentScan light::scanDurableLog(const std::string &Path) {
+  SegmentScan Out;
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Out.Error = "cannot open '" + Path + "'";
+    return Out;
+  }
+  // fread with 8-byte items drops a torn trailing partial word on its own.
+  std::vector<uint64_t> W;
+  uint64_t Chunk[4096];
+  size_t Got;
+  while ((Got = std::fread(Chunk, sizeof(uint64_t), 4096, File)) > 0)
+    W.insert(W.end(), Chunk, Chunk + Got);
+  std::fclose(File);
+
+  if (W.empty() || W[0] != DurableFileMagic) {
+    Out.Error = "'" + Path + "' is not a LIGHT002 durable log";
+    return Out;
+  }
+  Out.HeaderOk = true;
+
+  size_t Pos = 1;
+  while (Pos < W.size()) {
+    size_t Remaining = W.size() - Pos;
+    bool SawCompleteSegment = false;
+    if (Remaining >= 3 && W[Pos] == DurableSegmentMagic) {
+      uint64_t N = W[Pos + 1];
+      uint64_t Meta = W[Pos + 2];
+      uint64_t Seq = Meta >> 32;
+      uint32_t Crc = static_cast<uint32_t>(Meta);
+      if (N <= Remaining - 3 && Seq == Out.Segments.size() &&
+          crc32c(W.data() + Pos + 3, N * sizeof(uint64_t)) == Crc) {
+        if (N == 0 && Pos + 3 == W.size()) {
+          // Trailing clean-close marker.
+          Out.Clean = true;
+          return Out;
+        }
+        Out.Segments.emplace_back(W.begin() + Pos + 3,
+                                  W.begin() + Pos + 3 + N);
+        Pos += 3 + N;
+        SawCompleteSegment = true;
+      }
+    }
+    if (!SawCompleteSegment) {
+      // Torn or corrupt tail: cut it, keep the validated prefix.
+      Out.SegmentsDropped = 1;
+      Out.WordsDropped = W.size() - Pos;
+      return Out;
+    }
+  }
+  return Out;
+}

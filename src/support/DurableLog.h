@@ -1,0 +1,131 @@
+//===- support/DurableLog.h - Checksummed segmented log files ---*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LIGHT002 on-disk container: a fixed header word followed by
+/// length-framed, CRC32C-checksummed segments of 64-bit words. The recorder
+/// appends one segment per epoch (and flushes it to the OS immediately), so
+/// a process that is SIGKILL'd or crashes mid-run leaves a file whose valid
+/// prefix is exactly the epochs that completed — scanDurableLog() recovers
+/// that prefix and reports how much of the tail was torn.
+///
+/// Layout (all 64-bit little-endian words):
+///
+///   word 0:            file magic "LIGHT002"
+///   per segment:       [segment magic "LSEGMENT"]
+///                      [N = payload word count]
+///                      [meta = (sequence number << 32) | CRC32C(payload)]
+///                      [N payload words]
+///   clean close:       a zero-payload segment (N == 0) written by
+///                      closeClean(); its absence marks a crashed producer.
+///
+/// The segment payload is opaque at this layer; trace/RecordingLog defines
+/// the section encoding it stores inside.
+///
+/// Fault-injection sites honored here (support/FaultInjection.h):
+///   io.open_fail        constructor fails as if open(2) did
+///   io.short_write      a segment write is torn mid-way and reports failure
+///   io.close_fail       closeClean() fails as if fclose(3) did
+///   log.crash_at_epoch  the Nth writeSegment() simulates a hard kill: a few
+///                       torn bytes of the segment reach the disk
+///                       (log.torn_bytes, default 12) and every later write
+///                       is silently lost, exactly like SIGKILL
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_DURABLELOG_H
+#define LIGHT_SUPPORT_DURABLELOG_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace light {
+
+/// Magic words of the LIGHT002 container.
+constexpr uint64_t DurableFileMagic = 0x4c49474854303032ull;    // "LIGHT002"
+constexpr uint64_t DurableSegmentMagic = 0x4c5345474d454e54ull; // "LSEGMENT"
+
+/// Appends checksummed segments to a log file, flushing each one to the OS
+/// so completed epochs survive the producer's death.
+class DurableLogWriter {
+public:
+  /// Opens \p Path and writes the file header.
+  explicit DurableLogWriter(std::string Path);
+  ~DurableLogWriter();
+
+  DurableLogWriter(const DurableLogWriter &) = delete;
+  DurableLogWriter &operator=(const DurableLogWriter &) = delete;
+
+  bool ok() const { return Ok; }
+  const std::string &error() const { return Err; }
+  const std::string &path() const { return Path; }
+
+  /// Appends one framed, checksummed segment and flushes it. Returns false
+  /// on I/O failure (error() describes it). After a simulated hard kill
+  /// (log.crash_at_epoch) the call returns true but the data is lost, just
+  /// as a real SIGKILL would lose it.
+  bool writeSegment(const uint64_t *Words, size_t N);
+  bool writeSegment(const std::vector<uint64_t> &Words) {
+    return writeSegment(Words.data(), Words.size());
+  }
+
+  /// Writes the clean-close marker segment and closes the file. Returns
+  /// false on failure.
+  bool closeClean();
+
+  /// Closes the file without the clean-close marker — the error/crash path.
+  void abandon();
+
+  /// Segments durably written (excludes anything after a simulated kill).
+  uint64_t segmentsWritten() const { return Segments; }
+
+  /// Total words written including framing.
+  uint64_t wordsWritten() const { return Words; }
+
+  /// True once a log.crash_at_epoch fault has fired on this writer.
+  bool crashed() const { return Dead; }
+
+private:
+  std::string Path;
+  std::FILE *File = nullptr;
+  bool Ok = false;
+  bool Dead = false;
+  std::string Err;
+  uint64_t Segments = 0;
+  uint64_t Words = 0;
+
+  void fail(const std::string &What);
+};
+
+/// Result of scanning a LIGHT002 file: the longest valid segment prefix.
+struct SegmentScan {
+  bool HeaderOk = false; ///< file opened and carried the LIGHT002 magic
+  bool Clean = false;    ///< trailing clean-close marker present, no tail
+  std::vector<std::vector<uint64_t>> Segments; ///< valid payloads, in order
+  uint64_t SegmentsDropped = 0; ///< 1 when a torn/corrupt tail was cut
+  uint64_t WordsDropped = 0;    ///< words discarded with the tail
+  std::string Error;            ///< empty unless HeaderOk is false
+
+  /// Total payload words recovered.
+  uint64_t wordsRecovered() const {
+    uint64_t N = 0;
+    for (const auto &S : Segments)
+      N += S.size();
+    return N;
+  }
+};
+
+/// Scans \p Path, validating framing, sequence numbers, and checksums.
+/// Stops at the first invalid segment: everything before it is returned as
+/// the recovered prefix, everything from it on is counted as dropped. Never
+/// fails on corrupt input — corruption just shortens the prefix.
+SegmentScan scanDurableLog(const std::string &Path);
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_DURABLELOG_H

@@ -1,0 +1,181 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "obs/Metrics.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+using namespace light;
+using namespace light::fault;
+
+namespace {
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+struct Injector::Impl {
+  enum class Mode { Always, Nth, FromNth, Prob };
+
+  struct Rule {
+    std::string Site;
+    Mode How = Mode::Always;
+    uint64_t N = 0;      ///< hit threshold for Nth/FromNth; raw param value
+    double P = 0;        ///< probability for Prob
+    uint64_t Hits = 0;
+    uint64_t Fires = 0;
+    obs::Counter FiredMetric; ///< fault.injected.<site>
+  };
+
+  std::mutex M;
+  std::vector<Rule> Rules;
+  uint64_t RngState = 0x5eedfau;
+  uint64_t TotalFires = 0;
+
+  Rule *find(std::string_view Site) {
+    for (Rule &R : Rules)
+      if (R.Site == Site)
+        return &R;
+    return nullptr;
+  }
+};
+
+Injector::Injector() : I(new Impl) {}
+Injector::~Injector() { delete I; }
+
+Injector &Injector::global() {
+  static Injector *G = [] {
+    Injector *Inj = new Injector; // intentionally leaked; outlives exit
+    if (const char *Spec = std::getenv("LIGHT_FAULT"))
+      Inj->configure(Spec);
+    return Inj;
+  }();
+  return *G;
+}
+
+std::string Injector::configure(const std::string &Spec) {
+  std::lock_guard<std::mutex> Guard(I->M);
+  I->Rules.clear();
+  I->TotalFires = 0;
+  I->RngState = 0x5eedfau;
+  Armed.store(false, std::memory_order_relaxed);
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find_first_of(",;", Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Clause = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    // Trim surrounding spaces.
+    size_t B = Clause.find_first_not_of(" \t");
+    size_t E = Clause.find_last_not_of(" \t");
+    if (B == std::string::npos)
+      continue;
+    Clause = Clause.substr(B, E - B + 1);
+
+    size_t Eq = Clause.find('=');
+    std::string Site = Clause.substr(0, Eq);
+    std::string Arg = Eq == std::string::npos ? "" : Clause.substr(Eq + 1);
+    if (Site.empty())
+      return "fault spec: empty site name in clause '" + Clause + "'";
+
+    if (Site == "seed") {
+      char *EndP = nullptr;
+      uint64_t Seed = std::strtoull(Arg.c_str(), &EndP, 10);
+      if (Arg.empty() || *EndP)
+        return "fault spec: seed wants an integer, got '" + Arg + "'";
+      I->RngState = Seed ^ 0x5eedfau;
+      continue;
+    }
+
+    Impl::Rule R;
+    R.Site = Site;
+    if (Arg.empty()) {
+      R.How = Impl::Mode::Always;
+    } else if (Arg[0] == 'p') {
+      char *EndP = nullptr;
+      R.P = std::strtod(Arg.c_str() + 1, &EndP);
+      if (EndP == Arg.c_str() + 1 || *EndP || R.P < 0 || R.P > 1)
+        return "fault spec: '" + Site + "' wants p<0..1>, got '" + Arg + "'";
+      R.How = Impl::Mode::Prob;
+    } else {
+      bool From = Arg.back() == '+';
+      std::string Num = From ? Arg.substr(0, Arg.size() - 1) : Arg;
+      char *EndP = nullptr;
+      R.N = std::strtoull(Num.c_str(), &EndP, 10);
+      if (Num.empty() || *EndP || R.N == 0)
+        return "fault spec: '" + Site + "' wants a positive hit count, got '" +
+               Arg + "'";
+      R.How = From ? Impl::Mode::FromNth : Impl::Mode::Nth;
+    }
+    R.FiredMetric =
+        obs::Registry::global().counter("fault.injected." + Site);
+    // Replace an earlier clause for the same site (last one wins).
+    if (Impl::Rule *Old = I->find(Site))
+      *Old = std::move(R);
+    else
+      I->Rules.push_back(std::move(R));
+  }
+  Armed.store(!I->Rules.empty(), std::memory_order_relaxed);
+  return std::string();
+}
+
+void Injector::reset() { configure(std::string()); }
+
+bool Injector::shouldFireSlow(std::string_view Site) {
+  std::lock_guard<std::mutex> Guard(I->M);
+  Impl::Rule *R = I->find(Site);
+  if (!R)
+    return false;
+  ++R->Hits;
+  bool Fire = false;
+  switch (R->How) {
+  case Impl::Mode::Always:
+    Fire = true;
+    break;
+  case Impl::Mode::Nth:
+    Fire = R->Hits == R->N;
+    break;
+  case Impl::Mode::FromNth:
+    Fire = R->Hits >= R->N;
+    break;
+  case Impl::Mode::Prob:
+    Fire = (splitmix64(I->RngState) >> 11) * 0x1.0p-53 < R->P;
+    break;
+  }
+  if (Fire) {
+    ++R->Fires;
+    ++I->TotalFires;
+    R->FiredMetric.add(1);
+  }
+  return Fire;
+}
+
+uint64_t Injector::param(std::string_view Site, uint64_t Default) const {
+  std::lock_guard<std::mutex> Guard(I->M);
+  Impl::Rule *R = I->find(Site);
+  return R && R->N ? R->N : Default;
+}
+
+bool Injector::armed(std::string_view Site) const {
+  std::lock_guard<std::mutex> Guard(I->M);
+  return I->find(Site) != nullptr;
+}
+
+uint64_t Injector::firesTotal() const {
+  std::lock_guard<std::mutex> Guard(I->M);
+  return I->TotalFires;
+}

@@ -6,12 +6,31 @@
 
 #include "trace/RecordingLog.h"
 
+#include "obs/Metrics.h"
 #include "support/BinaryIO.h"
+#include "support/DurableLog.h"
+
+#include <algorithm>
+#include <cassert>
 
 using namespace light;
 
 namespace {
 constexpr uint64_t LogMagic = 0x4c49474854303031ull; // "LIGHT001"
+
+uint64_t packSpawn(const SpawnRecord &R) {
+  return (static_cast<uint64_t>(R.Parent) << 48) |
+         (static_cast<uint64_t>(R.SpawnIndex) << 16) | R.Child;
+}
+
+SpawnRecord unpackSpawn(uint64_t W) {
+  SpawnRecord R;
+  R.Parent = static_cast<ThreadId>(W >> 48);
+  R.SpawnIndex = static_cast<uint32_t>((W >> 16) & 0xffffffff);
+  R.Child = static_cast<ThreadId>(W & 0xffff);
+  return R;
+}
+
 } // namespace
 
 uint64_t RecordingLog::save(const std::string &Path) const {
@@ -38,10 +57,8 @@ uint64_t RecordingLog::save(const std::string &Path) const {
   }
 
   Writer.put(Spawns.size());
-  for (const SpawnRecord &R : Spawns) {
-    Writer.put((static_cast<uint64_t>(R.Parent) << 48) |
-               (static_cast<uint64_t>(R.SpawnIndex) << 16) | R.Child);
-  }
+  for (const SpawnRecord &R : Spawns)
+    Writer.put(packSpawn(R));
 
   Writer.put(FinalCounters.size());
   for (Counter C : FinalCounters)
@@ -60,23 +77,304 @@ uint64_t RecordingLog::save(const std::string &Path) const {
   return Writer.finish();
 }
 
+//===----------------------------------------------------------------------===//
+// LIGHT002 section encoding
+//===----------------------------------------------------------------------===//
+
+void light::encodeSpanSection(std::vector<uint64_t> &Out, const DepSpan *Spans,
+                              size_t N) {
+  if (!N)
+    return;
+  Out.push_back(static_cast<uint64_t>(LogSection::Spans));
+  Out.push_back(N);
+  for (size_t I = 0; I < N; ++I) {
+    const DepSpan &S = Spans[I];
+    assert(S.Thread < (1u << 14) && "thread id too large for span encoding");
+    Out.push_back(S.Loc);
+    Out.push_back(S.Src.valid() ? S.Src.pack() : 0);
+    Out.push_back(AccessId(S.Thread, S.First).pack() |
+                  (static_cast<uint64_t>(S.Kind) << 62));
+    Out.push_back(S.Last);
+  }
+}
+
+void light::encodeSyscallSection(std::vector<uint64_t> &Out,
+                                 const SyscallRecord *Calls, size_t N) {
+  if (!N)
+    return;
+  Out.push_back(static_cast<uint64_t>(LogSection::Syscalls));
+  Out.push_back(N);
+  for (size_t I = 0; I < N; ++I) {
+    Out.push_back(Calls[I].Thread);
+    Out.push_back(Calls[I].Value);
+  }
+}
+
+void light::encodeSpawnSection(std::vector<uint64_t> &Out,
+                               const std::vector<SpawnRecord> &Spawns) {
+  Out.push_back(static_cast<uint64_t>(LogSection::Spawns));
+  Out.push_back(Spawns.size());
+  for (const SpawnRecord &R : Spawns)
+    Out.push_back(packSpawn(R));
+}
+
+void light::encodeCounterSection(
+    std::vector<uint64_t> &Out,
+    const std::vector<std::pair<ThreadId, Counter>> &Updates) {
+  if (Updates.empty())
+    return;
+  Out.push_back(static_cast<uint64_t>(LogSection::Counters));
+  Out.push_back(Updates.size());
+  for (const auto &[Thread, Count] : Updates) {
+    Out.push_back(Thread);
+    Out.push_back(Count);
+  }
+}
+
+void light::encodeGuardSections(std::vector<uint64_t> &Out,
+                                const GuardSpec &Guards) {
+  Out.push_back(static_cast<uint64_t>(LogSection::GuardExact));
+  Out.push_back(Guards.Exact.size());
+  for (LocationId L : Guards.Exact)
+    Out.push_back(L);
+  Out.push_back(static_cast<uint64_t>(LogSection::GuardFields));
+  Out.push_back(Guards.FieldIndices.size());
+  for (uint32_t F : Guards.FieldIndices)
+    Out.push_back(F);
+  Out.push_back(static_cast<uint64_t>(LogSection::GuardGlobals));
+  Out.push_back(Guards.GlobalIds.size());
+  for (uint64_t G : Guards.GlobalIds)
+    Out.push_back(G);
+}
+
+uint64_t RecordingLog::saveDurable(const std::string &Path) const {
+  DurableLogWriter Writer(Path);
+  std::vector<uint64_t> Payload;
+  encodeSpanSection(Payload, Spans.data(), Spans.size());
+  encodeSyscallSection(Payload, Syscalls.data(), Syscalls.size());
+  encodeSpawnSection(Payload, Spawns);
+  std::vector<std::pair<ThreadId, Counter>> Updates;
+  for (size_t T = 0; T < FinalCounters.size(); ++T)
+    Updates.emplace_back(static_cast<ThreadId>(T), FinalCounters[T]);
+  encodeCounterSection(Payload, Updates);
+  encodeGuardSections(Payload, Guards);
+  if (!Writer.writeSegment(Payload) || !Writer.closeClean())
+    return 0;
+  return Writer.wordsWritten();
+}
+
+//===----------------------------------------------------------------------===//
+// Loading
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Decodes one LIGHT002 segment payload into \p Log. The payload already
+/// passed its CRC, so a decode failure means a producer bug or version
+/// drift, not disk corruption — but it is still reported, never trusted.
+bool decodeSegment(const std::vector<uint64_t> &P, RecordingLog &Log) {
+  size_t Pos = 0;
+  while (Pos < P.size()) {
+    if (P.size() - Pos < 2)
+      return false;
+    uint64_t Tag = P[Pos];
+    uint64_t N = P[Pos + 1];
+    Pos += 2;
+    uint64_t Remaining = P.size() - Pos;
+    switch (static_cast<LogSection>(Tag)) {
+    case LogSection::Spans: {
+      if (N > Remaining / 4)
+        return false;
+      for (uint64_t I = 0; I < N; ++I, Pos += 4) {
+        DepSpan S;
+        S.Loc = P[Pos];
+        if (P[Pos + 1])
+          S.Src = AccessId::unpack(P[Pos + 1]);
+        uint64_t FirstWord = P[Pos + 2];
+        S.Kind = static_cast<SpanKind>(FirstWord >> 62);
+        AccessId First = AccessId::unpack(FirstWord & ~(3ull << 62));
+        S.Thread = First.Thread;
+        S.First = First.Count;
+        S.Last = P[Pos + 3];
+        // Well-formed spans satisfy First <= Last < 2^48 (the AccessId
+        // counter width); anything else is producer corruption.
+        if (S.Last >= (1ull << 48) || S.First > S.Last)
+          return false;
+        Log.Spans.push_back(S);
+      }
+      break;
+    }
+    case LogSection::Syscalls: {
+      if (N > Remaining / 2)
+        return false;
+      for (uint64_t I = 0; I < N; ++I, Pos += 2) {
+        SyscallRecord R;
+        R.Thread = static_cast<ThreadId>(P[Pos]);
+        R.Value = P[Pos + 1];
+        Log.Syscalls.push_back(R);
+      }
+      break;
+    }
+    case LogSection::Spawns: {
+      if (N > Remaining)
+        return false;
+      Log.Spawns.clear();
+      for (uint64_t I = 0; I < N; ++I, ++Pos)
+        Log.Spawns.push_back(unpackSpawn(P[Pos]));
+      break;
+    }
+    case LogSection::Counters: {
+      if (N > Remaining / 2)
+        return false;
+      for (uint64_t I = 0; I < N; ++I, Pos += 2) {
+        size_t T = P[Pos];
+        if (T >= (1u << 14))
+          return false;
+        if (Log.FinalCounters.size() <= T)
+          Log.FinalCounters.resize(T + 1, 0);
+        Log.FinalCounters[T] = std::max(Log.FinalCounters[T], P[Pos + 1]);
+      }
+      break;
+    }
+    case LogSection::GuardExact: {
+      if (N > Remaining)
+        return false;
+      Log.Guards.Exact.assign(P.begin() + Pos, P.begin() + Pos + N);
+      Pos += N;
+      break;
+    }
+    case LogSection::GuardFields: {
+      if (N > Remaining)
+        return false;
+      Log.Guards.FieldIndices.clear();
+      for (uint64_t I = 0; I < N; ++I, ++Pos)
+        Log.Guards.FieldIndices.push_back(static_cast<uint32_t>(P[Pos]));
+      break;
+    }
+    case LogSection::GuardGlobals: {
+      if (N > Remaining)
+        return false;
+      Log.Guards.GlobalIds.assign(P.begin() + Pos, P.begin() + Pos + N);
+      Pos += N;
+      break;
+    }
+    default:
+      return false; // unknown section tag
+    }
+  }
+  return true;
+}
+
+/// After salvaging a crashed log, the counter table may stop short of (or
+/// never reach) the accesses the recovered spans prove happened. Extend it
+/// so the replay horizon covers every span: the final counter of a thread
+/// is at least the last access any recovered span attributes to it.
+void synthesizeHorizon(RecordingLog &Log) {
+  ThreadId MaxThread = 0;
+  auto Note = [&](ThreadId T) { MaxThread = std::max(MaxThread, T); };
+  for (const DepSpan &S : Log.Spans) {
+    Note(S.Thread);
+    if (S.Src.valid())
+      Note(S.Src.Thread);
+  }
+  for (const SyscallRecord &R : Log.Syscalls)
+    Note(R.Thread);
+  for (const SpawnRecord &R : Log.Spawns) {
+    Note(R.Parent);
+    Note(R.Child);
+  }
+  if (Log.FinalCounters.size() <= MaxThread)
+    Log.FinalCounters.resize(MaxThread + 1, 0);
+  for (const DepSpan &S : Log.Spans) {
+    Log.FinalCounters[S.Thread] = std::max(Log.FinalCounters[S.Thread], S.Last);
+    if (S.Src.valid())
+      Log.FinalCounters[S.Src.Thread] =
+          std::max(Log.FinalCounters[S.Src.Thread], S.Src.Count);
+  }
+}
+
+uint64_t peekMagic(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return 0;
+  uint64_t Word = 0;
+  size_t Got = std::fread(&Word, sizeof(Word), 1, File);
+  std::fclose(File);
+  return Got == 1 ? Word : 0;
+}
+
+} // namespace
+
 bool RecordingLog::load(const std::string &Path) {
+  LogLoadReport Report;
+  return load(Path, Report);
+}
+
+bool RecordingLog::load(const std::string &Path, LogLoadReport &Report) {
+  Report = LogLoadReport();
+  uint64_t Magic = peekMagic(Path);
+
+  if (Magic == DurableFileMagic) {
+    Report.FormatVersion = 2;
+    SegmentScan Scan = scanDurableLog(Path);
+    if (!Scan.HeaderOk) {
+      Report.Error = Scan.Error;
+      return false;
+    }
+    Spans.clear();
+    Syscalls.clear();
+    Spawns.clear();
+    FinalCounters.clear();
+    Guards = GuardSpec();
+    Report.SegmentsDropped = Scan.SegmentsDropped;
+    Report.WordsDropped = Scan.WordsDropped;
+    for (size_t I = 0; I < Scan.Segments.size(); ++I) {
+      if (!decodeSegment(Scan.Segments[I], *this)) {
+        // Checksummed but undecodable: cut here, keep the decoded prefix.
+        for (size_t J = I; J < Scan.Segments.size(); ++J) {
+          ++Report.SegmentsDropped;
+          Report.WordsDropped += Scan.Segments[J].size() + 3;
+        }
+        Scan.Clean = false;
+        break;
+      }
+      ++Report.SegmentsRecovered;
+    }
+    Report.CleanClose = Scan.Clean;
+    Report.Salvaged = !Scan.Clean;
+    if (Report.Salvaged) {
+      synthesizeHorizon(*this);
+      obs::Registry::global()
+          .counter("log.segments.salvaged")
+          .add(Report.SegmentsRecovered);
+    }
+    Guards.seal();
+    return true;
+  }
+
+  Report.FormatVersion = 1;
   LongReader Reader(Path);
-  if (!Reader.ok() || Reader.size() < 2 || Reader.get() != LogMagic)
+  if (!Reader.ok() || Reader.size() < 2 || Reader.get() != LogMagic) {
+    Report.Error = "'" + Path + "' is not a readable LIGHT001/LIGHT002 log";
     return false;
+  }
 
   auto HasWords = [&](uint64_t N) {
     return N <= Reader.size(); // conservative sanity bound
   };
+  auto Truncated = [&] {
+    Report.Error = "'" + Path + "' is a truncated or corrupt LIGHT001 log";
+    return false;
+  };
 
   uint64_t NumSpans = Reader.get();
   if (!HasWords(NumSpans))
-    return false;
+    return Truncated();
   Spans.clear();
   Spans.reserve(NumSpans);
   for (uint64_t I = 0; I < NumSpans; ++I) {
     if (Reader.atEnd())
-      return false;
+      return Truncated();
     DepSpan S;
     S.Loc = Reader.get();
     uint64_t Src = Reader.get();
@@ -88,12 +386,17 @@ bool RecordingLog::load(const std::string &Path) {
     S.Thread = First.Thread;
     S.First = First.Count;
     S.Last = Reader.get();
+    // Unchecksummed format: a flipped bit can land anywhere, so validate
+    // the span invariant (First <= Last < 2^48, the AccessId counter
+    // width) before anything downstream packs these back into ids.
+    if (S.Last >= (1ull << 48) || S.First > S.Last)
+      return Truncated();
     Spans.push_back(S);
   }
 
   uint64_t NumSyscalls = Reader.get();
   if (!HasWords(NumSyscalls))
-    return false;
+    return Truncated();
   Syscalls.clear();
   for (uint64_t I = 0; I < NumSyscalls; ++I) {
     SyscallRecord R;
@@ -104,45 +407,41 @@ bool RecordingLog::load(const std::string &Path) {
 
   uint64_t NumSpawns = Reader.get();
   if (!HasWords(NumSpawns))
-    return false;
+    return Truncated();
   Spawns.clear();
-  for (uint64_t I = 0; I < NumSpawns; ++I) {
-    uint64_t W = Reader.get();
-    SpawnRecord R;
-    R.Parent = static_cast<ThreadId>(W >> 48);
-    R.SpawnIndex = static_cast<uint32_t>((W >> 16) & 0xffffffff);
-    R.Child = static_cast<ThreadId>(W & 0xffff);
-    Spawns.push_back(R);
-  }
+  for (uint64_t I = 0; I < NumSpawns; ++I)
+    Spawns.push_back(unpackSpawn(Reader.get()));
 
   uint64_t NumCounters = Reader.get();
   if (!HasWords(NumCounters))
-    return false;
+    return Truncated();
   FinalCounters.clear();
   for (uint64_t I = 0; I < NumCounters; ++I)
     FinalCounters.push_back(Reader.get());
 
   uint64_t NumExact = Reader.get();
   if (!HasWords(NumExact))
-    return false;
+    return Truncated();
   Guards.Exact.clear();
   for (uint64_t I = 0; I < NumExact; ++I)
     Guards.Exact.push_back(Reader.get());
   uint64_t NumFields = Reader.get();
   if (!HasWords(NumFields))
-    return false;
+    return Truncated();
   Guards.FieldIndices.clear();
   for (uint64_t I = 0; I < NumFields; ++I)
     Guards.FieldIndices.push_back(static_cast<uint32_t>(Reader.get()));
   uint64_t NumGlobals = Reader.get();
   if (!HasWords(NumGlobals))
-    return false;
+    return Truncated();
   Guards.GlobalIds.clear();
   for (uint64_t I = 0; I < NumGlobals; ++I)
     Guards.GlobalIds.push_back(Reader.get());
   Guards.seal();
 
-  return Reader.atEnd();
+  if (!Reader.atEnd() || Reader.overran())
+    return Truncated();
+  return true;
 }
 
 std::string DepSpan::str() const {

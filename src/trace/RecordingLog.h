@@ -10,6 +10,20 @@
 /// and final per-thread access counters. This is what the Light recorder
 /// dumps to disk and what the replay phase consumes.
 ///
+/// Two on-disk formats are supported:
+///
+///  * LIGHT001 — the legacy single-shot format save() writes: one magic word
+///    followed by the five sections, valid only when written to completion.
+///
+///  * LIGHT002 — the durable segmented container (support/DurableLog):
+///    checksummed, length-framed segments whose payloads are sequences of
+///    tagged sections (LogSection). The recorder appends one segment per
+///    epoch, so a crashed process leaves a salvageable prefix; load()
+///    recovers it and reports what was lost through LogLoadReport.
+///
+/// load() dispatches on the magic word, so both formats stay loadable
+/// through one entry point.
+///
 /// Space accounting: the paper measures space in "Long-integer" units
 /// (Section 5.2), directly counting the long integers recorded. spaceLongs()
 /// returns exactly the number of 64-bit words the serialized dependence data
@@ -24,9 +38,38 @@
 #include "trace/GuardSpec.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace light {
+
+/// Section tags inside a LIGHT002 segment payload. Each section is encoded
+/// as [tag][record count][records...]. Spans and Syscalls sections append to
+/// what earlier segments carried; Spawns, Counters, and the Guard sections
+/// supersede it (the recorder re-emits them as they grow, and counters only
+/// ever move forward).
+enum class LogSection : uint64_t {
+  Spans = 1,        ///< 4 words per span, same packing as LIGHT001
+  Syscalls = 2,     ///< (thread, value) pairs
+  Spawns = 3,       ///< packed spawn words; replaces the table
+  Counters = 4,     ///< (thread, counter) pairs; per-thread maximum wins
+  GuardExact = 5,   ///< guarded LocationIds; replaces the set
+  GuardFields = 6,  ///< guarded field indices; replaces the set
+  GuardGlobals = 7, ///< guarded global ids; replaces the set
+};
+
+/// What load() learned about the file it parsed — which format it was,
+/// whether the producer closed it cleanly, and how much of a torn tail was
+/// cut during salvage.
+struct LogLoadReport {
+  uint32_t FormatVersion = 0;    ///< 1 (LIGHT001) or 2 (LIGHT002)
+  bool CleanClose = false;       ///< LIGHT002 clean-close marker present
+  bool Salvaged = false;         ///< recovered a prefix of a crashed log
+  uint64_t SegmentsRecovered = 0;///< LIGHT002 segments decoded
+  uint64_t SegmentsDropped = 0;  ///< segments cut with the torn tail
+  uint64_t WordsDropped = 0;     ///< words cut with the torn tail
+  std::string Error;             ///< set when load() returns false
+};
 
 /// A full recording of one execution.
 struct RecordingLog {
@@ -40,7 +83,9 @@ struct RecordingLog {
   std::vector<SpawnRecord> Spawns;
 
   /// Final access-counter value per thread id (index = ThreadId); used by
-  /// the replayer to sanity-check termination.
+  /// the replayer to sanity-check termination. After salvaging a crashed
+  /// LIGHT002 log the values are synthesized from the recovered spans when
+  /// the recorded table stops short of them.
   std::vector<Counter> FinalCounters;
 
   /// Locations whose field-level recording was subsumed by lock-order
@@ -52,17 +97,44 @@ struct RecordingLog {
   /// serialized (4 words per span: Loc, Src, packed(Thread, First), Last).
   uint64_t spaceLongs() const { return Spans.size() * 4; }
 
-  /// Serializes the log to \p Path using the buffered LongWriter scheme.
+  /// Serializes the log to \p Path using the buffered LongWriter scheme
+  /// (legacy LIGHT001 format — the one the space evaluation counts).
   /// Returns the number of long-integer units written (all sections).
   uint64_t save(const std::string &Path) const;
 
-  /// Loads a log previously written by save(). Returns false on I/O or
-  /// format error.
+  /// Serializes the log to \p Path as a LIGHT002 durable container: one
+  /// segment holding every section, then the clean-close marker. Returns
+  /// the number of long-integer units written (including framing), or 0 on
+  /// I/O failure.
+  uint64_t saveDurable(const std::string &Path) const;
+
+  /// Loads a log written by save(), saveDurable(), or a crashed epoch
+  /// recorder — the magic word selects the parser. A LIGHT002 file without
+  /// its clean-close marker is salvaged: the longest valid segment prefix
+  /// becomes the log and the call still succeeds. Returns false on I/O
+  /// error, unrecognized magic, or (LIGHT001 only) any truncation.
   bool load(const std::string &Path);
+
+  /// Same, and additionally reports format, clean/salvage status, and how
+  /// much of a torn tail was dropped.
+  bool load(const std::string &Path, LogLoadReport &Report);
 
   /// Human-readable dump for debugging and the examples.
   std::string str() const;
 };
+
+/// Encoders for LIGHT002 segment payloads, shared by saveDurable() and the
+/// epoch recorder. Each appends one complete section to \p Out.
+void encodeSpanSection(std::vector<uint64_t> &Out, const DepSpan *Spans,
+                       size_t N);
+void encodeSyscallSection(std::vector<uint64_t> &Out,
+                          const SyscallRecord *Calls, size_t N);
+void encodeSpawnSection(std::vector<uint64_t> &Out,
+                        const std::vector<SpawnRecord> &Spawns);
+void encodeCounterSection(
+    std::vector<uint64_t> &Out,
+    const std::vector<std::pair<ThreadId, Counter>> &Updates);
+void encodeGuardSections(std::vector<uint64_t> &Out, const GuardSpec &Guards);
 
 } // namespace light
 

@@ -1,0 +1,140 @@
+//===- tests/smt/SolverLimitsTest.cpp -------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Graceful solver degradation: SolverLimits budgets yield structured
+/// Timeout results (never a wrong verdict), injected engine faults yield
+/// structured Errors, and solveOrder() retries once on the other engine —
+/// counting the fallback — before giving up with both diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/IdlSolver.h"
+#include "smt/Z3Backend.h"
+
+#include "obs/Metrics.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::smt;
+
+namespace {
+
+/// A satisfiable system with enough independent disjunctions to force the
+/// search through hundreds of decisions.
+OrderSystem wideSystem(uint32_t Pairs) {
+  OrderSystem S;
+  for (uint32_t I = 0; I < Pairs; ++I) {
+    Var A = S.newVar(), B = S.newVar(), C = S.newVar(), D = S.newVar();
+    S.addEitherLess(A, B, C, D);
+    S.addEitherLess(B, A, D, C);
+  }
+  return S;
+}
+
+class SolverLimitsF : public ::testing::Test {
+protected:
+  void TearDown() override { fault::Injector::global().reset(); }
+};
+
+TEST_F(SolverLimitsF, UnlimitedByDefault) {
+  SolverLimits L;
+  EXPECT_TRUE(L.unlimited());
+  L.WallSeconds = 1;
+  EXPECT_FALSE(L.unlimited());
+  SolverLimits M;
+  M.MaxConflicts = 1;
+  EXPECT_FALSE(M.unlimited());
+}
+
+TEST_F(SolverLimitsF, TinyWallClockBudgetTimesOut) {
+  OrderSystem S = wideSystem(400);
+  SolverLimits L;
+  L.WallSeconds = 1e-9; // sampled every 256 decisions; hundreds here
+  SolveResult R = solveWithIdl(S, L);
+  ASSERT_TRUE(R.failed());
+  EXPECT_EQ(R.Outcome, SolveResult::Status::Timeout);
+  EXPECT_EQ(R.Reason, SolveResult::FailReason::WallClock);
+  EXPECT_FALSE(R.Message.empty());
+  EXPECT_EQ(R.failReasonStr(), "wall-clock");
+}
+
+TEST_F(SolverLimitsF, BudgetedSolveStillSucceedsWhenGenerous) {
+  OrderSystem S = wideSystem(20);
+  SolverLimits L;
+  L.WallSeconds = 30;
+  L.MaxConflicts = 1u << 20;
+  SolveResult R = solveWithIdl(S, L);
+  ASSERT_TRUE(R.sat());
+  EXPECT_TRUE(S.satisfiedBy(R.Values));
+  EXPECT_EQ(R.Reason, SolveResult::FailReason::None);
+}
+
+TEST_F(SolverLimitsF, InjectedIdlTimeout) {
+  ASSERT_EQ(fault::Injector::global().configure("solver.timeout"), "");
+  OrderSystem S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addLess(A, B);
+  SolveResult R = solveWithIdl(S);
+  EXPECT_EQ(R.Outcome, SolveResult::Status::Timeout);
+  EXPECT_EQ(R.Reason, SolveResult::FailReason::WallClock);
+}
+
+TEST_F(SolverLimitsF, InjectedZ3Unavailable) {
+  ASSERT_EQ(fault::Injector::global().configure("solver.z3_unavailable"), "");
+  OrderSystem S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addLess(A, B);
+  SolveResult R = solveWithZ3(S);
+  EXPECT_EQ(R.Outcome, SolveResult::Status::Error);
+  EXPECT_EQ(R.Reason, SolveResult::FailReason::EngineUnavailable);
+  EXPECT_EQ(R.failReasonStr(), "engine-unavailable");
+}
+
+TEST_F(SolverLimitsF, SolveOrderFallsBackOnceAndCounts) {
+  ASSERT_EQ(fault::Injector::global().configure("solver.timeout"), "");
+  uint64_t Before = obs::Registry::global().counter("solver.fallbacks").value();
+  OrderSystem S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addLess(A, B);
+  S.addLess(B, C);
+  // The IDL engine "times out"; the Z3 engine picks the problem up.
+  SolveResult R = solveOrder(S, SolverEngine::Idl);
+  ASSERT_TRUE(R.sat()) << R.Message;
+  EXPECT_TRUE(S.satisfiedBy(R.Values));
+  EXPECT_EQ(obs::Registry::global().counter("solver.fallbacks").value(),
+            Before + 1);
+}
+
+TEST_F(SolverLimitsF, SolveOrderReportsBothEnginesFailing) {
+  ASSERT_EQ(fault::Injector::global().configure(
+                "solver.timeout,solver.z3_unavailable"),
+            "");
+  OrderSystem S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addLess(A, B);
+  SolveResult R = solveOrder(S, SolverEngine::Idl);
+  ASSERT_TRUE(R.failed());
+  EXPECT_NE(R.Message.find("both engines failed"), std::string::npos)
+      << R.Message;
+}
+
+TEST_F(SolverLimitsF, FallbackPreservesUnsatVerdict) {
+  // Unsat is a *verdict*, not a failure: no fallback, no retry.
+  uint64_t Before = obs::Registry::global().counter("solver.fallbacks").value();
+  OrderSystem S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addLess(A, B);
+  S.addLess(B, A);
+  SolveResult R = solveOrder(S, SolverEngine::Idl);
+  EXPECT_EQ(R.Outcome, SolveResult::Status::Unsat);
+  EXPECT_FALSE(R.failed());
+  EXPECT_EQ(obs::Registry::global().counter("solver.fallbacks").value(),
+            Before);
+}
+
+} // namespace

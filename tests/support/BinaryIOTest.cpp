@@ -6,9 +6,14 @@
 
 #include "support/BinaryIO.h"
 
+#include "support/FaultInjection.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+
+#include <unistd.h>
 
 using namespace light;
 
@@ -60,4 +65,74 @@ TEST(BinaryIO, WordsWrittenTracksBuffered) {
   EXPECT_EQ(W.wordsWritten(), 2u);
   W.finish();
   std::remove(Path.c_str());
+}
+
+TEST(BinaryIO, OpenFailurePropagatesInsteadOfAsserting) {
+  LongWriter W("/nonexistent/dir/for/sure/out.log");
+  EXPECT_FALSE(W.ok());
+  EXPECT_FALSE(W.error().empty());
+  // Puts are still accepted and counted (space accounting stays
+  // meaningful) but dropped.
+  W.put(1);
+  W.put(2);
+  EXPECT_EQ(W.wordsWritten(), 2u);
+  EXPECT_FALSE(W.flush());
+  EXPECT_EQ(W.finish(), 2u);
+  EXPECT_FALSE(W.ok());
+}
+
+TEST(BinaryIO, InjectedOpenFaultIsReported) {
+  fault::Injector &In = fault::Injector::global();
+  ASSERT_EQ(In.configure("io.open_fail"), "");
+  std::string Path = makeTempPath("binio-openfault");
+  LongWriter W(Path);
+  In.reset();
+  EXPECT_FALSE(W.ok());
+  EXPECT_FALSE(W.error().empty());
+}
+
+TEST(BinaryIO, InjectedShortWriteFailsTheFlush) {
+  fault::Injector &In = fault::Injector::global();
+  std::string Path = makeTempPath("binio-short");
+  {
+    LongWriter W(Path, /*FlushThresholdWords=*/0);
+    for (uint64_t I = 0; I < 100; ++I)
+      W.put(I);
+    ASSERT_EQ(In.configure("io.short_write"), "");
+    EXPECT_FALSE(W.flush());
+    In.reset();
+    EXPECT_FALSE(W.ok());
+    EXPECT_FALSE(W.error().empty());
+    W.finish();
+  }
+  // Only the torn half hit the disk; the reader sees a short file, never
+  // garbage beyond it.
+  LongReader R(Path);
+  EXPECT_LT(R.size(), 100u);
+  std::remove(Path.c_str());
+}
+
+TEST(BinaryIO, ReaderOverrunIsCheckedNotUndefined) {
+  std::string Path = makeTempPath("binio-overrun");
+  {
+    LongWriter W(Path);
+    W.put(7);
+    W.finish();
+  }
+  LongReader R(Path);
+  EXPECT_EQ(R.get(), 7u);
+  EXPECT_FALSE(R.overran());
+  EXPECT_EQ(R.get(), 0u); // past the end: checked zero, latched flag
+  EXPECT_TRUE(R.overran());
+  EXPECT_EQ(R.get(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(BinaryIO, TempPathsMixInThePid) {
+  // Regression: two processes with the same per-process serial must not
+  // collide on temp paths; the PID is part of the name.
+  std::string Path = makeTempPath("pidcheck");
+  EXPECT_NE(Path.find("-p" + std::to_string(::getpid()) + "-"),
+            std::string::npos)
+      << Path;
 }

@@ -1,0 +1,128 @@
+//===- tests/support/FaultInjectionTest.cpp -------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The deterministic fault-injection spec grammar and firing semantics
+/// (support/FaultInjection.h). All tests go through the process-global
+/// injector — the one production call sites consult — and disarm it again
+/// afterwards so they cannot leak faults into other suites.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace light;
+
+namespace {
+
+class FaultInjection : public ::testing::Test {
+protected:
+  fault::Injector &In = fault::Injector::global();
+  void SetUp() override { In.reset(); }
+  void TearDown() override { In.reset(); }
+};
+
+TEST_F(FaultInjection, DisarmedByDefault) {
+  EXPECT_FALSE(In.enabled());
+  EXPECT_FALSE(In.shouldFire("io.open_fail"));
+  EXPECT_FALSE(In.armed("io.open_fail"));
+  EXPECT_EQ(In.firesTotal(), 0u);
+}
+
+TEST_F(FaultInjection, AlwaysClauseFiresEveryHit) {
+  ASSERT_EQ(In.configure("io.open_fail"), "");
+  EXPECT_TRUE(In.enabled());
+  EXPECT_TRUE(In.armed("io.open_fail"));
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(In.shouldFire("io.open_fail"));
+  EXPECT_EQ(In.firesTotal(), 5u);
+  // Other sites stay silent.
+  EXPECT_FALSE(In.shouldFire("io.short_write"));
+}
+
+TEST_F(FaultInjection, NthHitClauseFiresExactlyOnce) {
+  ASSERT_EQ(In.configure("log.crash_at_epoch=3"), "");
+  std::vector<bool> Fired;
+  for (int I = 0; I < 6; ++I)
+    Fired.push_back(In.shouldFire("log.crash_at_epoch"));
+  EXPECT_EQ(Fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(In.firesTotal(), 1u);
+}
+
+TEST_F(FaultInjection, FromNthClauseFiresEveryHitOnward) {
+  ASSERT_EQ(In.configure("io.short_write=2+"), "");
+  std::vector<bool> Fired;
+  for (int I = 0; I < 5; ++I)
+    Fired.push_back(In.shouldFire("io.short_write"));
+  EXPECT_EQ(Fired, (std::vector<bool>{false, true, true, true, true}));
+}
+
+TEST_F(FaultInjection, ProbabilisticClauseIsSeedDeterministic) {
+  ASSERT_EQ(In.configure("io.short_write=p0.5,seed=7"), "");
+  std::vector<bool> First;
+  for (int I = 0; I < 64; ++I)
+    First.push_back(In.shouldFire("io.short_write"));
+  ASSERT_EQ(In.configure("io.short_write=p0.5,seed=7"), "");
+  std::vector<bool> Second;
+  for (int I = 0; I < 64; ++I)
+    Second.push_back(In.shouldFire("io.short_write"));
+  EXPECT_EQ(First, Second);
+  // p0.5 over 64 draws fires at least once and spares at least once.
+  EXPECT_NE(std::count(First.begin(), First.end(), true), 0);
+  EXPECT_NE(std::count(First.begin(), First.end(), true), 64);
+}
+
+TEST_F(FaultInjection, MultipleClausesArmIndependently) {
+  ASSERT_EQ(In.configure("io.open_fail;log.crash_at_epoch=2"), "");
+  EXPECT_TRUE(In.armed("io.open_fail"));
+  EXPECT_TRUE(In.armed("log.crash_at_epoch"));
+  EXPECT_FALSE(In.armed("solver.timeout"));
+  EXPECT_TRUE(In.shouldFire("io.open_fail"));
+  EXPECT_FALSE(In.shouldFire("log.crash_at_epoch"));
+  EXPECT_TRUE(In.shouldFire("log.crash_at_epoch"));
+}
+
+TEST_F(FaultInjection, ParamReportsClauseArgument) {
+  ASSERT_EQ(In.configure("log.crash_at_epoch=3,log.torn_bytes=9"), "");
+  EXPECT_EQ(In.param("log.crash_at_epoch", 0), 3u);
+  EXPECT_EQ(In.param("log.torn_bytes", 12), 9u);
+  EXPECT_EQ(In.param("io.open_fail", 12), 12u); // unarmed -> default
+  // param() never counts as a hit.
+  EXPECT_EQ(In.firesTotal(), 0u);
+}
+
+TEST_F(FaultInjection, SyntaxErrorDisarmsAndReports) {
+  ASSERT_EQ(In.configure("io.open_fail"), "");
+  EXPECT_NE(In.configure("io.open_fail=pbogus"), "");
+  EXPECT_FALSE(In.enabled());
+  EXPECT_NE(In.configure("io.open_fail=p"), ""); // bare p: no probability
+  EXPECT_NE(In.configure("=3"), "");
+  EXPECT_NE(In.configure("site=0"), ""); // hits are 1-based
+}
+
+TEST_F(FaultInjection, EmptySpecDisarms) {
+  ASSERT_EQ(In.configure("io.open_fail"), "");
+  ASSERT_EQ(In.configure(""), "");
+  EXPECT_FALSE(In.enabled());
+  EXPECT_FALSE(In.shouldFire("io.open_fail"));
+}
+
+TEST_F(FaultInjection, ResetClearsHitCounts) {
+  ASSERT_EQ(In.configure("io.open_fail=2"), "");
+  EXPECT_FALSE(In.shouldFire("io.open_fail"));
+  In.reset();
+  ASSERT_EQ(In.configure("io.open_fail=2"), "");
+  // The count restarted: the second hit overall is hit #2 of a fresh run.
+  EXPECT_FALSE(In.shouldFire("io.open_fail"));
+  EXPECT_TRUE(In.shouldFire("io.open_fail"));
+}
+
+} // namespace

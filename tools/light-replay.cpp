@@ -17,6 +17,7 @@
 ///   light-replay record <bug|file.mir> [seed] [log]
 ///   light-replay show   <log>
 ///   light-replay replay <bug|file.mir> <log>
+///   light-replay crashtest <bug|file.mir> [seed] [log]
 /// \endcode
 ///
 /// Flags are position-independent and accepted by every subcommand:
@@ -26,12 +27,29 @@
 ///                          replay)
 ///   --no-verify            record only; skip the solve + validated replay
 ///                          pass that `record` runs by default
+///   --epoch-spans <N>      durable-log mode: close an epoch after N
+///                          pending spans per thread (record, crashtest)
+///   --epoch-ms <N>         durable-log mode: close an epoch after N
+///                          milliseconds per thread
+///   --fault <spec>         arm the deterministic fault injector (same
+///                          grammar as the LIGHT_FAULT environment
+///                          variable, see support/FaultInjection.h)
 ///   --metrics-json <file>  write the merged metrics-registry snapshot
 ///   --trace-out <file>     arm the event tracer and write Chrome
 ///                          trace-event JSON (chrome://tracing, Perfetto)
 ///
 /// A <bug> is one of the built-in Figure-6 benchmarks; anything else is
 /// treated as a path to a textual MIR file (see mir/Parser.h).
+///
+/// `crashtest` is the end-to-end fault-tolerance exercise: it forks a
+/// child that records the buggy run with the durable epoch log enabled
+/// and dies at the bug *without* closing the log cleanly (crash-handler
+/// semantics), then the parent salvages the torn LIGHT002 prefix, solves
+/// it, and verifies the replay reproduces the original bug. With
+/// `--fault log.crash_at_epoch=N` the child's log write itself is killed
+/// mid-epoch (SIGKILL semantics: a torn segment tail on disk), and the
+/// parent verifies salvage recovers the valid prefix and replays it
+/// without divergence.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,12 +63,17 @@
 #include "obs/Args.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/BinaryIO.h"
+#include "support/FaultInjection.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace light;
 using namespace light::bugs;
@@ -71,9 +94,18 @@ int usage() {
       "                                       solve + validated replay\n"
       "  show   <log>                         dump a recording\n"
       "  replay <bug|file.mir> <log>          solve + validated replay\n"
+      "  crashtest <bug|file.mir> [seed] [log]\n"
+      "                                       crash a recording child "
+      "mid-run,\n"
+      "                                       salvage the durable log, "
+      "verify\n"
+      "                                       the replay reproduces the bug\n"
       "flags (any position, any subcommand):\n"
       "  --z3                   use the Z3 solver backend\n"
       "  --no-verify            skip record's solve+replay verification\n"
+      "  --epoch-spans <N>      durable epoch log: flush every N spans\n"
+      "  --epoch-ms <N>         durable epoch log: flush every N ms\n"
+      "  --fault <spec>         arm fault injection (LIGHT_FAULT grammar)\n"
       "  --metrics-json <file>  write the metrics snapshot as JSON\n"
       "  --trace-out <file>     write a Chrome trace of the run\n");
   return 2;
@@ -123,10 +155,32 @@ void printOutcome(const RunResult &R) {
     }
 }
 
+/// Prints the durability verdict of a load: format version, clean close
+/// vs. salvage, and how much of a torn log was recovered/cut.
+void printLoadReport(const LogLoadReport &Report) {
+  if (Report.FormatVersion != 2)
+    return;
+  if (Report.CleanClose) {
+    std::printf("durable log: LIGHT002, closed cleanly, %llu segment(s)\n",
+                static_cast<unsigned long long>(Report.SegmentsRecovered));
+    return;
+  }
+  std::printf("durable log: LIGHT002, SALVAGED %llu segment(s)"
+              " (dropped %llu segment(s), %llu words of torn tail)\n",
+              static_cast<unsigned long long>(Report.SegmentsRecovered),
+              static_cast<unsigned long long>(Report.SegmentsDropped),
+              static_cast<unsigned long long>(Report.WordsDropped));
+}
+
 /// Solves \p Log and runs one validated replay, printing the summary.
+/// When \p ExpectBug is non-null the replay must additionally end in a
+/// bug report matching it (Theorem 1's correlation). \p Validate=false
+/// runs best-effort (gates enforced, read sources unchecked) — the right
+/// mode for a torn prefix whose open spans died with the recorder.
 /// Returns 0 on a faithful replay.
 int solveAndReplay(const mir::Program &Prog, const RecordingLog &Log,
-                   bool UseZ3) {
+                   bool UseZ3, const BugReport *ExpectBug = nullptr,
+                   bool Validate = true) {
   ReplaySchedule Plan = ReplaySchedule::build(
       Log, UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl);
   if (!Plan.ok()) {
@@ -135,21 +189,40 @@ int solveAndReplay(const mir::Program &Prog, const RecordingLog &Log,
   }
   std::printf("solved %zu-turn schedule in %.2f ms\n", Plan.order().size(),
               Plan.solveStats().SolveSeconds * 1000);
-  ReplayDirector Director(Plan, /*RealThreads=*/false, /*Validate=*/true);
+  ReplayDirector Director(Plan, /*RealThreads=*/false, Validate);
   Machine M(Prog, Director);
   M.prepareReplay(Log.Spawns);
   RunResult R = M.runReplay(Director);
   Director.publishMetrics();
   printOutcome(R);
   if (Director.failed()) {
-    std::printf("REPLAY DIVERGED: %s\n", Director.divergence().c_str());
+    std::printf("REPLAY DIVERGED: %s\n",
+                Director.divergenceInfo().str().c_str());
+    return 1;
+  }
+  // The interpreter detects structural divergence (spawn mismatch, a turn
+  // for a thread that never appears) on its own, without the director
+  // noticing — that is just as much a failed replay.
+  if (R.Bug.What == BugReport::Kind::ReplayDivergence) {
+    std::printf("REPLAY DIVERGED: %s\n", R.Bug.str().c_str());
     return 1;
   }
   ReplayStats Stats = Director.stats();
-  std::printf("replay faithful: %llu reads validated, %llu blind writes "
+  std::printf("%s: %llu reads validated, %llu blind writes "
               "suppressed\n",
+              Validate ? "replay faithful" : "replay completed (unvalidated)",
               static_cast<unsigned long long>(Stats.ValidatedReads),
               static_cast<unsigned long long>(Stats.BlindSuppressed));
+  if (ExpectBug) {
+    if (R.Bug.sameAs(*ExpectBug)) {
+      std::printf("bug reproduced: %s\n", R.Bug.str().c_str());
+    } else {
+      std::printf("BUG NOT REPRODUCED: wanted %s, got %s\n",
+                  ExpectBug->str().c_str(),
+                  R.Completed ? "a clean run" : R.Bug.str().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -178,6 +251,121 @@ int finishTelemetry(int Rc, const std::string &MetricsPath,
   return Rc;
 }
 
+/// Epoch options parsed from the command line.
+struct EpochFlags {
+  size_t Spans = 0;
+  uint64_t Ms = 0;
+  bool on() const { return Spans != 0 || Ms != 0; }
+};
+
+/// The child half of `crashtest`: records <Prog> under <Seed> with the
+/// durable epoch log at <DurablePath>, then dies at the bug via
+/// crashFlush() — close pending spans, append one final segment, no
+/// clean-close marker — and exits without ever calling finish(). Exit
+/// codes: 42 = crashed at the bug as intended, 3 = the run unexpectedly
+/// completed cleanly.
+[[noreturn]] void crashtestChild(const mir::Program &Prog, uint64_t Seed,
+                                 const std::string &DurablePath,
+                                 const EpochFlags &Epochs) {
+  LightOptions Opts;
+  Opts.WriteToDisk = false;
+  Opts.EpochSpans = Epochs.Spans ? Epochs.Spans : 4;
+  Opts.EpochMs = Epochs.Ms;
+  Opts.DurableLogPath = DurablePath;
+  LightRecorder Rec(Opts);
+  Machine M(Prog, Rec);
+  Rec.attachRegistry(&M.registry());
+  M.seedEnvironment(Seed ^ 0x5a5a);
+  RandomScheduler Sched(Seed);
+  RunResult R = M.run(Sched);
+  if (R.Completed)
+    ::_exit(3);
+  Rec.crashFlush();
+  // _exit, not exit: no atexit handlers, no stream flushing — the closest
+  // a cooperative test can get to dying abruptly.
+  ::_exit(42);
+}
+
+/// `crashtest`: fork a recording child that crashes at the bug, salvage
+/// its durable log, and verify the replay. Returns the process exit code.
+int runCrashtest(const mir::Program &Prog, uint64_t Seed,
+                 const std::string &DurablePath, const EpochFlags &Epochs,
+                 bool UseZ3) {
+  // The reference outcome: the same seed under a plain run (recording does
+  // not perturb the cooperative schedule, so this is the bug the salvaged
+  // log must reproduce).
+  NullHook Null;
+  Machine Ref(Prog, Null);
+  Ref.seedEnvironment(Seed ^ 0x5a5a);
+  RandomScheduler RefSched(Seed);
+  RunResult Expected = Ref.run(RefSched);
+  if (Expected.Completed) {
+    std::fprintf(stderr,
+                 "error: seed %llu does not fail; pick a buggy seed "
+                 "(try `light-replay hunt`)\n",
+                 static_cast<unsigned long long>(Seed));
+    return 1;
+  }
+  std::printf("expected bug: %s\n", Expected.Bug.str().c_str());
+
+  std::remove(DurablePath.c_str());
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (Pid == 0)
+    crashtestChild(Prog, Seed, DurablePath, Epochs);
+
+  int Status = 0;
+  if (::waitpid(Pid, &Status, 0) != Pid) {
+    std::perror("waitpid");
+    return 1;
+  }
+  if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 42) {
+    std::fprintf(stderr,
+                 "error: recording child did not crash at the bug "
+                 "(status %d)\n",
+                 Status);
+    return 1;
+  }
+  std::printf("recording child crashed mid-run (as intended)\n");
+
+  RecordingLog Log;
+  LogLoadReport Report;
+  if (!Log.load(DurablePath, Report)) {
+    std::fprintf(stderr, "error: salvage failed: %s\n",
+                 Report.Error.c_str());
+    return 1;
+  }
+  printLoadReport(Report);
+  if (Report.CleanClose) {
+    std::fprintf(stderr, "error: crashed child left a cleanly-closed log "
+                         "(crash path wrote the close marker?)\n");
+    return 1;
+  }
+  std::printf("salvaged %zu spans, %zu syscalls, %zu spawns\n",
+              Log.Spans.size(), Log.Syscalls.size(), Log.Spawns.size());
+
+  // With an injected mid-epoch write crash the tail epochs (and the bug)
+  // are genuinely lost, along with any spans still open at the kill; the
+  // guarantee shrinks to: the salvaged prefix solves and replays
+  // best-effort without structural divergence, so validation is off.
+  // Without it, crashFlush persisted everything up to the bug, so the
+  // bug itself must reproduce under full validation.
+  bool TailLost = fault::Injector::global().armed("log.crash_at_epoch");
+  int Rc = solveAndReplay(Prog, Log, UseZ3,
+                          TailLost ? nullptr : &Expected.Bug,
+                          /*Validate=*/!TailLost);
+  if (Rc == 0)
+    std::printf("CRASHTEST PASS: %s\n",
+                TailLost ? "torn log salvaged and prefix replayed"
+                         : "salvaged log reproduced the bug");
+  else
+    std::printf("CRASHTEST FAIL\n");
+  return Rc;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -192,8 +380,10 @@ int main(int argc, char **argv) {
     return usage();
   }
 
-  obs::ArgList Args(argc, argv, {"metrics-json", "trace-out"},
-                    {"z3", "no-verify"}, /*Begin=*/2);
+  obs::ArgList Args(
+      argc, argv,
+      {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault"},
+      {"z3", "no-verify"}, /*Begin=*/2);
   for (const std::string &F : Args.unknown())
     std::fprintf(stderr, "error: unknown flag '%s'\n", F.c_str());
   if (!Args.unknown().empty())
@@ -204,6 +394,18 @@ int main(int argc, char **argv) {
   std::string MetricsPath = Args.get("metrics-json", "", "metrics.json");
   std::string TracePath = Args.get("trace-out", "", "trace.json");
   bool UseZ3 = Args.has("z3");
+  EpochFlags Epochs;
+  Epochs.Spans = std::strtoull(Args.get("epoch-spans", "0").c_str(),
+                               nullptr, 10);
+  Epochs.Ms = std::strtoull(Args.get("epoch-ms", "0").c_str(), nullptr, 10);
+  if (Args.has("fault")) {
+    // The flag overrides any LIGHT_FAULT environment spec.
+    std::string Err = fault::Injector::global().configure(Args.get("fault"));
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: --fault: %s\n", Err.c_str());
+      return 2;
+    }
+  }
   if (!TracePath.empty())
     obs::Tracer::global().start();
   auto Finish = [&](int Rc) {
@@ -224,10 +426,13 @@ int main(int argc, char **argv) {
 
   if (Cmd == "show") {
     RecordingLog Log;
-    if (!Log.load(Target)) {
-      std::fprintf(stderr, "error: cannot load '%s'\n", Target.c_str());
+    LogLoadReport Report;
+    if (!Log.load(Target, Report)) {
+      std::fprintf(stderr, "error: cannot load '%s': %s\n", Target.c_str(),
+                   Report.Error.c_str());
       return Finish(1);
     }
+    printLoadReport(Report);
     std::printf("%s", Log.str().c_str());
     return Finish(0);
   }
@@ -273,17 +478,47 @@ int main(int argc, char **argv) {
     std::string LogPath = Args.positionalOr(2, Target + ".lightlog");
     LightOptions Opts;
     Opts.WriteToDisk = false;
+    if (Epochs.on()) {
+      // Durable-epoch mode: the on-disk artifact is the incrementally
+      // written LIGHT002 log itself (crash-recoverable at every epoch
+      // boundary), not a finish()-time LIGHT001 save.
+      Opts.EpochSpans = Epochs.Spans;
+      Opts.EpochMs = Epochs.Ms;
+      Opts.DurableLogPath = LogPath;
+    }
     LightRecorder Rec(Opts);
     Machine M(*Prog, Rec);
+    Rec.attachRegistry(&M.registry());
     M.seedEnvironment(Seed ^ 0x5a5a);
     RandomScheduler Sched(Seed);
     RunResult R = M.run(Sched);
     RecordingLog Log = Rec.finish(&M.registry());
-    uint64_t Words = Log.save(LogPath);
     printOutcome(R);
-    std::printf("recorded %zu spans (%llu long-integers on disk) -> %s\n",
-                Log.Spans.size(), static_cast<unsigned long long>(Words),
-                LogPath.c_str());
+    if (Epochs.on()) {
+      const DurableLogWriter *DL = Rec.durableLog();
+      if (!DL || !DL->ok()) {
+        std::fprintf(stderr, "error: durable log not written: %s\n",
+                     DL && !DL->error().empty() ? DL->error().c_str()
+                                                : "no epoch was flushed");
+        return Finish(1);
+      }
+      if (DL->crashed())
+        std::printf("note: injected crash tore the durable log; the on-disk "
+                    "prefix is salvageable with `replay`\n");
+      std::printf("recorded %zu spans (durable LIGHT002, %llu segments, "
+                  "%llu long-integers on disk) -> %s\n",
+                  Log.Spans.size(),
+                  static_cast<unsigned long long>(
+                      DL ? DL->segmentsWritten() : 0),
+                  static_cast<unsigned long long>(DL ? DL->wordsWritten()
+                                                     : 0),
+                  LogPath.c_str());
+    } else {
+      uint64_t Words = Log.save(LogPath);
+      std::printf("recorded %zu spans (%llu long-integers on disk) -> %s\n",
+                  Log.Spans.size(), static_cast<unsigned long long>(Words),
+                  LogPath.c_str());
+    }
     if (Args.has("no-verify"))
       return Finish(0);
     // Default verification pass: solve the schedule and re-execute it under
@@ -296,12 +531,36 @@ int main(int argc, char **argv) {
     if (Args.size() < 2)
       return usage();
     RecordingLog Log;
-    if (!Log.load(Args.positional(1))) {
-      std::fprintf(stderr, "error: cannot load '%s'\n",
-                   Args.positional(1).c_str());
+    LogLoadReport Report;
+    if (!Log.load(Args.positional(1), Report)) {
+      std::fprintf(stderr, "error: cannot load '%s': %s\n",
+                   Args.positional(1).c_str(), Report.Error.c_str());
       return Finish(1);
     }
+    printLoadReport(Report);
     return Finish(solveAndReplay(*Prog, Log, UseZ3));
+  }
+
+  if (Cmd == "crashtest") {
+    uint64_t Seed;
+    if (Args.size() >= 2) {
+      Seed = std::strtoull(Args.positional(1).c_str(), nullptr, 10);
+    } else {
+      // No seed given: hunt one deterministically.
+      std::optional<uint64_t> Found = findBuggySeed(*Prog, 300);
+      if (!Found) {
+        std::fprintf(stderr,
+                     "error: no failing schedule in 300 seeds; pass an "
+                     "explicit seed\n");
+        return Finish(1);
+      }
+      Seed = *Found;
+      std::printf("hunted failing seed %llu\n",
+                  static_cast<unsigned long long>(Seed));
+    }
+    std::string DurablePath =
+        Args.positionalOr(2, makeTempPath("crashtest"));
+    return Finish(runCrashtest(*Prog, Seed, DurablePath, Epochs, UseZ3));
   }
 
   return usage();
