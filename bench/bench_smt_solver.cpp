@@ -14,6 +14,7 @@
 #include "GBenchJson.h"
 
 #include "smt/IdlSolver.h"
+#include "smt/ShardedSolver.h"
 #include "smt/Z3Backend.h"
 #include "support/Random.h"
 
@@ -32,13 +33,14 @@ void setSolverCounters(benchmark::State &State, const SolveResult &R) {
     State.counters[Name] = benchmark::Counter(Value);
 }
 
-/// Builds a satisfiable replay-shaped system: T threads of N accesses each
-/// over V locations, with read-after-write dependence edges and pairwise
-/// noninterference disjunctions.
-OrderSystem replayShaped(int Threads, int PerThread, int Locations,
-                         uint64_t Seed) {
+/// Appends a satisfiable replay-shaped sub-system to \p S: T threads of N
+/// accesses each over V fresh locations, with read-after-write dependence
+/// edges and pairwise noninterference disjunctions. Each call's variables
+/// are disjoint from previous calls', so K calls produce (at least) K
+/// connected components.
+void appendReplayShaped(OrderSystem &S, int Threads, int PerThread,
+                        int Locations, uint64_t Seed) {
   Rng R(Seed);
-  OrderSystem S;
   std::vector<std::vector<Var>> Chain(Threads);
   std::vector<std::vector<Var>> WritesOn(Locations);
   for (int T = 0; T < Threads; ++T) {
@@ -64,6 +66,24 @@ OrderSystem replayShaped(int Threads, int PerThread, int Locations,
     for (size_t I = 0; I + 1 < Ws.size() && I < 40; ++I)
       S.addEitherLess(Ws[I], Ws[I + 1], Ws[I + 1], Ws[I]);
   }
+}
+
+OrderSystem replayShaped(int Threads, int PerThread, int Locations,
+                         uint64_t Seed) {
+  OrderSystem S;
+  appendReplayShaped(S, Threads, PerThread, Locations, Seed);
+  return S;
+}
+
+/// The multi-location shape sharding targets: \p Clusters independent
+/// replay-shaped groups, each with its own threads and locations, so the
+/// system decomposes into at least \p Clusters connected components.
+OrderSystem clusteredShaped(int Clusters, int ThreadsPer, int PerThread,
+                            int LocationsPer, uint64_t Seed) {
+  OrderSystem S;
+  for (int C = 0; C < Clusters; ++C)
+    appendReplayShaped(S, ThreadsPer, PerThread, LocationsPer,
+                       Seed + static_cast<uint64_t>(C) * 7919);
   return S;
 }
 
@@ -91,8 +111,54 @@ static void BM_Z3(benchmark::State &State) {
   State.SetComplexityN(State.range(0));
 }
 
+// Monolithic vs sharded on the clustered multi-location workload.
+// Arg = cluster (≈ component) count; both solve the identical system, so
+// the wall-time ratio is the sharding speedup. Shards=1 routes through
+// the plain solveOrder path; Shards=0 is `auto` (hardware concurrency).
+static void clusteredSolve(benchmark::State &State, unsigned Shards) {
+  OrderSystem S = clusteredShaped(static_cast<int>(State.range(0)),
+                                  /*ThreadsPer=*/2, /*PerThread=*/200,
+                                  /*LocationsPer=*/8, /*Seed=*/7);
+  SolveResult Last;
+  for (auto _ : State) {
+    Last = solveSharded(S, SolverEngine::Idl, {}, Shards);
+    benchmark::DoNotOptimize(Last.sat());
+  }
+  setSolverCounters(State, Last);
+  State.SetComplexityN(State.range(0));
+}
+
+static void BM_ClusteredMonolithic(benchmark::State &State) {
+  clusteredSolve(State, 1);
+}
+
+static void BM_ClusteredShardedAuto(benchmark::State &State) {
+  clusteredSolve(State, 0);
+}
+
+// Fixed at 4 shards so the shard pool is exercised (and solver.shards > 1
+// lands in the JSON) even where `auto` resolves to 1 on a small machine.
+static void BM_ClusteredSharded4(benchmark::State &State) {
+  clusteredSolve(State, 4);
+}
+
 BENCHMARK(BM_IdlSolver)->Arg(50)->Arg(200)->Arg(800)->Unit(
     benchmark::kMicrosecond);
 BENCHMARK(BM_Z3)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClusteredMonolithic)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClusteredShardedAuto)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClusteredSharded4)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
 
 LIGHT_GBENCH_MAIN("smt_solver")

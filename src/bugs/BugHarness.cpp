@@ -58,7 +58,8 @@ std::optional<uint64_t> light::bugs::findBuggySeed(const mir::Program &Prog,
 
 ToolAttempt light::bugs::lightReproduce(const BugBenchmark &Bench,
                                         uint64_t Seed, LightOptions Opts,
-                                        smt::SolverEngine Engine) {
+                                        smt::SolverEngine Engine,
+                                        unsigned SolverShards) {
   ToolAttempt Out;
   Out.Seed = Seed;
 
@@ -92,7 +93,7 @@ ToolAttempt light::bugs::lightReproduce(const BugBenchmark &Bench,
   }
 
   Stopwatch SolveTimer;
-  ReplaySchedule RS = ReplaySchedule::build(Log, Engine);
+  ReplaySchedule RS = ReplaySchedule::build(Log, Engine, {}, SolverShards);
   Out.SolveSeconds = SolveTimer.seconds();
   Out.SolverStats = RS.solveStats();
   Out.SolverStats.Values.clear();

@@ -91,7 +91,17 @@ ScheduleProblem light::buildScheduleProblem(const RecordingLog &Log) {
     std::unordered_map<ThreadId, std::vector<AccessId>> PerThread;
     for (const AccessId &A : P.VarAccess)
       PerThread[A.Thread].push_back(A);
-    for (auto &[T, List] : PerThread) {
+    // unordered_map iteration order is a stdlib implementation detail;
+    // emit chains in ascending thread order so clause order — and with it
+    // solver decision order and the produced schedule — is identical
+    // across runs and platforms.
+    std::vector<ThreadId> Threads;
+    Threads.reserve(PerThread.size());
+    for (const auto &Entry : PerThread)
+      Threads.push_back(Entry.first);
+    std::sort(Threads.begin(), Threads.end());
+    for (ThreadId T : Threads) {
+      std::vector<AccessId> &List = PerThread[T];
       std::sort(List.begin(), List.end(),
                 [](const AccessId &X, const AccessId &Y) {
                   return X.Count < Y.Count;
@@ -102,8 +112,15 @@ ScheduleProblem light::buildScheduleProblem(const RecordingLog &Log) {
     }
   }
 
-  // 3. Dependence + noninterference constraints per location.
-  for (auto &[Loc, Spans] : ByLoc) {
+  // 3. Dependence + noninterference constraints per location, in ascending
+  //    location order for the same determinism reason as the chains above.
+  std::vector<LocationId> Locs;
+  Locs.reserve(ByLoc.size());
+  for (const auto &Entry : ByLoc)
+    Locs.push_back(Entry.first);
+  std::sort(Locs.begin(), Locs.end());
+  for (LocationId Loc : Locs) {
+    std::vector<SpanVars> &Spans = ByLoc[Loc];
     // Single-dependence constraints: O(c_w) < O(c_r).
     for (const SpanVars &SV : Spans)
       if (SV.S->Src.valid())
@@ -159,6 +176,9 @@ ScheduleProblem light::buildScheduleProblem(const RecordingLog &Log) {
       }
     }
   }
+
+  // Component metadata for sharded solving: which variables can interact.
+  P.Components = smt::connectedComponents(P.System);
 
   return P;
 }

@@ -38,6 +38,11 @@ struct ScheduleProblem {
   std::vector<AccessId> VarAccess;                   ///< var -> access
   std::unordered_map<uint64_t, smt::Var> AccessVar;  ///< packed -> var
 
+  /// Connected components of System: accesses in different components
+  /// share no constraint (no common thread chain, no common location), so
+  /// their sub-systems can be solved independently (smt::solveSharded).
+  smt::ComponentInfo Components;
+
   smt::Var varOf(AccessId A) const {
     auto It = AccessVar.find(A.pack());
     return It == AccessVar.end() ? ~0u : It->second;

@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "smt/ShardedSolver.h"
 
 #include <algorithm>
 #include <cassert>
@@ -16,7 +17,8 @@ using namespace light;
 
 ReplaySchedule ReplaySchedule::build(const RecordingLog &Log,
                                      smt::SolverEngine Engine,
-                                     smt::SolverLimits Limits) {
+                                     smt::SolverLimits Limits,
+                                     unsigned SolverShards) {
   ReplaySchedule RS;
 
   ScheduleProblem P = [&] {
@@ -24,12 +26,17 @@ ReplaySchedule ReplaySchedule::build(const RecordingLog &Log,
     ScheduleProblem Problem = buildScheduleProblem(Log);
     Span.arg("vars", Problem.System.numVars());
     Span.arg("clauses", Problem.System.clauses().size());
+    Span.arg("components", Problem.Components.NumComponents);
     return Problem;
   }();
   obs::Registry &Reg = obs::Registry::global();
   Reg.counter("schedule.order_vars").add(P.System.numVars());
   Reg.counter("schedule.clauses").add(P.System.clauses().size());
-  RS.Stats = smt::solveOrder(P.System, Engine, Limits);
+  Reg.gauge("schedule.components")
+      .set(static_cast<int64_t>(P.Components.NumComponents));
+  RS.Stats = SolverShards == 1
+                 ? smt::solveOrder(P.System, Engine, Limits)
+                 : smt::solveSharded(P.System, Engine, Limits, SolverShards);
   if (!RS.Stats.sat()) {
     RS.Error = RS.Stats.failed()
                    ? "schedule solve failed (" + RS.Stats.failReasonStr() +

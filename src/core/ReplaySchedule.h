@@ -56,9 +56,15 @@ public:
   /// (ok() == false) if the system is unsatisfiable — which Lemma 4.1 rules
   /// out for well-formed logs — or if both solver engines gave up;
   /// solveStats() distinguishes the two.
+  ///
+  /// \p SolverShards controls sharded solving (smt::solveSharded): 1 is
+  /// the monolithic path bit-for-bit, 0 means auto (hardware concurrency),
+  /// N > 1 solves up to N independent constraint shards concurrently. The
+  /// assembled schedule is deterministic for every setting.
   static ReplaySchedule build(const RecordingLog &Log,
                               smt::SolverEngine Engine = smt::SolverEngine::Idl,
-                              smt::SolverLimits Limits = {});
+                              smt::SolverLimits Limits = {},
+                              unsigned SolverShards = 1);
 
   bool ok() const { return Satisfiable; }
   const std::string &error() const { return Error; }

@@ -37,6 +37,7 @@ inline Lit negate(Lit L) { return L ^ 1; }
 struct IdlSolver::Impl {
   const OrderSystem &Sys;
   SolverLimits Limits;
+  IdlTuning Tuning;
 
   struct IAtom {
     Var U, V;
@@ -55,6 +56,17 @@ struct IdlSolver::Impl {
   /// Per-atom occurrence lists: clauses containing the positive / negative
   /// literal of the atom.
   std::vector<std::vector<uint32_t>> OccPos, OccNeg;
+
+  /// Lowest clause index mentioning the atom (either polarity). Unassigning
+  /// an atom can only change the satisfied-status of clauses from this
+  /// index on, so the post-conflict scan resumes from the minimum over the
+  /// unassigned atoms instead of from clause 0.
+  std::vector<uint32_t> MinOcc;
+
+  /// Lowest clause index whose scanned-satisfied status the backtracking
+  /// since the last scan resume may have invalidated. Maintained by
+  /// undoTo(); consumed (and reset) when the scan resumes after a conflict.
+  size_t RescanFloor = SIZE_MAX;
 
   /// Per-atom assignment: 0 unassigned, +1 true, -1 false.
   std::vector<int8_t> Val;
@@ -98,7 +110,8 @@ struct IdlSolver::Impl {
   /// 1/256 of probes (plus every conflict, which is already expensive).
   uint32_t BudgetProbe = 0;
 
-  explicit Impl(const OrderSystem &S, SolverLimits L) : Sys(S), Limits(L) {
+  explicit Impl(const OrderSystem &S, SolverLimits L, IdlTuning T)
+      : Sys(S), Limits(L), Tuning(T) {
     Adj.resize(Sys.numVars());
     Pot.assign(Sys.numVars(), 0);
     ParentFrom.assign(Sys.numVars(), 0);
@@ -123,14 +136,17 @@ struct IdlSolver::Impl {
     Val.push_back(0);
     OccPos.emplace_back();
     OccNeg.emplace_back();
+    MinOcc.push_back(~0u);
     Bucket.push_back(Id);
     return Id;
   }
 
   void addClauseInternal(IClause IC) {
     uint32_t Index = static_cast<uint32_t>(Clauses.size());
-    for (Lit L : IC.Lits)
+    for (Lit L : IC.Lits) {
       (isNeg(L) ? OccNeg : OccPos)[atomOf(L)].push_back(Index);
+      MinOcc[atomOf(L)] = std::min(MinOcc[atomOf(L)], Index);
+    }
     Clauses.push_back(std::move(IC));
   }
 
@@ -278,7 +294,9 @@ struct IdlSolver::Impl {
       TrailStep &S = Trail.back();
       if (S.HasEdge)
         Adj[S.EdgeFrom].pop_back();
-      Val[atomOf(S.L)] = 0;
+      AtomId A = atomOf(S.L);
+      Val[A] = 0;
+      RescanFloor = std::min(RescanFloor, static_cast<size_t>(MinOcc[A]));
       Trail.pop_back();
     }
   }
@@ -292,10 +310,15 @@ struct IdlSolver::Impl {
     return R;
   }
 
-  /// Checks the solve budget (conflict count always, wall clock on a 1/256
-  /// sampled cadence). On exhaustion fills the Timeout outcome and returns
-  /// true; the search must stop without a verdict.
-  bool overBudget(Stopwatch &Timer) {
+  /// Checks the solve budget: the conflict count always, the wall clock on
+  /// a 1/256 sampled cadence — except right after a conflict
+  /// (\p AtConflict), where the clock is read unconditionally. The sampled
+  /// probe alone let a run with MaxConflicts == 0 overshoot WallSeconds by
+  /// arbitrarily long propagation bursts; a conflict is already expensive,
+  /// so the extra clock read is free and bounds the overshoot to one
+  /// inter-conflict stretch. On exhaustion fills the Timeout outcome and
+  /// returns true; the search must stop without a verdict.
+  bool overBudget(Stopwatch &Timer, bool AtConflict = false) {
     if (Limits.MaxConflicts && Result.Conflicts >= Limits.MaxConflicts) {
       Result.Outcome = SolveResult::Status::Timeout;
       Result.Reason = SolveResult::FailReason::ConflictBudget;
@@ -303,7 +326,8 @@ struct IdlSolver::Impl {
                        std::to_string(Limits.MaxConflicts) + " exhausted";
       return true;
     }
-    if (Limits.WallSeconds > 0 && (++BudgetProbe & 255) == 0 &&
+    if (Limits.WallSeconds > 0 &&
+        (AtConflict || (++BudgetProbe & 255) == 0) &&
         Timer.seconds() > Limits.WallSeconds) {
       Result.Outcome = SolveResult::Status::Timeout;
       Result.Reason = SolveResult::FailReason::WallClock;
@@ -337,8 +361,25 @@ struct IdlSolver::Impl {
           Result.SolveSeconds = Timer.seconds();
           return Result;
         }
+        if (!Limits.unlimited() && overBudget(Timer, /*AtConflict=*/true)) {
+          Result.SolveSeconds = Timer.seconds();
+          return Result;
+        }
       }
     }
+
+    // Where to resume the clause scan after a conflict: every clause below
+    // RescanFloor (the lowest index touching an atom the backjump
+    // unassigned) is provably still satisfied, so rescanning them — the
+    // old `CI = 0` behavior — was O(conflicts × clauses) of pure overhead.
+    // The resume point never exceeds the conflicting clause itself, which
+    // must always be revisited.
+    auto ResumePoint = [&](size_t CurCI) {
+      size_t R = Tuning.FullRescan ? 0 : std::min(CurCI, RescanFloor);
+      RescanFloor = SIZE_MAX;
+      return R;
+    };
+    RescanFloor = SIZE_MAX; // undo during the unit phase precedes the scan
 
     size_t CI = 0;
     while (CI < Clauses.size()) {
@@ -346,6 +387,7 @@ struct IdlSolver::Impl {
         Result.SolveSeconds = Timer.seconds();
         return Result;
       }
+      ++Result.ScanSteps;
       const IClause &C = Clauses[CI];
       bool Satisfied = false;
       Lit Choice = 0;
@@ -372,7 +414,11 @@ struct IdlSolver::Impl {
           Result.SolveSeconds = Timer.seconds();
           return Result;
         }
-        CI = 0;
+        CI = ResumePoint(CI);
+        if (!Limits.unlimited() && overBudget(Timer, /*AtConflict=*/true)) {
+          Result.SolveSeconds = Timer.seconds();
+          return Result;
+        }
         continue;
       }
       ++Result.Decisions;
@@ -383,7 +429,11 @@ struct IdlSolver::Impl {
           Result.SolveSeconds = Timer.seconds();
           return Result;
         }
-        CI = 0;
+        CI = ResumePoint(CI);
+        if (!Limits.unlimited() && overBudget(Timer, /*AtConflict=*/true)) {
+          Result.SolveSeconds = Timer.seconds();
+          return Result;
+        }
         continue;
       }
       ++CI;
@@ -432,15 +482,16 @@ struct IdlSolver::Impl {
   }
 };
 
-IdlSolver::IdlSolver(const OrderSystem &System, SolverLimits Limits)
-    : I(std::make_unique<Impl>(System, Limits)) {}
+IdlSolver::IdlSolver(const OrderSystem &System, SolverLimits Limits,
+                     IdlTuning Tuning)
+    : I(std::make_unique<Impl>(System, Limits, Tuning)) {}
 
 IdlSolver::~IdlSolver() = default;
 
 SolveResult IdlSolver::solve() { return I->run(); }
 
 SolveResult light::smt::solveWithIdl(const OrderSystem &System,
-                                     SolverLimits Limits) {
-  IdlSolver Solver(System, Limits);
+                                     SolverLimits Limits, IdlTuning Tuning) {
+  IdlSolver Solver(System, Limits, Tuning);
   return Solver.solve();
 }

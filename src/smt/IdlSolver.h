@@ -31,6 +31,17 @@
 namespace light {
 namespace smt {
 
+/// Search tuning; the defaults are the production configuration.
+struct IdlTuning {
+  /// Restart the clause scan from clause 0 after every conflict — the
+  /// pre-fix O(conflicts × clauses) behavior — instead of resuming from the
+  /// lowest clause index the backjump invalidated. Both settings make the
+  /// identical decision sequence (the skipped prefix is provably still
+  /// satisfied), so tests assert Decisions/Conflicts are unchanged while
+  /// ScanSteps drop. Exists only for those differential assertions.
+  bool FullRescan = false;
+};
+
 /// Solves an OrderSystem. A fresh instance should be created per solve call.
 class IdlSolver {
   struct Impl;
@@ -39,7 +50,8 @@ class IdlSolver {
 public:
   /// \p Limits bounds the search; an exhausted budget yields
   /// Status::Timeout with the structured reason, never a wrong verdict.
-  explicit IdlSolver(const OrderSystem &System, SolverLimits Limits = {});
+  explicit IdlSolver(const OrderSystem &System, SolverLimits Limits = {},
+                     IdlTuning Tuning = {});
   ~IdlSolver();
 
   IdlSolver(const IdlSolver &) = delete;
@@ -51,7 +63,8 @@ public:
 };
 
 /// Convenience wrapper: construct, solve, return.
-SolveResult solveWithIdl(const OrderSystem &System, SolverLimits Limits = {});
+SolveResult solveWithIdl(const OrderSystem &System, SolverLimits Limits = {},
+                         IdlTuning Tuning = {});
 
 } // namespace smt
 } // namespace light

@@ -60,6 +60,52 @@ std::string OrderSystem::str() const {
   return Out;
 }
 
+ComponentInfo light::smt::connectedComponents(const OrderSystem &System) {
+  uint32_t N = System.numVars();
+  std::vector<Var> Parent(N);
+  for (Var V = 0; V < N; ++V)
+    Parent[V] = V;
+  auto Find = [&](Var V) {
+    while (Parent[V] != V) {
+      Parent[V] = Parent[Parent[V]];
+      V = Parent[V];
+    }
+    return V;
+  };
+  // Union toward the smaller root so each root is its component's minimum;
+  // that makes the final id numbering independent of union order.
+  auto Union = [&](Var A, Var B) {
+    A = Find(A);
+    B = Find(B);
+    if (A == B)
+      return;
+    if (A < B)
+      Parent[B] = A;
+    else
+      Parent[A] = B;
+  };
+  for (const Clause &C : System.clauses()) {
+    Var First = C.front().U;
+    for (const Atom &A : C) {
+      Union(First, A.U);
+      Union(First, A.V);
+    }
+  }
+
+  ComponentInfo Info;
+  Info.CompOfVar.assign(N, 0);
+  // Roots are component minima, so scanning variables in ascending order
+  // hands out ids in order of each component's smallest variable.
+  std::vector<uint32_t> IdOfRoot(N, ~0u);
+  for (Var V = 0; V < N; ++V) {
+    Var Root = Find(V);
+    if (IdOfRoot[Root] == ~0u)
+      IdOfRoot[Root] = Info.NumComponents++;
+    Info.CompOfVar[V] = IdOfRoot[Root];
+  }
+  return Info;
+}
+
 std::string SolveResult::failReasonStr() const {
   switch (Reason) {
   case FailReason::None:
@@ -83,6 +129,8 @@ light::smt::solveStatEntries(const SolveResult &R) {
       {"solver.propagations", static_cast<double>(R.Propagations)},
       {"solver.conflicts", static_cast<double>(R.Conflicts)},
       {"solver.cycle_checks", static_cast<double>(R.CycleChecks)},
+      {"solver.scan_steps", static_cast<double>(R.ScanSteps)},
+      {"solver.shards", static_cast<double>(R.Shards)},
       {"solver.solve_ms", R.SolveSeconds * 1000.0},
   };
 }
@@ -94,6 +142,7 @@ void light::smt::publishSolveStats(const SolveResult &R) {
   Reg.counter("solver.propagations").add(R.Propagations);
   Reg.counter("solver.conflicts").add(R.Conflicts);
   Reg.counter("solver.cycle_checks").add(R.CycleChecks);
+  Reg.counter("solver.scan_steps").add(R.ScanSteps);
   Reg.counter(R.sat() ? "solver.sat"
               : R.failed() ? "solver.failed"
                            : "solver.unsat")

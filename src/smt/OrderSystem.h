@@ -81,6 +81,14 @@ public:
   const std::vector<Clause> &clauses() const { return Clauses; }
   const std::string &name(Var V) const { return Names[V]; }
 
+  /// Two systems are equal when they declare the same variables (same
+  /// names, same order) and the same clauses in the same order. Used by the
+  /// determinism tests: two builds of one RecordingLog must compare equal.
+  friend bool operator==(const OrderSystem &A, const OrderSystem &B) {
+    return A.NumVariables == B.NumVariables && A.Clauses == B.Clauses &&
+           A.Names == B.Names;
+  }
+
   /// Checks a candidate assignment against every clause; used by tests and
   /// by the replayer's paranoid mode to validate solver models.
   bool satisfiedBy(const std::vector<int64_t> &Values) const;
@@ -88,11 +96,31 @@ public:
   std::string str() const;
 };
 
+/// The connected components of a constraint system over its
+/// variable/constraint graph (two variables are connected when some clause
+/// mentions both). Variables in different components share no constraint —
+/// directly or transitively — so their sub-systems can be solved
+/// independently and any combination of the sub-models satisfies the whole
+/// system. This is what makes sharded schedule construction sound: replay
+/// locations that share no order variable (no common thread chain segment,
+/// no cross-location constraint) land in different components.
+struct ComponentInfo {
+  /// Component id per variable. Ids are assigned deterministically in order
+  /// of each component's smallest variable, so id 0 contains variable 0.
+  std::vector<uint32_t> CompOfVar;
+  uint32_t NumComponents = 0;
+};
+
+/// Computes the connected components of \p System (union-find over the
+/// clause list; near-linear in clause literals).
+ComponentInfo connectedComponents(const OrderSystem &System);
+
 /// Resource budget for one solve call. Zero fields mean unlimited; an
 /// exhausted budget yields Status::Timeout, never a wrong verdict.
 struct SolverLimits {
-  /// Wall-clock budget in seconds (checked on a sampled cadence inside the
-  /// search, so slight overshoot is possible).
+  /// Wall-clock budget in seconds. Checked on a sampled cadence inside the
+  /// search *and* unconditionally on every conflict, so an over-budget run
+  /// stops at the next conflict even when MaxConflicts is unlimited.
   double WallSeconds = 0;
 
   /// Conflict budget: the search gives up after this many conflicts.
@@ -133,6 +161,15 @@ struct SolveResult {
   /// theory (relaxation passes that found an infeasible edge). Zero for the
   /// Z3 backend, which does not expose the equivalent statistic.
   uint64_t CycleChecks = 0;
+  /// Clause-scan loop iterations of the IDL search (each visits one clause
+  /// to test satisfaction / pick a decision). The conflict-rescan fix is
+  /// asserted through this statistic: resuming from the backjump's lowest
+  /// invalidated clause instead of clause 0 must not change
+  /// Decisions/Conflicts while this number drops. Zero for Z3.
+  uint64_t ScanSteps = 0;
+  /// Number of shards the solve ran across (1 for a monolithic solve; set
+  /// by smt::solveSharded when it actually partitioned the system).
+  uint32_t Shards = 1;
   double SolveSeconds = 0;
 
   bool sat() const { return Outcome == Status::Sat; }
@@ -150,7 +187,7 @@ struct SolveResult {
 /// names every consumer must use — bench_smt_solver, bench_table1_replay,
 /// and the registry all report solver effort under exactly these keys:
 /// solver.decisions, solver.propagations, solver.conflicts,
-/// solver.cycle_checks, solver.solve_ms.
+/// solver.cycle_checks, solver.scan_steps, solver.shards, solver.solve_ms.
 std::vector<std::pair<std::string, double>>
 solveStatEntries(const SolveResult &R);
 

@@ -1,0 +1,208 @@
+//===- smt/ShardedSolver.cpp - Sharded parallel order solving ------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/ShardedSolver.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace light;
+using namespace light::smt;
+
+unsigned light::smt::autoShardCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ShardPlan light::smt::planShards(const OrderSystem &System,
+                                 unsigned ShardCount) {
+  assert(ShardCount >= 1 && "resolve auto before planning");
+  ShardPlan Plan;
+  Plan.Components = connectedComponents(System);
+  uint32_t NumComps = Plan.Components.NumComponents;
+  size_t NumShards = std::min<size_t>(ShardCount, std::max<uint32_t>(NumComps, 1));
+  Plan.Shards.resize(NumShards);
+  if (NumComps == 0)
+    return Plan;
+
+  // Per-component weights. A clause belongs to the component of its first
+  // atom (all atoms of a clause are in one component by construction).
+  std::vector<uint64_t> CompClauses(NumComps, 0), CompVars(NumComps, 0);
+  for (const Clause &C : System.clauses())
+    ++CompClauses[Plan.Components.CompOfVar[C.front().U]];
+  for (Var V = 0; V < System.numVars(); ++V)
+    ++CompVars[Plan.Components.CompOfVar[V]];
+
+  // Greedy longest-processing-time packing: heaviest component first onto
+  // the least-loaded shard. Every tie breaks toward the lower index, so
+  // the packing is a pure function of the system.
+  std::vector<uint32_t> Order(NumComps);
+  for (uint32_t I = 0; I < NumComps; ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    if (CompClauses[A] != CompClauses[B])
+      return CompClauses[A] > CompClauses[B];
+    if (CompVars[A] != CompVars[B])
+      return CompVars[A] > CompVars[B];
+    return A < B;
+  });
+  std::vector<uint64_t> Load(NumShards, 0);
+  std::vector<uint32_t> ShardOfComp(NumComps, 0);
+  for (uint32_t Comp : Order) {
+    size_t Best = 0;
+    for (size_t S = 1; S < NumShards; ++S)
+      if (Load[S] < Load[Best])
+        Best = S;
+    ShardOfComp[Comp] = static_cast<uint32_t>(Best);
+    // Weigh by clauses (the solve cost driver) plus one so clause-free
+    // singleton components still spread instead of piling on shard 0.
+    Load[Best] += CompClauses[Comp] + 1;
+  }
+
+  for (Var V = 0; V < System.numVars(); ++V)
+    Plan.Shards[ShardOfComp[Plan.Components.CompOfVar[V]]].Vars.push_back(V);
+  for (uint32_t CI = 0; CI < System.clauses().size(); ++CI) {
+    uint32_t Comp =
+        Plan.Components.CompOfVar[System.clauses()[CI].front().U];
+    Plan.Shards[ShardOfComp[Comp]].Clauses.push_back(CI);
+  }
+  return Plan;
+}
+
+OrderSystem ShardPlan::subSystem(const OrderSystem &System, size_t I) const {
+  const Shard &S = Shards[I];
+  OrderSystem Sub;
+  std::vector<Var> LocalOf(System.numVars(), 0);
+  for (size_t Local = 0; Local < S.Vars.size(); ++Local) {
+    LocalOf[S.Vars[Local]] = static_cast<Var>(Local);
+    Sub.newVar(System.name(S.Vars[Local]));
+  }
+  for (uint32_t CI : S.Clauses) {
+    Clause C = System.clauses()[CI];
+    for (Atom &A : C) {
+      A.U = LocalOf[A.U];
+      A.V = LocalOf[A.V];
+    }
+    Sub.addClause(std::move(C));
+  }
+  return Sub;
+}
+
+SolveResult light::smt::solveSharded(const OrderSystem &System,
+                                     SolverEngine Engine, SolverLimits Limits,
+                                     unsigned ShardCount) {
+  unsigned Want = ShardCount == 0 ? autoShardCount() : ShardCount;
+  if (Want <= 1)
+    return solveOrder(System, Engine, Limits);
+  ShardPlan Plan = planShards(System, Want);
+  size_t N = Plan.Shards.size();
+  if (N <= 1)
+    return solveOrder(System, Engine, Limits);
+
+  obs::TraceSpan Span("solver.solve.sharded", "solver");
+  Span.arg("shards", N);
+  Stopwatch Timer;
+
+  // Carve the budget: wall clock passes through (shards run concurrently
+  // under the same deadline); the conflict budget splits proportional to
+  // each shard's clause share, minimum 1 so no shard starts exhausted.
+  std::vector<SolverLimits> ShardLimits(N, Limits);
+  if (Limits.MaxConflicts > 0) {
+    size_t TotalClauses = std::max<size_t>(System.clauses().size(), 1);
+    for (size_t I = 0; I < N; ++I)
+      ShardLimits[I].MaxConflicts = std::max<uint64_t>(
+          Limits.MaxConflicts * Plan.Shards[I].Clauses.size() / TotalClauses,
+          1);
+  }
+
+  // One pool thread per shard, bounded by the shard count itself (N was
+  // already clamped to the requested width). Work-stealing via a shared
+  // cursor; results land in per-shard slots so the merge below is
+  // independent of completion order.
+  std::vector<SolveResult> Results(N);
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      obs::TraceSpan ShardSpan("solver.shard", "solver");
+      ShardSpan.arg("shard", I);
+      ShardSpan.arg("vars", Plan.Shards[I].Vars.size());
+      ShardSpan.arg("clauses", Plan.Shards[I].Clauses.size());
+      OrderSystem Sub = Plan.subSystem(System, I);
+      Results[I] = solveOrder(Sub, Engine, ShardLimits[I]);
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(N - 1);
+  for (size_t T = 1; T < N; ++T)
+    Pool.emplace_back(Work);
+  Work();
+  for (std::thread &T : Pool)
+    T.join();
+
+  SolveResult R;
+  R.Outcome = SolveResult::Status::Sat;
+  R.Shards = static_cast<uint32_t>(N);
+  for (const SolveResult &S : Results) {
+    R.Decisions += S.Decisions;
+    R.Propagations += S.Propagations;
+    R.Conflicts += S.Conflicts;
+    R.CycleChecks += S.CycleChecks;
+    R.ScanSteps += S.ScanSteps;
+  }
+  // Verdict precedence: Unsat beats failure (an unsat shard is a subset of
+  // the whole system, so the whole system is unsat no matter what the
+  // other shards did); otherwise the first failed shard by index wins.
+  auto ShardMessage = [&](size_t I, const SolveResult &S) {
+    return "shard " + std::to_string(I) + "/" + std::to_string(N) +
+           (S.Message.empty() ? "" : ": " + S.Message);
+  };
+  for (size_t I = 0; I < N; ++I)
+    if (Results[I].Outcome == SolveResult::Status::Unsat) {
+      R.Outcome = SolveResult::Status::Unsat;
+      R.Message = ShardMessage(I, Results[I]);
+      break;
+    }
+  if (R.Outcome == SolveResult::Status::Sat)
+    for (size_t I = 0; I < N; ++I)
+      if (Results[I].failed()) {
+        R.Outcome = Results[I].Outcome;
+        R.Reason = Results[I].Reason;
+        R.Message = ShardMessage(I, Results[I]);
+        break;
+      }
+  if (R.sat()) {
+    R.Values.assign(System.numVars(), 0);
+    for (size_t I = 0; I < N; ++I)
+      for (size_t J = 0; J < Plan.Shards[I].Vars.size(); ++J)
+        R.Values[Plan.Shards[I].Vars[J]] = Results[I].Values[J];
+    assert(System.satisfiedBy(R.Values) &&
+           "merged shard models must satisfy the full system");
+  }
+  R.SolveSeconds = Timer.seconds();
+
+  // Shard-level telemetry. Per-shard engine solves already published the
+  // regular solver.* stats themselves; only the shard extras go here.
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("solver.sharded_solves").add(1);
+  Reg.counter("solver.shard.solves").add(N);
+  Reg.gauge("solver.shards").set(static_cast<int64_t>(N));
+  obs::Histogram ShardNs = Reg.histogram("solver.shard.solve_ns");
+  for (const SolveResult &S : Results) {
+    ShardNs.record(static_cast<uint64_t>(S.SolveSeconds * 1e9));
+    Reg.counter(S.sat()      ? "solver.shard.sat"
+                : S.failed() ? "solver.shard.failed"
+                             : "solver.shard.unsat")
+        .add(1);
+  }
+  return R;
+}

@@ -1,0 +1,82 @@
+//===- smt/ShardedSolver.h - Sharded parallel order solving -----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sharded schedule construction: partition an OrderSystem into its
+/// connected components (see smt::connectedComponents — variables in
+/// different components share no constraint, so any combination of
+/// per-component models satisfies the whole system), pack the components
+/// into at most N shards, solve each shard concurrently with the regular
+/// engines, and merge the sub-models into one result.
+///
+/// The plan is fully deterministic: component ids are numbered by smallest
+/// member variable, components are packed greedily (largest clause count
+/// first) onto the least-loaded shard with every tie broken by index, and
+/// the merge walks shards in index order. Thread scheduling can change
+/// *when* a shard finishes, never *what* the merged result is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SMT_SHARDEDSOLVER_H
+#define LIGHT_SMT_SHARDEDSOLVER_H
+
+#include "smt/Z3Backend.h"
+
+namespace light {
+namespace smt {
+
+/// The deterministic partition of an OrderSystem into solver shards.
+/// Exposed separately from solveSharded so tests and benchmarks can
+/// inspect the packing.
+struct ShardPlan {
+  struct Shard {
+    /// Global variable ids in this shard, ascending. Local variable j of
+    /// the shard's sub-system is Vars[j].
+    std::vector<Var> Vars;
+    /// Indexes into the original clause list, ascending.
+    std::vector<uint32_t> Clauses;
+  };
+  std::vector<Shard> Shards;
+  ComponentInfo Components;
+
+  /// Materializes the sub-OrderSystem for shard \p I: the shard's
+  /// variables renumbered densely (keeping their debug names) and its
+  /// clauses remapped onto the local numbering.
+  OrderSystem subSystem(const OrderSystem &System, size_t I) const;
+};
+
+/// Packs the components of \p System into at most \p ShardCount shards
+/// (>= 1). Produces fewer shards when there are fewer components.
+ShardPlan planShards(const OrderSystem &System, unsigned ShardCount);
+
+/// The shard count "auto" resolves to: hardware concurrency, minimum 1.
+unsigned autoShardCount();
+
+/// Solves \p System by solving its constraint shards concurrently on a
+/// bounded thread pool (one thread per shard, at most \p ShardCount).
+///
+///   * ShardCount == 0 means auto (hardware concurrency).
+///   * ShardCount == 1 — or a system with a single component — falls
+///     through to the monolithic solveOrder path bit-for-bit.
+///
+/// Budget carving: WallSeconds applies to every shard unchanged (shards
+/// run concurrently under the same deadline); a nonzero MaxConflicts is
+/// split across shards proportional to their clause share (minimum 1).
+///
+/// Merge rule, in precedence order: any Unsat shard makes the whole
+/// system Unsat (its constraints are a subset); otherwise the first
+/// failed shard (by index) surfaces its Timeout/Error; otherwise the
+/// verdict is Sat and the per-shard models are written back through each
+/// shard's variable map. Statistics are summed across shards,
+/// SolveSeconds is the driver's wall time, and Shards records the actual
+/// shard count.
+SolveResult solveSharded(const OrderSystem &System, SolverEngine Engine,
+                         SolverLimits Limits = {}, unsigned ShardCount = 0);
+
+} // namespace smt
+} // namespace light
+
+#endif // LIGHT_SMT_SHARDEDSOLVER_H

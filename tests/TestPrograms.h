@@ -376,10 +376,13 @@ inline RecordOutcome recordRunBursty(const mir::Program &Prog, uint64_t Seed,
 }
 
 /// Replays \p Log against \p Prog with validation on; returns the result.
+/// \p SolverShards is forwarded to ReplaySchedule::build (1 = monolithic,
+/// 0 = auto, N = sharded).
 inline RunResult replayRun(const mir::Program &Prog, const RecordingLog &Log,
                            smt::SolverEngine Engine = smt::SolverEngine::Idl,
-                           std::string *Error = nullptr) {
-  ReplaySchedule RS = ReplaySchedule::build(Log, Engine);
+                           std::string *Error = nullptr,
+                           unsigned SolverShards = 1) {
+  ReplaySchedule RS = ReplaySchedule::build(Log, Engine, {}, SolverShards);
   if (!RS.ok()) {
     if (Error)
       *Error = RS.error();
@@ -403,9 +406,11 @@ inline RunResult replayRun(const mir::Program &Prog, const RecordingLog &Log,
 inline void expectFaithfulReplay(const mir::Program &Prog,
                                  const RecordOutcome &Recorded,
                                  smt::SolverEngine Engine =
-                                     smt::SolverEngine::Idl) {
+                                     smt::SolverEngine::Idl,
+                                 unsigned SolverShards = 1) {
   std::string Error;
-  RunResult Replayed = replayRun(Prog, Recorded.Log, Engine, &Error);
+  RunResult Replayed =
+      replayRun(Prog, Recorded.Log, Engine, &Error, SolverShards);
   ASSERT_NE(Replayed.Bug.What, BugReport::Kind::ReplayDivergence)
       << "replay diverged: " << Replayed.Bug.Detail << " " << Error;
   EXPECT_EQ(Recorded.Result.Completed, Replayed.Completed);

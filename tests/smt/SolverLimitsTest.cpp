@@ -63,6 +63,25 @@ TEST_F(SolverLimitsF, TinyWallClockBudgetTimesOut) {
   EXPECT_EQ(R.failReasonStr(), "wall-clock");
 }
 
+TEST_F(SolverLimitsF, WallClockCheckedOnEveryConflict) {
+  // A single early conflict, far fewer scan steps than the 1/256 sampled
+  // probe cadence: before the fix the expired wall budget went unnoticed
+  // and the solve returned Sat; the unconditional conflict-path check
+  // must catch it.
+  OrderSystem S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addLess(A, B);
+  // First arm contradicts the forced order => one theory conflict.
+  S.addClause({Atom::less(B, A), Atom::less(A, C)});
+  SolverLimits L;
+  L.WallSeconds = 1e-12; // expired before the solve even starts
+  SolveResult R = solveWithIdl(S, L);
+  ASSERT_TRUE(R.failed());
+  EXPECT_EQ(R.Outcome, SolveResult::Status::Timeout);
+  EXPECT_EQ(R.Reason, SolveResult::FailReason::WallClock);
+  EXPECT_GE(R.Conflicts, 1u);
+}
+
 TEST_F(SolverLimitsF, BudgetedSolveStillSucceedsWhenGenerous) {
   OrderSystem S = wideSystem(20);
   SolverLimits L;

@@ -27,6 +27,10 @@
 ///                          replay)
 ///   --no-verify            record only; skip the solve + validated replay
 ///                          pass that `record` runs by default
+///   --solver-shards <N|auto>
+///                          solve independent constraint shards on up to N
+///                          threads (default auto = hardware concurrency;
+///                          1 = the monolithic path bit-for-bit)
 ///   --epoch-spans <N>      durable-log mode: close an epoch after N
 ///                          pending spans per thread (record, crashtest)
 ///   --epoch-ms <N>         durable-log mode: close an epoch after N
@@ -103,6 +107,9 @@ int usage() {
       "flags (any position, any subcommand):\n"
       "  --z3                   use the Z3 solver backend\n"
       "  --no-verify            skip record's solve+replay verification\n"
+      "  --solver-shards <N|auto>\n"
+      "                         solve independent constraint shards on up\n"
+      "                         to N threads (default auto; 1 = monolithic)\n"
       "  --epoch-spans <N>      durable epoch log: flush every N spans\n"
       "  --epoch-ms <N>         durable epoch log: flush every N ms\n"
       "  --fault <spec>         arm fault injection (LIGHT_FAULT grammar)\n"
@@ -179,16 +186,20 @@ void printLoadReport(const LogLoadReport &Report) {
 /// mode for a torn prefix whose open spans died with the recorder.
 /// Returns 0 on a faithful replay.
 int solveAndReplay(const mir::Program &Prog, const RecordingLog &Log,
-                   bool UseZ3, const BugReport *ExpectBug = nullptr,
+                   bool UseZ3, unsigned SolverShards,
+                   const BugReport *ExpectBug = nullptr,
                    bool Validate = true) {
   ReplaySchedule Plan = ReplaySchedule::build(
-      Log, UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl);
+      Log, UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl, {},
+      SolverShards);
   if (!Plan.ok()) {
     std::fprintf(stderr, "error: %s\n", Plan.error().c_str());
     return 1;
   }
-  std::printf("solved %zu-turn schedule in %.2f ms\n", Plan.order().size(),
-              Plan.solveStats().SolveSeconds * 1000);
+  std::printf("solved %zu-turn schedule in %.2f ms (%u shard%s)\n",
+              Plan.order().size(),
+              Plan.solveStats().SolveSeconds * 1000, Plan.solveStats().Shards,
+              Plan.solveStats().Shards == 1 ? "" : "s");
   ReplayDirector Director(Plan, /*RealThreads=*/false, Validate);
   Machine M(Prog, Director);
   M.prepareReplay(Log.Spawns);
@@ -290,7 +301,7 @@ struct EpochFlags {
 /// its durable log, and verify the replay. Returns the process exit code.
 int runCrashtest(const mir::Program &Prog, uint64_t Seed,
                  const std::string &DurablePath, const EpochFlags &Epochs,
-                 bool UseZ3) {
+                 bool UseZ3, unsigned SolverShards) {
   // The reference outcome: the same seed under a plain run (recording does
   // not perturb the cooperative schedule, so this is the bug the salvaged
   // log must reproduce).
@@ -354,7 +365,7 @@ int runCrashtest(const mir::Program &Prog, uint64_t Seed,
   // Without it, crashFlush persisted everything up to the bug, so the
   // bug itself must reproduce under full validation.
   bool TailLost = fault::Injector::global().armed("log.crash_at_epoch");
-  int Rc = solveAndReplay(Prog, Log, UseZ3,
+  int Rc = solveAndReplay(Prog, Log, UseZ3, SolverShards,
                           TailLost ? nullptr : &Expected.Bug,
                           /*Validate=*/!TailLost);
   if (Rc == 0)
@@ -382,7 +393,8 @@ int main(int argc, char **argv) {
 
   obs::ArgList Args(
       argc, argv,
-      {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault"},
+      {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault",
+       "solver-shards"},
       {"z3", "no-verify"}, /*Begin=*/2);
   for (const std::string &F : Args.unknown())
     std::fprintf(stderr, "error: unknown flag '%s'\n", F.c_str());
@@ -394,6 +406,19 @@ int main(int argc, char **argv) {
   std::string MetricsPath = Args.get("metrics-json", "", "metrics.json");
   std::string TracePath = Args.get("trace-out", "", "trace.json");
   bool UseZ3 = Args.has("z3");
+  // "auto" maps to 0, which ReplaySchedule::build resolves to hardware
+  // concurrency; an explicit 1 keeps the monolithic solve path.
+  std::string ShardSpec = Args.get("solver-shards", "auto", "auto");
+  unsigned SolverShards =
+      ShardSpec == "auto"
+          ? 0
+          : static_cast<unsigned>(std::strtoul(ShardSpec.c_str(), nullptr, 10));
+  if (ShardSpec != "auto" && SolverShards == 0) {
+    std::fprintf(stderr, "error: --solver-shards wants a count or 'auto', "
+                         "got '%s'\n",
+                 ShardSpec.c_str());
+    return 2;
+  }
   EpochFlags Epochs;
   Epochs.Spans = std::strtoull(Args.get("epoch-spans", "0").c_str(),
                                nullptr, 10);
@@ -524,7 +549,7 @@ int main(int argc, char **argv) {
     // Default verification pass: solve the schedule and re-execute it under
     // validation, so the one command exercises record + solve + replay (and
     // the telemetry outputs cover all three layers).
-    return Finish(solveAndReplay(*Prog, Log, UseZ3));
+    return Finish(solveAndReplay(*Prog, Log, UseZ3, SolverShards));
   }
 
   if (Cmd == "replay") {
@@ -538,7 +563,7 @@ int main(int argc, char **argv) {
       return Finish(1);
     }
     printLoadReport(Report);
-    return Finish(solveAndReplay(*Prog, Log, UseZ3));
+    return Finish(solveAndReplay(*Prog, Log, UseZ3, SolverShards));
   }
 
   if (Cmd == "crashtest") {
@@ -560,7 +585,8 @@ int main(int argc, char **argv) {
     }
     std::string DurablePath =
         Args.positionalOr(2, makeTempPath("crashtest"));
-    return Finish(runCrashtest(*Prog, Seed, DurablePath, Epochs, UseZ3));
+    return Finish(
+        runCrashtest(*Prog, Seed, DurablePath, Epochs, UseZ3, SolverShards));
   }
 
   return usage();
