@@ -1,0 +1,80 @@
+//===- explore/DecisionTrace.h - Schedule decision traces -------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The currency of the exploration engine: a *decision trace* is the
+/// sequence of thread choices a Scheduler made at the interpreter's
+/// scheduling-relevant operations. Because the MIR interpreter is
+/// cooperative and deterministic, a decision trace (plus the environment
+/// seed) pins an execution completely — replaying the same trace replays
+/// the same run, bit for bit. That is what lets the DFS explorer enumerate
+/// schedules by prefix, the PCT scheduler re-run a buggy seed, and the
+/// shrinker carry a failing schedule across program reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_EXPLORE_DECISIONTRACE_H
+#define LIGHT_EXPLORE_DECISIONTRACE_H
+
+#include "trace/Ids.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace explore {
+
+/// One scheduling decision: the runnable set the interpreter offered (in
+/// ascending thread-id order, as Machine::runnableThreads produces it) and
+/// the thread that was chosen.
+struct Decision {
+  std::vector<ThreadId> Runnable;
+  ThreadId Chosen = 0;
+
+  /// True when choosing \p Alt instead of Chosen would preempt \p Prev:
+  /// Prev is still runnable here and Alt is a different thread. Switching
+  /// away from a blocked or finished thread is forced, not a preemption.
+  static bool isPreemption(const std::vector<ThreadId> &Runnable,
+                           ThreadId Prev, ThreadId Alt) {
+    if (Alt == Prev)
+      return false;
+    for (ThreadId T : Runnable)
+      if (T == Prev)
+        return true;
+    return false;
+  }
+};
+
+/// A schedule as a plain choice sequence (one ThreadId per decision).
+using DecisionTrace = std::vector<ThreadId>;
+
+/// Counts the preemptions along \p Trace given the per-decision runnable
+/// sets in \p Decisions (sizes must match a common prefix).
+inline uint32_t countPreemptions(const std::vector<Decision> &Decisions) {
+  uint32_t N = 0;
+  for (size_t I = 1; I < Decisions.size(); ++I)
+    if (Decision::isPreemption(Decisions[I].Runnable,
+                               Decisions[I - 1].Chosen,
+                               Decisions[I].Chosen))
+      ++N;
+  return N;
+}
+
+/// Renders a trace as a space-separated thread-id list: "0 1 1 2 ...".
+std::string traceToString(const DecisionTrace &Trace);
+
+/// Parses traceToString's format. Returns nullopt on a malformed token.
+std::optional<DecisionTrace> traceFromString(const std::string &Text);
+
+/// A 64-bit order-sensitive hash of a trace, used to count distinct
+/// interleavings without storing every schedule.
+uint64_t traceHash(const DecisionTrace &Trace);
+
+} // namespace explore
+} // namespace light
+
+#endif // LIGHT_EXPLORE_DECISIONTRACE_H

@@ -1,0 +1,241 @@
+//===- explore/ExplorationDriver.cpp - Schedule-space exploration ----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/ExplorationDriver.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Timer.h"
+
+#include <unordered_set>
+
+using namespace light;
+using namespace light::explore;
+
+bool light::explore::isApplicationBug(const BugReport &B) {
+  switch (B.What) {
+  case BugReport::Kind::AssertionFailure:
+  case BugReport::Kind::NullPointer:
+  case BugReport::Kind::DivideByZero:
+  case BugReport::Kind::ArrayBounds:
+  case BugReport::Kind::Deadlock:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ScheduleRun ExplorationDriver::runPrefix(const DecisionTrace &Prefix,
+                                         std::vector<Decision> *DecisionsOut) {
+  NullHook Null;
+  Machine M(Prog, Null);
+  M.seedEnvironment(Opts.EnvSeed ^ 0x5a5a);
+  TraceScheduler Sched(Prefix);
+  ScheduleRun Out;
+  Out.Result = M.run(Sched, Opts.MaxInstructions);
+  Out.Choices = Sched.choices();
+  Out.Preemptions = countPreemptions(Sched.decisions());
+  if (DecisionsOut)
+    *DecisionsOut = Sched.decisions();
+  return Out;
+}
+
+ScheduleRun ExplorationDriver::runPct(uint64_t Seed, uint32_t Depth,
+                                      uint64_t ExpectedSteps) {
+  NullHook Null;
+  Machine M(Prog, Null);
+  M.seedEnvironment(Opts.EnvSeed ^ 0x5a5a);
+  PctScheduler Sched(Seed, Depth, ExpectedSteps);
+  ScheduleRun Out;
+  Out.Result = M.run(Sched, Opts.MaxInstructions);
+  Out.Choices = Sched.choices();
+  Out.Preemptions = countPreemptions(Sched.decisions());
+  return Out;
+}
+
+namespace {
+
+void publishReport(const char *Strategy, const ExploreReport &R) {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("explore.schedules").add(R.SchedulesRun);
+  Reg.counter("explore.distinct_interleavings")
+      .add(R.DistinctInterleavings);
+  Reg.counter(std::string("explore.") + Strategy + "_runs")
+      .add(R.SchedulesRun);
+  if (R.BugFound)
+    Reg.counter("explore.bugs_found").add(1);
+}
+
+/// One node of the DFS stack: a decision point on the current path, the
+/// alternatives already explored from it, and the preemption count of the
+/// path up to (excluding) this decision.
+struct DfsNode {
+  std::vector<ThreadId> Runnable;
+  ThreadId Chosen = 0;
+  std::vector<ThreadId> Tried;
+  uint32_t PreemptBefore = 0;
+
+  bool tried(ThreadId T) const {
+    for (ThreadId U : Tried)
+      if (U == T)
+        return true;
+    return false;
+  }
+};
+
+} // namespace
+
+ExploreReport light::explore::exploreDfs(const mir::Program &Prog,
+                                         const ExploreOptions &Opts) {
+  obs::TraceSpan Span("explore.dfs", "explore");
+  Stopwatch Timer;
+  ExplorationDriver Driver(Prog, Opts);
+  ExploreReport Report;
+
+  auto Consume = [&](const ScheduleRun &Run) {
+    ++Report.SchedulesRun;
+    ++Report.DistinctInterleavings; // every DFS prefix is a fresh schedule
+    if (!Report.BugFound && isApplicationBug(Run.Result.Bug)) {
+      Report.BugFound = true;
+      Report.Bug = Run.Result.Bug;
+      Report.FailingTrace = Run.Choices;
+      Report.FailingSeed = Opts.EnvSeed;
+      Report.FailingPreemptions = Run.Preemptions;
+    }
+  };
+
+  std::vector<DfsNode> Stack;
+  auto Rebuild = [&](const std::vector<Decision> &Ds, size_t Keep) {
+    // Nodes < Keep stay (their Tried sets carry the search state); nodes
+    // beyond come from the fresh run, seeded with their own choice.
+    Stack.resize(std::min(Keep, Ds.size()));
+    for (size_t I = Stack.size(); I < Ds.size(); ++I) {
+      DfsNode N;
+      N.Runnable = Ds[I].Runnable;
+      N.Chosen = Ds[I].Chosen;
+      N.Tried.push_back(Ds[I].Chosen);
+      Stack.push_back(std::move(N));
+    }
+    // Recompute the preemption prefix sums along the (possibly new) path.
+    uint32_t P = 0;
+    for (size_t I = 0; I < Stack.size(); ++I) {
+      Stack[I].PreemptBefore = P;
+      if (I && Decision::isPreemption(Stack[I].Runnable,
+                                      Stack[I - 1].Chosen, Stack[I].Chosen))
+        ++P;
+    }
+  };
+
+  // Baseline: the non-preemptive schedule.
+  {
+    std::vector<Decision> Ds;
+    ScheduleRun Base = Driver.runPrefix({}, &Ds);
+    Consume(Base);
+    if (Report.BugFound && Opts.StopAtFirstBug) {
+      Report.Seconds = Timer.seconds();
+      publishReport("dfs", Report);
+      return Report;
+    }
+    Rebuild(Ds, 0);
+  }
+
+  while (Report.SchedulesRun < Opts.ScheduleBudget) {
+    // Backtrack to the deepest node with an untried alternative that
+    // stays within the preemption bound.
+    bool Found = false;
+    DecisionTrace Prefix;
+    while (!Stack.empty() && !Found) {
+      DfsNode &N = Stack.back();
+      ThreadId Prev = Stack.size() >= 2 ? Stack[Stack.size() - 2].Chosen
+                                        : N.Chosen;
+      bool HasPrev = Stack.size() >= 2;
+      for (ThreadId Alt : N.Runnable) {
+        if (N.tried(Alt))
+          continue;
+        uint32_t Cost =
+            HasPrev && Decision::isPreemption(N.Runnable, Prev, Alt) ? 1 : 0;
+        if (N.PreemptBefore + Cost > Opts.PreemptionBound)
+          continue;
+        N.Tried.push_back(Alt);
+        N.Chosen = Alt;
+        Found = true;
+        break;
+      }
+      if (!Found)
+        Stack.pop_back();
+    }
+    if (!Found) {
+      Report.SpaceExhausted = true;
+      break;
+    }
+
+    Prefix.reserve(Stack.size());
+    for (const DfsNode &N : Stack)
+      Prefix.push_back(N.Chosen);
+
+    std::vector<Decision> Ds;
+    ScheduleRun Run = Driver.runPrefix(Prefix, &Ds);
+    Consume(Run);
+    if (Report.BugFound && Opts.StopAtFirstBug)
+      break;
+    Rebuild(Ds, Stack.size());
+  }
+
+  Report.Seconds = Timer.seconds();
+  publishReport("dfs", Report);
+  return Report;
+}
+
+ExploreReport light::explore::explorePct(const mir::Program &Prog,
+                                         const ExploreOptions &Opts) {
+  obs::TraceSpan Span("explore.pct", "explore");
+  Stopwatch Timer;
+  ExplorationDriver Driver(Prog, Opts);
+  ExploreReport Report;
+  std::unordered_set<uint64_t> Seen;
+
+  // Measurement run: estimates k (the scheduling-decision count) for the
+  // change-point distribution, and is itself schedule #1.
+  ScheduleRun Base = Driver.runPrefix({});
+  ++Report.SchedulesRun;
+  Seen.insert(traceHash(Base.Choices));
+  uint64_t K = Base.Choices.size() ? Base.Choices.size() : 1;
+  if (isApplicationBug(Base.Result.Bug)) {
+    Report.BugFound = true;
+    Report.Bug = Base.Result.Bug;
+    Report.FailingTrace = Base.Choices;
+    Report.FailingSeed = Opts.EnvSeed;
+    Report.FailingPreemptions = Base.Preemptions;
+    if (Opts.StopAtFirstBug) {
+      Report.DistinctInterleavings = Seen.size();
+      Report.Seconds = Timer.seconds();
+      publishReport("pct", Report);
+      return Report;
+    }
+  }
+
+  for (uint64_t Seed = 1;
+       Seed <= Opts.PctSeeds && Report.SchedulesRun < Opts.ScheduleBudget;
+       ++Seed) {
+    ScheduleRun Run = Driver.runPct(Seed, Opts.PctDepth, K);
+    ++Report.SchedulesRun;
+    Seen.insert(traceHash(Run.Choices));
+    if (!Report.BugFound && isApplicationBug(Run.Result.Bug)) {
+      Report.BugFound = true;
+      Report.Bug = Run.Result.Bug;
+      Report.FailingTrace = Run.Choices;
+      Report.FailingSeed = Seed;
+      Report.FailingPreemptions = Run.Preemptions;
+      if (Opts.StopAtFirstBug)
+        break;
+    }
+  }
+
+  Report.DistinctInterleavings = Seen.size();
+  Report.Seconds = Timer.seconds();
+  publishReport("pct", Report);
+  return Report;
+}

@@ -1,0 +1,128 @@
+//===- explore/ExplorationDriver.h - Schedule-space exploration -*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedule-exploration engine. An ExplorationDriver executes one MIR
+/// program repeatedly under controlled schedulers, deterministically
+/// replaying decision prefixes; on top of it sit the two search
+/// strategies:
+///
+///  * explorePct — PCT randomized priority search: per seed, a measurement
+///    run estimates the decision count k, then one PctScheduler run with d
+///    randomly demoted priorities probes for a depth-d bug. Deterministic
+///    per seed.
+///
+///  * exploreDfs — bounded-preemption systematic search: depth-first
+///    enumeration of all schedules reachable from the non-preemptive
+///    baseline with at most B preempting context switches, in the style of
+///    CHESS [Musuvathi & Qadeer]. Every enumerated schedule is distinct;
+///    the search is exhaustive up to the bound when the budget allows.
+///
+/// Both strategies stop at the first *application* bug (assertion, null
+/// use, division, bounds, deadlock) unless asked to keep going, and
+/// publish explore.* metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_EXPLORE_EXPLORATIONDRIVER_H
+#define LIGHT_EXPLORE_EXPLORATIONDRIVER_H
+
+#include "explore/DecisionTrace.h"
+#include "explore/ExploreSchedulers.h"
+#include "interp/Machine.h"
+#include "mir/Program.h"
+
+#include <cstdint>
+#include <string>
+
+namespace light {
+namespace explore {
+
+/// True for failures that count as application bugs (Definition 3.2), the
+/// kind exploration hunts for — as opposed to replay/runtime anomalies.
+bool isApplicationBug(const BugReport &B);
+
+/// One executed schedule.
+struct ScheduleRun {
+  RunResult Result;
+  DecisionTrace Choices;
+  uint32_t Preemptions = 0;
+};
+
+/// Outcome of a strategy run.
+struct ExploreReport {
+  bool BugFound = false;
+  BugReport Bug;
+  /// The failing schedule (valid when BugFound); replaying it under a
+  /// TraceScheduler reproduces the bug deterministically.
+  DecisionTrace FailingTrace;
+  uint64_t FailingSeed = 0; ///< environment seed of the failing run
+  uint32_t FailingPreemptions = 0;
+
+  uint64_t SchedulesRun = 0;
+  uint64_t DistinctInterleavings = 0;
+  /// True when the DFS search exhausted the bounded space before the
+  /// budget ran out (the enumeration is complete for this bound).
+  bool SpaceExhausted = false;
+  double Seconds = 0;
+
+  double schedulesPerSecond() const {
+    return Seconds > 0 ? static_cast<double>(SchedulesRun) / Seconds : 0;
+  }
+};
+
+/// Exploration knobs.
+struct ExploreOptions {
+  /// Maximum schedules to execute (both strategies).
+  uint64_t ScheduleBudget = 50000;
+  /// DFS: maximum preempting context switches per schedule.
+  uint32_t PreemptionBound = 2;
+  /// PCT: bug-depth parameter d (d-1 priority change points).
+  uint32_t PctDepth = 3;
+  /// PCT: number of seeds to try (seeds are 1..PctSeeds).
+  uint64_t PctSeeds = 1000;
+  /// Stop at the first application bug (else keep exploring the budget and
+  /// report the first bug found).
+  bool StopAtFirstBug = true;
+  /// Environment seed for SysRand/SysTime during exploration runs.
+  uint64_t EnvSeed = 1;
+  /// Per-run interpreter instruction budget.
+  uint64_t MaxInstructions = 20000000ull;
+};
+
+/// Executes single schedules of one program deterministically.
+class ExplorationDriver {
+public:
+  ExplorationDriver(const mir::Program &Prog, const ExploreOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  /// Runs \p Prefix, extending it with the non-preemptive default policy.
+  ScheduleRun runPrefix(const DecisionTrace &Prefix,
+                        std::vector<Decision> *DecisionsOut = nullptr);
+
+  /// Runs one PCT schedule. \p ExpectedSteps is the k estimate.
+  ScheduleRun runPct(uint64_t Seed, uint32_t Depth, uint64_t ExpectedSteps);
+
+  const mir::Program &program() const { return Prog; }
+  const ExploreOptions &options() const { return Opts; }
+
+private:
+  const mir::Program &Prog;
+  ExploreOptions Opts;
+};
+
+/// Bounded-preemption systematic DFS over the schedule space.
+ExploreReport exploreDfs(const mir::Program &Prog,
+                         const ExploreOptions &Opts);
+
+/// PCT randomized priority search over seeds 1..Opts.PctSeeds.
+ExploreReport explorePct(const mir::Program &Prog,
+                         const ExploreOptions &Opts);
+
+} // namespace explore
+} // namespace light
+
+#endif // LIGHT_EXPLORE_EXPLORATIONDRIVER_H

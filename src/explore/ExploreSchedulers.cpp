@@ -1,0 +1,126 @@
+//===- explore/ExploreSchedulers.cpp - Adversarial schedulers --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/ExploreSchedulers.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+using namespace light;
+using namespace light::explore;
+
+std::string light::explore::traceToString(const DecisionTrace &Trace) {
+  std::string Out;
+  for (size_t I = 0; I < Trace.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += std::to_string(Trace[I]);
+  }
+  return Out;
+}
+
+std::optional<DecisionTrace>
+light::explore::traceFromString(const std::string &Text) {
+  DecisionTrace Out;
+  std::istringstream In(Text);
+  std::string Tok;
+  while (In >> Tok) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(Tok.c_str(), &End, 10);
+    if (End == Tok.c_str() || *End != '\0' || V > 0xffffu)
+      return std::nullopt;
+    Out.push_back(static_cast<ThreadId>(V));
+  }
+  return Out;
+}
+
+uint64_t light::explore::traceHash(const DecisionTrace &Trace) {
+  // FNV-1a over the choice words; order-sensitive by construction.
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (ThreadId T : Trace) {
+    H ^= static_cast<uint64_t>(T) + 1;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+ThreadId TraceScheduler::defaultPick(
+    const std::vector<ThreadId> &Runnable) const {
+  if (HaveLast)
+    for (ThreadId T : Runnable)
+      if (T == Last)
+        return T;
+  return *std::min_element(Runnable.begin(), Runnable.end());
+}
+
+ThreadId TraceScheduler::pick(const std::vector<ThreadId> &Runnable) {
+  ThreadId Choice;
+  if (Next < Prefix.size()) {
+    ThreadId Want = Prefix[Next];
+    ++Next;
+    if (std::find(Runnable.begin(), Runnable.end(), Want) != Runnable.end()) {
+      Choice = Want;
+    } else {
+      Deviated = true;
+      Choice = defaultPick(Runnable);
+    }
+  } else {
+    Choice = defaultPick(Runnable);
+  }
+  Trace.push_back({Runnable, Choice});
+  Last = Choice;
+  HaveLast = true;
+  return Choice;
+}
+
+PctScheduler::PctScheduler(uint64_t Seed, uint32_t Depth,
+                           uint64_t ExpectedSteps)
+    : R(Seed * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull), Depth(Depth) {
+  if (this->Depth == 0)
+    this->Depth = 1;
+  uint64_t K = ExpectedSteps ? ExpectedSteps : 1;
+  for (uint32_t I = 0; I + 1 < this->Depth; ++I)
+    ChangePoints.push_back(1 + R.below(K));
+  std::sort(ChangePoints.begin(), ChangePoints.end());
+}
+
+uint64_t PctScheduler::priorityOf(ThreadId T) {
+  auto It = Priority.find(T);
+  if (It != Priority.end())
+    return It->second;
+  // Fresh threads draw a random initial priority strictly above the
+  // change-point band [1, Depth-1]. Ties are broken by thread id in pick,
+  // so distinctness is not required for determinism.
+  uint64_t P = Depth + R.below(1u << 16);
+  Priority.emplace(T, P);
+  return P;
+}
+
+ThreadId PctScheduler::pick(const std::vector<ThreadId> &Runnable) {
+  ++Step;
+  ThreadId Best = Runnable[0];
+  uint64_t BestP = 0;
+  bool First = true;
+  for (ThreadId T : Runnable) {
+    uint64_t P = priorityOf(T);
+    if (First || P > BestP || (P == BestP && T < Best)) {
+      Best = T;
+      BestP = P;
+      First = false;
+    }
+  }
+  // A change point demotes the thread that just won to priority
+  // Depth-1-NextChange — below every initial priority and every earlier
+  // demotion, realizing the d-1 "priority change points" of PCT.
+  if (NextChange < ChangePoints.size() && Step >= ChangePoints[NextChange]) {
+    Priority[Best] = Depth - 1 - NextChange;
+    ++NextChange;
+  }
+  Trace.push_back({Runnable, Best});
+  return Best;
+}

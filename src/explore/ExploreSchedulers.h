@@ -1,0 +1,118 @@
+//===- explore/ExploreSchedulers.h - Adversarial schedulers -----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exploration engine's Scheduler subclasses:
+///
+///  * TraceScheduler replays a decision prefix exactly, then continues with
+///    a deterministic non-preemptive default policy (keep running the
+///    current thread; on a forced switch take the lowest id). Every
+///    decision — prefix and suffix — is captured, so a run under a
+///    TraceScheduler both *re-executes* a known schedule and *extends* it.
+///
+///  * PctScheduler implements the PCT randomized priority scheduler
+///    [Burckhardt et al., ASPLOS 2010]: each thread gets a random distinct
+///    priority, the highest-priority runnable thread always runs, and d-1
+///    priority-change points are placed uniformly at random over the
+///    expected k scheduling steps. For a program with at most n threads
+///    and k steps, one PCT run finds any depth-d bug with probability
+///    >= 1/(n * k^(d-1)) — the probabilistic guarantee that makes a
+///    bounded seed budget meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_EXPLORE_EXPLORESCHEDULERS_H
+#define LIGHT_EXPLORE_EXPLORESCHEDULERS_H
+
+#include "explore/DecisionTrace.h"
+#include "interp/Scheduler.h"
+#include "support/Random.h"
+
+#include <unordered_map>
+
+namespace light {
+namespace explore {
+
+/// Replays a choice prefix, then falls back to the non-preemptive default
+/// policy. Records every decision made.
+class TraceScheduler : public Scheduler {
+public:
+  explicit TraceScheduler(DecisionTrace Prefix = {})
+      : Prefix(std::move(Prefix)) {}
+
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override;
+
+  /// All decisions of the run so far (prefix + default-policy suffix).
+  const std::vector<Decision> &decisions() const { return Trace; }
+
+  /// The run's choices as a plain trace.
+  DecisionTrace choices() const {
+    DecisionTrace Out;
+    Out.reserve(Trace.size());
+    for (const Decision &D : Trace)
+      Out.push_back(D.Chosen);
+    return Out;
+  }
+
+  /// True when some prefix choice was not runnable at its decision point
+  /// (the prefix no longer fits the execution — e.g. after the program was
+  /// shrunk). The scheduler recovered with the default policy.
+  bool deviated() const { return Deviated; }
+
+private:
+  DecisionTrace Prefix;
+  std::vector<Decision> Trace;
+  size_t Next = 0;
+  ThreadId Last = 0;
+  bool HaveLast = false;
+  bool Deviated = false;
+
+  ThreadId defaultPick(const std::vector<ThreadId> &Runnable) const;
+};
+
+/// The PCT randomized priority scheduler.
+class PctScheduler : public Scheduler {
+public:
+  /// \p Depth is the bug-depth parameter d (>= 1); \p ExpectedSteps the
+  /// estimate of the run's scheduling-decision count k (change points are
+  /// drawn uniformly from [1, k]).
+  PctScheduler(uint64_t Seed, uint32_t Depth, uint64_t ExpectedSteps);
+
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override;
+
+  /// Decisions made so far (for handing a buggy schedule to the oracle or
+  /// the shrinker).
+  const std::vector<Decision> &decisions() const { return Trace; }
+  DecisionTrace choices() const {
+    DecisionTrace Out;
+    Out.reserve(Trace.size());
+    for (const Decision &D : Trace)
+      Out.push_back(D.Chosen);
+    return Out;
+  }
+
+  /// Priority-change points actually armed (sorted, 1-based step numbers).
+  const std::vector<uint64_t> &changePoints() const { return ChangePoints; }
+
+private:
+  Rng R;
+  uint32_t Depth;
+  /// Thread -> current priority; higher runs first. Initial priorities are
+  /// >= Depth, change points assign Depth-1, Depth-2, ... so a demoted
+  /// thread sinks below every undemoted one.
+  std::unordered_map<ThreadId, uint64_t> Priority;
+  std::vector<uint64_t> ChangePoints; ///< sorted ascending
+  size_t NextChange = 0;
+  uint64_t Step = 0;
+  std::vector<Decision> Trace;
+
+  uint64_t priorityOf(ThreadId T);
+};
+
+} // namespace explore
+} // namespace light
+
+#endif // LIGHT_EXPLORE_EXPLORESCHEDULERS_H

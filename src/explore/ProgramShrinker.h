@@ -1,0 +1,108 @@
+//===- explore/ProgramShrinker.h - Delta-debugging minimizer ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging minimization of a failing (program, schedule) pair, in
+/// the ddmin tradition [Zeller & Hildebrandt, TSE 2002]. Given a predicate
+/// that decides "does this pair still exhibit the failure?", the shrinker
+/// alternates reduction passes until a fixpoint:
+///
+///  * drop whole workers (a ThreadStart and its matching ThreadJoin);
+///  * drop matched MonitorEnter/MonitorExit pairs;
+///  * ddmin over the remaining droppable statements;
+///  * drop globals nobody needs (erasing the declaration, renumbering
+///    references);
+///  * truncate the schedule prefix (the default policy extends it).
+///
+/// Statements are first neutralized to Nop — branch targets stay valid, and
+/// registers whose definition disappears read as int 0 — and a final
+/// compaction removes the Nops with target remapping. Every candidate must
+/// pass Program::verify() *and* the predicate before it is accepted, so the
+/// result is always a well-formed program that still fails.
+///
+/// dumpRepro writes the result as a self-contained `.mir` file whose `;`
+/// comment header carries the schedule and environment seed; loadRepro
+/// reads one back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_EXPLORE_PROGRAMSHRINKER_H
+#define LIGHT_EXPLORE_PROGRAMSHRINKER_H
+
+#include "explore/DecisionTrace.h"
+#include "mir/Program.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace light {
+namespace explore {
+
+/// Decides whether a candidate (program, schedule) still exhibits the
+/// failure being minimized. Must be deterministic.
+using FailPredicate =
+    std::function<bool(const mir::Program &, const DecisionTrace &)>;
+
+/// Shrinker limits.
+struct ShrinkOptions {
+  /// Cap on predicate evaluations; the shrinker stops early when exhausted.
+  uint64_t MaxProbes = 2000;
+  /// Maximum alternation rounds over the pass list.
+  uint32_t MaxRounds = 4;
+};
+
+/// Outcome of a shrink.
+struct ShrinkResult {
+  mir::Program Shrunk;
+  DecisionTrace Schedule;
+  uint32_t OriginalStatements = 0;
+  uint32_t ShrunkStatements = 0;
+  uint64_t ProbesRun = 0;
+
+  double ratio() const {
+    return OriginalStatements
+               ? static_cast<double>(ShrunkStatements) / OriginalStatements
+               : 1.0;
+  }
+};
+
+/// Number of effective (non-Nop) statements in \p P.
+uint32_t statementCount(const mir::Program &P);
+
+/// Minimizes \p Prog and \p Schedule while \p StillFails holds. \p Prog
+/// must verify and the initial pair must fail the predicate (else the pair
+/// is returned unchanged).
+ShrinkResult shrink(const mir::Program &Prog, const DecisionTrace &Schedule,
+                    const FailPredicate &StillFails,
+                    const ShrinkOptions &Opts = ShrinkOptions());
+
+/// A parsed repro file: program + schedule + environment seed.
+struct Repro {
+  mir::Program Prog;
+  DecisionTrace Schedule;
+  uint64_t EnvSeed = 1;
+  std::string Note;
+};
+
+/// Renders \p R as a self-contained textual `.mir` repro (comment header
+/// with schedule/seed/note, then the program).
+std::string reproToString(const Repro &R);
+
+/// Writes reproToString(R) to \p Path. Returns empty on success, else the
+/// error.
+std::string dumpRepro(const std::string &Path, const Repro &R);
+
+/// Parses a repro produced by reproToString; nullopt + \p Error on failure.
+std::optional<Repro> parseRepro(const std::string &Text, std::string *Error);
+
+/// Reads and parses a repro file.
+std::optional<Repro> loadRepro(const std::string &Path, std::string *Error);
+
+} // namespace explore
+} // namespace light
+
+#endif // LIGHT_EXPLORE_PROGRAMSHRINKER_H

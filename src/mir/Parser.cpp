@@ -175,6 +175,10 @@ ParseResult light::mir::parseProgram(const std::string &Text) {
     if (C.atEnd())
       continue;
 
+    // `;` starts a comment line (used by repro dumps for metadata).
+    if (C.literal(";"))
+      continue;
+
     if (C.literal("class ")) {
       std::string Name;
       if (!C.ident(Name) || !C.literal("{"))

@@ -21,6 +21,8 @@
 ///
 /// Registers are `rN` or `_` (no register); branch targets `@N`;
 /// immediates are bare integers or `#N`; function references `fN`.
+/// Lines starting with `;` are comments (repro dumps carry their schedule
+/// and seed metadata in them).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,107 @@
+//===- tests/explore/ExploreFuzzTest.cpp - Open-ended explore fuzzing -----===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The open-ended fuzz target (ctest label `fuzz`): random programs from
+/// the shared generator driven through the exploration engine and the
+/// cross-engine oracle. The default budget is tiny so plain ctest stays
+/// fast; scale it up with LIGHT_TEST_ITERS (each iteration is a fresh
+/// batch of programs and pairs — e.g. LIGHT_TEST_ITERS=100 for a nightly
+/// soak). Any oracle disagreement is a real finding; the failure message
+/// carries a self-contained repro.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/CrossEngineOracle.h"
+#include "explore/ExplorationDriver.h"
+#include "explore/ProgramShrinker.h"
+
+#include "support/Random.h"
+#include "testlib/ProgramGen.h"
+#include "testlib/TestEnv.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::explore;
+
+namespace {
+
+DecisionTrace randomPrefix(Rng &R, size_t Len) {
+  DecisionTrace T;
+  for (size_t I = 0; I < Len; ++I)
+    T.push_back(static_cast<ThreadId>(R.below(6)));
+  return T;
+}
+
+} // namespace
+
+TEST(ExploreFuzz, OracleAgreesOnRandomPairs) {
+  int Iters = testenv::iters(1);
+  for (int It = 0; It < Iters; ++It) {
+    for (int Case = 1; Case <= 4; ++Case) {
+      uint64_t Seed =
+          testenv::effectiveSeed(static_cast<uint64_t>(It * 4 + Case));
+      SCOPED_TRACE(testenv::repro(Seed));
+      Rng R(Seed * 0x9e3779b97f4a7c15ull + 977);
+      bool Shared = Case % 2 == 0;
+      mir::Program P = testgen::randomProgram(
+          R, Shared ? testgen::GenConfig::sharedOnly()
+                    : testgen::GenConfig::full());
+      ASSERT_EQ(P.verify(), "") << P.str();
+      CrossEngineOracle Oracle;
+      for (int S = 0; S < 3; ++S) {
+        DecisionTrace Prefix = randomPrefix(R, 8 + R.below(48));
+        OracleVerdict V = Oracle.check(P, Prefix);
+        if (!V.Agreed) {
+          Repro Rep;
+          Rep.Prog = P;
+          Rep.Schedule = Prefix;
+          Rep.Note = V.str();
+          ADD_FAILURE() << "oracle disagreement:\n"
+                        << V.str() << "\nrepro:\n"
+                        << reproToString(Rep);
+        }
+      }
+    }
+  }
+}
+
+TEST(ExploreFuzz, SearchInvariantsHoldOnRandomPrograms) {
+  // Exploration over bug-free generated programs: the searches must
+  // respect their budgets, keep DFS schedules distinct, and never
+  // misreport a bug (generated programs carry no assertions and use
+  // guarded wait loops, so no application bug exists to find).
+  int Iters = testenv::iters(1);
+  for (int It = 0; It < Iters; ++It) {
+    for (int Case = 1; Case <= 2; ++Case) {
+      uint64_t Seed =
+          testenv::effectiveSeed(static_cast<uint64_t>(It * 2 + Case));
+      SCOPED_TRACE(testenv::repro(Seed));
+      Rng R(Seed * 0x9e3779b97f4a7c15ull + 1021);
+      testgen::GenConfig C = testgen::GenConfig::sharedOnly();
+      C.MinWorkers = 2;
+      C.MaxWorkers = 2;
+      C.MinOps = 3;
+      C.MaxOps = 6; // keep the bounded space small
+      mir::Program P = testgen::randomProgram(R, C);
+
+      ExploreOptions Opts;
+      Opts.PreemptionBound = 1;
+      Opts.ScheduleBudget = 200;
+      Opts.StopAtFirstBug = false;
+      ExploreReport Dfs = exploreDfs(P, Opts);
+      EXPECT_FALSE(Dfs.BugFound) << Dfs.Bug.str();
+      EXPECT_LE(Dfs.SchedulesRun, Opts.ScheduleBudget);
+      EXPECT_EQ(Dfs.DistinctInterleavings, Dfs.SchedulesRun);
+
+      Opts.PctSeeds = 20;
+      ExploreReport Pct = explorePct(P, Opts);
+      EXPECT_FALSE(Pct.BugFound) << Pct.Bug.str();
+      // One k-estimation measurement run precedes the seeded runs.
+      EXPECT_LE(Pct.SchedulesRun, Opts.PctSeeds + 1);
+    }
+  }
+}

@@ -1,0 +1,126 @@
+//===- tests/explore/ShrinkerTest.cpp - ddmin shrinker tests --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The delta-debugging minimizer on a real injected divergence: arming the
+/// oracle.corrupt_leap_order fault site makes Leap's linearized total
+/// order wrong, so the oracle deterministically disagrees on any program
+/// with consecutive same-thread accesses. The shrinker must cut such a
+/// failing generated program to at most 25% of its original statement
+/// count while the disagreement persists, and the result must round-trip
+/// through the `.mir` repro format.
+///
+/// Honors LIGHT_TEST_SEED / LIGHT_TEST_ITERS (testlib/TestEnv.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/ProgramShrinker.h"
+
+#include "explore/CrossEngineOracle.h"
+#include "support/FaultInjection.h"
+#include "support/Random.h"
+#include "testlib/ProgramGen.h"
+#include "testlib/TestEnv.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::explore;
+
+namespace {
+
+/// Arms a fault spec for the lifetime of one test.
+struct ScopedFault {
+  explicit ScopedFault(const std::string &Spec) {
+    EXPECT_EQ(fault::Injector::global().configure(Spec), "");
+  }
+  ~ScopedFault() { fault::Injector::global().reset(); }
+};
+
+DecisionTrace randomPrefix(Rng &R, size_t Len) {
+  DecisionTrace T;
+  for (size_t I = 0; I < Len; ++I)
+    T.push_back(static_cast<ThreadId>(R.below(6)));
+  return T;
+}
+
+} // namespace
+
+TEST(Shrinker, ReducesInjectedLeapDivergenceToQuarter) {
+  ScopedFault Fault("oracle.corrupt_leap_order");
+
+  uint64_t Seed = testenv::effectiveSeed(1);
+  SCOPED_TRACE(testenv::repro(Seed));
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 53);
+  mir::Program P =
+      testgen::randomProgram(R, testgen::GenConfig::sharedOnly());
+  ASSERT_EQ(P.verify(), "") << P.str();
+  DecisionTrace Schedule = randomPrefix(R, 24);
+
+  // Leap-only roster: the injected divergence lives in Leap's replay, and
+  // the predicate runs the oracle once per probe.
+  OracleConfig Config;
+  Config.RunClap = false;
+  Config.RunChimera = false;
+  CrossEngineOracle Oracle(Config);
+
+  FailPredicate Disagrees = [&](const mir::Program &Cand,
+                                const DecisionTrace &Sched) {
+    return !Oracle.check(Cand, Sched).Agreed;
+  };
+  ASSERT_TRUE(Disagrees(P, Schedule))
+      << "fault injection produced no divergence; test vacuous";
+
+  ShrinkResult SR = shrink(P, Schedule, Disagrees);
+  EXPECT_GT(SR.ProbesRun, 0u);
+  EXPECT_EQ(SR.Shrunk.verify(), "") << SR.Shrunk.str();
+  // Still failing after the cut.
+  EXPECT_TRUE(Disagrees(SR.Shrunk, SR.Schedule));
+  // The acceptance bar: <= 25% of the original statement count.
+  EXPECT_LE(SR.ratio(), 0.25)
+      << SR.ShrunkStatements << "/" << SR.OriginalStatements
+      << " statements left:\n"
+      << SR.Shrunk.str();
+}
+
+TEST(Shrinker, ReproRoundTripsThroughMirText) {
+  uint64_t Seed = testenv::effectiveSeed(2);
+  SCOPED_TRACE(testenv::repro(Seed));
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 71);
+  Repro Orig;
+  Orig.Prog = testgen::randomProgram(R, testgen::GenConfig::sharedOnly());
+  Orig.Schedule = randomPrefix(R, 12);
+  Orig.EnvSeed = 42;
+  Orig.Note = "injected divergence";
+
+  std::string Text = reproToString(Orig);
+  std::string Error;
+  std::optional<Repro> Back = parseRepro(Text, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->Prog.str(), Orig.Prog.str());
+  EXPECT_EQ(traceToString(Back->Schedule), traceToString(Orig.Schedule));
+  EXPECT_EQ(Back->EnvSeed, Orig.EnvSeed);
+  EXPECT_EQ(Back->Note, Orig.Note);
+}
+
+TEST(Shrinker, LeavesNonFailingPairsUntouched) {
+  // Without the armed fault nothing disagrees, so the shrinker must
+  // return the pair unchanged (the initial probe fails the predicate).
+  uint64_t Seed = testenv::effectiveSeed(3);
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 89);
+  mir::Program P =
+      testgen::randomProgram(R, testgen::GenConfig::sharedOnly());
+  DecisionTrace Schedule = randomPrefix(R, 8);
+  OracleConfig Config;
+  Config.RunClap = false;
+  Config.RunChimera = false;
+  CrossEngineOracle Oracle(Config);
+  ShrinkResult SR = shrink(P, Schedule, [&](const mir::Program &Cand,
+                                            const DecisionTrace &Sched) {
+    return !Oracle.check(Cand, Sched).Agreed;
+  });
+  EXPECT_EQ(SR.Shrunk.str(), P.str());
+  EXPECT_EQ(SR.ShrunkStatements, SR.OriginalStatements);
+}

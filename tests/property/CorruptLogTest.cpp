@@ -14,6 +14,7 @@
 
 #include "../TestPrograms.h"
 #include "support/Random.h"
+#include "testlib/TestEnv.h"
 
 #include <gtest/gtest.h>
 
@@ -86,6 +87,8 @@ void checkMangled(const std::string &Path) {
 class CorruptLog : public ::testing::Test {
 protected:
   void runProperty(bool Durable, uint64_t SeedBase) {
+    uint64_t Seed = testenv::effectiveSeed(SeedBase);
+    SCOPED_TRACE(testenv::repro(Seed));
     mir::Program Prog = counterRace(3, 5);
     RecordOutcome Rec = recordRun(Prog, 7);
     std::string Clean = makeTempPath("corrupt-src");
@@ -97,8 +100,9 @@ protected:
     ASSERT_FALSE(Orig.empty());
 
     std::string Mangled = makeTempPath("corrupt-mut");
-    Rng R(SeedBase);
-    for (int Trial = 0; Trial < 120; ++Trial) {
+    Rng R(Seed);
+    int Trials = 120 * testenv::iters(1);
+    for (int Trial = 0; Trial < Trials; ++Trial) {
       spit(Mangled, mutate(Orig, R));
       checkMangled(Mangled);
     }

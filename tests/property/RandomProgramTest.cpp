@@ -16,10 +16,16 @@
 /// across all three optimization variants (V_basic, V_O1, V_both-without-
 /// guard-analysis) and both bursty and uniform schedulers.
 ///
+/// Programs come from the shared generator (testlib/ProgramGen.h) in its
+/// full configuration: locks, arrays, and maps included. Honors
+/// LIGHT_TEST_SEED / LIGHT_TEST_ITERS (testlib/TestEnv.h).
+///
 //===----------------------------------------------------------------------===//
 
 #include "../TestPrograms.h"
 #include "support/Random.h"
+#include "testlib/ProgramGen.h"
+#include "testlib/TestEnv.h"
 
 #include <gtest/gtest.h>
 
@@ -29,156 +35,15 @@ using namespace light::testprogs;
 
 namespace {
 
-/// Generates a random concurrent program: W workers over G shared globals
-/// and up to two lock objects, each worker a straight-line mix of reads
-/// (printed), writes, and properly nested synchronized sections.
-Program randomProgram(Rng &R) {
-  ProgramBuilder PB;
-  uint32_t NumGlobals = 2 + static_cast<uint32_t>(R.below(4));
-  uint32_t NumLocks = static_cast<uint32_t>(R.below(3));
-  uint32_t NumWorkers = 2 + static_cast<uint32_t>(R.below(3));
-
-  std::vector<uint32_t> Globals;
-  for (uint32_t G = 0; G < NumGlobals; ++G)
-    Globals.push_back(PB.addGlobal("g" + std::to_string(G)));
-  std::vector<uint32_t> LockGlobals;
-  ClassId LockCls = PB.addClass("L", {"pad"});
-  for (uint32_t L = 0; L < NumLocks; ++L)
-    LockGlobals.push_back(PB.addGlobal("lock" + std::to_string(L)));
-  uint32_t GArr = PB.addGlobal("arr");
-  uint32_t GMap = PB.addGlobal("map");
-
-  std::vector<FuncId> Workers;
-  for (uint32_t W = 0; W < NumWorkers; ++W) {
-    FunctionBuilder FB = PB.beginFunction("worker" + std::to_string(W), 0);
-    Reg V = FB.newReg(), Tmp = FB.newReg();
-    std::vector<Reg> LockRegs;
-    for (uint32_t L = 0; L < NumLocks; ++L) {
-      Reg LR = FB.newReg();
-      FB.getGlobal(LR, LockGlobals[L]);
-      LockRegs.push_back(LR);
-    }
-    Reg ArrReg = FB.newReg(), MapReg = FB.newReg(), Key = FB.newReg();
-    FB.getGlobal(ArrReg, GArr);
-    FB.getGlobal(MapReg, GMap);
-    uint32_t Ops = 8 + static_cast<uint32_t>(R.below(30));
-    int Depth = 0;
-    std::vector<Reg> Held;
-    for (uint32_t Op = 0; Op < Ops; ++Op) {
-      switch (R.below(8)) {
-      case 0:
-      case 1: { // read + print
-        FB.getGlobal(V, Globals[R.below(NumGlobals)]);
-        FB.print(V);
-        break;
-      }
-      case 2:
-      case 3: { // write a fresh value
-        FB.constInt(Tmp, static_cast<int64_t>(W * 10000 + Op));
-        FB.putGlobal(Globals[R.below(NumGlobals)], Tmp);
-        break;
-      }
-      case 4: { // read-modify-write
-        uint32_t G = Globals[R.below(NumGlobals)];
-        FB.getGlobal(V, G);
-        FB.print(V);
-        FB.constInt(Tmp, 1);
-        FB.add(V, V, Tmp);
-        FB.putGlobal(G, V);
-        break;
-      }
-      case 5: { // enter or exit a synchronized section
-        if (!LockRegs.empty() && Depth == 0 && R.chance(1, 2)) {
-          Reg LR = LockRegs[R.below(LockRegs.size())];
-          FB.monitorEnter(LR);
-          Held.push_back(LR);
-          ++Depth;
-        } else if (Depth > 0) {
-          FB.monitorExit(Held.back());
-          Held.pop_back();
-          --Depth;
-        }
-        break;
-      }
-      case 6: { // shared array element traffic
-        FB.constInt(Key, static_cast<int64_t>(R.below(8)));
-        if (R.chance(1, 2)) {
-          FB.aload(V, ArrReg, Key);
-          FB.print(V);
-        } else {
-          FB.constInt(Tmp, static_cast<int64_t>(W * 100 + Op));
-          FB.astore(ArrReg, Key, Tmp);
-        }
-        break;
-      }
-      case 7: { // shared map traffic (per-key locations)
-        FB.constInt(Key, static_cast<int64_t>(R.below(6)));
-        switch (R.below(3)) {
-        case 0:
-          FB.mapGet(V, MapReg, Key);
-          FB.print(V);
-          break;
-        case 1:
-          FB.constInt(Tmp, static_cast<int64_t>(W * 1000 + Op));
-          FB.mapPut(MapReg, Key, Tmp);
-          break;
-        case 2:
-          FB.mapContains(V, MapReg, Key);
-          FB.print(V);
-          break;
-        }
-        break;
-      }
-      }
-    }
-    while (Depth-- > 0) {
-      FB.monitorExit(Held.back());
-      Held.pop_back();
-    }
-    FB.ret();
-    Workers.push_back(PB.endFunction(FB));
-  }
-
-  FunctionBuilder FB = PB.beginFunction("main", 0);
-  Reg Obj = FB.newReg(), Tmp = FB.newReg();
-  for (uint32_t L = 0; L < NumLocks; ++L) {
-    FB.newObject(Obj, LockCls);
-    FB.putGlobal(LockGlobals[L], Obj);
-  }
-  FB.constInt(Tmp, 8);
-  FB.newArray(Obj, Tmp);
-  FB.putGlobal(GArr, Obj);
-  FB.mapNew(Obj);
-  FB.putGlobal(GMap, Obj);
-  for (uint32_t G = 0; G < NumGlobals; ++G) {
-    FB.constInt(Tmp, static_cast<int64_t>(G) * 100);
-    FB.putGlobal(Globals[G], Tmp);
-  }
-  std::vector<Reg> Tids;
-  for (FuncId W : Workers) {
-    Reg T = FB.newReg();
-    FB.threadStart(T, W);
-    Tids.push_back(T);
-  }
-  for (Reg T : Tids)
-    FB.threadJoin(T);
-  for (uint32_t G = 0; G < NumGlobals; ++G) {
-    FB.getGlobal(Tmp, Globals[G]);
-    FB.print(Tmp);
-  }
-  FB.ret();
-  PB.setEntry(PB.endFunction(FB));
-  return PB.take();
-}
-
 class RandomProgramReplay : public ::testing::TestWithParam<int> {};
 
 } // namespace
 
 TEST_P(RandomProgramReplay, FaithfulAcrossVariantsAndSchedules) {
-  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  uint64_t Seed = testenv::effectiveSeed(static_cast<uint64_t>(GetParam()));
+  SCOPED_TRACE(testenv::repro(Seed));
   Rng R(Seed * 0x9e3779b9ull + 1);
-  Program Prog = randomProgram(R);
+  Program Prog = testgen::randomProgram(R);
   ASSERT_EQ(Prog.verify(), "") << Prog.str();
 
   for (const LightOptions &Opts :
@@ -197,4 +62,5 @@ TEST_P(RandomProgramReplay, FaithfulAcrossVariantsAndSchedules) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramReplay, ::testing::Range(1, 41));
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramReplay,
+                         ::testing::Range(1, 1 + testenv::iters(40)));

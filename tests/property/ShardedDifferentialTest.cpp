@@ -14,6 +14,11 @@
 ///      replay — same bug correlation, same values at every use — exactly
 ///      like the monolithic schedule does.
 ///
+/// Programs come from the shared generator (testlib/ProgramGen.h) in its
+/// sharedOnly configuration — globals-only cross-thread traffic so the
+/// logs span multiple locations. Honors LIGHT_TEST_SEED /
+/// LIGHT_TEST_ITERS (testlib/TestEnv.h).
+///
 /// Runs under the TSan preset (label `san`) to also check the shard pool
 /// for data races.
 ///
@@ -22,6 +27,8 @@
 #include "../TestPrograms.h"
 #include "smt/ShardedSolver.h"
 #include "support/Random.h"
+#include "testlib/ProgramGen.h"
+#include "testlib/TestEnv.h"
 
 #include <gtest/gtest.h>
 
@@ -31,71 +38,15 @@ using namespace light::testprogs;
 
 namespace {
 
-/// A compact random concurrent program: W workers over shared globals,
-/// heavy on cross-thread traffic so the logs have multiple locations.
-Program randomSharedProgram(Rng &R) {
-  ProgramBuilder PB;
-  uint32_t NumGlobals = 3 + static_cast<uint32_t>(R.below(4));
-  uint32_t NumWorkers = 2 + static_cast<uint32_t>(R.below(3));
-  std::vector<uint32_t> Globals;
-  for (uint32_t G = 0; G < NumGlobals; ++G)
-    Globals.push_back(PB.addGlobal("g" + std::to_string(G)));
-
-  std::vector<FuncId> Workers;
-  for (uint32_t W = 0; W < NumWorkers; ++W) {
-    FunctionBuilder FB = PB.beginFunction("worker" + std::to_string(W), 0);
-    Reg V = FB.newReg(), Tmp = FB.newReg();
-    uint32_t Ops = 6 + static_cast<uint32_t>(R.below(20));
-    for (uint32_t Op = 0; Op < Ops; ++Op) {
-      uint32_t G = Globals[R.below(NumGlobals)];
-      switch (R.below(3)) {
-      case 0:
-        FB.getGlobal(V, G);
-        FB.print(V);
-        break;
-      case 1:
-        FB.constInt(Tmp, static_cast<int64_t>(W * 1000 + Op));
-        FB.putGlobal(G, Tmp);
-        break;
-      case 2:
-        FB.getGlobal(V, G);
-        FB.constInt(Tmp, 1);
-        FB.add(V, V, Tmp);
-        FB.putGlobal(G, V);
-        break;
-      }
-    }
-    FB.ret();
-    Workers.push_back(PB.endFunction(FB));
-  }
-
-  FunctionBuilder FB = PB.beginFunction("main", 0);
-  Reg Tmp = FB.newReg();
-  for (uint32_t G = 0; G < NumGlobals; ++G) {
-    FB.constInt(Tmp, static_cast<int64_t>(G));
-    FB.putGlobal(Globals[G], Tmp);
-  }
-  std::vector<Reg> Tids;
-  for (FuncId W : Workers) {
-    Reg T = FB.newReg();
-    FB.threadStart(T, W);
-    Tids.push_back(T);
-  }
-  for (Reg T : Tids)
-    FB.threadJoin(T);
-  FB.ret();
-  PB.setEntry(PB.endFunction(FB));
-  return PB.take();
-}
-
 class ShardedDifferential : public ::testing::TestWithParam<int> {};
 
 } // namespace
 
 TEST_P(ShardedDifferential, SolverAgreesAcrossShardCounts) {
-  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  uint64_t Seed = testenv::effectiveSeed(static_cast<uint64_t>(GetParam()));
+  SCOPED_TRACE(testenv::repro(Seed));
   Rng R(Seed * 0x517cc1b7ull + 3);
-  Program Prog = randomSharedProgram(R);
+  Program Prog = testgen::randomProgram(R, testgen::GenConfig::sharedOnly());
   ASSERT_EQ(Prog.verify(), "") << Prog.str();
   RecordOutcome Rec = recordRun(Prog, Seed * 13 + 7);
   ASSERT_TRUE(Rec.Result.Completed) << Rec.Result.Bug.str();
@@ -114,9 +65,10 @@ TEST_P(ShardedDifferential, SolverAgreesAcrossShardCounts) {
 }
 
 TEST_P(ShardedDifferential, ShardedSchedulesReplayFaithfully) {
-  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  uint64_t Seed = testenv::effectiveSeed(static_cast<uint64_t>(GetParam()));
+  SCOPED_TRACE(testenv::repro(Seed));
   Rng R(Seed * 0x9e3779b9ull + 5);
-  Program Prog = randomSharedProgram(R);
+  Program Prog = testgen::randomProgram(R, testgen::GenConfig::sharedOnly());
   ASSERT_EQ(Prog.verify(), "") << Prog.str();
   RecordOutcome Rec = recordRun(Prog, Seed * 29 + 11);
   ASSERT_TRUE(Rec.Result.Completed) << Rec.Result.Bug.str();
@@ -127,4 +79,5 @@ TEST_P(ShardedDifferential, ShardedSchedulesReplayFaithfully) {
     expectFaithfulReplay(Prog, Rec, smt::SolverEngine::Idl, Shards);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferential, ::testing::Range(1, 16));
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferential,
+                         ::testing::Range(1, 1 + testenv::iters(15)));

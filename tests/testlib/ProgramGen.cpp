@@ -1,0 +1,288 @@
+//===- tests/testlib/ProgramGen.cpp - Random MIR program generator --------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGen.h"
+
+#include "mir/Builder.h"
+
+#include <string>
+#include <vector>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+/// Inclusive draw in [Lo, Hi].
+uint32_t drawRange(Rng &R, uint32_t Lo, uint32_t Hi) {
+  return Lo + static_cast<uint32_t>(R.below(Hi - Lo + 1));
+}
+
+/// Emits one straight-line worker: a random mix of global reads (printed),
+/// fresh writes, read-modify-writes, properly nested synchronized
+/// sections, and (when enabled) shared-array and shared-map traffic.
+/// Disabled op kinds degrade to extra global traffic so the op density is
+/// the same for every configuration.
+FuncId buildWorker(ProgramBuilder &PB, Rng &R, const testgen::GenConfig &C,
+                   uint32_t W, const std::vector<uint32_t> &Globals,
+                   const std::vector<uint32_t> &LockGlobals, uint32_t GArr,
+                   uint32_t GMap) {
+  FunctionBuilder FB = PB.beginFunction("worker" + std::to_string(W), 0);
+  Reg V = FB.newReg(), Tmp = FB.newReg();
+  std::vector<Reg> LockRegs;
+  for (uint32_t LG : LockGlobals) {
+    Reg LR = FB.newReg();
+    FB.getGlobal(LR, LG);
+    LockRegs.push_back(LR);
+  }
+  Reg ArrReg = FB.newReg(), MapReg = FB.newReg(), Key = FB.newReg();
+  if (C.UseArray)
+    FB.getGlobal(ArrReg, GArr);
+  if (C.UseMap)
+    FB.getGlobal(MapReg, GMap);
+
+  uint32_t NumGlobals = static_cast<uint32_t>(Globals.size());
+  uint32_t Ops = drawRange(R, C.MinOps, C.MaxOps);
+  int Depth = 0;
+  std::vector<Reg> Held;
+  for (uint32_t Op = 0; Op < Ops; ++Op) {
+    uint32_t Kind = static_cast<uint32_t>(R.below(8));
+    // Degrade disabled kinds into plain global traffic.
+    if (Kind == 5 && LockRegs.empty())
+      Kind = 0;
+    if (Kind == 6 && !C.UseArray)
+      Kind = 2;
+    if (Kind == 7 && !C.UseMap)
+      Kind = 4;
+    switch (Kind) {
+    case 0:
+    case 1: { // read + print
+      FB.getGlobal(V, Globals[R.below(NumGlobals)]);
+      FB.print(V);
+      break;
+    }
+    case 2:
+    case 3: { // write a fresh value
+      FB.constInt(Tmp, static_cast<int64_t>(W * 10000 + Op));
+      FB.putGlobal(Globals[R.below(NumGlobals)], Tmp);
+      break;
+    }
+    case 4: { // read-modify-write
+      uint32_t G = Globals[R.below(NumGlobals)];
+      FB.getGlobal(V, G);
+      FB.print(V);
+      FB.constInt(Tmp, 1);
+      FB.add(V, V, Tmp);
+      FB.putGlobal(G, V);
+      break;
+    }
+    case 5: { // enter or exit a synchronized section
+      if (Depth == 0 && R.chance(1, 2)) {
+        Reg LR = LockRegs[R.below(LockRegs.size())];
+        FB.monitorEnter(LR);
+        Held.push_back(LR);
+        ++Depth;
+      } else if (Depth > 0) {
+        FB.monitorExit(Held.back());
+        Held.pop_back();
+        --Depth;
+      }
+      break;
+    }
+    case 6: { // shared array element traffic
+      FB.constInt(Key, static_cast<int64_t>(R.below(C.ArrayLen)));
+      if (R.chance(1, 2)) {
+        FB.aload(V, ArrReg, Key);
+        FB.print(V);
+      } else {
+        FB.constInt(Tmp, static_cast<int64_t>(W * 100 + Op));
+        FB.astore(ArrReg, Key, Tmp);
+      }
+      break;
+    }
+    case 7: { // shared map traffic (per-key locations)
+      FB.constInt(Key, static_cast<int64_t>(R.below(C.MapKeys)));
+      switch (R.below(3)) {
+      case 0:
+        FB.mapGet(V, MapReg, Key);
+        FB.print(V);
+        break;
+      case 1:
+        FB.constInt(Tmp, static_cast<int64_t>(W * 1000 + Op));
+        FB.mapPut(MapReg, Key, Tmp);
+        break;
+      case 2:
+        FB.mapContains(V, MapReg, Key);
+        FB.print(V);
+        break;
+      }
+      break;
+    }
+    }
+  }
+  while (Depth-- > 0) {
+    FB.monitorExit(Held.back());
+    Held.pop_back();
+  }
+  FB.ret();
+  return PB.endFunction(FB);
+}
+
+/// Producer over a one-slot mailbox: deposits Items values, guarding the
+/// slot with a wait loop (the testprogs::waitNotify shape).
+FuncId buildProducer(ProgramBuilder &PB, uint32_t GBox, int Items) {
+  FunctionBuilder FB = PB.beginFunction("producer", 0);
+  Reg Box = FB.newReg(), I = FB.newReg(), N = FB.newReg(), One = FB.newReg();
+  Reg Full = FB.newReg(), Cond = FB.newReg();
+  FB.getGlobal(Box, GBox);
+  FB.constInt(I, 0);
+  FB.constInt(N, Items);
+  FB.constInt(One, 1);
+  Label Loop = FB.makeLabel(), Body = FB.makeLabel(), Done = FB.makeLabel();
+  Label WaitLoop = FB.makeLabel(), DoWait = FB.makeLabel();
+  Label Deposit = FB.makeLabel();
+  FB.place(Loop);
+  FB.cmpLt(Cond, I, N);
+  FB.br(Cond, Body, Done);
+  FB.place(Body);
+  FB.monitorEnter(Box);
+  FB.place(WaitLoop);
+  FB.getField(Full, Box, 0);
+  FB.br(Full, DoWait, Deposit); // full -> wait for the consumer
+  FB.place(DoWait);
+  FB.wait(Box);
+  FB.jmp(WaitLoop);
+  FB.place(Deposit);
+  FB.putField(Box, 1, I);
+  FB.putField(Box, 0, One);
+  FB.notifyAll(Box);
+  FB.monitorExit(Box);
+  FB.add(I, I, One);
+  FB.jmp(Loop);
+  FB.place(Done);
+  FB.ret();
+  return PB.endFunction(FB);
+}
+
+/// Consumer counterpart: waits for each deposit, prints it, and empties
+/// the slot.
+FuncId buildConsumer(ProgramBuilder &PB, uint32_t GBox, int Items) {
+  FunctionBuilder FB = PB.beginFunction("consumer", 0);
+  Reg Box = FB.newReg(), I = FB.newReg(), N = FB.newReg(), One = FB.newReg();
+  Reg Zero = FB.newReg(), Full = FB.newReg(), V = FB.newReg();
+  Reg Cond = FB.newReg();
+  FB.getGlobal(Box, GBox);
+  FB.constInt(I, 0);
+  FB.constInt(N, Items);
+  FB.constInt(One, 1);
+  FB.constInt(Zero, 0);
+  Label Loop = FB.makeLabel(), Body = FB.makeLabel(), Done = FB.makeLabel();
+  Label WaitLoop = FB.makeLabel(), DoWait = FB.makeLabel();
+  Label Take = FB.makeLabel();
+  FB.place(Loop);
+  FB.cmpLt(Cond, I, N);
+  FB.br(Cond, Body, Done);
+  FB.place(Body);
+  FB.monitorEnter(Box);
+  FB.place(WaitLoop);
+  FB.getField(Full, Box, 0);
+  FB.br(Full, Take, DoWait); // empty -> wait for the producer
+  FB.place(DoWait);
+  FB.wait(Box);
+  FB.jmp(WaitLoop);
+  FB.place(Take);
+  FB.getField(V, Box, 1);
+  FB.print(V);
+  FB.putField(Box, 0, Zero);
+  FB.notifyAll(Box);
+  FB.monitorExit(Box);
+  FB.add(I, I, One);
+  FB.jmp(Loop);
+  FB.place(Done);
+  FB.ret();
+  return PB.endFunction(FB);
+}
+
+} // namespace
+
+Program testgen::randomProgram(Rng &R, const GenConfig &C) {
+  ProgramBuilder PB;
+  uint32_t NumGlobals = drawRange(R, C.MinGlobals, C.MaxGlobals);
+  uint32_t NumLocks =
+      C.MaxLocks ? static_cast<uint32_t>(R.below(C.MaxLocks + 1)) : 0;
+  uint32_t NumWorkers = drawRange(R, C.MinWorkers, C.MaxWorkers);
+
+  std::vector<uint32_t> Globals;
+  for (uint32_t G = 0; G < NumGlobals; ++G)
+    Globals.push_back(PB.addGlobal("g" + std::to_string(G)));
+
+  ClassId LockCls{};
+  std::vector<uint32_t> LockGlobals;
+  if (C.MaxLocks) {
+    LockCls = PB.addClass("L", {"pad"});
+    for (uint32_t L = 0; L < NumLocks; ++L)
+      LockGlobals.push_back(PB.addGlobal("lock" + std::to_string(L)));
+  }
+  uint32_t GArr = C.UseArray ? PB.addGlobal("arr") : 0;
+  uint32_t GMap = C.UseMap ? PB.addGlobal("map") : 0;
+
+  ClassId BoxCls{};
+  uint32_t GBox = 0;
+  int WaitItems = 0;
+  if (C.WaitNotify) {
+    BoxCls = PB.addClass("Mailbox", {"full", "value"});
+    GBox = PB.addGlobal("box");
+    WaitItems = 1 + static_cast<int>(R.below(C.MaxWaitItems));
+  }
+
+  std::vector<FuncId> Threads;
+  for (uint32_t W = 0; W < NumWorkers; ++W)
+    Threads.push_back(
+        buildWorker(PB, R, C, W, Globals, LockGlobals, GArr, GMap));
+  if (C.WaitNotify) {
+    Threads.push_back(buildProducer(PB, GBox, WaitItems));
+    Threads.push_back(buildConsumer(PB, GBox, WaitItems));
+  }
+
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg Obj = FB.newReg(), Tmp = FB.newReg();
+  for (uint32_t L = 0; L < NumLocks; ++L) {
+    FB.newObject(Obj, LockCls);
+    FB.putGlobal(LockGlobals[L], Obj);
+  }
+  if (C.UseArray) {
+    FB.constInt(Tmp, static_cast<int64_t>(C.ArrayLen));
+    FB.newArray(Obj, Tmp);
+    FB.putGlobal(GArr, Obj);
+  }
+  if (C.UseMap) {
+    FB.mapNew(Obj);
+    FB.putGlobal(GMap, Obj);
+  }
+  if (C.WaitNotify) {
+    FB.newObject(Obj, BoxCls);
+    FB.putGlobal(GBox, Obj);
+  }
+  for (uint32_t G = 0; G < NumGlobals; ++G) {
+    FB.constInt(Tmp, static_cast<int64_t>(G) * 100);
+    FB.putGlobal(Globals[G], Tmp);
+  }
+  std::vector<Reg> Tids;
+  for (FuncId W : Threads) {
+    Reg T = FB.newReg();
+    FB.threadStart(T, W);
+    Tids.push_back(T);
+  }
+  for (Reg T : Tids)
+    FB.threadJoin(T);
+  for (uint32_t G = 0; G < NumGlobals; ++G) {
+    FB.getGlobal(Tmp, Globals[G]);
+    FB.print(Tmp);
+  }
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  return PB.take();
+}

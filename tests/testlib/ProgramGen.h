@@ -1,0 +1,88 @@
+//===- tests/testlib/ProgramGen.h - Random MIR program generator -*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared random concurrent-program generator behind every
+/// property/fuzz suite (random replay, sharded differential, explore
+/// oracle, baseline engine tests). One configurable generator replaces
+/// the per-test copies: GenConfig toggles locks, shared-array and
+/// shared-map traffic, and an optional wait/notify producer/consumer
+/// pair, so each suite draws programs shaped for what it checks.
+///
+/// Presets:
+///   GenConfig::full()       — workers mixing global reads/writes/RMWs,
+///                             synchronized sections, array and map
+///                             traffic (the historical randomProgram);
+///   GenConfig::sharedOnly() — globals-only cross-thread traffic, no
+///                             sync/array/map (the historical
+///                             randomSharedProgram; every access is in
+///                             Clap's solver model);
+///   GenConfig::withWaitNotify() — full() plus a producer/consumer pair
+///                             over a one-slot mailbox.
+///
+/// Generated programs always verify() clean, terminate under any fair
+/// cooperative schedule, and print enough values that replay divergence
+/// is observable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_TESTS_TESTLIB_PROGRAMGEN_H
+#define LIGHT_TESTS_TESTLIB_PROGRAMGEN_H
+
+#include "mir/Program.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace light {
+namespace testgen {
+
+/// Knobs for the random program generator. Ranges are inclusive.
+struct GenConfig {
+  uint32_t MinGlobals = 2, MaxGlobals = 5;
+  uint32_t MinWorkers = 2, MaxWorkers = 4;
+  uint32_t MaxLocks = 2;   ///< 0..MaxLocks lock objects drawn per program
+  uint32_t MinOps = 8, MaxOps = 37; ///< straight-line ops per worker
+  bool UseArray = true;    ///< shared-array element traffic
+  uint32_t ArrayLen = 8;
+  bool UseMap = true;      ///< shared-map traffic (per-key locations)
+  uint32_t MapKeys = 6;
+  bool WaitNotify = false; ///< add a producer/consumer mailbox pair
+  uint32_t MaxWaitItems = 3;
+
+  /// Lock + array + map mix; the historical property-test generator.
+  static GenConfig full() { return GenConfig(); }
+
+  /// Globals-only cross-thread traffic: no sync, arrays, or maps. Heavy
+  /// on read/write/RMW so recorded logs span multiple locations; also
+  /// the shape Clap's solver model fully supports.
+  static GenConfig sharedOnly() {
+    GenConfig C;
+    C.MinGlobals = 3;
+    C.MaxGlobals = 6;
+    C.MaxLocks = 0;
+    C.MinOps = 6;
+    C.MaxOps = 25;
+    C.UseArray = false;
+    C.UseMap = false;
+    return C;
+  }
+
+  /// full() plus a wait/notify producer/consumer pair.
+  static GenConfig withWaitNotify() {
+    GenConfig C;
+    C.WaitNotify = true;
+    return C;
+  }
+};
+
+/// Draws one random concurrent program from \p R under \p C.
+mir::Program randomProgram(Rng &R, const GenConfig &C = GenConfig::full());
+
+} // namespace testgen
+} // namespace light
+
+#endif // LIGHT_TESTS_TESTLIB_PROGRAMGEN_H

@@ -1,0 +1,68 @@
+//===- tests/testlib/TestEnv.h - Env knobs for randomized suites -*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Environment overrides shared by every randomized test suite:
+///
+///   LIGHT_TEST_SEED=<s>   pin the random seed (all parameterized instances
+///                         collapse to this one seed — combine with
+///                         LIGHT_TEST_ITERS=1 to re-run exactly one case);
+///   LIGHT_TEST_ITERS=<n>  scale the number of seeds / trials a suite runs
+///                         (the fuzz-labeled suites multiply their budget
+///                         by this; the default keeps ctest fast).
+///
+/// Suites announce the failing seed via testenv::repro() in a
+/// SCOPED_TRACE, so any failure message carries a copy-pastable
+/// `repro: LIGHT_TEST_SEED=<s> LIGHT_TEST_ITERS=1` line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_TESTS_TESTLIB_TESTENV_H
+#define LIGHT_TESTS_TESTLIB_TESTENV_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace light {
+namespace testenv {
+
+/// The pinned seed from LIGHT_TEST_SEED, or 0 when unset.
+inline uint64_t pinnedSeed() {
+  const char *E = std::getenv("LIGHT_TEST_SEED");
+  if (!E || !*E)
+    return 0;
+  return std::strtoull(E, nullptr, 10);
+}
+
+/// The seed a test instance should use: the pinned LIGHT_TEST_SEED when
+/// set, otherwise the suite's own per-instance seed.
+inline uint64_t effectiveSeed(uint64_t Param) {
+  uint64_t Pinned = pinnedSeed();
+  return Pinned ? Pinned : Param;
+}
+
+/// Iteration budget: LIGHT_TEST_ITERS when set (clamped to >= 1),
+/// otherwise the suite's default.
+inline int iters(int Default) {
+  const char *E = std::getenv("LIGHT_TEST_ITERS");
+  if (!E || !*E)
+    return Default;
+  long V = std::strtol(E, nullptr, 10);
+  return V < 1 ? 1 : static_cast<int>(V);
+}
+
+/// The repro line suites attach via SCOPED_TRACE so failures say how to
+/// re-run exactly the failing case.
+inline std::string repro(uint64_t Seed) {
+  return "repro: LIGHT_TEST_SEED=" + std::to_string(Seed) +
+         " LIGHT_TEST_ITERS=1";
+}
+
+} // namespace testenv
+} // namespace light
+
+#endif // LIGHT_TESTS_TESTLIB_TESTENV_H

@@ -18,6 +18,7 @@
 ///   light-replay show   <log>
 ///   light-replay replay <bug|file.mir> <log>
 ///   light-replay crashtest <bug|file.mir> [seed] [log]
+///   light-replay explore <bug|file.mir>            # schedule search
 /// \endcode
 ///
 /// Flags are position-independent and accepted by every subcommand:
@@ -42,6 +43,22 @@
 ///   --trace-out <file>     arm the event tracer and write Chrome
 ///                          trace-event JSON (chrome://tracing, Perfetto)
 ///
+/// `explore` flags (see src/explore):
+///
+///   --explore pct|dfs      search strategy: PCT randomized priorities
+///                          (default) or bounded-preemption systematic DFS
+///   --preemption-bound <N> DFS: max preempting switches per schedule
+///   --pct-depth <D>        PCT: bug-depth parameter d
+///   --seeds <N>            PCT: seeds to try
+///   --budget <N>           max schedules to execute
+///   --oracle               run the cross-engine differential oracle on
+///                          the failing schedule (or the default schedule
+///                          when no bug was found)
+///   --shrink               ddmin-minimize the failing (program, schedule)
+///                          pair and dump a `.mir` repro
+///   --repro-out <file>     where --shrink writes the repro
+///                          (default <target>.repro.mir)
+///
 /// A <bug> is one of the built-in Figure-6 benchmarks; anything else is
 /// treated as a path to a textual MIR file (see mir/Parser.h).
 ///
@@ -59,6 +76,9 @@
 
 #include "analysis/SharedAccessAnalysis.h"
 #include "bugs/BugHarness.h"
+#include "explore/CrossEngineOracle.h"
+#include "explore/ExplorationDriver.h"
+#include "explore/ProgramShrinker.h"
 #include "core/LightRecorder.h"
 #include "core/ReplayDirector.h"
 #include "core/ReplaySchedule.h"
@@ -104,6 +124,9 @@ int usage() {
       "                                       salvage the durable log, "
       "verify\n"
       "                                       the replay reproduces the bug\n"
+      "  explore <bug|file.mir>               search the schedule space "
+      "for a\n"
+      "                                       failing interleaving\n"
       "flags (any position, any subcommand):\n"
       "  --z3                   use the Z3 solver backend\n"
       "  --no-verify            skip record's solve+replay verification\n"
@@ -114,7 +137,17 @@ int usage() {
       "  --epoch-ms <N>         durable epoch log: flush every N ms\n"
       "  --fault <spec>         arm fault injection (LIGHT_FAULT grammar)\n"
       "  --metrics-json <file>  write the metrics snapshot as JSON\n"
-      "  --trace-out <file>     write a Chrome trace of the run\n");
+      "  --trace-out <file>     write a Chrome trace of the run\n"
+      "explore flags:\n"
+      "  --explore pct|dfs      strategy (default pct)\n"
+      "  --preemption-bound <N> DFS preemption bound (default 2)\n"
+      "  --pct-depth <D>        PCT bug-depth d (default 3)\n"
+      "  --seeds <N>            PCT seeds to try (default 1000)\n"
+      "  --budget <N>           max schedules (default 50000)\n"
+      "  --oracle               cross-engine differential oracle on the\n"
+      "                         failing (or default) schedule\n"
+      "  --shrink               ddmin-minimize the failure, dump a repro\n"
+      "  --repro-out <file>     repro path (default <target>.repro.mir)\n");
   return 2;
 }
 
@@ -377,6 +410,87 @@ int runCrashtest(const mir::Program &Prog, uint64_t Seed,
   return Rc;
 }
 
+/// `explore`: systematic / randomized schedule search, optional oracle
+/// cross-check and ddmin shrinking of the failure found.
+int runExplore(const mir::Program &Prog, const std::string &Strategy,
+               const explore::ExploreOptions &Opts, bool RunOracle,
+               bool Shrink, const std::string &ReproPath, bool UseZ3,
+               unsigned SolverShards) {
+  using namespace light::explore;
+
+  if (Strategy != "pct" && Strategy != "dfs") {
+    std::fprintf(stderr, "error: --explore wants 'pct' or 'dfs', got '%s'\n",
+                 Strategy.c_str());
+    return 2;
+  }
+  ExploreReport Report = Strategy == "dfs" ? exploreDfs(Prog, Opts)
+                                           : explorePct(Prog, Opts);
+  std::printf("%s: %llu schedule(s), %llu distinct interleaving(s), "
+              "%.2fs (%.0f schedules/s)%s\n",
+              Strategy.c_str(),
+              static_cast<unsigned long long>(Report.SchedulesRun),
+              static_cast<unsigned long long>(Report.DistinctInterleavings),
+              Report.Seconds, Report.schedulesPerSecond(),
+              Report.SpaceExhausted ? ", space exhausted" : "");
+  if (Report.BugFound) {
+    std::printf("bug found: %s\n", Report.Bug.str().c_str());
+    std::printf("  preemptions: %u\n", Report.FailingPreemptions);
+    std::printf("  schedule: %s\n",
+                traceToString(Report.FailingTrace).c_str());
+  } else {
+    std::printf("no bug within the budget\n");
+  }
+
+  int Rc = Report.BugFound ? 0 : 1;
+  DecisionTrace Schedule = Report.FailingTrace; // empty = default schedule
+
+  if (RunOracle) {
+    OracleConfig Config;
+    Config.LightEngine =
+        UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl;
+    Config.SolverShards = SolverShards;
+    Config.EnvSeed = Opts.EnvSeed;
+    CrossEngineOracle Oracle(Config);
+    OracleVerdict V = Oracle.check(Prog, Schedule);
+    std::printf("oracle: %s\n", V.str().c_str());
+    if (!V.Agreed)
+      Rc = 1;
+  }
+
+  if (Shrink && Report.BugFound) {
+    BugReport Want = Report.Bug;
+    uint64_t EnvSeed = Opts.EnvSeed;
+    FailPredicate SameBug = [&](const mir::Program &P,
+                                const DecisionTrace &S) {
+      NullHook Null;
+      Machine M(P, Null);
+      M.seedEnvironment(EnvSeed ^ 0x5a5a);
+      TraceScheduler Sched(S);
+      RunResult R = M.run(Sched, /*MaxInstructions=*/2000000ull);
+      return Want.sameAs(R.Bug);
+    };
+    ShrinkResult Small = shrink(Prog, Schedule, SameBug);
+    std::printf("shrink: %u -> %u statements (%.0f%%), %llu probes\n",
+                Small.OriginalStatements, Small.ShrunkStatements,
+                Small.ratio() * 100,
+                static_cast<unsigned long long>(Small.ProbesRun));
+    Repro R;
+    R.Prog = Small.Shrunk;
+    R.Schedule = Small.Schedule;
+    R.EnvSeed = EnvSeed;
+    R.Note = "bug: " + Want.str();
+    std::string Err = dumpRepro(ReproPath, R);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("repro written -> %s\n", ReproPath.c_str());
+  } else if (Shrink) {
+    std::printf("nothing to shrink (no failing schedule)\n");
+  }
+  return Rc;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -394,8 +508,9 @@ int main(int argc, char **argv) {
   obs::ArgList Args(
       argc, argv,
       {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault",
-       "solver-shards"},
-      {"z3", "no-verify"}, /*Begin=*/2);
+       "solver-shards", "explore", "preemption-bound", "pct-depth", "seeds",
+       "budget", "repro-out"},
+      {"z3", "no-verify", "oracle", "shrink"}, /*Begin=*/2);
   for (const std::string &F : Args.unknown())
     std::fprintf(stderr, "error: unknown flag '%s'\n", F.c_str());
   if (!Args.unknown().empty())
@@ -564,6 +679,23 @@ int main(int argc, char **argv) {
     }
     printLoadReport(Report);
     return Finish(solveAndReplay(*Prog, Log, UseZ3, SolverShards));
+  }
+
+  if (Cmd == "explore") {
+    explore::ExploreOptions Opts;
+    Opts.PreemptionBound = static_cast<uint32_t>(
+        std::strtoul(Args.get("preemption-bound", "2").c_str(), nullptr, 10));
+    Opts.PctDepth = static_cast<uint32_t>(
+        std::strtoul(Args.get("pct-depth", "3").c_str(), nullptr, 10));
+    Opts.PctSeeds =
+        std::strtoull(Args.get("seeds", "1000").c_str(), nullptr, 10);
+    Opts.ScheduleBudget =
+        std::strtoull(Args.get("budget", "50000").c_str(), nullptr, 10);
+    return Finish(runExplore(
+        *Prog, Args.get("explore", "pct", "pct"), Opts, Args.has("oracle"),
+        Args.has("shrink"),
+        Args.get("repro-out", Target + ".repro.mir", Target + ".repro.mir"),
+        UseZ3, SolverShards));
   }
 
   if (Cmd == "crashtest") {
