@@ -24,8 +24,18 @@ void LeapRecorder::record(ThreadId T, LocationId L,
   Shard &S = shardFor(L);
   // Leap's critical section: the program access and the access-vector
   // append run under the location's lock so the recorded order reflects
-  // the true access order (Section 2.2).
-  std::lock_guard<std::mutex> Guard(S.M);
+  // the true access order (Section 2.2). Contention probe sampled 1-in-64
+  // by the per-thread counter, mirroring LightRecorder's stripe probe so
+  // the bench_contention collision columns are comparable.
+  std::unique_lock<std::mutex> Guard(S.M, std::defer_lock);
+  if ((C & 63) == 0) {
+    if (!Guard.try_lock()) {
+      S.Contended.fetch_add(1, std::memory_order_relaxed);
+      Guard.lock();
+    }
+  } else {
+    Guard.lock();
+  }
   Perform();
   S.Vectors[L].push_back(AccessId(T, C).pack());
   ++S.Count;
@@ -83,6 +93,7 @@ LeapLog LeapRecorder::finish(const std::string &DumpPath) {
   obs::Registry &Reg = obs::Registry::global();
   Reg.counter("baseline.leap.access_vectors").add(Log.AccessVectors.size());
   Reg.counter("baseline.leap.long_integers").add(longIntegersRecorded());
+  Reg.counter("baseline.leap.lock_contention").add(lockContentions());
   return Log;
 }
 
@@ -91,4 +102,11 @@ uint64_t LeapRecorder::longIntegersRecorded() const {
   for (const Shard &S : Shards)
     Total += S.Count;
   return Total + Syscalls.size() * 2;
+}
+
+uint64_t LeapRecorder::lockContentions() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.Contended.load(std::memory_order_relaxed);
+  return Total;
 }

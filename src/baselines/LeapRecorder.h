@@ -27,6 +27,7 @@
 #include "runtime/AccessHook.h"
 #include "trace/DepSpan.h"
 
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -70,12 +71,17 @@ public:
 
   uint64_t longIntegersRecorded() const;
 
+  /// Sampled shard-lock try_lock misses (1-in-64 probe, same sampling as
+  /// LightRecorder's stripe probe so the two are directly comparable).
+  uint64_t lockContentions() const;
+
 private:
   static constexpr uint32_t NumShards = 256;
   struct alignas(64) Shard {
     std::mutex M;
     std::unordered_map<LocationId, std::vector<uint64_t>> Vectors;
     uint64_t Count = 0;
+    std::atomic<uint64_t> Contended{0}; ///< bumped outside M on probe miss
   };
 
   PerThreadCounters Counters;

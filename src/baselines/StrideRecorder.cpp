@@ -34,8 +34,17 @@ void StrideRecorder::onWrite(ThreadId T, LocationId L, LocMeta &M,
   Counter C = Counters.bump(T);
   Shard &S = shardFor(L);
   // Writes are globally ordered per location under synchronization, like
-  // Leap's vectors.
-  std::lock_guard<std::mutex> Guard(S.M);
+  // Leap's vectors. Same 1-in-64 sampled contention probe as the other
+  // recorders so the bench_contention collision columns line up.
+  std::unique_lock<std::mutex> Guard(S.M, std::defer_lock);
+  if ((C & 63) == 0) {
+    if (!Guard.try_lock()) {
+      S.Contended.fetch_add(1, std::memory_order_relaxed);
+      Guard.lock();
+    }
+  } else {
+    Guard.lock();
+  }
   std::unique_ptr<LocState> &Slot = S.Locs[L];
   if (!Slot)
     Slot = std::make_unique<LocState>();
@@ -51,12 +60,16 @@ void StrideRecorder::onRead(ThreadId T, LocationId L, LocMeta &M,
   // Version-validated read: retry until the version is stable across the
   // program read, so (value, version) is a consistent pair.
   uint32_t V1, V2;
-  do {
+  PerThread &Me = *Threads[T];
+  while (true) {
     V1 = State.Version.load();
     Perform();
     V2 = State.Version.load();
-  } while (V1 != V2);
-  Threads[T]->Reads.push_back({L, V1, AccessId(T, C).pack()});
+    if (V1 == V2)
+      break;
+    ++Me.Retries;
+  }
+  Me.Reads.push_back({L, V1, AccessId(T, C).pack()});
 }
 
 void StrideRecorder::onRmw(ThreadId T, LocationId L, LocMeta &M,
@@ -99,6 +112,8 @@ StrideLog StrideRecorder::finish() {
   obs::Registry &Reg = obs::Registry::global();
   Reg.counter("baseline.stride.reads").add(Log.Reads.size());
   Reg.counter("baseline.stride.long_integers").add(longIntegersRecorded());
+  Reg.counter("baseline.stride.read_retries").add(readRetries());
+  Reg.counter("baseline.stride.lock_contention").add(lockContentions());
   return Log;
 }
 
@@ -109,6 +124,20 @@ uint64_t StrideRecorder::longIntegersRecorded() const {
       Total += State->Writes.size();
   for (const auto &T : Threads)
     Total += T->Reads.size() * 2 + T->Syscalls.size() * 2;
+  return Total;
+}
+
+uint64_t StrideRecorder::readRetries() const {
+  uint64_t Total = 0;
+  for (const auto &T : Threads)
+    Total += T->Retries;
+  return Total;
+}
+
+uint64_t StrideRecorder::lockContentions() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.Contended.load(std::memory_order_relaxed);
   return Total;
 }
 

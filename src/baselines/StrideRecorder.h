@@ -82,6 +82,13 @@ public:
 
   uint64_t longIntegersRecorded() const;
 
+  /// Version-validation retries observed by onRead (the analogue of
+  /// LightRecorder::readRetries for cross-recorder contention tables).
+  uint64_t readRetries() const;
+
+  /// Sampled write-shard try_lock misses (1-in-64 probe).
+  uint64_t lockContentions() const;
+
   /// The polynomial-time offline linkage reconstruction: read with version
   /// v on location l reads the v-th write in l's write list.
   static StrideLinkage reconstruct(const StrideLog &Log);
@@ -95,10 +102,12 @@ private:
   struct alignas(64) Shard {
     std::mutex M;
     std::unordered_map<LocationId, std::unique_ptr<LocState>> Locs;
+    std::atomic<uint64_t> Contended{0}; ///< bumped outside M on probe miss
   };
   struct alignas(64) PerThread {
     std::vector<StrideLog::ReadRecord> Reads;
     std::vector<SyscallRecord> Syscalls;
+    uint64_t Retries = 0; ///< version-validation re-reads
   };
 
   PerThreadCounters Counters;

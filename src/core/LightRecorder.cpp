@@ -159,6 +159,9 @@ bool LightRecorder::writeDurableSegment(const std::vector<uint64_t> &Payload) {
   }
   if (!Durable->ok())
     return false;
+  // One durable segment == one recording epoch reaching disk; the progress
+  // heartbeat watches this to show long runs advancing through epochs.
+  obs::Registry::global().counter("record.epochs").add(1);
   if (!GuardsEmitted) {
     GuardsEmitted = true;
     if (Opts.EnableO2 && !Guards.empty()) {
@@ -468,5 +471,12 @@ uint64_t LightRecorder::readRetries() const {
   uint64_t Total = 0;
   for (const auto &S : Threads)
     Total += S->Retries;
+  return Total;
+}
+
+uint64_t LightRecorder::stripeContentions() const {
+  uint64_t Total = 0;
+  for (const auto &S : Threads)
+    Total += S->StripeContended;
   return Total;
 }

@@ -107,6 +107,10 @@ public:
   /// the loop yields few retries in practice; tests check that).
   uint64_t readRetries() const;
 
+  /// Sampled write-stripe try_lock misses (1-in-64 probe, Telemetry only).
+  /// Multiply by 64 for an order-of-magnitude contention estimate.
+  uint64_t stripeContentions() const;
+
 private:
   struct OpenSpan {
     bool Active = false;

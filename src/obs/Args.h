@@ -13,7 +13,10 @@
 /// Tokens starting with "--" are flags; a flag listed as value-taking
 /// consumes the following token as its value (unless that token is itself a
 /// flag, in which case the value is empty — useful for flags with an
-/// optional value like `--json [file]`). Everything else is positional.
+/// optional value like `--json [file]`). `--flag=value` attaches the value
+/// inline, which is the only way to give an optional-value flag a value
+/// that follows another flag (`--progress=5 --z3`). Everything else is
+/// positional.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +62,16 @@ public:
         continue;
       }
       std::string Name = Tok.substr(2);
+      size_t Eq = Name.find('=');
+      if (Eq != std::string::npos) {
+        std::string Inline = Name.substr(Eq + 1);
+        Name.resize(Eq);
+        if (Listed(ValueFlags, Name))
+          Flags.emplace_back(std::move(Name), std::move(Inline));
+        else
+          Unknown.push_back(std::move(Tok));
+        continue;
+      }
       if (Listed(ValueFlags, Name)) {
         std::string Value;
         if (I + 1 < Argc && !isFlag(Argv[I + 1]))

@@ -1,0 +1,329 @@
+//===- obs/BenchDiff.cpp - light-bench-v1 regression comparator ------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchDiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+bool contains(std::string_view S, std::string_view Needle) {
+  return S.find(Needle) != std::string_view::npos;
+}
+
+const char *const ConfigNames[] = {"threads",     "ops",     "iterations",
+                                   "repeats",     "seed",    "locations",
+                                   "workers",     "shards",  "benchmarks_run",
+                                   "write_pct"};
+
+} // namespace
+
+MetricClass light::obs::classifyMetric(std::string_view Name) {
+  for (const char *C : ConfigNames)
+    if (Name == C)
+      return MetricClass::Config;
+  if (contains(Name, "per_sec") || contains(Name, "per_second"))
+    return MetricClass::Rate;
+  if (endsWith(Name, "_ns") || contains(Name, "ns_per") ||
+      endsWith(Name, "_seconds") || endsWith(Name, "_ms") ||
+      contains(Name, "_ns_"))
+    return MetricClass::Time;
+  return MetricClass::Count;
+}
+
+std::string light::obs::rowKey(const JsonValue &Row) {
+  std::string Key;
+  for (const auto &[Name, V] : Row.Members) {
+    bool Identity = V.isString();
+    if (V.isNumber() && classifyMetric(Name) == MetricClass::Config)
+      Identity = true;
+    if (!Identity)
+      continue;
+    if (!Key.empty())
+      Key += " ";
+    Key += Name + "=";
+    if (V.isString())
+      Key += V.Str;
+    else {
+      std::ostringstream Os;
+      Os << V.Num;
+      Key += Os.str();
+    }
+  }
+  return Key.empty() ? "(row)" : Key;
+}
+
+namespace {
+
+/// Numeric (metric, value) pairs of one row/aggregate object, Config and
+/// non-numeric cells excluded.
+std::vector<std::pair<std::string, double>> metricsOf(const JsonValue &Obj) {
+  std::vector<std::pair<std::string, double>> Out;
+  for (const auto &[Name, V] : Obj.Members)
+    if (V.isNumber() && classifyMetric(Name) != MetricClass::Config)
+      Out.emplace_back(Name, V.Num);
+  return Out;
+}
+
+void compareObjects(const std::string &Key, const JsonValue &OldObj,
+                    const JsonValue &NewObj, const DiffThresholds &T,
+                    DiffResult &R) {
+  auto NewMetrics = metricsOf(NewObj);
+  for (const auto &[Metric, OldV] : metricsOf(OldObj)) {
+    DiffEntry E;
+    E.Row = Key;
+    E.Metric = Metric;
+    E.Class = classifyMetric(Metric);
+    E.Old = OldV;
+    auto It = std::find_if(NewMetrics.begin(), NewMetrics.end(),
+                           [&, M = Metric](const auto &P) {
+                             return P.first == M;
+                           });
+    if (It == NewMetrics.end()) {
+      E.What = DiffEntry::Verdict::Missing;
+      ++R.Missing;
+      R.Entries.push_back(std::move(E));
+      continue;
+    }
+    E.New = It->second;
+    ++R.Compared;
+
+    double Rel, Floor;
+    bool LargerIsWorse = true;
+    switch (E.Class) {
+    case MetricClass::Time:
+      Rel = T.TimeRel;
+      Floor = T.TimeFloor;
+      break;
+    case MetricClass::Rate:
+      Rel = T.RateRel;
+      Floor = T.RateFloor;
+      LargerIsWorse = false;
+      break;
+    default:
+      Rel = T.CountRel;
+      Floor = T.CountFloor;
+      break;
+    }
+    double Worse = LargerIsWorse ? E.New - E.Old : E.Old - E.New;
+    double Base = std::fabs(E.Old);
+    if (Worse > Base * Rel && Worse > Floor) {
+      E.What = DiffEntry::Verdict::Regression;
+      ++R.Regressions;
+    } else if (-Worse > Base * Rel && -Worse > Floor) {
+      E.What = DiffEntry::Verdict::Improvement;
+      ++R.Improvements;
+    } else {
+      E.What = DiffEntry::Verdict::WithinNoise;
+    }
+    R.Entries.push_back(std::move(E));
+  }
+  // Metrics only the new report has are informational, not gating.
+  auto OldMetrics = metricsOf(OldObj);
+  for (const auto &[Metric, NewV] : NewMetrics) {
+    bool Known = std::any_of(OldMetrics.begin(), OldMetrics.end(),
+                             [&, M = Metric](const auto &P) {
+                               return P.first == M;
+                             });
+    if (Known)
+      continue;
+    DiffEntry E;
+    E.Row = Key;
+    E.Metric = Metric;
+    E.Class = classifyMetric(Metric);
+    E.New = NewV;
+    E.What = DiffEntry::Verdict::Added;
+    R.Entries.push_back(std::move(E));
+  }
+}
+
+const JsonValue *requireReport(const JsonValue &Doc, std::string &Error,
+                               const char *Which) {
+  if (!Doc.isObject()) {
+    Error = std::string(Which) + " report: root is not an object";
+    return nullptr;
+  }
+  const JsonValue *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() || Schema->Str != "light-bench-v1") {
+    Error = std::string(Which) + " report: not a light-bench-v1 document";
+    return nullptr;
+  }
+  return &Doc;
+}
+
+} // namespace
+
+DiffResult light::obs::diffReports(const JsonValue &Old, const JsonValue &New,
+                                   const DiffThresholds &T) {
+  DiffResult R;
+  if (!requireReport(Old, R.Error, "baseline") ||
+      !requireReport(New, R.Error, "new"))
+    return R;
+  const JsonValue *OldBench = Old.find("bench");
+  const JsonValue *NewBench = New.find("bench");
+  if (!OldBench || !NewBench || !OldBench->isString() ||
+      !NewBench->isString() || OldBench->Str != NewBench->Str) {
+    R.Error = "bench name mismatch: '" +
+              (OldBench && OldBench->isString() ? OldBench->Str : "?") +
+              "' vs '" +
+              (NewBench && NewBench->isString() ? NewBench->Str : "?") + "'";
+    return R;
+  }
+  R.Bench = OldBench->Str;
+  R.Ok = true;
+
+  const JsonValue *OldRows = Old.find("rows");
+  const JsonValue *NewRows = New.find("rows");
+  if (OldRows && OldRows->isArray()) {
+    for (const JsonValue &Row : OldRows->Items) {
+      if (!Row.isObject())
+        continue;
+      std::string Key = rowKey(Row);
+      const JsonValue *Match = nullptr;
+      if (NewRows && NewRows->isArray())
+        for (const JsonValue &Cand : NewRows->Items)
+          if (Cand.isObject() && rowKey(Cand) == Key) {
+            Match = &Cand;
+            break;
+          }
+      if (!Match) {
+        DiffEntry E;
+        E.Row = Key;
+        E.Metric = "(row)";
+        E.What = DiffEntry::Verdict::Missing;
+        ++R.Missing;
+        R.Entries.push_back(std::move(E));
+        continue;
+      }
+      compareObjects(Key, Row, *Match, T, R);
+    }
+  }
+
+  const JsonValue *OldAgg = Old.find("aggregates");
+  const JsonValue *NewAgg = New.find("aggregates");
+  if (OldAgg && OldAgg->isObject()) {
+    static const JsonValue EmptyObj = [] {
+      JsonValue V;
+      V.What = JsonValue::Kind::Object;
+      return V;
+    }();
+    compareObjects("(aggregates)", *OldAgg,
+                   NewAgg && NewAgg->isObject() ? *NewAgg : EmptyObj, T, R);
+  }
+  return R;
+}
+
+DiffResult light::obs::diffReportFiles(const std::string &OldPath,
+                                       const std::string &NewPath,
+                                       const DiffThresholds &T) {
+  DiffResult R;
+  auto Load = [&R](const std::string &Path, JsonValue &Out) {
+    std::ifstream In(Path);
+    if (!In) {
+      R.Error = "cannot open '" + Path + "'";
+      return false;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    JsonParseResult Parsed = parseJson(Buf.str());
+    if (!Parsed.Ok) {
+      R.Error = Path + ": " + Parsed.Error;
+      return false;
+    }
+    Out = std::move(Parsed.Value);
+    return true;
+  };
+  JsonValue Old, New;
+  if (!Load(OldPath, Old) || !Load(NewPath, New))
+    return R;
+  return diffReports(Old, New, T);
+}
+
+// --- Serialization & perturbation -------------------------------------------
+
+namespace {
+
+void writeValue(JsonWriter &W, const JsonValue &V) {
+  switch (V.What) {
+  case JsonValue::Kind::Null:
+    W.valueNull();
+    break;
+  case JsonValue::Kind::Bool:
+    W.value(V.B);
+    break;
+  case JsonValue::Kind::Number:
+    W.value(V.Num);
+    break;
+  case JsonValue::Kind::String:
+    W.value(V.Str);
+    break;
+  case JsonValue::Kind::Array:
+    W.beginArray();
+    for (const JsonValue &Item : V.Items)
+      writeValue(W, Item);
+    W.endArray();
+    break;
+  case JsonValue::Kind::Object:
+    W.beginObject();
+    for (const auto &[Name, Member] : V.Members) {
+      W.key(Name);
+      writeValue(W, Member);
+    }
+    W.endObject();
+    break;
+  }
+}
+
+void perturbObject(JsonValue &Obj, double Factor) {
+  for (auto &[Name, V] : Obj.Members) {
+    if (!V.isNumber())
+      continue;
+    MetricClass C = classifyMetric(Name);
+    if (C == MetricClass::Time)
+      V.Num *= Factor;
+    else if (C == MetricClass::Rate && Factor != 0)
+      V.Num /= Factor;
+  }
+}
+
+} // namespace
+
+std::string light::obs::writeJsonValue(const JsonValue &V) {
+  JsonWriter W;
+  writeValue(W, V);
+  return W.take();
+}
+
+std::string light::obs::perturbReport(const JsonValue &Doc, double Factor,
+                                      std::string *Error) {
+  std::string Err;
+  if (!requireReport(Doc, Err, "input")) {
+    if (Error)
+      *Error = Err;
+    return std::string();
+  }
+  JsonValue Copy = Doc;
+  for (auto &[Name, V] : Copy.Members) {
+    if (Name == "rows" && V.isArray())
+      for (JsonValue &Row : V.Items)
+        if (Row.isObject())
+          perturbObject(Row, Factor);
+    if (Name == "aggregates" && V.isObject())
+      perturbObject(V, Factor);
+  }
+  return writeJsonValue(Copy);
+}

@@ -1,0 +1,117 @@
+//===- obs/BenchDiff.h - light-bench-v1 regression comparator ---*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The noise-aware comparator behind `tools/bench_diff` and the ctest
+/// bench-regression gate: given two light-bench-v1 reports (a committed
+/// baseline and a fresh run), match rows by identity columns, compare every
+/// measured metric, and classify each delta as within-noise, improvement,
+/// or regression.
+///
+/// Noise model: a delta only counts when it clears *both* a relative
+/// threshold and a per-metric-class absolute floor — a 9.7ns/op read
+/// doubling to 19ns matters, a 0.2ns blip on the same metric does not, and
+/// a retry count going 2 -> 5 is scheduling noise while 100 -> 10000 is
+/// not. Metric classes are inferred from the column name:
+///
+///   Time   *_ns, *_ns_per_iter, *ns_per_op, *_seconds, *_ms — larger is
+///          worse
+///   Rate   *_per_sec, *_per_second — larger is better (direction flips)
+///   Config threads, ops, iterations, seed, ... — identity, never compared
+///   Count  everything else numeric — larger is worse, generous thresholds
+///
+/// A metric or row present in the baseline but missing from the new report
+/// is a finding of its own (Missing), fatal by default: silently dropping a
+/// measurement is how regressions hide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_BENCHDIFF_H
+#define LIGHT_OBS_BENCHDIFF_H
+
+#include "obs/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace obs {
+
+/// Metric classification by column name (see file comment).
+enum class MetricClass { Time, Rate, Count, Config, Skip };
+MetricClass classifyMetric(std::string_view Name);
+
+/// Per-class noise thresholds. A regression requires the relative delta
+/// AND the absolute floor to both be exceeded.
+struct DiffThresholds {
+  double TimeRel = 0.35;    ///< 35%: same-host run-to-run jitter margin
+  double TimeFloor = 5.0;   ///< nanoseconds (or seconds*1e0 for *_seconds)
+  double RateRel = 0.35;
+  double RateFloor = 0.0;
+  double CountRel = 2.0;    ///< counts are schedule-dependent; 3x to trip
+  double CountFloor = 100.0;
+  bool FailOnMissing = true;
+};
+
+/// One compared (row, metric) pair.
+struct DiffEntry {
+  enum class Verdict { WithinNoise, Improvement, Regression, Missing, Added };
+  std::string Row;    ///< row identity key; "(aggregates)" for aggregates
+  std::string Metric;
+  MetricClass Class = MetricClass::Count;
+  Verdict What = Verdict::WithinNoise;
+  double Old = 0;
+  double New = 0;
+
+  /// (New - Old) / Old; 0 when Old == 0.
+  double relDelta() const { return Old != 0 ? (New - Old) / Old : 0; }
+};
+
+/// Outcome of one comparison.
+struct DiffResult {
+  bool Ok = false;    ///< inputs parsed and were comparable reports
+  std::string Error;  ///< set when !Ok
+  std::string Bench;
+  std::vector<DiffEntry> Entries;
+  uint64_t Compared = 0;
+  uint64_t Regressions = 0;
+  uint64_t Improvements = 0;
+  uint64_t Missing = 0;
+
+  /// The gate verdict: true when the new report regressed.
+  bool regressed(const DiffThresholds &T) const {
+    return Regressions > 0 || (T.FailOnMissing && Missing > 0);
+  }
+};
+
+/// The identity key a report row is matched by: its string cells plus the
+/// Config-class numeric cells, in column order.
+std::string rowKey(const JsonValue &Row);
+
+/// Compares two parsed light-bench-v1 documents.
+DiffResult diffReports(const JsonValue &Old, const JsonValue &New,
+                       const DiffThresholds &T = {});
+
+/// Convenience: load, parse, and compare two report files.
+DiffResult diffReportFiles(const std::string &OldPath,
+                           const std::string &NewPath,
+                           const DiffThresholds &T = {});
+
+/// Multiplies every Time-class metric (rows and aggregates) by \p Factor
+/// and divides every Rate-class metric by it — the synthetic "regression"
+/// used to prove the gate fires. Returns the perturbed document as JSON
+/// text ("" plus \p Error set on malformed input).
+std::string perturbReport(const JsonValue &Doc, double Factor,
+                          std::string *Error = nullptr);
+
+/// Serializes a parsed JsonValue back to JSON text (used by --perturb).
+std::string writeJsonValue(const JsonValue &V);
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_BENCHDIFF_H

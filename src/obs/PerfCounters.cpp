@@ -1,0 +1,194 @@
+//===- obs/PerfCounters.cpp - perf_event_open profiling hooks --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfCounters.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/FaultInjection.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define LIGHT_HAVE_PERF_EVENT 1
+#else
+#define LIGHT_HAVE_PERF_EVENT 0
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+uint64_t steadyNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Cycle counter where the architecture exposes one without a syscall;
+/// 0 elsewhere (the sample's Cycles column then stays 0 in fallback mode).
+uint64_t readTsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t V;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(V));
+  return V;
+#else
+  return 0;
+#endif
+}
+
+#if LIGHT_HAVE_PERF_EVENT
+int perfOpen(uint32_t Type, uint64_t Config) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.size = sizeof(Attr);
+  Attr.type = Type;
+  Attr.config = Config;
+  Attr.disabled = 0;
+  Attr.exclude_kernel = 1; // counts open without CAP_PERFMON on most hosts
+  Attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, on whatever CPU it runs.
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &Attr, 0, -1, -1, 0));
+}
+
+uint64_t readFd(int Fd) {
+  if (Fd < 0)
+    return 0;
+  uint64_t V = 0;
+  if (::read(Fd, &V, sizeof(V)) != static_cast<ssize_t>(sizeof(V)))
+    return 0;
+  return V;
+}
+#endif
+
+} // namespace
+
+PerfSample PerfSample::delta(const PerfSample &Begin, const PerfSample &End) {
+  auto Sub = [](uint64_t A, uint64_t B) { return A > B ? A - B : 0; };
+  PerfSample D;
+  D.Cycles = Sub(End.Cycles, Begin.Cycles);
+  D.Instructions = Sub(End.Instructions, Begin.Instructions);
+  D.CacheMisses = Sub(End.CacheMisses, Begin.CacheMisses);
+  D.ContextSwitches = Sub(End.ContextSwitches, Begin.ContextSwitches);
+  D.WallNanos = Sub(End.WallNanos, Begin.WallNanos);
+  D.Hardware = End.Hardware;
+  return D;
+}
+
+PerfCounters::PerfCounters() {
+  openAll();
+  reset();
+}
+
+PerfCounters::~PerfCounters() { closeAll(); }
+
+void PerfCounters::openAll() {
+  // Deterministic fallback for tests: the injection site fires *before* the
+  // syscall so the fallback path is identical to a host without perf.
+  if (fault::Injector::global().shouldFire("obs.perf_open_fail")) {
+    FallbackWhy = "fault-injected (obs.perf_open_fail)";
+    return;
+  }
+#if LIGHT_HAVE_PERF_EVENT
+  Events.Cycles = perfOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (Events.Cycles < 0) {
+    FallbackWhy = std::string("perf_event_open: ") + std::strerror(errno);
+    return;
+  }
+  Events.Instructions =
+      perfOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  Events.CacheMisses = perfOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  Events.ContextSwitches =
+      perfOpen(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES);
+  // The cycle counter is the gating event; the siblings are best-effort
+  // (an FD of -1 simply reads 0).
+  Hardware = true;
+#else
+  FallbackWhy = "perf_event_open unavailable on this platform";
+#endif
+}
+
+void PerfCounters::closeAll() {
+#if LIGHT_HAVE_PERF_EVENT
+  for (int Fd : {Events.Cycles, Events.Instructions, Events.CacheMisses,
+                 Events.ContextSwitches})
+    if (Fd >= 0)
+      ::close(Fd);
+#endif
+  Events = Fds();
+}
+
+PerfSample PerfCounters::readRaw() const {
+  PerfSample S;
+  S.WallNanos = steadyNanos();
+  if (Hardware) {
+#if LIGHT_HAVE_PERF_EVENT
+    S.Cycles = readFd(Events.Cycles);
+    S.Instructions = readFd(Events.Instructions);
+    S.CacheMisses = readFd(Events.CacheMisses);
+    S.ContextSwitches = readFd(Events.ContextSwitches);
+#endif
+    S.Hardware = true;
+  } else {
+    S.Cycles = readTsc();
+  }
+  return S;
+}
+
+void PerfCounters::reset() {
+  PerfSample Now = readRaw();
+  HwBase = Now;
+  BaseWallNanos = Now.WallNanos;
+  BaseTsc = Now.Cycles;
+}
+
+PerfSample PerfCounters::read() const {
+  return PerfSample::delta(HwBase, readRaw());
+}
+
+// --- PerfScope ---------------------------------------------------------------
+
+PerfScope::PerfScope(PerfCounters &Counters, const char *ScopeName,
+                     uint32_t TidIn)
+    : PC(Counters), Name(ScopeName), Tid(TidIn),
+      TraceArmed(Tracer::global().enabled()) {
+  Begin = PC.read();
+  if (TraceArmed)
+    TraceTs = Tracer::global().now();
+}
+
+PerfScope::~PerfScope() {
+  PerfSample D = PerfSample::delta(Begin, PC.read());
+  Registry &Reg = Registry::global();
+  std::string Prefix = std::string("perf.") + Name;
+  Reg.counter(Prefix + ".wall_ns").add(D.WallNanos);
+  Reg.counter(Prefix + ".cycles").add(D.Cycles);
+  if (D.Hardware) {
+    Reg.counter(Prefix + ".instructions").add(D.Instructions);
+    Reg.counter(Prefix + ".cache_misses").add(D.CacheMisses);
+    Reg.counter(Prefix + ".context_switches").add(D.ContextSwitches);
+  }
+  if (TraceArmed)
+    Tracer::global().complete(Name, "perf", Tid, TraceTs,
+                              Tracer::global().now() - TraceTs,
+                              {"cycles", D.Cycles},
+                              {"instructions", D.Instructions});
+}

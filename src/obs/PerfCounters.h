@@ -1,0 +1,124 @@
+//===- obs/PerfCounters.h - perf_event_open profiling hooks -----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardware profiling hooks for the perf observatory: a per-thread wrapper
+/// over Linux `perf_event_open` counting cycles, instructions, cache misses
+/// and context switches, with a graceful clock/rdtsc fallback when the
+/// syscall is unavailable (seccomp'd container, perf_event_paranoid, or a
+/// kernel without the event). The fallback keeps the *shape* of the data —
+/// wall nanoseconds always, TSC cycles where the architecture exposes them —
+/// so benches emit the same light-bench-v1 columns everywhere and downstream
+/// tooling (bench_diff, check_bench_json) never branches on host capability.
+///
+/// Two layers:
+///
+///  * PerfCounters — opens one counter group for the *calling thread*
+///    (pid=0, cpu=-1). Construction never fails: when any event cannot be
+///    opened the object silently degrades to the fallback source and
+///    records why. The fault-injection site `obs.perf_open_fail` forces the
+///    fallback deterministically, so tests cover both paths on any host.
+///
+///  * PerfScope — RAII: samples at construction and destruction, publishes
+///    the delta as `perf.<scope>.{cycles,instructions,cache_misses,
+///    context_switches,wall_ns}` counters in the global metrics registry
+///    and emits a Chrome-trace 'X' span when the tracer is armed. The scope
+///    name must be a string literal (the tracer stores the pointer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_PERFCOUNTERS_H
+#define LIGHT_OBS_PERFCOUNTERS_H
+
+#include <cstdint>
+#include <string>
+
+namespace light {
+namespace obs {
+
+/// One reading of the profiled quantities. All values are totals since the
+/// owning PerfCounters was constructed (or last reset()).
+struct PerfSample {
+  uint64_t Cycles = 0;          ///< CPU cycles (TSC delta in fallback)
+  uint64_t Instructions = 0;    ///< retired instructions (0 in fallback)
+  uint64_t CacheMisses = 0;     ///< LLC misses (0 in fallback)
+  uint64_t ContextSwitches = 0; ///< context switches (0 in fallback)
+  uint64_t WallNanos = 0;       ///< steady-clock wall time, always valid
+  bool Hardware = false;        ///< true when perf_event_open backs this
+
+  /// Component-wise End - Begin (saturating at 0 per field).
+  static PerfSample delta(const PerfSample &Begin, const PerfSample &End);
+};
+
+/// Per-thread profiling counters. Thread affinity: the constructor binds
+/// the counters to the *calling* thread; read() may be called from any
+/// thread (a sampler thread can read a worker's counters through the
+/// worker's instance).
+class PerfCounters {
+public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters &) = delete;
+  PerfCounters &operator=(const PerfCounters &) = delete;
+
+  /// True when the perf_event_open group is live; false on the fallback.
+  bool hardware() const { return Hardware; }
+
+  /// Human-readable reason the fallback was taken ("" when hardware()).
+  const std::string &fallbackReason() const { return FallbackWhy; }
+
+  /// Re-baselines all counters to zero.
+  void reset();
+
+  /// Current totals since construction / reset().
+  PerfSample read() const;
+
+private:
+  struct Fds {
+    int Cycles = -1;
+    int Instructions = -1;
+    int CacheMisses = -1;
+    int ContextSwitches = -1;
+  };
+  Fds Events;
+  bool Hardware = false;
+  std::string FallbackWhy;
+  // Fallback baselines (also used to re-zero hardware counters on kernels
+  // where the reset ioctl is unavailable).
+  uint64_t BaseWallNanos = 0;
+  uint64_t BaseTsc = 0;
+  PerfSample HwBase; ///< hardware totals at the last reset()
+
+  void openAll();
+  void closeAll();
+  PerfSample readRaw() const;
+};
+
+/// RAII profiling scope: publishes the counter delta over its lifetime into
+/// the global metrics registry and the tracer. \p ScopeName must be a
+/// string literal.
+class PerfScope {
+  PerfCounters &PC;
+  const char *Name;
+  uint32_t Tid;
+  PerfSample Begin;
+  uint64_t TraceTs = 0;
+  bool TraceArmed = false;
+
+public:
+  /// Profiles with \p Counters (reuse one PerfCounters across scopes on the
+  /// same thread — opening the group is the expensive part).
+  PerfScope(PerfCounters &Counters, const char *ScopeName, uint32_t TidIn = 0);
+  ~PerfScope();
+
+  PerfScope(const PerfScope &) = delete;
+  PerfScope &operator=(const PerfScope &) = delete;
+};
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_PERFCOUNTERS_H

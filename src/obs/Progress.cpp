@@ -1,0 +1,126 @@
+//===- obs/Progress.cpp - Heartbeat progress sampler -----------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Progress.h"
+
+#include "obs/Metrics.h"
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+using namespace light;
+using namespace light::obs;
+
+uint64_t light::obs::currentRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Size = 0, Resident = 0;
+  int Got = std::fscanf(F, "%llu %llu", &Size, &Resident);
+  std::fclose(F);
+  if (Got != 2)
+    return 0;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  return Resident * static_cast<uint64_t>(Page > 0 ? Page : 4096);
+#else
+  return 0;
+#endif
+}
+
+ProgressSampler::ProgressSampler(ProgressOptions O) : Opts(std::move(O)) {
+  if (!Opts.Sink)
+    Opts.Sink = stderr;
+  if (Opts.IntervalSeconds <= 0)
+    Opts.IntervalSeconds = 1.0;
+  Last.assign(Opts.Watch.size(), 0);
+}
+
+ProgressSampler::~ProgressSampler() { stop(); }
+
+void ProgressSampler::start() {
+  if (Worker.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    StopRequested = false;
+  }
+  Epoch = std::chrono::steady_clock::now();
+  LastElapsed = 0;
+  Worker = std::thread([this] { run(); });
+}
+
+void ProgressSampler::stop() {
+  if (!Worker.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    StopRequested = true;
+  }
+  Cv.notify_all();
+  Worker.join();
+  // Final heartbeat: short runs get at least one line, and the metrics
+  // file on disk ends exactly at the run's last state.
+  tick();
+}
+
+void ProgressSampler::run() {
+  std::unique_lock<std::mutex> Guard(M);
+  auto Interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(Opts.IntervalSeconds));
+  while (!StopRequested) {
+    if (Cv.wait_for(Guard, Interval, [this] { return StopRequested; }))
+      break;
+    Guard.unlock();
+    tick();
+    Guard.lock();
+  }
+}
+
+void ProgressSampler::tick() {
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Epoch)
+                       .count();
+  uint64_t Rss = currentRssBytes();
+
+  Registry &Reg = Registry::global();
+  Reg.counter("obs.progress.ticks").add(1);
+  Reg.gauge("obs.progress.rss_bytes").set(static_cast<int64_t>(Rss));
+  Snapshot Snap = Reg.snapshot();
+
+  std::string Line;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "[progress] %s t=%.1fs rss=%.1fMB",
+                Opts.Label.c_str(), Elapsed, Rss / (1024.0 * 1024.0));
+  Line += Buf;
+  double Dt = Elapsed - LastElapsed;
+  for (size_t I = 0; I < Opts.Watch.size(); ++I) {
+    uint64_t V = Snap.counter(Opts.Watch[I]);
+    if (V == 0)
+      continue;
+    uint64_t Delta = V >= Last[I] ? V - Last[I] : 0;
+    if (Dt > 1e-9 && Delta)
+      std::snprintf(Buf, sizeof(Buf), " %s=%llu (+%.0f/s)",
+                    Opts.Watch[I].c_str(), static_cast<unsigned long long>(V),
+                    Delta / Dt);
+    else
+      std::snprintf(Buf, sizeof(Buf), " %s=%llu", Opts.Watch[I].c_str(),
+                    static_cast<unsigned long long>(V));
+    Line += Buf;
+    Last[I] = V;
+  }
+  LastElapsed = Elapsed;
+  std::fprintf(Opts.Sink, "%s\n", Line.c_str());
+  std::fflush(Opts.Sink);
+  Ticks.fetch_add(1, std::memory_order_relaxed);
+
+  if (!Opts.MetricsJsonPath.empty())
+    Reg.writeJson(Opts.MetricsJsonPath);
+}

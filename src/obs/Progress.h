@@ -1,0 +1,99 @@
+//===- obs/Progress.h - Heartbeat progress sampler --------------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heartbeat sampler behind `light-replay --progress[=N]`: a background
+/// thread that wakes every N seconds, snapshots the metrics registry, and
+/// prints one structured status line — elapsed time, RSS, and the watched
+/// metrics (epochs flushed, solver conflicts, schedules/s, ...) with
+/// per-interval rates. Long `solve` / `explore` / `crashtest` runs stop
+/// being silent black boxes.
+///
+/// The sampler is also the durability path for `--metrics-json`: when a
+/// metrics path is configured, every tick rewrites the snapshot file, so a
+/// crashed or SIGKILLed run still leaves its last-heartbeat metrics on disk
+/// (the same salvage philosophy as the durable epoch log — the artifact on
+/// disk is always at most one heartbeat stale).
+///
+/// Each tick additionally publishes `obs.progress.ticks` (counter) and
+/// `obs.progress.rss_bytes` (gauge) so exported snapshots carry the
+/// memory trajectory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_OBS_PROGRESS_H
+#define LIGHT_OBS_PROGRESS_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace light {
+namespace obs {
+
+/// Resident set size of this process in bytes (0 when unavailable).
+uint64_t currentRssBytes();
+
+/// Configuration for one ProgressSampler.
+struct ProgressOptions {
+  /// Heartbeat period. Sub-second periods are honored (tests use them).
+  double IntervalSeconds = 1.0;
+  /// Tag printed on every line, conventionally the subcommand name.
+  std::string Label = "run";
+  /// When non-empty, every tick rewrites this metrics-JSON snapshot.
+  std::string MetricsJsonPath;
+  /// Status sink; nullptr means stderr.
+  std::FILE *Sink = nullptr;
+  /// Counters worth narrating, printed when nonzero with a delta rate.
+  /// The default list covers the long-running phases end to end.
+  std::vector<std::string> Watch = {
+      "record.accesses",  "record.epochs",      "solver.conflicts",
+      "solver.shard.solves", "explore.schedules", "replay.turns",
+      "interp.instructions"};
+};
+
+/// The heartbeat sampler thread. start() launches it; stop() (or the
+/// destructor) joins it and emits one final tick so short runs still get a
+/// line and a metrics flush.
+class ProgressSampler {
+public:
+  explicit ProgressSampler(ProgressOptions Opts);
+  ~ProgressSampler();
+  ProgressSampler(const ProgressSampler &) = delete;
+  ProgressSampler &operator=(const ProgressSampler &) = delete;
+
+  void start();
+  void stop();
+
+  /// Heartbeats emitted so far (including the final stop() tick).
+  uint64_t ticks() const { return Ticks.load(std::memory_order_relaxed); }
+
+private:
+  ProgressOptions Opts;
+  std::thread Worker;
+  std::mutex M;
+  std::condition_variable Cv;
+  bool StopRequested = false;
+  std::atomic<uint64_t> Ticks{0};
+  std::chrono::steady_clock::time_point Epoch;
+  /// Last-tick values of the watched counters, for rate computation.
+  std::vector<uint64_t> Last;
+  double LastElapsed = 0;
+
+  void run();
+  void tick();
+};
+
+} // namespace obs
+} // namespace light
+
+#endif // LIGHT_OBS_PROGRESS_H

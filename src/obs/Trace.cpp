@@ -31,16 +31,21 @@ struct Tracer::Impl {
   Shard Shards[MetricShards];
   std::chrono::steady_clock::time_point Epoch =
       std::chrono::steady_clock::now();
+  /// Registered on start(); every ring overwrite bumps it so exported
+  /// metrics snapshots reveal a too-small trace buffer.
+  Counter DroppedMetric;
 
   void push(const TraceEvent &E) {
     Shard &S = Shards[shardIndex()];
     std::lock_guard<std::mutex> Guard(S.M);
     if (S.Ring.empty())
       return;
-    if (S.Count == S.Ring.size())
+    if (S.Count == S.Ring.size()) {
       ++S.Dropped;
-    else
+      DroppedMetric.add(1);
+    } else {
       ++S.Count;
+    }
     S.Ring[S.Next] = E;
     S.Next = (S.Next + 1) % S.Ring.size();
   }
@@ -67,6 +72,7 @@ void Tracer::start(size_t Capacity) {
     S.Dropped = 0;
   }
   I->Epoch = std::chrono::steady_clock::now();
+  I->DroppedMetric = Registry::global().counter("obs.trace.dropped");
   Enabled.store(true, std::memory_order_release);
 }
 
@@ -185,6 +191,13 @@ std::string Tracer::chromeJson() const {
   }
   W.endArray();
   W.field("displayTimeUnit", "ns");
+  // Footer: how much the ring forgot. A nonzero dropped count means the
+  // oldest spans are missing from the view above.
+  W.key("metadata");
+  W.beginObject();
+  W.field("light.trace.buffered", static_cast<int64_t>(All.size()));
+  W.field("light.trace.dropped", static_cast<int64_t>(dropped()));
+  W.endObject();
   W.endObject();
   return W.take();
 }

@@ -33,6 +33,7 @@
 ///   log.crash_at_epoch, log.torn_bytes               support/DurableLog
 ///   solver.timeout, solver.z3_unavailable            smt/
 ///   interp.thread_crash                              interp/Machine
+///   obs.perf_open_fail                               obs/PerfCounters
 ///
 /// Every fired fault bumps the `fault.injected.<site>` counter in the
 /// light_obs metrics registry, so --metrics-json captures the injection

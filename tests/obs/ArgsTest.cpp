@@ -1,0 +1,89 @@
+//===- tests/obs/ArgsTest.cpp ----------------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The position-independent argv scanner (obs/Args.h), in particular the
+/// `--flag=value` inline form that lets an optional-value flag take a value
+/// immediately before another flag (`--progress=5 --z3`).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Args.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+/// Builds an ArgList from a literal token list (argv[0] is synthesized).
+ArgList scan(std::vector<const char *> Tokens,
+             std::initializer_list<const char *> ValueFlags,
+             std::initializer_list<const char *> BoolFlags = {}) {
+  std::vector<char *> Argv;
+  Argv.push_back(const_cast<char *>("prog"));
+  for (const char *T : Tokens)
+    Argv.push_back(const_cast<char *>(T));
+  return ArgList(static_cast<int>(Argv.size()), Argv.data(), ValueFlags,
+                 BoolFlags);
+}
+
+} // namespace
+
+TEST(Args, FlagsMixWithPositionalsAnywhere) {
+  ArgList A = scan({"solve", "--json", "out.json", "trace.bin"}, {"json"});
+  EXPECT_TRUE(A.has("json"));
+  EXPECT_EQ(A.get("json"), "out.json");
+  ASSERT_EQ(A.size(), 2u);
+  EXPECT_EQ(A.positional(0), "solve");
+  EXPECT_EQ(A.positional(1), "trace.bin");
+}
+
+TEST(Args, OptionalValueFlagYieldsEmptyBeforeAnotherFlag) {
+  ArgList A = scan({"--json", "--z3"}, {"json"}, {"z3"});
+  EXPECT_TRUE(A.has("json"));
+  EXPECT_TRUE(A.has("z3"));
+  // Present with no value: IfEmpty kicks in, Default does not.
+  EXPECT_EQ(A.get("json", "default.json", "stdout"), "stdout");
+}
+
+TEST(Args, InlineEqualsAttachesTheValue) {
+  ArgList A = scan({"--progress=5", "--z3"}, {"progress"}, {"z3"});
+  EXPECT_TRUE(A.has("progress"));
+  EXPECT_EQ(A.get("progress", "1", "1"), "5");
+  EXPECT_TRUE(A.has("z3"));
+}
+
+TEST(Args, InlineEqualsValueMayContainEquals) {
+  ArgList A = scan({"--fault=log.crash_at_epoch=3"}, {"fault"});
+  EXPECT_EQ(A.get("fault"), "log.crash_at_epoch=3");
+}
+
+TEST(Args, InlineEqualsOnUnknownOrBoolFlagIsRejected) {
+  // Bool flags take no value: `--fast=1` is not a recognized spelling.
+  ArgList A = scan({"--fast=1", "--bogus=2"}, {"json"}, {"fast"});
+  EXPECT_FALSE(A.has("fast"));
+  ASSERT_EQ(A.unknown().size(), 2u);
+  EXPECT_EQ(A.unknown()[0], "--fast=1");
+  EXPECT_EQ(A.unknown()[1], "--bogus=2");
+}
+
+TEST(Args, UnknownFlagsAreCollectedNotPositional) {
+  ArgList A = scan({"--frobnicate", "input.bin"}, {"json"});
+  ASSERT_EQ(A.unknown().size(), 1u);
+  EXPECT_EQ(A.unknown()[0], "--frobnicate");
+  ASSERT_EQ(A.size(), 1u);
+  EXPECT_EQ(A.positional(0), "input.bin");
+}
+
+TEST(Args, DefaultsApplyOnlyWhenAbsent) {
+  ArgList A = scan({}, {"json"});
+  EXPECT_FALSE(A.has("json"));
+  EXPECT_EQ(A.get("json", "fallback"), "fallback");
+  EXPECT_EQ(A.positionalOr(0, "none"), "none");
+}

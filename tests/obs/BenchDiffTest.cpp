@@ -1,0 +1,204 @@
+//===- tests/obs/BenchDiffTest.cpp -----------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The noise-aware light-bench-v1 comparator (obs/BenchDiff.h): metric
+/// classification, row matching, the dual relative+floor threshold logic,
+/// the missing-metric policy, and the --perturb regression synthesizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchDiff.h"
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+JsonValue parse(const std::string &Text) {
+  JsonParseResult R = parseJson(Text);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return std::move(R.Value);
+}
+
+/// A minimal contention-like report with one row and one aggregate.
+std::string report(double NsPerOp, double OpsPerSec, double Retries,
+                   const char *ExtraRowJson = "") {
+  std::string Row = "{\"recorder\":\"light\",\"threads\":2,"
+                    "\"ns_per_op\":" +
+                    std::to_string(NsPerOp) +
+                    ",\"ops_per_sec\":" + std::to_string(OpsPerSec) +
+                    ",\"read_retries\":" + std::to_string(Retries) +
+                    std::string(ExtraRowJson) + "}";
+  return "{\"schema\":\"light-bench-v1\",\"bench\":\"contention\","
+         "\"rows\":[" +
+         Row + "],\"aggregates\":{\"recorders_run\":1},\"ok\":true}";
+}
+
+DiffResult diff(const std::string &Old, const std::string &New,
+                DiffThresholds T = {}) {
+  return diffReports(parse(Old), parse(New), T);
+}
+
+const DiffEntry *entryFor(const DiffResult &R, const std::string &Metric) {
+  for (const DiffEntry &E : R.Entries)
+    if (E.Metric == Metric)
+      return &E;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(BenchDiffClassify, ByColumnName) {
+  EXPECT_EQ(classifyMetric("ns_per_op"), MetricClass::Time);
+  EXPECT_EQ(classifyMetric("solve_ms"), MetricClass::Time);
+  EXPECT_EQ(classifyMetric("wall_seconds"), MetricClass::Time);
+  EXPECT_EQ(classifyMetric("total_ns"), MetricClass::Time);
+  EXPECT_EQ(classifyMetric("ops_per_sec"), MetricClass::Rate);
+  EXPECT_EQ(classifyMetric("threads"), MetricClass::Config);
+  EXPECT_EQ(classifyMetric("seed"), MetricClass::Config);
+  EXPECT_EQ(classifyMetric("read_retries"), MetricClass::Count);
+  EXPECT_EQ(classifyMetric("cache_misses"), MetricClass::Count);
+}
+
+TEST(BenchDiff, IdenticalReportsAreClean) {
+  std::string R = report(40.0, 5.0e7, 10);
+  DiffResult D = diff(R, R);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  EXPECT_EQ(D.Regressions, 0u);
+  EXPECT_EQ(D.Missing, 0u);
+  EXPECT_GT(D.Compared, 0u);
+  EXPECT_FALSE(D.regressed({}));
+}
+
+TEST(BenchDiff, TimeRegressionNeedsRelAndFloor) {
+  // +100% but only +2ns absolute: under the 5ns floor -> noise.
+  DiffResult Small = diff(report(2.0, 5e7, 0), report(4.0, 5e7, 0));
+  ASSERT_TRUE(Small.Ok);
+  EXPECT_EQ(Small.Regressions, 0u);
+  EXPECT_EQ(entryFor(Small, "ns_per_op")->What,
+            DiffEntry::Verdict::WithinNoise);
+
+  // +100% and +40ns absolute: both cleared -> regression.
+  DiffResult Big = diff(report(40.0, 5e7, 0), report(80.0, 5e7, 0));
+  ASSERT_TRUE(Big.Ok);
+  EXPECT_EQ(Big.Regressions, 1u);
+  EXPECT_EQ(entryFor(Big, "ns_per_op")->What, DiffEntry::Verdict::Regression);
+  EXPECT_TRUE(Big.regressed({}));
+
+  // +10ns absolute but only +25% relative: under 35% -> noise.
+  DiffResult Rel = diff(report(40.0, 5e7, 0), report(50.0, 5e7, 0));
+  ASSERT_TRUE(Rel.Ok);
+  EXPECT_EQ(Rel.Regressions, 0u);
+}
+
+TEST(BenchDiff, ImprovementIsNotARegression) {
+  DiffResult D = diff(report(80.0, 2e7, 0), report(40.0, 4e7, 0));
+  ASSERT_TRUE(D.Ok);
+  EXPECT_EQ(D.Regressions, 0u);
+  EXPECT_GE(D.Improvements, 1u);
+  EXPECT_EQ(entryFor(D, "ns_per_op")->What, DiffEntry::Verdict::Improvement);
+  EXPECT_FALSE(D.regressed({}));
+}
+
+TEST(BenchDiff, RateDirectionIsInverted) {
+  // Throughput halved: for a Rate metric, smaller is worse.
+  DiffResult D = diff(report(40.0, 4e7, 0), report(40.0, 2e7, 0));
+  ASSERT_TRUE(D.Ok);
+  EXPECT_EQ(entryFor(D, "ops_per_sec")->What, DiffEntry::Verdict::Regression);
+}
+
+TEST(BenchDiff, CountsUseGenerousThresholds) {
+  // 10 -> 60 retries: x6 but under the 100 floor -> noise.
+  DiffResult Small = diff(report(40, 5e7, 10), report(40, 5e7, 60));
+  ASSERT_TRUE(Small.Ok);
+  EXPECT_EQ(Small.Regressions, 0u);
+  // 100 -> 10000: clears 2x relative and the 100-count floor.
+  DiffResult Big = diff(report(40, 5e7, 100), report(40, 5e7, 10000));
+  ASSERT_TRUE(Big.Ok);
+  EXPECT_EQ(entryFor(Big, "read_retries")->What,
+            DiffEntry::Verdict::Regression);
+}
+
+TEST(BenchDiff, MissingMetricIsFatalByDefault) {
+  std::string Old = report(40, 5e7, 0, ",\"cycles_per_op\":90");
+  std::string New = report(40, 5e7, 0); // cycles_per_op vanished
+  DiffResult D = diff(Old, New);
+  ASSERT_TRUE(D.Ok);
+  EXPECT_EQ(D.Missing, 1u);
+  EXPECT_TRUE(D.regressed({}));
+  DiffThresholds Lenient;
+  Lenient.FailOnMissing = false;
+  EXPECT_FALSE(D.regressed(Lenient));
+}
+
+TEST(BenchDiff, MissingRowIsFatalByDefault) {
+  std::string Old = report(40, 5e7, 0);
+  // Different config (threads=4) -> the baseline's threads=2 row is gone.
+  std::string New =
+      "{\"schema\":\"light-bench-v1\",\"bench\":\"contention\","
+      "\"rows\":[{\"recorder\":\"light\",\"threads\":4,\"ns_per_op\":40,"
+      "\"ops_per_sec\":5e7,\"read_retries\":0}],"
+      "\"aggregates\":{\"recorders_run\":1},\"ok\":true}";
+  DiffResult D = diff(Old, New);
+  ASSERT_TRUE(D.Ok);
+  EXPECT_GE(D.Missing, 1u);
+  EXPECT_TRUE(D.regressed({}));
+}
+
+TEST(BenchDiff, NewMetricsAreInformational) {
+  std::string Old = report(40, 5e7, 0);
+  std::string New = report(40, 5e7, 0, ",\"cycles_per_op\":90");
+  DiffResult D = diff(Old, New);
+  ASSERT_TRUE(D.Ok);
+  EXPECT_FALSE(D.regressed({}));
+  EXPECT_EQ(entryFor(D, "cycles_per_op")->What, DiffEntry::Verdict::Added);
+}
+
+TEST(BenchDiff, BenchNameMismatchIsAnError) {
+  std::string Other =
+      "{\"schema\":\"light-bench-v1\",\"bench\":\"fig4\",\"rows\":[],"
+      "\"aggregates\":{},\"ok\":true}";
+  DiffResult D = diff(report(40, 5e7, 0), Other);
+  EXPECT_FALSE(D.Ok);
+  EXPECT_NE(D.Error.find("mismatch"), std::string::npos);
+}
+
+TEST(BenchDiff, NonReportInputIsAnError) {
+  DiffResult D = diff("{\"schema\":\"nope\"}", report(40, 5e7, 0));
+  EXPECT_FALSE(D.Ok);
+}
+
+TEST(BenchDiff, PerturbCreatesADetectableRegression) {
+  JsonValue Doc = parse(report(40.0, 4e7, 10));
+  std::string Error;
+  std::string Perturbed = perturbReport(Doc, 8.0, &Error);
+  ASSERT_FALSE(Perturbed.empty()) << Error;
+
+  DiffResult D = diffReports(Doc, parse(Perturbed));
+  ASSERT_TRUE(D.Ok) << D.Error;
+  EXPECT_TRUE(D.regressed({}));
+  const DiffEntry *Ns = entryFor(D, "ns_per_op");
+  ASSERT_NE(Ns, nullptr);
+  EXPECT_DOUBLE_EQ(Ns->New, 320.0);  // time x8
+  const DiffEntry *Rate = entryFor(D, "ops_per_sec");
+  ASSERT_NE(Rate, nullptr);
+  EXPECT_DOUBLE_EQ(Rate->New, 5e6);  // rate /8
+  // Counts and config stay untouched.
+  EXPECT_DOUBLE_EQ(entryFor(D, "read_retries")->New, 10.0);
+}
+
+TEST(BenchDiff, RowKeyUsesStringsAndConfigColumns) {
+  JsonValue Row = parse("{\"recorder\":\"leap\",\"threads\":8,"
+                        "\"ns_per_op\":12.5,\"ops\":1000}");
+  std::string Key = rowKey(Row);
+  EXPECT_NE(Key.find("recorder=leap"), std::string::npos);
+  EXPECT_NE(Key.find("threads=8"), std::string::npos);
+  EXPECT_NE(Key.find("ops=1000"), std::string::npos);
+  EXPECT_EQ(Key.find("ns_per_op"), std::string::npos);
+}

@@ -1,0 +1,136 @@
+//===- tests/obs/PerfCountersTest.cpp --------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The perf_event_open profiling hooks (obs/PerfCounters.h). Hardware
+/// counters may or may not open in the test environment, so the suite pins
+/// down what must hold on *both* paths, and uses the `obs.perf_open_fail`
+/// fault site to exercise the fallback deterministically everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/PerfCounters.h"
+#include "obs/Trace.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+class PerfCountersTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::Injector::global().reset(); }
+  void TearDown() override { fault::Injector::global().reset(); }
+
+  /// ~1ms of real work so wall time (and cycles, on either source) move.
+  static void burn() {
+    auto Until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(2);
+    volatile uint64_t Sink = 1;
+    while (std::chrono::steady_clock::now() < Until)
+      Sink = Sink * 6364136223846793005ull + 1442695040888963407ull;
+    (void)Sink;
+  }
+};
+
+} // namespace
+
+TEST_F(PerfCountersTest, ConstructionNeverFails) {
+  PerfCounters PC;
+  // Either the group opened or there is a recorded reason it did not.
+  if (!PC.hardware())
+    EXPECT_FALSE(PC.fallbackReason().empty());
+  else
+    EXPECT_TRUE(PC.fallbackReason().empty());
+}
+
+TEST_F(PerfCountersTest, WallTimeAdvancesOnAnySource) {
+  PerfCounters PC;
+  burn();
+  PerfSample S = PC.read();
+  EXPECT_GT(S.WallNanos, 0u);
+  EXPECT_EQ(S.Hardware, PC.hardware());
+}
+
+TEST_F(PerfCountersTest, ResetRebaselines) {
+  PerfCounters PC;
+  burn();
+  PC.reset();
+  PerfSample S = PC.read();
+  // A fresh baseline: far less than the burned ~2ms.
+  EXPECT_LT(S.WallNanos, 1000u * 1000u);
+}
+
+TEST_F(PerfCountersTest, FaultSiteForcesFallbackDeterministically) {
+  ASSERT_EQ(fault::Injector::global().configure("obs.perf_open_fail"), "");
+  PerfCounters PC;
+  EXPECT_FALSE(PC.hardware());
+  EXPECT_NE(PC.fallbackReason().find("obs.perf_open_fail"), std::string::npos);
+  burn();
+  PerfSample S = PC.read();
+  EXPECT_FALSE(S.Hardware);
+  EXPECT_GT(S.WallNanos, 0u);
+  // Hardware-only columns stay zero on the fallback.
+  EXPECT_EQ(S.Instructions, 0u);
+  EXPECT_EQ(S.CacheMisses, 0u);
+  EXPECT_EQ(S.ContextSwitches, 0u);
+}
+
+TEST_F(PerfCountersTest, DeltaSaturatesAtZero) {
+  PerfSample A, B;
+  A.Cycles = 100;
+  A.WallNanos = 50;
+  B.Cycles = 40; // counter went "backwards" (e.g. reopened group)
+  B.WallNanos = 80;
+  PerfSample D = PerfSample::delta(A, B);
+  EXPECT_EQ(D.Cycles, 0u);
+  EXPECT_EQ(D.WallNanos, 30u);
+}
+
+TEST_F(PerfCountersTest, ScopePublishesCountersOnBothPaths) {
+  ASSERT_EQ(fault::Injector::global().configure("obs.perf_open_fail"), "");
+  Registry &Reg = Registry::global();
+  uint64_t WallBefore =
+      Reg.snapshot().counter("perf.test_scope_fallback.wall_ns");
+  PerfCounters PC;
+  {
+    PerfScope Scope(PC, "test_scope_fallback", /*Tid=*/7);
+    burn();
+  }
+  Snapshot Snap = Reg.snapshot();
+  EXPECT_GT(Snap.counter("perf.test_scope_fallback.wall_ns"), WallBefore);
+  // Fallback publishes no instruction counts (they would be lies).
+  EXPECT_EQ(Snap.counter("perf.test_scope_fallback.instructions"), 0u);
+}
+
+TEST_F(PerfCountersTest, ScopeEmitsTraceSpanWhenArmed) {
+  Tracer &Tr = Tracer::global();
+  Tr.start(1024);
+  PerfCounters PC;
+  {
+    PerfScope Scope(PC, "test_scope_traced", /*Tid=*/3);
+    burn();
+  }
+  Tr.stop();
+  JsonParseResult Parsed = parseJson(Tr.chromeJson());
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  bool Saw = false;
+  for (const JsonValue &E : Parsed.Value.find("traceEvents")->Items)
+    if (E.find("name") && E.find("name")->Str == "test_scope_traced") {
+      Saw = true;
+      EXPECT_EQ(E.find("cat")->Str, "perf");
+      EXPECT_EQ(E.find("ph")->Str, "X");
+    }
+  EXPECT_TRUE(Saw);
+  Tr.clear();
+}

@@ -1,0 +1,143 @@
+//===- tests/obs/ProgressTest.cpp ------------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The heartbeat sampler behind `light-replay --progress` (obs/Progress.h):
+/// the final stop() tick, periodic status lines on a caller-supplied sink,
+/// watched-counter narration, and the metrics-JSON durability flush. All
+/// timing assertions are deliberately one-sided (>=) so a slow CI host can
+/// only make them *more* likely to pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Progress.h"
+#include "support/BinaryIO.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+std::string drain(std::FILE *F) {
+  std::fflush(F);
+  std::rewind(F);
+  std::string Out;
+  char Buf[512];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+} // namespace
+
+TEST(Progress, StopEmitsAFinalTickEvenOnInstantRuns) {
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  ProgressOptions PO;
+  PO.IntervalSeconds = 60; // never fires on its own
+  PO.Label = "instant";
+  PO.Sink = Sink;
+  ProgressSampler S(PO);
+  S.start();
+  S.stop();
+  EXPECT_GE(S.ticks(), 1u);
+  std::string Out = drain(Sink);
+  EXPECT_NE(Out.find("[progress] instant"), std::string::npos);
+  EXPECT_NE(Out.find("rss="), std::string::npos);
+  std::fclose(Sink);
+}
+
+TEST(Progress, PeriodicTicksNarrateWatchedCounters) {
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  Counter Work = Registry::global().counter("test.progress.work");
+  ProgressOptions PO;
+  PO.IntervalSeconds = 0.02;
+  PO.Label = "busy";
+  PO.Sink = Sink;
+  PO.Watch = {"test.progress.work"};
+  ProgressSampler S(PO);
+  S.start();
+  for (int I = 0; I < 10; ++I) {
+    Work.add(100);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  S.stop();
+  EXPECT_GE(S.ticks(), 2u);
+  std::string Out = drain(Sink);
+  EXPECT_NE(Out.find("[progress] busy"), std::string::npos);
+  EXPECT_NE(Out.find("test.progress.work="), std::string::npos);
+  std::fclose(Sink);
+}
+
+TEST(Progress, EveryTickRewritesTheMetricsJson) {
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  std::string Path = makeTempPath("progress-metrics");
+  ProgressOptions PO;
+  PO.IntervalSeconds = 60;
+  PO.Label = "flush";
+  PO.Sink = Sink;
+  PO.MetricsJsonPath = Path;
+  {
+    ProgressSampler S(PO);
+    S.start();
+    // Destructor stop(): the file must exist afterwards even though the
+    // interval never elapsed — this is the crashed-run durability path.
+  }
+  std::string Text = slurp(Path);
+  ASSERT_FALSE(Text.empty());
+  JsonParseResult Parsed = parseJson(Text);
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  const JsonValue *Counters = Parsed.Value.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->find("obs.progress.ticks"), nullptr);
+  EXPECT_GT(Counters->find("obs.progress.ticks")->Num, 0);
+  std::remove(Path.c_str());
+  std::fclose(Sink);
+}
+
+TEST(Progress, TicksPublishRegistryTelemetry) {
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  Registry &Reg = Registry::global();
+  uint64_t Before = Reg.snapshot().counter("obs.progress.ticks");
+  ProgressOptions PO;
+  PO.IntervalSeconds = 60;
+  PO.Sink = Sink;
+  ProgressSampler S(PO);
+  S.start();
+  S.stop();
+  Snapshot Snap = Reg.snapshot();
+  EXPECT_GT(Snap.counter("obs.progress.ticks"), Before);
+  EXPECT_GT(Snap.gauge("obs.progress.rss_bytes"), 0);
+  std::fclose(Sink);
+}
+
+TEST(Progress, RssIsMeasurableOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(currentRssBytes(), 0u);
+#else
+  GTEST_SKIP() << "RSS sampling is Linux-only";
+#endif
+}

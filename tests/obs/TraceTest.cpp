@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <gtest/gtest.h>
@@ -100,6 +101,31 @@ TEST(Trace, RingWrapsPerShardAndCountsDrops) {
   EXPECT_LE(T.size(), 64u);
   // The survivors still render as valid JSON.
   EXPECT_TRUE(parseJson(T.chromeJson()).Ok);
+}
+
+TEST(Trace, DroppedEventsFeedTheMetricAndTheFooter) {
+  uint64_t Before =
+      Registry::global().snapshot().counter("obs.trace.dropped");
+  Tracer T;
+  T.start(64);
+  for (int I = 0; I < 500; ++I)
+    T.instant("spin", "test", 0);
+  T.stop();
+  ASSERT_GT(T.dropped(), 0u);
+  // Every overwrite bumped the registry counter...
+  EXPECT_EQ(Registry::global().snapshot().counter("obs.trace.dropped"),
+            Before + T.dropped());
+  // ...and the export carries a metadata footer naming the loss, so a
+  // truncated trace can never masquerade as a complete one.
+  JsonParseResult Parsed = parseJson(T.chromeJson());
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  const JsonValue *Meta = Parsed.Value.find("metadata");
+  ASSERT_NE(Meta, nullptr);
+  ASSERT_NE(Meta->find("light.trace.dropped"), nullptr);
+  EXPECT_DOUBLE_EQ(Meta->find("light.trace.dropped")->Num,
+                   static_cast<double>(T.dropped()));
+  EXPECT_DOUBLE_EQ(Meta->find("light.trace.buffered")->Num,
+                   static_cast<double>(T.size()));
 }
 
 TEST(Trace, ConcurrentWritersKeepTheirHistory) {

@@ -1,0 +1,168 @@
+//===- tools/bench_diff.cpp - Bench-regression gate CLI --------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Compares two light-bench-v1 reports with the noise-aware thresholds of
+/// obs/BenchDiff.h and exits nonzero when the new report regressed — the
+/// executable behind the ctest bench-regression gate and the
+/// `tools/update_baseline.sh` workflow:
+///
+///   bench_diff bench/baselines/BENCH_seed.json BENCH_contention.json
+///   bench_diff old.json new.json --time-rel 0.5 --count-rel 4
+///   bench_diff --perturb 8 BENCH_seed.json BENCH_seed_perturbed.json
+///
+/// The --perturb mode writes a synthetically regressed copy (Time metrics
+/// multiplied, Rate metrics divided by the factor) used to prove the gate
+/// actually fires.
+///
+/// Exit codes: 0 within noise (or improved), 1 regression / missing
+/// metric, 2 usage or malformed input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Args.h"
+#include "obs/BenchDiff.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+const char *Usage =
+    "usage: bench_diff <baseline.json> <new.json>\n"
+    "           [--time-rel F] [--time-floor-ns F] [--rate-rel F]\n"
+    "           [--count-rel F] [--count-floor F] [--allow-missing]\n"
+    "       bench_diff --perturb <factor> <in.json> <out.json>\n";
+
+const char *className(MetricClass C) {
+  switch (C) {
+  case MetricClass::Time:
+    return "time";
+  case MetricClass::Rate:
+    return "rate";
+  case MetricClass::Count:
+    return "count";
+  default:
+    return "config";
+  }
+}
+
+int runPerturb(double Factor, const std::string &InPath,
+               const std::string &OutPath) {
+  std::ifstream In(InPath);
+  if (!In) {
+    std::fprintf(stderr, "bench_diff: cannot open '%s'\n", InPath.c_str());
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JsonParseResult Parsed = parseJson(Buf.str());
+  if (!Parsed.Ok) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", InPath.c_str(),
+                 Parsed.Error.c_str());
+    return 2;
+  }
+  std::string Error;
+  std::string Out = perturbReport(Parsed.Value, Factor, &Error);
+  if (Out.empty()) {
+    std::fprintf(stderr, "bench_diff: %s\n", Error.c_str());
+    return 2;
+  }
+  std::ofstream OutF(OutPath, std::ios::trunc);
+  OutF << Out << "\n";
+  if (!OutF) {
+    std::fprintf(stderr, "bench_diff: cannot write '%s'\n", OutPath.c_str());
+    return 2;
+  }
+  std::printf("bench_diff: wrote %s (time x%.3g, rate /%.3g)\n",
+              OutPath.c_str(), Factor, Factor);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ArgList Args(argc, argv,
+               {"time-rel", "time-floor-ns", "rate-rel", "count-rel",
+                "count-floor", "perturb"},
+               {"allow-missing", "quiet"});
+  for (const std::string &U : Args.unknown()) {
+    std::fprintf(stderr, "bench_diff: unknown flag %s\n%s", U.c_str(), Usage);
+    return 2;
+  }
+  if (Args.has("perturb")) {
+    if (Args.size() != 2 || Args.get("perturb").empty()) {
+      std::fputs(Usage, stderr);
+      return 2;
+    }
+    return runPerturb(std::stod(Args.get("perturb")), Args.positional(0),
+                      Args.positional(1));
+  }
+  if (Args.size() != 2) {
+    std::fputs(Usage, stderr);
+    return 2;
+  }
+
+  DiffThresholds T;
+  if (Args.has("time-rel"))
+    T.TimeRel = std::stod(Args.get("time-rel"));
+  if (Args.has("time-floor-ns"))
+    T.TimeFloor = std::stod(Args.get("time-floor-ns"));
+  if (Args.has("rate-rel"))
+    T.RateRel = std::stod(Args.get("rate-rel"));
+  if (Args.has("count-rel"))
+    T.CountRel = std::stod(Args.get("count-rel"));
+  if (Args.has("count-floor"))
+    T.CountFloor = std::stod(Args.get("count-floor"));
+  T.FailOnMissing = !Args.has("allow-missing");
+
+  DiffResult R = diffReportFiles(Args.positional(0), Args.positional(1), T);
+  if (!R.Ok) {
+    std::fprintf(stderr, "bench_diff: %s\n", R.Error.c_str());
+    return 2;
+  }
+
+  bool Quiet = Args.has("quiet");
+  for (const DiffEntry &E : R.Entries) {
+    const char *Tag = nullptr;
+    switch (E.What) {
+    case DiffEntry::Verdict::Regression:
+      Tag = "REGRESSION";
+      break;
+    case DiffEntry::Verdict::Improvement:
+      Tag = "improvement";
+      break;
+    case DiffEntry::Verdict::Missing:
+      Tag = T.FailOnMissing ? "MISSING" : "missing";
+      break;
+    default:
+      break; // within-noise / added rows stay silent unless verbose
+    }
+    if (!Tag || Quiet)
+      continue;
+    if (E.What == DiffEntry::Verdict::Missing)
+      std::printf("%-11s %s %s (baseline %.6g, absent in new report)\n", Tag,
+                  E.Row.c_str(), E.Metric.c_str(), E.Old);
+    else
+      std::printf("%-11s %s %s [%s]: %.6g -> %.6g (%+.1f%%)\n", Tag,
+                  E.Row.c_str(), E.Metric.c_str(), className(E.Class), E.Old,
+                  E.New, 100.0 * E.relDelta());
+  }
+
+  bool Regressed = R.regressed(T);
+  std::printf("bench_diff: %s: %llu compared, %llu regressions, "
+              "%llu improvements, %llu missing -> %s\n",
+              R.Bench.c_str(), static_cast<unsigned long long>(R.Compared),
+              static_cast<unsigned long long>(R.Regressions),
+              static_cast<unsigned long long>(R.Improvements),
+              static_cast<unsigned long long>(R.Missing),
+              Regressed ? "FAIL" : "OK");
+  return Regressed ? 1 : 0;
+}

@@ -26,6 +26,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -37,6 +38,52 @@ namespace {
 int fail(const std::string &Path, const std::string &Why) {
   std::fprintf(stderr, "%s: FAIL: %s\n", Path.c_str(), Why.c_str());
   return 1;
+}
+
+/// Deep checks for the contention bench's table: every row names a
+/// recorder, carries the required measurement columns, the perf-counter
+/// columns are non-negative numbers, and the thread counts of each
+/// recorder's rows strictly increase (the scaling table is ordered).
+int checkContentionRows(const std::string &Path, const JsonValue &Rows) {
+  std::map<std::string, double> LastThreads;
+  for (size_t I = 0; I < Rows.Items.size(); ++I) {
+    const JsonValue &Row = Rows.Items[I];
+    std::string Where = "rows[" + std::to_string(I) + "]";
+    const JsonValue *Rec = Row.find("recorder");
+    if (!Rec || Rec->What != JsonValue::Kind::String || Rec->Str.empty())
+      return fail(Path, Where + " missing string \"recorder\"");
+    for (const char *Col : {"threads", "ns_per_op", "ops_per_sec",
+                            "read_retries", "lock_collisions_sampled"}) {
+      const JsonValue *V = Row.find(Col);
+      if (!V || V->What != JsonValue::Kind::Number)
+        return fail(Path, Where + " missing numeric \"" + Col + "\"");
+    }
+    if (Row.find("ns_per_op")->Num <= 0)
+      return fail(Path, Where + " has ns_per_op <= 0");
+    for (const char *Col : {"cycles_per_op", "instructions_per_op",
+                            "cache_misses", "context_switches"}) {
+      const JsonValue *V = Row.find(Col);
+      if (!V)
+        continue; // perf columns are optional but must be sane if present
+      if (V->What != JsonValue::Kind::Number || V->Num < 0)
+        return fail(Path, Where + " perf column \"" + Col +
+                              "\" is not a non-negative number");
+    }
+    if (const JsonValue *Hw = Row.find("perf_hw"))
+      if (Hw->What != JsonValue::Kind::Bool)
+        return fail(Path, Where + " \"perf_hw\" is not a bool");
+    double Threads = Row.find("threads")->Num;
+    auto [It, Fresh] = LastThreads.emplace(Rec->Str, Threads);
+    if (!Fresh) {
+      if (Threads <= It->second)
+        return fail(Path, Where + " thread counts for recorder \"" +
+                              Rec->Str + "\" are not strictly increasing");
+      It->second = Threads;
+    }
+  }
+  if (LastThreads.empty())
+    return fail(Path, "contention report has no rows");
+  return 0;
 }
 
 int checkOne(const std::string &Path) {
@@ -80,6 +127,10 @@ int checkOne(const std::string &Path) {
   const JsonValue *Ok = Root.find("ok");
   if (!Ok || Ok->What != JsonValue::Kind::Bool)
     return fail(Path, "missing boolean \"ok\"");
+
+  if (Bench->Str == "contention")
+    if (int Rc = checkContentionRows(Path, *Rows))
+      return Rc;
 
   if (const JsonValue *Metrics = Root.find("metrics")) {
     if (Metrics->What != JsonValue::Kind::Object)

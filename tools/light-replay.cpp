@@ -86,6 +86,7 @@
 #include "mir/Parser.h"
 #include "obs/Args.h"
 #include "obs/Metrics.h"
+#include "obs/Progress.h"
 #include "obs/Trace.h"
 #include "support/BinaryIO.h"
 #include "support/FaultInjection.h"
@@ -93,6 +94,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -138,6 +140,9 @@ int usage() {
       "  --fault <spec>         arm fault injection (LIGHT_FAULT grammar)\n"
       "  --metrics-json <file>  write the metrics snapshot as JSON\n"
       "  --trace-out <file>     write a Chrome trace of the run\n"
+      "  --progress[=N]         heartbeat status line every N seconds\n"
+      "                         (default 1; also re-flushes --metrics-json\n"
+      "                         each tick so killed runs keep a snapshot)\n"
       "explore flags:\n"
       "  --explore pct|dfs      strategy (default pct)\n"
       "  --preemption-bound <N> DFS preemption bound (default 2)\n"
@@ -509,7 +514,7 @@ int main(int argc, char **argv) {
       argc, argv,
       {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault",
        "solver-shards", "explore", "preemption-bound", "pct-depth", "seeds",
-       "budget", "repro-out"},
+       "budget", "repro-out", "progress"},
       {"z3", "no-verify", "oracle", "shrink"}, /*Begin=*/2);
   for (const std::string &F : Args.unknown())
     std::fprintf(stderr, "error: unknown flag '%s'\n", F.c_str());
@@ -548,7 +553,30 @@ int main(int argc, char **argv) {
   }
   if (!TracePath.empty())
     obs::Tracer::global().start();
+
+  // Heartbeat: --progress[=seconds] starts the sampler before any work.
+  // It also rewrites --metrics-json every tick, so a crashed/killed run
+  // still leaves an at-most-one-heartbeat-stale snapshot on disk.
+  std::unique_ptr<obs::ProgressSampler> Progress;
+  if (Args.has("progress")) {
+    obs::ProgressOptions PO;
+    PO.Label = Cmd;
+    PO.MetricsJsonPath = MetricsPath;
+    std::string Interval = Args.get("progress", "1", "1");
+    PO.IntervalSeconds = std::strtod(Interval.c_str(), nullptr);
+    if (PO.IntervalSeconds <= 0) {
+      std::fprintf(stderr, "error: --progress wants a positive interval, "
+                           "got '%s'\n",
+                   Interval.c_str());
+      return 2;
+    }
+    Progress = std::make_unique<obs::ProgressSampler>(PO);
+    Progress->start();
+  }
+
   auto Finish = [&](int Rc) {
+    if (Progress)
+      Progress->stop(); // final heartbeat + last metrics flush
     return finishTelemetry(Rc, MetricsPath, TracePath);
   };
 

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerates the committed bench-regression-gate baseline:
+#
+#   bench/baselines/BENCH_seed.json            canonical tiny contention run
+#   bench/baselines/BENCH_seed_perturbed.json  time x8 copy the gate must catch
+#
+# Run from the repo root after a perf-relevant change, review the diff, and
+# commit both files. The parameters here MUST match the bench_gate_produce
+# ctest invocation (bench/CMakeLists.txt) — the diff matches rows by their
+# config columns, so a parameter drift shows up as a missing-row failure.
+#
+# usage: tools/update_baseline.sh [build-dir]
+set -eu
+
+BUILD=${1:-build}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+OUT="$ROOT/bench/baselines"
+
+if [ ! -x "$BUILD/bench/bench_contention" ]; then
+  echo "update_baseline.sh: $BUILD/bench/bench_contention not built" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT"
+"$BUILD/bench/bench_contention" --threads 2 --ops 50000 --locations 16 \
+  --json "$OUT/BENCH_seed.json"
+"$BUILD/tools/check_bench_json" "$OUT/BENCH_seed.json"
+"$BUILD/tools/bench_diff" --perturb 8 "$OUT/BENCH_seed.json" \
+  "$OUT/BENCH_seed_perturbed.json"
+echo "update_baseline.sh: baselines refreshed under bench/baselines/"
