@@ -1,0 +1,108 @@
+//===- ci/Sandbox.cpp - Forked child sandbox for first contact -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ci/Sandbox.h"
+
+#include "obs/Metrics.h"
+#include "support/FaultInjection.h"
+#include "support/Rlimits.h"
+#include "support/Timer.h"
+#include "support/Watchdog.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace light;
+using namespace light::ci;
+
+SandboxResult light::ci::runInSandbox(const SandboxOptions &Opts,
+                                      const std::function<int()> &Body) {
+  SandboxResult Out;
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("ci.sandbox.runs").add(1);
+
+  if (fault::Injector::global().shouldFire("ci.spawn_fail")) {
+    Out.End = SandboxEnd::SpawnFailed;
+    Out.Error = "injected spawn failure (ci.spawn_fail)";
+    Reg.counter("ci.sandbox.spawn_failures").add(1);
+    return Out;
+  }
+
+  Stopwatch Timer;
+  // Fork BEFORE starting the watchdog thread: the child must be born
+  // single-threaded (a multithreaded fork leaves orphaned locks in the
+  // child's copies of any mutex held by another thread at fork time).
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    Out.End = SandboxEnd::SpawnFailed;
+    Out.Error = std::string("fork: ") + std::strerror(errno);
+    Reg.counter("ci.sandbox.spawn_failures").add(1);
+    return Out;
+  }
+
+  if (Pid == 0) {
+    // Child. Apply ceilings first, then the suicide alarm, then the work.
+    ChildLimits Limits;
+    Limits.CpuSeconds = Opts.CpuSeconds;
+    Limits.MemoryBytes = Opts.MemoryBytes;
+    applyChildLimits(Limits); // best-effort: a failed setrlimit is not fatal
+    if (Opts.SigalrmFallback && Opts.DeadlineSeconds > 0)
+      Watchdog::armSigalrmFallback(2 * Opts.DeadlineSeconds);
+    ::_exit(Body());
+  }
+
+  // Parent: watch the deadline; on expiry SIGKILL the child. The child is
+  // reaped below either way, so a fire can never leak a zombie.
+  std::atomic<bool> Killed{false};
+  Watchdog::Options WOpts;
+  WOpts.DeadlineSeconds = Opts.DeadlineSeconds;
+  WOpts.OnFire = [Pid, &Killed] {
+    Killed.store(true, std::memory_order_relaxed);
+    ::kill(Pid, SIGKILL);
+  };
+  {
+    Watchdog Dog(WOpts);
+    int Status = 0;
+    pid_t Reaped;
+    do {
+      Reaped = ::waitpid(Pid, &Status, 0);
+    } while (Reaped < 0 && errno == EINTR);
+    Dog.cancel();
+    Out.Seconds = Timer.seconds();
+    Out.WatchdogFired = Dog.fired();
+    if (Reaped != Pid) {
+      Out.End = SandboxEnd::SpawnFailed;
+      Out.Error = std::string("waitpid: ") + std::strerror(errno);
+      Reg.counter("ci.sandbox.spawn_failures").add(1);
+      return Out;
+    }
+    if (Killed.load(std::memory_order_relaxed)) {
+      // The watchdog's SIGKILL may race a natural exit; the kill flag wins
+      // only when the child actually died by our signal.
+      if (WIFSIGNALED(Status) && WTERMSIG(Status) == SIGKILL) {
+        Out.End = SandboxEnd::DeadlineKilled;
+        Out.Signal = SIGKILL;
+        Reg.counter("ci.sandbox.deadline_kills").add(1);
+        return Out;
+      }
+    }
+    if (WIFEXITED(Status)) {
+      Out.End = SandboxEnd::Exited;
+      Out.ExitCode = WEXITSTATUS(Status);
+      return Out;
+    }
+    Out.End = SandboxEnd::Signaled;
+    Out.Signal = WIFSIGNALED(Status) ? WTERMSIG(Status) : 0;
+    Reg.counter("ci.sandbox.signaled").add(1);
+    return Out;
+  }
+}

@@ -1,0 +1,87 @@
+//===- ci/Sandbox.h - Forked child sandbox for first contact ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CI harness's process sandbox: runs a callable in a freshly forked
+/// child under resource ceilings (RLIMIT_CPU, RLIMIT_AS) and a parent-side
+/// monotonic Watchdog that SIGKILLs the child when its wall-clock deadline
+/// expires. The fork happens *before* the watchdog thread starts, so the
+/// child is always single-threaded at birth (no multithreaded-fork
+/// hazards); the child additionally arms an in-process alarm(2) fallback so
+/// it dies even if the parent is gone.
+///
+/// This is the "first contact" path: the first execution of an untrusted
+/// corpus program always happens here, where a crash, a runaway allocation,
+/// or a genuine spin loop can only take down the disposable child. Repeat
+/// executions (schedule exploration, shrinking, verification) use the
+/// in-situ in-process fast path instead — see ci/CiOrchestrator.
+///
+/// Fault sites (support/FaultInjection.h):
+///   ci.spawn_fail      fork is not attempted; the result is SpawnFailed —
+///                      the retryable infra-failure edge
+///   ci.watchdog_fire   (in support/Watchdog) the parent watchdog fires
+///                      immediately — the deterministic deadline-kill edge
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_CI_SANDBOX_H
+#define LIGHT_CI_SANDBOX_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace light {
+namespace ci {
+
+/// Sandbox knobs. Zero disables the corresponding limit.
+struct SandboxOptions {
+  /// Parent-side wall-clock deadline in seconds; on expiry the child is
+  /// SIGKILLed and the result is DeadlineKilled.
+  double DeadlineSeconds = 10;
+  /// RLIMIT_CPU for the child in seconds (kernel SIGXCPU backstop).
+  uint64_t CpuSeconds = 0;
+  /// RLIMIT_AS for the child in bytes. Skipped in sanitizer builds (see
+  /// support/Rlimits.h).
+  uint64_t MemoryBytes = 0;
+  /// Child arms alarm(ceil(2 * DeadlineSeconds)) so it dies even without
+  /// the parent — belt and braces behind the Watchdog.
+  bool SigalrmFallback = true;
+};
+
+/// How the sandboxed child ended.
+enum class SandboxEnd {
+  Exited,         ///< normal _exit; ExitCode is valid
+  Signaled,       ///< killed by a signal the sandbox did not send
+  DeadlineKilled, ///< the parent watchdog SIGKILLed it past the deadline
+  SpawnFailed,    ///< fork failed (or ci.spawn_fail fired); retryable
+};
+
+/// Outcome of one sandboxed run.
+struct SandboxResult {
+  SandboxEnd End = SandboxEnd::SpawnFailed;
+  int ExitCode = -1;      ///< valid when End == Exited
+  int Signal = 0;         ///< valid when End == Signaled / DeadlineKilled
+  bool WatchdogFired = false;
+  double Seconds = 0;     ///< wall-clock time from fork to reap
+  std::string Error;      ///< set when End == SpawnFailed
+
+  bool exitedWith(int Code) const {
+    return End == SandboxEnd::Exited && ExitCode == Code;
+  }
+};
+
+/// Forks and runs \p Body in the child under \p Opts; the child exits with
+/// Body's return value (via _exit — no atexit handlers, no stream flush,
+/// matching how a crashed recorder dies). Blocks until the child is reaped.
+/// Never throws.
+SandboxResult runInSandbox(const SandboxOptions &Opts,
+                           const std::function<int()> &Body);
+
+} // namespace ci
+} // namespace light
+
+#endif // LIGHT_CI_SANDBOX_H

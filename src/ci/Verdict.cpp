@@ -1,0 +1,448 @@
+//===- ci/Verdict.cpp - CI verdicts and the light-ci-v1 schema -------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ci/Verdict.h"
+
+#include "obs/Json.h"
+
+using namespace light;
+using namespace light::ci;
+using obs::JsonValue;
+
+const char *light::ci::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Pass:
+    return "pass";
+  case Verdict::Flaky:
+    return "flaky";
+  case Verdict::Reproduced:
+    return "reproduced";
+  case Verdict::SalvagedPartial:
+    return "salvaged-partial";
+  case Verdict::InfraError:
+    return "infra-error";
+  }
+  return "infra-error";
+}
+
+const char *light::ci::failureClassName(FailureClass C) {
+  switch (C) {
+  case FailureClass::None:
+    return "none";
+  case FailureClass::Bug:
+    return "bug";
+  case FailureClass::Crash:
+    return "crash";
+  case FailureClass::Hang:
+    return "hang";
+  case FailureClass::Oom:
+    return "oom";
+  case FailureClass::Infra:
+    return "infra";
+  }
+  return "none";
+}
+
+uint64_t CorpusSummary::count(Verdict V) const {
+  uint64_t N = 0;
+  for (const ProgramVerdict &P : Programs)
+    if (P.What == V)
+      ++N;
+  return N;
+}
+
+namespace {
+
+void writeRecord(obs::JsonWriter &W, const RecordPhase &R) {
+  W.beginObject();
+  W.field("outcome", R.Outcome);
+  W.field("failure_class", failureClassName(R.Failure));
+  W.field("attempts", static_cast<uint64_t>(R.Attempts));
+  W.field("exit_code", static_cast<int64_t>(R.ExitCode));
+  W.field("signal", static_cast<int64_t>(R.Signal));
+  W.field("watchdog_fired", R.WatchdogFired);
+  W.field("seconds", R.Seconds);
+  W.endObject();
+}
+
+void writeSalvage(obs::JsonWriter &W, const SalvagePhase &S) {
+  W.beginObject();
+  W.field("attempted", S.Attempted);
+  W.field("loaded", S.Loaded);
+  W.field("usable_prefix", S.UsablePrefix);
+  W.field("clean_close", S.CleanClose);
+  W.field("salvaged", S.Salvaged);
+  W.field("spans", S.Spans);
+  W.field("syscalls", S.Syscalls);
+  W.field("segments_recovered", S.SegmentsRecovered);
+  W.field("segments_dropped", S.SegmentsDropped);
+  W.field("error", S.Error);
+  W.endObject();
+}
+
+void writeExplore(obs::JsonWriter &W, const ExplorePhase &E) {
+  W.beginObject();
+  W.field("ran", E.Ran);
+  W.field("strategy", E.Strategy);
+  W.field("schedules", E.SchedulesRun);
+  W.field("deadlocks", E.Deadlocks);
+  W.field("hangs", E.Hangs);
+  W.field("bug_found", E.BugFound);
+  W.field("hang_found", E.HangFound);
+  W.field("timed_out", E.TimedOut);
+  W.field("seconds", E.Seconds);
+  W.field("schedules_per_second", E.SchedulesPerSecond);
+  W.endObject();
+}
+
+void writeShrink(obs::JsonWriter &W, const ShrinkPhase &S) {
+  W.beginObject();
+  W.field("ran", S.Ran);
+  W.field("timed_out", S.TimedOut);
+  W.field("original_statements", static_cast<uint64_t>(S.OriginalStatements));
+  W.field("shrunk_statements", static_cast<uint64_t>(S.ShrunkStatements));
+  W.field("probes", S.Probes);
+  W.field("repro_path", S.ReproPath);
+  W.endObject();
+}
+
+void writeVerify(obs::JsonWriter &W, const VerifyPhase &V) {
+  W.beginObject();
+  W.field("ran", V.Ran);
+  W.field("reproduced", V.Reproduced);
+  W.field("diverged", V.Diverged);
+  W.field("detail", V.Detail);
+  W.endObject();
+}
+
+void writeCalibration(obs::JsonWriter &W, const CalibrationInfo &C) {
+  W.beginObject();
+  W.field("ran", C.Ran);
+  W.field("fork_runs", C.ForkRuns);
+  W.field("insitu_runs", C.InsituRuns);
+  W.field("fork_schedules_per_second", C.ForkSchedulesPerSecond);
+  W.field("insitu_schedules_per_second", C.InsituSchedulesPerSecond);
+  W.field("insitu_speedup", C.Speedup);
+  W.endObject();
+}
+
+} // namespace
+
+std::string light::ci::ciSummaryToJson(const CorpusSummary &S) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.field("schema", "light-ci-v1");
+  W.field("strategy", S.Strategy);
+  W.field("deadline_seconds", S.DeadlineSeconds);
+  W.key("programs");
+  W.beginArray();
+  for (const ProgramVerdict &P : S.Programs) {
+    W.beginObject();
+    W.field("name", P.Name);
+    W.field("path", P.Path);
+    W.field("verdict", verdictName(P.What));
+    W.field("failure_class", failureClassName(P.Failure));
+    W.field("why", P.Why);
+    W.key("record");
+    writeRecord(W, P.Record);
+    W.key("salvage");
+    writeSalvage(W, P.Salvage);
+    W.key("explore");
+    writeExplore(W, P.Explore);
+    W.key("shrink");
+    writeShrink(W, P.Shrink);
+    W.key("verify");
+    writeVerify(W, P.Verify);
+    W.key("calibration");
+    writeCalibration(W, P.Calibration);
+    W.field("infra_retries", static_cast<uint64_t>(P.InfraRetries));
+    W.field("seconds", P.Seconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("counts");
+  W.beginObject();
+  W.field("pass", S.count(Verdict::Pass));
+  W.field("flaky", S.count(Verdict::Flaky));
+  W.field("reproduced", S.count(Verdict::Reproduced));
+  W.field("salvaged-partial", S.count(Verdict::SalvagedPartial));
+  W.field("infra-error", S.count(Verdict::InfraError));
+  W.endObject();
+  W.field("programs_total", static_cast<uint64_t>(S.Programs.size()));
+  W.field("seconds", S.Seconds);
+  W.endObject();
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Validation cursor: the first error wins; further checks are skipped.
+struct Check {
+  std::string Error;
+
+  bool failed() const { return !Error.empty(); }
+  void fail(const std::string &What) {
+    if (Error.empty())
+      Error = What;
+  }
+
+  const JsonValue *object(const JsonValue &V, const std::string &Key,
+                          const std::string &Where) {
+    if (failed())
+      return nullptr;
+    const JsonValue *M = V.find(Key);
+    if (!M) {
+      fail(Where + ": missing member '" + Key + "'");
+      return nullptr;
+    }
+    if (!M->isObject()) {
+      fail(Where + ": '" + Key + "' is not an object");
+      return nullptr;
+    }
+    return M;
+  }
+
+  void boolean(const JsonValue &V, const std::string &Key,
+               const std::string &Where) {
+    if (failed())
+      return;
+    const JsonValue *M = V.find(Key);
+    if (!M)
+      fail(Where + ": missing member '" + Key + "'");
+    else if (!M->isBool())
+      fail(Where + ": '" + Key + "' is not a boolean");
+  }
+
+  double number(const JsonValue &V, const std::string &Key,
+                const std::string &Where, bool NonNegative = true) {
+    if (failed())
+      return 0;
+    const JsonValue *M = V.find(Key);
+    if (!M) {
+      fail(Where + ": missing member '" + Key + "'");
+      return 0;
+    }
+    if (!M->isNumber()) {
+      fail(Where + ": '" + Key + "' is not a number");
+      return 0;
+    }
+    if (NonNegative && M->Num < 0)
+      fail(Where + ": '" + Key + "' is negative");
+    return M->Num;
+  }
+
+  std::string string(const JsonValue &V, const std::string &Key,
+                     const std::string &Where) {
+    if (failed())
+      return "";
+    const JsonValue *M = V.find(Key);
+    if (!M) {
+      fail(Where + ": missing member '" + Key + "'");
+      return "";
+    }
+    if (!M->isString()) {
+      fail(Where + ": '" + Key + "' is not a string");
+      return "";
+    }
+    return M->Str;
+  }
+
+  bool getBool(const JsonValue &V, const std::string &Key) {
+    const JsonValue *M = V.find(Key);
+    return M && M->isBool() && M->B;
+  }
+};
+
+bool validVerdict(const std::string &S) {
+  return S == "pass" || S == "flaky" || S == "reproduced" ||
+         S == "salvaged-partial" || S == "infra-error";
+}
+
+bool validFailureClass(const std::string &S) {
+  return S == "none" || S == "bug" || S == "crash" || S == "hang" ||
+         S == "oom" || S == "infra";
+}
+
+void checkProgram(Check &C, const JsonValue &P, size_t Index,
+                  uint64_t Counts[5]) {
+  std::string Where = "programs[" + std::to_string(Index) + "]";
+  if (!P.isObject()) {
+    C.fail(Where + ": not an object");
+    return;
+  }
+  std::string Name = C.string(P, "name", Where);
+  if (!C.failed() && Name.empty())
+    C.fail(Where + ": empty program name");
+  C.string(P, "path", Where);
+  std::string V = C.string(P, "verdict", Where);
+  if (!C.failed() && !validVerdict(V))
+    C.fail(Where + ": unknown verdict '" + V + "'");
+  std::string F = C.string(P, "failure_class", Where);
+  if (!C.failed() && !validFailureClass(F))
+    C.fail(Where + ": unknown failure_class '" + F + "'");
+  C.string(P, "why", Where);
+  C.number(P, "infra_retries", Where);
+  C.number(P, "seconds", Where);
+  if (C.failed())
+    return;
+
+  if (V == "pass")
+    ++Counts[0];
+  else if (V == "flaky")
+    ++Counts[1];
+  else if (V == "reproduced")
+    ++Counts[2];
+  else if (V == "salvaged-partial")
+    ++Counts[3];
+  else
+    ++Counts[4];
+
+  const JsonValue *Rec = C.object(P, "record", Where);
+  if (Rec) {
+    std::string RW = Where + ".record";
+    C.string(*Rec, "outcome", RW);
+    std::string RF = C.string(*Rec, "failure_class", RW);
+    if (!C.failed() && !validFailureClass(RF))
+      C.fail(RW + ": unknown failure_class '" + RF + "'");
+    double Attempts = C.number(*Rec, "attempts", RW);
+    if (!C.failed() && Attempts < 1)
+      C.fail(RW + ": attempts < 1 (every program is attempted at least once)");
+    C.number(*Rec, "exit_code", RW, /*NonNegative=*/false);
+    C.number(*Rec, "signal", RW);
+    C.boolean(*Rec, "watchdog_fired", RW);
+    C.number(*Rec, "seconds", RW);
+  }
+
+  const JsonValue *Sal = C.object(P, "salvage", Where);
+  if (Sal) {
+    std::string SW = Where + ".salvage";
+    C.boolean(*Sal, "attempted", SW);
+    C.boolean(*Sal, "loaded", SW);
+    C.boolean(*Sal, "usable_prefix", SW);
+    C.boolean(*Sal, "clean_close", SW);
+    C.boolean(*Sal, "salvaged", SW);
+    C.number(*Sal, "spans", SW);
+    C.number(*Sal, "syscalls", SW);
+    C.number(*Sal, "segments_recovered", SW);
+    C.number(*Sal, "segments_dropped", SW);
+    C.string(*Sal, "error", SW);
+  }
+
+  const JsonValue *Exp = C.object(P, "explore", Where);
+  if (Exp) {
+    std::string EW = Where + ".explore";
+    C.boolean(*Exp, "ran", EW);
+    C.string(*Exp, "strategy", EW);
+    C.number(*Exp, "schedules", EW);
+    C.number(*Exp, "deadlocks", EW);
+    C.number(*Exp, "hangs", EW);
+    C.boolean(*Exp, "bug_found", EW);
+    C.boolean(*Exp, "hang_found", EW);
+    C.boolean(*Exp, "timed_out", EW);
+    C.number(*Exp, "seconds", EW);
+    C.number(*Exp, "schedules_per_second", EW);
+  }
+
+  const JsonValue *Shr = C.object(P, "shrink", Where);
+  if (Shr) {
+    std::string SW = Where + ".shrink";
+    C.boolean(*Shr, "ran", SW);
+    C.boolean(*Shr, "timed_out", SW);
+    C.number(*Shr, "original_statements", SW);
+    C.number(*Shr, "shrunk_statements", SW);
+    C.number(*Shr, "probes", SW);
+    C.string(*Shr, "repro_path", SW);
+  }
+
+  const JsonValue *Ver = C.object(P, "verify", Where);
+  if (Ver) {
+    std::string VW = Where + ".verify";
+    C.boolean(*Ver, "ran", VW);
+    C.boolean(*Ver, "reproduced", VW);
+    C.boolean(*Ver, "diverged", VW);
+    C.string(*Ver, "detail", VW);
+  }
+
+  const JsonValue *Cal = C.object(P, "calibration", Where);
+  if (Cal) {
+    std::string CW = Where + ".calibration";
+    C.boolean(*Cal, "ran", CW);
+    C.number(*Cal, "fork_runs", CW);
+    C.number(*Cal, "insitu_runs", CW);
+    C.number(*Cal, "fork_schedules_per_second", CW);
+    C.number(*Cal, "insitu_schedules_per_second", CW);
+    C.number(*Cal, "insitu_speedup", CW);
+  }
+  if (C.failed())
+    return;
+
+  // Cross-field invariants — the contract the robustness tests lean on.
+  if (V == "infra-error" && Sal && C.getBool(*Sal, "usable_prefix"))
+    C.fail(Where + ": verdict is infra-error but salvage.usable_prefix is "
+                   "true (a usable prefix must degrade gracefully, never "
+                   "surface as an infra failure)");
+  if (V == "reproduced" && Ver && !C.getBool(*Ver, "reproduced"))
+    C.fail(Where + ": verdict is reproduced but verify.reproduced is false");
+  if (V == "flaky" && Exp && Ver &&
+      !(C.getBool(*Exp, "bug_found") || C.getBool(*Exp, "hang_found")))
+    C.fail(Where + ": verdict is flaky but exploration found nothing");
+  if (V == "pass" && F != "none")
+    C.fail(Where + ": verdict is pass but failure_class is '" + F + "'");
+}
+
+} // namespace
+
+std::string light::ci::validateCiSummaryJson(const std::string &Text) {
+  obs::JsonParseResult R = obs::parseJson(Text);
+  if (!R.Ok)
+    return "not valid JSON: " + R.Error;
+  const JsonValue &Top = R.Value;
+  Check C;
+  if (!Top.isObject())
+    return "top level is not an object";
+  std::string Schema = C.string(Top, "schema", "top");
+  if (!C.failed() && Schema != "light-ci-v1")
+    C.fail("top: schema is '" + Schema + "', want 'light-ci-v1'");
+  C.string(Top, "strategy", "top");
+  C.number(Top, "deadline_seconds", "top");
+  C.number(Top, "seconds", "top");
+  if (C.failed())
+    return C.Error;
+
+  const JsonValue *Programs = Top.find("programs");
+  if (!Programs)
+    return "top: missing member 'programs'";
+  if (!Programs->isArray())
+    return "top: 'programs' is not an array";
+
+  uint64_t Counts[5] = {0, 0, 0, 0, 0};
+  for (size_t I = 0; I < Programs->Items.size(); ++I) {
+    checkProgram(C, Programs->Items[I], I, Counts);
+    if (C.failed())
+      return C.Error;
+  }
+
+  double Total = C.number(Top, "programs_total", "top");
+  if (!C.failed() && Total != static_cast<double>(Programs->Items.size()))
+    C.fail("top: programs_total does not match the programs array length");
+
+  const JsonValue *CountsObj = C.object(Top, "counts", "top");
+  if (CountsObj) {
+    const char *Keys[5] = {"pass", "flaky", "reproduced", "salvaged-partial",
+                           "infra-error"};
+    for (int I = 0; I < 5; ++I) {
+      double N = C.number(*CountsObj, Keys[I], "counts");
+      if (!C.failed() && N != static_cast<double>(Counts[I]))
+        C.fail(std::string("counts: '") + Keys[I] +
+               "' disagrees with the per-program verdicts");
+    }
+  }
+  return C.Error;
+}

@@ -1,0 +1,178 @@
+//===- ci/Verdict.h - CI verdicts and the light-ci-v1 schema ----*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verdict model of the resilient CI pipeline and its JSON wire format
+/// (schema `light-ci-v1`). One ProgramVerdict captures everything the
+/// record -> salvage -> explore -> shrink -> verify pipeline learned about
+/// one corpus program; a CorpusSummary aggregates a run.
+///
+/// Verdict semantics (see DESIGN.md section 9 for the full state machine):
+///
+///   pass              recorded clean and exploration found no failure
+///   flaky             recorded clean, but exploration found a *verified*
+///                     failing schedule nearby
+///   reproduced        the recording failed (bug / crash / hang / oom) and
+///                     the pipeline emitted a repro whose replay exhibits
+///                     the same failure class
+///   salvaged-partial  the recording failed and a valid durable-log prefix
+///                     was salvaged, but no verified repro exists (explore
+///                     exhausted, shrink skipped, or verification diverged)
+///   infra-error       the harness itself failed and NO valid log prefix
+///                     exists. By construction this verdict is impossible
+///                     while salvage holds a usable prefix — the validator
+///                     enforces it.
+///
+/// validateCiSummaryJson is the single deep validator for the schema; both
+/// the `check_ci_json` CLI tool and the ctest suites call it, so the wire
+/// format cannot drift from the checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_CI_VERDICT_H
+#define LIGHT_CI_VERDICT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace light {
+namespace ci {
+
+/// Final per-program verdict.
+enum class Verdict {
+  Pass,
+  Flaky,
+  Reproduced,
+  SalvagedPartial,
+  InfraError,
+};
+
+/// How the first-contact recording run failed (None when it was clean).
+enum class FailureClass {
+  None,  ///< recorded clean
+  Bug,   ///< application bug (assertion, null use, ... — Definition 3.2)
+  Crash, ///< the child died abruptly (signal or runtime anomaly)
+  Hang,  ///< watchdog deadline, SIGXCPU, or instruction-budget exhaustion
+  Oom,   ///< the memory ceiling killed it
+  Infra, ///< the harness failed (spawn/IO); retried, never a program bug
+};
+
+const char *verdictName(Verdict V);
+const char *failureClassName(FailureClass C);
+
+/// Record stage: the final (post-retry) sandboxed recording attempt.
+struct RecordPhase {
+  FailureClass Failure = FailureClass::None;
+  std::string Outcome;        ///< "clean", "bug", "crash", "hang", "oom",
+                              ///< "spawn-failed", "io-failed"
+  uint32_t Attempts = 0;      ///< sandboxed runs including infra retries
+  int ExitCode = -1;
+  int Signal = 0;
+  bool WatchdogFired = false;
+  double Seconds = 0;
+};
+
+/// Salvage stage: what the durable-log scavenger recovered.
+struct SalvagePhase {
+  bool Attempted = false;
+  bool Loaded = false;
+  bool UsablePrefix = false; ///< the predicate infra-error is gated on
+  bool CleanClose = false;
+  bool Salvaged = false;     ///< a torn tail was cut
+  uint64_t Spans = 0;
+  uint64_t Syscalls = 0;
+  uint64_t SegmentsRecovered = 0;
+  uint64_t SegmentsDropped = 0;
+  std::string Error;
+};
+
+/// Explore stage: the in-situ schedule search.
+struct ExplorePhase {
+  bool Ran = false;
+  std::string Strategy;      ///< "pct" or "dfs"
+  uint64_t SchedulesRun = 0;
+  uint64_t Deadlocks = 0;
+  uint64_t Hangs = 0;
+  bool BugFound = false;
+  bool HangFound = false;
+  bool TimedOut = false;     ///< wall budget expired; best-so-far was used
+  double Seconds = 0;
+  double SchedulesPerSecond = 0;
+};
+
+/// Shrink stage: ddmin minimization of the failing pair.
+struct ShrinkPhase {
+  bool Ran = false;
+  bool TimedOut = false;     ///< budget expired; the unshrunk repro ships
+  uint32_t OriginalStatements = 0;
+  uint32_t ShrunkStatements = 0;
+  uint64_t Probes = 0;
+  std::string ReproPath;     ///< where the .mir repro was written ("" none)
+};
+
+/// Verify stage: replay of the emitted repro.
+struct VerifyPhase {
+  bool Ran = false;
+  bool Reproduced = false;   ///< the repro exhibits the same failure class
+  bool Diverged = false;     ///< it ran but showed something else
+  std::string Detail;
+};
+
+/// Fork-vs-in-situ throughput calibration (only on request).
+struct CalibrationInfo {
+  bool Ran = false;
+  uint64_t ForkRuns = 0;
+  uint64_t InsituRuns = 0;
+  double ForkSchedulesPerSecond = 0;
+  double InsituSchedulesPerSecond = 0;
+  double Speedup = 0;        ///< insitu / fork
+};
+
+/// Everything the pipeline decided about one corpus program.
+struct ProgramVerdict {
+  std::string Name;
+  std::string Path;
+  Verdict What = Verdict::InfraError;
+  FailureClass Failure = FailureClass::None;
+  std::string Why;           ///< one-line human-readable justification
+
+  RecordPhase Record;
+  SalvagePhase Salvage;
+  ExplorePhase Explore;
+  ShrinkPhase Shrink;
+  VerifyPhase Verify;
+  CalibrationInfo Calibration;
+
+  uint32_t InfraRetries = 0; ///< retries consumed by infra-class failures
+  double Seconds = 0;
+};
+
+/// One CI run over a corpus.
+struct CorpusSummary {
+  std::string Strategy;      ///< explore strategy used
+  double DeadlineSeconds = 0;
+  std::vector<ProgramVerdict> Programs;
+  double Seconds = 0;
+
+  uint64_t count(Verdict V) const;
+  /// True when no program ended in infra-error (the harness exit gate).
+  bool clean() const { return count(Verdict::InfraError) == 0; }
+};
+
+/// Serializes \p S as a `light-ci-v1` JSON document.
+std::string ciSummaryToJson(const CorpusSummary &S);
+
+/// Deep-validates a `light-ci-v1` document: structure, enum domains, count
+/// consistency, and the cross-field invariants (an infra-error verdict with
+/// a usable salvaged prefix is a schema violation). Returns "" when valid,
+/// else the first problem found.
+std::string validateCiSummaryJson(const std::string &Text);
+
+} // namespace ci
+} // namespace light
+
+#endif // LIGHT_CI_VERDICT_H

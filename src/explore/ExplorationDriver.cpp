@@ -67,6 +67,53 @@ void publishReport(const char *Strategy, const ExploreReport &R) {
       .add(R.SchedulesRun);
   if (R.BugFound)
     Reg.counter("explore.bugs_found").add(1);
+  Reg.counter("explore.deadlocks").add(R.Deadlocks);
+  Reg.counter("explore.hangs").add(R.Hangs);
+  if (R.HangFound)
+    Reg.counter("explore.hangs_reported").add(1);
+  if (R.TimedOut)
+    Reg.counter("explore.timeouts").add(1);
+}
+
+/// Folds one executed schedule into \p Report: the deadlock/hang tallies,
+/// the best-so-far checkpoint, and the first-bug / first-hang capture.
+/// Returns true when the search should stop (StopAtFirstBug semantics for
+/// both bugs and — under TreatHangAsBug — hangs).
+bool consumeRun(ExploreReport &Report, const ExplorationDriver &Driver,
+                const ScheduleRun &Run, uint64_t Seed) {
+  const ExploreOptions &Opts = Driver.options();
+  if (Run.Result.Bug.What == BugReport::Kind::Deadlock)
+    ++Report.Deadlocks;
+  bool Hung = Driver.isHang(Run.Result);
+  if (Hung)
+    ++Report.Hangs;
+
+  // Best-so-far: most preemptions, longest trace on ties. Checkpointed on
+  // every run so a timed-out search still reports a concrete schedule.
+  if (Report.BestTrace.empty() || Run.Preemptions > Report.BestPreemptions ||
+      (Run.Preemptions == Report.BestPreemptions &&
+       Run.Choices.size() > Report.BestTrace.size())) {
+    Report.BestTrace = Run.Choices;
+    Report.BestPreemptions = Run.Preemptions;
+  }
+
+  if (!Report.BugFound && isApplicationBug(Run.Result.Bug)) {
+    Report.BugFound = true;
+    Report.Bug = Run.Result.Bug;
+    Report.FailingTrace = Run.Choices;
+    Report.FailingSeed = Seed;
+    Report.FailingPreemptions = Run.Preemptions;
+    Report.BestTrace = Run.Choices;
+    Report.BestPreemptions = Run.Preemptions;
+  }
+  if (Hung && Opts.TreatHangAsBug && !Report.HangFound) {
+    Report.HangFound = true;
+    Report.HangTrace = Run.Choices;
+  }
+  if (Opts.StopAtFirstBug &&
+      (Report.BugFound || (Opts.TreatHangAsBug && Report.HangFound)))
+    return true;
+  return false;
 }
 
 /// One node of the DFS stack: a decision point on the current path, the
@@ -98,13 +145,14 @@ ExploreReport light::explore::exploreDfs(const mir::Program &Prog,
   auto Consume = [&](const ScheduleRun &Run) {
     ++Report.SchedulesRun;
     ++Report.DistinctInterleavings; // every DFS prefix is a fresh schedule
-    if (!Report.BugFound && isApplicationBug(Run.Result.Bug)) {
-      Report.BugFound = true;
-      Report.Bug = Run.Result.Bug;
-      Report.FailingTrace = Run.Choices;
-      Report.FailingSeed = Opts.EnvSeed;
-      Report.FailingPreemptions = Run.Preemptions;
-    }
+    return consumeRun(Report, Driver, Run, Opts.EnvSeed);
+  };
+  auto OverWallBudget = [&] {
+    if (Opts.WallBudgetSeconds <= 0 ||
+        Timer.seconds() < Opts.WallBudgetSeconds)
+      return false;
+    Report.TimedOut = true;
+    return true;
   };
 
   std::vector<DfsNode> Stack;
@@ -133,8 +181,7 @@ ExploreReport light::explore::exploreDfs(const mir::Program &Prog,
   {
     std::vector<Decision> Ds;
     ScheduleRun Base = Driver.runPrefix({}, &Ds);
-    Consume(Base);
-    if (Report.BugFound && Opts.StopAtFirstBug) {
+    if (Consume(Base)) {
       Report.Seconds = Timer.seconds();
       publishReport("dfs", Report);
       return Report;
@@ -142,7 +189,7 @@ ExploreReport light::explore::exploreDfs(const mir::Program &Prog,
     Rebuild(Ds, 0);
   }
 
-  while (Report.SchedulesRun < Opts.ScheduleBudget) {
+  while (Report.SchedulesRun < Opts.ScheduleBudget && !OverWallBudget()) {
     // Backtrack to the deepest node with an untried alternative that
     // stays within the preemption bound.
     bool Found = false;
@@ -178,8 +225,7 @@ ExploreReport light::explore::exploreDfs(const mir::Program &Prog,
 
     std::vector<Decision> Ds;
     ScheduleRun Run = Driver.runPrefix(Prefix, &Ds);
-    Consume(Run);
-    if (Report.BugFound && Opts.StopAtFirstBug)
+    if (Consume(Run))
       break;
     Rebuild(Ds, Stack.size());
   }
@@ -203,35 +249,26 @@ ExploreReport light::explore::explorePct(const mir::Program &Prog,
   ++Report.SchedulesRun;
   Seen.insert(traceHash(Base.Choices));
   uint64_t K = Base.Choices.size() ? Base.Choices.size() : 1;
-  if (isApplicationBug(Base.Result.Bug)) {
-    Report.BugFound = true;
-    Report.Bug = Base.Result.Bug;
-    Report.FailingTrace = Base.Choices;
-    Report.FailingSeed = Opts.EnvSeed;
-    Report.FailingPreemptions = Base.Preemptions;
-    if (Opts.StopAtFirstBug) {
-      Report.DistinctInterleavings = Seen.size();
-      Report.Seconds = Timer.seconds();
-      publishReport("pct", Report);
-      return Report;
-    }
+  if (consumeRun(Report, Driver, Base, Opts.EnvSeed)) {
+    Report.DistinctInterleavings = Seen.size();
+    Report.Seconds = Timer.seconds();
+    publishReport("pct", Report);
+    return Report;
   }
 
   for (uint64_t Seed = 1;
        Seed <= Opts.PctSeeds && Report.SchedulesRun < Opts.ScheduleBudget;
        ++Seed) {
+    if (Opts.WallBudgetSeconds > 0 &&
+        Timer.seconds() >= Opts.WallBudgetSeconds) {
+      Report.TimedOut = true;
+      break;
+    }
     ScheduleRun Run = Driver.runPct(Seed, Opts.PctDepth, K);
     ++Report.SchedulesRun;
     Seen.insert(traceHash(Run.Choices));
-    if (!Report.BugFound && isApplicationBug(Run.Result.Bug)) {
-      Report.BugFound = true;
-      Report.Bug = Run.Result.Bug;
-      Report.FailingTrace = Run.Choices;
-      Report.FailingSeed = Seed;
-      Report.FailingPreemptions = Run.Preemptions;
-      if (Opts.StopAtFirstBug)
-        break;
-    }
+    if (consumeRun(Report, Driver, Run, Seed))
+      break;
   }
 
   Report.DistinctInterleavings = Seen.size();

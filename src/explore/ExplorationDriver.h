@@ -62,12 +62,35 @@ struct ExploreReport {
   uint64_t FailingSeed = 0; ///< environment seed of the failing run
   uint32_t FailingPreemptions = 0;
 
+  /// First schedule that hung (ran into the per-run instruction budget
+  /// without completing). Only hunted when ExploreOptions::TreatHangAsBug
+  /// is set; replaying HangTrace hangs again deterministically.
+  bool HangFound = false;
+  DecisionTrace HangTrace;
+
   uint64_t SchedulesRun = 0;
   uint64_t DistinctInterleavings = 0;
+  /// Schedules that ended in a deadlock (no runnable thread before the
+  /// trace ended). They count toward the schedule budget like any other
+  /// run, but are tallied separately — a search that spends its budget
+  /// deadlocking is a different diagnosis from one that finds nothing.
+  uint64_t Deadlocks = 0;
+  /// Schedules that exhausted the per-run instruction budget (live hangs).
+  uint64_t Hangs = 0;
   /// True when the DFS search exhausted the bounded space before the
   /// budget ran out (the enumeration is complete for this bound).
   bool SpaceExhausted = false;
+  /// True when ExploreOptions::WallBudgetSeconds expired first; the report
+  /// carries the best-so-far state at that point.
+  bool TimedOut = false;
   double Seconds = 0;
+
+  /// Best-so-far checkpoint: the most adversarial schedule observed (most
+  /// preemptions, longest on ties) — the failing trace when a bug was
+  /// found. A timed-out exploration still hands the caller something
+  /// concrete to replay.
+  DecisionTrace BestTrace;
+  uint32_t BestPreemptions = 0;
 
   double schedulesPerSecond() const {
     return Seconds > 0 ? static_cast<double>(SchedulesRun) / Seconds : 0;
@@ -91,6 +114,16 @@ struct ExploreOptions {
   uint64_t EnvSeed = 1;
   /// Per-run interpreter instruction budget.
   uint64_t MaxInstructions = 20000000ull;
+  /// Wall-clock budget for the whole search in seconds (0 = unlimited).
+  /// Checked between schedules; on expiry the strategy returns with
+  /// TimedOut set and the best-so-far state instead of burning the rest of
+  /// the schedule budget.
+  double WallBudgetSeconds = 0;
+  /// Treat a hanging schedule (instruction budget exhausted) as a failure
+  /// worth reporting: stop the search (under StopAtFirstBug) and hand back
+  /// HangTrace. A CI harness chasing a watchdog-killed child wants the
+  /// hanging interleaving, not a burned budget re-hanging on every probe.
+  bool TreatHangAsBug = false;
 };
 
 /// Executes single schedules of one program deterministically.
@@ -105,6 +138,13 @@ public:
 
   /// Runs one PCT schedule. \p ExpectedSteps is the k estimate.
   ScheduleRun runPct(uint64_t Seed, uint32_t Depth, uint64_t ExpectedSteps);
+
+  /// True when \p R is a live hang: the run neither completed nor hit a
+  /// real bug, it exhausted this driver's per-run instruction budget.
+  bool isHang(const RunResult &R) const {
+    return !R.Completed && R.Bug.What == BugReport::Kind::RuntimeError &&
+           R.InstructionsExecuted >= Opts.MaxInstructions;
+  }
 
   const mir::Program &program() const { return Prog; }
   const ExploreOptions &options() const { return Opts; }

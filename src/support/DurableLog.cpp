@@ -12,7 +12,35 @@
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 using namespace light;
+
+namespace {
+
+/// fsyncs the directory holding \p Path so the freshly created file's
+/// directory entry itself is durable. A crash between creating a log file
+/// and the directory flush would otherwise leave a file the salvage path
+/// cannot even find — data safely on disk, name gone. Returns false on
+/// failure (or when the io.dirsync_fail fault fires).
+bool syncParentDir(const std::string &Path) {
+  if (fault::Injector::global().shouldFire("io.dirsync_fail")) {
+    errno = 0;
+    return false;
+  }
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? std::string(".")
+                                               : Path.substr(0, Slash + 1);
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+}
+
+} // namespace
 
 void DurableLogWriter::fail(const std::string &What) {
   Ok = false;
@@ -42,6 +70,14 @@ DurableLogWriter::DurableLogWriter(std::string PathIn)
     return;
   }
   std::fflush(File);
+  // The segments themselves only need to reach the OS (fflush) — the salvage
+  // guarantee is against process death, not power loss. The directory entry
+  // is different: without fsyncing the parent directory a crash right after
+  // creation can lose the *name*, and with it everything salvage depends on.
+  if (!syncParentDir(Path)) {
+    fail("cannot sync parent directory of");
+    return;
+  }
   ++Words;
 }
 

@@ -29,6 +29,9 @@
 ///   io.open_fail        constructor fails as if open(2) did
 ///   io.short_write      a segment write is torn mid-way and reports failure
 ///   io.close_fail       closeClean() fails as if fclose(3) did
+///   io.dirsync_fail     the parent-directory fsync after file creation
+///                       fails as if fsync(2) did — the crash window where
+///                       the file's directory entry itself is lost
 ///   log.crash_at_epoch  the Nth writeSegment() simulates a hard kill: a few
 ///                       torn bytes of the segment reach the disk
 ///                       (log.torn_bytes, default 12) and every later write

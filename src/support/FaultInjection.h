@@ -30,10 +30,17 @@
 /// The canonical site names (call sites document theirs):
 ///   io.open_fail, io.short_write, io.close_fail      support/BinaryIO,
 ///                                                    support/DurableLog
+///   io.dirsync_fail                                  support/DurableLog
 ///   log.crash_at_epoch, log.torn_bytes               support/DurableLog
 ///   solver.timeout, solver.z3_unavailable            smt/
 ///   interp.thread_crash                              interp/Machine
 ///   obs.perf_open_fail                               obs/PerfCounters
+///   ci.watchdog_fire                                 support/Watchdog
+///   ci.spawn_fail, ci.kill_child.start,              ci/Sandbox,
+///   ci.kill_child.record, ci.kill_child.flush        ci/CiOrchestrator
+///   ci.salvage_truncate                              trace/RecordingLog
+///   ci.explore_timeout, ci.shrink_timeout,           ci/CiOrchestrator
+///   ci.verify_diverge
 ///
 /// Every fired fault bumps the `fault.injected.<site>` counter in the
 /// light_obs metrics registry, so --metrics-json captures the injection

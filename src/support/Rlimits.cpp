@@ -1,0 +1,59 @@
+//===- support/Rlimits.cpp - Child-process resource limits ----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rlimits.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/resource.h>
+
+using namespace light;
+
+bool light::builtWithSanitizers() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+std::string light::applyChildLimits(const ChildLimits &Limits) {
+  auto Apply = [](int Resource, uint64_t Value, const char *Name) {
+    struct rlimit RL;
+    RL.rlim_cur = static_cast<rlim_t>(Value);
+    RL.rlim_max = static_cast<rlim_t>(Value);
+    if (::setrlimit(Resource, &RL) != 0)
+      return std::string("setrlimit(") + Name +
+             "): " + std::strerror(errno);
+    return std::string();
+  };
+  if (Limits.CpuSeconds) {
+    std::string Err = Apply(RLIMIT_CPU, Limits.CpuSeconds, "RLIMIT_CPU");
+    if (!Err.empty())
+      return Err;
+  }
+  if (Limits.MemoryBytes && !builtWithSanitizers()) {
+    std::string Err = Apply(RLIMIT_AS, Limits.MemoryBytes, "RLIMIT_AS");
+    if (!Err.empty())
+      return Err;
+  }
+  return std::string();
+}
+
+uint64_t light::peakRssBytes() {
+  struct rusage RU;
+  if (::getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<uint64_t>(RU.ru_maxrss) * 1024;
+}

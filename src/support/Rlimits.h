@@ -1,0 +1,51 @@
+//===- support/Rlimits.h - Child-process resource limits --------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// setrlimit(2) helpers the CI sandbox applies inside a freshly forked
+/// child, before it touches the program under test: a CPU-time ceiling
+/// (SIGXCPU/SIGKILL from the kernel — the last line of defense behind the
+/// parent's Watchdog) and an address-space ceiling that turns a runaway
+/// allocation into a catchable failure instead of taking the host down.
+///
+/// The address-space limit is skipped in sanitizer builds: ASan/TSan
+/// reserve terabytes of shadow address space up front, so any useful
+/// RLIMIT_AS value would kill the child before it ran a single
+/// instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_RLIMITS_H
+#define LIGHT_SUPPORT_RLIMITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace light {
+
+/// Resource ceilings for a sandboxed child. Zero disables a limit.
+struct ChildLimits {
+  /// RLIMIT_CPU in seconds (kernel sends SIGXCPU at the soft limit).
+  uint64_t CpuSeconds = 0;
+  /// RLIMIT_AS in bytes (allocations beyond it fail). Ignored under
+  /// sanitizers — see the file comment.
+  uint64_t MemoryBytes = 0;
+};
+
+/// True when this binary is built under ASan or TSan (the builds where
+/// RLIMIT_AS must not be applied).
+bool builtWithSanitizers();
+
+/// Applies \p Limits to the calling process. Returns an empty string on
+/// success, else a description of the first setrlimit failure.
+std::string applyChildLimits(const ChildLimits &Limits);
+
+/// Peak resident set size of the calling process in bytes (getrusage).
+uint64_t peakRssBytes();
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_RLIMITS_H

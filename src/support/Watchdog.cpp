@@ -1,0 +1,105 @@
+//===- support/Watchdog.cpp - Monotonic deadline watchdog -----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Watchdog.h"
+
+#include "obs/Metrics.h"
+#include "support/FaultInjection.h"
+
+#include <cmath>
+
+#include <unistd.h>
+
+using namespace light;
+
+Watchdog::Watchdog(Options OptsIn) : Opts(std::move(OptsIn)) {
+  Start = std::chrono::steady_clock::now();
+  LastKick = Start;
+  if (fault::Injector::global().shouldFire("ci.watchdog_fire")) {
+    // Deterministic hang-edge test: fire before any timer elapses, on the
+    // constructing thread (no background thread is started at all).
+    Fired = true;
+    Why = FireReason::FaultInjected;
+    obs::Registry::global().counter("watchdog.fires").add(1);
+    if (Opts.OnFire)
+      Opts.OnFire();
+    return;
+  }
+  if (Opts.DeadlineSeconds <= 0 && Opts.NoProgressSeconds <= 0)
+    return; // nothing to watch
+  Thread = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() { cancel(); }
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Stop || Fired)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    auto Never = Now + std::chrono::hours(24 * 365);
+    auto DeadlineAt =
+        Opts.DeadlineSeconds > 0
+            ? Start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(Opts.DeadlineSeconds))
+            : Never;
+    auto ProgressAt =
+        Opts.NoProgressSeconds > 0
+            ? LastKick + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 Opts.NoProgressSeconds))
+            : Never;
+    auto WakeAt = DeadlineAt < ProgressAt ? DeadlineAt : ProgressAt;
+    if (Now >= WakeAt) {
+      Fired = true;
+      Why = Now >= DeadlineAt ? FireReason::Deadline : FireReason::NoProgress;
+      obs::Registry::global().counter("watchdog.fires").add(1);
+      std::function<void()> Fn = Opts.OnFire;
+      Lock.unlock();
+      if (Fn)
+        Fn();
+      return;
+    }
+    Cv.wait_until(Lock, WakeAt);
+  }
+}
+
+void Watchdog::kick() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  LastKick = std::chrono::steady_clock::now();
+  Cv.notify_all();
+}
+
+void Watchdog::cancel() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+    Cv.notify_all();
+  }
+  if (Thread.joinable())
+    Thread.join();
+}
+
+bool Watchdog::fired() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Fired;
+}
+
+Watchdog::FireReason Watchdog::reason() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Why;
+}
+
+void Watchdog::armSigalrmFallback(double Seconds) {
+  if (Seconds <= 0) {
+    ::alarm(0);
+    return;
+  }
+  ::alarm(static_cast<unsigned>(std::ceil(Seconds)));
+}

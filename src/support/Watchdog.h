@@ -1,0 +1,97 @@
+//===- support/Watchdog.h - Monotonic deadline watchdog ---------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic-clock watchdog for the resilient CI pipeline. One Watchdog
+/// owns one background thread that waits on two independent timers:
+///
+///  * an absolute *deadline* (steady_clock, immune to wall-clock steps), and
+///  * a *no-progress* window that kick() keeps pushing forward — a stage
+///    that stops calling kick() is declared hung even while it still burns
+///    CPU.
+///
+/// When either expires the OnFire callback runs exactly once on the
+/// watchdog thread (typical callbacks: SIGKILL a sandboxed child, set an
+/// abort flag a search loop polls). cancel()/destruction stops the thread
+/// without firing; both are safe to call after a fire.
+///
+/// Belt-and-braces: a sandboxed child can additionally arm the in-process
+/// SIGALRM fallback (armSigalrmFallback) so it dies even if the parent —
+/// and with it the watchdog thread — is gone.
+///
+/// Fault site (support/FaultInjection.h):
+///   ci.watchdog_fire   the watchdog fires immediately on start, before any
+///                      timer elapses — the deterministic hang-edge test
+///
+/// Every fire bumps the `watchdog.fires` counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_SUPPORT_WATCHDOG_H
+#define LIGHT_SUPPORT_WATCHDOG_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace light {
+
+/// Deadline + no-progress watchdog over one background thread.
+class Watchdog {
+public:
+  enum class FireReason { None, Deadline, NoProgress, FaultInjected };
+
+  struct Options {
+    /// Absolute budget from start() in seconds; 0 disables the deadline.
+    double DeadlineSeconds = 0;
+    /// Maximum seconds between kick() calls; 0 disables progress tracking.
+    double NoProgressSeconds = 0;
+    /// Runs once on the watchdog thread when a timer expires.
+    std::function<void()> OnFire;
+  };
+
+  explicit Watchdog(Options Opts);
+  ~Watchdog();
+
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Records progress: pushes the no-progress window forward.
+  void kick();
+
+  /// Stops the watchdog without firing (no-op after a fire).
+  void cancel();
+
+  /// True once OnFire ran (or was due — the callback may be empty).
+  bool fired() const;
+
+  /// Why the watchdog fired; None while it has not.
+  FireReason reason() const;
+
+  /// Arms a plain alarm(2) whose default SIGALRM disposition kills the
+  /// calling process after ceil(\p Seconds). For forked children: the
+  /// kernel delivers it even when the parent that owns the Watchdog is
+  /// gone. Pass 0 to cancel a pending alarm.
+  static void armSigalrmFallback(double Seconds);
+
+private:
+  Options Opts;
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::thread Thread;
+  std::chrono::steady_clock::time_point Start;
+  std::chrono::steady_clock::time_point LastKick;
+  bool Stop = false;
+  bool Fired = false;
+  FireReason Why = FireReason::None;
+
+  void loop();
+};
+
+} // namespace light
+
+#endif // LIGHT_SUPPORT_WATCHDOG_H

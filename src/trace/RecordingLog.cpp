@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "support/BinaryIO.h"
 #include "support/DurableLog.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -326,6 +327,20 @@ bool RecordingLog::load(const std::string &Path, LogLoadReport &Report) {
     Spawns.clear();
     FinalCounters.clear();
     Guards = GuardSpec();
+    // ci.salvage_truncate: deterministically simulate a tear deeper than
+    // the on-disk one by discarding the newest N validated segments. The
+    // drop count comes from the companion param site so the clause's own
+    // `=N` keeps its usual fire-on-Nth-hit meaning.
+    fault::Injector &Faults = fault::Injector::global();
+    if (Faults.shouldFire("ci.salvage_truncate")) {
+      uint64_t Drop = Faults.param("ci.salvage_truncate_segments", 1);
+      while (Drop-- > 0 && !Scan.Segments.empty()) {
+        ++Scan.SegmentsDropped;
+        Scan.WordsDropped += Scan.Segments.back().size() + 3;
+        Scan.Segments.pop_back();
+      }
+      Scan.Clean = false;
+    }
     Report.SegmentsDropped = Scan.SegmentsDropped;
     Report.WordsDropped = Scan.WordsDropped;
     for (size_t I = 0; I < Scan.Segments.size(); ++I) {
@@ -469,5 +484,27 @@ std::string RecordingLog::str() const {
     Out += "  " + S.str() + "\n";
   Out += "syscalls: " + std::to_string(Syscalls.size()) + "\n";
   Out += "spawns: " + std::to_string(Spawns.size()) + "\n";
+  return Out;
+}
+
+SalvageOutcome light::salvageRecording(const std::string &Path) {
+  SalvageOutcome Out;
+  if (!Out.Log.load(Path, Out.Report)) {
+    Out.Error = Out.Report.Error.empty()
+                    ? "cannot load recording '" + Path + "'"
+                    : Out.Report.Error;
+    return Out;
+  }
+  Out.Loaded = true;
+  // "Usable" is deliberately weak: any recovered dependence data — or even
+  // an intact empty recording (clean close, zero spans) — counts. The CI
+  // verdict rules only need to know "did the child leave *anything* the
+  // replay side can consume", not "is it complete".
+  Out.UsablePrefix = Out.Report.CleanClose ||
+                     Out.Report.SegmentsRecovered > 0 ||
+                     !Out.Log.Spans.empty() || !Out.Log.Spawns.empty();
+  obs::Registry::global().counter("ci.salvage.loads").add(1);
+  if (Out.Report.Salvaged)
+    obs::Registry::global().counter("ci.salvage.torn").add(1);
   return Out;
 }

@@ -123,6 +123,30 @@ struct RecordingLog {
   std::string str() const;
 };
 
+/// What the CI pipeline's salvage stage recovered from a (possibly torn,
+/// possibly absent) recording left behind by a dead child.
+struct SalvageOutcome {
+  /// A log with at least the LIGHT002 header was found and parsed; Log and
+  /// Report are meaningful. False means there is nothing to salvage — no
+  /// file, or not a recording — and Error says why.
+  bool Loaded = false;
+  /// Loaded and at least one segment's worth of data survived: the "valid
+  /// log prefix exists" predicate the CI verdict rules key on.
+  bool UsablePrefix = false;
+  RecordingLog Log;
+  LogLoadReport Report;
+  std::string Error;
+};
+
+/// The CI salvage entry point: loads \p Path tolerating every failure mode
+/// a dead recording child can leave behind (torn tail, missing clean-close,
+/// missing file). Never throws, never aborts — a failed salvage is a
+/// verdict input, not an error. Honors the `ci.salvage_truncate` fault
+/// site: when armed, the last N (param, default 1) recovered segments are
+/// dropped after the scan, deterministically simulating a tear deeper than
+/// the one on disk.
+SalvageOutcome salvageRecording(const std::string &Path);
+
 /// Encoders for LIGHT002 segment payloads, shared by saveDurable() and the
 /// epoch recorder. Each appends one complete section to \p Out.
 void encodeSpanSection(std::vector<uint64_t> &Out, const DepSpan *Spans,

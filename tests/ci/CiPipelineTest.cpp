@@ -1,0 +1,240 @@
+//===- tests/ci/CiPipelineTest.cpp ----------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end verdicts of the resilient CI pipeline over the checked-in
+/// mini-corpus, plus the fault-injection property matrix: a recording
+/// child is SIGKILLed at every pipeline stage boundary and the verdict
+/// must land in the expected degraded class — never infra-error while a
+/// valid salvaged log prefix exists — and the summary JSON must always
+/// satisfy the light-ci-v1 validator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ci/CiOrchestrator.h"
+
+#include "support/BinaryIO.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+using namespace light;
+using namespace light::ci;
+
+namespace {
+
+std::string corpusPath(const char *Name) {
+  return std::string(LIGHT_TEST_CORPUS_DIR) + "/" + Name;
+}
+
+/// Fast pipeline knobs for unit tests: small search budgets, a small child
+/// instruction budget (so the spin corpus program exits via the in-child
+/// budget backstop instead of burning the watchdog deadline), and a
+/// throwaway artifact directory.
+CiOptions fastOpts() {
+  CiOptions O;
+  O.DeadlineSeconds = 10;
+  O.MaxInfraRetries = 2;
+  O.BackoffInitialSeconds = 0.001;
+  O.ExploreBudgetSeconds = 1.5;
+  O.Explore.PctSeeds = 300;
+  O.Explore.ScheduleBudget = 3000;
+  O.ChildInstructionBudget = 3000000;
+  O.InsituInstructionBudget = 100000;
+  O.ArtifactDir = makeTempPath("ci-test-artifacts");
+  return O;
+}
+
+/// Every per-program verdict must also serialize into a valid summary.
+void expectValidSummaryJson(const ProgramVerdict &PV) {
+  CorpusSummary S;
+  S.Strategy = "pct";
+  S.DeadlineSeconds = 10;
+  S.Programs.push_back(PV);
+  std::string Err = validateCiSummaryJson(ciSummaryToJson(S));
+  EXPECT_EQ(Err, "") << "summary JSON invalid for " << PV.Name;
+}
+
+class CiPipelineTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::Injector::global().reset(); }
+  void TearDown() override { fault::Injector::global().reset(); }
+};
+
+TEST_F(CiPipelineTest, CleanProgramPasses) {
+  ProgramVerdict PV = runProgramCi(corpusPath("clean_pair.mir"), fastOpts());
+  EXPECT_EQ(PV.What, Verdict::Pass) << PV.Why;
+  EXPECT_EQ(PV.Failure, FailureClass::None);
+  EXPECT_EQ(PV.Record.Attempts, 1u);
+  EXPECT_TRUE(PV.Explore.Ran);
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, RacyProgramReproducesOrFlakes) {
+  ProgramVerdict PV =
+      runProgramCi(corpusPath("racy_counter.mir"), fastOpts());
+  // The recording seed may or may not hit the race; both outcomes prove
+  // the pipeline worked end to end.
+  ASSERT_TRUE(PV.What == Verdict::Reproduced || PV.What == Verdict::Flaky)
+      << verdictName(PV.What) << ": " << PV.Why;
+  EXPECT_TRUE(PV.Verify.Reproduced);
+  ASSERT_FALSE(PV.Shrink.ReproPath.empty());
+  std::ifstream Repro(PV.Shrink.ReproPath);
+  EXPECT_TRUE(Repro.good()) << PV.Shrink.ReproPath;
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, HangingProgramYieldsVerifiedHangRepro) {
+  ProgramVerdict PV = runProgramCi(corpusPath("spin_hang.mir"), fastOpts());
+  EXPECT_EQ(PV.What, Verdict::Reproduced) << PV.Why;
+  EXPECT_EQ(PV.Failure, FailureClass::Hang);
+  EXPECT_TRUE(PV.Verify.Reproduced);
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, CrashFaultedProgramSalvagesThePrefix) {
+  // The corpus directive arms interp.thread_crash inside the recording
+  // child only; the crash is not reproducible in-situ, so the pipeline
+  // degrades to the salvaged durable prefix.
+  ProgramVerdict PV =
+      runProgramCi(corpusPath("crash_fault.mir"), fastOpts());
+  EXPECT_EQ(PV.What, Verdict::SalvagedPartial) << PV.Why;
+  EXPECT_EQ(PV.Failure, FailureClass::Crash);
+  EXPECT_TRUE(PV.Salvage.UsablePrefix);
+  EXPECT_EQ(PV.Record.Attempts, 1u); // program failures are never retried
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, KillMatrixNeverMisclassifiesSalvageableRuns) {
+  // SIGKILL the recording child at each pipeline stage boundary. With a
+  // kill before any durable write the verdict may be infra-error; once
+  // epochs (or the crash flush) hit the disk it must degrade to
+  // salvaged-partial — never infra-error with a usable prefix.
+  struct Case {
+    const char *Site;
+    bool ExpectUsablePrefix;
+  };
+  const Case Cases[] = {
+      {"ci.kill_child.start=1+", false}, // before the log exists
+      {"ci.kill_child.record=1+", true}, // after the run, epochs on disk
+      {"ci.kill_child.flush=1+", true},  // after finish/crash-flush
+  };
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(C.Site);
+    fault::Injector::global().reset();
+    ASSERT_EQ(fault::Injector::global().configure(C.Site), "");
+    ProgramVerdict PV =
+        runProgramCi(corpusPath("clean_pair.mir"), fastOpts());
+    // The invariant under test: infra-error and a usable prefix are
+    // mutually exclusive, in every kill scenario.
+    EXPECT_FALSE(PV.What == Verdict::InfraError && PV.Salvage.UsablePrefix)
+        << PV.Why;
+    EXPECT_EQ(PV.Salvage.UsablePrefix, C.ExpectUsablePrefix) << PV.Why;
+    EXPECT_EQ(PV.What, C.ExpectUsablePrefix ? Verdict::SalvagedPartial
+                                            : Verdict::InfraError)
+        << PV.Why;
+    EXPECT_EQ(PV.Record.Failure, FailureClass::Crash);
+    expectValidSummaryJson(PV);
+  }
+}
+
+TEST_F(CiPipelineTest, TransientSpawnFailureIsRetriedToSuccess) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.spawn_fail=1"), "");
+  ProgramVerdict PV = runProgramCi(corpusPath("clean_pair.mir"), fastOpts());
+  EXPECT_EQ(PV.What, Verdict::Pass) << PV.Why;
+  EXPECT_EQ(PV.Record.Attempts, 2u);
+  EXPECT_EQ(PV.InfraRetries, 1u);
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, PersistentSpawnFailureExhaustsRetries) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.spawn_fail=1+"), "");
+  CiOptions O = fastOpts();
+  O.MaxInfraRetries = 2;
+  ProgramVerdict PV = runProgramCi(corpusPath("clean_pair.mir"), O);
+  EXPECT_EQ(PV.What, Verdict::InfraError) << PV.Why;
+  EXPECT_EQ(PV.Failure, FailureClass::Infra);
+  EXPECT_EQ(PV.Record.Attempts, 3u); // first try + MaxInfraRetries
+  EXPECT_FALSE(PV.Explore.Ran);      // nothing to search: harness trouble
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, ExploreTimeoutDegradesGracefully) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.explore_timeout=1"), "");
+  ProgramVerdict PV =
+      runProgramCi(corpusPath("racy_counter.mir"), fastOpts());
+  EXPECT_TRUE(PV.Explore.TimedOut);
+  // Whatever the recording produced, the timeout means no verified repro;
+  // the crash-flushed prefix keeps this above infra-error.
+  EXPECT_TRUE(PV.What == Verdict::SalvagedPartial || PV.What == Verdict::Pass)
+      << verdictName(PV.What) << ": " << PV.Why;
+  EXPECT_NE(PV.What, Verdict::InfraError);
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, ShrinkTimeoutShipsUnshrunkRepro) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.shrink_timeout=1"), "");
+  ProgramVerdict PV =
+      runProgramCi(corpusPath("racy_counter.mir"), fastOpts());
+  if (PV.What == Verdict::Reproduced || PV.What == Verdict::Flaky) {
+    EXPECT_TRUE(PV.Shrink.TimedOut);
+    EXPECT_FALSE(PV.Shrink.Ran);
+    EXPECT_FALSE(PV.Shrink.ReproPath.empty());
+    // Unshrunk: the repro carries the full program.
+    EXPECT_EQ(PV.Shrink.ShrunkStatements, PV.Shrink.OriginalStatements);
+  }
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, VerifyDivergenceDowngradesToSalvagedPartial) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.verify_diverge=1"), "");
+  ProgramVerdict PV =
+      runProgramCi(corpusPath("racy_counter.mir"), fastOpts());
+  EXPECT_NE(PV.What, Verdict::Reproduced);
+  EXPECT_NE(PV.What, Verdict::Flaky);
+  EXPECT_NE(PV.What, Verdict::InfraError) << PV.Why;
+  if (PV.Verify.Ran)
+    EXPECT_TRUE(PV.Verify.Diverged);
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, WatchdogFireClassifiesAsHang) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.watchdog_fire=1"), "");
+  // The spinner with the full child budget runs long enough that the
+  // (instantly fault-fired) watchdog always wins the race with a natural
+  // exit; either ending classifies the record stage as a hang.
+  CiOptions O = fastOpts();
+  O.ChildInstructionBudget = 400000000ull;
+  ProgramVerdict PV = runProgramCi(corpusPath("spin_hang.mir"), O);
+  EXPECT_EQ(PV.Record.Failure, FailureClass::Hang);
+  EXPECT_TRUE(PV.Record.WatchdogFired);
+  EXPECT_NE(PV.What, Verdict::Pass);
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, CorpusSummaryAggregatesAndValidates) {
+  std::vector<std::string> Paths;
+  std::string Err;
+  ASSERT_TRUE(listCorpusDir(LIGHT_TEST_CORPUS_DIR, Paths, Err)) << Err;
+  ASSERT_EQ(Paths.size(), 4u);
+  CorpusSummary S = runCorpusCi(Paths, fastOpts());
+  EXPECT_EQ(S.Programs.size(), 4u);
+  EXPECT_TRUE(S.clean());
+  EXPECT_EQ(S.count(Verdict::Pass), 1u);
+  EXPECT_EQ(S.count(Verdict::SalvagedPartial), 1u);
+  EXPECT_GE(S.count(Verdict::Reproduced), 1u); // racy_counter may be flaky
+  EXPECT_EQ(validateCiSummaryJson(ciSummaryToJson(S)), "");
+}
+
+TEST_F(CiPipelineTest, ListCorpusDirRejectsMissingDirectory) {
+  std::vector<std::string> Paths;
+  std::string Err;
+  EXPECT_FALSE(listCorpusDir("/nonexistent-dir-for-ci-test", Paths, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

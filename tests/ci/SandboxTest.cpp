@@ -1,0 +1,111 @@
+//===- tests/ci/SandboxTest.cpp -------------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The fork sandbox underneath the CI record stage: exit-code passthrough,
+/// signal classification, the watchdog deadline kill (within the 2x bound
+/// the CI harness promises), and the injected spawn-failure edge.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ci/Sandbox.h"
+
+#include "support/FaultInjection.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include <unistd.h>
+
+using namespace light;
+using namespace light::ci;
+
+namespace {
+
+class SandboxTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::Injector::global().reset(); }
+  void TearDown() override { fault::Injector::global().reset(); }
+};
+
+TEST_F(SandboxTest, CleanExitPassesCodeThrough) {
+  SandboxOptions Opts;
+  Opts.DeadlineSeconds = 10;
+  SandboxResult R = runInSandbox(Opts, [] { return 0; });
+  EXPECT_EQ(R.End, SandboxEnd::Exited);
+  EXPECT_TRUE(R.exitedWith(0));
+  EXPECT_FALSE(R.WatchdogFired);
+}
+
+TEST_F(SandboxTest, NonzeroExitCodeSurvives) {
+  SandboxOptions Opts;
+  Opts.DeadlineSeconds = 10;
+  SandboxResult R = runInSandbox(Opts, [] { return 41; });
+  EXPECT_EQ(R.End, SandboxEnd::Exited);
+  EXPECT_EQ(R.ExitCode, 41);
+}
+
+TEST_F(SandboxTest, ChildDeathBySignalIsSignaled) {
+  SandboxOptions Opts;
+  Opts.DeadlineSeconds = 10;
+  SandboxResult R = runInSandbox(Opts, [] {
+    ::raise(SIGKILL);
+    return 0; // unreachable
+  });
+  EXPECT_EQ(R.End, SandboxEnd::Signaled);
+  EXPECT_EQ(R.Signal, SIGKILL);
+  EXPECT_FALSE(R.WatchdogFired);
+}
+
+TEST_F(SandboxTest, DeadlineKillsHangingChildWithinTwiceTheDeadline) {
+  SandboxOptions Opts;
+  Opts.DeadlineSeconds = 0.5;
+  Stopwatch Timer;
+  SandboxResult R = runInSandbox(Opts, [] {
+    for (;;)
+      ::usleep(50000);
+    return 0; // unreachable
+  });
+  double Elapsed = Timer.seconds();
+  EXPECT_EQ(R.End, SandboxEnd::DeadlineKilled);
+  EXPECT_TRUE(R.WatchdogFired);
+  EXPECT_EQ(R.Signal, SIGKILL);
+  // The harness promise: a watchdog-fired hang terminates within 2x the
+  // configured deadline (deadline + kill/reap slack).
+  EXPECT_LT(Elapsed, 2 * Opts.DeadlineSeconds);
+}
+
+TEST_F(SandboxTest, InjectedSpawnFailure) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.spawn_fail=1"), "");
+  SandboxOptions Opts;
+  SandboxResult R = runInSandbox(Opts, [] { return 0; });
+  EXPECT_EQ(R.End, SandboxEnd::SpawnFailed);
+  EXPECT_NE(R.Error.find("ci.spawn_fail"), std::string::npos);
+
+  // The site fires once; the next spawn succeeds — the retry story.
+  SandboxResult R2 = runInSandbox(Opts, [] { return 0; });
+  EXPECT_EQ(R2.End, SandboxEnd::Exited);
+  EXPECT_TRUE(R2.exitedWith(0));
+}
+
+TEST_F(SandboxTest, FaultStateInChildDoesNotLeakBack) {
+  // A site armed in the parent is inherited by the fork, but child-side
+  // hits must not advance the parent's counters.
+  ASSERT_EQ(fault::Injector::global().configure("io.open_fail=1"), "");
+  SandboxOptions Opts;
+  Opts.DeadlineSeconds = 10;
+  SandboxResult R = runInSandbox(Opts, [] {
+    // Consume the site in the child.
+    (void)fault::Injector::global().shouldFire("io.open_fail");
+    return 7;
+  });
+  EXPECT_TRUE(R.exitedWith(7));
+  // Still armed in the parent: the child's hit did not propagate back.
+  EXPECT_TRUE(fault::Injector::global().shouldFire("io.open_fail"));
+}
+
+} // namespace

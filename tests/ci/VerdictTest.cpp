@@ -1,0 +1,170 @@
+//===- tests/ci/VerdictTest.cpp -------------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The light-ci-v1 wire format: the writer's output satisfies its own deep
+/// validator, and the validator rejects structural damage, enum-domain
+/// violations, stale counts, and — the load-bearing one — the cross-field
+/// invariant that an infra-error verdict cannot coexist with a usable
+/// salvaged prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ci/Verdict.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::ci;
+
+namespace {
+
+ProgramVerdict passVerdict(const std::string &Name) {
+  ProgramVerdict PV;
+  PV.Name = Name;
+  PV.Path = "corpus/" + Name + ".mir";
+  PV.What = Verdict::Pass;
+  PV.Failure = FailureClass::None;
+  PV.Why = "recorded clean; no failing schedule within budget";
+  PV.Record.Outcome = "clean";
+  PV.Record.Attempts = 1;
+  PV.Record.ExitCode = 0;
+  PV.Explore.Ran = true;
+  PV.Explore.Strategy = "pct";
+  PV.Explore.SchedulesRun = 100;
+  return PV;
+}
+
+ProgramVerdict reproducedVerdict(const std::string &Name) {
+  ProgramVerdict PV = passVerdict(Name);
+  PV.What = Verdict::Reproduced;
+  PV.Failure = FailureClass::Bug;
+  PV.Why = "bug reproduced by a verified repro";
+  PV.Record.Outcome = "bug";
+  PV.Record.ExitCode = 40;
+  PV.Salvage.Attempted = true;
+  PV.Salvage.Loaded = true;
+  PV.Salvage.UsablePrefix = true;
+  PV.Explore.BugFound = true;
+  PV.Shrink.Ran = true;
+  PV.Shrink.OriginalStatements = 30;
+  PV.Shrink.ShrunkStatements = 12;
+  PV.Verify.Ran = true;
+  PV.Verify.Reproduced = true;
+  return PV;
+}
+
+CorpusSummary sampleSummary() {
+  CorpusSummary S;
+  S.Strategy = "pct";
+  S.DeadlineSeconds = 5;
+  S.Programs.push_back(passVerdict("clean"));
+  S.Programs.push_back(reproducedVerdict("racy"));
+  S.Seconds = 0.25;
+  return S;
+}
+
+/// Patches the first occurrence of \p From in \p Text with \p To.
+std::string patched(std::string Text, const std::string &From,
+                    const std::string &To) {
+  size_t Pos = Text.find(From);
+  EXPECT_NE(Pos, std::string::npos) << "patch target missing: " << From;
+  if (Pos != std::string::npos)
+    Text.replace(Pos, From.size(), To);
+  return Text;
+}
+
+TEST(VerdictNames, RoundTrip) {
+  EXPECT_STREQ(verdictName(Verdict::Pass), "pass");
+  EXPECT_STREQ(verdictName(Verdict::Flaky), "flaky");
+  EXPECT_STREQ(verdictName(Verdict::Reproduced), "reproduced");
+  EXPECT_STREQ(verdictName(Verdict::SalvagedPartial), "salvaged-partial");
+  EXPECT_STREQ(verdictName(Verdict::InfraError), "infra-error");
+  EXPECT_STREQ(failureClassName(FailureClass::None), "none");
+  EXPECT_STREQ(failureClassName(FailureClass::Infra), "infra");
+}
+
+TEST(CorpusSummaryCounts, CountAndClean) {
+  CorpusSummary S = sampleSummary();
+  EXPECT_EQ(S.count(Verdict::Pass), 1u);
+  EXPECT_EQ(S.count(Verdict::Reproduced), 1u);
+  EXPECT_EQ(S.count(Verdict::InfraError), 0u);
+  EXPECT_TRUE(S.clean());
+  S.Programs.front().What = Verdict::InfraError;
+  EXPECT_FALSE(S.clean());
+}
+
+TEST(CiJson, WriterOutputValidates) {
+  std::string Json = ciSummaryToJson(sampleSummary());
+  EXPECT_EQ(validateCiSummaryJson(Json), "");
+}
+
+TEST(CiJson, EmptyCorpusValidates) {
+  CorpusSummary S;
+  S.Strategy = "dfs";
+  EXPECT_EQ(validateCiSummaryJson(ciSummaryToJson(S)), "");
+}
+
+TEST(CiJson, RejectsGarbageAndWrongSchema) {
+  EXPECT_NE(validateCiSummaryJson("not json at all"), "");
+  EXPECT_NE(validateCiSummaryJson("{}"), "");
+  std::string Json = ciSummaryToJson(sampleSummary());
+  EXPECT_NE(validateCiSummaryJson(
+                patched(Json, "\"light-ci-v1\"", "\"light-ci-v2\"")),
+            "");
+}
+
+TEST(CiJson, RejectsUnknownVerdict) {
+  std::string Json = ciSummaryToJson(sampleSummary());
+  EXPECT_NE(validateCiSummaryJson(
+                patched(Json, "\"verdict\":\"pass\"",
+                        "\"verdict\":\"maybe\"")),
+            "");
+}
+
+TEST(CiJson, RejectsStaleCounts) {
+  // Flipping one program's verdict without touching the counts block must
+  // trip the count-consistency check.
+  std::string Json = ciSummaryToJson(sampleSummary());
+  std::string Broken = patched(Json, "\"verdict\":\"reproduced\"",
+                               "\"verdict\":\"salvaged-partial\"");
+  EXPECT_NE(validateCiSummaryJson(Broken), "");
+}
+
+TEST(CiJson, RejectsInfraErrorWithUsablePrefix) {
+  // The satellite invariant: infra-error is impossible while salvage holds
+  // a usable prefix.
+  CorpusSummary S;
+  ProgramVerdict PV = passVerdict("broken");
+  PV.What = Verdict::InfraError;
+  PV.Failure = FailureClass::Infra;
+  PV.Record.Outcome = "io-failed";
+  PV.Salvage.Attempted = true;
+  PV.Salvage.Loaded = true;
+  PV.Salvage.UsablePrefix = true;
+  S.Programs.push_back(PV);
+  std::string Err = validateCiSummaryJson(ciSummaryToJson(S));
+  EXPECT_NE(Err, "");
+  EXPECT_NE(Err.find("usable"), std::string::npos) << Err;
+}
+
+TEST(CiJson, RejectsReproducedWithoutVerification) {
+  CorpusSummary S;
+  ProgramVerdict PV = reproducedVerdict("racy");
+  PV.Verify.Reproduced = false;
+  PV.Verify.Diverged = true;
+  S.Programs.push_back(PV);
+  EXPECT_NE(validateCiSummaryJson(ciSummaryToJson(S)), "");
+}
+
+TEST(CiJson, RejectsZeroAttempts) {
+  CorpusSummary S;
+  ProgramVerdict PV = passVerdict("clean");
+  PV.Record.Attempts = 0;
+  S.Programs.push_back(PV);
+  EXPECT_NE(validateCiSummaryJson(ciSummaryToJson(S)), "");
+}
+
+} // namespace

@@ -235,4 +235,44 @@ TEST(CrashTolerance, InterpThreadCrashFaultReportsARuntimeError) {
   EXPECT_NE(R.Bug.Detail.find("interp.thread_crash"), std::string::npos);
 }
 
+TEST(CrashTolerance, SalvageTruncateFaultDropsTailSegments) {
+  // ci.salvage_truncate simulates a shorter surviving prefix at load time:
+  // the last N segments (companion param ci.salvage_truncate_segments) are
+  // discarded and the load is downgraded to a salvage. The CI pipeline
+  // uses this to test its degraded verdicts without real disk damage.
+  mir::Program Prog = lockedCounter(3, 6);
+  std::string Path = makeTempPath("crashtol-truncfault");
+  LightOptions Opts;
+  Opts.WriteToDisk = false;
+  Opts.EpochSpans = 2;
+  Opts.DurableLogPath = Path;
+  LightRecorder Rec(Opts);
+  Machine M(Prog, Rec);
+  Rec.attachRegistry(&M.registry());
+  M.seedEnvironment(1 ^ 0x5a5a);
+  RandomScheduler Sched(1);
+  M.run(Sched);
+  Rec.finish(&M.registry());
+
+  RecordingLog Whole;
+  LogLoadReport WholeReport;
+  ASSERT_TRUE(Whole.load(Path, WholeReport)) << WholeReport.Error;
+  ASSERT_TRUE(WholeReport.CleanClose);
+  ASSERT_GT(WholeReport.SegmentsRecovered, 1u);
+
+  fault::Injector &In = fault::Injector::global();
+  ASSERT_EQ(In.configure(
+                "ci.salvage_truncate=1,ci.salvage_truncate_segments=1"),
+            "");
+  RecordingLog Cut;
+  LogLoadReport CutReport;
+  ASSERT_TRUE(Cut.load(Path, CutReport)) << CutReport.Error;
+  In.reset();
+  EXPECT_FALSE(CutReport.CleanClose);
+  EXPECT_TRUE(CutReport.Salvaged);
+  EXPECT_EQ(CutReport.SegmentsRecovered + 1, WholeReport.SegmentsRecovered);
+  EXPECT_LE(Cut.Spans.size(), Whole.Spans.size());
+  std::remove(Path.c_str());
+}
+
 } // namespace

@@ -16,6 +16,10 @@
 
 #include "explore/ExplorationDriver.h"
 
+#include "analysis/SharedAccessAnalysis.h"
+#include "mir/Parser.h"
+#include "obs/Metrics.h"
+
 #include "bugs/BugHarness.h"
 
 #include <gtest/gtest.h>
@@ -87,4 +91,141 @@ TEST(Explore, DfsExhaustsTinySpaces) {
   ExploreReport R = exploreDfs(P, Opts);
   EXPECT_TRUE(R.SpaceExhausted);
   EXPECT_EQ(R.SchedulesRun, R.DistinctInterleavings);
+}
+
+namespace {
+
+/// Parses + shared-marks an inline MIR program.
+mir::Program parseInline(const char *Text) {
+  mir::ParseResult Parsed = mir::parseProgram(Text);
+  EXPECT_TRUE(Parsed.Ok) << Parsed.Error;
+  EXPECT_EQ(Parsed.Prog.verify(), "");
+  analysis::markSharedAccesses(Parsed.Prog);
+  return std::move(Parsed.Prog);
+}
+
+/// The classic two-lock inversion: t1 takes A then B, t2 takes B then A.
+/// Some interleavings deadlock, others complete.
+mir::Program lockInversion() {
+  return parseInline(R"(
+class Obj { x }
+global 0 lockA
+global 1 lockB
+func f0 t1(params=0, regs=2)
+  @0: getglobal r0, r0, #0
+  @1: getglobal r1, r1, #1
+  @2: monitorenter r0, r0, r0
+  @3: monitorenter r1, r1, r1
+  @4: monitorexit r1, r1, r1
+  @5: monitorexit r0, r0, r0
+  @6: ret _, r0, r0
+func f1 t2(params=0, regs=2)
+  @0: getglobal r0, r0, #0
+  @1: getglobal r1, r1, #1
+  @2: monitorenter r1, r1, r1
+  @3: monitorenter r0, r0, r0
+  @4: monitorexit r0, r0, r0
+  @5: monitorexit r1, r1, r1
+  @6: ret _, r0, r0
+func f2 main(params=0, regs=4) [entry]
+  @0: new r0, r0, #0
+  @1: putglobal r0, r0, #0
+  @2: new r1, r1, #0
+  @3: putglobal r1, r1, #1
+  @4: start r2, _, #0
+  @5: start r3, _, #1
+  @6: join r2, r0, r0
+  @7: join r3, r0, r0
+  @8: ret _, r0, r0
+)");
+}
+
+/// A spinner that never completes: every schedule exhausts the
+/// instruction budget.
+mir::Program foreverSpin() {
+  return parseInline(R"(
+class Flag { raised }
+global 0 flag
+func f0 spinner(params=0, regs=2)
+  @0: getglobal r0, r0, #0
+  @1: getfield r1, r0, #0
+  @2: br r1, @4, @3
+  @3: jmp @1
+  @4: ret _, r0, r0
+func f1 main(params=0, regs=3) [entry]
+  @0: new r0, r0, #0
+  @1: const r1, 0
+  @2: putfield r0, r1, #0
+  @3: putglobal r0, r0, #0
+  @4: start r2, _, #0
+  @5: join r2, r0, r0
+  @6: ret _, r0, r0
+)");
+}
+
+} // namespace
+
+TEST(Explore, DeadlockSchedulesAreCountedDistinctly) {
+  mir::Program P = lockInversion();
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  Opts.StopAtFirstBug = false;
+  Opts.ScheduleBudget = 20000;
+  uint64_t Before = obs::Registry::global().counter("explore.deadlocks").value();
+  ExploreReport R = exploreDfs(P, Opts);
+  // The inversion deadlocks under some schedules but not all: both
+  // tallies must be visible and disjoint from the hang count.
+  EXPECT_GT(R.Deadlocks, 0u);
+  EXPECT_LT(R.Deadlocks, R.SchedulesRun);
+  EXPECT_EQ(R.Hangs, 0u);
+  EXPECT_TRUE(R.BugFound); // a deadlock IS an application bug
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::Deadlock);
+  EXPECT_EQ(obs::Registry::global().counter("explore.deadlocks").value(),
+            Before + R.Deadlocks);
+
+  // Replaying the failing trace deadlocks again, deterministically.
+  ExplorationDriver Driver(P, Opts);
+  ScheduleRun Replay = Driver.runPrefix(R.FailingTrace);
+  EXPECT_EQ(Replay.Result.Bug.What, BugReport::Kind::Deadlock);
+}
+
+TEST(Explore, HangsAreCountedAndReportedUnderTreatHangAsBug) {
+  mir::Program P = foreverSpin();
+  ExploreOptions Opts;
+  Opts.PctSeeds = 10;
+  Opts.MaxInstructions = 5000; // every schedule spins into this budget
+  Opts.TreatHangAsBug = true;
+  uint64_t Before = obs::Registry::global().counter("explore.hangs").value();
+  ExploreReport R = explorePct(P, Opts);
+  ASSERT_TRUE(R.HangFound);
+  EXPECT_FALSE(R.BugFound); // a hang is not an application bug
+  EXPECT_EQ(R.SchedulesRun, 1u); // StopAtFirstBug covers hangs too
+  EXPECT_GE(R.Hangs, 1u);
+  EXPECT_FALSE(R.HangTrace.empty());
+  EXPECT_GT(obs::Registry::global().counter("explore.hangs").value(), Before);
+
+  // Without the flag the same search burns all seeds finding "nothing".
+  Opts.TreatHangAsBug = false;
+  ExploreReport R2 = explorePct(P, Opts);
+  EXPECT_FALSE(R2.HangFound);
+  EXPECT_EQ(R2.Hangs, R2.SchedulesRun);
+  // The measurement run is itself schedule #1, then PctSeeds change-point
+  // schedules follow.
+  EXPECT_EQ(R2.SchedulesRun, Opts.PctSeeds + 1);
+}
+
+TEST(Explore, WallBudgetTimesOutWithBestSoFar) {
+  mir::Program P = lockInversion();
+  ExploreOptions Opts;
+  Opts.StopAtFirstBug = false;
+  Opts.ScheduleBudget = 50000000ull; // far beyond what the wall allows
+  Opts.PctSeeds = 50000000ull;
+  Opts.WallBudgetSeconds = 0.02;
+  ExploreReport R = explorePct(P, Opts);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_LT(R.SchedulesRun, Opts.PctSeeds);
+  EXPECT_GT(R.SchedulesRun, 0u);
+  // Degradation contract: a timed-out search still hands back a concrete
+  // best-so-far schedule.
+  EXPECT_FALSE(R.BestTrace.empty());
 }

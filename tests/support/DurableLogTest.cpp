@@ -212,4 +212,35 @@ TEST(DurableLog, OpenFailureIsReported) {
   EXPECT_FALSE(W.writeSegment(payload(1, 2)));
 }
 
+TEST(DurableLog, ParentDirSyncFailureFailsTheWriter) {
+  // The header is only durable once the parent directory entry is synced;
+  // a failed dirsync must poison the writer like any other I/O error so
+  // the CI child reports it as a retryable infra failure.
+  fault::Injector &In = fault::Injector::global();
+  ASSERT_EQ(In.configure("io.dirsync_fail=1"), "");
+  std::string Path = makeTempPath("dlog-dirsync");
+  DurableLogWriter W(Path);
+  In.reset();
+  EXPECT_FALSE(W.ok());
+  EXPECT_NE(W.error().find("director"), std::string::npos) << W.error();
+  EXPECT_FALSE(W.writeSegment(payload(1, 2)));
+  std::remove(Path.c_str());
+}
+
+TEST(DurableLog, ParentDirSyncHappyPathStillRoundTrips) {
+  // Same sequence with the fault disarmed: the dirsync is invisible.
+  std::string Path = makeTempPath("dlog-dirsync-ok");
+  {
+    DurableLogWriter W(Path);
+    ASSERT_TRUE(W.ok()) << W.error();
+    ASSERT_TRUE(W.writeSegment(payload(4, 3)));
+    ASSERT_TRUE(W.closeClean());
+  }
+  SegmentScan Scan = scanDurableLog(Path);
+  EXPECT_TRUE(Scan.HeaderOk);
+  EXPECT_TRUE(Scan.Clean);
+  ASSERT_EQ(Scan.Segments.size(), 1u);
+  std::remove(Path.c_str());
+}
+
 } // namespace

@@ -1,0 +1,112 @@
+//===- tests/support/WatchdogTest.cpp -------------------------------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The monotonic watchdog behind the CI sandbox: deadline fire, no-progress
+/// fire, kick() keeping a live stage alive, cancel() suppressing the fire,
+/// and the deterministic ci.watchdog_fire fault edge.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Watchdog.h"
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace light;
+
+namespace {
+
+void sleepSeconds(double S) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(S));
+}
+
+class WatchdogTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::Injector::global().reset(); }
+  void TearDown() override { fault::Injector::global().reset(); }
+};
+
+TEST_F(WatchdogTest, DeadlineFires) {
+  std::atomic<int> Fires{0};
+  Watchdog::Options Opts;
+  Opts.DeadlineSeconds = 0.05;
+  Opts.OnFire = [&Fires] { ++Fires; };
+  Watchdog Dog(Opts);
+  for (int I = 0; I < 100 && !Dog.fired(); ++I)
+    sleepSeconds(0.02);
+  EXPECT_TRUE(Dog.fired());
+  EXPECT_EQ(Dog.reason(), Watchdog::FireReason::Deadline);
+  EXPECT_EQ(Fires.load(), 1);
+  // cancel() after a fire is a safe no-op.
+  Dog.cancel();
+  EXPECT_TRUE(Dog.fired());
+}
+
+TEST_F(WatchdogTest, CancelPreventsFire) {
+  std::atomic<int> Fires{0};
+  Watchdog::Options Opts;
+  Opts.DeadlineSeconds = 0.1;
+  Opts.OnFire = [&Fires] { ++Fires; };
+  {
+    Watchdog Dog(Opts);
+    Dog.cancel();
+    sleepSeconds(0.25);
+    EXPECT_FALSE(Dog.fired());
+  }
+  EXPECT_EQ(Fires.load(), 0);
+}
+
+TEST_F(WatchdogTest, DestructionWithoutFireStopsThread) {
+  std::atomic<int> Fires{0};
+  {
+    Watchdog::Options Opts;
+    Opts.DeadlineSeconds = 30;
+    Opts.OnFire = [&Fires] { ++Fires; };
+    Watchdog Dog(Opts);
+  } // destructor must join the thread without firing
+  EXPECT_EQ(Fires.load(), 0);
+}
+
+TEST_F(WatchdogTest, KickKeepsNoProgressWindowOpen) {
+  std::atomic<int> Fires{0};
+  Watchdog::Options Opts;
+  Opts.NoProgressSeconds = 0.2;
+  Opts.OnFire = [&Fires] { ++Fires; };
+  Watchdog Dog(Opts);
+  // Keep kicking well inside the window: no fire.
+  for (int I = 0; I < 6; ++I) {
+    sleepSeconds(0.05);
+    Dog.kick();
+  }
+  EXPECT_FALSE(Dog.fired());
+  // Stop kicking: the no-progress timer must now expire.
+  for (int I = 0; I < 200 && !Dog.fired(); ++I)
+    sleepSeconds(0.02);
+  EXPECT_TRUE(Dog.fired());
+  EXPECT_EQ(Dog.reason(), Watchdog::FireReason::NoProgress);
+  EXPECT_EQ(Fires.load(), 1);
+}
+
+TEST_F(WatchdogTest, InjectedFireIsImmediateAndAttributed) {
+  ASSERT_EQ(fault::Injector::global().configure("ci.watchdog_fire=1"), "");
+  std::atomic<int> Fires{0};
+  Watchdog::Options Opts;
+  Opts.DeadlineSeconds = 60; // far away: only the fault can fire it
+  Opts.OnFire = [&Fires] { ++Fires; };
+  Watchdog Dog(Opts);
+  for (int I = 0; I < 100 && !Dog.fired(); ++I)
+    sleepSeconds(0.01);
+  EXPECT_TRUE(Dog.fired());
+  EXPECT_EQ(Dog.reason(), Watchdog::FireReason::FaultInjected);
+  EXPECT_EQ(Fires.load(), 1);
+}
+
+} // namespace

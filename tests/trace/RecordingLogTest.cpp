@@ -120,3 +120,23 @@ TEST(DepSpan, PrettyPrints) {
   S.Kind = SpanKind::Read;
   EXPECT_EQ(S.str(), "var1: (t1,2) -> (t2,3) .. 8");
 }
+
+// --- salvageRecording: the CI pipeline's salvage predicate ------------------
+
+TEST(SalvageRecording, MissingFileIsNotLoaded) {
+  SalvageOutcome S = salvageRecording(makeTempPath("no-such-recording"));
+  EXPECT_FALSE(S.Loaded);
+  EXPECT_FALSE(S.UsablePrefix);
+  EXPECT_FALSE(S.Error.empty());
+}
+
+TEST(SalvageRecording, CleanSaveIsUsable) {
+  RecordingLog Log = sampleLog();
+  std::string Path = makeTempPath("salvage-clean");
+  ASSERT_GT(Log.save(Path), 0u);
+  SalvageOutcome S = salvageRecording(Path);
+  EXPECT_TRUE(S.Loaded) << S.Error;
+  EXPECT_TRUE(S.UsablePrefix);
+  ASSERT_EQ(S.Log.Spans.size(), sampleLog().Spans.size());
+  std::remove(Path.c_str());
+}

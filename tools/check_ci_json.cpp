@@ -1,0 +1,181 @@
+//===- tools/check_ci_json.cpp - light-ci-v1 schema validator --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Validates a `light-replay ci --ci-json` summary against the light-ci-v1
+/// schema and, optionally, against expected per-program verdicts:
+///
+///   check_ci_json summary.json \
+///       clean_pair=pass racy_counter=reproduced|flaky \
+///       spin_hang=reproduced crash_fault=salvaged-partial \
+///       --min-speedup 10
+///
+/// Each `name=verdict` positional asserts the named program's verdict;
+/// `|`-separated alternatives accept either (a recording seed that happens
+/// to hit a race yields `reproduced` where a clean recording yields
+/// `flaky` — both prove the pipeline worked). `--min-speedup N` asserts
+/// that at least one program ran calibration and its in-situ fast path
+/// beat the fork path by at least N×.
+///
+/// The deep structural validation is ci::validateCiSummaryJson — the same
+/// routine the CI orchestrator self-checks with and the ctest suites call,
+/// so the checker cannot drift from the writer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ci/Verdict.h"
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace light;
+using namespace light::obs;
+
+namespace {
+
+int fail(const std::string &Path, const std::string &Why) {
+  std::fprintf(stderr, "%s: FAIL: %s\n", Path.c_str(), Why.c_str());
+  return 1;
+}
+
+/// One `name=verdict[|verdict...]` expectation.
+struct Expect {
+  std::string Name;
+  std::vector<std::string> Allowed;
+};
+
+bool parseExpect(const std::string &Arg, Expect &Out) {
+  size_t Eq = Arg.find('=');
+  if (Eq == std::string::npos || Eq == 0 || Eq + 1 >= Arg.size())
+    return false;
+  Out.Name = Arg.substr(0, Eq);
+  Out.Allowed.clear();
+  std::string Rest = Arg.substr(Eq + 1);
+  size_t Pos = 0;
+  while (Pos <= Rest.size()) {
+    size_t Bar = Rest.find('|', Pos);
+    std::string V = Rest.substr(Pos, Bar == std::string::npos
+                                         ? std::string::npos
+                                         : Bar - Pos);
+    if (V.empty())
+      return false;
+    Out.Allowed.push_back(V);
+    if (Bar == std::string::npos)
+      break;
+    Pos = Bar + 1;
+  }
+  return !Out.Allowed.empty();
+}
+
+const JsonValue *findProgram(const JsonValue &Programs,
+                             const std::string &Name) {
+  for (const JsonValue &P : Programs.Items) {
+    const JsonValue *N = P.find("name");
+    if (N && N->What == JsonValue::Kind::String && N->Str == Name)
+      return &P;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path;
+  std::vector<Expect> Expects;
+  double MinSpeedup = 0;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--min-speedup") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --min-speedup wants a number\n");
+        return 2;
+      }
+      MinSpeedup = std::strtod(argv[++I], nullptr);
+      continue;
+    }
+    Expect E;
+    if (std::strchr(argv[I], '=') && parseExpect(argv[I], E)) {
+      Expects.push_back(E);
+      continue;
+    }
+    if (!Path.empty()) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", argv[I]);
+      return 2;
+    }
+    Path = argv[I];
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr,
+                 "usage: check_ci_json <summary.json> [name=verdict|alt...]"
+                 " [--min-speedup N]\n");
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In)
+    return fail(Path, "cannot open file");
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  // The one true validator: structure, enum domains, count consistency,
+  // and the cross-field invariants.
+  std::string Invalid = ci::validateCiSummaryJson(Text);
+  if (!Invalid.empty())
+    return fail(Path, Invalid);
+
+  JsonParseResult Parsed = parseJson(Text);
+  const JsonValue &Root = Parsed.Value; // validated above; parse succeeds
+  const JsonValue &Programs = *Root.find("programs");
+
+  int Rc = 0;
+  for (const Expect &E : Expects) {
+    const JsonValue *P = findProgram(Programs, E.Name);
+    if (!P) {
+      Rc |= fail(Path, "no program named \"" + E.Name + "\" in summary");
+      continue;
+    }
+    const std::string &Got = P->find("verdict")->Str;
+    bool Ok = false;
+    for (const std::string &A : E.Allowed)
+      Ok |= Got == A;
+    if (!Ok) {
+      std::string Want;
+      for (const std::string &A : E.Allowed)
+        Want += (Want.empty() ? "" : "|") + A;
+      Rc |= fail(Path, "program \"" + E.Name + "\": verdict \"" + Got +
+                           "\", expected " + Want);
+    }
+  }
+
+  if (MinSpeedup > 0) {
+    double Best = 0;
+    bool AnyRan = false;
+    for (const JsonValue &P : Programs.Items) {
+      const JsonValue *Cal = P.find("calibration");
+      if (!Cal || !Cal->find("ran")->B)
+        continue;
+      AnyRan = true;
+      Best = std::max(Best, Cal->find("insitu_speedup")->Num);
+    }
+    if (!AnyRan)
+      Rc |= fail(Path, "--min-speedup given but no program ran calibration");
+    else if (Best < MinSpeedup)
+      Rc |= fail(Path, "best in-situ speedup " + std::to_string(Best) +
+                           "x is below the required " +
+                           std::to_string(MinSpeedup) + "x");
+  }
+
+  if (Rc == 0)
+    std::printf("%s: OK (%zu programs, %zu expectation(s)%s)\n", Path.c_str(),
+                Programs.Items.size(), Expects.size(),
+                MinSpeedup > 0 ? ", speedup checked" : "");
+  return Rc;
+}

@@ -76,6 +76,7 @@
 
 #include "analysis/SharedAccessAnalysis.h"
 #include "bugs/BugHarness.h"
+#include "ci/CiOrchestrator.h"
 #include "explore/CrossEngineOracle.h"
 #include "explore/ExplorationDriver.h"
 #include "explore/ProgramShrinker.h"
@@ -98,6 +99,7 @@
 #include <optional>
 #include <sstream>
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -129,6 +131,10 @@ int usage() {
       "  explore <bug|file.mir>               search the schedule space "
       "for a\n"
       "                                       failing interleaving\n"
+      "  ci <corpus-dir|file.mir...>          resilient corpus pipeline:\n"
+      "                                       sandboxed record -> salvage "
+      "->\n"
+      "                                       explore -> shrink -> verify\n"
       "flags (any position, any subcommand):\n"
       "  --z3                   use the Z3 solver backend\n"
       "  --no-verify            skip record's solve+replay verification\n"
@@ -152,7 +158,16 @@ int usage() {
       "  --oracle               cross-engine differential oracle on the\n"
       "                         failing (or default) schedule\n"
       "  --shrink               ddmin-minimize the failure, dump a repro\n"
-      "  --repro-out <file>     repro path (default <target>.repro.mir)\n");
+      "  --repro-out <file>     repro path (default <target>.repro.mir)\n"
+      "ci flags:\n"
+      "  --ci-json <file>       write the light-ci-v1 summary JSON\n"
+      "  --ci-artifacts <dir>   durable logs + repros land here\n"
+      "  --ci-deadline <sec>    per-child watchdog deadline (default 5)\n"
+      "  --ci-retries <N>       max infra-failure retries (default 2)\n"
+      "  --ci-seed <N>          recording seed (default 1)\n"
+      "  --ci-explore-budget <sec>\n"
+      "                         in-situ search wall budget (default 2)\n"
+      "  --ci-calibration       measure fork-vs-in-situ throughput\n");
   return 2;
 }
 
@@ -514,8 +529,10 @@ int main(int argc, char **argv) {
       argc, argv,
       {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault",
        "solver-shards", "explore", "preemption-bound", "pct-depth", "seeds",
-       "budget", "repro-out", "progress"},
-      {"z3", "no-verify", "oracle", "shrink"}, /*Begin=*/2);
+       "budget", "repro-out", "progress", "ci-json", "ci-artifacts",
+       "ci-deadline", "ci-retries", "ci-seed", "ci-explore-budget"},
+      {"z3", "no-verify", "oracle", "shrink", "ci-calibration"},
+      /*Begin=*/2);
   for (const std::string &F : Args.unknown())
     std::fprintf(stderr, "error: unknown flag '%s'\n", F.c_str());
   if (!Args.unknown().empty())
@@ -603,6 +620,96 @@ int main(int argc, char **argv) {
     printLoadReport(Report);
     std::printf("%s", Log.str().c_str());
     return Finish(0);
+  }
+
+  if (Cmd == "ci") {
+    // The resilient corpus pipeline: the target is a corpus directory (its
+    // *.mir files, sorted) or an explicit list of program files.
+    ci::CiOptions CO;
+    CO.DeadlineSeconds =
+        std::strtod(Args.get("ci-deadline", "5").c_str(), nullptr);
+    if (CO.DeadlineSeconds <= 0) {
+      std::fprintf(stderr, "error: --ci-deadline wants a positive number "
+                           "of seconds\n");
+      return Finish(2);
+    }
+    CO.MaxInfraRetries = static_cast<uint32_t>(
+        std::strtoul(Args.get("ci-retries", "2").c_str(), nullptr, 10));
+    CO.RecordSeed =
+        std::strtoull(Args.get("ci-seed", "1").c_str(), nullptr, 10);
+    CO.ExploreBudgetSeconds =
+        std::strtod(Args.get("ci-explore-budget", "2").c_str(), nullptr);
+    CO.Strategy = Args.get("explore", "pct", "pct");
+    CO.Explore.PreemptionBound = static_cast<uint32_t>(
+        std::strtoul(Args.get("preemption-bound", "2").c_str(), nullptr, 10));
+    CO.Explore.PctDepth = static_cast<uint32_t>(
+        std::strtoul(Args.get("pct-depth", "3").c_str(), nullptr, 10));
+    CO.Explore.PctSeeds =
+        std::strtoull(Args.get("seeds", "1000").c_str(), nullptr, 10);
+    CO.Explore.ScheduleBudget =
+        std::strtoull(Args.get("budget", "50000").c_str(), nullptr, 10);
+    CO.ArtifactDir = Args.get("ci-artifacts", "", "");
+    CO.Calibrate = Args.has("ci-calibration");
+    if (Epochs.Spans)
+      CO.EpochSpans = Epochs.Spans;
+
+    std::vector<std::string> Paths;
+    struct stat St;
+    if (::stat(Target.c_str(), &St) == 0 && S_ISDIR(St.st_mode)) {
+      std::string Err;
+      if (!ci::listCorpusDir(Target, Paths, Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return Finish(1);
+      }
+      if (Paths.empty()) {
+        std::fprintf(stderr, "error: no .mir files in '%s'\n",
+                     Target.c_str());
+        return Finish(1);
+      }
+    } else {
+      for (size_t I = 0; I < Args.size(); ++I)
+        Paths.push_back(Args.positional(I));
+    }
+
+    ci::CorpusSummary Summary = ci::runCorpusCi(Paths, CO);
+    for (const ci::ProgramVerdict &PV : Summary.Programs)
+      std::printf("%-20s %-16s %s\n", PV.Name.c_str(),
+                  ci::verdictName(PV.What), PV.Why.c_str());
+    std::printf("ci: %zu program(s): %llu pass, %llu flaky, %llu "
+                "reproduced, %llu salvaged-partial, %llu infra-error "
+                "(%.2fs)\n",
+                Summary.Programs.size(),
+                static_cast<unsigned long long>(
+                    Summary.count(ci::Verdict::Pass)),
+                static_cast<unsigned long long>(
+                    Summary.count(ci::Verdict::Flaky)),
+                static_cast<unsigned long long>(
+                    Summary.count(ci::Verdict::Reproduced)),
+                static_cast<unsigned long long>(
+                    Summary.count(ci::Verdict::SalvagedPartial)),
+                static_cast<unsigned long long>(
+                    Summary.count(ci::Verdict::InfraError)),
+                Summary.Seconds);
+
+    std::string Json = ci::ciSummaryToJson(Summary);
+    std::string JsonPath = Args.get("ci-json", "", "ci.json");
+    if (!JsonPath.empty()) {
+      std::ofstream Out(JsonPath, std::ios::trunc);
+      Out << Json;
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+        return Finish(1);
+      }
+      std::printf("ci summary -> %s\n", JsonPath.c_str());
+    }
+    // Self-check: the emitted document must satisfy its own validator.
+    std::string Invalid = ci::validateCiSummaryJson(Json);
+    if (!Invalid.empty()) {
+      std::fprintf(stderr, "error: emitted ci summary fails validation: %s\n",
+                   Invalid.c_str());
+      return Finish(1);
+    }
+    return Finish(Summary.clean() ? 0 : 1);
   }
 
   std::optional<mir::Program> Prog = loadProgram(Target);
