@@ -34,9 +34,9 @@ int main(int argc, char **argv) {
   std::printf("Paper reference: Light records ~10%% of Leap's volume on "
               "average.\n\n");
 
-  Table T({"benchmark", "suite", "light (K)", "leap (K)", "stride (K)",
-           "light/leap"});
-  std::vector<double> LightK, LeapK, StrideK;
+  Table T({"benchmark", "suite", "light (K)", "light3 (K)", "leap (K)",
+           "stride (K)", "light/leap", "light3 zip"});
+  std::vector<double> LightK, Light3K, LeapK, StrideK, Zip;
   obs::BenchReport Report("fig5_space");
 
   for (const WorkloadSpec &Spec : paperWorkloads()) {
@@ -46,19 +46,26 @@ int main(int argc, char **argv) {
     Measurement P = runWorkload(Spec, Scheme::Leap);
     Measurement S = runWorkload(Spec, Scheme::Stride);
     double LK = L.SpaceLongs / 1000.0;
+    double L3K = L.CompactLongs / 1000.0;
     double PK = P.SpaceLongs / 1000.0;
     double SK = S.SpaceLongs / 1000.0;
     LightK.push_back(LK);
+    Light3K.push_back(L3K);
     LeapK.push_back(PK);
     StrideK.push_back(SK);
-    T.addRow({Spec.Name, Spec.Suite, Table::fmt(LK, 1), Table::fmt(PK, 1),
-              Table::fmt(SK, 1), Table::fmt(LK / PK, 3)});
+    // Compression of the identical log: LIGHT001 longs / LIGHT003 longs.
+    Zip.push_back(L3K > 0 ? LK / L3K : 0);
+    T.addRow({Spec.Name, Spec.Suite, Table::fmt(LK, 1), Table::fmt(L3K, 1),
+              Table::fmt(PK, 1), Table::fmt(SK, 1), Table::fmt(LK / PK, 3),
+              Table::fmt(Zip.back(), 1) + "x"});
     Report.row()
         .set("benchmark", Spec.Name)
         .set("suite", Spec.Suite)
         .set("light_klongs", LK)
+        .set("light003_klongs", L3K)
         .set("leap_klongs", PK)
-        .set("stride_klongs", SK);
+        .set("stride_klongs", SK)
+        .set("light003_compression", Zip.back());
     std::fflush(stdout);
   }
   std::printf("%s\n", T.render().c_str());
@@ -82,18 +89,25 @@ int main(int argc, char **argv) {
   bool ShapeHolds = SL.Average < SP.Average && SL.Average < SS.Average;
   std::printf("Shape check (Light far below both baselines): %s\n",
               ShapeHolds ? "HOLDS" : "VIOLATED");
+  Summary SZ = summarize(Zip);
+  std::printf("LIGHT003 compression vs LIGHT001 (worst workload): %.2fx -> "
+              ">=3x %s\n",
+              SZ.Minimum, SZ.Minimum >= 3.0 ? "HOLDS" : "VIOLATED");
+  bool Compresses = SZ.Minimum >= 3.0;
 
   if (Args.has("json")) {
     Report.aggregate("light_avg_klongs", SL.Average);
+    Report.aggregate("light003_avg_klongs", summarize(Light3K).Average);
     Report.aggregate("leap_avg_klongs", SP.Average);
     Report.aggregate("stride_avg_klongs", SS.Average);
     Report.aggregate("light_leap_ratio", Ratio);
-    Report.ok(ShapeHolds);
+    Report.aggregate("light003_compression_min", SZ.Minimum);
+    Report.ok(ShapeHolds && Compresses);
     Report.withMetrics();
     if (!Report.write(Args.get("json")))
       return 1;
   }
   if (!Only.empty())
     return 0;
-  return ShapeHolds ? 0 : 1;
+  return ShapeHolds && Compresses ? 0 : 1;
 }

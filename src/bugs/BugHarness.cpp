@@ -85,7 +85,7 @@ ToolAttempt light::bugs::lightReproduce(const BugBenchmark &Bench,
     Phase.arg("spans", Log.Spans.size());
   }
   Out.RecordSeconds = RecordTimer.seconds();
-  Out.SpaceLongs = Rec.longIntegersRecorded();
+  Out.SpaceLongs = Log.spaceLongs();
   Out.BugFound = Recorded.Bug.happened();
   if (!Out.BugFound) {
     Out.Note = "bug did not manifest under this seed";

@@ -36,21 +36,8 @@ using namespace light;
 
 namespace {
 
-struct SpanVars {
-  const DepSpan *S;
-  smt::Var Src = ~0u;   ///< valid when S->Src.valid()
-  smt::Var First = 0;
-  smt::Var Last = 0;
-
-  bool readOnly() const { return S->Kind != SpanKind::Own; }
-  bool hasWrites() const { return S->Kind == SpanKind::Own; }
-
-  /// The order variable at which this span's interval begins.
-  smt::Var startVar() const { return S->Src.valid() ? Src : First; }
-};
-
 /// True when \p Consumer's source write lies inside \p Own (rule R3).
-bool sourceInside(const SpanVars &Consumer, const SpanVars &Own) {
+bool sourceInside(const SpanVarRefs &Consumer, const SpanVarRefs &Own) {
   if (!Own.hasWrites() || !Consumer.S->Src.valid())
     return false;
   const AccessId &Src = Consumer.S->Src;
@@ -59,6 +46,63 @@ bool sourceInside(const SpanVars &Consumer, const SpanVars &Own) {
 }
 
 } // namespace
+
+void light::emitSpanPairConstraints(smt::OrderSystem &Sys,
+                                    const SpanVarRefs &A,
+                                    const SpanVarRefs &B) {
+  bool SameSrc = A.S->Src.valid() == B.S->Src.valid() &&
+                 (!A.S->Src.valid() || A.S->Src == B.S->Src);
+
+  // R1: shared source, read-only on both sides.
+  if (SameSrc && A.readOnly() && B.readOnly())
+    return;
+
+  // R2: shared *valid* source, exactly one side writes.
+  if (SameSrc && A.S->Src.valid() && A.readOnly() != B.readOnly()) {
+    const SpanVarRefs &Reader = A.readOnly() ? A : B;
+    const SpanVarRefs &Writer = A.readOnly() ? B : A;
+    Sys.addLess(Reader.Last, Writer.First);
+    return;
+  }
+
+  // R3: a consumer whose source lies inside the other (own) span.
+  if (sourceInside(A, B) || sourceInside(B, A)) {
+    const SpanVarRefs &Own = sourceInside(A, B) ? B : A;
+    const SpanVarRefs &Consumer = sourceInside(A, B) ? A : B;
+    if (Consumer.hasWrites())
+      Sys.addLess(Own.Last, Consumer.First);
+    return;
+  }
+
+  // R4: init reads precede every write-implying span.
+  if (A.S->Kind == SpanKind::Init || B.S->Kind == SpanKind::Init) {
+    const SpanVarRefs &Init = A.S->Kind == SpanKind::Init ? A : B;
+    const SpanVarRefs &Other = A.S->Kind == SpanKind::Init ? B : A;
+    // Other is not Init (both-Init hits R1) and therefore contains or
+    // depends on a write.
+    Sys.addLess(Init.Last, Other.startVar());
+    return;
+  }
+
+  // R5: both intervals fully owned by one thread's chain.
+  if (A.S->Thread == B.S->Thread &&
+      (!A.S->Src.valid() || A.S->Src.Thread == A.S->Thread) &&
+      (!B.S->Src.valid() || B.S->Src.Thread == B.S->Thread))
+    return;
+
+  // R6: interval disjointness (Equation 1 generalized). A frozen source
+  // kills the disjunct that would place the other span before it; the
+  // survivor becomes a hard constraint (stronger than the clause, sound).
+  if (A.SrcFrozen && A.S->Src.valid() && !(B.SrcFrozen && B.S->Src.valid())) {
+    Sys.addLess(A.Last, B.startVar());
+    return;
+  }
+  if (B.SrcFrozen && B.S->Src.valid() && !(A.SrcFrozen && A.S->Src.valid())) {
+    Sys.addLess(B.Last, A.startVar());
+    return;
+  }
+  Sys.addEitherLess(A.Last, B.startVar(), B.Last, A.startVar());
+}
 
 ScheduleProblem light::buildScheduleProblem(const RecordingLog &Log) {
   ScheduleProblem P;
@@ -73,9 +117,9 @@ ScheduleProblem light::buildScheduleProblem(const RecordingLog &Log) {
   };
 
   // 1. Order variables for every recorded access, grouped per location.
-  std::unordered_map<LocationId, std::vector<SpanVars>> ByLoc;
+  std::unordered_map<LocationId, std::vector<SpanVarRefs>> ByLoc;
   for (const DepSpan &S : Log.Spans) {
-    SpanVars SV;
+    SpanVarRefs SV;
     SV.S = &S;
     if (S.Src.valid())
       SV.Src = GetVar(S.Src);
@@ -120,61 +164,15 @@ ScheduleProblem light::buildScheduleProblem(const RecordingLog &Log) {
     Locs.push_back(Entry.first);
   std::sort(Locs.begin(), Locs.end());
   for (LocationId Loc : Locs) {
-    std::vector<SpanVars> &Spans = ByLoc[Loc];
+    std::vector<SpanVarRefs> &Spans = ByLoc[Loc];
     // Single-dependence constraints: O(c_w) < O(c_r).
-    for (const SpanVars &SV : Spans)
+    for (const SpanVarRefs &SV : Spans)
       if (SV.S->Src.valid())
         P.System.addLess(SV.Src, SV.First);
 
-    for (size_t I = 0; I < Spans.size(); ++I) {
-      for (size_t J = I + 1; J < Spans.size(); ++J) {
-        const SpanVars &A = Spans[I];
-        const SpanVars &B = Spans[J];
-
-        bool SameSrc = A.S->Src.valid() == B.S->Src.valid() &&
-                       (!A.S->Src.valid() || A.S->Src == B.S->Src);
-
-        // R1: shared source, read-only on both sides.
-        if (SameSrc && A.readOnly() && B.readOnly())
-          continue;
-
-        // R2: shared *valid* source, exactly one side writes.
-        if (SameSrc && A.S->Src.valid() && A.readOnly() != B.readOnly()) {
-          const SpanVars &Reader = A.readOnly() ? A : B;
-          const SpanVars &Writer = A.readOnly() ? B : A;
-          P.System.addLess(Reader.Last, Writer.First);
-          continue;
-        }
-
-        // R3: a consumer whose source lies inside the other (own) span.
-        if (sourceInside(A, B) || sourceInside(B, A)) {
-          const SpanVars &Own = sourceInside(A, B) ? B : A;
-          const SpanVars &Consumer = sourceInside(A, B) ? A : B;
-          if (Consumer.hasWrites())
-            P.System.addLess(Own.Last, Consumer.First);
-          continue;
-        }
-
-        // R4: init reads precede every write-implying span.
-        if (A.S->Kind == SpanKind::Init || B.S->Kind == SpanKind::Init) {
-          const SpanVars &Init = A.S->Kind == SpanKind::Init ? A : B;
-          const SpanVars &Other = A.S->Kind == SpanKind::Init ? B : A;
-          // Other is not Init (both-Init hits R1) and therefore contains or
-          // depends on a write.
-          P.System.addLess(Init.Last, Other.startVar());
-          continue;
-        }
-
-        // R5: both intervals fully owned by one thread's chain.
-        if (A.S->Thread == B.S->Thread &&
-            (!A.S->Src.valid() || A.S->Src.Thread == A.S->Thread) &&
-            (!B.S->Src.valid() || B.S->Src.Thread == B.S->Thread))
-          continue;
-
-        // R6: interval disjointness (Equation 1 generalized).
-        P.System.addEitherLess(A.Last, B.startVar(), B.Last, A.startVar());
-      }
-    }
+    for (size_t I = 0; I < Spans.size(); ++I)
+      for (size_t J = I + 1; J < Spans.size(); ++J)
+        emitSpanPairConstraints(P.System, Spans[I], Spans[J]);
   }
 
   // Component metadata for sharded solving: which variables can interact.

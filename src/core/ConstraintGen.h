@@ -52,6 +52,46 @@ struct ScheduleProblem {
 /// Builds the constraint system for \p Log.
 ScheduleProblem buildScheduleProblem(const RecordingLog &Log);
 
+/// One span with its order variables — the operand of the pairwise
+/// noninterference rules R1-R6 (derivation in ConstraintGen.cpp). Shared
+/// between the monolithic builder above and the windowed incremental
+/// builder (core/WindowedSchedule.h), which must emit bit-identical
+/// in-window constraints.
+struct SpanVarRefs {
+  const DepSpan *S = nullptr;
+  smt::Var Src = ~0u; ///< valid when S->Src.valid() && !SrcFrozen
+  smt::Var First = 0;
+  smt::Var Last = 0;
+
+  /// Windowed builds only: the span's source write belongs to an
+  /// already-frozen window, so it has a final order value *below* every
+  /// variable of the current window and no Var in this system. The
+  /// monolithic builder always leaves this false.
+  bool SrcFrozen = false;
+
+  bool readOnly() const { return S->Kind != SpanKind::Own; }
+  bool hasWrites() const { return S->Kind == SpanKind::Own; }
+
+  /// The order variable at which this span's interval begins. With a
+  /// frozen source the interval start is pinned below the window; First is
+  /// the nearest in-system variable.
+  smt::Var startVar() const {
+    return S->Src.valid() && !SrcFrozen ? Src : First;
+  }
+};
+
+/// Emits the R1-R6 noninterference constraints for the unordered
+/// same-location span pair (A, B) into \p Sys. Exactly one rule applies;
+/// R1/R3-read-only/R5 emit nothing.
+///
+/// Frozen sources (windowed builds): a disjunct of the form
+/// O(x) < O(frozen source) can never hold — frozen values lie below the
+/// whole window — so R6 drops it and emits the surviving disjunct as a
+/// hard constraint, which is strictly stronger than the monolithic clause
+/// and therefore sound.
+void emitSpanPairConstraints(smt::OrderSystem &Sys, const SpanVarRefs &A,
+                             const SpanVarRefs &B);
+
 } // namespace light
 
 #endif // LIGHT_CORE_CONSTRAINTGEN_H

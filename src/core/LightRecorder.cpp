@@ -8,11 +8,57 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "trace/SegmentCodec.h"
 
 #include <cassert>
 #include <mutex>
 
 using namespace light;
+
+/// One epoch segment under construction. Dispatches each section to the
+/// LIGHT002 word encoders or the LIGHT003 varint encoder; either way a
+/// failed section leaves the draft unchanged and latches Overflow, so the
+/// segment that reaches disk holds exactly the sections that fit the wire.
+struct LightRecorder::SegmentDraft {
+  explicit SegmentDraft(bool Compressed) : Compressed(Compressed) {}
+
+  bool Compressed;
+  std::vector<uint64_t> Words; ///< LIGHT002 path
+  CompressedSegmentEncoder Enc; ///< LIGHT003 path
+  bool Overflow = false;
+
+  bool empty() const { return Compressed ? Enc.empty() : Words.empty(); }
+  std::vector<uint64_t> finish() const {
+    return Compressed ? Enc.finish() : Words;
+  }
+
+  void spans(const DepSpan *S, size_t N) {
+    Overflow |= !(Compressed ? Enc.addSpans(S, N)
+                             : encodeSpanSection(Words, S, N));
+  }
+  void syscalls(const SyscallRecord *Calls, size_t N) {
+    if (Compressed)
+      Overflow |= !Enc.addSyscalls(Calls, N);
+    else
+      encodeSyscallSection(Words, Calls, N);
+  }
+  void spawns(const std::vector<SpawnRecord> &Spawns) {
+    if (Compressed)
+      Overflow |= !Enc.addSpawns(Spawns);
+    else
+      encodeSpawnSection(Words, Spawns);
+  }
+  void counters(const std::vector<std::pair<ThreadId, Counter>> &Updates) {
+    Overflow |= !(Compressed ? Enc.addCounters(Updates)
+                             : encodeCounterSection(Words, Updates));
+  }
+  void guards(const GuardSpec &G) {
+    if (Compressed)
+      Overflow |= !Enc.addGuards(G);
+    else
+      encodeGuardSections(Words, G);
+  }
+};
 
 LightRecorder::LightRecorder(LightOptions O) : Opts(std::move(O)) {
   Threads.reserve(MaxThreads);
@@ -116,8 +162,8 @@ void LightRecorder::maybeEpochFlush(PerThread &S, ThreadId T) {
     flushEpoch(S, T);
 }
 
-void LightRecorder::appendPendingSections(std::vector<uint64_t> &Payload,
-                                          PerThread &S, ThreadId T) {
+void LightRecorder::appendPendingSections(SegmentDraft &Draft, PerThread &S,
+                                          ThreadId T) {
   size_t Total = S.Archived.size() + S.Buffer.size();
   if (S.DurableSpans < Total) {
     // Spans emit in stable Archived-then-Buffer order; gather the suffix
@@ -128,34 +174,39 @@ void LightRecorder::appendPendingSections(std::vector<uint64_t> &Payload,
       Fresh.push_back(I < S.Archived.size()
                           ? S.Archived[I]
                           : S.Buffer[I - S.Archived.size()]);
-    encodeSpanSection(Payload, Fresh.data(), Fresh.size());
+    Draft.spans(Fresh.data(), Fresh.size());
     S.DurableSpans = Total;
   }
   if (S.DurableSyscalls < S.Syscalls.size()) {
-    encodeSyscallSection(Payload, S.Syscalls.data() + S.DurableSyscalls,
-                         S.Syscalls.size() - S.DurableSyscalls);
+    Draft.syscalls(S.Syscalls.data() + S.DurableSyscalls,
+                   S.Syscalls.size() - S.DurableSyscalls);
     S.DurableSyscalls = S.Syscalls.size();
   }
-  encodeCounterSection(Payload, {{T, S.Ctr}});
+  Draft.counters({{T, S.Ctr}});
   S.LastEpoch = std::chrono::steady_clock::now();
 }
 
 void LightRecorder::flushEpoch(PerThread &S, ThreadId T) {
-  std::vector<uint64_t> Payload;
-  appendPendingSections(Payload, S, T);
+  SegmentDraft Draft(Opts.CompressedEpochs);
+  appendPendingSections(Draft, S, T);
   // The spawn table rides along on every epoch (replace semantics) so a
   // salvaged prefix can still map replay threads to recorded ones.
   if (SpawnSource)
-    encodeSpawnSection(Payload, SpawnSource->spawnTable());
-  writeDurableSegment(Payload);
+    Draft.spawns(SpawnSource->spawnTable());
+  writeDurableSegment(Draft);
 }
 
-bool LightRecorder::writeDurableSegment(const std::vector<uint64_t> &Payload) {
+bool LightRecorder::writeDurableSegment(SegmentDraft &Draft) {
+  if (Draft.Overflow)
+    noteOverflow("an epoch section exceeded a wire width and was dropped "
+                 "from the durable log");
   std::lock_guard<std::mutex> Guard(EpochMutex);
   if (!Durable) {
     std::string Path = Opts.DurableLogPath.empty() ? makeTempPath("durable")
                                                    : Opts.DurableLogPath;
-    Durable = std::make_unique<DurableLogWriter>(std::move(Path));
+    Durable = std::make_unique<DurableLogWriter>(
+        std::move(Path),
+        Opts.CompressedEpochs ? CompressedFileMagic : DurableFileMagic);
   }
   if (!Durable->ok())
     return false;
@@ -165,19 +216,48 @@ bool LightRecorder::writeDurableSegment(const std::vector<uint64_t> &Payload) {
   if (!GuardsEmitted) {
     GuardsEmitted = true;
     if (Opts.EnableO2 && !Guards.empty()) {
-      std::vector<uint64_t> GuardWords;
-      encodeGuardSections(GuardWords, Guards);
-      if (!Durable->writeSegment(GuardWords))
+      SegmentDraft GuardDraft(Opts.CompressedEpochs);
+      GuardDraft.guards(Guards);
+      if (!Durable->writeSegment(GuardDraft.finish()))
         return false;
     }
   }
-  return Durable->writeSegment(Payload);
+  return Durable->writeSegment(Draft.finish());
+}
+
+void LightRecorder::noteOverflow(const std::string &What, bool BumpMetric) {
+  if (OverflowSticky.exchange(true, std::memory_order_relaxed))
+    return;
+  // The section encoders bump record.overflow themselves; only the counter
+  // saturation path needs the bump here.
+  if (BumpMetric)
+    obs::Registry::global().counter("record.overflow").add(1);
+  std::lock_guard<std::mutex> Guard(OverflowMutex);
+  OverflowWhat = What;
+}
+
+void LightRecorder::counterSaturated(ThreadId T) {
+  // Past MaxAccessCounter the packed AccessId would alias an earlier access
+  // of the same thread (pack() masks). Perform the access uninstrumented
+  // and fail the recording with a structured error — the old behavior was
+  // an assert in debug builds and silent aliasing in release ones.
+  noteOverflow("thread " + std::to_string(T) +
+                   " access counter exceeded MaxAccessCounter; the "
+                   "recording is incomplete from that access on",
+               /*BumpMetric=*/true);
+}
+
+std::string LightRecorder::overflowError() const {
+  if (!overflowed())
+    return std::string();
+  std::lock_guard<std::mutex> Guard(OverflowMutex);
+  return OverflowWhat;
 }
 
 bool LightRecorder::crashFlush() {
   if (!EpochsOn)
     return false;
-  std::vector<uint64_t> Payload;
+  SegmentDraft Draft(Opts.CompressedEpochs);
   for (uint32_t T = 0; T < MaxThreads; ++T) {
     PerThread &S = *Threads[T];
     for (auto &[L, Sp] : S.Open)
@@ -186,14 +266,14 @@ bool LightRecorder::crashFlush() {
     S.CachedLoc = InvalidLocation;
     S.CachedSpan = nullptr;
     if (S.Ctr || S.DurableSyscalls < S.Syscalls.size())
-      appendPendingSections(Payload, S, static_cast<ThreadId>(T));
+      appendPendingSections(Draft, S, static_cast<ThreadId>(T));
   }
   if (SpawnSource)
-    encodeSpawnSection(Payload, SpawnSource->spawnTable());
+    Draft.spawns(SpawnSource->spawnTable());
   // An empty trailing zero-payload segment would masquerade as the
   // clean-close marker; with nothing to save, leave only what is already
   // durable on disk.
-  bool Ok = Payload.empty() ? true : writeDurableSegment(Payload);
+  bool Ok = Draft.empty() ? true : writeDurableSegment(Draft);
   std::lock_guard<std::mutex> Guard(EpochMutex);
   if (!Durable)
     return false;
@@ -207,6 +287,11 @@ void LightRecorder::onWrite(ThreadId T, LocationId L, LocMeta &M,
                             FunctionRef<void()> Perform) {
   PerThread &S = state(T);
   Counter C = ++S.Ctr;
+  if (C > MaxAccessCounter) {
+    counterSaturated(T);
+    Perform();
+    return;
+  }
   if (isGuarded(L)) {
     // O2: the lock operation order subsumes this location's dependences
     // (Lemma 4.2); perform the access uninstrumented.
@@ -244,6 +329,11 @@ void LightRecorder::onRead(ThreadId T, LocationId L, LocMeta &M,
                            FunctionRef<void()> Perform) {
   PerThread &S = state(T);
   Counter C = ++S.Ctr;
+  if (C > MaxAccessCounter) {
+    counterSaturated(T);
+    Perform();
+    return;
+  }
   if (isGuarded(L)) {
     ++S.GuardedElided;
     Perform();
@@ -275,6 +365,11 @@ void LightRecorder::onRmw(ThreadId T, LocationId L, LocMeta &M,
                           FunctionRef<void()> Perform) {
   PerThread &S = state(T);
   Counter C = ++S.Ctr;
+  if (C > MaxAccessCounter) {
+    counterSaturated(T);
+    Perform();
+    return;
+  }
   if (isGuarded(L)) {
     ++S.GuardedElided;
     Perform();
@@ -422,16 +517,16 @@ RecordingLog LightRecorder::finish(const ThreadRegistry *Registry) {
   if (EpochsOn) {
     // Final durable segment: whatever each thread still holds, the complete
     // counter table and spawn table, then the clean-close marker.
-    std::vector<uint64_t> Payload;
+    SegmentDraft Draft(Opts.CompressedEpochs);
     for (uint32_t T = 0; T < MaxThreads; ++T) {
       PerThread &S = *Threads[T];
       if (S.Ctr || S.DurableSpans < S.Archived.size() + S.Buffer.size() ||
           S.DurableSyscalls < S.Syscalls.size())
-        appendPendingSections(Payload, S, static_cast<ThreadId>(T));
+        appendPendingSections(Draft, S, static_cast<ThreadId>(T));
     }
     if (!Log.Spawns.empty())
-      encodeSpawnSection(Payload, Log.Spawns);
-    writeDurableSegment(Payload);
+      Draft.spawns(Log.Spawns);
+    writeDurableSegment(Draft);
     std::lock_guard<std::mutex> Guard(EpochMutex);
     if (Durable)
       Durable->closeClean();

@@ -39,6 +39,7 @@
 #include "support/DurableLog.h"
 #include "trace/RecordingLog.h"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -111,6 +112,23 @@ public:
   /// Multiply by 64 for an order-of-magnitude contention estimate.
   uint64_t stripeContentions() const;
 
+  /// True once any record exceeded a wire width (the trace/Ids.h Max*
+  /// limits): the access counter saturated, or an epoch section failed to
+  /// encode. The offending data is dropped (the access still performs,
+  /// uninstrumented), record.overflow is bumped, and this sticky flag set —
+  /// the structured replacement for what used to be release-build packing
+  /// UB. A recording with this flag set must not be trusted for replay.
+  bool overflowed() const {
+    return OverflowSticky.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable description of the first overflow ("" when none).
+  std::string overflowError() const;
+
+  /// Test seam: pre-positions thread \p T's access counter so the
+  /// counter-saturation guard is reachable without 2^48 real accesses.
+  void debugSetCounter(ThreadId T, Counter C) { state(T).Ctr = C; }
+
 private:
   struct OpenSpan {
     bool Active = false;
@@ -161,6 +179,14 @@ private:
   bool GuardsEmitted = false;                ///< guarded by EpochMutex
   const ThreadRegistry *SpawnSource = nullptr;
 
+  std::atomic<bool> OverflowSticky{false};
+  mutable std::mutex OverflowMutex; ///< guards OverflowWhat
+  std::string OverflowWhat;
+
+  /// One epoch segment being assembled, in whichever format
+  /// Opts.CompressedEpochs selects. Defined in the .cpp.
+  struct SegmentDraft;
+
   PerThread &state(ThreadId T) { return *Threads[T]; }
   const PerThread &state(ThreadId T) const { return *Threads[T]; }
 
@@ -173,9 +199,10 @@ private:
   void maybeFlush(PerThread &S, ThreadId T);
   void maybeEpochFlush(PerThread &S, ThreadId T);
   void flushEpoch(PerThread &S, ThreadId T);
-  void appendPendingSections(std::vector<uint64_t> &Payload, PerThread &S,
-                             ThreadId T);
-  bool writeDurableSegment(const std::vector<uint64_t> &Payload);
+  void appendPendingSections(SegmentDraft &Draft, PerThread &S, ThreadId T);
+  bool writeDurableSegment(SegmentDraft &Draft);
+  void noteOverflow(const std::string &What, bool BumpMetric = false);
+  void counterSaturated(ThreadId T);
   void noteRead(PerThread &S, ThreadId T, LocationId L, uint64_t Src,
                 Counter C, uint32_t PrevAccessor);
   void noteWrite(PerThread &S, ThreadId T, LocationId L, Counter C,

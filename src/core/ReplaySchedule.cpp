@@ -58,36 +58,54 @@ ReplaySchedule ReplaySchedule::build(const RecordingLog &Log,
     return P.VarAccess[X].pack() < P.VarAccess[Y].pack();
   });
   RS.Order.reserve(Perm.size());
-  for (uint32_t I : Perm) {
-    RS.TurnOf[P.VarAccess[I].pack()] = static_cast<uint32_t>(RS.Order.size());
+  for (uint32_t I : Perm)
     RS.Order.push_back(P.VarAccess[I]);
-  }
+
+  RS.assemble(Log);
+  return RS;
+}
+
+ReplaySchedule ReplaySchedule::fromSolvedOrder(const RecordingLog &Log,
+                                               std::vector<AccessId> Order,
+                                               smt::SolveResult Stats) {
+  ReplaySchedule RS;
+  RS.Satisfiable = true;
+  RS.Stats = std::move(Stats);
+  RS.Stats.Outcome = smt::SolveResult::Status::Sat;
+  RS.Order = std::move(Order);
+  RS.assemble(Log);
+  return RS;
+}
+
+void ReplaySchedule::assemble(const RecordingLog &Log) {
+  TurnOf.reserve(Order.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    TurnOf[Order[I].pack()] = static_cast<uint32_t>(I);
 
   // Span index for interior classification.
   size_t NumThreads = Log.FinalCounters.size();
   for (const DepSpan &S : Log.Spans)
     NumThreads = std::max(NumThreads, static_cast<size_t>(S.Thread) + 1);
-  RS.Spans.resize(NumThreads);
+  Spans.resize(NumThreads);
   for (const DepSpan &S : Log.Spans)
-    RS.Spans[S.Thread][S.Loc].push_back(
+    Spans[S.Thread][S.Loc].push_back(
         {S.First, S.Last, S.Kind, S.Src.valid() ? S.Src.pack() : 0});
-  for (auto &PerThread : RS.Spans)
+  for (auto &PerThread : Spans)
     for (auto &[L, List] : PerThread)
       std::sort(List.begin(), List.end(),
                 [](const SpanInfo &A, const SpanInfo &B) {
                   return A.First < B.First;
                 });
 
-  RS.Guards = Log.Guards;
+  Guards = Log.Guards;
 
-  RS.SyscallValues.resize(NumThreads);
+  SyscallValues.resize(NumThreads);
   for (const SyscallRecord &R : Log.Syscalls)
     if (R.Thread < NumThreads)
-      RS.SyscallValues[R.Thread].push_back(R.Value);
+      SyscallValues[R.Thread].push_back(R.Value);
 
-  RS.Spawns = Log.Spawns;
-  RS.FinalCounters = Log.FinalCounters;
-  return RS;
+  Spawns = Log.Spawns;
+  FinalCounters = Log.FinalCounters;
 }
 
 AccessClass ReplaySchedule::classify(ThreadId T, LocationId L, Counter C,

@@ -66,6 +66,16 @@ public:
                               smt::SolverLimits Limits = {},
                               unsigned SolverShards = 1);
 
+  /// Assembles a schedule from an externally solved total order — the
+  /// windowed incremental path (core/WindowedSchedule.h), which solves
+  /// epoch windows one at a time and concatenates the fragments. Skips
+  /// constraint generation and solving; \p Order is trusted to satisfy the
+  /// monolithic system (the windowed builder's frontier checks guarantee
+  /// it). \p Stats carries the aggregated solver statistics for reporting.
+  static ReplaySchedule fromSolvedOrder(const RecordingLog &Log,
+                                        std::vector<AccessId> Order,
+                                        smt::SolveResult Stats = {});
+
   bool ok() const { return Satisfiable; }
   const std::string &error() const { return Error; }
 
@@ -98,6 +108,10 @@ private:
     SpanKind Kind;
     uint64_t SrcPacked;
   };
+
+  /// Builds TurnOf and the classification side tables from \p Log; Order
+  /// must already be set. Shared by build() and fromSolvedOrder().
+  void assemble(const RecordingLog &Log);
 
   bool Satisfiable = false;
   std::string Error;

@@ -54,7 +54,7 @@ void DurableLogWriter::fail(const std::string &What) {
   }
 }
 
-DurableLogWriter::DurableLogWriter(std::string PathIn)
+DurableLogWriter::DurableLogWriter(std::string PathIn, uint64_t Magic)
     : Path(std::move(PathIn)) {
   fault::Injector &Faults = fault::Injector::global();
   File = Faults.shouldFire("io.open_fail") ? nullptr
@@ -64,7 +64,6 @@ DurableLogWriter::DurableLogWriter(std::string PathIn)
     return;
   }
   Ok = true;
-  uint64_t Magic = DurableFileMagic;
   if (std::fwrite(&Magic, sizeof(Magic), 1, File) != 1) {
     fail("cannot write durable log header to");
     return;
@@ -159,55 +158,118 @@ void DurableLogWriter::abandon() {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Streaming cursor
+//===----------------------------------------------------------------------===//
+
+DurableLogCursor::DurableLogCursor(const std::string &Path) {
+  File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Err = "cannot open '" + Path + "'";
+    return;
+  }
+  // Size the stream up front so payload lengths can be validated before
+  // allocating — a corrupt length word must tear the tail, not trigger a
+  // multi-gigabyte allocation. Whole words only: a torn trailing partial
+  // word is dropped, exactly as fread with 8-byte items used to drop it.
+  long Start = std::ftell(File);
+  if (Start != 0 || std::fseek(File, 0, SEEK_END) != 0) {
+    Err = "cannot size '" + Path + "'";
+    std::fclose(File);
+    File = nullptr;
+    return;
+  }
+  long Bytes = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  TotalWords = Bytes > 0 ? static_cast<uint64_t>(Bytes) / sizeof(uint64_t) : 0;
+
+  if (TotalWords < 1 ||
+      std::fread(&Magic, sizeof(Magic), 1, File) != 1 ||
+      (Magic != DurableFileMagic && Magic != CompressedFileMagic)) {
+    Err = "'" + Path + "' is not a LIGHT002 durable log";
+    std::fclose(File);
+    File = nullptr;
+    return;
+  }
+  HeaderOk = true;
+  Pos = 1;
+}
+
+DurableLogCursor::~DurableLogCursor() {
+  if (File)
+    std::fclose(File);
+}
+
+DurableLogCursor::Item DurableLogCursor::finish(Item I) {
+  Done = true;
+  Terminal = I;
+  if (I == Item::TornTail)
+    Dropped = TotalWords - Pos;
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+  return I;
+}
+
+DurableLogCursor::Item DurableLogCursor::next(std::vector<uint64_t> &Payload) {
+  if (Done || !HeaderOk)
+    return Done ? Terminal : Item::End;
+
+  uint64_t Remaining = TotalWords - Pos;
+  if (Remaining == 0)
+    return finish(Item::End);
+  if (Remaining < 3)
+    return finish(Item::TornTail);
+
+  uint64_t Frame[3];
+  if (std::fread(Frame, sizeof(uint64_t), 3, File) != 3)
+    return finish(Item::TornTail);
+  uint64_t N = Frame[1];
+  uint64_t Seq = Frame[2] >> 32;
+  uint32_t Crc = static_cast<uint32_t>(Frame[2]);
+  if (Frame[0] != DurableSegmentMagic || N > Remaining - 3 || Seq != Segments)
+    return finish(Item::TornTail);
+
+  Payload.resize(N);
+  if (N && std::fread(Payload.data(), sizeof(uint64_t), N, File) != N)
+    return finish(Item::TornTail);
+  // Empty payloads checksum a valid (unread) pointer: a freshly-constructed
+  // vector's data() may be null.
+  if (crc32c(N ? Payload.data() : Frame, N * sizeof(uint64_t)) != Crc)
+    return finish(Item::TornTail);
+
+  if (N == 0 && Pos + 3 == TotalWords)
+    return finish(Item::CleanClose);
+
+  Pos += 3 + N;
+  ++Segments;
+  return Item::Segment;
+}
+
 SegmentScan light::scanDurableLog(const std::string &Path) {
   SegmentScan Out;
-  std::FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File) {
-    Out.Error = "cannot open '" + Path + "'";
-    return Out;
-  }
-  // fread with 8-byte items drops a torn trailing partial word on its own.
-  std::vector<uint64_t> W;
-  uint64_t Chunk[4096];
-  size_t Got;
-  while ((Got = std::fread(Chunk, sizeof(uint64_t), 4096, File)) > 0)
-    W.insert(W.end(), Chunk, Chunk + Got);
-  std::fclose(File);
-
-  if (W.empty() || W[0] != DurableFileMagic) {
-    Out.Error = "'" + Path + "' is not a LIGHT002 durable log";
+  DurableLogCursor Cursor(Path);
+  if (!Cursor.ok()) {
+    Out.Error = Cursor.error();
     return Out;
   }
   Out.HeaderOk = true;
-
-  size_t Pos = 1;
-  while (Pos < W.size()) {
-    size_t Remaining = W.size() - Pos;
-    bool SawCompleteSegment = false;
-    if (Remaining >= 3 && W[Pos] == DurableSegmentMagic) {
-      uint64_t N = W[Pos + 1];
-      uint64_t Meta = W[Pos + 2];
-      uint64_t Seq = Meta >> 32;
-      uint32_t Crc = static_cast<uint32_t>(Meta);
-      if (N <= Remaining - 3 && Seq == Out.Segments.size() &&
-          crc32c(W.data() + Pos + 3, N * sizeof(uint64_t)) == Crc) {
-        if (N == 0 && Pos + 3 == W.size()) {
-          // Trailing clean-close marker.
-          Out.Clean = true;
-          return Out;
-        }
-        Out.Segments.emplace_back(W.begin() + Pos + 3,
-                                  W.begin() + Pos + 3 + N);
-        Pos += 3 + N;
-        SawCompleteSegment = true;
-      }
-    }
-    if (!SawCompleteSegment) {
-      // Torn or corrupt tail: cut it, keep the validated prefix.
+  std::vector<uint64_t> Payload;
+  for (;;) {
+    switch (Cursor.next(Payload)) {
+    case DurableLogCursor::Item::Segment:
+      Out.Segments.push_back(Payload);
+      continue;
+    case DurableLogCursor::Item::CleanClose:
+      Out.Clean = true;
+      return Out;
+    case DurableLogCursor::Item::TornTail:
       Out.SegmentsDropped = 1;
-      Out.WordsDropped = W.size() - Pos;
+      Out.WordsDropped = Cursor.wordsDropped();
+      return Out;
+    case DurableLogCursor::Item::End:
       return Out;
     }
   }
-  return Out;
 }

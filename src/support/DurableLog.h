@@ -53,12 +53,21 @@ namespace light {
 constexpr uint64_t DurableFileMagic = 0x4c49474854303032ull;    // "LIGHT002"
 constexpr uint64_t DurableSegmentMagic = 0x4c5345474d454e54ull; // "LSEGMENT"
 
+/// LIGHT003 reuses this container byte-for-byte — same framing, checksums,
+/// sequence numbers, clean-close marker, and salvage rules — under a
+/// different file magic; only the segment payload encoding changes (a varint
+/// byte stream, defined by trace/SegmentCodec). The container layer accepts
+/// either magic when scanning.
+constexpr uint64_t CompressedFileMagic = 0x4c49474854303033ull; // "LIGHT003"
+
 /// Appends checksummed segments to a log file, flushing each one to the OS
 /// so completed epochs survive the producer's death.
 class DurableLogWriter {
 public:
-  /// Opens \p Path and writes the file header.
-  explicit DurableLogWriter(std::string Path);
+  /// Opens \p Path and writes the file header. \p Magic selects the
+  /// container flavor (LIGHT002 words or LIGHT003 compressed payloads).
+  explicit DurableLogWriter(std::string Path,
+                            uint64_t Magic = DurableFileMagic);
   ~DurableLogWriter();
 
   DurableLogWriter(const DurableLogWriter &) = delete;
@@ -103,6 +112,66 @@ private:
   uint64_t Words = 0;
 
   void fail(const std::string &What);
+};
+
+/// Streams the segments of a LIGHT002/LIGHT003 container one at a time,
+/// holding at most one segment payload in memory. This is the bounded-memory
+/// counterpart of scanDurableLog() (which is now a thin wrapper): a
+/// 10^8-access recording is gigabytes on disk, and both the offline solver
+/// and CI salvage of a torn log must walk it without materializing it.
+///
+/// Validation is identical to the whole-file scan — framing magic, payload
+/// length against the real file size, sequence numbers, CRC32C — and stops
+/// at the first invalid segment, reporting everything from there on as the
+/// torn tail.
+class DurableLogCursor {
+public:
+  explicit DurableLogCursor(const std::string &Path);
+  ~DurableLogCursor();
+
+  DurableLogCursor(const DurableLogCursor &) = delete;
+  DurableLogCursor &operator=(const DurableLogCursor &) = delete;
+
+  /// False when the file could not be opened or lacks a recognized magic;
+  /// error() says why.
+  bool ok() const { return HeaderOk; }
+  const std::string &error() const { return Err; }
+
+  /// The file magic word (DurableFileMagic or CompressedFileMagic).
+  uint64_t magic() const { return Magic; }
+
+  /// What next() found.
+  enum class Item {
+    Segment,    ///< one valid payload delivered
+    CleanClose, ///< trailing clean-close marker: producer finished
+    TornTail,   ///< invalid frame/checksum: tail counted, stream over
+    End,        ///< exact end of file with no clean-close marker
+  };
+
+  /// Advances to the next segment, filling \p Payload (reused, resized)
+  /// when it returns Item::Segment. After TornTail/CleanClose/End the
+  /// stream is exhausted and further calls return the same terminal item.
+  Item next(std::vector<uint64_t> &Payload);
+
+  /// Valid segments delivered so far.
+  uint64_t segmentsRead() const { return Segments; }
+
+  /// Words in the torn tail (nonzero only after Item::TornTail).
+  uint64_t wordsDropped() const { return Dropped; }
+
+private:
+  std::FILE *File = nullptr;
+  bool HeaderOk = false;
+  uint64_t Magic = 0;
+  std::string Err;
+  uint64_t TotalWords = 0; ///< file size in whole words (torn byte dropped)
+  uint64_t Pos = 0;        ///< words consumed
+  uint64_t Segments = 0;
+  uint64_t Dropped = 0;
+  Item Terminal = Item::End;
+  bool Done = false;
+
+  Item finish(Item I);
 };
 
 /// Result of scanning a LIGHT002 file: the longest valid segment prefix.

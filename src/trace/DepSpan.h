@@ -74,6 +74,20 @@ struct DepSpan {
   std::string str() const;
 };
 
+/// The span wire formats pack the kind into the top two bits of the packed
+/// (thread, first) word, capping span thread ids at 14 bits.
+constexpr ThreadId MaxSpanThread = (1u << 14) - 1;
+
+/// True when \p S fits every width limit of the on-disk span encodings
+/// (LIGHT001 words and the LIGHT003 varint stream alike). The serializers
+/// check this before packing so an overflowing recording fails with a
+/// structured error instead of writing a corrupt trace.
+inline bool spanEncodable(const DepSpan &S) {
+  return S.Thread <= MaxSpanThread && S.First <= S.Last &&
+         S.Last <= MaxAccessCounter &&
+         (!S.Src.valid() || S.Src.packable());
+}
+
 /// A recorded nondeterministic system-call value (time(), random input...),
 /// replayed by substitution per Section 3.2 of the paper.
 struct SyscallRecord {

@@ -37,6 +37,19 @@ using ThreadId = uint16_t;
 /// AccessId of 0 can serve as "no access".
 using Counter = uint64_t;
 
+/// Packing-width limits. These used to be assert-only, which meant release
+/// builds silently wrapped and corrupted packed ids exactly at the scale
+/// where the limits start to matter (10^8-access traces). pack() now masks
+/// to the field width (defined behavior in every build mode) and the
+/// recording path checks the packable()/encodable predicates up front,
+/// turning an overflow into a structured error plus a `record.overflow`
+/// metric instead of a corrupt trace.
+constexpr Counter MaxAccessCounter = (1ull << 48) - 1;
+constexpr uint32_t MaxAllocThread = (1u << 12) - 1;
+constexpr uint32_t MaxAllocIndex = (1u << 28) - 1;
+constexpr uint32_t MaxFieldIndex = (1u << 20) - 1;
+constexpr uint64_t MaxLocationPayload = (1ull << 60) - 1;
+
 /// A shared access identified by (thread, thread-local counter), packed into
 /// 64 bits: thread in the top 16 bits, counter in the low 48.
 struct AccessId {
@@ -48,9 +61,12 @@ struct AccessId {
 
   bool valid() const { return Count != 0; }
 
+  /// True when the counter fits the 48-bit packed field.
+  bool packable() const { return Count <= MaxAccessCounter; }
+
   uint64_t pack() const {
-    assert(Count < (1ull << 48) && "access counter overflow");
-    return (static_cast<uint64_t>(Thread) << 48) | Count;
+    assert(packable() && "access counter overflow");
+    return (static_cast<uint64_t>(Thread) << 48) | (Count & MaxAccessCounter);
   }
 
   static AccessId unpack(uint64_t Packed) {
@@ -88,11 +104,17 @@ struct ObjectId {
 
   bool isNull() const { return AllocIndex == 0; }
 
+  /// True when both fields fit the 40-bit packed form.
+  bool packable() const {
+    return AllocThread <= MaxAllocThread && AllocIndex <= MaxAllocIndex;
+  }
+
   /// 40-bit packed form: thread(12) | index(28).
   uint64_t pack() const {
-    assert(AllocThread < (1u << 12) && "too many allocating threads");
-    assert(AllocIndex < (1u << 28) && "per-thread allocation overflow");
-    return (static_cast<uint64_t>(AllocThread) << 28) | AllocIndex;
+    assert(AllocThread <= MaxAllocThread && "too many allocating threads");
+    assert(AllocIndex <= MaxAllocIndex && "per-thread allocation overflow");
+    return (static_cast<uint64_t>(AllocThread & MaxAllocThread) << 28) |
+           (AllocIndex & MaxAllocIndex);
   }
 
   static ObjectId unpack(uint64_t Packed) {
@@ -136,8 +158,8 @@ enum class LocationKind : uint8_t {
 namespace loc {
 
 inline LocationId make(LocationKind K, uint64_t Payload) {
-  assert(Payload < (1ull << 60) && "location payload overflow");
-  return (static_cast<uint64_t>(K) << 60) | Payload;
+  assert(Payload <= MaxLocationPayload && "location payload overflow");
+  return (static_cast<uint64_t>(K) << 60) | (Payload & MaxLocationPayload);
 }
 
 inline LocationKind kindOf(LocationId L) {
@@ -147,13 +169,15 @@ inline LocationKind kindOf(LocationId L) {
 inline uint64_t payloadOf(LocationId L) { return L & ((1ull << 60) - 1); }
 
 inline LocationId field(ObjectId Obj, uint32_t FieldIdx) {
-  assert(FieldIdx < (1u << 20) && "field index overflow");
-  return make(LocationKind::Field, (Obj.pack() << 20) | FieldIdx);
+  assert(FieldIdx <= MaxFieldIndex && "field index overflow");
+  return make(LocationKind::Field,
+              (Obj.pack() << 20) | (FieldIdx & MaxFieldIndex));
 }
 
 inline LocationId arrayElem(ObjectId Obj, uint32_t Index) {
-  assert(Index < (1u << 20) && "array index too large to form a location");
-  return make(LocationKind::ArrayElem, (Obj.pack() << 20) | Index);
+  assert(Index <= MaxFieldIndex && "array index too large to form a location");
+  return make(LocationKind::ArrayElem,
+              (Obj.pack() << 20) | (Index & MaxFieldIndex));
 }
 
 inline LocationId lock(ObjectId Obj) {

@@ -10,6 +10,8 @@
 #include "support/BinaryIO.h"
 #include "support/DurableLog.h"
 #include "support/FaultInjection.h"
+#include "trace/SegmentCodec.h"
+#include "trace/SegmentReader.h"
 
 #include <algorithm>
 #include <cassert>
@@ -19,31 +21,39 @@ using namespace light;
 namespace {
 constexpr uint64_t LogMagic = 0x4c49474854303031ull; // "LIGHT001"
 
-uint64_t packSpawn(const SpawnRecord &R) {
-  return (static_cast<uint64_t>(R.Parent) << 48) |
-         (static_cast<uint64_t>(R.SpawnIndex) << 16) | R.Child;
-}
-
-SpawnRecord unpackSpawn(uint64_t W) {
-  SpawnRecord R;
-  R.Parent = static_cast<ThreadId>(W >> 48);
-  R.SpawnIndex = static_cast<uint32_t>((W >> 16) & 0xffffffff);
-  R.Child = static_cast<ThreadId>(W & 0xffff);
-  return R;
+void noteOverflow() {
+  obs::Registry::global().counter("record.overflow").add(1);
 }
 
 } // namespace
 
+RecordingLog::SpaceBreakdown RecordingLog::spaceBreakdown() const {
+  SpaceBreakdown B;
+  B.SpanWords = 1 + Spans.size() * 4;
+  B.SyscallWords = 1 + Syscalls.size() * 2;
+  B.SpawnWords = 1 + Spawns.size();
+  B.CounterWords = 1 + FinalCounters.size();
+  B.GuardWords = 3 + Guards.Exact.size() + Guards.FieldIndices.size() +
+                 Guards.GlobalIds.size();
+  return B;
+}
+
 uint64_t RecordingLog::save(const std::string &Path) const {
+  // The span kind shares the top two bits of the packed (thread, first)
+  // word, which caps thread ids at 2^14 - 1, and counters at 2^48 - 1.
+  // Check before anything is packed: an overflowing log must fail
+  // structurally, not wrap into a corrupt trace.
+  for (const DepSpan &S : Spans)
+    if (!spanEncodable(S)) {
+      noteOverflow();
+      return 0;
+    }
+
   LongWriter Writer(Path);
   Writer.put(LogMagic);
 
   Writer.put(Spans.size());
   for (const DepSpan &S : Spans) {
-    // The span kind shares the top two bits of the packed (thread, first)
-    // word, which caps thread ids at 2^14 - 1. Far beyond any realistic
-    // concurrency level, but keep the invariant checked.
-    assert(S.Thread < (1u << 14) && "thread id too large for span encoding");
     Writer.put(S.Loc);
     Writer.put(S.Src.valid() ? S.Src.pack() : 0);
     Writer.put(AccessId(S.Thread, S.First).pack() |
@@ -59,7 +69,7 @@ uint64_t RecordingLog::save(const std::string &Path) const {
 
   Writer.put(Spawns.size());
   for (const SpawnRecord &R : Spawns)
-    Writer.put(packSpawn(R));
+    Writer.put(packSpawnWord(R));
 
   Writer.put(FinalCounters.size());
   for (Counter C : FinalCounters)
@@ -82,21 +92,26 @@ uint64_t RecordingLog::save(const std::string &Path) const {
 // LIGHT002 section encoding
 //===----------------------------------------------------------------------===//
 
-void light::encodeSpanSection(std::vector<uint64_t> &Out, const DepSpan *Spans,
+bool light::encodeSpanSection(std::vector<uint64_t> &Out, const DepSpan *Spans,
                               size_t N) {
   if (!N)
-    return;
+    return true;
+  for (size_t I = 0; I < N; ++I)
+    if (!spanEncodable(Spans[I])) {
+      noteOverflow();
+      return false;
+    }
   Out.push_back(static_cast<uint64_t>(LogSection::Spans));
   Out.push_back(N);
   for (size_t I = 0; I < N; ++I) {
     const DepSpan &S = Spans[I];
-    assert(S.Thread < (1u << 14) && "thread id too large for span encoding");
     Out.push_back(S.Loc);
     Out.push_back(S.Src.valid() ? S.Src.pack() : 0);
     Out.push_back(AccessId(S.Thread, S.First).pack() |
                   (static_cast<uint64_t>(S.Kind) << 62));
     Out.push_back(S.Last);
   }
+  return true;
 }
 
 void light::encodeSyscallSection(std::vector<uint64_t> &Out,
@@ -116,20 +131,26 @@ void light::encodeSpawnSection(std::vector<uint64_t> &Out,
   Out.push_back(static_cast<uint64_t>(LogSection::Spawns));
   Out.push_back(Spawns.size());
   for (const SpawnRecord &R : Spawns)
-    Out.push_back(packSpawn(R));
+    Out.push_back(packSpawnWord(R));
 }
 
-void light::encodeCounterSection(
+bool light::encodeCounterSection(
     std::vector<uint64_t> &Out,
     const std::vector<std::pair<ThreadId, Counter>> &Updates) {
   if (Updates.empty())
-    return;
+    return true;
+  for (const auto &[Thread, Count] : Updates)
+    if (Thread > MaxSpanThread || Count > MaxAccessCounter) {
+      noteOverflow();
+      return false;
+    }
   Out.push_back(static_cast<uint64_t>(LogSection::Counters));
   Out.push_back(Updates.size());
   for (const auto &[Thread, Count] : Updates) {
     Out.push_back(Thread);
     Out.push_back(Count);
   }
+  return true;
 }
 
 void light::encodeGuardSections(std::vector<uint64_t> &Out,
@@ -148,18 +169,43 @@ void light::encodeGuardSections(std::vector<uint64_t> &Out,
     Out.push_back(G);
 }
 
-uint64_t RecordingLog::saveDurable(const std::string &Path) const {
-  DurableLogWriter Writer(Path);
-  std::vector<uint64_t> Payload;
-  encodeSpanSection(Payload, Spans.data(), Spans.size());
-  encodeSyscallSection(Payload, Syscalls.data(), Syscalls.size());
-  encodeSpawnSection(Payload, Spawns);
+namespace {
+
+std::vector<std::pair<ThreadId, Counter>>
+counterUpdates(const std::vector<Counter> &FinalCounters) {
   std::vector<std::pair<ThreadId, Counter>> Updates;
   for (size_t T = 0; T < FinalCounters.size(); ++T)
     Updates.emplace_back(static_cast<ThreadId>(T), FinalCounters[T]);
-  encodeCounterSection(Payload, Updates);
+  return Updates;
+}
+
+} // namespace
+
+uint64_t RecordingLog::saveDurable(const std::string &Path) const {
+  DurableLogWriter Writer(Path);
+  std::vector<uint64_t> Payload;
+  if (!encodeSpanSection(Payload, Spans.data(), Spans.size()))
+    return 0;
+  encodeSyscallSection(Payload, Syscalls.data(), Syscalls.size());
+  encodeSpawnSection(Payload, Spawns);
+  if (!encodeCounterSection(Payload, counterUpdates(FinalCounters)))
+    return 0;
   encodeGuardSections(Payload, Guards);
   if (!Writer.writeSegment(Payload) || !Writer.closeClean())
+    return 0;
+  return Writer.wordsWritten();
+}
+
+uint64_t RecordingLog::saveCompact(const std::string &Path) const {
+  DurableLogWriter Writer(Path, CompressedFileMagic);
+  CompressedSegmentEncoder Enc;
+  if (!Enc.addSpans(Spans.data(), Spans.size()) ||
+      !Enc.addSyscalls(Syscalls.data(), Syscalls.size()) ||
+      !Enc.addSpawns(Spawns) ||
+      !Enc.addCounters(counterUpdates(FinalCounters)) ||
+      !Enc.addGuards(Guards))
+    return 0;
+  if (!Writer.writeSegment(Enc.finish()) || !Writer.closeClean())
     return 0;
   return Writer.wordsWritten();
 }
@@ -169,130 +215,6 @@ uint64_t RecordingLog::saveDurable(const std::string &Path) const {
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// Decodes one LIGHT002 segment payload into \p Log. The payload already
-/// passed its CRC, so a decode failure means a producer bug or version
-/// drift, not disk corruption — but it is still reported, never trusted.
-bool decodeSegment(const std::vector<uint64_t> &P, RecordingLog &Log) {
-  size_t Pos = 0;
-  while (Pos < P.size()) {
-    if (P.size() - Pos < 2)
-      return false;
-    uint64_t Tag = P[Pos];
-    uint64_t N = P[Pos + 1];
-    Pos += 2;
-    uint64_t Remaining = P.size() - Pos;
-    switch (static_cast<LogSection>(Tag)) {
-    case LogSection::Spans: {
-      if (N > Remaining / 4)
-        return false;
-      for (uint64_t I = 0; I < N; ++I, Pos += 4) {
-        DepSpan S;
-        S.Loc = P[Pos];
-        if (P[Pos + 1])
-          S.Src = AccessId::unpack(P[Pos + 1]);
-        uint64_t FirstWord = P[Pos + 2];
-        S.Kind = static_cast<SpanKind>(FirstWord >> 62);
-        AccessId First = AccessId::unpack(FirstWord & ~(3ull << 62));
-        S.Thread = First.Thread;
-        S.First = First.Count;
-        S.Last = P[Pos + 3];
-        // Well-formed spans satisfy First <= Last < 2^48 (the AccessId
-        // counter width); anything else is producer corruption.
-        if (S.Last >= (1ull << 48) || S.First > S.Last)
-          return false;
-        Log.Spans.push_back(S);
-      }
-      break;
-    }
-    case LogSection::Syscalls: {
-      if (N > Remaining / 2)
-        return false;
-      for (uint64_t I = 0; I < N; ++I, Pos += 2) {
-        SyscallRecord R;
-        R.Thread = static_cast<ThreadId>(P[Pos]);
-        R.Value = P[Pos + 1];
-        Log.Syscalls.push_back(R);
-      }
-      break;
-    }
-    case LogSection::Spawns: {
-      if (N > Remaining)
-        return false;
-      Log.Spawns.clear();
-      for (uint64_t I = 0; I < N; ++I, ++Pos)
-        Log.Spawns.push_back(unpackSpawn(P[Pos]));
-      break;
-    }
-    case LogSection::Counters: {
-      if (N > Remaining / 2)
-        return false;
-      for (uint64_t I = 0; I < N; ++I, Pos += 2) {
-        size_t T = P[Pos];
-        if (T >= (1u << 14))
-          return false;
-        if (Log.FinalCounters.size() <= T)
-          Log.FinalCounters.resize(T + 1, 0);
-        Log.FinalCounters[T] = std::max(Log.FinalCounters[T], P[Pos + 1]);
-      }
-      break;
-    }
-    case LogSection::GuardExact: {
-      if (N > Remaining)
-        return false;
-      Log.Guards.Exact.assign(P.begin() + Pos, P.begin() + Pos + N);
-      Pos += N;
-      break;
-    }
-    case LogSection::GuardFields: {
-      if (N > Remaining)
-        return false;
-      Log.Guards.FieldIndices.clear();
-      for (uint64_t I = 0; I < N; ++I, ++Pos)
-        Log.Guards.FieldIndices.push_back(static_cast<uint32_t>(P[Pos]));
-      break;
-    }
-    case LogSection::GuardGlobals: {
-      if (N > Remaining)
-        return false;
-      Log.Guards.GlobalIds.assign(P.begin() + Pos, P.begin() + Pos + N);
-      Pos += N;
-      break;
-    }
-    default:
-      return false; // unknown section tag
-    }
-  }
-  return true;
-}
-
-/// After salvaging a crashed log, the counter table may stop short of (or
-/// never reach) the accesses the recovered spans prove happened. Extend it
-/// so the replay horizon covers every span: the final counter of a thread
-/// is at least the last access any recovered span attributes to it.
-void synthesizeHorizon(RecordingLog &Log) {
-  ThreadId MaxThread = 0;
-  auto Note = [&](ThreadId T) { MaxThread = std::max(MaxThread, T); };
-  for (const DepSpan &S : Log.Spans) {
-    Note(S.Thread);
-    if (S.Src.valid())
-      Note(S.Src.Thread);
-  }
-  for (const SyscallRecord &R : Log.Syscalls)
-    Note(R.Thread);
-  for (const SpawnRecord &R : Log.Spawns) {
-    Note(R.Parent);
-    Note(R.Child);
-  }
-  if (Log.FinalCounters.size() <= MaxThread)
-    Log.FinalCounters.resize(MaxThread + 1, 0);
-  for (const DepSpan &S : Log.Spans) {
-    Log.FinalCounters[S.Thread] = std::max(Log.FinalCounters[S.Thread], S.Last);
-    if (S.Src.valid())
-      Log.FinalCounters[S.Src.Thread] =
-          std::max(Log.FinalCounters[S.Src.Thread], S.Src.Count);
-  }
-}
 
 uint64_t peekMagic(const std::string &Path) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
@@ -315,11 +237,14 @@ bool RecordingLog::load(const std::string &Path, LogLoadReport &Report) {
   Report = LogLoadReport();
   uint64_t Magic = peekMagic(Path);
 
-  if (Magic == DurableFileMagic) {
-    Report.FormatVersion = 2;
-    SegmentScan Scan = scanDurableLog(Path);
-    if (!Scan.HeaderOk) {
-      Report.Error = Scan.Error;
+  if (Magic == DurableFileMagic || Magic == CompressedFileMagic) {
+    // Both durable formats stream segment by segment: the decode buffer is
+    // bounded by one segment (plus the salvage-truncate holdback window),
+    // never the file. Salvage, truncate-fault, and undecodable-segment
+    // semantics all live in the reader.
+    TraceSegmentReader Reader(Path);
+    if (!Reader.ok()) {
+      Report = Reader.report();
       return false;
     }
     Spans.clear();
@@ -327,43 +252,10 @@ bool RecordingLog::load(const std::string &Path, LogLoadReport &Report) {
     Spawns.clear();
     FinalCounters.clear();
     Guards = GuardSpec();
-    // ci.salvage_truncate: deterministically simulate a tear deeper than
-    // the on-disk one by discarding the newest N validated segments. The
-    // drop count comes from the companion param site so the clause's own
-    // `=N` keeps its usual fire-on-Nth-hit meaning.
-    fault::Injector &Faults = fault::Injector::global();
-    if (Faults.shouldFire("ci.salvage_truncate")) {
-      uint64_t Drop = Faults.param("ci.salvage_truncate_segments", 1);
-      while (Drop-- > 0 && !Scan.Segments.empty()) {
-        ++Scan.SegmentsDropped;
-        Scan.WordsDropped += Scan.Segments.back().size() + 3;
-        Scan.Segments.pop_back();
-      }
-      Scan.Clean = false;
+    while (Reader.next(*this)) {
     }
-    Report.SegmentsDropped = Scan.SegmentsDropped;
-    Report.WordsDropped = Scan.WordsDropped;
-    for (size_t I = 0; I < Scan.Segments.size(); ++I) {
-      if (!decodeSegment(Scan.Segments[I], *this)) {
-        // Checksummed but undecodable: cut here, keep the decoded prefix.
-        for (size_t J = I; J < Scan.Segments.size(); ++J) {
-          ++Report.SegmentsDropped;
-          Report.WordsDropped += Scan.Segments[J].size() + 3;
-        }
-        Scan.Clean = false;
-        break;
-      }
-      ++Report.SegmentsRecovered;
-    }
-    Report.CleanClose = Scan.Clean;
-    Report.Salvaged = !Scan.Clean;
-    if (Report.Salvaged) {
-      synthesizeHorizon(*this);
-      obs::Registry::global()
-          .counter("log.segments.salvaged")
-          .add(Report.SegmentsRecovered);
-    }
-    Guards.seal();
+    Reader.finish(*this);
+    Report = Reader.report();
     return true;
   }
 
@@ -425,7 +317,7 @@ bool RecordingLog::load(const std::string &Path, LogLoadReport &Report) {
     return Truncated();
   Spawns.clear();
   for (uint64_t I = 0; I < NumSpawns; ++I)
-    Spawns.push_back(unpackSpawn(Reader.get()));
+    Spawns.push_back(unpackSpawnWord(Reader.get()));
 
   uint64_t NumCounters = Reader.get();
   if (!HasWords(NumCounters))

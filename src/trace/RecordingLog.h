@@ -10,7 +10,7 @@
 /// and final per-thread access counters. This is what the Light recorder
 /// dumps to disk and what the replay phase consumes.
 ///
-/// Two on-disk formats are supported:
+/// Three on-disk formats are supported:
 ///
 ///  * LIGHT001 — the legacy single-shot format save() writes: one magic word
 ///    followed by the five sections, valid only when written to completion.
@@ -21,13 +21,20 @@
 ///    epoch, so a crashed process leaves a salvageable prefix; load()
 ///    recovers it and reports what was lost through LogLoadReport.
 ///
-/// load() dispatches on the magic word, so both formats stay loadable
-/// through one entry point.
+///  * LIGHT003 — the same durable container carrying varint/delta-compressed
+///    section payloads (trace/SegmentCodec), the scale format: ~5x smaller
+///    than LIGHT001 and streamable one segment at a time. Delta bases reset
+///    per segment, so every salvaged prefix decodes independently.
+///
+/// load() dispatches on the magic word, so all formats stay loadable
+/// through one entry point; the durable formats stream through
+/// trace/SegmentReader with a bounded decode buffer.
 ///
 /// Space accounting: the paper measures space in "Long-integer" units
 /// (Section 5.2), directly counting the long integers recorded. spaceLongs()
-/// returns exactly the number of 64-bit words the serialized dependence data
-/// occupies, so Figure 5 / Figure 7b come from real serialized sizes.
+/// returns exactly the number of 64-bit words the serialized log occupies in
+/// LIGHT001 (all sections, not just spans — spaceBreakdown() itemizes), so
+/// Figure 5 / Figure 7b come from real serialized sizes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +69,7 @@ enum class LogSection : uint64_t {
 /// whether the producer closed it cleanly, and how much of a torn tail was
 /// cut during salvage.
 struct LogLoadReport {
-  uint32_t FormatVersion = 0;    ///< 1 (LIGHT001) or 2 (LIGHT002)
+  uint32_t FormatVersion = 0;    ///< 1, 2, or 3 (LIGHT001/002/003)
   bool CleanClose = false;       ///< LIGHT002 clean-close marker present
   bool Salvaged = false;         ///< recovered a prefix of a crashed log
   uint64_t SegmentsRecovered = 0;///< LIGHT002 segments decoded
@@ -93,26 +100,55 @@ struct RecordingLog {
   /// to these locations ungated and never treats their writes as blind.
   GuardSpec Guards;
 
-  /// Number of long-integer units the dependence spans occupy when
-  /// serialized (4 words per span: Loc, Src, packed(Thread, First), Last).
-  uint64_t spaceLongs() const { return Spans.size() * 4; }
+  /// Per-section serialized size in long-integer (64-bit word) units of
+  /// the LIGHT001 encoding, count words included. Exposed so the space
+  /// benches can itemize where the trace bytes go.
+  struct SpaceBreakdown {
+    uint64_t SpanWords = 0;    ///< 1 + 4 per span
+    uint64_t SyscallWords = 0; ///< 1 + 2 per record
+    uint64_t SpawnWords = 0;   ///< 1 + 1 per record
+    uint64_t CounterWords = 0; ///< 1 + 1 per thread
+    uint64_t GuardWords = 0;   ///< 3 + 1 per guard entry
+    uint64_t total() const {
+      return SpanWords + SyscallWords + SpawnWords + CounterWords +
+             GuardWords;
+    }
+  };
+  SpaceBreakdown spaceBreakdown() const;
+
+  /// Number of long-integer units the serialized log occupies: every
+  /// section save() writes (spans, syscalls, spawns, counters, guards),
+  /// i.e. save()'s return value minus the magic word. This used to count
+  /// the span section alone, silently under-reporting trace size in the
+  /// space evaluation.
+  uint64_t spaceLongs() const { return spaceBreakdown().total(); }
 
   /// Serializes the log to \p Path using the buffered LongWriter scheme
   /// (legacy LIGHT001 format — the one the space evaluation counts).
-  /// Returns the number of long-integer units written (all sections).
+  /// Returns the number of long-integer units written (all sections), or 0
+  /// when a record exceeds a wire width (record.overflow is bumped and
+  /// nothing usable is written).
   uint64_t save(const std::string &Path) const;
 
   /// Serializes the log to \p Path as a LIGHT002 durable container: one
   /// segment holding every section, then the clean-close marker. Returns
   /// the number of long-integer units written (including framing), or 0 on
-  /// I/O failure.
+  /// I/O failure or record overflow.
   uint64_t saveDurable(const std::string &Path) const;
 
-  /// Loads a log written by save(), saveDurable(), or a crashed epoch
-  /// recorder — the magic word selects the parser. A LIGHT002 file without
-  /// its clean-close marker is salvaged: the longest valid segment prefix
-  /// becomes the log and the call still succeeds. Returns false on I/O
-  /// error, unrecognized magic, or (LIGHT001 only) any truncation.
+  /// Serializes the log to \p Path as a LIGHT003 compressed container
+  /// (same single-segment shape as saveDurable, varint payload). Returns
+  /// the number of long-integer units written (including framing), or 0 on
+  /// I/O failure or record overflow.
+  uint64_t saveCompact(const std::string &Path) const;
+
+  /// Loads a log written by save(), saveDurable(), saveCompact(), or a
+  /// crashed epoch recorder — the magic word selects the parser. A durable
+  /// file without its clean-close marker is salvaged: the longest valid
+  /// segment prefix becomes the log and the call still succeeds. Durable
+  /// formats stream through TraceSegmentReader (bounded memory). Returns
+  /// false on I/O error, unrecognized magic, or (LIGHT001 only) any
+  /// truncation.
   bool load(const std::string &Path);
 
   /// Same, and additionally reports format, clean/salvage status, and how
@@ -148,14 +184,17 @@ struct SalvageOutcome {
 SalvageOutcome salvageRecording(const std::string &Path);
 
 /// Encoders for LIGHT002 segment payloads, shared by saveDurable() and the
-/// epoch recorder. Each appends one complete section to \p Out.
-void encodeSpanSection(std::vector<uint64_t> &Out, const DepSpan *Spans,
+/// epoch recorder. Each appends one complete section to \p Out. The span
+/// and counter encoders return false (after bumping record.overflow, with
+/// \p Out unchanged) when a record exceeds a wire width — the structured
+/// replacement for what used to be assert-only packing guards.
+bool encodeSpanSection(std::vector<uint64_t> &Out, const DepSpan *Spans,
                        size_t N);
 void encodeSyscallSection(std::vector<uint64_t> &Out,
                           const SyscallRecord *Calls, size_t N);
 void encodeSpawnSection(std::vector<uint64_t> &Out,
                         const std::vector<SpawnRecord> &Spawns);
-void encodeCounterSection(
+bool encodeCounterSection(
     std::vector<uint64_t> &Out,
     const std::vector<std::pair<ThreadId, Counter>> &Updates);
 void encodeGuardSections(std::vector<uint64_t> &Out, const GuardSpec &Guards);

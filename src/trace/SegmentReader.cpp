@@ -1,0 +1,167 @@
+//===- trace/SegmentReader.cpp - Streaming epoch-segment reader -----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/SegmentReader.h"
+
+#include "obs/Metrics.h"
+#include "support/FaultInjection.h"
+#include "trace/SegmentCodec.h"
+
+#include <algorithm>
+
+using namespace light;
+
+namespace {
+
+/// After salvaging a crashed log, the counter table may stop short of (or
+/// never reach) the accesses the recovered spans prove happened. Extend it
+/// so the replay horizon covers every span: the final counter of a thread
+/// is at least the last access any recovered span attributes to it.
+void synthesizeHorizon(RecordingLog &Log) {
+  ThreadId MaxThread = 0;
+  auto Note = [&](ThreadId T) { MaxThread = std::max(MaxThread, T); };
+  for (const DepSpan &S : Log.Spans) {
+    Note(S.Thread);
+    if (S.Src.valid())
+      Note(S.Src.Thread);
+  }
+  for (const SyscallRecord &R : Log.Syscalls)
+    Note(R.Thread);
+  for (const SpawnRecord &R : Log.Spawns) {
+    Note(R.Parent);
+    Note(R.Child);
+  }
+  if (Log.FinalCounters.size() <= MaxThread)
+    Log.FinalCounters.resize(MaxThread + 1, 0);
+  for (const DepSpan &S : Log.Spans) {
+    Log.FinalCounters[S.Thread] = std::max(Log.FinalCounters[S.Thread], S.Last);
+    if (S.Src.valid())
+      Log.FinalCounters[S.Src.Thread] =
+          std::max(Log.FinalCounters[S.Src.Thread], S.Src.Count);
+  }
+}
+
+} // namespace
+
+TraceSegmentReader::TraceSegmentReader(const std::string &Path)
+    : Cursor(Path) {
+  if (!Cursor.ok()) {
+    Report_.Error = Cursor.error();
+    Done = true;
+    CursorDone = true;
+    return;
+  }
+  Ok = true;
+  Report_.FormatVersion = Cursor.magic() == CompressedFileMagic ? 3 : 2;
+  // ci.salvage_truncate: deterministically simulate a tear deeper than the
+  // on-disk one by discarding the newest N validated segments. The drop
+  // count comes from the companion param site so the clause's own `=N`
+  // keeps its usual fire-on-Nth-hit meaning.
+  fault::Injector &Faults = fault::Injector::global();
+  if (Faults.shouldFire("ci.salvage_truncate")) {
+    TruncateFired = true;
+    HoldbackN = Faults.param("ci.salvage_truncate_segments", 1);
+  }
+}
+
+bool TraceSegmentReader::decode(const std::vector<uint64_t> &Payload,
+                                RecordingLog &Log) {
+  return Report_.FormatVersion == 3 ? decodeSegmentCompressed(Payload, Log)
+                                    : decodeSegmentWords(Payload, Log);
+}
+
+void TraceSegmentReader::pump() {
+  while (!CursorDone && Holdback.size() <= HoldbackN) {
+    switch (Cursor.next(Buf)) {
+    case DurableLogCursor::Item::Segment:
+      Holdback.push_back(Buf);
+      continue;
+    case DurableLogCursor::Item::CleanClose:
+      SawCleanClose = true;
+      CursorDone = true;
+      break;
+    case DurableLogCursor::Item::End:
+      CursorDone = true;
+      break;
+    case DurableLogCursor::Item::TornTail:
+      CursorDone = true;
+      Report_.SegmentsDropped += 1;
+      Report_.WordsDropped += Cursor.wordsDropped();
+      break;
+    }
+  }
+}
+
+void TraceSegmentReader::dropHeldAndDrain() {
+  for (const std::vector<uint64_t> &Seg : Holdback) {
+    Report_.SegmentsDropped += 1;
+    Report_.WordsDropped += Seg.size() + 3;
+  }
+  Holdback.clear();
+  while (!CursorDone) {
+    switch (Cursor.next(Buf)) {
+    case DurableLogCursor::Item::Segment:
+      Report_.SegmentsDropped += 1;
+      Report_.WordsDropped += Buf.size() + 3;
+      continue;
+    case DurableLogCursor::Item::TornTail:
+      Report_.SegmentsDropped += 1;
+      Report_.WordsDropped += Cursor.wordsDropped();
+      CursorDone = true;
+      break;
+    case DurableLogCursor::Item::CleanClose:
+      SawCleanClose = true;
+      CursorDone = true;
+      break;
+    case DurableLogCursor::Item::End:
+      CursorDone = true;
+      break;
+    }
+  }
+}
+
+bool TraceSegmentReader::next(RecordingLog &Log) {
+  if (Done)
+    return false;
+  pump();
+  if (Holdback.size() <= HoldbackN) {
+    // Stream over. Whatever the holdback window still holds is exactly the
+    // newest min(N, seen) validated segments: the simulated deeper tear.
+    dropHeldAndDrain();
+    Done = true;
+    return false;
+  }
+  std::vector<uint64_t> Seg = std::move(Holdback.front());
+  Holdback.pop_front();
+  if (!decode(Seg, Log)) {
+    // Checksummed but undecodable: cut from this segment on, keep the
+    // decoded prefix (Log may hold the failed segment's partial sections,
+    // same as the whole-file path always did).
+    DecodeFailed = true;
+    Report_.SegmentsDropped += 1;
+    Report_.WordsDropped += Seg.size() + 3;
+    dropHeldAndDrain();
+    Done = true;
+    return false;
+  }
+  ++Report_.SegmentsRecovered;
+  return true;
+}
+
+void TraceSegmentReader::finish(RecordingLog &Log) {
+  if (Finalized || !Ok)
+    return;
+  Finalized = true;
+  Report_.CleanClose = SawCleanClose && !TruncateFired && !DecodeFailed;
+  Report_.Salvaged = !Report_.CleanClose;
+  Log.Guards.seal();
+  if (Report_.Salvaged) {
+    synthesizeHorizon(Log);
+    obs::Registry::global()
+        .counter("log.segments.salvaged")
+        .add(Report_.SegmentsRecovered);
+  }
+}

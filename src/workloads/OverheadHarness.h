@@ -41,6 +41,10 @@ const char *schemeName(Scheme S);
 struct Measurement {
   double Seconds = 0;
   uint64_t SpaceLongs = 0;
+  /// The same finished log serialized as compressed LIGHT003 (long units
+  /// including framing; Light scheme only). Space ratio vs SpaceLongs is
+  /// the Figure 5 compression column.
+  uint64_t CompactLongs = 0;
   uint64_t SharedOps = 0;
   uint64_t Retries = 0; ///< optimistic-read retries (Light only)
 };

@@ -1,0 +1,215 @@
+//===- tests/trace/CompactLogTest.cpp - LIGHT003 format suite --------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The compressed LIGHT003 container: real recorded logs round-trip through
+/// all three on-disk formats to the identical in-memory log, the varint
+/// encoding is strictly smaller than LIGHT001, truncating a multi-segment
+/// compressed epoch log at any word boundary salvages a clean span prefix,
+/// and the CompressedEpochs recorder's stream decodes to the same spans the
+/// in-memory finish() log holds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestPrograms.h"
+#include "obs/Metrics.h"
+#include "support/BinaryIO.h"
+#include "trace/SegmentReader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace light;
+using namespace light::testprogs;
+
+namespace {
+
+void expectSameLog(const RecordingLog &A, const RecordingLog &B) {
+  ASSERT_EQ(A.Spans.size(), B.Spans.size());
+  for (size_t I = 0; I < A.Spans.size(); ++I)
+    EXPECT_EQ(A.Spans[I], B.Spans[I]) << "span " << I;
+  ASSERT_EQ(A.Syscalls.size(), B.Syscalls.size());
+  for (size_t I = 0; I < A.Syscalls.size(); ++I) {
+    EXPECT_EQ(A.Syscalls[I].Thread, B.Syscalls[I].Thread);
+    EXPECT_EQ(A.Syscalls[I].Value, B.Syscalls[I].Value);
+  }
+  ASSERT_EQ(A.Spawns.size(), B.Spawns.size());
+  for (size_t I = 0; I < A.Spawns.size(); ++I) {
+    EXPECT_EQ(A.Spawns[I].Parent, B.Spawns[I].Parent);
+    EXPECT_EQ(A.Spawns[I].SpawnIndex, B.Spawns[I].SpawnIndex);
+    EXPECT_EQ(A.Spawns[I].Child, B.Spawns[I].Child);
+  }
+  EXPECT_EQ(A.FinalCounters, B.FinalCounters);
+  EXPECT_EQ(A.Guards.Exact, B.Guards.Exact);
+  EXPECT_EQ(A.Guards.FieldIndices, B.Guards.FieldIndices);
+  EXPECT_EQ(A.Guards.GlobalIds, B.Guards.GlobalIds);
+}
+
+uint64_t fileWords(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return 0;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fclose(F);
+  return Size < 0 ? 0 : static_cast<uint64_t>(Size) / 8;
+}
+
+/// Records a multi-segment compressed epoch log to \p Path and returns the
+/// in-memory finish() log.
+RecordingLog recordCompressedEpochs(const std::string &Path, uint64_t Seed) {
+  LightOptions Opts;
+  Opts.EpochSpans = 4; // several tiny segments, not one big one
+  Opts.DurableLogPath = Path;
+  Opts.CompressedEpochs = true;
+  return recordRun(counterRace(3, 6), Seed, Opts).Log;
+}
+
+} // namespace
+
+TEST(CompactLog, AllThreeFormatsLoadTheSameLog) {
+  for (uint64_t Seed : {1u, 7u, 23u}) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    RecordingLog Log = recordRun(counterRace(3, 6), Seed).Log;
+    ASSERT_FALSE(Log.Spans.empty());
+
+    std::string P1 = makeTempPath("fmt1"), P2 = makeTempPath("fmt2"),
+                P3 = makeTempPath("fmt3");
+    ASSERT_GT(Log.save(P1), 0u);
+    ASSERT_GT(Log.saveDurable(P2), 0u);
+    ASSERT_GT(Log.saveCompact(P3), 0u);
+
+    uint32_t Version = 1;
+    for (const std::string &P : {P1, P2, P3}) {
+      RecordingLog Loaded;
+      LogLoadReport Report;
+      ASSERT_TRUE(Loaded.load(P, Report)) << Report.Error;
+      EXPECT_EQ(Report.FormatVersion, Version);
+      EXPECT_TRUE(Report.Error.empty());
+      expectSameLog(Log, Loaded);
+      std::remove(P.c_str());
+      ++Version;
+    }
+  }
+}
+
+TEST(CompactLog, CompressedIsSmallerThanLight001) {
+  RecordingLog Log = recordRunBursty(counterRace(4, 24), 11).Log;
+  ASSERT_FALSE(Log.Spans.empty());
+  std::string P1 = makeTempPath("zip1"), P3 = makeTempPath("zip3");
+  ASSERT_GT(Log.save(P1), 0u);
+  ASSERT_GT(Log.saveCompact(P3), 0u);
+  EXPECT_LT(fileWords(P3), fileWords(P1));
+  std::remove(P1.c_str());
+  std::remove(P3.c_str());
+}
+
+TEST(CompactLog, RecorderStreamMatchesFinish) {
+  std::string Path = makeTempPath("light3-epochs");
+  RecordingLog Mem = recordCompressedEpochs(Path, 5);
+  ASSERT_FALSE(Mem.Spans.empty());
+
+  TraceSegmentReader Reader(Path);
+  ASSERT_TRUE(Reader.ok()) << Reader.report().Error;
+  RecordingLog Streamed;
+  size_t Segments = 0;
+  while (Reader.next(Streamed))
+    ++Segments;
+  Reader.finish(Streamed);
+  EXPECT_EQ(Reader.report().FormatVersion, 3u);
+  EXPECT_TRUE(Reader.report().CleanClose);
+  EXPECT_GT(Segments, 1u) << "epoch log should hold several segments";
+
+  // The per-thread epoch flush reorders spans across threads but preserves
+  // each thread's emission order; compare the per-thread subsequences.
+  auto PerThread = [](const RecordingLog &Log) {
+    std::map<ThreadId, std::vector<DepSpan>> By;
+    for (const DepSpan &S : Log.Spans)
+      By[S.Thread].push_back(S);
+    return By;
+  };
+  auto A = PerThread(Mem), B = PerThread(Streamed);
+  ASSERT_EQ(A.size(), B.size());
+  for (auto &[T, Spans] : A) {
+    ASSERT_EQ(Spans.size(), B[T].size()) << "thread " << T;
+    for (size_t I = 0; I < Spans.size(); ++I)
+      EXPECT_EQ(Spans[I], B[T][I]) << "thread " << T << " span " << I;
+  }
+  EXPECT_EQ(Mem.FinalCounters, Streamed.FinalCounters);
+  std::remove(Path.c_str());
+}
+
+TEST(CompactLog, TruncationSalvagesASpanPrefixAtEveryWordBoundary) {
+  std::string Path = makeTempPath("light3-full");
+  RecordingLog Full = recordCompressedEpochs(Path, 9);
+  uint64_t Words = fileWords(Path);
+  ASSERT_GT(Words, 4u);
+
+  std::vector<unsigned char> Bytes;
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    ASSERT_NE(F, nullptr);
+    Bytes.resize(Words * 8);
+    ASSERT_EQ(std::fread(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+    std::fclose(F);
+  }
+
+  std::string Cut = makeTempPath("light3-cut");
+  for (uint64_t W = 0; W < Words; ++W) {
+    SCOPED_TRACE("truncated to " + std::to_string(W) + " words");
+    {
+      std::FILE *F = std::fopen(Cut.c_str(), "wb");
+      ASSERT_NE(F, nullptr);
+      if (W) {
+        ASSERT_EQ(std::fwrite(Bytes.data(), 1, W * 8, F), W * 8);
+      }
+      std::fclose(F);
+    }
+    RecordingLog Log;
+    LogLoadReport Report;
+    if (!Log.load(Cut, Report)) {
+      // Nothing decodable survived; the failure must be explained.
+      EXPECT_FALSE(Report.Error.empty());
+      continue;
+    }
+    EXPECT_FALSE(Report.CleanClose);
+    EXPECT_TRUE(Report.Salvaged);
+    // Whatever was salvaged is a prefix of the full stream's spans.
+    ASSERT_LE(Log.Spans.size(), Full.Spans.size());
+    // The full durable stream and the in-memory log interleave spans
+    // differently, so compare against the stream order of the intact file.
+    RecordingLog Whole;
+    LogLoadReport WholeReport;
+    ASSERT_TRUE(Whole.load(Path, WholeReport));
+    for (size_t I = 0; I < Log.Spans.size(); ++I)
+      EXPECT_EQ(Log.Spans[I], Whole.Spans[I]) << "span " << I;
+  }
+  std::remove(Cut.c_str());
+  std::remove(Path.c_str());
+}
+
+TEST(CompactLog, CounterSaturationIsAStructuredOverflow) {
+  // Saturate the access counter: the recorder must flag a structured
+  // overflow instead of wrapping packed ids, and bump record.overflow.
+  uint64_t Before =
+      obs::Registry::global().counter("record.overflow").value();
+  LightOptions Opts;
+  Opts.WriteToDisk = false;
+  LightRecorder Rec(Opts);
+  Rec.debugSetCounter(0, MaxAccessCounter - 1);
+  LocMeta Meta;
+  bool Performed = false;
+  for (int I = 0; I < 4; ++I)
+    Rec.onWrite(0, loc::var(1), Meta, [&] { Performed = true; });
+  EXPECT_TRUE(Performed) << "accesses must still perform, uninstrumented";
+  EXPECT_TRUE(Rec.overflowed());
+  EXPECT_FALSE(Rec.overflowError().empty());
+  EXPECT_GT(obs::Registry::global().counter("record.overflow").value(),
+            Before);
+  Rec.finish();
+}

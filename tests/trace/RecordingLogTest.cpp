@@ -92,9 +92,24 @@ TEST(RecordingLog, RejectsGarbage) {
   std::remove(Path.c_str());
 }
 
-TEST(RecordingLog, SpaceAccountingIsFourWordsPerSpan) {
+TEST(RecordingLog, SpaceAccountingCountsEverySection) {
   RecordingLog Log = sampleLog();
-  EXPECT_EQ(Log.spaceLongs(), Log.Spans.size() * 4);
+  // spaceLongs() is pinned to the real serialized size: exactly what save()
+  // writes minus the magic word. It used to count the span section alone,
+  // under-reporting every other section in the space evaluation.
+  std::string Path = makeTempPath("reclog-space");
+  uint64_t Saved = Log.save(Path);
+  ASSERT_GT(Saved, 0u);
+  EXPECT_EQ(Log.spaceLongs(), Saved - 1);
+  std::remove(Path.c_str());
+
+  RecordingLog::SpaceBreakdown B = Log.spaceBreakdown();
+  EXPECT_EQ(B.SpanWords, 1 + Log.Spans.size() * 4);
+  EXPECT_EQ(B.SyscallWords, 1 + Log.Syscalls.size() * 2);
+  EXPECT_EQ(B.SpawnWords, 1 + Log.Spawns.size());
+  EXPECT_EQ(B.CounterWords, 1 + Log.FinalCounters.size());
+  EXPECT_EQ(B.GuardWords, 3u + 3u);
+  EXPECT_EQ(B.total(), Log.spaceLongs());
 }
 
 TEST(GuardSpec, CoversByKind) {

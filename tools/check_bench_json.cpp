@@ -86,6 +86,40 @@ int checkContentionRows(const std::string &Path, const JsonValue &Rows) {
   return 0;
 }
 
+/// Deep checks for the scale bench's table: every row carries the
+/// streaming-pipeline measurement columns (peak RSS and wall time are the
+/// headline claims, so their absence is a schema break, not an omission)
+/// and the access counts strictly increase (the scaling table is ordered).
+int checkScaleRows(const std::string &Path, const JsonValue &Rows) {
+  double LastAccesses = 0;
+  for (size_t I = 0; I < Rows.Items.size(); ++I) {
+    const JsonValue &Row = Rows.Items[I];
+    std::string Where = "rows[" + std::to_string(I) + "]";
+    const JsonValue *Cfg = Row.find("config");
+    if (!Cfg || Cfg->What != JsonValue::Kind::String || Cfg->Str.empty())
+      return fail(Path, Where + " missing string \"config\"");
+    for (const char *Col :
+         {"accesses", "spans", "windows", "wall_seconds", "solve_seconds",
+          "peak_rss_bytes", "light001_bytes", "light003_bytes",
+          "compression_vs_light001"}) {
+      const JsonValue *V = Row.find(Col);
+      if (!V || V->What != JsonValue::Kind::Number)
+        return fail(Path, Where + " missing numeric \"" + Col + "\"");
+    }
+    if (Row.find("peak_rss_bytes")->Num <= 0)
+      return fail(Path, Where + " has peak_rss_bytes <= 0");
+    if (Row.find("wall_seconds")->Num < 0)
+      return fail(Path, Where + " has negative wall_seconds");
+    double Accesses = Row.find("accesses")->Num;
+    if (Accesses <= LastAccesses)
+      return fail(Path, Where + " access counts are not strictly increasing");
+    LastAccesses = Accesses;
+  }
+  if (LastAccesses == 0)
+    return fail(Path, "scale report has no rows");
+  return 0;
+}
+
 int checkOne(const std::string &Path) {
   std::ifstream In(Path);
   if (!In)
@@ -130,6 +164,9 @@ int checkOne(const std::string &Path) {
 
   if (Bench->Str == "contention")
     if (int Rc = checkContentionRows(Path, *Rows))
+      return Rc;
+  if (Bench->Str == "scale")
+    if (int Rc = checkScaleRows(Path, *Rows))
       return Rc;
 
   if (const JsonValue *Metrics = Root.find("metrics")) {

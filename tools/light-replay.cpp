@@ -83,6 +83,8 @@
 #include "core/LightRecorder.h"
 #include "core/ReplayDirector.h"
 #include "core/ReplaySchedule.h"
+#include "core/WindowedSchedule.h"
+#include "trace/SegmentReader.h"
 #include "interp/Machine.h"
 #include "mir/Parser.h"
 #include "obs/Args.h"
@@ -143,6 +145,13 @@ int usage() {
       "                         to N threads (default auto; 1 = monolithic)\n"
       "  --epoch-spans <N>      durable epoch log: flush every N spans\n"
       "  --epoch-ms <N>         durable epoch log: flush every N ms\n"
+      "  --compress             write durable epochs in the compressed\n"
+      "                         LIGHT003 format (needs --epoch-spans/-ms)\n"
+      "  --stream               replay: stream the log segment by segment\n"
+      "                         and solve in bounded windows instead of\n"
+      "                         loading + solving monolithically\n"
+      "  --window-spans <N>     --stream window size in spans "
+      "(default 32768)\n"
       "  --fault <spec>         arm fault injection (LIGHT_FAULT grammar)\n"
       "  --metrics-json <file>  write the metrics snapshot as JSON\n"
       "  --trace-out <file>     write a Chrome trace of the run\n"
@@ -218,15 +227,17 @@ void printOutcome(const RunResult &R) {
 /// Prints the durability verdict of a load: format version, clean close
 /// vs. salvage, and how much of a torn log was recovered/cut.
 void printLoadReport(const LogLoadReport &Report) {
-  if (Report.FormatVersion != 2)
+  if (Report.FormatVersion != 2 && Report.FormatVersion != 3)
     return;
+  const char *Fmt = Report.FormatVersion == 3 ? "LIGHT003" : "LIGHT002";
   if (Report.CleanClose) {
-    std::printf("durable log: LIGHT002, closed cleanly, %llu segment(s)\n",
+    std::printf("durable log: %s, closed cleanly, %llu segment(s)\n", Fmt,
                 static_cast<unsigned long long>(Report.SegmentsRecovered));
     return;
   }
-  std::printf("durable log: LIGHT002, SALVAGED %llu segment(s)"
+  std::printf("durable log: %s, SALVAGED %llu segment(s)"
               " (dropped %llu segment(s), %llu words of torn tail)\n",
+              Fmt,
               static_cast<unsigned long long>(Report.SegmentsRecovered),
               static_cast<unsigned long long>(Report.SegmentsDropped),
               static_cast<unsigned long long>(Report.WordsDropped));
@@ -238,6 +249,11 @@ void printLoadReport(const LogLoadReport &Report) {
 /// runs best-effort (gates enforced, read sources unchecked) — the right
 /// mode for a torn prefix whose open spans died with the recorder.
 /// Returns 0 on a faithful replay.
+int replayWithPlan(const mir::Program &Prog, const RecordingLog &Log,
+                   const ReplaySchedule &Plan,
+                   const BugReport *ExpectBug = nullptr,
+                   bool Validate = true);
+
 int solveAndReplay(const mir::Program &Prog, const RecordingLog &Log,
                    bool UseZ3, unsigned SolverShards,
                    const BugReport *ExpectBug = nullptr,
@@ -253,6 +269,14 @@ int solveAndReplay(const mir::Program &Prog, const RecordingLog &Log,
               Plan.order().size(),
               Plan.solveStats().SolveSeconds * 1000, Plan.solveStats().Shards,
               Plan.solveStats().Shards == 1 ? "" : "s");
+  return replayWithPlan(Prog, Log, Plan, ExpectBug, Validate);
+}
+
+/// The execution half of solveAndReplay, shared with the streamed
+/// (windowed) path: runs one replay of \p Plan and checks faithfulness.
+int replayWithPlan(const mir::Program &Prog, const RecordingLog &Log,
+                   const ReplaySchedule &Plan, const BugReport *ExpectBug,
+                   bool Validate) {
   ReplayDirector Director(Plan, /*RealThreads=*/false, Validate);
   Machine M(Prog, Director);
   M.prepareReplay(Log.Spawns);
@@ -288,6 +312,49 @@ int solveAndReplay(const mir::Program &Prog, const RecordingLog &Log,
     }
   }
   return 0;
+}
+
+/// `replay --stream`: pulls the durable log one epoch segment at a time
+/// and solves it in bounded windows, so peak memory holds one window's
+/// constraint system instead of the whole trace's. Salvaged (torn) logs
+/// replay unvalidated, matching crashtest's salvage semantics.
+int streamedSolveAndReplay(const mir::Program &Prog, const std::string &Path,
+                           bool UseZ3, unsigned SolverShards,
+                           size_t WindowSpans) {
+  TraceSegmentReader Reader(Path);
+  if (!Reader.ok()) {
+    std::fprintf(stderr, "error: cannot stream '%s': %s\n", Path.c_str(),
+                 Reader.report().Error.c_str());
+    return 1;
+  }
+  WindowedOptions WO;
+  WO.Engine = UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl;
+  WO.SolverShards = SolverShards;
+  WO.WindowSpans = WindowSpans;
+  WindowedScheduleBuilder Builder(WO);
+
+  RecordingLog Log;
+  while (Reader.next(Log) && Builder.addSpans(Log))
+    ;
+  Reader.finish(Log);
+  Builder.addSpans(Log);
+  if (!Builder.finish()) {
+    std::fprintf(stderr, "error: %s\n", Builder.error().c_str());
+    if (Builder.tooSmall().fired())
+      std::fprintf(stderr,
+                   "hint: a dependence crossed a frozen window; retry with "
+                   "a larger --window-spans\n");
+    return 1;
+  }
+  printLoadReport(Reader.report());
+  std::printf("streamed %zu window(s): solved %llu-turn schedule in "
+              "%.2f ms\n",
+              Builder.windowsSolved(),
+              static_cast<unsigned long long>(Builder.orderSize()),
+              Builder.stats().SolveSeconds * 1000);
+  ReplaySchedule Plan = Builder.takeSchedule(Log);
+  return replayWithPlan(Prog, Log, Plan, nullptr,
+                        /*Validate=*/Reader.report().CleanClose);
 }
 
 /// Writes the telemetry outputs requested on the command line. Runs on
@@ -528,10 +595,12 @@ int main(int argc, char **argv) {
   obs::ArgList Args(
       argc, argv,
       {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault",
-       "solver-shards", "explore", "preemption-bound", "pct-depth", "seeds",
-       "budget", "repro-out", "progress", "ci-json", "ci-artifacts",
-       "ci-deadline", "ci-retries", "ci-seed", "ci-explore-budget"},
-      {"z3", "no-verify", "oracle", "shrink", "ci-calibration"},
+       "solver-shards", "window-spans", "explore", "preemption-bound",
+       "pct-depth", "seeds", "budget", "repro-out", "progress", "ci-json",
+       "ci-artifacts", "ci-deadline", "ci-retries", "ci-seed",
+       "ci-explore-budget"},
+      {"z3", "no-verify", "compress", "stream", "oracle", "shrink",
+       "ci-calibration"},
       /*Begin=*/2);
   for (const std::string &F : Args.unknown())
     std::fprintf(stderr, "error: unknown flag '%s'\n", F.c_str());
@@ -755,11 +824,16 @@ int main(int argc, char **argv) {
     Opts.WriteToDisk = false;
     if (Epochs.on()) {
       // Durable-epoch mode: the on-disk artifact is the incrementally
-      // written LIGHT002 log itself (crash-recoverable at every epoch
-      // boundary), not a finish()-time LIGHT001 save.
+      // written LIGHT002/LIGHT003 log itself (crash-recoverable at every
+      // epoch boundary), not a finish()-time LIGHT001 save.
       Opts.EpochSpans = Epochs.Spans;
       Opts.EpochMs = Epochs.Ms;
       Opts.DurableLogPath = LogPath;
+      Opts.CompressedEpochs = Args.has("compress");
+    } else if (Args.has("compress")) {
+      std::fprintf(stderr, "error: --compress needs durable epochs "
+                           "(--epoch-spans or --epoch-ms)\n");
+      return Finish(2);
     }
     LightRecorder Rec(Opts);
     Machine M(*Prog, Rec);
@@ -780,9 +854,15 @@ int main(int argc, char **argv) {
       if (DL->crashed())
         std::printf("note: injected crash tore the durable log; the on-disk "
                     "prefix is salvageable with `replay`\n");
-      std::printf("recorded %zu spans (durable LIGHT002, %llu segments, "
+      if (Rec.overflowed()) {
+        std::fprintf(stderr, "error: recording overflowed: %s\n",
+                     Rec.overflowError().c_str());
+        return Finish(1);
+      }
+      std::printf("recorded %zu spans (durable %s, %llu segments, "
                   "%llu long-integers on disk) -> %s\n",
                   Log.Spans.size(),
+                  Opts.CompressedEpochs ? "LIGHT003" : "LIGHT002",
                   static_cast<unsigned long long>(
                       DL ? DL->segmentsWritten() : 0),
                   static_cast<unsigned long long>(DL ? DL->wordsWritten()
@@ -805,6 +885,17 @@ int main(int argc, char **argv) {
   if (Cmd == "replay") {
     if (Args.size() < 2)
       return usage();
+    if (Args.has("stream")) {
+      size_t WindowSpans = std::strtoull(
+          Args.get("window-spans", "32768").c_str(), nullptr, 10);
+      if (WindowSpans == 0) {
+        std::fprintf(stderr,
+                     "error: --window-spans wants a positive span count\n");
+        return Finish(2);
+      }
+      return Finish(streamedSolveAndReplay(*Prog, Args.positional(1), UseZ3,
+                                           SolverShards, WindowSpans));
+    }
     RecordingLog Log;
     LogLoadReport Report;
     if (!Log.load(Args.positional(1), Report)) {
