@@ -4,13 +4,15 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Measures the schedule-exploration engine on the 8 Figure-6 bug programs:
-/// for each program and each strategy (bounded-preemption DFS at bound 2,
-/// PCT at depth 3), how many schedules until the bug manifests,
-/// schedules/second, and how many distinct interleavings the search
-/// visited. The bug-hit rate across the suite is the headline number: both
-/// strategies are expected to manifest all 8 bugs within the budget
-/// (deterministically, given the fixed seeds).
+/// Measures the schedule-exploration engine on the 8 Figure-6 bug programs
+/// plus the 4 synchronization-primitive kernels (rwlock downgrade, barrier
+/// generation reuse, timed-wait lost wakeup, CAS ABA): for each program and
+/// each strategy (bounded-preemption DFS at bound 2, PCT at depth 3), how
+/// many schedules until the bug manifests, schedules/second, and how many
+/// distinct interleavings the search visited. The bug-hit rate across both
+/// suites is the headline number: both strategies are expected to manifest
+/// all 12 bugs within the budget (deterministically, given the fixed
+/// seeds).
 ///
 /// Usage: bench_explore [--fast] [--budget N] [--json [file]]
 ///
@@ -41,42 +43,51 @@ int main(int argc, char **argv) {
   Opts.PctDepth = 3;
   Opts.PctSeeds = Opts.ScheduleBudget;
 
-  std::printf("Schedule exploration on the Figure-6 bug programs "
-              "(budget %llu)\n\n",
+  std::printf("Schedule exploration on the Figure-6 and sync-primitive bug "
+              "programs (budget %llu)\n\n",
               static_cast<unsigned long long>(Opts.ScheduleBudget));
 
-  Table T({"bug", "strategy", "found", "schedules", "distinct", "sched/s",
-           "preempt"});
+  Table T({"suite", "bug", "strategy", "found", "schedules", "distinct",
+           "sched/s", "preempt"});
   obs::BenchReport Report("explore");
   int DfsHits = 0, PctHits = 0, Total = 0;
 
-  for (const BugBenchmark &Bench : makeBugSuite()) {
-    ++Total;
-    struct {
-      const char *Name;
-      ExploreReport R;
-    } Runs[2] = {{"dfs", exploreDfs(Bench.Prog, Opts)},
-                 {"pct", explorePct(Bench.Prog, Opts)}};
-    for (const auto &Run : Runs) {
-      const ExploreReport &R = Run.R;
-      T.addRow({Bench.Name, Run.Name, R.BugFound ? "yes" : "NO",
-                std::to_string(R.SchedulesRun),
-                std::to_string(R.DistinctInterleavings),
-                std::to_string(static_cast<uint64_t>(R.schedulesPerSecond())),
-                R.BugFound ? std::to_string(R.FailingPreemptions) : "-"});
-      Report.row()
-          .set("bug", Bench.Name)
-          .set("strategy", Run.Name)
-          .set("bug_found", R.BugFound)
-          .set("schedules", R.SchedulesRun)
-          .set("distinct_interleavings", R.DistinctInterleavings)
-          .set("schedules_per_second", R.schedulesPerSecond())
-          .set("space_exhausted", R.SpaceExhausted)
-          .set("seconds", R.Seconds);
+  const struct {
+    const char *Name;
+    std::vector<BugBenchmark> Benches;
+  } Suites[2] = {{"fig6", makeBugSuite()}, {"sync", makeSyncBugSuite()}};
+
+  for (const auto &Suite : Suites) {
+    for (const BugBenchmark &Bench : Suite.Benches) {
+      ++Total;
+      struct {
+        const char *Name;
+        ExploreReport R;
+      } Runs[2] = {{"dfs", exploreDfs(Bench.Prog, Opts)},
+                   {"pct", explorePct(Bench.Prog, Opts)}};
+      for (const auto &Run : Runs) {
+        const ExploreReport &R = Run.R;
+        T.addRow({Suite.Name, Bench.Name, Run.Name, R.BugFound ? "yes" : "NO",
+                  std::to_string(R.SchedulesRun),
+                  std::to_string(R.DistinctInterleavings),
+                  std::to_string(
+                      static_cast<uint64_t>(R.schedulesPerSecond())),
+                  R.BugFound ? std::to_string(R.FailingPreemptions) : "-"});
+        Report.row()
+            .set("suite", Suite.Name)
+            .set("bug", Bench.Name)
+            .set("strategy", Run.Name)
+            .set("bug_found", R.BugFound)
+            .set("schedules", R.SchedulesRun)
+            .set("distinct_interleavings", R.DistinctInterleavings)
+            .set("schedules_per_second", R.schedulesPerSecond())
+            .set("space_exhausted", R.SpaceExhausted)
+            .set("seconds", R.Seconds);
+      }
+      DfsHits += Runs[0].R.BugFound;
+      PctHits += Runs[1].R.BugFound;
+      std::fflush(stdout);
     }
-    DfsHits += Runs[0].R.BugFound;
-    PctHits += Runs[1].R.BugFound;
-    std::fflush(stdout);
   }
   std::printf("%s\n", T.render().c_str());
 

@@ -10,6 +10,12 @@
 /// Lucene-481, Lucene-651, Tomcat-53498, Weblech (5); Chimera misses
 /// Cache4j, Tomcat-37458, Tomcat-50885 (3).
 ///
+/// A second section extends the matrix to the synchronization-primitive
+/// kernels (rwlock downgrade, barrier generation reuse, timed-wait lost
+/// wakeup, CAS ABA). Expected: Light 4/4; Clap 0/4 (every primitive is
+/// outside its symbolic model); Chimera 1/4 (only the monitor-shaped
+/// timed-wait flake survives its serializing patch).
+///
 //===----------------------------------------------------------------------===//
 
 #include "bugs/BugHarness.h"
@@ -27,55 +33,73 @@ int main(int argc, char **argv) {
 
   std::printf("Section 5.3 (Figure 6 bugs): reproduction by tool\n\n");
 
-  Table T({"bug", "light", "clap", "chimera", "clap note / chimera note"});
+  Table T({"suite", "bug", "light", "clap", "chimera",
+           "clap note / chimera note"});
   int LightOk = 0, ClapOk = 0, ChimeraOk = 0, Mismatches = 0;
+  int SyncLight = 0, SyncClap = 0, SyncChimera = 0;
   obs::BenchReport Report("fig6_bug_matrix");
 
-  for (const BugBenchmark &Bench : makeBugSuite()) {
-    std::optional<uint64_t> Seed = findBuggySeed(Bench.Prog, 300);
-    if (!Seed) {
-      T.addRow({Bench.Name, "no failing schedule found", "-", "-", "-"});
-      Report.row().set("bug", Bench.Name).set("seed_found", false);
-      ++Mismatches;
-      continue;
+  const struct {
+    const char *Name;
+    std::vector<BugBenchmark> Benches;
+  } Suites[2] = {{"fig6", makeBugSuite()}, {"sync", makeSyncBugSuite()}};
+
+  for (const auto &Suite : Suites) {
+    bool Sync = std::string(Suite.Name) == "sync";
+    for (const BugBenchmark &Bench : Suite.Benches) {
+      std::optional<uint64_t> Seed = findBuggySeed(Bench.Prog, 300);
+      if (!Seed) {
+        T.addRow({Suite.Name, Bench.Name, "no failing schedule found", "-",
+                  "-", "-"});
+        Report.row()
+            .set("suite", Suite.Name)
+            .set("bug", Bench.Name)
+            .set("seed_found", false);
+        ++Mismatches;
+        continue;
+      }
+      ToolAttempt L = lightReproduce(Bench, *Seed);
+      ToolAttempt C = clapReproduce(Bench, *Seed);
+      ToolAttempt H = chimeraReproduce(Bench);
+
+      (Sync ? SyncLight : LightOk) += L.Reproduced;
+      (Sync ? SyncClap : ClapOk) += C.Reproduced;
+      (Sync ? SyncChimera : ChimeraOk) += H.Reproduced;
+      if (!L.Reproduced || C.Reproduced != Bench.ClapExpected ||
+          H.Reproduced != Bench.ChimeraExpected)
+        ++Mismatches;
+
+      Report.row()
+          .set("suite", Suite.Name)
+          .set("bug", Bench.Name)
+          .set("seed_found", true)
+          .set("light", L.Reproduced)
+          .set("clap", C.Reproduced)
+          .set("chimera", H.Reproduced)
+          .set("clap_expected", Bench.ClapExpected)
+          .set("chimera_expected", Bench.ChimeraExpected);
+
+      std::string Note;
+      if (!C.Reproduced)
+        Note += "clap: " + C.Note;
+      if (!H.Reproduced)
+        Note += (Note.empty() ? "" : " | ") + ("chimera: " + H.Note);
+      if (Note.size() > 70)
+        Note = Note.substr(0, 67) + "...";
+      T.addRow({Suite.Name, Bench.Name, L.Reproduced ? "yes" : "NO",
+                C.Reproduced ? "yes" : "no", H.Reproduced ? "yes" : "no",
+                Note});
+      std::fflush(stdout);
     }
-    ToolAttempt L = lightReproduce(Bench, *Seed);
-    ToolAttempt C = clapReproduce(Bench, *Seed);
-    ToolAttempt H = chimeraReproduce(Bench);
-
-    LightOk += L.Reproduced;
-    ClapOk += C.Reproduced;
-    ChimeraOk += H.Reproduced;
-    if (!L.Reproduced || C.Reproduced != Bench.ClapExpected ||
-        H.Reproduced != Bench.ChimeraExpected)
-      ++Mismatches;
-
-    Report.row()
-        .set("bug", Bench.Name)
-        .set("seed_found", true)
-        .set("light", L.Reproduced)
-        .set("clap", C.Reproduced)
-        .set("chimera", H.Reproduced)
-        .set("clap_expected", Bench.ClapExpected)
-        .set("chimera_expected", Bench.ChimeraExpected);
-
-    std::string Note;
-    if (!C.Reproduced)
-      Note += "clap: " + C.Note;
-    if (!H.Reproduced)
-      Note += (Note.empty() ? "" : " | ") + ("chimera: " + H.Note);
-    if (Note.size() > 70)
-      Note = Note.substr(0, 67) + "...";
-    T.addRow({Bench.Name, L.Reproduced ? "yes" : "NO",
-              C.Reproduced ? "yes" : "no", H.Reproduced ? "yes" : "no",
-              Note});
-    std::fflush(stdout);
   }
   std::printf("%s\n", T.render().c_str());
 
   std::printf("Totals: Light %d/8 (paper 8/8), Clap %d/8 (paper 3/8), "
               "Chimera %d/8 (paper 5/8)\n",
               LightOk, ClapOk, ChimeraOk);
+  std::printf("Sync kernels: Light %d/4 (want 4/4), Clap %d/4 (want 0/4), "
+              "Chimera %d/4 (want 1/4)\n",
+              SyncLight, SyncClap, SyncChimera);
   std::printf("Matrix matches the paper: %s\n",
               Mismatches == 0 ? "YES" : "NO");
 
@@ -83,6 +107,9 @@ int main(int argc, char **argv) {
     Report.aggregate("light_reproduced", LightOk);
     Report.aggregate("clap_reproduced", ClapOk);
     Report.aggregate("chimera_reproduced", ChimeraOk);
+    Report.aggregate("sync_light_reproduced", SyncLight);
+    Report.aggregate("sync_clap_reproduced", SyncClap);
+    Report.aggregate("sync_chimera_reproduced", SyncChimera);
     Report.aggregate("mismatches", Mismatches);
     Report.ok(Mismatches == 0);
     Report.withMetrics();

@@ -45,6 +45,9 @@ Reg defRegOf(const Instr &I) {
   case Opcode::ThreadStart:
   case Opcode::SysTime:
   case Opcode::SysRand:
+  case Opcode::TimedWait:
+  case Opcode::AtomicCas:
+  case Opcode::AtomicXchg:
     return I.A;
   case Opcode::Call:
     return I.A; // may be NoReg

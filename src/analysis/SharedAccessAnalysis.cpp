@@ -65,6 +65,8 @@ uint64_t abstractionOf(const Instr &I) {
   switch (I.Op) {
   case Opcode::GetGlobal:
   case Opcode::PutGlobal:
+  case Opcode::AtomicCas:
+  case Opcode::AtomicXchg:
     return AbsGlobal | static_cast<uint64_t>(I.Imm);
   case Opcode::GetField:
   case Opcode::PutField:

@@ -727,6 +727,34 @@ void SymbolicRun::execThread(ThreadExec &T) {
       bail("wait/notify outside the symbolic model");
       return;
 
+    case Opcode::TimedWait:
+      // Strictly harder than wait/notify: the timeout arm depends on the
+      // schedule, which per-thread re-execution cannot see.
+      bail("timed wait outside the symbolic model");
+      return;
+
+    case Opcode::RwRdLock:
+    case Opcode::RwRdUnlock:
+    case Opcode::RwWrLock:
+    case Opcode::RwWrUnlock:
+      // Encoding shared/exclusive admission would need a dedicated theory;
+      // treating them as plain mutexes would forbid feasible schedules
+      // (concurrent readers), so bail instead of risking bogus UNSAT.
+      bail("read-write locks outside the symbolic model");
+      return;
+
+    case Opcode::BarrierInit:
+    case Opcode::BarrierWait:
+      bail("barriers outside the symbolic model");
+      return;
+
+    case Opcode::AtomicCas:
+    case Opcode::AtomicXchg:
+      // The success arm of a CAS is schedule-dependent; modeling it would
+      // need totally-ordered RMW events, which this encoding lacks.
+      bail("lock-free atomics outside the symbolic model");
+      return;
+
     case Opcode::ThreadStart: {
       uint64_t Key = (static_cast<uint64_t>(T.Id) << 32) | T.SpawnCount++;
       auto It = SpawnTable.find(Key);

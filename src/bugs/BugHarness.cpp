@@ -175,6 +175,14 @@ ToolAttempt light::bugs::chimeraReproduce(const BugBenchmark &Bench,
       analysis::detectRaces(Bench.Prog, LA);
   ChimeraPatch Patch = chimeraPatch(Bench.Prog, Races);
 
+  // The matrix asks whether Chimera reproduces the *benchmark's* failure,
+  // so pin down what that failure looks like on the unpatched program.
+  // Serializing methods can introduce new failures of its own (a patch
+  // lock held across a barrier arrival deadlocks every schedule); those
+  // must not count as finding the bug.
+  BugReport Ref;
+  findBuggySeed(Bench.Prog, MaxSeeds, &Ref);
+
   // Search for a schedule of the *patched* program that still fails.
   for (uint64_t Seed = 1; Seed <= MaxSeeds; ++Seed) {
     ChimeraRecorder Rec;
@@ -184,6 +192,12 @@ ToolAttempt light::bugs::chimeraReproduce(const BugBenchmark &Bench,
     RandomScheduler Sched(Seed);
     RunResult Recorded = M.run(Sched);
     if (!Recorded.Bug.happened() || !isApplicationBug(Recorded.Bug))
+      continue;
+    // Loose match against the reference failure (kind + assertion id):
+    // patched code shifts PCs, so the exact-location correlation of
+    // sameAs() cannot transfer across the patch.
+    if (Ref.happened() && (Recorded.Bug.What != Ref.What ||
+                           Recorded.Bug.BugId != Ref.BugId))
       continue;
 
     Out.Seed = Seed;

@@ -62,6 +62,29 @@ mir::Program weblech();
 /// The full 8-bug suite, verified, with shared-access analysis applied.
 std::vector<BugBenchmark> makeBugSuite();
 
+// --- Synchronization-primitive bug kernels (SyncBugPrograms.cpp) ------------
+//
+// Four schedule-dependent kernels exercising the rwlock / barrier /
+// timed-wait / CAS surface:
+//
+//   bug               failure shape                              BugId
+//   RwLock-Downgrade  writer gap between wrunlock and rdlock       10
+//   Barrier-Reuse     round N+1 write races round N read           11
+//   TimedWait-Flake   timeout arm skips the predicate recheck      12
+//   Cas-Aba           top pointer recycled inside the CAS window   13
+//
+// All four sit outside Clap's symbolic model (the engine bails on every
+// one of these primitives), so ClapExpected is false across the board.
+
+mir::Program rwlockDowngrade();
+mir::Program barrierReuse();
+mir::Program timedWaitFlake();
+mir::Program casAba();
+
+/// The 4-kernel synchronization suite, verified, with shared-access
+/// analysis applied.
+std::vector<BugBenchmark> makeSyncBugSuite();
+
 } // namespace bugs
 } // namespace light
 

@@ -1,0 +1,346 @@
+//===- bugs/SyncBugPrograms.cpp - Synchronization-primitive bug kernels ---===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Schedule-dependent kernels for the extended synchronization surface:
+// read-write locks, barriers, timed waits, and CAS loops. Each kernel has
+// both clean and failing schedules, so exploration has something to find
+// and record/replay has something to reproduce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bugs/BugPrograms.h"
+
+#include "analysis/SharedAccessAnalysis.h"
+#include "mir/Builder.h"
+
+#include <cassert>
+
+using namespace light;
+using namespace light::bugs;
+using namespace light::mir;
+
+namespace {
+
+/// Emits `for (i = 0; i < N; ++i) { body }`. \p Body receives the loop
+/// counter register.
+template <typename Fn>
+void emitLoop(FunctionBuilder &FB, int64_t N, Fn Body) {
+  Reg I = FB.newReg(), Bound = FB.newReg(), One = FB.newReg();
+  Reg Cond = FB.newReg();
+  FB.constInt(I, 0);
+  FB.constInt(Bound, N);
+  FB.constInt(One, 1);
+  Label Head = FB.makeLabel(), BodyL = FB.makeLabel(), Done = FB.makeLabel();
+  FB.place(Head);
+  FB.cmpLt(Cond, I, Bound);
+  FB.br(Cond, BodyL, Done);
+  FB.place(BodyL);
+  Body(I);
+  FB.add(I, I, One);
+  FB.jmp(Head);
+  FB.place(Done);
+}
+
+} // namespace
+
+// --- RwLock-Downgrade: writer gap between wrunlock and rdlock ---------------
+//
+// The downgrader means to atomically downgrade its write lock to a read
+// lock, but releases the write lock *before* taking the read lock. A
+// concurrent writer landing in that gap clobbers the value the downgrader
+// just wrote, and the read-side validation sees a foreign value. Clean
+// schedules (the clobberer runs entirely before or after) exist alongside
+// the failing ones.
+Program light::bugs::rwlockDowngrade() {
+  ProgramBuilder PB;
+  ClassId Shared = PB.addClass("Shared", {"val"});
+  uint32_t GObj = PB.addGlobal("shared");
+
+  FuncId Downgrader = PB.declareFunction("downgrade", 0);
+  FuncId Clobberer = PB.declareFunction("clobber", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("downgrade", 0);
+    Reg Obj = FB.newReg(), One = FB.newReg();
+    Reg Exp = FB.newReg(), V = FB.newReg(), Same = FB.newReg();
+    FB.getGlobal(Obj, GObj);
+    FB.constInt(One, 1);
+    emitLoop(FB, 3, [&](Reg I) {
+      FB.add(Exp, I, One);
+      FB.rwWrLock(Obj);
+      FB.putField(Obj, 0, Exp);
+      FB.rwWrUnlock(Obj); // BUG: the lock is dropped here...
+      FB.rwRdLock(Obj);   // ...so this is not a downgrade but a re-acquire
+      FB.getField(V, Obj, 0);
+      FB.cmpEq(Same, V, Exp);
+      FB.assertTrue(Same, /*BugId=*/10); // foreign write seen in the gap
+      FB.rwRdUnlock(Obj);
+    });
+    FB.ret();
+    PB.defineFunction(Downgrader, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("clobber", 0);
+    Reg Obj = FB.newReg(), Zero = FB.newReg();
+    FB.getGlobal(Obj, GObj);
+    FB.constInt(Zero, 0);
+    FB.rwWrLock(Obj);
+    FB.putField(Obj, 0, Zero);
+    FB.rwWrUnlock(Obj);
+    FB.ret();
+    PB.defineFunction(Clobberer, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Obj = FB.newReg(), Zero = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(Obj, Shared);
+    FB.constInt(Zero, 0);
+    FB.putField(Obj, 0, Zero);
+    FB.putGlobal(GObj, Obj);
+    FB.threadStart(T1, Downgrader);
+    FB.threadStart(T2, Clobberer);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+// --- Barrier-Reuse: round N+1 write races round N read ----------------------
+//
+// Two workers exchange slots across rounds with only *one* barrier per
+// round (the correct protocol needs a second barrier between the read and
+// the next round's write). After the barrier releases round r, a fast
+// worker can start round r+1 and overwrite its slot before the slow
+// worker has read the round-r value.
+Program light::bugs::barrierReuse() {
+  ProgramBuilder PB;
+  ClassId BarCls = PB.addClass("Barrier", {"pad"});
+  uint32_t GSlots = PB.addGlobal("slots");
+  uint32_t GBar = PB.addGlobal("bar");
+
+  FuncId Worker = PB.declareFunction("worker", 1);
+  {
+    FunctionBuilder FB = PB.beginFunction("worker", 1);
+    Reg T = FB.param(0);
+    Reg Slots = FB.newReg(), Bar = FB.newReg(), One = FB.newReg();
+    Reg Other = FB.newReg(), V = FB.newReg(), W = FB.newReg();
+    Reg Same = FB.newReg();
+    FB.getGlobal(Slots, GSlots);
+    FB.getGlobal(Bar, GBar);
+    FB.constInt(One, 1);
+    FB.sub(Other, One, T); // the peer's slot: 1 - t
+    emitLoop(FB, 2, [&](Reg R) {
+      FB.add(V, R, One);
+      FB.astore(Slots, T, V); // publish round r's value...
+      FB.barrierWait(Bar);    // ...and meet the peer
+      // BUG: no second barrier before the next round's write, so the
+      // peer's round r+1 store can land before this read.
+      FB.aload(W, Slots, Other);
+      FB.cmpEq(Same, W, V);
+      FB.assertTrue(Same, /*BugId=*/11);
+    });
+    FB.ret();
+    PB.defineFunction(Worker, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Slots = FB.newReg(), Bar = FB.newReg(), Len = FB.newReg();
+    Reg Zero = FB.newReg(), One = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.constInt(Len, 2);
+    FB.newArray(Slots, Len);
+    FB.putGlobal(GSlots, Slots);
+    FB.newObject(Bar, BarCls);
+    FB.barrierInit(Bar, /*Parties=*/2);
+    FB.putGlobal(GBar, Bar);
+    FB.constInt(Zero, 0);
+    FB.constInt(One, 1);
+    FB.threadStart(T1, Worker, Zero);
+    FB.threadStart(T2, Worker, One);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+// --- TimedWait-Flake: timeout arm skips the predicate recheck ---------------
+//
+// The consumer waits for box.value with a deadline but uses the woken
+// value *without rechecking how it woke*: when the scheduler fires the
+// timeout before the producer's store, the consumer reads the still-unset
+// value — the classic "flaky timeout" lost-update. Both the notified arm
+// and a late-enough timeout arm are clean.
+Program light::bugs::timedWaitFlake() {
+  ProgramBuilder PB;
+  ClassId Box = PB.addClass("Box", {"value"});
+  uint32_t GBox = PB.addGlobal("box");
+
+  FuncId Producer = PB.declareFunction("producer", 0);
+  FuncId Consumer = PB.declareFunction("consumer", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("producer", 0);
+    Reg Obj = FB.newReg(), V = FB.newReg();
+    FB.getGlobal(Obj, GBox);
+    FB.constInt(V, 7);
+    FB.burnCpu(32); // producing the value takes a while
+    FB.monitorEnter(Obj);
+    FB.putField(Obj, 0, V);
+    FB.notifyAll(Obj);
+    FB.monitorExit(Obj);
+    FB.ret();
+    PB.defineFunction(Producer, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("consumer", 0);
+    Reg Obj = FB.newReg(), V = FB.newReg(), To = FB.newReg();
+    FB.getGlobal(Obj, GBox);
+    Label HaveIt = FB.makeLabel(), DoWait = FB.makeLabel();
+    FB.monitorEnter(Obj);
+    FB.getField(V, Obj, 0);
+    FB.br(V, HaveIt, DoWait);
+    FB.place(DoWait);
+    FB.timedWait(To, Obj, /*Deadline=*/50);
+    // BUG: uses the value whether the wait was notified or timed out.
+    FB.getField(V, Obj, 0);
+    FB.assertTrue(V, /*BugId=*/12);
+    FB.place(HaveIt);
+    FB.print(V);
+    FB.monitorExit(Obj);
+    FB.ret();
+    PB.defineFunction(Consumer, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Obj = FB.newReg(), Zero = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(Obj, Box);
+    FB.constInt(Zero, 0);
+    FB.putField(Obj, 0, Zero);
+    FB.putGlobal(GBox, Obj);
+    FB.threadStart(T1, Consumer);
+    FB.threadStart(T2, Producer);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+// --- Cas-Aba: top pointer recycled inside the CAS window --------------------
+//
+// A Treiber-stack pop (thread P) reads top and top's successor, then CASes
+// top. Thread Q pops both nodes, frees one, and pushes the original head
+// back: P's CAS still succeeds — same top value — but installs a stale
+// successor pointing at the freed node. The assertion observes the freed
+// node as the new top. Clean schedules: P completes first (Q's first CAS
+// then fails), or Q completes first (P reads the repaired successor).
+Program light::bugs::casAba() {
+  ProgramBuilder PB;
+  uint32_t GTop = PB.addGlobal("top");
+  uint32_t GNext = PB.addGlobal("next");
+  uint32_t GFreed = PB.addGlobal("freed");
+
+  FuncId Popper = PB.declareFunction("pop", 0);
+  FuncId Recycler = PB.declareFunction("recycle", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("pop", 0);
+    Reg Next = FB.newReg(), Freed = FB.newReg();
+    Reg T = FB.newReg(), N = FB.newReg(), Ok = FB.newReg();
+    Reg F = FB.newReg(), NotF = FB.newReg();
+    FB.getGlobal(Next, GNext);
+    FB.getGlobal(Freed, GFreed);
+    Label Done = FB.makeLabel(), Check = FB.makeLabel();
+    Label Validate = FB.makeLabel();
+    FB.getGlobal(T, GTop);   // read top...
+    FB.aload(N, Next, T);    // ...and its successor
+    FB.cas(Ok, T, N, GTop);  // ABA window: top may have been recycled
+    FB.br(Ok, Check, Done);
+    FB.place(Check);
+    FB.br(N, Validate, Done); // empty new top: nothing to validate
+    FB.place(Validate);
+    FB.aload(F, Freed, N);
+    FB.logicalNot(NotF, F);
+    FB.assertTrue(NotF, /*BugId=*/13); // popped a freed node
+    FB.place(Done);
+    FB.ret();
+    PB.defineFunction(Popper, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("recycle", 0);
+    Reg Next = FB.newReg(), Freed = FB.newReg();
+    Reg C0 = FB.newReg(), C1 = FB.newReg(), C2 = FB.newReg();
+    Reg Ok = FB.newReg(), One = FB.newReg();
+    FB.getGlobal(Next, GNext);
+    FB.getGlobal(Freed, GFreed);
+    FB.constInt(C0, 0);
+    FB.constInt(C1, 1);
+    FB.constInt(C2, 2);
+    FB.constInt(One, 1);
+    Label S1 = FB.makeLabel(), S2 = FB.makeLabel(), Done = FB.makeLabel();
+    FB.cas(Ok, C2, C1, GTop); // pop node 2
+    FB.br(Ok, S1, Done);
+    FB.place(S1);
+    FB.cas(Ok, C1, C0, GTop); // pop node 1
+    FB.br(Ok, S2, Done);
+    FB.place(S2);
+    FB.astore(Freed, C1, One); // free node 1...
+    FB.astore(Next, C2, C0);   // ...relink node 2 over it...
+    FB.cas(Ok, C0, C2, GTop);  // ...and push node 2 back (the ABA)
+    FB.place(Done);
+    FB.ret();
+    PB.defineFunction(Recycler, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Next = FB.newReg(), Freed = FB.newReg(), Len = FB.newReg();
+    Reg C1 = FB.newReg(), C2 = FB.newReg();
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.constInt(Len, 3);
+    FB.newArray(Next, Len);  // next[i] = successor of node i; 0 = nil
+    FB.newArray(Freed, Len); // freed[i] = node i was reclaimed
+    FB.constInt(C1, 1);
+    FB.constInt(C2, 2);
+    FB.astore(Next, C2, C1); // stack: 2 -> 1 -> nil
+    FB.putGlobal(GNext, Next);
+    FB.putGlobal(GFreed, Freed);
+    FB.putGlobal(GTop, C2); // stack head: node 2
+    FB.threadStart(T1, Popper);
+    FB.threadStart(T2, Recycler);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+std::vector<BugBenchmark> light::bugs::makeSyncBugSuite() {
+  std::vector<BugBenchmark> Suite;
+  auto Add = [&](std::string Name, Program P, bool Clap, bool Chimera,
+                 uint32_t Scale) {
+    assert(P.verify().empty() && "sync bug program failed verification");
+    analysis::markSharedAccesses(P);
+    Suite.push_back({std::move(Name), std::move(P), Clap, Chimera, Scale});
+  };
+  // Clap bails on every one of these primitives (see ClapEngine.cpp), so
+  // ClapExpected is false across the suite — the documented limitation.
+  // Chimera's race patch serializes the racing methods: that hides the
+  // rwlock gap and the CAS window outright, and deadlocks the serialized
+  // barrier (the patched recording diverges); only the monitor-shaped
+  // timed-wait flake survives patching and replays.
+  Add("RwLock-Downgrade", rwlockDowngrade(), /*Clap=*/false,
+      /*Chimera=*/false, 1);
+  Add("Barrier-Reuse", barrierReuse(), /*Clap=*/false, /*Chimera=*/false, 1);
+  Add("TimedWait-Flake", timedWaitFlake(), /*Clap=*/false, /*Chimera=*/true,
+      1);
+  Add("Cas-Aba", casAba(), /*Clap=*/false, /*Chimera=*/false, 1);
+  return Suite;
+}

@@ -43,6 +43,11 @@ bool droppableStatement(Opcode Op) {
   case Opcode::ThreadJoin:
   case Opcode::MonitorEnter:
   case Opcode::MonitorExit:
+  case Opcode::RwRdLock:
+  case Opcode::RwRdUnlock:
+  case Opcode::RwWrLock:
+  case Opcode::RwWrUnlock:
+  case Opcode::BarrierWait:
     return false;
   default:
     return true;

@@ -98,6 +98,36 @@ bool Machine::isRunnable(const ThreadCtx &C) const {
         return true;
     return false;
   }
+  case TStatus::TimedWaiting:
+    // Always schedulable: stepping the thread either consumes an eligible
+    // notify token or fires the timeout, so both arms are decision points
+    // the scheduler (and exploration) can choose between.
+    return true;
+  case TStatus::BlockedRwRead: {
+    auto It = Heap.find(C.BlockObj.pack());
+    if (It == Heap.end())
+      return false;
+    const HeapObject &O = It->second;
+    return O.RwWriteCount == 0 || O.RwWriter == C.Id;
+  }
+  case TStatus::BlockedRwWrite: {
+    auto It = Heap.find(C.BlockObj.pack());
+    if (It == Heap.end())
+      return false;
+    const HeapObject &O = It->second;
+    if (O.RwWriteCount && O.RwWriter != C.Id)
+      return false;
+    for (ThreadId R : O.RwReaders)
+      if (R != C.Id)
+        return false; // sole-reader upgrade is allowed; others must drain
+    return true;
+  }
+  case TStatus::BlockedBarrier: {
+    auto It = Heap.find(C.BlockObj.pack());
+    if (It == Heap.end())
+      return false;
+    return It->second.BarrierGen != C.SavedBarrierGen;
+  }
   case TStatus::Woken:
     // Must reacquire the monitor.
     return !Heap.at(C.BlockObj.pack()).Locked ||
@@ -231,6 +261,50 @@ bool Machine::stepThread(ThreadCtx &C) {
     assert(false && "stepped a Waiting thread with no eligible token");
     return false;
   }
+  case TStatus::TimedWaiting: {
+    HeapObject *O = resolve(C.BlockObj);
+    assert(O && "timed wait set on dangling object");
+    // Stepping a timed waiter resolves the race between notify and the
+    // deadline: consume an eligible token when one exists (the notified
+    // arm), otherwise fire the timeout. Either way the thread leaves the
+    // wait set, issues the ghost condition read (ordering it against
+    // notify writes), and goes to Woken to reacquire the monitor.
+    //
+    // The arm itself is recorded as a nondeterministic input (like
+    // SysTime): a notify whose ghost condition write no read sourced is a
+    // blind write, unordered in the replay schedule, so during replay its
+    // token can surface while this thread is still in the wait set. The
+    // recorded arm keeps such a floating token from flipping a recorded
+    // timeout into a wake-up (the flag is observable program state).
+    size_t TokenIdx = O->Tokens.size();
+    for (size_t I = 0; I < O->Tokens.size(); ++I) {
+      auto &El = O->Tokens[I].Eligible;
+      if (std::find(El.begin(), El.end(), C.Id) != El.end()) {
+        TokenIdx = I;
+        break;
+      }
+    }
+    bool Notified = Hook->onSyscall(C.Id, [&]() -> uint64_t {
+                      return TokenIdx != O->Tokens.size() ? 1 : 0;
+                    }) != 0;
+    if (Notified && TokenIdx != O->Tokens.size())
+      O->Tokens.erase(O->Tokens.begin() + TokenIdx);
+    O->WaitSet.erase(
+        std::find(O->WaitSet.begin(), O->WaitSet.end(), C.Id));
+    LocationId L = loc::cond(C.BlockObj);
+    ++SharedAccessCount;
+    Hook->onRead(C.Id, L, Meta.get(L), [] {});
+    if (!Notified) {
+      // The timeout arm consumes the instruction's deadline in virtual
+      // time, so SysTime-visible time reflects the wait.
+      const mir::Instr &WI =
+          Prog.function(C.Stack.back().Func).Body[C.Stack.back().PC];
+      VirtualClock += static_cast<uint64_t>(WI.Imm);
+    }
+    C.TimedOut = !Notified;
+    C.St = TStatus::Woken;
+    return !Pending.happened();
+  }
   case TStatus::Woken: {
     HeapObject *O = resolve(C.BlockObj);
     if (O->Locked && O->Owner != C.Id)
@@ -242,8 +316,26 @@ bool Machine::stepThread(ThreadCtx &C) {
     LocationId L = loc::lock(C.BlockObj);
     ++SharedAccessCount;
     Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+    const mir::Instr &WI =
+        Prog.function(C.Stack.back().Func).Body[C.Stack.back().PC];
+    if (WI.Op == Opcode::TimedWait)
+      C.Stack.back().Regs[WI.A] = Value::intVal(C.TimedOut ? 1 : 0);
     C.St = TStatus::Ready;
-    ++C.Stack.back().PC; // move past the Wait instruction
+    ++C.Stack.back().PC; // move past the Wait / TimedWait instruction
+    return !Pending.happened();
+  }
+  case TStatus::BlockedBarrier: {
+    HeapObject *O = resolve(C.BlockObj);
+    assert(O && "barrier arrival on dangling object");
+    if (O->BarrierGen == C.SavedBarrierGen)
+      return true; // not actually runnable; caller picked wrongly
+    // The generation turned: the ghost read sources the releasing
+    // arrival's RMW, ordering this thread's release after it.
+    LocationId L = loc::barrier(C.BlockObj);
+    ++SharedAccessCount;
+    Hook->onRead(C.Id, L, Meta.get(L), [] {});
+    C.St = TStatus::Ready;
+    ++C.Stack.back().PC; // move past the BarrierWait instruction
     return !Pending.happened();
   }
   case TStatus::Finished:
@@ -701,6 +793,231 @@ bool Machine::execInstr(ThreadCtx &C, bool &DidSchedulingOp) {
     return true;
   }
 
+  case Opcode::RwRdLock: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    if (O->RwWriteCount && O->RwWriter != C.Id) {
+      C.St = TStatus::BlockedRwRead;
+      C.BlockObj = Obj;
+      return false; // retried once the writer releases
+    }
+    if (C.St == TStatus::BlockedRwRead)
+      C.St = TStatus::Ready;
+    O->RwReaders.push_back(C.Id);
+    // Reader critical sections are Read spans over the rwlock word: R1
+    // lets concurrent readers interleave freely, while R2 orders every
+    // reader block against the next writer's ghost RMW.
+    LocationId L = loc::rwlock(Obj);
+    ++SharedAccessCount;
+    Hook->onRead(C.Id, L, Meta.get(L), [] {});
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::RwRdUnlock: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    auto It = std::find(O->RwReaders.begin(), O->RwReaders.end(), C.Id);
+    if (It == O->RwReaders.end()) {
+      bug(C, BugReport::Kind::RuntimeError, I, RV(I.A),
+          "read-unlock without a read hold");
+      return false;
+    }
+    O->RwReaders.erase(It);
+    // Closing read of the reader span: keeps the whole read-side critical
+    // section inside one Read span of the last writer release.
+    LocationId L = loc::rwlock(Obj);
+    ++SharedAccessCount;
+    Hook->onRead(C.Id, L, Meta.get(L), [] {});
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::RwWrLock: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    bool OtherWriter = O->RwWriteCount && O->RwWriter != C.Id;
+    bool OtherReader = false;
+    for (ThreadId R : O->RwReaders)
+      if (R != C.Id)
+        OtherReader = true;
+    if (OtherWriter || OtherReader) {
+      C.St = TStatus::BlockedRwWrite;
+      C.BlockObj = Obj;
+      return false; // retried once readers drain and the writer releases
+    }
+    if (C.St == TStatus::BlockedRwWrite)
+      C.St = TStatus::Ready;
+    O->RwWriter = C.Id;
+    ++O->RwWriteCount;
+    // Writer acquisition is a ghost RMW: it reads the previous release
+    // (or the reader block) and writes the new ownership epoch.
+    LocationId L = loc::rwlock(Obj);
+    ++SharedAccessCount;
+    Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::RwWrUnlock: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    if (!O->RwWriteCount || O->RwWriter != C.Id) {
+      bug(C, BugReport::Kind::RuntimeError, I, RV(I.A),
+          "write-unlock without write ownership");
+      return false;
+    }
+    if (--O->RwWriteCount == 0)
+      O->RwWriter = 0;
+    // Ghost release write: the span every subsequent reader block sources.
+    LocationId L = loc::rwlock(Obj);
+    ++SharedAccessCount;
+    Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::BarrierInit: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    O->BarrierParties = static_cast<uint32_t>(I.Imm);
+    O->BarrierCount = 0;
+    O->BarrierGen = 0;
+    // Ghost write: initialization happens-before every arrival.
+    LocationId L = loc::barrier(Obj);
+    ++SharedAccessCount;
+    Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::BarrierWait: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.A, Obj, O))
+      return false;
+    if (!O->BarrierParties) {
+      bug(C, BugReport::Kind::RuntimeError, I, RV(I.A),
+          "barrier wait before initialization");
+      return false;
+    }
+    // Arrival: ghost RMW chains this arrival after the previous one (and
+    // after the blocked threads' release reads of earlier generations).
+    LocationId L = loc::barrier(Obj);
+    ++SharedAccessCount;
+    Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+    if (++O->BarrierCount == O->BarrierParties) {
+      // Last arrival releases the generation and proceeds immediately.
+      O->BarrierCount = 0;
+      ++O->BarrierGen;
+      DidSchedulingOp = true;
+      ++F.PC;
+      return true;
+    }
+    C.SavedBarrierGen = O->BarrierGen;
+    C.BlockObj = Obj;
+    C.St = TStatus::BlockedBarrier;
+    DidSchedulingOp = true;
+    return false; // PC advances in the BlockedBarrier release phase
+  }
+
+  case Opcode::TimedWait: {
+    ObjectId Obj;
+    HeapObject *O;
+    if (!RequireObject(I.B, Obj, O))
+      return false;
+    if (!O->Locked || O->Owner != C.Id) {
+      bug(C, BugReport::Kind::RuntimeError, I, RV(I.B),
+          "timed wait without monitor ownership");
+      return false;
+    }
+    // Like Wait: release the monitor entirely; the ghost release write
+    // carries the happens-before edge. The thread parks as TimedWaiting,
+    // which stays schedulable — the scheduler decides notify vs timeout.
+    C.SavedLockCount = O->LockCount;
+    LocationId L = loc::lock(Obj);
+    ++SharedAccessCount;
+    Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+    O->LockCount = 0;
+    O->Locked = false;
+    O->Owner = 0;
+    O->WaitSet.push_back(C.Id);
+    C.BlockObj = Obj;
+    C.St = TStatus::TimedWaiting;
+    DidSchedulingOp = true;
+    return false; // PC advances when the wake-up completes (Woken phase)
+  }
+
+  case Opcode::AtomicCas: {
+    uint32_t G = static_cast<uint32_t>(I.Imm);
+    Value Expected = RV(I.B), Desired = RV(I.C);
+    bool Success = false;
+    if (!I.SharedAccess) {
+      Success = Globals[G] == Expected;
+      if (Success)
+        Globals[G] = Desired;
+    } else {
+      if (injectThreadCrash(C))
+        return false;
+      ++SharedAccessCount;
+      // One read+write flow dependence regardless of the outcome: a failed
+      // CAS still read the cell, and recording it as an RMW keeps the
+      // ordering conservative (and value-deterministic) for both arms.
+      LocationId L = loc::var(G);
+      Hook->onRmw(C.Id, L, Meta.get(L), [&] {
+        Success = Globals[G] == Expected;
+        if (Success)
+          Globals[G] = Desired;
+      });
+      if (Observer && Success)
+        Observer->onSharedWrite(L, Desired);
+    }
+    RV(I.A) = Value::intVal(Success);
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::AtomicXchg: {
+    uint32_t G = static_cast<uint32_t>(I.Imm);
+    Value Desired = RV(I.B);
+    Value Old;
+    if (!I.SharedAccess) {
+      Old = Globals[G];
+      Globals[G] = Desired;
+    } else {
+      if (injectThreadCrash(C))
+        return false;
+      ++SharedAccessCount;
+      LocationId L = loc::var(G);
+      Hook->onRmw(C.Id, L, Meta.get(L), [&] {
+        Old = Globals[G];
+        Globals[G] = Desired;
+      });
+      if (Observer)
+        Observer->onSharedWrite(L, Desired);
+    }
+    RV(I.A) = Old;
+    DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
   case Opcode::ThreadStart: {
     ThreadId Child = Registry.registerSpawn(C.Id);
     if (Child == 0) {
@@ -915,7 +1232,14 @@ RunResult Machine::runReplay(TurnSource &Turns, uint64_t MaxInstructions) {
             AllDone = false;
         if (AllDone)
           return finishResult(true);
-        return Diverge("threads stuck after the solved order drained");
+        // Every gated access was replayed and the leftover threads are
+        // blocked on application state (locks, joins, wait sets,
+        // barriers) — the same condition the live run reports as a
+        // deadlock. Reporting it identically preserves the Theorem 1
+        // correlation for recordings that ended deadlocked.
+        Pending.What = BugReport::Kind::Deadlock;
+        Pending.Detail = "no runnable thread";
+        return finishResult(false);
       }
       stepThread(ctx(Runnable[0]));
       continue;

@@ -146,8 +146,15 @@ private:
     Ready,
     BlockedLock, ///< waiting to acquire BlockObj's monitor
     Waiting,     ///< in BlockObj's wait set
+    TimedWaiting, ///< in BlockObj's wait set with a deadline: always
+                  ///< schedulable, so the scheduler decides notify/timeout
     Woken,       ///< consumed a notify token; must reacquire BlockObj
     BlockedJoin, ///< waiting for JoinTarget to finish
+    BlockedRwRead,  ///< waiting for BlockObj's rwlock writer to release
+    BlockedRwWrite, ///< waiting for BlockObj's rwlock to be free of
+                    ///< readers and other writers
+    BlockedBarrier, ///< arrived at BlockObj's barrier; waiting for the
+                    ///< generation to turn
     Finished,
   };
 
@@ -158,6 +165,8 @@ private:
     ObjectId BlockObj;
     ThreadId JoinTarget = 0;
     uint32_t SavedLockCount = 0;
+    uint64_t SavedBarrierGen = 0; ///< generation observed on barrier arrival
+    bool TimedOut = false;        ///< outcome of the last timed wait
     uint32_t AllocCount = 0;
     std::string Output;
   };
@@ -178,6 +187,18 @@ private:
     uint32_t LockCount = 0;
     std::vector<ThreadId> WaitSet;
     std::vector<NotifyToken> Tokens;
+
+    // Read-write-lock state: one reentrant writer excludes everyone;
+    // readers stack up (duplicates = reentrant read holds).
+    ThreadId RwWriter = 0;
+    uint32_t RwWriteCount = 0;
+    std::vector<ThreadId> RwReaders;
+
+    // Barrier state: BarrierCount arrivals this generation; the
+    // Parties-th arrival bumps the generation and resets the count.
+    uint32_t BarrierParties = 0;
+    uint32_t BarrierCount = 0;
+    uint64_t BarrierGen = 0;
   };
 
   const mir::Program &Prog;

@@ -191,6 +191,39 @@ public:
   void notifyOne(Reg Obj) { emit({.Op = Opcode::Notify, .A = Obj}); }
   void notifyAll(Reg Obj) { emit({.Op = Opcode::NotifyAll, .A = Obj}); }
 
+  void rwRdLock(Reg Obj) { emit({.Op = Opcode::RwRdLock, .A = Obj}); }
+  void rwRdUnlock(Reg Obj) { emit({.Op = Opcode::RwRdUnlock, .A = Obj}); }
+  void rwWrLock(Reg Obj) { emit({.Op = Opcode::RwWrLock, .A = Obj}); }
+  void rwWrUnlock(Reg Obj) { emit({.Op = Opcode::RwWrUnlock, .A = Obj}); }
+
+  void barrierInit(Reg Obj, int64_t Parties) {
+    emit({.Op = Opcode::BarrierInit, .A = Obj, .Imm = Parties});
+  }
+  void barrierWait(Reg Obj) {
+    emit({.Op = Opcode::BarrierWait, .A = Obj});
+  }
+
+  void timedWait(Reg TimedOutDst, Reg Obj, int64_t Deadline) {
+    emit({.Op = Opcode::TimedWait,
+          .A = TimedOutDst,
+          .B = Obj,
+          .Imm = Deadline});
+  }
+
+  void cas(Reg SuccessDst, Reg Expected, Reg New, uint32_t Global) {
+    emit({.Op = Opcode::AtomicCas,
+          .A = SuccessDst,
+          .B = Expected,
+          .C = New,
+          .Imm = static_cast<int64_t>(Global)});
+  }
+  void xchg(Reg OldDst, Reg New, uint32_t Global) {
+    emit({.Op = Opcode::AtomicXchg,
+          .A = OldDst,
+          .B = New,
+          .Imm = static_cast<int64_t>(Global)});
+  }
+
   void threadStart(Reg Dst, FuncId Fn, Reg Arg = NoReg) {
     emit({.Op = Opcode::ThreadStart,
           .A = Dst,

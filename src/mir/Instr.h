@@ -8,7 +8,8 @@
 /// The instruction set of the MIR concurrent mini-language. MIR is the
 /// stand-in for Java bytecode in this reproduction: it has heap objects with
 /// fields, arrays, hash-map intrinsics, monitors (synchronized regions),
-/// wait/notify, thread start/join, nondeterministic syscalls, and explicit
+/// wait/notify, read-write locks, barriers, timed waits, lock-free atomics
+/// (CAS/exchange), thread start/join, nondeterministic syscalls, and explicit
 /// assertion points where "buggy usage" of an illegal value manifests
 /// (Definition 3.2 of the paper).
 ///
@@ -83,6 +84,29 @@ enum class Opcode : uint8_t {
   Wait,         ///< wait on monitor A (must be held)
   Notify,       ///< notify one waiter of monitor A
   NotifyAll,    ///< notify all waiters of monitor A
+
+  // Read-write lock on object A's ghost rwlock word. Readers are admitted
+  // concurrently; a writer excludes readers and other writers. Write
+  // acquisition is reentrant; a sole reader may upgrade.
+  RwRdLock,   ///< acquire A's rwlock for reading (blocks on a writer)
+  RwRdUnlock, ///< release one read hold of A's rwlock
+  RwWrLock,   ///< acquire A's rwlock for writing (exclusive)
+  RwWrUnlock, ///< release one write hold of A's rwlock
+
+  // Cyclic barrier over object A's ghost barrier word, with generations:
+  // the Imm-th arrival releases the generation and the count resets.
+  BarrierInit, ///< initialize A as a barrier for Imm parties
+  BarrierWait, ///< arrive at barrier A; block until the generation turns
+
+  // Timed wait on monitor A (held, like Wait) with a deterministic
+  // virtual-time deadline: the timeout is a schedulable decision point, so
+  // exploration can drive both the notified and the timed-out arm.
+  TimedWait, ///< A <- timed out? after waiting on B for at most Imm ticks
+
+  // Lock-free atomics on a global cell (CAS-loop building blocks). Both
+  // are recorded as one read+write flow dependence (a ghost RMW).
+  AtomicCas,  ///< A <- (global[Imm] == B ? (global[Imm] = C, 1) : 0)
+  AtomicXchg, ///< A <- global[Imm]; global[Imm] <- B
 
   // Threading.
   ThreadStart, ///< A <- start thread running function Imm with arg reg B

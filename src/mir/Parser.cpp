@@ -113,6 +113,10 @@ public:
     ++Pos;
     return integer(Out) && Out >= 0;
   }
+
+  /// 1-based column of the cursor — the position of the offending token
+  /// when a match just failed (matchers skip leading space first).
+  int column() const { return static_cast<int>(Pos) + 1; }
 };
 
 const std::unordered_map<std::string, Opcode> &mnemonicTable() {
@@ -126,7 +130,8 @@ const std::unordered_map<std::string, Opcode> &mnemonicTable() {
 }
 
 /// Operand shape groups, mirroring Instr::str().
-enum class Shape { DstImm, Jump, Branch, Call, RegRegImm, ThreeReg };
+enum class Shape { DstImm, Jump, Branch, Call, RegRegImm, ThreeRegImm,
+                   ThreeReg };
 
 Shape shapeOf(Opcode Op) {
   switch (Op) {
@@ -148,7 +153,12 @@ Shape shapeOf(Opcode Op) {
   case Opcode::ThreadStart:
   case Opcode::SysRand:
   case Opcode::BurnCpu:
+  case Opcode::BarrierInit:
+  case Opcode::TimedWait:
+  case Opcode::AtomicXchg:
     return Shape::RegRegImm;
+  case Opcode::AtomicCas:
+    return Shape::ThreeRegImm;
   default:
     return Shape::ThreeReg;
   }
@@ -162,16 +172,21 @@ ParseResult light::mir::parseProgram(const std::string &Text) {
   std::string Line;
   int LineNo = 0;
   Function *CurFn = nullptr;
+  const LineCursor *Active = nullptr;
 
   auto Fail = [&](const std::string &What) {
     Out.Ok = false;
-    Out.Error = "line " + std::to_string(LineNo) + ": " + What;
+    Out.Line = LineNo;
+    Out.Col = Active ? Active->column() : 1;
+    Out.Error = "line " + std::to_string(LineNo) + ", col " +
+                std::to_string(Out.Col) + ": " + What;
     return Out;
   };
 
   while (std::getline(In, Line)) {
     ++LineNo;
     LineCursor C(Line);
+    Active = &C;
     if (C.atEnd())
       continue;
 
@@ -279,6 +294,12 @@ ParseResult light::mir::parseProgram(const std::string &Text) {
             !C.literal(",") || !C.literal("#") || !C.integer(I.Imm))
           return Fail("expected `" + Mnemonic + " rA, rB, #imm`");
         break;
+      case Shape::ThreeRegImm:
+        if (!C.reg(I.A) || !C.literal(",") || !C.reg(I.B) ||
+            !C.literal(",") || !C.reg(I.C) || !C.literal(",") ||
+            !C.literal("#") || !C.integer(I.Imm))
+          return Fail("expected `" + Mnemonic + " rA, rB, rC, #imm`");
+        break;
       case Shape::ThreeReg:
         if (!C.reg(I.A) || !C.literal(",") || !C.reg(I.B) ||
             !C.literal(",") || !C.reg(I.C))
@@ -294,6 +315,7 @@ ParseResult light::mir::parseProgram(const std::string &Text) {
     return Fail("unrecognized line");
   }
 
+  Active = nullptr;
   if (Out.Prog.Functions.empty())
     return Fail("no functions");
   Out.Ok = true;

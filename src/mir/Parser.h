@@ -36,11 +36,15 @@
 namespace light {
 namespace mir {
 
-/// Result of parsing: either a program or a diagnostic.
+/// Result of parsing: either a program or a diagnostic. Diagnostics are
+/// structured — Line/Col locate the error (1-based) — and the rendered
+/// Error string carries the same position for log output.
 struct ParseResult {
   bool Ok = false;
   Program Prog;
-  std::string Error; ///< "line N: message" when !Ok
+  std::string Error; ///< "line N, col C: message" when !Ok
+  int Line = 0;      ///< 1-based error line, 0 when Ok
+  int Col = 0;       ///< 1-based error column, 0 when Ok
 };
 
 /// Parses the textual MIR format. The result still needs

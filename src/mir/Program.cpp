@@ -83,6 +83,24 @@ const char *light::mir::opcodeName(Opcode Op) {
     return "notify";
   case Opcode::NotifyAll:
     return "notifyall";
+  case Opcode::RwRdLock:
+    return "rwrdlock";
+  case Opcode::RwRdUnlock:
+    return "rwrdunlock";
+  case Opcode::RwWrLock:
+    return "rwwrlock";
+  case Opcode::RwWrUnlock:
+    return "rwwrunlock";
+  case Opcode::BarrierInit:
+    return "barrierinit";
+  case Opcode::BarrierWait:
+    return "barrierwait";
+  case Opcode::TimedWait:
+    return "timedwait";
+  case Opcode::AtomicCas:
+    return "cas";
+  case Opcode::AtomicXchg:
+    return "xchg";
   case Opcode::ThreadStart:
     return "start";
   case Opcode::ThreadJoin:
@@ -117,6 +135,8 @@ bool light::mir::isHeapAccess(Opcode Op) {
   case Opcode::MapGet:
   case Opcode::MapContains:
   case Opcode::MapRemove:
+  case Opcode::AtomicCas:
+  case Opcode::AtomicXchg:
     return true;
   default:
     return false;
@@ -130,6 +150,13 @@ bool light::mir::isSyncOp(Opcode Op) {
   case Opcode::Wait:
   case Opcode::Notify:
   case Opcode::NotifyAll:
+  case Opcode::RwRdLock:
+  case Opcode::RwRdUnlock:
+  case Opcode::RwWrLock:
+  case Opcode::RwWrUnlock:
+  case Opcode::BarrierInit:
+  case Opcode::BarrierWait:
+  case Opcode::TimedWait:
   case Opcode::ThreadStart:
   case Opcode::ThreadJoin:
     return true;
@@ -171,7 +198,14 @@ std::string Instr::str() const {
   case Opcode::ThreadStart:
   case Opcode::SysRand:
   case Opcode::BurnCpu:
+  case Opcode::BarrierInit:
+  case Opcode::TimedWait:
+  case Opcode::AtomicXchg:
     Out += " " + R(A) + ", " + R(B) + ", #" + std::to_string(Imm);
+    break;
+  case Opcode::AtomicCas:
+    Out += " " + R(A) + ", " + R(B) + ", " + R(C) + ", #" +
+           std::to_string(Imm);
     break;
   default:
     Out += " " + R(A) + ", " + R(B) + ", " + R(C);
@@ -259,6 +293,26 @@ std::string Program::verify() const {
           return Err(At, "unknown global");
         if (!CheckReg(I.A, false))
           return Err(At, "global access register out of range");
+        break;
+      case Opcode::BarrierInit:
+        if (I.Imm < 1)
+          return Err(At, "barrier must have at least one party");
+        if (!CheckReg(I.A, false))
+          return Err(At, "barrier register out of range");
+        break;
+      case Opcode::TimedWait:
+        if (I.Imm < 0)
+          return Err(At, "timed wait deadline must be non-negative");
+        if (!CheckReg(I.A, false) || !CheckReg(I.B, false))
+          return Err(At, "timed wait register out of range");
+        break;
+      case Opcode::AtomicCas:
+      case Opcode::AtomicXchg:
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Globals.size())
+          return Err(At, "unknown global");
+        if (!CheckReg(I.A, false) || !CheckReg(I.B, false) ||
+            !CheckReg(I.C, I.Op == Opcode::AtomicXchg))
+          return Err(At, "atomic access register out of range");
         break;
       case Opcode::ThreadStart:
         if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Functions.size())

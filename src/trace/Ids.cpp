@@ -29,6 +29,10 @@ std::string light::loc::str(LocationId L) {
     return "term(t" + std::to_string(P) + ")";
   case LocationKind::Var:
     return "var" + std::to_string(P);
+  case LocationKind::RwLock:
+    return "rwlock(" + ObjectId::unpack(P).str() + ")";
+  case LocationKind::Barrier:
+    return "barrier(" + ObjectId::unpack(P).str() + ")";
   }
   return "<bad-loc>";
 }

@@ -153,6 +153,8 @@ enum class LocationKind : uint8_t {
   ThreadStart = 5, ///< ghost start token of a thread: threadId
   ThreadTerm = 6,  ///< ghost termination token of a thread: threadId
   Var = 7,         ///< runtime-API shared variable: user-assigned id
+  RwLock = 8,      ///< ghost read-write-lock word: obj(40)
+  Barrier = 9,     ///< ghost barrier word (arrival/release): obj(40)
 };
 
 namespace loc {
@@ -198,12 +200,21 @@ inline LocationId threadTerm(ThreadId T) {
 
 inline LocationId var(uint64_t VarId) { return make(LocationKind::Var, VarId); }
 
+inline LocationId rwlock(ObjectId Obj) {
+  return make(LocationKind::RwLock, Obj.pack());
+}
+
+inline LocationId barrier(ObjectId Obj) {
+  return make(LocationKind::Barrier, Obj.pack());
+}
+
 /// Returns true if \p L is a ghost location synthesized for a
 /// synchronization primitive rather than actual program data.
 inline bool isGhost(LocationId L) {
   LocationKind K = kindOf(L);
   return K == LocationKind::Lock || K == LocationKind::Cond ||
-         K == LocationKind::ThreadStart || K == LocationKind::ThreadTerm;
+         K == LocationKind::ThreadStart || K == LocationKind::ThreadTerm ||
+         K == LocationKind::RwLock || K == LocationKind::Barrier;
 }
 
 /// The field index used for striping decisions ("the offset of field f

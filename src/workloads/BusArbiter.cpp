@@ -1,0 +1,203 @@
+//===- workloads/BusArbiter.cpp - Bus-arbiter MIR workload ----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BusArbiter.h"
+
+#include "analysis/SharedAccessAnalysis.h"
+#include "mir/Builder.h"
+
+#include <cassert>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+/// Emits `for (i = 0; i < N; ++i) { body }`. \p Body receives the loop
+/// counter register.
+template <typename Fn>
+void emitLoop(FunctionBuilder &FB, int64_t N, Fn Body) {
+  Reg I = FB.newReg(), Bound = FB.newReg(), One = FB.newReg();
+  Reg Cond = FB.newReg();
+  FB.constInt(I, 0);
+  FB.constInt(Bound, N);
+  FB.constInt(One, 1);
+  Label Head = FB.makeLabel(), BodyL = FB.makeLabel(), Done = FB.makeLabel();
+  FB.place(Head);
+  FB.cmpLt(Cond, I, Bound);
+  FB.br(Cond, BodyL, Done);
+  FB.place(BodyL);
+  Body(I);
+  FB.add(I, I, One);
+  FB.jmp(Head);
+  FB.place(Done);
+}
+
+} // namespace
+
+Program light::workloads::busArbiterProgram(int Producers,
+                                            int OpsPerProducer) {
+  assert(Producers >= 1 && OpsPerProducer >= 1 && "degenerate arbiter");
+  const int64_t Total =
+      static_cast<int64_t>(Producers) * OpsPerProducer;
+
+  ProgramBuilder PB;
+  ClassId Pad = PB.addClass("Pad", {"pad"});
+  uint32_t GTicket = PB.addGlobal("ticket");
+  uint32_t GDone = PB.addGlobal("done");
+  uint32_t GVals = PB.addGlobal("vals");
+  uint32_t GLog = PB.addGlobal("log");
+  uint32_t GBus = PB.addGlobal("bus");
+  uint32_t GMon = PB.addGlobal("mon");
+  uint32_t GBar = PB.addGlobal("bar");
+
+  FuncId Producer = PB.declareFunction("producer", 0);
+  FuncId Arbiter = PB.declareFunction("arbiter", 0);
+  FuncId Watchdog = PB.declareFunction("watchdog", 0);
+
+  // producer: barrier-synchronized start, then OpsPerProducer rounds of
+  // { CAS-claim a ticket; publish the op; bump done under the monitor }.
+  {
+    FunctionBuilder FB = PB.beginFunction("producer", 0);
+    Reg Vals = FB.newReg(), Mon = FB.newReg(), Bar = FB.newReg();
+    Reg One = FB.newReg(), T = FB.newReg(), T1 = FB.newReg();
+    Reg Ok = FB.newReg(), V = FB.newReg(), C = FB.newReg();
+    Reg C1 = FB.newReg();
+    FB.getGlobal(Vals, GVals);
+    FB.getGlobal(Mon, GMon);
+    FB.getGlobal(Bar, GBar);
+    FB.constInt(One, 1);
+    FB.barrierWait(Bar); // all producers start the contention together
+    emitLoop(FB, OpsPerProducer, [&](Reg) {
+      Label Retry = FB.makeLabel(), Got = FB.makeLabel();
+      FB.place(Retry);
+      FB.getGlobal(T, GTicket);
+      FB.add(T1, T, One);
+      FB.cas(Ok, T, T1, GTicket); // claim commit slot T
+      FB.br(Ok, Got, Retry);      // contended: someone else took it
+      FB.place(Got);
+      FB.add(V, T, One); // the op's payload: slot + 1 (never zero)
+      FB.astore(Vals, T, V);
+      FB.monitorEnter(Mon);
+      FB.getGlobal(C, GDone);
+      FB.add(C1, C, One);
+      FB.putGlobal(GDone, C1);
+      FB.notifyAll(Mon);
+      FB.monitorExit(Mon);
+    });
+    FB.ret();
+    PB.defineFunction(Producer, FB);
+  }
+
+  // arbiter: wait (plain wait loop — re-checks under the monitor) until
+  // all ops are in, then commit them in ticket order under the bus write
+  // lock.
+  {
+    FunctionBuilder FB = PB.beginFunction("arbiter", 0);
+    Reg Vals = FB.newReg(), Log = FB.newReg(), Mon = FB.newReg();
+    Reg Bus = FB.newReg(), TotalR = FB.newReg(), One = FB.newReg();
+    Reg C = FB.newReg(), Eq = FB.newReg(), V = FB.newReg();
+    Reg V1 = FB.newReg();
+    FB.getGlobal(Vals, GVals);
+    FB.getGlobal(Log, GLog);
+    FB.getGlobal(Mon, GMon);
+    FB.getGlobal(Bus, GBus);
+    FB.constInt(TotalR, Total);
+    FB.constInt(One, 1);
+    Label Loop = FB.makeLabel(), Go = FB.makeLabel();
+    Label DoWait = FB.makeLabel();
+    FB.monitorEnter(Mon);
+    FB.place(Loop);
+    FB.getGlobal(C, GDone);
+    FB.cmpEq(Eq, C, TotalR);
+    FB.br(Eq, Go, DoWait);
+    FB.place(DoWait);
+    FB.wait(Mon);
+    FB.jmp(Loop);
+    FB.place(Go);
+    FB.monitorExit(Mon);
+    FB.rwWrLock(Bus); // exclusive commit phase
+    emitLoop(FB, Total, [&](Reg I) {
+      FB.aload(V, Vals, I);
+      FB.add(V1, V, One);
+      FB.astore(Log, I, V1);
+    });
+    FB.rwWrUnlock(Bus);
+    FB.ret();
+    PB.defineFunction(Arbiter, FB);
+  }
+
+  // watchdog: one bounded timed wait (either arm is clean), then a
+  // read-locked sample of the log — concurrent with nothing or with the
+  // arbiter's write lock, never torn either way.
+  {
+    FunctionBuilder FB = PB.beginFunction("watchdog", 0);
+    Reg Mon = FB.newReg(), Bus = FB.newReg(), Log = FB.newReg();
+    Reg Zero = FB.newReg(), To = FB.newReg(), V = FB.newReg();
+    FB.getGlobal(Mon, GMon);
+    FB.getGlobal(Bus, GBus);
+    FB.getGlobal(Log, GLog);
+    FB.constInt(Zero, 0);
+    FB.monitorEnter(Mon);
+    FB.timedWait(To, Mon, /*Deadline=*/20);
+    FB.monitorExit(Mon);
+    FB.rwRdLock(Bus);
+    FB.aload(V, Log, Zero);
+    FB.print(V);
+    FB.rwRdUnlock(Bus);
+    FB.ret();
+    PB.defineFunction(Watchdog, FB);
+  }
+
+  // main: build the arena, race everyone, then validate the committed log.
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Bus = FB.newReg(), Mon = FB.newReg(), Bar = FB.newReg();
+    Reg Vals = FB.newReg(), Log = FB.newReg(), Len = FB.newReg();
+    Reg Zero = FB.newReg(), V = FB.newReg();
+    FB.newObject(Bus, Pad);
+    FB.newObject(Mon, Pad);
+    FB.newObject(Bar, Pad);
+    FB.barrierInit(Bar, Producers);
+    FB.constInt(Len, Total);
+    FB.newArray(Vals, Len);
+    FB.newArray(Log, Len);
+    FB.constInt(Zero, 0);
+    FB.putGlobal(GTicket, Zero);
+    FB.putGlobal(GDone, Zero);
+    FB.putGlobal(GBus, Bus);
+    FB.putGlobal(GMon, Mon);
+    FB.putGlobal(GBar, Bar);
+    FB.putGlobal(GVals, Vals);
+    FB.putGlobal(GLog, Log);
+    std::vector<Reg> Tids;
+    for (int P = 0; P < Producers; ++P) {
+      Reg T = FB.newReg();
+      FB.threadStart(T, Producer);
+      Tids.push_back(T);
+    }
+    Reg TA = FB.newReg(), TW = FB.newReg();
+    FB.threadStart(TA, Arbiter);
+    FB.threadStart(TW, Watchdog);
+    Tids.push_back(TA);
+    Tids.push_back(TW);
+    for (Reg T : Tids)
+      FB.threadJoin(T);
+    // Every slot committed exactly once: log[i] = i + 2, never zero.
+    emitLoop(FB, Total, [&](Reg I) {
+      FB.aload(V, Log, I);
+      FB.assertTrue(V, /*BugId=*/99); // holds on every schedule
+      FB.print(V);
+    });
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+
+  Program P = PB.take();
+  assert(P.verify().empty() && "bus arbiter failed verification");
+  analysis::markSharedAccesses(P);
+  return P;
+}

@@ -1,0 +1,36 @@
+//===- workloads/BusArbiter.h - Bus-arbiter MIR workload --------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Saturnis-style bus-arbiter workload exercising every synchronization
+/// primitive at once: N producers claim commit slots with a CAS ticket
+/// loop, publish timestamped operations, and signal completion through a
+/// monitor; one arbiter waits for all operations, then commits them to the
+/// log in ticket order under the bus write lock; a watchdog does one
+/// bounded timed wait and then samples the log under the bus read lock.
+///
+/// The program is *clean on every schedule* — its final assertions hold
+/// regardless of interleaving — which makes it the cross-engine oracle's
+/// stress workload for the new primitives rather than a bug kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_WORKLOADS_BUSARBITER_H
+#define LIGHT_WORKLOADS_BUSARBITER_H
+
+#include "mir/Program.h"
+
+namespace light {
+namespace workloads {
+
+/// Builds the bus-arbiter program, verified and shared-access-marked.
+/// \p Producers worker threads each submit \p OpsPerProducer operations.
+mir::Program busArbiterProgram(int Producers = 2, int OpsPerProducer = 2);
+
+} // namespace workloads
+} // namespace light
+
+#endif // LIGHT_WORKLOADS_BUSARBITER_H

@@ -1,0 +1,161 @@
+//===- tests/bugs/SyncBugSuiteTest.cpp - Sync-primitive bug kernels -------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The synchronization-scenario extension of the Figure-6 matrix: four bug
+/// kernels built on the rwlock/barrier/timed-wait/CAS surface. Light must
+/// reproduce each failure under every recorder variant and solver engine;
+/// Clap bails on all four primitives (documented limitation); Chimera's
+/// serializing patch hides every kernel except the monitor-shaped
+/// timed-wait flake. Both search strategies must find each bug
+/// deterministically within the same budgets as the Figure-6 suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bugs/BugHarness.h"
+
+#include "explore/ExplorationDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::bugs;
+using namespace light::explore;
+
+namespace {
+
+class SyncBugSuite : public ::testing::TestWithParam<int> {
+protected:
+  static std::vector<BugBenchmark> &suite() {
+    static std::vector<BugBenchmark> S = makeSyncBugSuite();
+    return S;
+  }
+  const BugBenchmark &bench() { return suite()[GetParam()]; }
+};
+
+} // namespace
+
+TEST_P(SyncBugSuite, BugManifestsUnderSomeSchedule) {
+  BugReport Bug;
+  std::optional<uint64_t> Seed = findBuggySeed(bench().Prog, 200, &Bug);
+  ASSERT_TRUE(Seed.has_value())
+      << bench().Name << ": no failing schedule in 200 seeds";
+  EXPECT_TRUE(Bug.happened());
+}
+
+TEST_P(SyncBugSuite, BugIsScheduleDependent) {
+  // At least one clean schedule too, else replay proves nothing.
+  int Clean = 0;
+  for (uint64_t Seed = 1; Seed <= 60 && !Clean; ++Seed) {
+    NullHook Null;
+    Machine M(bench().Prog, Null);
+    M.seedEnvironment(Seed ^ 0x5a5a);
+    RandomScheduler Sched(Seed);
+    if (!M.run(Sched).Bug.happened())
+      ++Clean;
+  }
+  EXPECT_GT(Clean, 0) << bench().Name << " fails deterministically";
+}
+
+TEST_P(SyncBugSuite, LightReproduces) {
+  std::optional<uint64_t> Seed = findBuggySeed(bench().Prog, 200);
+  ASSERT_TRUE(Seed.has_value());
+  ToolAttempt A = lightReproduce(bench(), *Seed);
+  ASSERT_TRUE(A.BugFound) << bench().Name << ": " << A.Note;
+  EXPECT_TRUE(A.Reproduced) << bench().Name << ": " << A.Note;
+  EXPECT_GT(A.SpaceLongs, 0u);
+}
+
+TEST_P(SyncBugSuite, LightReproducesUnderEveryVariantAndEngine) {
+  std::optional<uint64_t> Seed = findBuggySeed(bench().Prog, 200);
+  ASSERT_TRUE(Seed.has_value());
+  for (const LightOptions &Opts :
+       {LightOptions::basic(), LightOptions::o1Only(), LightOptions::both()}) {
+    ToolAttempt A = lightReproduce(bench(), *Seed, Opts);
+    EXPECT_TRUE(A.Reproduced) << bench().Name << ": " << A.Note;
+  }
+  ToolAttempt Z = lightReproduce(bench(), *Seed, LightOptions(),
+                                 smt::SolverEngine::Z3);
+  EXPECT_TRUE(Z.Reproduced) << bench().Name << " (z3): " << Z.Note;
+}
+
+TEST_P(SyncBugSuite, ClapBailsOnEverySyncPrimitive) {
+  std::optional<uint64_t> Seed = findBuggySeed(bench().Prog, 200);
+  ASSERT_TRUE(Seed.has_value());
+  ToolAttempt A = clapReproduce(bench(), *Seed);
+  ASSERT_TRUE(A.BugFound) << bench().Name << ": " << A.Note;
+  EXPECT_EQ(A.Reproduced, bench().ClapExpected)
+      << bench().Name << ": " << A.Note;
+  // Not a silent failure: the attempt names the unsupported construct.
+  EXPECT_FALSE(A.Note.empty()) << bench().Name;
+}
+
+TEST_P(SyncBugSuite, ChimeraMatchesTheMatrix) {
+  ToolAttempt A = chimeraReproduce(bench());
+  EXPECT_EQ(A.Reproduced, bench().ChimeraExpected)
+      << bench().Name << ": " << A.Note;
+}
+
+namespace {
+
+std::string bugName(const ::testing::TestParamInfo<int> &Info) {
+  static const char *Names[] = {"RwLockDowngrade", "BarrierReuse",
+                                "TimedWaitFlake", "CasAba"};
+  return Names[Info.param];
+}
+
+/// Replays \p Trace and expects the same correlated bug as \p R reported.
+void expectFailingTraceReplays(const mir::Program &Prog,
+                               const ExploreReport &R) {
+  ExploreOptions Opts;
+  ExplorationDriver Driver(Prog, Opts);
+  ScheduleRun Run = Driver.runPrefix(R.FailingTrace);
+  EXPECT_TRUE(isApplicationBug(Run.Result.Bug)) << Run.Result.Bug.str();
+  EXPECT_TRUE(R.Bug.sameAs(Run.Result.Bug))
+      << "searched " << R.Bug.str() << "\nreplayed " << Run.Result.Bug.str();
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(SyncBugs, SyncBugSuite, ::testing::Range(0, 4),
+                         bugName);
+
+TEST(SyncExplore, DfsBound2FindsEverySyncBug) {
+  // Same budget as the Figure-6 suite (measured worst case here: 52
+  // schedules on the rwlock downgrade).
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  Opts.ScheduleBudget = 4000;
+  for (const BugBenchmark &Bench : makeSyncBugSuite()) {
+    SCOPED_TRACE(Bench.Name);
+    ExploreReport R = exploreDfs(Bench.Prog, Opts);
+    ASSERT_TRUE(R.BugFound) << "no bug in " << R.SchedulesRun << " schedules";
+    EXPECT_LE(R.FailingPreemptions, Opts.PreemptionBound);
+    expectFailingTraceReplays(Bench.Prog, R);
+
+    // The enumeration is deterministic: a second search takes the same
+    // path to the same schedule.
+    ExploreReport R2 = exploreDfs(Bench.Prog, Opts);
+    EXPECT_EQ(R.SchedulesRun, R2.SchedulesRun);
+    EXPECT_EQ(traceToString(R.FailingTrace), traceToString(R2.FailingTrace));
+  }
+}
+
+TEST(SyncExplore, PctDepth3FindsEverySyncBug) {
+  // Measured worst case: 3 seeds (rwlock downgrade, CAS ABA).
+  ExploreOptions Opts;
+  Opts.PctDepth = 3;
+  Opts.PctSeeds = 64;
+  for (const BugBenchmark &Bench : makeSyncBugSuite()) {
+    SCOPED_TRACE(Bench.Name);
+    ExploreReport R = explorePct(Bench.Prog, Opts);
+    ASSERT_TRUE(R.BugFound) << "no bug in " << R.SchedulesRun << " seeds";
+    expectFailingTraceReplays(Bench.Prog, R);
+
+    ExploreReport R2 = explorePct(Bench.Prog, Opts);
+    EXPECT_EQ(R.FailingSeed, R2.FailingSeed);
+    EXPECT_EQ(traceToString(R.FailingTrace), traceToString(R2.FailingTrace));
+  }
+}

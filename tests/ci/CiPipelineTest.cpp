@@ -88,6 +88,25 @@ TEST_F(CiPipelineTest, RacyProgramReproducesOrFlakes) {
   expectValidSummaryJson(PV);
 }
 
+TEST_F(CiPipelineTest, RwlockRaceReproducesOrFlakes) {
+  ProgramVerdict PV = runProgramCi(corpusPath("rwlock_race.mir"), fastOpts());
+  ASSERT_TRUE(PV.What == Verdict::Reproduced || PV.What == Verdict::Flaky)
+      << verdictName(PV.What) << ": " << PV.Why;
+  EXPECT_TRUE(PV.Verify.Reproduced);
+  ASSERT_FALSE(PV.Shrink.ReproPath.empty());
+  expectValidSummaryJson(PV);
+}
+
+TEST_F(CiPipelineTest, TimedWaitFlakeReproducesOrFlakes) {
+  ProgramVerdict PV =
+      runProgramCi(corpusPath("timedwait_flake.mir"), fastOpts());
+  ASSERT_TRUE(PV.What == Verdict::Reproduced || PV.What == Verdict::Flaky)
+      << verdictName(PV.What) << ": " << PV.Why;
+  EXPECT_TRUE(PV.Verify.Reproduced);
+  ASSERT_FALSE(PV.Shrink.ReproPath.empty());
+  expectValidSummaryJson(PV);
+}
+
 TEST_F(CiPipelineTest, HangingProgramYieldsVerifiedHangRepro) {
   ProgramVerdict PV = runProgramCi(corpusPath("spin_hang.mir"), fastOpts());
   EXPECT_EQ(PV.What, Verdict::Reproduced) << PV.Why;
@@ -220,13 +239,16 @@ TEST_F(CiPipelineTest, CorpusSummaryAggregatesAndValidates) {
   std::vector<std::string> Paths;
   std::string Err;
   ASSERT_TRUE(listCorpusDir(LIGHT_TEST_CORPUS_DIR, Paths, Err)) << Err;
-  ASSERT_EQ(Paths.size(), 4u);
+  ASSERT_EQ(Paths.size(), 6u);
   CorpusSummary S = runCorpusCi(Paths, fastOpts());
-  EXPECT_EQ(S.Programs.size(), 4u);
+  EXPECT_EQ(S.Programs.size(), 6u);
   EXPECT_TRUE(S.clean());
   EXPECT_EQ(S.count(Verdict::Pass), 1u);
   EXPECT_EQ(S.count(Verdict::SalvagedPartial), 1u);
-  EXPECT_GE(S.count(Verdict::Reproduced), 1u); // racy_counter may be flaky
+  // spin_hang is deterministic; racy_counter, rwlock_race, and
+  // timedwait_flake each land as reproduced or flaky.
+  EXPECT_GE(S.count(Verdict::Reproduced), 1u);
+  EXPECT_EQ(S.count(Verdict::Reproduced) + S.count(Verdict::Flaky), 4u);
   EXPECT_EQ(validateCiSummaryJson(ciSummaryToJson(S)), "");
 }
 

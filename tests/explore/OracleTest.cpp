@@ -25,6 +25,7 @@
 #include "support/Random.h"
 #include "testlib/ProgramGen.h"
 #include "testlib/TestEnv.h"
+#include "workloads/BusArbiter.h"
 
 #include <gtest/gtest.h>
 
@@ -90,6 +91,32 @@ TEST(Oracle, AgreesOnFullMixPairs) {
   runAgreementProperty(testgen::GenConfig::full(), 211,
                        /*Programs=*/32, /*SchedulesPerProgram=*/5,
                        /*ExpectClapSupported=*/false);
+}
+
+TEST(Oracle, AgreesOnSyncPrimitivePairs) {
+  // 12 programs x 3 schedules = 36 pairs drawn from the synchronization
+  // preset (rwlocks, barriers, timed waits, CAS). Every one of these
+  // primitives bails Clap's symbolic model — a documented limitation, not
+  // a disagreement — so ClapSupported is not expected here.
+  runAgreementProperty(testgen::GenConfig::syncPrimitives(), 401,
+                       /*Programs=*/12, /*SchedulesPerProgram=*/3,
+                       /*ExpectClapSupported=*/false);
+}
+
+TEST(Oracle, AgreesOnTheBusArbiterWorkload) {
+  // The hand-written Saturnis-style workload mixes all four primitive
+  // families in one program; the roster must agree under arbitrary
+  // decision prefixes and the workload itself is bug-free.
+  uint64_t Seed = testenv::effectiveSeed(7);
+  SCOPED_TRACE(testenv::repro(Seed));
+  mir::Program P = workloads::busArbiterProgram(2, 2);
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 509);
+  CrossEngineOracle Oracle;
+  for (int S = 0; S < 6; ++S) {
+    OracleVerdict V = Oracle.check(P, randomPrefix(R, 12 + R.below(30)));
+    EXPECT_TRUE(V.Agreed) << V.str();
+    EXPECT_FALSE(V.BugManifested) << V.Bug.str();
+  }
 }
 
 TEST(Oracle, ReadFromEdgesAreActuallyCompared) {

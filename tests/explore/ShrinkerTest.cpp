@@ -85,6 +85,42 @@ TEST(Shrinker, ReducesInjectedLeapDivergenceToQuarter) {
       << SR.Shrunk.str();
 }
 
+TEST(Shrinker, ReducesSyncPrimitiveProgramsToo) {
+  // Same injected divergence, but the failing program draws from the
+  // synchronization preset: the cut has to drop rwlock sections, barrier
+  // arrivals, timed waits, and CAS loops without breaking verification.
+  ScopedFault Fault("oracle.corrupt_leap_order");
+
+  uint64_t Seed = testenv::effectiveSeed(4);
+  SCOPED_TRACE(testenv::repro(Seed));
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 97);
+  mir::Program P =
+      testgen::randomProgram(R, testgen::GenConfig::syncPrimitives());
+  ASSERT_EQ(P.verify(), "") << P.str();
+  DecisionTrace Schedule = randomPrefix(R, 24);
+
+  OracleConfig Config;
+  Config.RunClap = false;
+  Config.RunChimera = false;
+  CrossEngineOracle Oracle(Config);
+
+  FailPredicate Disagrees = [&](const mir::Program &Cand,
+                                const DecisionTrace &Sched) {
+    return !Oracle.check(Cand, Sched).Agreed;
+  };
+  ASSERT_TRUE(Disagrees(P, Schedule))
+      << "fault injection produced no divergence; test vacuous";
+
+  ShrinkResult SR = shrink(P, Schedule, Disagrees);
+  EXPECT_GT(SR.ProbesRun, 0u);
+  EXPECT_EQ(SR.Shrunk.verify(), "") << SR.Shrunk.str();
+  EXPECT_TRUE(Disagrees(SR.Shrunk, SR.Schedule));
+  EXPECT_LE(SR.ratio(), 0.25)
+      << SR.ShrunkStatements << "/" << SR.OriginalStatements
+      << " statements left:\n"
+      << SR.Shrunk.str();
+}
+
 TEST(Shrinker, ReproRoundTripsThroughMirText) {
   uint64_t Seed = testenv::effectiveSeed(2);
   SCOPED_TRACE(testenv::repro(Seed));

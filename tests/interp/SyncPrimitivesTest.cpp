@@ -1,0 +1,766 @@
+//===- tests/interp/SyncPrimitivesTest.cpp - RwLock/Barrier/TimedWait/CAS --===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit semantics for the four synchronization families added on top of the
+// monitor surface: read-write locks, barriers, timed waits, and atomic
+// CAS/exchange — plus record/replay faithfulness for each family.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Machine.h"
+
+#include "../TestPrograms.h"
+#include "mir/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+RunResult runOnce(const Program &P, uint64_t Seed) {
+  NullHook Null;
+  Machine M(P, Null);
+  M.seedEnvironment(Seed);
+  RandomScheduler Sched(Seed);
+  return M.run(Sched);
+}
+
+/// N writers each add \p Inc to a counter under the write lock.
+Program rwWriterCounter(int Writers, int Inc) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Rw", {"pad"});
+  uint32_t GRw = PB.addGlobal("rw");
+  uint32_t GC = PB.addGlobal("count");
+
+  FuncId WorkerId;
+  {
+    FunctionBuilder FB = PB.beginFunction("writer", 0);
+    Reg O = FB.newReg(), V = FB.newReg(), One = FB.newReg(), I = FB.newReg(),
+        Lim = FB.newReg(), C = FB.newReg();
+    FB.getGlobal(O, GRw);
+    FB.constInt(One, 1);
+    FB.constInt(I, 0);
+    FB.constInt(Lim, Inc);
+    Label Loop = FB.makeLabel(), Body = FB.makeLabel(), Done = FB.makeLabel();
+    FB.place(Loop);
+    FB.cmpLt(C, I, Lim);
+    FB.br(C, Body, Done);
+    FB.place(Body);
+    FB.rwWrLock(O);
+    FB.getGlobal(V, GC);
+    FB.add(V, V, One);
+    FB.putGlobal(GC, V);
+    FB.rwWrUnlock(O);
+    FB.add(I, I, One);
+    FB.jmp(Loop);
+    FB.place(Done);
+    FB.ret();
+    WorkerId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg O = FB.newReg(), V = FB.newReg();
+    std::vector<Reg> Tids;
+    FB.newObject(O, Cls);
+    FB.putGlobal(GRw, O);
+    for (int W = 0; W < Writers; ++W) {
+      Reg T = FB.newReg();
+      FB.threadStart(T, WorkerId);
+      Tids.push_back(T);
+    }
+    for (Reg T : Tids)
+      FB.threadJoin(T);
+    FB.getGlobal(V, GC);
+    FB.print(V);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// Two readers both hold the read lock while meeting at a barrier. If
+/// readers excluded each other, every schedule would deadlock.
+Program rwReadersAtBarrier() {
+  ProgramBuilder PB;
+  ClassId RwCls = PB.addClass("Rw", {"pad"});
+  ClassId BarCls = PB.addClass("Bar", {"pad"});
+  uint32_t GRw = PB.addGlobal("rw");
+  uint32_t GBar = PB.addGlobal("bar");
+
+  FuncId ReaderId;
+  {
+    FunctionBuilder FB = PB.beginFunction("reader", 0);
+    Reg O = FB.newReg(), B = FB.newReg();
+    FB.getGlobal(O, GRw);
+    FB.getGlobal(B, GBar);
+    FB.rwRdLock(O);
+    FB.barrierWait(B);
+    FB.rwRdUnlock(O);
+    FB.ret();
+    ReaderId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg O = FB.newReg(), B = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(O, RwCls);
+    FB.putGlobal(GRw, O);
+    FB.newObject(B, BarCls);
+    FB.barrierInit(B, 2);
+    FB.putGlobal(GBar, B);
+    FB.threadStart(T1, ReaderId);
+    FB.threadStart(T2, ReaderId);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// A reader publishes a value inside its read section; a writer started
+/// while that section is open must observe it, because write acquisition
+/// waits for the read side to drain.
+Program rwWriterSeesReaderWrite() {
+  ProgramBuilder PB;
+  ClassId RwCls = PB.addClass("Rw", {"pad"});
+  ClassId BarCls = PB.addClass("Bar", {"pad"});
+  uint32_t GRw = PB.addGlobal("rw");
+  uint32_t GBar = PB.addGlobal("bar");
+  uint32_t GV = PB.addGlobal("v");
+
+  FuncId ReaderId;
+  {
+    FunctionBuilder FB = PB.beginFunction("reader", 0);
+    Reg O = FB.newReg(), B = FB.newReg(), One = FB.newReg();
+    FB.getGlobal(O, GRw);
+    FB.getGlobal(B, GBar);
+    FB.rwRdLock(O);
+    FB.barrierWait(B); // tell main the read section is open
+    FB.constInt(One, 1);
+    FB.putGlobal(GV, One);
+    FB.rwRdUnlock(O);
+    FB.ret();
+    ReaderId = PB.endFunction(FB);
+  }
+  FuncId WriterId;
+  {
+    FunctionBuilder FB = PB.beginFunction("writer", 0);
+    Reg O = FB.newReg(), V = FB.newReg(), One = FB.newReg(), C = FB.newReg();
+    FB.getGlobal(O, GRw);
+    FB.rwWrLock(O);
+    FB.getGlobal(V, GV);
+    FB.constInt(One, 1);
+    FB.cmpEq(C, V, One);
+    FB.assertTrue(C, 31);
+    FB.rwWrUnlock(O);
+    FB.ret();
+    WriterId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg O = FB.newReg(), B = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(O, RwCls);
+    FB.putGlobal(GRw, O);
+    FB.newObject(B, BarCls);
+    FB.barrierInit(B, 2);
+    FB.putGlobal(GBar, B);
+    FB.threadStart(T1, ReaderId);
+    FB.barrierWait(B); // reader now holds the read lock
+    FB.threadStart(T2, WriterId);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// A writer publishes inside its write section; a reader started while the
+/// section is open must observe it.
+Program rwReaderSeesWriterWrite() {
+  ProgramBuilder PB;
+  ClassId RwCls = PB.addClass("Rw", {"pad"});
+  ClassId BarCls = PB.addClass("Bar", {"pad"});
+  uint32_t GRw = PB.addGlobal("rw");
+  uint32_t GBar = PB.addGlobal("bar");
+  uint32_t GV = PB.addGlobal("v");
+
+  FuncId WriterId;
+  {
+    FunctionBuilder FB = PB.beginFunction("writer", 0);
+    Reg O = FB.newReg(), B = FB.newReg(), Two = FB.newReg();
+    FB.getGlobal(O, GRw);
+    FB.getGlobal(B, GBar);
+    FB.rwWrLock(O);
+    FB.barrierWait(B); // tell main the write section is open
+    FB.constInt(Two, 2);
+    FB.putGlobal(GV, Two);
+    FB.rwWrUnlock(O);
+    FB.ret();
+    WriterId = PB.endFunction(FB);
+  }
+  FuncId ReaderId;
+  {
+    FunctionBuilder FB = PB.beginFunction("reader", 0);
+    Reg O = FB.newReg(), V = FB.newReg(), Two = FB.newReg(), C = FB.newReg();
+    FB.getGlobal(O, GRw);
+    FB.rwRdLock(O);
+    FB.getGlobal(V, GV);
+    FB.constInt(Two, 2);
+    FB.cmpEq(C, V, Two);
+    FB.assertTrue(C, 32);
+    FB.rwRdUnlock(O);
+    FB.ret();
+    ReaderId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg O = FB.newReg(), B = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(O, RwCls);
+    FB.putGlobal(GRw, O);
+    FB.newObject(B, BarCls);
+    FB.barrierInit(B, 2);
+    FB.putGlobal(GBar, B);
+    FB.threadStart(T1, WriterId);
+    FB.barrierWait(B); // writer now holds the write lock
+    FB.threadStart(T2, ReaderId);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// Two workers run three rounds over one reused barrier: write slot, meet,
+/// assert on the partner's slot, meet again. Exercises generation turnover.
+Program barrierTwoRounds() {
+  ProgramBuilder PB;
+  ClassId BarCls = PB.addClass("Bar", {"pad"});
+  uint32_t GArr = PB.addGlobal("arr");
+  uint32_t GBar = PB.addGlobal("bar");
+
+  FuncId WorkerId;
+  {
+    FunctionBuilder FB = PB.beginFunction("worker", 1);
+    Reg T = FB.param(0);
+    Reg Arr = FB.newReg(), B = FB.newReg(), One = FB.newReg(),
+        Other = FB.newReg(), Val = FB.newReg(), V = FB.newReg(),
+        C = FB.newReg();
+    FB.getGlobal(Arr, GArr);
+    FB.getGlobal(B, GBar);
+    FB.constInt(One, 1);
+    FB.sub(Other, One, T); // partner slot: 1 - t
+    for (int Round = 1; Round <= 2; ++Round) {
+      FB.constInt(Val, Round);
+      FB.astore(Arr, T, Val);
+      FB.barrierWait(B);
+      FB.aload(V, Arr, Other);
+      FB.cmpEq(C, V, Val);
+      FB.assertTrue(C, 40 + Round);
+      FB.barrierWait(B); // don't start the next round under the reads
+    }
+    FB.ret();
+    WorkerId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Arr = FB.newReg(), Len = FB.newReg(), B = FB.newReg(),
+        T0 = FB.newReg(), T1 = FB.newReg(), Zero = FB.newReg(),
+        One = FB.newReg();
+    FB.constInt(Len, 2);
+    FB.newArray(Arr, Len);
+    FB.putGlobal(GArr, Arr);
+    FB.newObject(B, BarCls);
+    FB.barrierInit(B, 2);
+    FB.putGlobal(GBar, B);
+    FB.constInt(Zero, 0);
+    FB.constInt(One, 1);
+    FB.threadStart(T0, WorkerId, Zero);
+    FB.threadStart(T1, WorkerId, One);
+    FB.threadJoin(T0);
+    FB.threadJoin(T1);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// Single thread: a timed wait with nobody to notify must take the timeout
+/// arm, advance the virtual clock past the deadline, and not deadlock.
+Program timedWaitAlone() {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Box", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg(), TO = FB.newReg(), T0 = FB.newReg(), T1 = FB.newReg(),
+      D = FB.newReg(), Lim = FB.newReg(), C = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.sysTime(T0);
+  FB.monitorEnter(O);
+  FB.timedWait(TO, O, 50);
+  FB.monitorExit(O);
+  FB.sysTime(T1);
+  FB.sub(D, T1, T0);
+  FB.constInt(Lim, 49);
+  FB.cmpLt(C, Lim, D); // elapsed virtual time covers the full deadline
+  FB.assertTrue(C, 51);
+  FB.print(TO);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  return PB.take();
+}
+
+/// Correct timed-wait consumer: rechecks the predicate in a loop, so a
+/// timeout just spins the loop once more. The producer always sets the flag
+/// under the monitor, so every schedule terminates with flag == 1.
+Program timedWaitProducerConsumer() {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Box", {"pad"});
+  uint32_t GBox = PB.addGlobal("box");
+  uint32_t GF = PB.addGlobal("flag");
+
+  FuncId ConsumerId;
+  {
+    FunctionBuilder FB = PB.beginFunction("consumer", 0);
+    Reg B = FB.newReg(), V = FB.newReg(), TO = FB.newReg();
+    FB.getGlobal(B, GBox);
+    FB.monitorEnter(B);
+    Label Loop = FB.makeLabel(), More = FB.makeLabel(), Done = FB.makeLabel();
+    FB.place(Loop);
+    FB.getGlobal(V, GF);
+    FB.br(V, Done, More);
+    FB.place(More);
+    FB.timedWait(TO, B, 3);
+    FB.jmp(Loop);
+    FB.place(Done);
+    FB.monitorExit(B);
+    FB.print(V);
+    FB.ret();
+    ConsumerId = PB.endFunction(FB);
+  }
+  FuncId ProducerId;
+  {
+    FunctionBuilder FB = PB.beginFunction("producer", 0);
+    Reg B = FB.newReg(), One = FB.newReg();
+    FB.getGlobal(B, GBox);
+    FB.monitorEnter(B);
+    FB.constInt(One, 1);
+    FB.putGlobal(GF, One);
+    FB.notifyAll(B);
+    FB.monitorExit(B);
+    FB.ret();
+    ProducerId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg B = FB.newReg(), T1 = FB.newReg(), T2 = FB.newReg();
+    FB.newObject(B, Cls);
+    FB.putGlobal(GBox, B);
+    FB.threadStart(T1, ConsumerId);
+    FB.threadStart(T2, ProducerId);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// Two one-shot timed waiters race two notifiers; each waiter prints its
+/// timed-out flag. Which arm each waiter takes is schedule-dependent, which
+/// makes this the regression net for recording the arm as an input.
+Program timedWaitRace() {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Box", {"pad"});
+  uint32_t GBox = PB.addGlobal("box");
+
+  FuncId WaiterId;
+  {
+    FunctionBuilder FB = PB.beginFunction("waiter", 0);
+    Reg B = FB.newReg(), TO = FB.newReg();
+    FB.getGlobal(B, GBox);
+    FB.monitorEnter(B);
+    FB.timedWait(TO, B, 2);
+    FB.monitorExit(B);
+    FB.print(TO);
+    FB.ret();
+    WaiterId = PB.endFunction(FB);
+  }
+  FuncId NotifierId;
+  {
+    FunctionBuilder FB = PB.beginFunction("notifier", 0);
+    Reg B = FB.newReg();
+    FB.burnCpu(5);
+    FB.getGlobal(B, GBox);
+    FB.monitorEnter(B);
+    FB.notifyAll(B);
+    FB.monitorExit(B);
+    FB.ret();
+    NotifierId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg B = FB.newReg(), W1 = FB.newReg(), W2 = FB.newReg(), N1 = FB.newReg(),
+        N2 = FB.newReg();
+    FB.newObject(B, Cls);
+    FB.putGlobal(GBox, B);
+    FB.threadStart(W1, WaiterId);
+    FB.threadStart(W2, WaiterId);
+    FB.threadStart(N1, NotifierId);
+    FB.threadStart(N2, NotifierId);
+    FB.threadJoin(W1);
+    FB.threadJoin(W2);
+    FB.threadJoin(N1);
+    FB.threadJoin(N2);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// N workers each add \p Inc via a CAS retry loop: no increment may be lost
+/// under any interleaving if the RMW is atomic.
+Program casLoopCounter(int Workers, int Inc) {
+  ProgramBuilder PB;
+  uint32_t GC = PB.addGlobal("count");
+
+  FuncId WorkerId;
+  {
+    FunctionBuilder FB = PB.beginFunction("worker", 0);
+    Reg One = FB.newReg(), I = FB.newReg(), Lim = FB.newReg(), C = FB.newReg(),
+        Old = FB.newReg(), New = FB.newReg(), OK = FB.newReg();
+    FB.constInt(One, 1);
+    FB.constInt(I, 0);
+    FB.constInt(Lim, Inc);
+    Label Outer = FB.makeLabel(), Body = FB.makeLabel(),
+          Step = FB.makeLabel(), Done = FB.makeLabel();
+    FB.place(Outer);
+    FB.cmpLt(C, I, Lim);
+    FB.br(C, Body, Done);
+    FB.place(Body);
+    FB.getGlobal(Old, GC);
+    FB.add(New, Old, One);
+    FB.cas(OK, Old, New, GC);
+    FB.br(OK, Step, Body); // failed CAS re-reads and retries
+    FB.place(Step);
+    FB.add(I, I, One);
+    FB.jmp(Outer);
+    FB.place(Done);
+    FB.ret();
+    WorkerId = PB.endFunction(FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg V = FB.newReg();
+    std::vector<Reg> Tids;
+    for (int W = 0; W < Workers; ++W) {
+      Reg T = FB.newReg();
+      FB.threadStart(T, WorkerId);
+      Tids.push_back(T);
+    }
+    for (Reg T : Tids)
+      FB.threadJoin(T);
+    FB.getGlobal(V, GC);
+    FB.print(V);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Read-write locks
+//===----------------------------------------------------------------------===//
+
+TEST(RwLock, WritersExcludeWriters) {
+  Program P = rwWriterCounter(3, 6);
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[0], "18\n") << "seed " << Seed;
+  }
+}
+
+TEST(RwLock, ReadersAreAdmittedConcurrently) {
+  // Both readers must be inside their read sections at the same time to
+  // turn the barrier; exclusive readers would deadlock every schedule.
+  Program P = rwReadersAtBarrier();
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+  }
+}
+
+TEST(RwLock, WriterWaitsForOpenReadSections) {
+  Program P = rwWriterSeesReaderWrite();
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+  }
+}
+
+TEST(RwLock, ReaderWaitsForOpenWriteSection) {
+  Program P = rwReaderSeesWriterWrite();
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+  }
+}
+
+TEST(RwLock, LockUpgradeAndReentranceBySameThread) {
+  // A lone thread may stack read and write holds; only *other* threads
+  // exclude.
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Rw", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg(), V = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.rwRdLock(O);
+  FB.rwRdLock(O); // reentrant read
+  FB.rwWrLock(O); // upgrade past our own read holds
+  FB.rwWrLock(O); // reentrant write
+  FB.rwWrUnlock(O);
+  FB.rwWrUnlock(O);
+  FB.rwRdUnlock(O);
+  FB.rwRdUnlock(O);
+  FB.constInt(V, 7);
+  FB.print(V);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  Program P = PB.take();
+  RunResult R = runOnce(P, 1);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+  EXPECT_EQ(R.OutputByThread[0], "7\n");
+}
+
+TEST(RwLock, ReadUnlockWithoutHoldIsARuntimeError) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Rw", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.rwRdUnlock(O);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  RunResult R = runOnce(PB.take(), 1);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::RuntimeError);
+}
+
+TEST(RwLock, WriteUnlockWithoutOwnershipIsARuntimeError) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Rw", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.rwRdLock(O);
+  FB.rwWrUnlock(O); // read hold is not write ownership
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  RunResult R = runOnce(PB.take(), 1);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::RuntimeError);
+}
+
+//===----------------------------------------------------------------------===//
+// Barriers
+//===----------------------------------------------------------------------===//
+
+TEST(Barrier, PublishesWritesAcrossGenerations) {
+  Program P = barrierTwoRounds();
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+  }
+}
+
+TEST(Barrier, SinglePartyBarrierNeverBlocks) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Bar", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg B = FB.newReg(), V = FB.newReg();
+  FB.newObject(B, Cls);
+  FB.barrierInit(B, 1);
+  FB.barrierWait(B);
+  FB.barrierWait(B); // each arrival is its own full generation
+  FB.constInt(V, 3);
+  FB.print(V);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  RunResult R = runOnce(PB.take(), 1);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+  EXPECT_EQ(R.OutputByThread[0], "3\n");
+}
+
+TEST(Barrier, WaitBeforeInitIsARuntimeError) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Bar", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg B = FB.newReg();
+  FB.newObject(B, Cls);
+  FB.barrierWait(B);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  RunResult R = runOnce(PB.take(), 1);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::RuntimeError);
+}
+
+//===----------------------------------------------------------------------===//
+// Timed waits
+//===----------------------------------------------------------------------===//
+
+TEST(TimedWait, TimesOutWithoutANotifierAndAdvancesTheClock) {
+  Program P = timedWaitAlone();
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[0], "1\n"); // timed-out flag
+  }
+}
+
+TEST(TimedWait, RecheckLoopAlwaysSeesTheProducer) {
+  Program P = timedWaitProducerConsumer();
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[1], "1\n") << "seed " << Seed;
+  }
+}
+
+TEST(TimedWait, BothArmsAreReachableAcrossSchedules) {
+  // The timeout is a scheduling decision, so over enough random schedules
+  // a racing waiter must sometimes be notified and sometimes expire.
+  Program P = timedWaitRace();
+  std::set<std::string> Seen;
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    Seen.insert(R.OutputByThread[1]);
+    Seen.insert(R.OutputByThread[2]);
+  }
+  EXPECT_TRUE(Seen.count("0\n")) << "no waiter was ever notified";
+  EXPECT_TRUE(Seen.count("1\n")) << "no waiter ever timed out";
+}
+
+TEST(TimedWait, WithoutMonitorOwnershipIsARuntimeError) {
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("Box", {"pad"});
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg(), TO = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.timedWait(TO, O, 5);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  RunResult R = runOnce(PB.take(), 1);
+  EXPECT_EQ(R.Bug.What, BugReport::Kind::RuntimeError);
+}
+
+//===----------------------------------------------------------------------===//
+// CAS / exchange
+//===----------------------------------------------------------------------===//
+
+TEST(Atomics, CasAndXchgValueSemantics) {
+  ProgramBuilder PB;
+  uint32_t GC = PB.addGlobal("cell");
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg Five = FB.newReg(), Six = FB.newReg(), Seven = FB.newReg(),
+      Nine = FB.newReg(), OK = FB.newReg(), V = FB.newReg(), Old = FB.newReg();
+  FB.constInt(Five, 5);
+  FB.constInt(Six, 6);
+  FB.constInt(Seven, 7);
+  FB.constInt(Nine, 9);
+  FB.putGlobal(GC, Five);
+  FB.cas(OK, Five, Six, GC); // 5 -> 6 succeeds
+  FB.print(OK);
+  FB.getGlobal(V, GC);
+  FB.print(V);
+  FB.cas(OK, Five, Seven, GC); // expected 5, cell is 6: fails, no write
+  FB.print(OK);
+  FB.getGlobal(V, GC);
+  FB.print(V);
+  FB.xchg(Old, Nine, GC); // unconditionally swaps, returns 6
+  FB.print(Old);
+  FB.getGlobal(V, GC);
+  FB.print(V);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  RunResult R = runOnce(PB.take(), 1);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+  EXPECT_EQ(R.OutputByThread[0], "1\n6\n0\n6\n6\n9\n");
+}
+
+TEST(Atomics, CasRetryLoopNeverLosesIncrements) {
+  Program P = casLoopCounter(3, 8);
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    RunResult R = runOnce(P, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[0], "24\n") << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Record / replay faithfulness, one net per family
+//===----------------------------------------------------------------------===//
+
+TEST(SyncReplay, RwLockProgramsReplayFaithfully) {
+  Program Counter = rwWriterCounter(3, 4);
+  Program Handoff = rwWriterSeesReaderWrite();
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    {
+      SCOPED_TRACE("counter seed " + std::to_string(Seed));
+      testprogs::RecordOutcome Out = testprogs::recordRun(Counter, Seed);
+      testprogs::expectFaithfulReplay(Counter, Out);
+    }
+    {
+      SCOPED_TRACE("handoff seed " + std::to_string(Seed));
+      testprogs::RecordOutcome Out = testprogs::recordRun(Handoff, Seed);
+      testprogs::expectFaithfulReplay(Handoff, Out);
+    }
+  }
+}
+
+TEST(SyncReplay, BarrierProgramsReplayFaithfully) {
+  Program P = barrierTwoRounds();
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    testprogs::RecordOutcome Out = testprogs::recordRun(P, Seed);
+    testprogs::expectFaithfulReplay(P, Out);
+  }
+}
+
+TEST(SyncReplay, TimedWaitArmIsPinnedByTheRecording) {
+  // The notify-vs-timeout arm is recorded as a per-thread input: even when
+  // the notify's ghost write ends up blind (unordered in the solved
+  // schedule), replay must reproduce the recorded flag for every waiter.
+  Program P = timedWaitRace();
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    testprogs::RecordOutcome Out = testprogs::recordRun(P, Seed);
+    testprogs::expectFaithfulReplay(P, Out);
+  }
+}
+
+TEST(SyncReplay, TimedWaitRecheckLoopReplaysFaithfully) {
+  Program P = timedWaitProducerConsumer();
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    testprogs::RecordOutcome Out = testprogs::recordRunBursty(P, Seed);
+    testprogs::expectFaithfulReplay(P, Out);
+  }
+}
+
+TEST(SyncReplay, CasProgramsReplayFaithfully) {
+  Program P = casLoopCounter(3, 4);
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    testprogs::RecordOutcome Out = testprogs::recordRun(P, Seed);
+    testprogs::expectFaithfulReplay(P, Out);
+  }
+}

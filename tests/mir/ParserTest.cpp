@@ -8,6 +8,7 @@
 
 #include "../TestPrograms.h"
 #include "bugs/BugPrograms.h"
+#include "workloads/BusArbiter.h"
 
 #include <gtest/gtest.h>
 
@@ -44,6 +45,44 @@ TEST(Parser, RoundTripsTheWholeBugSuite) {
     expectRoundTrip(B.Prog);
 }
 
+TEST(Parser, RoundTripsTheSyncBugSuiteAndBusArbiter) {
+  // Every program here uses the rwlock/barrier/timed-wait/CAS opcodes.
+  for (const bugs::BugBenchmark &B : bugs::makeSyncBugSuite())
+    expectRoundTrip(B.Prog);
+  expectRoundTrip(workloads::busArbiterProgram(2, 2));
+  expectRoundTrip(workloads::busArbiterProgram(3, 1));
+}
+
+TEST(Parser, RoundTripsEverySyncOpcode) {
+  // One straight-line function touching all nine new opcodes, so a
+  // printer/parser mismatch on any of them fails even if no preset
+  // happens to emit it.
+  ProgramBuilder PB;
+  ClassId Cls = PB.addClass("S", {"pad"});
+  uint32_t G = PB.addGlobal("cell");
+  FunctionBuilder FB = PB.beginFunction("main", 0);
+  Reg O = FB.newReg(), B = FB.newReg(), V = FB.newReg(), W = FB.newReg(),
+      OK = FB.newReg(), TO = FB.newReg();
+  FB.newObject(O, Cls);
+  FB.rwRdLock(O);
+  FB.rwRdUnlock(O);
+  FB.rwWrLock(O);
+  FB.rwWrUnlock(O);
+  FB.newObject(B, Cls);
+  FB.barrierInit(B, 1);
+  FB.barrierWait(B);
+  FB.monitorEnter(O);
+  FB.timedWait(TO, O, 7);
+  FB.monitorExit(O);
+  FB.constInt(V, 1);
+  FB.constInt(W, 2);
+  FB.cas(OK, V, W, G);
+  FB.xchg(OK, W, G);
+  FB.ret();
+  PB.setEntry(PB.endFunction(FB));
+  expectRoundTrip(PB.take());
+}
+
 TEST(Parser, ParsedProgramExecutesIdentically) {
   Program P = testprogs::counterRace(2, 4);
   ParseResult R = parseProgram(P.str());
@@ -71,6 +110,21 @@ TEST(Parser, ReportsLineNumbersOnErrors) {
   ASSERT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("line 2"), std::string::npos);
   EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parser, ErrorsCarryStructuredPositions) {
+  // Tools consume Line/Col directly (1-based), not just the message text.
+  ParseResult Bad = parseProgram("func f0 main(params=0, regs=1) [entry]\n"
+                                 "  @0: frobnicate r0, r0, r0\n");
+  ASSERT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Line, 2);
+  EXPECT_GE(Bad.Col, 1);
+
+  ParseResult Ok = parseProgram("func f0 main(params=0, regs=1) [entry]\n"
+                                "  @0: ret _, _, _\n");
+  ASSERT_TRUE(Ok.Ok) << Ok.Error;
+  EXPECT_EQ(Ok.Line, 0);
+  EXPECT_EQ(Ok.Col, 0);
 }
 
 TEST(Parser, RejectsOutOfOrderDeclarations) {

@@ -1,0 +1,77 @@
+//===- tests/property/PrintParseRoundTripTest.cpp - Printer/parser duality -===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property: for any generated program P, parse(print(P)) succeeds, the
+/// reparsed program verifies, and printing it again is byte-identical —
+/// i.e. print is a section of parse. Sampled across every generator
+/// preset, including the synchronization-primitive surface (rwlocks,
+/// barriers, timed waits, CAS/exchange), so a printer/parser skew on any
+/// opcode the generator can emit fails here before it corrupts a saved
+/// corpus. Honors LIGHT_TEST_SEED / LIGHT_TEST_ITERS.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mir/Parser.h"
+#include "support/Random.h"
+#include "testlib/ProgramGen.h"
+#include "testlib/TestEnv.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+
+namespace {
+
+class PrintParseRoundTrip : public ::testing::TestWithParam<int> {};
+
+struct NamedConfig {
+  const char *Name;
+  testgen::GenConfig Config;
+};
+
+std::vector<NamedConfig> presets() {
+  return {{"full", testgen::GenConfig::full()},
+          {"sharedOnly", testgen::GenConfig::sharedOnly()},
+          {"withWaitNotify", testgen::GenConfig::withWaitNotify()},
+          {"syncPrimitives", testgen::GenConfig::syncPrimitives()}};
+}
+
+} // namespace
+
+TEST_P(PrintParseRoundTrip, PrintIsASectionOfParse) {
+  uint64_t Seed = testenv::effectiveSeed(static_cast<uint64_t>(GetParam()));
+  SCOPED_TRACE(testenv::repro(Seed));
+  for (const NamedConfig &NC : presets()) {
+    SCOPED_TRACE(NC.Name);
+    Rng R(Seed * 0x9e3779b97f4a7c15ull + 17);
+    Program P = testgen::randomProgram(R, NC.Config);
+    ASSERT_EQ(P.verify(), "") << P.str();
+
+    std::string Text = P.str();
+    ParseResult First = parseProgram(Text);
+    ASSERT_TRUE(First.Ok) << First.Error << "\n" << Text;
+    EXPECT_EQ(First.Prog.verify(), "");
+    EXPECT_EQ(First.Line, 0);
+    EXPECT_EQ(First.Col, 0);
+
+    // Byte-identical fixpoint after one round, and stable on the second.
+    std::string Second = First.Prog.str();
+    EXPECT_EQ(Second, Text);
+    ParseResult Again = parseProgram(Second);
+    ASSERT_TRUE(Again.Ok) << Again.Error;
+    EXPECT_EQ(Again.Prog.str(), Second);
+
+    // Structure survives: same entry, same shapes.
+    EXPECT_EQ(First.Prog.Entry, P.Entry);
+    EXPECT_EQ(First.Prog.Functions.size(), P.Functions.size());
+    EXPECT_EQ(First.Prog.Globals, P.Globals);
+    EXPECT_EQ(First.Prog.Classes.size(), P.Classes.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseRoundTrip,
+                         ::testing::Range(1, 1 + testenv::iters(25)));

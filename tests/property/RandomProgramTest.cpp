@@ -62,5 +62,26 @@ TEST_P(RandomProgramReplay, FaithfulAcrossVariantsAndSchedules) {
   }
 }
 
+TEST_P(RandomProgramReplay, SyncPrimitiveProgramsAreFaithfulToo) {
+  // The same three properties over the synchronization preset: rwlock
+  // sections, barrier generations, timed-wait arms (recorded as inputs),
+  // and CAS/exchange RMWs.
+  uint64_t Seed = testenv::effectiveSeed(static_cast<uint64_t>(GetParam()));
+  SCOPED_TRACE(testenv::repro(Seed));
+  Rng R(Seed * 0x9e3779b9ull + 23);
+  Program Prog =
+      testgen::randomProgram(R, testgen::GenConfig::syncPrimitives());
+  ASSERT_EQ(Prog.verify(), "") << Prog.str();
+
+  for (int Bursty = 0; Bursty < 2; ++Bursty) {
+    RecordOutcome Rec = Bursty ? recordRunBursty(Prog, Seed * 37 + Bursty)
+                               : recordRun(Prog, Seed * 37 + Bursty);
+    ASSERT_TRUE(Rec.Result.Completed) << Rec.Result.Bug.str();
+    ReplaySchedule RS = ReplaySchedule::build(Rec.Log);
+    ASSERT_TRUE(RS.ok()) << RS.error();
+    expectFaithfulReplay(Prog, Rec);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramReplay,
                          ::testing::Range(1, 1 + testenv::iters(40)));

@@ -79,5 +79,32 @@ TEST_P(ShardedDifferential, ShardedSchedulesReplayFaithfully) {
     expectFaithfulReplay(Prog, Rec, smt::SolverEngine::Idl, Shards);
 }
 
+TEST_P(ShardedDifferential, SyncPrimitiveLogsShardFaithfully) {
+  // Same contract over the synchronization surface: rwlock reader blocks,
+  // barrier generations, timed-wait wakeups, and CAS RMWs all produce
+  // ghost-location constraints that must survive shard partitioning.
+  uint64_t Seed = testenv::effectiveSeed(static_cast<uint64_t>(GetParam()));
+  SCOPED_TRACE(testenv::repro(Seed));
+  Rng R(Seed * 0x2545f491ull + 9);
+  Program Prog =
+      testgen::randomProgram(R, testgen::GenConfig::syncPrimitives());
+  ASSERT_EQ(Prog.verify(), "") << Prog.str();
+  RecordOutcome Rec = recordRun(Prog, Seed * 17 + 3);
+  ASSERT_TRUE(Rec.Result.Completed) << Rec.Result.Bug.str();
+
+  ScheduleProblem P = buildScheduleProblem(Rec.Log);
+  smt::SolveResult Mono = smt::solveOrder(P.System, smt::SolverEngine::Idl);
+  for (unsigned Shards : {2u, 0u}) {
+    smt::SolveResult Sharded =
+        smt::solveSharded(P.System, smt::SolverEngine::Idl, {}, Shards);
+    ASSERT_EQ(Sharded.sat(), Mono.sat()) << "shards " << Shards;
+    if (Sharded.sat())
+      EXPECT_TRUE(P.System.satisfiedBy(Sharded.Values))
+          << "shards " << Shards;
+  }
+  for (unsigned Shards : {1u, 2u, 0u})
+    expectFaithfulReplay(Prog, Rec, smt::SolverEngine::Idl, Shards);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferential,
                          ::testing::Range(1, 1 + testenv::iters(15)));

@@ -29,7 +29,7 @@ uint32_t drawRange(Rng &R, uint32_t Lo, uint32_t Hi) {
 FuncId buildWorker(ProgramBuilder &PB, Rng &R, const testgen::GenConfig &C,
                    uint32_t W, const std::vector<uint32_t> &Globals,
                    const std::vector<uint32_t> &LockGlobals, uint32_t GArr,
-                   uint32_t GMap) {
+                   uint32_t GMap, uint32_t GRw, uint32_t GBar) {
   FunctionBuilder FB = PB.beginFunction("worker" + std::to_string(W), 0);
   Reg V = FB.newReg(), Tmp = FB.newReg();
   std::vector<Reg> LockRegs;
@@ -43,13 +43,27 @@ FuncId buildWorker(ProgramBuilder &PB, Rng &R, const testgen::GenConfig &C,
     FB.getGlobal(ArrReg, GArr);
   if (C.UseMap)
     FB.getGlobal(MapReg, GMap);
+  Reg RwReg = FB.newReg();
+  if (C.UseRwLock)
+    FB.getGlobal(RwReg, GRw);
+  if (C.UseBarrier) {
+    // Exactly one arrival per worker (parties = worker count), before any
+    // monitor is held: the barrier can always fill, so no deadlock.
+    Reg BarReg = FB.newReg();
+    FB.getGlobal(BarReg, GBar);
+    FB.barrierWait(BarReg);
+  }
 
   uint32_t NumGlobals = static_cast<uint32_t>(Globals.size());
   uint32_t Ops = drawRange(R, C.MinOps, C.MaxOps);
   int Depth = 0;
   std::vector<Reg> Held;
+  // The sync-primitive kinds (8..10) join the draw only when one of them
+  // is enabled, so legacy presets keep their historical op streams.
+  bool AnySync = C.UseRwLock || C.UseCas || C.UseTimedWait;
+  uint32_t KindSpace = AnySync ? 11 : 8;
   for (uint32_t Op = 0; Op < Ops; ++Op) {
-    uint32_t Kind = static_cast<uint32_t>(R.below(8));
+    uint32_t Kind = static_cast<uint32_t>(R.below(KindSpace));
     // Degrade disabled kinds into plain global traffic.
     if (Kind == 5 && LockRegs.empty())
       Kind = 0;
@@ -57,6 +71,12 @@ FuncId buildWorker(ProgramBuilder &PB, Rng &R, const testgen::GenConfig &C,
       Kind = 2;
     if (Kind == 7 && !C.UseMap)
       Kind = 4;
+    if (Kind == 8 && !C.UseRwLock)
+      Kind = 0;
+    if (Kind == 9 && !C.UseCas)
+      Kind = 4;
+    if (Kind == 10 && (!C.UseTimedWait || LockRegs.empty() || Depth > 0))
+      Kind = 1;
     switch (Kind) {
     case 0:
     case 1: { // read + print
@@ -119,6 +139,45 @@ FuncId buildWorker(ProgramBuilder &PB, Rng &R, const testgen::GenConfig &C,
         FB.print(V);
         break;
       }
+      break;
+    }
+    case 8: { // self-contained read- or write-locked section
+      if (R.chance(1, 2)) {
+        FB.rwRdLock(RwReg);
+        FB.getGlobal(V, Globals[R.below(NumGlobals)]);
+        FB.print(V);
+        FB.rwRdUnlock(RwReg);
+      } else {
+        FB.rwWrLock(RwReg);
+        FB.constInt(Tmp, static_cast<int64_t>(W * 10000 + Op + 5000));
+        FB.putGlobal(Globals[R.below(NumGlobals)], Tmp);
+        FB.rwWrUnlock(RwReg);
+      }
+      break;
+    }
+    case 9: { // lock-free atomic on a global: CAS or exchange
+      uint32_t G = Globals[R.below(NumGlobals)];
+      FB.constInt(Tmp, static_cast<int64_t>(W * 100 + Op));
+      if (R.chance(1, 2)) {
+        FB.getGlobal(V, G);
+        FB.cas(V, V, Tmp, G); // may fail under contention; both arms fine
+      } else {
+        FB.xchg(V, Tmp, G);
+      }
+      FB.print(V);
+      break;
+    }
+    case 10: { // single bounded timed wait: notified or timed out, no loop
+      Reg LR = LockRegs[R.below(LockRegs.size())];
+      FB.monitorEnter(LR);
+      if (R.chance(1, 3)) {
+        // A notifier, so the waiters' notified arm is actually reachable.
+        FB.notifyAll(LR);
+      } else {
+        FB.timedWait(Tmp, LR, static_cast<int64_t>(5 + R.below(20)));
+        FB.print(Tmp); // replay must reproduce the arm that was taken
+      }
+      FB.monitorExit(LR);
       break;
     }
     }
@@ -228,6 +287,16 @@ Program testgen::randomProgram(Rng &R, const GenConfig &C) {
   }
   uint32_t GArr = C.UseArray ? PB.addGlobal("arr") : 0;
   uint32_t GMap = C.UseMap ? PB.addGlobal("map") : 0;
+  ClassId RwCls{}, BarCls{};
+  uint32_t GRw = 0, GBar = 0;
+  if (C.UseRwLock) {
+    RwCls = PB.addClass("Rw", {"pad"});
+    GRw = PB.addGlobal("rw");
+  }
+  if (C.UseBarrier) {
+    BarCls = PB.addClass("Bar", {"pad"});
+    GBar = PB.addGlobal("bar");
+  }
 
   ClassId BoxCls{};
   uint32_t GBox = 0;
@@ -241,7 +310,7 @@ Program testgen::randomProgram(Rng &R, const GenConfig &C) {
   std::vector<FuncId> Threads;
   for (uint32_t W = 0; W < NumWorkers; ++W)
     Threads.push_back(
-        buildWorker(PB, R, C, W, Globals, LockGlobals, GArr, GMap));
+        buildWorker(PB, R, C, W, Globals, LockGlobals, GArr, GMap, GRw, GBar));
   if (C.WaitNotify) {
     Threads.push_back(buildProducer(PB, GBox, WaitItems));
     Threads.push_back(buildConsumer(PB, GBox, WaitItems));
@@ -265,6 +334,15 @@ Program testgen::randomProgram(Rng &R, const GenConfig &C) {
   if (C.WaitNotify) {
     FB.newObject(Obj, BoxCls);
     FB.putGlobal(GBox, Obj);
+  }
+  if (C.UseRwLock) {
+    FB.newObject(Obj, RwCls);
+    FB.putGlobal(GRw, Obj);
+  }
+  if (C.UseBarrier) {
+    FB.newObject(Obj, BarCls);
+    FB.barrierInit(Obj, static_cast<int64_t>(NumWorkers));
+    FB.putGlobal(GBar, Obj);
   }
   for (uint32_t G = 0; G < NumGlobals; ++G) {
     FB.constInt(Tmp, static_cast<int64_t>(G) * 100);

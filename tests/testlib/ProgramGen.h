@@ -21,7 +21,10 @@
 ///                             randomSharedProgram; every access is in
 ///                             Clap's solver model);
 ///   GenConfig::withWaitNotify() — full() plus a producer/consumer pair
-///                             over a one-slot mailbox.
+///                             over a one-slot mailbox;
+///   GenConfig::syncPrimitives() — full() plus rwlock sections, CAS and
+///                             exchange traffic, bounded timed waits,
+///                             and a barrier-synchronized worker start.
 ///
 /// Generated programs always verify() clean, terminate under any fair
 /// cooperative schedule, and print enough values that replay divergence
@@ -52,6 +55,10 @@ struct GenConfig {
   uint32_t MapKeys = 6;
   bool WaitNotify = false; ///< add a producer/consumer mailbox pair
   uint32_t MaxWaitItems = 3;
+  bool UseRwLock = false;    ///< read-/write-locked sections over one rwlock
+  bool UseCas = false;       ///< CAS/exchange traffic on the globals
+  bool UseTimedWait = false; ///< single bounded timed waits (both arms clean)
+  bool UseBarrier = false;   ///< all workers barrier-sync their start
 
   /// Lock + array + map mix; the historical property-test generator.
   static GenConfig full() { return GenConfig(); }
@@ -75,6 +82,19 @@ struct GenConfig {
   static GenConfig withWaitNotify() {
     GenConfig C;
     C.WaitNotify = true;
+    return C;
+  }
+
+  /// full() plus the extended synchronization surface: rwlock sections,
+  /// CAS/exchange traffic, bounded timed waits, and a start barrier.
+  /// Every one of these primitives bails Clap's symbolic model, so
+  /// oracle suites pair this preset with ExpectClapSupported = false.
+  static GenConfig syncPrimitives() {
+    GenConfig C;
+    C.UseRwLock = true;
+    C.UseCas = true;
+    C.UseTimedWait = true;
+    C.UseBarrier = true;
     return C;
   }
 };

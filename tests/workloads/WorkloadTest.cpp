@@ -6,6 +6,9 @@
 
 #include "workloads/OverheadHarness.h"
 
+#include "../TestPrograms.h"
+#include "workloads/BusArbiter.h"
+
 #include <gtest/gtest.h>
 
 #include <set>
@@ -93,4 +96,36 @@ TEST(Workloads, StrideSpaceComparableToLeap) {
   // Paper: Leap and Stride are "largely tied in space consumption".
   EXPECT_GT(S.SpaceLongs, P.SpaceLongs / 2);
   EXPECT_LT(S.SpaceLongs, P.SpaceLongs * 3);
+}
+
+TEST(Workloads, BusArbiterIsCleanOnEverySchedule) {
+  // The sync-surface stress workload: CAS tickets, monitor completion,
+  // rwlock commit/sample, a barrier start line, and one timed wait. Its
+  // validation asserts must hold under any interleaving.
+  for (auto [Producers, Ops] : {std::pair{2, 2}, {3, 1}, {2, 3}}) {
+    mir::Program P = busArbiterProgram(Producers, Ops);
+    ASSERT_EQ(P.verify(), "") << P.str();
+    for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+      NullHook Null;
+      Machine M(P, Null);
+      M.seedEnvironment(Seed ^ 0x5a5a);
+      RandomScheduler Sched(Seed);
+      RunResult R = M.run(Sched);
+      ASSERT_TRUE(R.Completed)
+          << "producers=" << Producers << " ops=" << Ops << " seed=" << Seed
+          << ": " << R.Bug.str();
+    }
+  }
+}
+
+TEST(Workloads, BusArbiterRecordsAndReplaysFaithfully) {
+  mir::Program P = busArbiterProgram(2, 2);
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    testprogs::RecordOutcome Out = Seed % 2
+                                       ? testprogs::recordRun(P, Seed)
+                                       : testprogs::recordRunBursty(P, Seed);
+    ASSERT_TRUE(Out.Result.Completed) << Out.Result.Bug.str();
+    testprogs::expectFaithfulReplay(P, Out);
+  }
 }

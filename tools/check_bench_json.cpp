@@ -120,6 +120,71 @@ int checkScaleRows(const std::string &Path, const JsonValue &Rows) {
   return 0;
 }
 
+/// Deep checks for the bug-matrix table: every row names its suite
+/// ("fig6" or "sync") and bug; rows with a found seed carry the three
+/// per-tool booleans plus the expectations they are gated on.
+int checkBugMatrixRows(const std::string &Path, const JsonValue &Rows) {
+  int SyncRows = 0;
+  for (size_t I = 0; I < Rows.Items.size(); ++I) {
+    const JsonValue &Row = Rows.Items[I];
+    std::string Where = "rows[" + std::to_string(I) + "]";
+    const JsonValue *Suite = Row.find("suite");
+    if (!Suite || Suite->What != JsonValue::Kind::String ||
+        (Suite->Str != "fig6" && Suite->Str != "sync"))
+      return fail(Path, Where + " missing \"suite\" (want fig6|sync)");
+    SyncRows += Suite->Str == "sync";
+    const JsonValue *Bug = Row.find("bug");
+    if (!Bug || Bug->What != JsonValue::Kind::String || Bug->Str.empty())
+      return fail(Path, Where + " missing string \"bug\"");
+    const JsonValue *SeedFound = Row.find("seed_found");
+    if (!SeedFound || SeedFound->What != JsonValue::Kind::Bool)
+      return fail(Path, Where + " missing boolean \"seed_found\"");
+    if (!SeedFound->B)
+      continue;
+    for (const char *Col : {"light", "clap", "chimera", "clap_expected",
+                            "chimera_expected"}) {
+      const JsonValue *V = Row.find(Col);
+      if (!V || V->What != JsonValue::Kind::Bool)
+        return fail(Path, Where + " missing boolean \"" + Col + "\"");
+    }
+  }
+  if (Rows.Items.empty())
+    return fail(Path, "bug-matrix report has no rows");
+  if (SyncRows != 4)
+    return fail(Path, "bug-matrix report must carry the 4 sync-kernel rows");
+  return 0;
+}
+
+/// Deep checks for the exploration table: one row per (suite, bug,
+/// strategy) with the search outcome and its cost.
+int checkExploreRows(const std::string &Path, const JsonValue &Rows) {
+  for (size_t I = 0; I < Rows.Items.size(); ++I) {
+    const JsonValue &Row = Rows.Items[I];
+    std::string Where = "rows[" + std::to_string(I) + "]";
+    const JsonValue *Suite = Row.find("suite");
+    if (!Suite || Suite->What != JsonValue::Kind::String ||
+        (Suite->Str != "fig6" && Suite->Str != "sync"))
+      return fail(Path, Where + " missing \"suite\" (want fig6|sync)");
+    const JsonValue *Strategy = Row.find("strategy");
+    if (!Strategy || Strategy->What != JsonValue::Kind::String ||
+        (Strategy->Str != "dfs" && Strategy->Str != "pct"))
+      return fail(Path, Where + " missing \"strategy\" (want dfs|pct)");
+    const JsonValue *Found = Row.find("bug_found");
+    if (!Found || Found->What != JsonValue::Kind::Bool)
+      return fail(Path, Where + " missing boolean \"bug_found\"");
+    for (const char *Col : {"schedules", "distinct_interleavings",
+                            "schedules_per_second", "seconds"}) {
+      const JsonValue *V = Row.find(Col);
+      if (!V || V->What != JsonValue::Kind::Number || V->Num < 0)
+        return fail(Path, Where + " missing non-negative numeric \"" + Col +
+                              "\"");
+    }
+  }
+  if (Rows.Items.empty())
+    return fail(Path, "explore report has no rows");
+  return 0;
+}
+
 int checkOne(const std::string &Path) {
   std::ifstream In(Path);
   if (!In)
@@ -167,6 +232,12 @@ int checkOne(const std::string &Path) {
       return Rc;
   if (Bench->Str == "scale")
     if (int Rc = checkScaleRows(Path, *Rows))
+      return Rc;
+  if (Bench->Str == "fig6_bug_matrix")
+    if (int Rc = checkBugMatrixRows(Path, *Rows))
+      return Rc;
+  if (Bench->Str == "explore")
+    if (int Rc = checkExploreRows(Path, *Rows))
       return Rc;
 
   if (const JsonValue *Metrics = Root.find("metrics")) {

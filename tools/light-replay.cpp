@@ -184,6 +184,9 @@ std::optional<mir::Program> loadProgram(const std::string &Name) {
   for (BugBenchmark &B : makeBugSuite())
     if (B.Name == Name)
       return std::move(B.Prog);
+  for (BugBenchmark &B : makeSyncBugSuite())
+    if (B.Name == Name)
+      return std::move(B.Prog);
 
   std::ifstream In(Name);
   if (!In) {
@@ -668,7 +671,11 @@ int main(int argc, char **argv) {
 
   if (Cmd == "list") {
     for (const BugBenchmark &B : makeBugSuite())
-      std::printf("%-14s clap=%s chimera=%s\n", B.Name.c_str(),
+      std::printf("%-16s clap=%s chimera=%s\n", B.Name.c_str(),
+                  B.ClapExpected ? "yes" : "no",
+                  B.ChimeraExpected ? "yes" : "no");
+    for (const BugBenchmark &B : makeSyncBugSuite())
+      std::printf("%-16s clap=%s chimera=%s\n", B.Name.c_str(),
                   B.ClapExpected ? "yes" : "no",
                   B.ChimeraExpected ? "yes" : "no");
     return Finish(0);
