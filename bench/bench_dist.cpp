@@ -1,0 +1,344 @@
+//===- bench/bench_dist.cpp - Multi-node pipeline + dist bug matrix --------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the fault-tolerant multi-node pipeline end to end: fork-record
+/// a deterministic token-ring program at several node counts, salvage the
+/// per-node durable logs, run the causal-cut merge, solve the global
+/// schedule, and replay every surviving node — once clean (must earn a
+/// full schedule) and once with a mid-run SIGKILL of one node (must earn a
+/// structured partial cut, never a wrong schedule). Reports messages,
+/// spans, cross-node edges, cut entries, and record/solve wall time per
+/// configuration.
+///
+/// A second section extends the Figure-6 matrix to the four distributed
+/// bug kernels: Light must reproduce each; Clap bails on every channel op;
+/// Chimera reproduces them too — channel endpoints are ghost accesses, so
+/// its complete sync-order log subsumes the message race. The
+/// light_space_longs / chimera_space_longs columns report both recording
+/// shapes; on channel-only kernels every op is sync, so Light's per-span
+/// records cost more than Chimera's flat order here (Light's bounded-span
+/// advantage needs data-access volume — see bench_fig5).
+///
+/// Flags: --nodes 2,3,4 --laps N --seed N --json [file] --fast
+///
+//===----------------------------------------------------------------------===//
+
+#include "bugs/BugHarness.h"
+#include "core/ReplayDirector.h"
+#include "dist/DistRunner.h"
+#include "dist/NodeSet.h"
+#include "interp/Machine.h"
+#include "mir/Builder.h"
+#include "obs/Args.h"
+#include "obs/BenchReport.h"
+#include "runtime/ChannelTransport.h"
+#include "support/BinaryIO.h"
+#include "support/FaultInjection.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace light;
+using namespace light::bugs;
+using namespace light::mir;
+
+namespace {
+
+/// Deterministic token ring to the node convention: node 0 seeds the token
+/// once per lap and accumulates the returned value; node i adds i and
+/// forwards. Race-free and loop-free, so a clean run must solve a full
+/// global schedule at any node count.
+Program buildRing(uint32_t Nodes, uint32_t Laps) {
+  ProgramBuilder PB;
+  std::vector<uint32_t> Ring;
+  for (uint32_t N = 0; N < Nodes; ++N)
+    Ring.push_back(PB.addChannel("ring" + std::to_string(N)));
+  std::vector<FuncId> Roles;
+  for (uint32_t N = 0; N < Nodes; ++N)
+    Roles.push_back(PB.declareFunction("role" + std::to_string(N), 0));
+  FuncId NodeFn = PB.declareFunction("node", 1);
+  for (uint32_t N = 0; N < Nodes; ++N) {
+    FunctionBuilder FB = PB.beginFunction("role" + std::to_string(N), 0);
+    Reg V = FB.newReg();
+    if (N == 0) {
+      Reg Acc = FB.newReg();
+      FB.constInt(Acc, 0);
+      for (uint32_t L = 0; L < Laps; ++L) {
+        FB.constInt(V, L + 1);
+        FB.send(V, Ring[1 % Nodes]);
+        FB.recv(V, Ring[0]);
+        FB.add(Acc, Acc, V);
+      }
+      FB.print(Acc);
+    } else {
+      Reg K = FB.newReg();
+      FB.constInt(K, N);
+      for (uint32_t L = 0; L < Laps; ++L) {
+        FB.recv(V, Ring[N]);
+        FB.add(V, V, K);
+        FB.send(V, Ring[(N + 1) % Nodes]);
+      }
+    }
+    FB.ret();
+    PB.defineFunction(Roles[N], FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("node", 1);
+    Reg Idx = FB.param(0);
+    for (uint32_t N = 0; N < Nodes; ++N) {
+      Reg C = FB.newReg(), Hit = FB.newReg();
+      Label Yes = FB.makeLabel(), No = FB.makeLabel();
+      FB.constInt(C, N);
+      FB.cmpEq(Hit, Idx, C);
+      FB.br(Hit, Yes, No);
+      FB.place(Yes);
+      FB.call(NoReg, Roles[N]);
+      FB.ret();
+      FB.place(No);
+    }
+    FB.ret();
+    PB.defineFunction(NodeFn, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    std::vector<Reg> Ts;
+    for (uint32_t N = 0; N < Nodes; ++N) {
+      Reg Idx = FB.newReg(), T = FB.newReg();
+      FB.constInt(Idx, N);
+      FB.threadStart(T, NodeFn, Idx);
+      Ts.push_back(T);
+    }
+    for (Reg T : Ts)
+      FB.threadJoin(T);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  return PB.take();
+}
+
+/// One measured run of the record -> salvage -> cut -> solve -> replay
+/// pipeline (the loop light-replay's `record --nodes` drives).
+struct PipelineCell {
+  bool Loaded = false;
+  bool Solved = false;
+  bool FullSchedule = false;
+  bool ReplaysOk = true; ///< every usable prefix replayed, no divergence
+  uint64_t Messages = 0; ///< salvaged message records, summed over nodes
+  uint64_t Spans = 0;    ///< merged (renamed, cut) span count
+  uint64_t CrossEdges = 0;
+  uint64_t CutEntries = 0;
+  double RecordSeconds = 0;
+  double SolveSeconds = 0;
+
+  bool structured() const { return Loaded && Solved && ReplaysOk; }
+};
+
+PipelineCell runPipeline(const Program &Prog, const dist::DistOptions &Opts) {
+  PipelineCell Cell;
+  Stopwatch RecordTimer;
+  dist::DistRecordResult DR = dist::runDistRecord(Prog, Opts);
+  Cell.RecordSeconds = RecordTimer.seconds();
+  // Faults target the recording children only; the offline phases run
+  // disarmed.
+  fault::Injector::global().reset();
+  if (!DR.Started)
+    return Cell;
+
+  dist::NodeSetLoader Loader;
+  dist::MergeResult MR = Loader.load(Opts.LogBase, Opts.Nodes);
+  Cell.Loaded = MR.Loaded;
+  if (!MR.Loaded)
+    return Cell;
+  Stopwatch SolveTimer;
+  Cell.Solved = Loader.solve(MR);
+  Cell.SolveSeconds = SolveTimer.seconds();
+  Cell.FullSchedule = MR.FullSchedule;
+  Cell.Spans = MR.Merged.Spans.size();
+  Cell.CrossEdges = MR.CrossEdges;
+  Cell.CutEntries = MR.Cut.size();
+  for (const dist::NodeSalvage &NS : MR.Nodes)
+    Cell.Messages += NS.Msgs.Records.size();
+  if (!Cell.Solved)
+    return Cell;
+
+  for (uint32_t N = 0; N < Opts.Nodes; ++N) {
+    const dist::NodeSalvage &NS = MR.Nodes[N];
+    if (!NS.Epoch.Loaded || !NS.Epoch.UsablePrefix)
+      continue;
+    Program NodeProg;
+    std::string Err;
+    if (!dist::makeNodeProgram(Prog, N, NodeProg, Err)) {
+      Cell.ReplaysOk = false;
+      continue;
+    }
+    dist::NodeReplayPlan NP = Loader.projectNode(MR, N);
+    if (!NP.Plan.ok()) {
+      Cell.ReplaysOk = false;
+      continue;
+    }
+    ReplayChannelTransport Redelivery(NP.Messages);
+    ReplayDirector Director(NP.Plan, /*RealThreads=*/false, NP.Validate);
+    Machine M(NodeProg, Director);
+    M.prepareReplay(NP.Log.Spawns);
+    M.setChannelTransport(&Redelivery, N);
+    RunResult RR = M.runReplay(Director);
+    if (Director.failed() ||
+        RR.Bug.What == BugReport::Kind::ReplayDivergence)
+      Cell.ReplaysOk = false;
+  }
+  for (uint32_t N = 0; N < Opts.Nodes; ++N) {
+    std::string P = dist::nodeLogPath(Opts.LogBase, N);
+    std::remove(P.c_str());
+    std::remove(messageLogPath(P).c_str());
+  }
+  return Cell;
+}
+
+std::vector<uint32_t> parseNodeList(const std::string &Spec) {
+  std::vector<uint32_t> Out;
+  std::string Cur;
+  for (char C : Spec + ",") {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(static_cast<uint32_t>(std::stoul(Cur)));
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  obs::ArgList Args(argc, argv, {"nodes", "laps", "seed", "json"}, {"fast"});
+  for (const std::string &U : Args.unknown()) {
+    std::fprintf(stderr, "bench_dist: unknown flag %s\n", U.c_str());
+    return 2;
+  }
+  bool Fast = Args.has("fast");
+  std::vector<uint32_t> NodeCounts =
+      parseNodeList(Args.has("nodes") ? Args.get("nodes")
+                                      : (Fast ? "2,3" : "2,3,4"));
+  uint32_t Laps = Args.has("laps")
+                      ? static_cast<uint32_t>(std::stoul(Args.get("laps")))
+                      : (Fast ? 2u : 4u);
+  uint64_t Seed = Args.has("seed") ? std::stoull(Args.get("seed")) : 1;
+
+  obs::BenchReport Report("dist");
+  int Mismatches = 0;
+
+  std::printf("Multi-node pipeline: record -> salvage -> cut -> solve -> "
+              "replay\n\n");
+  Table T({"scenario", "config", "msgs", "spans", "cross", "cut", "full",
+           "record s", "solve s", "replay"});
+  for (uint32_t Nodes : NodeCounts) {
+    Program Prog = buildRing(Nodes, Laps);
+    std::string Cfg = "n" + std::to_string(Nodes) + "l" + std::to_string(Laps);
+    for (const char *Scenario : {"clean", "kill"}) {
+      bool Kill = std::string(Scenario) == "kill";
+      uint32_t Victim = Nodes / 2;
+      if (Kill) {
+        std::string Err = fault::Injector::global().configure(
+            "dist.kill_node.mid=" + std::to_string(Victim + 1));
+        if (!Err.empty()) {
+          std::fprintf(stderr, "bench_dist: %s\n", Err.c_str());
+          return 2;
+        }
+      }
+      dist::DistOptions Opts;
+      Opts.Nodes = Nodes;
+      Opts.Seed = Seed;
+      Opts.LogBase = makeTempPath("benchdist");
+      Opts.EpochSpans = 2;
+      PipelineCell Cell = runPipeline(Prog, Opts);
+
+      // Clean runs must earn a full schedule; a mid-run kill must salvage
+      // a partial cut. Either way the outcome must be structured.
+      bool Expected = Cell.structured() && Cell.FullSchedule == !Kill;
+      if (!Expected)
+        ++Mismatches;
+      T.addRow({Scenario, Cfg, std::to_string(Cell.Messages),
+                std::to_string(Cell.Spans), std::to_string(Cell.CrossEdges),
+                std::to_string(Cell.CutEntries),
+                Cell.FullSchedule ? "yes" : "no",
+                std::to_string(Cell.RecordSeconds).substr(0, 6),
+                std::to_string(Cell.SolveSeconds).substr(0, 6),
+                Cell.ReplaysOk ? "ok" : "DIVERGED"});
+      Report.row()
+          .set("scenario", Scenario)
+          .set("config", Cfg)
+          .set("nodes", static_cast<uint64_t>(Nodes))
+          .set("laps", static_cast<uint64_t>(Laps))
+          .set("messages", Cell.Messages)
+          .set("spans", Cell.Spans)
+          .set("cross_edges", Cell.CrossEdges)
+          .set("cut_entries", Cell.CutEntries)
+          .set("full_schedule", Cell.FullSchedule)
+          .set("structured", Cell.structured())
+          .set("replays_ok", Cell.ReplaysOk)
+          .set("record_seconds", Cell.RecordSeconds)
+          .set("solve_seconds", Cell.SolveSeconds);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("Distributed bug kernels: reproduction by tool\n\n");
+  Table M({"bug", "light", "clap", "chimera", "light longs",
+           "chimera longs"});
+  for (const BugBenchmark &Bench : makeDistBugSuite()) {
+    std::optional<uint64_t> BugSeed = findBuggySeed(Bench.Prog, 300);
+    if (!BugSeed) {
+      M.addRow({Bench.Name, "no failing schedule", "-", "-", "-", "-"});
+      Report.row()
+          .set("scenario", "matrix")
+          .set("bug", Bench.Name)
+          .set("seed_found", false);
+      ++Mismatches;
+      continue;
+    }
+    ToolAttempt L = lightReproduce(Bench, *BugSeed);
+    ToolAttempt C = clapReproduce(Bench, *BugSeed);
+    ToolAttempt H = chimeraReproduce(Bench);
+    if (!L.Reproduced || C.Reproduced != Bench.ClapExpected ||
+        H.Reproduced != Bench.ChimeraExpected)
+      ++Mismatches;
+    M.addRow({Bench.Name, L.Reproduced ? "yes" : "NO",
+              C.Reproduced ? "yes" : "no", H.Reproduced ? "yes" : "no",
+              std::to_string(L.SpaceLongs), std::to_string(H.SpaceLongs)});
+    Report.row()
+        .set("scenario", "matrix")
+        .set("bug", Bench.Name)
+        .set("seed_found", true)
+        .set("light", L.Reproduced)
+        .set("clap", C.Reproduced)
+        .set("chimera", H.Reproduced)
+        .set("clap_expected", Bench.ClapExpected)
+        .set("chimera_expected", Bench.ChimeraExpected)
+        .set("light_space_longs", L.SpaceLongs)
+        .set("chimera_space_longs", H.SpaceLongs);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", M.render().c_str());
+  std::printf("Structured outcomes and matrix match expectations: %s\n",
+              Mismatches == 0 ? "YES" : "NO");
+
+  if (Args.has("json")) {
+    Report.aggregate("pipeline_configs",
+                     static_cast<double>(NodeCounts.size() * 2));
+    Report.aggregate("mismatches", Mismatches);
+    Report.ok(Mismatches == 0);
+    Report.withMetrics();
+    if (!Report.write(Args.get("json")))
+      return 1;
+  }
+  return Mismatches == 0 ? 0 : 1;
+}

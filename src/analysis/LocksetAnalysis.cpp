@@ -48,6 +48,10 @@ Reg defRegOf(const Instr &I) {
   case Opcode::TimedWait:
   case Opcode::AtomicCas:
   case Opcode::AtomicXchg:
+  // ChanTryRecv also defines I.B (the value); regs only ever carry ints
+  // through channels, so losing that def costs nothing lock-wise.
+  case Opcode::ChanRecv:
+  case Opcode::ChanTryRecv:
     return I.A;
   case Opcode::Call:
     return I.A; // may be NoReg

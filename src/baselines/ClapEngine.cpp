@@ -755,6 +755,15 @@ void SymbolicRun::execThread(ThreadExec &T) {
       bail("lock-free atomics outside the symbolic model");
       return;
 
+    case Opcode::ChanMake:
+    case Opcode::ChanSend:
+    case Opcode::ChanRecv:
+    case Opcode::ChanTryRecv:
+      // Message passing pairs a send with a schedule-chosen receive; the
+      // path-constraint encoding has no ordered message store to draw on.
+      bail("channel operations outside the symbolic model");
+      return;
+
     case Opcode::ThreadStart: {
       uint64_t Key = (static_cast<uint64_t>(T.Id) << 32) | T.SpawnCount++;
       auto It = SpawnTable.find(Key);

@@ -85,6 +85,31 @@ mir::Program casAba();
 /// analysis applied.
 std::vector<BugBenchmark> makeSyncBugSuite();
 
+// --- Distributed message-passing bug kernels (DistBugPrograms.cpp) ----------
+//
+// Four schedule-dependent kernels over the channel surface, each written
+// to the multi-node `node(index)` convention of dist/DistRunner.h so the
+// same program runs in-process and across forked node processes:
+//
+//   bug              failure shape                                BugId
+//   Dist-Reorder     cross-sender delivery order assumed            20
+//   Dist-Counter     GET/PUT message round-trip loses an update     21
+//   Dist-RetryStorm  retry without dedup double-applies             22
+//   Dist-Broadcast   probe answered from a stale replica            23
+//
+// Channel ops sit outside Clap's symbolic model, and Chimera's race patch
+// serializes only *memory* races (these kernels have none), so both
+// baseline expectations are false across the suite.
+
+mir::Program distReorder();
+mir::Program distCounter();
+mir::Program distRetryStorm();
+mir::Program distBroadcast();
+
+/// The 4-kernel distributed suite, verified, with shared-access analysis
+/// applied.
+std::vector<BugBenchmark> makeDistBugSuite();
+
 } // namespace bugs
 } // namespace light
 

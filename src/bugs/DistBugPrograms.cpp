@@ -1,0 +1,361 @@
+//===- bugs/DistBugPrograms.cpp - Distributed message-passing bug kernels -===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Schedule-dependent kernels over the channel surface, written to the
+// multi-node convention of dist/DistRunner.h: each program defines a unary
+// `node(index)` function, and its own entry spawns node(i) threads so the
+// same program runs in-process (explorer, oracle, shrinker, this suite's
+// record/replay matrix) and across forked node processes (light-replay
+// record --nodes N). Every kernel has both clean and failing schedules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bugs/BugPrograms.h"
+
+#include "analysis/SharedAccessAnalysis.h"
+#include "mir/Builder.h"
+
+#include <cassert>
+
+using namespace light;
+using namespace light::bugs;
+using namespace light::mir;
+
+namespace {
+
+/// Emits `for (i = 0; i < N; ++i) { body }`. \p Body receives the loop
+/// counter register.
+template <typename Fn>
+void emitLoop(FunctionBuilder &FB, int64_t N, Fn Body) {
+  Reg I = FB.newReg(), Bound = FB.newReg(), One = FB.newReg();
+  Reg Cond = FB.newReg();
+  FB.constInt(I, 0);
+  FB.constInt(Bound, N);
+  FB.constInt(One, 1);
+  Label Head = FB.makeLabel(), BodyL = FB.makeLabel(), Done = FB.makeLabel();
+  FB.place(Head);
+  FB.cmpLt(Cond, I, Bound);
+  FB.br(Cond, BodyL, Done);
+  FB.place(BodyL);
+  Body(I);
+  FB.add(I, I, One);
+  FB.jmp(Head);
+  FB.place(Done);
+}
+
+/// Emits the `node(i)` dispatcher — a chain of `if (i == k) role_k()` —
+/// and the entry function that spawns one `node(i)` thread per node and
+/// joins them. \p Roles[k] runs as node k.
+void emitNodeConvention(ProgramBuilder &PB, FuncId NodeFn,
+                        const std::vector<FuncId> &Roles) {
+  {
+    FunctionBuilder FB = PB.beginFunction("node", 1);
+    Reg Idx = FB.param(0);
+    Reg K = FB.newReg(), IsK = FB.newReg();
+    for (size_t R = 0; R + 1 < Roles.size(); ++R) {
+      Label Hit = FB.makeLabel(), Next = FB.makeLabel();
+      FB.constInt(K, static_cast<int64_t>(R));
+      FB.cmpEq(IsK, Idx, K);
+      FB.br(IsK, Hit, Next);
+      FB.place(Hit);
+      FB.call(NoReg, Roles[R]);
+      FB.ret();
+      FB.place(Next);
+    }
+    FB.call(NoReg, Roles.back());
+    FB.ret();
+    PB.defineFunction(NodeFn, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    std::vector<Reg> Tids;
+    Reg Idx = FB.newReg();
+    for (size_t R = 0; R < Roles.size(); ++R) {
+      Reg T = FB.newReg();
+      FB.constInt(Idx, static_cast<int64_t>(R));
+      FB.threadStart(T, NodeFn, Idx);
+      Tids.push_back(T);
+    }
+    for (Reg T : Tids)
+      FB.threadJoin(T);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+}
+
+} // namespace
+
+// --- Dist-Reorder: cross-sender delivery order assumed, never promised ------
+//
+// Node 1 announces the initial value, node 2 the update, both on the same
+// bus; node 0 applies them in arrival order assuming the announcement
+// lands first. Per-sender FIFO holds, but nothing orders the two senders
+// against each other: a schedule where node 2's send wins the race
+// delivers update-before-init and the receiver applies them backwards.
+Program light::bugs::distReorder() {
+  ProgramBuilder PB;
+  uint32_t Bus = PB.addChannel("bus");
+
+  FuncId Receiver = PB.declareFunction("receiver", 0);
+  FuncId InitSender = PB.declareFunction("init_sender", 0);
+  FuncId UpdSender = PB.declareFunction("upd_sender", 0);
+  FuncId NodeFn = PB.declareFunction("node", 1);
+  {
+    FunctionBuilder FB = PB.beginFunction("receiver", 0);
+    Reg M1 = FB.newReg(), M2 = FB.newReg();
+    Reg Init = FB.newReg(), Ok = FB.newReg();
+    FB.recv(M1, Bus);
+    FB.recv(M2, Bus);
+    FB.constInt(Init, 1);
+    FB.cmpEq(Ok, M1, Init);
+    FB.assertTrue(Ok, /*BugId=*/20); // update arrived before init
+    FB.ret();
+    PB.defineFunction(Receiver, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("init_sender", 0);
+    Reg V = FB.newReg();
+    FB.constInt(V, 1);
+    FB.send(V, Bus);
+    FB.ret();
+    PB.defineFunction(InitSender, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("upd_sender", 0);
+    Reg V = FB.newReg();
+    FB.constInt(V, 2);
+    FB.send(V, Bus);
+    FB.ret();
+    PB.defineFunction(UpdSender, FB);
+  }
+  emitNodeConvention(PB, NodeFn, {Receiver, InitSender, UpdSender});
+  return PB.take();
+}
+
+// --- Dist-Counter: read-modify-write through messages loses updates ---------
+//
+// Node 0 owns a replicated counter; clients 1 and 2 each increment it via
+// a GET/PUT message pair instead of an atomic increment request. When the
+// two GETs interleave before either PUT, both clients compute 0+1 and the
+// second PUT overwrites the first — the classic lost update, here spread
+// across a message round-trip. Request encoding on the shared request
+// channel: value k in {1,2} is a GET from client k (reply on that
+// client's channel); value 10+v is a PUT of v.
+Program light::bugs::distCounter() {
+  ProgramBuilder PB;
+  uint32_t Req = PB.addChannel("req");
+  uint32_t Rep1 = PB.addChannel("rep1");
+  uint32_t Rep2 = PB.addChannel("rep2");
+
+  FuncId Server = PB.declareFunction("server", 0);
+  FuncId Client1 = PB.declareFunction("client1", 0);
+  FuncId Client2 = PB.declareFunction("client2", 0);
+  FuncId NodeFn = PB.declareFunction("node", 1);
+  {
+    FunctionBuilder FB = PB.beginFunction("server", 0);
+    Reg Counter = FB.newReg(), M = FB.newReg();
+    Reg Ten = FB.newReg(), NegTen = FB.newReg(), One = FB.newReg();
+    Reg Two = FB.newReg(), IsGet = FB.newReg(), IsC1 = FB.newReg();
+    Reg Ok = FB.newReg();
+    FB.constInt(Counter, 0);
+    FB.constInt(Ten, 10);
+    FB.constInt(NegTen, -10);
+    FB.constInt(One, 1);
+    FB.constInt(Two, 2);
+    emitLoop(FB, 4, [&](Reg) {
+      Label GetL = FB.makeLabel(), PutL = FB.makeLabel();
+      Label C1L = FB.makeLabel(), C2L = FB.makeLabel();
+      Label Cont = FB.makeLabel();
+      FB.recv(M, Req);
+      FB.cmpLt(IsGet, M, Ten);
+      FB.br(IsGet, GetL, PutL);
+      FB.place(GetL);
+      FB.cmpEq(IsC1, M, One);
+      FB.br(IsC1, C1L, C2L);
+      FB.place(C1L);
+      FB.send(Counter, Rep1);
+      FB.jmp(Cont);
+      FB.place(C2L);
+      FB.send(Counter, Rep2);
+      FB.jmp(Cont);
+      FB.place(PutL);
+      FB.add(Counter, M, NegTen);
+      FB.place(Cont);
+    });
+    FB.cmpEq(Ok, Counter, Two);
+    FB.assertTrue(Ok, /*BugId=*/21); // an increment was lost
+    FB.ret();
+    PB.defineFunction(Server, FB);
+  }
+  auto BuildClient = [&](FuncId Fn, const char *Name, int64_t Tag,
+                         uint32_t Reply) {
+    FunctionBuilder FB = PB.beginFunction(Name, 0);
+    Reg T = FB.newReg(), V = FB.newReg(), Nv = FB.newReg();
+    Reg One = FB.newReg(), Ten = FB.newReg(), Msg = FB.newReg();
+    FB.constInt(T, Tag);
+    FB.constInt(One, 1);
+    FB.constInt(Ten, 10);
+    FB.send(T, Req);    // GET
+    FB.recv(V, Reply);  // current value
+    FB.add(Nv, V, One); // ...the window where the other client's PUT lands
+    FB.add(Msg, Nv, Ten);
+    FB.send(Msg, Req); // PUT(v+1)
+    FB.ret();
+    PB.defineFunction(Fn, FB);
+  };
+  BuildClient(Client1, "client1", 1, Rep1);
+  BuildClient(Client2, "client2", 2, Rep2);
+  emitNodeConvention(PB, NodeFn, {Server, Client1, Client2});
+  return PB.take();
+}
+
+// --- Dist-RetryStorm: retry without dedup double-applies the increment ------
+//
+// Node 0 sends one increment and polls once for the ack; no ack yet means
+// "lost", so it resends — but the message was only slow, not lost, and
+// the receiver applies both copies because nothing carries a dedup token.
+// Clean schedules (receiver applies and acks before the sender's poll)
+// sit next to failing ones (poll races ahead of the ack).
+Program light::bugs::distRetryStorm() {
+  ProgramBuilder PB;
+  uint32_t Msg = PB.addChannel("msg");
+  uint32_t Ack = PB.addChannel("ack");
+
+  FuncId Sender = PB.declareFunction("sender", 0);
+  FuncId Receiver = PB.declareFunction("receiver", 0);
+  FuncId NodeFn = PB.declareFunction("node", 1);
+  {
+    FunctionBuilder FB = PB.beginFunction("sender", 0);
+    Reg One = FB.newReg(), Got = FB.newReg(), V = FB.newReg();
+    Label Done = FB.makeLabel(), Retry = FB.makeLabel();
+    FB.constInt(One, 1);
+    FB.send(One, Msg);
+    FB.tryRecv(Got, V, Ack); // one poll stands in for an ack timeout
+    FB.br(Got, Done, Retry);
+    FB.place(Retry);
+    FB.send(One, Msg); // BUG: same payload again, no attempt number
+    FB.place(Done);
+    FB.ret();
+    PB.defineFunction(Sender, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("receiver", 0);
+    Reg Applied = FB.newReg(), Got = FB.newReg(), V = FB.newReg();
+    Reg One = FB.newReg(), Two = FB.newReg(), Ok = FB.newReg();
+    FB.constInt(Applied, 0);
+    FB.constInt(One, 1);
+    FB.constInt(Two, 2);
+    emitLoop(FB, 8, [&](Reg) {
+      Label Apply = FB.makeLabel(), Skip = FB.makeLabel();
+      FB.tryRecv(Got, V, Msg);
+      FB.br(Got, Apply, Skip);
+      FB.place(Apply);
+      FB.add(Applied, Applied, V); // applies duplicates blindly
+      FB.send(One, Ack);
+      FB.place(Skip);
+    });
+    FB.cmpLt(Ok, Applied, Two);
+    FB.assertTrue(Ok, /*BugId=*/22); // the increment landed twice
+    FB.ret();
+    PB.defineFunction(Receiver, FB);
+  }
+  emitNodeConvention(PB, NodeFn, {Sender, Receiver});
+  return PB.take();
+}
+
+// --- Dist-Broadcast: probe answered from a stale replica mid-broadcast ------
+//
+// Node 0 broadcasts a config value to workers 1 and 2, waits for worker
+// 1's ack alone, then probes worker 2 — assuming a broadcast is atomic.
+// Worker 2 polls its config channel only once before serving probes, so
+// a config that lands after that poll leaves the probe answered from the
+// stale replica. Clean schedules exist whenever worker 2's poll runs
+// after the broadcast.
+Program light::bugs::distBroadcast() {
+  ProgramBuilder PB;
+  uint32_t Cfg1 = PB.addChannel("cfg1");
+  uint32_t Cfg2 = PB.addChannel("cfg2");
+  uint32_t Done = PB.addChannel("done");
+  uint32_t Probe = PB.addChannel("probe");
+  uint32_t Reply = PB.addChannel("reply");
+
+  FuncId Caster = PB.declareFunction("broadcaster", 0);
+  FuncId W1 = PB.declareFunction("worker1", 0);
+  FuncId W2 = PB.declareFunction("worker2", 0);
+  FuncId NodeFn = PB.declareFunction("node", 1);
+  {
+    FunctionBuilder FB = PB.beginFunction("broadcaster", 0);
+    Reg Cfg = FB.newReg(), One = FB.newReg(), D = FB.newReg();
+    Reg R = FB.newReg(), Ok = FB.newReg();
+    FB.constInt(Cfg, 7);
+    FB.constInt(One, 1);
+    FB.send(Cfg, Cfg1);
+    FB.send(Cfg, Cfg2);
+    FB.recv(D, Done); // worker 1 applied; "surely worker 2 did too"
+    FB.send(One, Probe);
+    FB.recv(R, Reply);
+    FB.cmpEq(Ok, R, Cfg);
+    FB.assertTrue(Ok, /*BugId=*/23); // probed a stale replica
+    FB.ret();
+    PB.defineFunction(Caster, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("worker1", 0);
+    Reg C = FB.newReg(), One = FB.newReg();
+    FB.recv(C, Cfg1);
+    FB.constInt(One, 1);
+    FB.send(One, Done);
+    FB.ret();
+    PB.defineFunction(W1, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("worker2", 0);
+    Reg Replica = FB.newReg(), PV = FB.newReg();
+    Reg CG = FB.newReg(), CV = FB.newReg();
+    FB.constInt(Replica, 0);
+    // BUG: one early poll stands in for "apply the broadcast" — a config
+    // that lands after this poll is applied too late for the probe below,
+    // which is answered from the stale replica.
+    FB.tryRecv(CG, CV, Cfg2);
+    Label Apply = FB.makeLabel(), Skip = FB.makeLabel();
+    FB.br(CG, Apply, Skip);
+    FB.place(Apply);
+    FB.move(Replica, CV);
+    FB.place(Skip);
+    FB.recv(PV, Probe);
+    FB.send(Replica, Reply);
+    FB.ret();
+    PB.defineFunction(W2, FB);
+  }
+  emitNodeConvention(PB, NodeFn, {Caster, W1, W2});
+  return PB.take();
+}
+
+std::vector<BugBenchmark> light::bugs::makeDistBugSuite() {
+  std::vector<BugBenchmark> Suite;
+  auto Add = [&](std::string Name, Program P, bool Clap, bool Chimera,
+                 uint32_t Scale) {
+    assert(P.verify().empty() && "dist bug program failed verification");
+    analysis::markSharedAccesses(P);
+    Suite.push_back({std::move(Name), std::move(P), Clap, Chimera, Scale});
+  };
+  // Clap bails on every channel op (ClapEngine.cpp): there is no ordered
+  // message store in its path constraints, so ClapExpected is false
+  // across the suite. Chimera *does* reproduce them: channel endpoints
+  // are ghost RMWs (loc::isGhost covers Chan), and Chimera records the
+  // complete global sync order, which subsumes every message race; its
+  // race patch is simply a no-op here (no shared-memory race to
+  // serialize). Chimera's capability gap is on the memory-race suites
+  // (fig6); on channel-only kernels the tools differ in recording shape,
+  // not outcome — bench_dist reports both log sizes per kernel.
+  Add("Dist-Reorder", distReorder(), /*Clap=*/false, /*Chimera=*/true, 1);
+  Add("Dist-Counter", distCounter(), /*Clap=*/false, /*Chimera=*/true, 1);
+  Add("Dist-RetryStorm", distRetryStorm(), /*Clap=*/false, /*Chimera=*/true,
+      1);
+  Add("Dist-Broadcast", distBroadcast(), /*Clap=*/false, /*Chimera=*/true,
+      1);
+  return Suite;
+}

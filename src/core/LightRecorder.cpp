@@ -278,6 +278,9 @@ bool LightRecorder::crashFlush() {
   if (!Durable)
     return false;
   Durable->abandon(); // deliberately no clean-close marker
+  // The message side log needs no crash handling: every append already
+  // reached the OS, and its missing close marker is exactly the torn-tail
+  // shape loadMessageLog salvages.
   return Ok;
 }
 
@@ -443,8 +446,13 @@ void LightRecorder::noteWrite(PerThread &S, ThreadId T, LocationId L,
 void LightRecorder::noteRmw(PerThread &S, ThreadId T, LocationId L,
                             uint64_t Src, Counter C, uint32_t PrevAccessor) {
   OpenSpan &Sp = spanFor(S, L);
+  // Channel ghost RMWs are the anchor points of cross-node send->recv edges
+  // (dist/NodeSet): each must surface as its own span endpoint — i.e. an
+  // order variable in the merged constraint system — so O1 never compresses
+  // a run of message operations into one span.
+  bool Anchor = loc::kindOf(L) == LocationKind::Chan;
   if (Sp.Active) {
-    if (Opts.EnableO1 && Sp.Kind == SpanKind::Own &&
+    if (!Anchor && Opts.EnableO1 && Sp.Kind == SpanKind::Own &&
         (PrevAccessor == 0 || PrevAccessor == T + 1u)) {
       // Reentrant own sequence (e.g. repeated acquisitions with no
       // contention in between).
@@ -461,8 +469,9 @@ void LightRecorder::noteRmw(PerThread &S, ThreadId T, LocationId L,
   Sp.Kind = SpanKind::Own;
   Sp.SrcPacked = Src;
   Sp.First = Sp.Last = C;
-  if (!Opts.EnableO1) {
-    // Without O1 the span must not grow: emit it immediately.
+  if (!Opts.EnableO1 || Anchor) {
+    // Without O1 (or for an anchor access) the span must not grow: emit it
+    // immediately.
     closeSpan(S, T, L, Sp);
   }
 }
@@ -474,6 +483,28 @@ uint64_t LightRecorder::onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) {
   if (EpochsOn)
     maybeEpochFlush(S, T);
   return Value;
+}
+
+void LightRecorder::attachMessageLog(const std::string &Path) {
+  std::lock_guard<std::mutex> Guard(MsgMutex);
+  MsgLog = std::make_unique<MessageLogWriter>(Path);
+}
+
+void LightRecorder::onMessage(ThreadId T, uint32_t Chan, uint64_t Seq,
+                              int64_t Value, bool IsSend) {
+  std::lock_guard<std::mutex> Guard(MsgMutex);
+  if (!MsgLog)
+    return;
+  MessageRecord R;
+  R.Chan = Chan;
+  R.IsSend = IsSend;
+  R.Seq = Seq;
+  R.Value = Value;
+  // The caller fires this right after the ghost chan RMW, so the thread's
+  // current counter *is* that RMW's AccessId — the correlation key the
+  // NodeSetLoader uses to anchor cross-node edges in the span stream.
+  R.Access = AccessId{T, state(T).Ctr};
+  MsgLog->append(R);
 }
 
 void LightRecorder::onThreadFinish(ThreadId T) {
@@ -530,6 +561,12 @@ RecordingLog LightRecorder::finish(const ThreadRegistry *Registry) {
     std::lock_guard<std::mutex> Guard(EpochMutex);
     if (Durable)
       Durable->closeClean();
+  }
+
+  {
+    std::lock_guard<std::mutex> Guard(MsgMutex);
+    if (MsgLog)
+      MsgLog->finish();
   }
 
   // Publish the per-thread tallies into the process registry. This is the

@@ -37,6 +37,7 @@
 #include "runtime/ThreadRegistry.h"
 #include "support/BinaryIO.h"
 #include "support/DurableLog.h"
+#include "trace/MessageLog.h"
 #include "trace/RecordingLog.h"
 
 #include <atomic>
@@ -67,8 +68,19 @@ public:
   void onRmw(ThreadId T, LocationId L, LocMeta &M,
              FunctionRef<void()> Perform) override;
   uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) override;
+  void onMessage(ThreadId T, uint32_t Chan, uint64_t Seq, int64_t Value,
+                 bool IsSend) override;
   void onThreadFinish(ThreadId T) override;
   Counter counterOf(ThreadId T) const override;
+
+  /// Opens the durable message side log of a multi-node node at \p Path.
+  /// Every onMessage appends one record keyed by the calling thread's
+  /// current access counter (the ghost chan RMW it rode on), flushed to the
+  /// OS immediately — node death loses at most one record.
+  void attachMessageLog(const std::string &Path);
+
+  /// The message side log (nullptr when attachMessageLog was never called).
+  const MessageLogWriter *messageLog() const { return MsgLog.get(); }
 
   /// Supplies the spawn table for durable epoch segments (and as the
   /// default for finish()), so a mid-run crash still leaves the
@@ -182,6 +194,9 @@ private:
   std::atomic<bool> OverflowSticky{false};
   mutable std::mutex OverflowMutex; ///< guards OverflowWhat
   std::string OverflowWhat;
+
+  std::mutex MsgMutex; ///< serializes message-log appends across threads
+  std::unique_ptr<MessageLogWriter> MsgLog; ///< guarded by MsgMutex
 
   /// One epoch segment being assembled, in whichever format
   /// Opts.CompressedEpochs selects. Defined in the .cpp.

@@ -48,6 +48,11 @@ bool droppableStatement(Opcode Op) {
   case Opcode::RwWrLock:
   case Opcode::RwWrUnlock:
   case Opcode::BarrierWait:
+  // Blocking channel endpoints pair up like monitors: dropping one side of
+  // a send/recv pair turns the probe into a deadlock, not a smaller
+  // reproducer. The non-blocking ChanTryRecv stays droppable.
+  case Opcode::ChanSend:
+  case Opcode::ChanRecv:
     return false;
   default:
     return true;

@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "runtime/ChannelTransport.h"
 #include "support/FaultInjection.h"
 
 #include <algorithm>
@@ -60,6 +61,7 @@ std::string BugReport::str() const {
 
 Machine::Machine(const Program &P, AccessHook &H) : Prog(P), Hook(&H) {
   Globals.assign(Prog.Globals.size(), Value::intVal(0));
+  Chans.assign(Prog.Channels.size(), ChannelState());
 }
 
 Machine::WriteObserver::~WriteObserver() = default;
@@ -128,6 +130,12 @@ bool Machine::isRunnable(const ThreadCtx &C) const {
       return false;
     return It->second.BarrierGen != C.SavedBarrierGen;
   }
+  case TStatus::BlockedSend: {
+    const ChannelState &CS = Chans[C.BlockChan];
+    return CS.Capacity == 0 || CS.Queue.size() < CS.Capacity;
+  }
+  case TStatus::BlockedRecv:
+    return !Chans[C.BlockChan].Queue.empty();
   case TStatus::Woken:
     // Must reacquire the monitor.
     return !Heap.at(C.BlockObj.pack()).Locked ||
@@ -1014,6 +1022,223 @@ bool Machine::execInstr(ThreadCtx &C, bool &DidSchedulingOp) {
     }
     RV(I.A) = Old;
     DidSchedulingOp = I.SharedAccess;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ChanMake: {
+    int64_t Cap;
+    if (!RequireInt(I.A, Cap))
+      return false;
+    if (Cap < 0) {
+      bug(C, BugReport::Kind::RuntimeError, I, Value::intVal(Cap),
+          "negative channel capacity");
+      return false;
+    }
+    uint32_t Ch = static_cast<uint32_t>(I.Imm);
+    Chans[Ch].Capacity = static_cast<uint64_t>(Cap);
+    if (Transport)
+      Transport->setCapacity(Ch, static_cast<uint64_t>(Cap));
+    if (injectThreadCrash(C))
+      return false;
+    // Ghost write: the capacity set happens-before every endpoint op.
+    LocationId L = loc::chan(Ch, NodeIndex);
+    ++SharedAccessCount;
+    Hook->onWrite(C.Id, L, Meta.get(L), [] {});
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ChanSend: {
+    int64_t Val;
+    if (!RequireInt(I.A, Val))
+      return false;
+    uint32_t Ch = static_cast<uint32_t>(I.Imm);
+    uint64_t Seq = 0;
+    if (Transport) {
+      if (injectThreadCrash(C))
+        return false;
+      // Process-crossing delivery: bounded retry-with-backoff, the attempt
+      // count recorded as a syscall input so replay matches the recorded
+      // run attempt-for-attempt (the lambda is skipped under substitution
+      // and the replay transport accepts directly).
+      bool Accepted = false, LiveRan = false;
+      Hook->onSyscall(C.Id, [&]() -> uint64_t {
+        LiveRan = true;
+        uint64_t N = 0;
+        while (true) {
+          if (Transport->trySend(C.Id, Ch, Val, Seq)) {
+            Accepted = true;
+            break;
+          }
+          if (++N > MaxChanAttempts)
+            break;
+          Transport->backoff(N);
+        }
+        return N;
+      });
+      if (!LiveRan)
+        Accepted = Transport->trySend(C.Id, Ch, Val, Seq);
+      if (!Accepted) {
+        bug(C, BugReport::Kind::RuntimeError, I, Value::intVal(Val),
+            "channel " + std::to_string(Ch) +
+                " still full after bounded retry");
+        return false;
+      }
+      LocationId L = loc::chan(Ch, NodeIndex);
+      ++SharedAccessCount;
+      Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+      Hook->onMessage(C.Id, Ch, Seq, Val, /*IsSend=*/true);
+      DidSchedulingOp = true;
+      ++F.PC;
+      return true;
+    }
+    // In-process channel: a full channel parks the sender as a scheduler
+    // decision point, like a contended monitor.
+    ChannelState &CS = Chans[Ch];
+    if (CS.Capacity && CS.Queue.size() >= CS.Capacity) {
+      C.St = TStatus::BlockedSend;
+      C.BlockChan = Ch;
+      return false; // retried when the channel drains
+    }
+    if (C.St == TStatus::BlockedSend)
+      C.St = TStatus::Ready;
+    if (injectThreadCrash(C))
+      return false;
+    Seq = CS.NextSeq++;
+    // Ghost RMW of the chan word: chains this send after every earlier
+    // endpoint op, so the matching recv's RMW is an ordinary recorded flow
+    // dependence (Eq. 1 needs no new constraint forms).
+    LocationId L = loc::chan(Ch, NodeIndex);
+    ++SharedAccessCount;
+    Hook->onRmw(C.Id, L, Meta.get(L),
+                [&] { CS.Queue.push_back({Val, Seq}); });
+    Hook->onMessage(C.Id, Ch, Seq, Val, /*IsSend=*/true);
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ChanRecv: {
+    uint32_t Ch = static_cast<uint32_t>(I.Imm);
+    int64_t Val = 0;
+    uint64_t Seq = 0;
+    if (Transport) {
+      if (injectThreadCrash(C))
+        return false;
+      bool Got = false, LiveRan = false;
+      Hook->onSyscall(C.Id, [&]() -> uint64_t {
+        LiveRan = true;
+        uint64_t N = 0;
+        while (true) {
+          if (Transport->tryRecv(C.Id, Ch, Val, Seq)) {
+            Got = true;
+            break;
+          }
+          if (++N > MaxChanAttempts)
+            break;
+          Transport->backoff(N);
+        }
+        return N;
+      });
+      if (!LiveRan)
+        Got = Transport->tryRecv(C.Id, Ch, Val, Seq);
+      if (!Got) {
+        // A survivable failure edge, not an assertion: a lost message (or a
+        // dead peer) starves the receiver after the bounded retry budget.
+        bug(C, BugReport::Kind::RuntimeError, I, Value::intVal(0),
+            "channel " + std::to_string(Ch) +
+                " starved after bounded retry");
+        return false;
+      }
+      LocationId L = loc::chan(Ch, NodeIndex);
+      ++SharedAccessCount;
+      Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+      RV(I.A) = Value::intVal(Val);
+      Hook->onMessage(C.Id, Ch, Seq, Val, /*IsSend=*/false);
+      DidSchedulingOp = true;
+      ++F.PC;
+      return true;
+    }
+    ChannelState &CS = Chans[Ch];
+    if (CS.Queue.empty()) {
+      C.St = TStatus::BlockedRecv;
+      C.BlockChan = Ch;
+      return false; // retried when a message arrives
+    }
+    if (C.St == TStatus::BlockedRecv)
+      C.St = TStatus::Ready;
+    if (injectThreadCrash(C))
+      return false;
+    // Ghost RMW whose read sources the matching send's RMW — the recorded
+    // send->recv flow dependence.
+    LocationId L = loc::chan(Ch, NodeIndex);
+    ++SharedAccessCount;
+    Hook->onRmw(C.Id, L, Meta.get(L), [&] {
+      Val = CS.Queue.front().first;
+      Seq = CS.Queue.front().second;
+      CS.Queue.pop_front();
+    });
+    RV(I.A) = Value::intVal(Val);
+    Hook->onMessage(C.Id, Ch, Seq, Val, /*IsSend=*/false);
+    DidSchedulingOp = true;
+    ++F.PC;
+    return true;
+  }
+
+  case Opcode::ChanTryRecv: {
+    uint32_t Ch = static_cast<uint32_t>(I.Imm);
+    int64_t Val = 0;
+    uint64_t Seq = 0;
+    if (injectThreadCrash(C))
+      return false;
+    bool Got = false;
+    if (Transport) {
+      // Single attempt; the got/empty arm is recorded as an input (the
+      // timed-wait mechanism), so a message that arrives at a different
+      // moment during replay cannot flip a recorded empty poll.
+      bool LiveRan = false;
+      uint64_t Arm = Hook->onSyscall(C.Id, [&]() -> uint64_t {
+        LiveRan = true;
+        Got = Transport->tryRecv(C.Id, Ch, Val, Seq);
+        return Got ? 1 : 0;
+      });
+      if (!LiveRan && Arm != 0)
+        Got = Transport->tryRecv(C.Id, Ch, Val, Seq);
+      LocationId L = loc::chan(Ch, NodeIndex);
+      ++SharedAccessCount;
+      Hook->onRmw(C.Id, L, Meta.get(L), [] {});
+      if (Got)
+        Hook->onMessage(C.Id, Ch, Seq, Val, /*IsSend=*/false);
+    } else {
+      ChannelState &CS = Chans[Ch];
+      Got = Hook->onSyscall(C.Id, [&]() -> uint64_t {
+              return CS.Queue.empty() ? 0 : 1;
+            }) != 0;
+      if (Got && CS.Queue.empty()) {
+        bug(C, BugReport::Kind::ReplayDivergence, I, Value::intVal(0),
+            "recorded tryrecv arm found channel " + std::to_string(Ch) +
+                " empty");
+        return false;
+      }
+      // Conservative ghost RMW on both arms (like a failed CAS): the empty
+      // poll still ordered itself against the channel's endpoint chain.
+      LocationId L = loc::chan(Ch, NodeIndex);
+      ++SharedAccessCount;
+      Hook->onRmw(C.Id, L, Meta.get(L), [&] {
+        if (Got) {
+          Val = CS.Queue.front().first;
+          Seq = CS.Queue.front().second;
+          CS.Queue.pop_front();
+        }
+      });
+      if (Got)
+        Hook->onMessage(C.Id, Ch, Seq, Val, /*IsSend=*/false);
+    }
+    RV(I.A) = Value::intVal(Got ? 1 : 0);
+    RV(I.B) = Value::intVal(Got ? Val : 0);
+    DidSchedulingOp = true;
     ++F.PC;
     return true;
   }

@@ -37,6 +37,8 @@
 
 namespace light {
 
+class ChannelTransport;
+
 /// A detected bug (Definition 3.2: use of an illegal value) or execution
 /// anomaly.
 struct BugReport {
@@ -115,6 +117,17 @@ public:
   /// Attaches a branch-outcome sink (Clap recording mode).
   void setBranchTracer(BranchTrace *Tracer) { Branches = Tracer; }
 
+  /// Attaches a process-crossing channel transport (multi-node recording, or
+  /// per-node replay with redelivered messages). Without one, channels are
+  /// in-process queues and blocked endpoints are scheduler decision points;
+  /// with one, delivery uses bounded retry-with-backoff and the attempt
+  /// count is recorded as a syscall input. \p Node namespaces the ghost chan
+  /// words (loc::chan) so merged per-node logs never alias.
+  void setChannelTransport(ChannelTransport *T, uint32_t Node) {
+    Transport = T;
+    NodeIndex = Node;
+  }
+
   /// Observer for shared heap writes (value-level). Used by the Clap
   /// engine's points-to oracle pass.
   class WriteObserver {
@@ -155,6 +168,8 @@ private:
                     ///< readers and other writers
     BlockedBarrier, ///< arrived at BlockObj's barrier; waiting for the
                     ///< generation to turn
+    BlockedSend,    ///< channel BlockChan is at capacity (in-process mode)
+    BlockedRecv,    ///< channel BlockChan is empty (in-process mode)
     Finished,
   };
 
@@ -164,6 +179,7 @@ private:
     std::vector<Frame> Stack;
     ObjectId BlockObj;
     ThreadId JoinTarget = 0;
+    uint32_t BlockChan = 0; ///< channel a BlockedSend/BlockedRecv waits on
     uint32_t SavedLockCount = 0;
     uint64_t SavedBarrierGen = 0; ///< generation observed on barrier arrival
     bool TimedOut = false;        ///< outcome of the last timed wait
@@ -201,6 +217,14 @@ private:
     uint64_t BarrierGen = 0;
   };
 
+  /// In-process state of one message channel: a FIFO of (value, seqno)
+  /// pairs. Capacity 0 means unbounded.
+  struct ChannelState {
+    uint64_t Capacity = 0;
+    std::deque<std::pair<int64_t, uint64_t>> Queue;
+    uint64_t NextSeq = 0;
+  };
+
   const mir::Program &Prog;
   AccessHook *Hook;
   ThreadRegistry Registry;
@@ -211,6 +235,9 @@ private:
   std::deque<ThreadCtx> Threads;
   std::unordered_map<uint64_t, HeapObject> Heap; ///< ObjectId.pack -> object
   std::vector<mir::Value> Globals;
+  std::vector<ChannelState> Chans; ///< in-process channels (no transport)
+  ChannelTransport *Transport = nullptr;
+  uint32_t NodeIndex = 0;
 
   BranchTrace *Branches = nullptr;
   WriteObserver *Observer = nullptr;

@@ -224,6 +224,31 @@ public:
           .Imm = static_cast<int64_t>(Global)});
   }
 
+  void chanMake(Reg Capacity, uint32_t Chan) {
+    emit({.Op = Opcode::ChanMake,
+          .A = Capacity,
+          .B = NoReg,
+          .Imm = static_cast<int64_t>(Chan)});
+  }
+  void send(Reg Val, uint32_t Chan) {
+    emit({.Op = Opcode::ChanSend,
+          .A = Val,
+          .B = NoReg,
+          .Imm = static_cast<int64_t>(Chan)});
+  }
+  void recv(Reg Dst, uint32_t Chan) {
+    emit({.Op = Opcode::ChanRecv,
+          .A = Dst,
+          .B = NoReg,
+          .Imm = static_cast<int64_t>(Chan)});
+  }
+  void tryRecv(Reg GotDst, Reg ValDst, uint32_t Chan) {
+    emit({.Op = Opcode::ChanTryRecv,
+          .A = GotDst,
+          .B = ValDst,
+          .Imm = static_cast<int64_t>(Chan)});
+  }
+
   void threadStart(Reg Dst, FuncId Fn, Reg Arg = NoReg) {
     emit({.Op = Opcode::ThreadStart,
           .A = Dst,
@@ -262,6 +287,11 @@ public:
   uint32_t addGlobal(std::string Name) {
     Prog.Globals.push_back(std::move(Name));
     return static_cast<uint32_t>(Prog.Globals.size() - 1);
+  }
+
+  uint32_t addChannel(std::string Name) {
+    Prog.Channels.push_back(std::move(Name));
+    return static_cast<uint32_t>(Prog.Channels.size() - 1);
   }
 
   /// Reserves a function id before its body exists, enabling forward

@@ -108,6 +108,18 @@ enum class Opcode : uint8_t {
   AtomicCas,  ///< A <- (global[Imm] == B ? (global[Imm] = C, 1) : 0)
   AtomicXchg, ///< A <- global[Imm]; global[Imm] <- B
 
+  // Message-passing channels (declared with `chan N name`, like globals).
+  // Payloads are ints; every endpoint operation is recorded as a ghost RMW
+  // on the channel's loc::chan word, so a send->recv pair is an ordinary
+  // recorded flow dependence carrying a per-channel sequence number — Eq. 1
+  // constraint generation needs no new constraint forms. In multi-node runs
+  // the channel is backed by a process-crossing transport and each message
+  // additionally lands in the node's durable message log.
+  ChanMake,    ///< set channel Imm's capacity to the value in reg A
+  ChanSend,    ///< send value in reg A on channel Imm (blocks when full)
+  ChanRecv,    ///< A <- receive from channel Imm (blocks when empty)
+  ChanTryRecv, ///< A <- got message? ; B <- value (arm recorded as input)
+
   // Threading.
   ThreadStart, ///< A <- start thread running function Imm with arg reg B
   ThreadJoin,  ///< join thread whose id is in reg A

@@ -156,6 +156,10 @@ Shape shapeOf(Opcode Op) {
   case Opcode::BarrierInit:
   case Opcode::TimedWait:
   case Opcode::AtomicXchg:
+  case Opcode::ChanMake:
+  case Opcode::ChanSend:
+  case Opcode::ChanRecv:
+  case Opcode::ChanTryRecv:
     return Shape::RegRegImm;
   case Opcode::AtomicCas:
     return Shape::ThreeRegImm;
@@ -220,6 +224,17 @@ ParseResult light::mir::parseProgram(const std::string &Text) {
       if (static_cast<size_t>(Index) != Out.Prog.Globals.size())
         return Fail("globals must be declared in order");
       Out.Prog.Globals.push_back(Name);
+      continue;
+    }
+
+    if (C.literal("chan ")) {
+      int64_t Index;
+      std::string Name;
+      if (!C.integer(Index) || !C.ident(Name))
+        return Fail("expected `chan N name`");
+      if (static_cast<size_t>(Index) != Out.Prog.Channels.size())
+        return Fail("channels must be declared in order");
+      Out.Prog.Channels.push_back(Name);
       continue;
     }
 

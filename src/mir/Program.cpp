@@ -101,6 +101,14 @@ const char *light::mir::opcodeName(Opcode Op) {
     return "cas";
   case Opcode::AtomicXchg:
     return "xchg";
+  case Opcode::ChanMake:
+    return "chanmake";
+  case Opcode::ChanSend:
+    return "send";
+  case Opcode::ChanRecv:
+    return "recv";
+  case Opcode::ChanTryRecv:
+    return "tryrecv";
   case Opcode::ThreadStart:
     return "start";
   case Opcode::ThreadJoin:
@@ -157,6 +165,10 @@ bool light::mir::isSyncOp(Opcode Op) {
   case Opcode::BarrierInit:
   case Opcode::BarrierWait:
   case Opcode::TimedWait:
+  case Opcode::ChanMake:
+  case Opcode::ChanSend:
+  case Opcode::ChanRecv:
+  case Opcode::ChanTryRecv:
   case Opcode::ThreadStart:
   case Opcode::ThreadJoin:
     return true;
@@ -201,6 +213,10 @@ std::string Instr::str() const {
   case Opcode::BarrierInit:
   case Opcode::TimedWait:
   case Opcode::AtomicXchg:
+  case Opcode::ChanMake:
+  case Opcode::ChanSend:
+  case Opcode::ChanRecv:
+  case Opcode::ChanTryRecv:
     Out += " " + R(A) + ", " + R(B) + ", #" + std::to_string(Imm);
     break;
   case Opcode::AtomicCas:
@@ -314,6 +330,17 @@ std::string Program::verify() const {
             !CheckReg(I.C, I.Op == Opcode::AtomicXchg))
           return Err(At, "atomic access register out of range");
         break;
+      case Opcode::ChanMake:
+      case Opcode::ChanSend:
+      case Opcode::ChanRecv:
+      case Opcode::ChanTryRecv:
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Channels.size())
+          return Err(At, "unknown channel");
+        if (!CheckReg(I.A, false))
+          return Err(At, "channel register out of range");
+        if (!CheckReg(I.B, I.Op != Opcode::ChanTryRecv))
+          return Err(At, "channel value register out of range");
+        break;
       case Opcode::ThreadStart:
         if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Functions.size())
           return Err(At, "thread start of unknown function");
@@ -347,6 +374,8 @@ std::string Program::str() const {
   }
   for (size_t GI = 0; GI < Globals.size(); ++GI)
     Out += "global " + std::to_string(GI) + " " + Globals[GI] + "\n";
+  for (size_t CI = 0; CI < Channels.size(); ++CI)
+    Out += "chan " + std::to_string(CI) + " " + Channels[CI] + "\n";
   for (size_t FI = 0; FI < Functions.size(); ++FI) {
     const Function &F = Functions[FI];
     Out += "func f" + std::to_string(FI) + " " + F.Name + "(params=" +

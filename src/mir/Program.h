@@ -48,6 +48,9 @@ struct Program {
   std::vector<ClassDef> Classes;
   std::vector<Function> Functions;
   std::vector<std::string> Globals;
+  /// Message channels, declared like globals (`chan N name`). The index is
+  /// the channel id used by ChanMake/ChanSend/ChanRecv/ChanTryRecv.
+  std::vector<std::string> Channels;
   FuncId Entry = 0;
 
   const Function &function(FuncId F) const { return Functions[F]; }

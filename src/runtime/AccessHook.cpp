@@ -12,6 +12,9 @@ AccessHook::~AccessHook() = default;
 
 void AccessHook::onThreadFinish(ThreadId T) {}
 
+void AccessHook::onMessage(ThreadId T, uint32_t Chan, uint64_t Seq,
+                           int64_t Value, bool IsSend) {}
+
 NullHook::NullHook() = default;
 
 void NullHook::onWrite(ThreadId T, LocationId L, LocMeta &M,

@@ -80,6 +80,15 @@ public:
   /// value without invoking \p Compute (Section 3.2).
   virtual uint64_t onSyscall(ThreadId T, FunctionRef<uint64_t()> Compute) = 0;
 
+  /// A channel endpoint operation by thread \p T: message \p Seq on channel
+  /// \p Chan was sent (\p IsSend) or delivered, carrying integer payload
+  /// \p Value. Invoked immediately after the operation's ghost chan RMW, so
+  /// counterOf(T) is the access counter of that RMW — the correlation key a
+  /// durable message log needs to match messages back to recorded accesses.
+  /// Default: ignored (only multi-node recording attaches a message log).
+  virtual void onMessage(ThreadId T, uint32_t Chan, uint64_t Seq,
+                         int64_t Value, bool IsSend);
+
   /// Thread \p T finished; flush its thread-local state.
   virtual void onThreadFinish(ThreadId T);
 

@@ -1,0 +1,220 @@
+//===- runtime/ChannelTransport.cpp - Process-crossing channels -----------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ChannelTransport.h"
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace light;
+
+ChannelTransport::~ChannelTransport() = default;
+
+void ChannelTransport::backoff(uint64_t Attempt) {}
+
+//===----------------------------------------------------------------------===//
+// PipeFabric
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One wire frame: the message's per-channel seqno plus its payload. 16
+/// bytes — far below PIPE_BUF, so concurrent writers never interleave and
+/// the pipe always holds a whole number of frames.
+struct Frame {
+  uint64_t Seq;
+  int64_t Value;
+};
+
+/// Default in-flight bound for "unbounded" channels: keeps every channel's
+/// outstanding frames comfortably inside the kernel pipe buffer (64 KiB =
+/// 4096 frames), so a send never hits EAGAIN mid-seqno in practice.
+constexpr uint64_t DefaultInFlightBound = 2048;
+
+} // namespace
+
+/// Per-channel counters in the shared anonymous mapping. fetch_add on
+/// SendSeq is the global seqno allocator; Delivered tracks consumption so
+/// capacity is (SendSeq - Delivered) in-flight frames.
+struct PipeFabric::ChanShared {
+  std::atomic<uint64_t> SendSeq{0};
+  std::atomic<uint64_t> Delivered{0};
+  std::atomic<uint64_t> Capacity{0}; ///< 0 = DefaultInFlightBound
+};
+
+std::unique_ptr<PipeFabric> PipeFabric::create(size_t NumChannels,
+                                               std::string &Err) {
+  std::unique_ptr<PipeFabric> F(new PipeFabric());
+  F->Channels = NumChannels;
+  if (NumChannels == 0)
+    return F;
+
+  size_t Bytes = NumChannels * sizeof(ChanShared);
+  void *Mem = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED) {
+    Err = std::string("mmap of channel counters failed: ") +
+          std::strerror(errno);
+    return nullptr;
+  }
+  F->Shared = new (Mem) ChanShared[NumChannels];
+
+  for (size_t I = 0; I < NumChannels; ++I) {
+    int Fds[2];
+    if (::pipe(Fds) != 0) {
+      Err = std::string("pipe creation failed: ") + std::strerror(errno);
+      return nullptr; // destructor releases what was made so far
+    }
+    ::fcntl(Fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(Fds[1], F_SETFL, O_NONBLOCK);
+    F->ReadFds.push_back(Fds[0]);
+    F->WriteFds.push_back(Fds[1]);
+  }
+  return F;
+}
+
+PipeFabric::~PipeFabric() {
+  for (int Fd : ReadFds)
+    ::close(Fd);
+  for (int Fd : WriteFds)
+    ::close(Fd);
+  if (Shared)
+    ::munmap(Shared, Channels * sizeof(ChanShared));
+}
+
+//===----------------------------------------------------------------------===//
+// PipeTransport
+//===----------------------------------------------------------------------===//
+
+bool PipeTransport::writeFrame(uint32_t Chan, uint64_t Seq, int64_t Value) {
+  Frame Fr{Seq, Value};
+  ssize_t N = ::write(F.WriteFds[Chan], &Fr, sizeof(Fr));
+  return N == static_cast<ssize_t>(sizeof(Fr));
+}
+
+bool PipeTransport::trySend(ThreadId T, uint32_t Chan, int64_t Value,
+                            uint64_t &Seq) {
+  PipeFabric::ChanShared &S = F.Shared[Chan];
+  uint64_t Cap = S.Capacity.load(std::memory_order_relaxed);
+  if (!Cap)
+    Cap = DefaultInFlightBound;
+  if (S.SendSeq.load(std::memory_order_relaxed) -
+          S.Delivered.load(std::memory_order_relaxed) >=
+      Cap)
+    return false; // at capacity; the caller retries with backoff
+
+  Seq = S.SendSeq.fetch_add(1, std::memory_order_relaxed);
+
+  fault::Injector &Inj = fault::Injector::global();
+  if (Inj.shouldFire("dist.drop_msg")) {
+    // The seqno is consumed but the frame never hits the wire: receivers
+    // see a gap, exactly what a lost datagram looks like to the offline
+    // causal-cut analysis. Delivered is bumped so the in-flight accounting
+    // doesn't leak the phantom message.
+    S.Delivered.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Dup = Inj.shouldFire("dist.dup_msg");
+  if (Inj.shouldFire("dist.reorder") && !Held.count(Chan)) {
+    // Hold this frame back; it rides behind the channel's next send.
+    Held[Chan] = {Seq, Value};
+    return true;
+  }
+
+  bool Ok = writeFrame(Chan, Seq, Value);
+  if (Dup)
+    writeFrame(Chan, Seq, Value);
+  auto It = Held.find(Chan);
+  if (It != Held.end()) {
+    // Deliver the held-back frame *after* the current one: reordered.
+    writeFrame(Chan, It->second.first, It->second.second);
+    Held.erase(It);
+  }
+  if (!Ok) {
+    // EAGAIN with a seqno already allocated: the message degrades to a
+    // drop (a gap the causal cut will handle), never a torn frame.
+    S.Delivered.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool PipeTransport::tryRecv(ThreadId T, uint32_t Chan, int64_t &Value,
+                            uint64_t &Seq) {
+  Frame Fr;
+  size_t Got = 0;
+  while (Got < sizeof(Fr)) {
+    ssize_t N = ::read(F.ReadFds[Chan],
+                       reinterpret_cast<char *>(&Fr) + Got, sizeof(Fr) - Got);
+    if (N > 0) {
+      Got += static_cast<size_t>(N);
+      continue;
+    }
+    if (Got == 0)
+      return false; // empty (EAGAIN) or no writers left
+    // A frame head without its tail can only be a transient window between
+    // two reads of our own process (writes are atomic); spin it in.
+  }
+  F.Shared[Chan].Delivered.fetch_add(1, std::memory_order_relaxed);
+  Seq = Fr.Seq;
+  Value = Fr.Value;
+  return true;
+}
+
+void PipeTransport::setCapacity(uint32_t Chan, uint64_t Capacity) {
+  F.Shared[Chan].Capacity.store(Capacity, std::memory_order_relaxed);
+}
+
+void PipeTransport::backoff(uint64_t Attempt) {
+  uint64_t Micros = 50 * Attempt;
+  if (Micros > 2000)
+    Micros = 2000;
+  ::usleep(static_cast<useconds_t>(Micros));
+}
+
+//===----------------------------------------------------------------------===//
+// ReplayChannelTransport
+//===----------------------------------------------------------------------===//
+
+ReplayChannelTransport::ReplayChannelTransport(
+    const std::vector<MessageRecord> &Records) {
+  for (const MessageRecord &R : Records) {
+    uint64_t K = key(R.Access.Thread, R.Chan);
+    if (R.IsSend)
+      Sends[K].push_back(R.Seq);
+    else
+      Recvs[K].push_back({R.Value, R.Seq});
+  }
+}
+
+bool ReplayChannelTransport::trySend(ThreadId T, uint32_t Chan, int64_t Value,
+                                     uint64_t &Seq) {
+  auto It = Sends.find(key(T, Chan));
+  if (It != Sends.end() && !It->second.empty()) {
+    Seq = It->second.front();
+    It->second.pop_front();
+  } else {
+    Seq = 0; // send beyond the recorded prefix; accepted, unnumbered
+  }
+  return true;
+}
+
+bool ReplayChannelTransport::tryRecv(ThreadId T, uint32_t Chan,
+                                     int64_t &Value, uint64_t &Seq) {
+  auto It = Recvs.find(key(T, Chan));
+  if (It == Recvs.end() || It->second.empty())
+    return false; // no recorded delivery: the recorded starvation edge
+  Value = It->second.front().first;
+  Seq = It->second.front().second;
+  It->second.pop_front();
+  return true;
+}

@@ -1,0 +1,152 @@
+//===- runtime/ChannelTransport.h - Process-crossing channels ---*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-crossing channel fabric of multi-node recording, and the
+/// redelivery transport of per-node replay.
+///
+/// A multi-node `light-replay record --nodes N` parent creates one
+/// PipeFabric *before* forking: per channel, an O_NONBLOCK pipe shared by
+/// every node plus a shared-memory word of per-channel atomic sequence
+/// counters. A sender allocates the message's per-channel seqno with one
+/// fetch_add and writes a fixed 16-byte frame (seq, payload) — frames are
+/// below PIPE_BUF, so concurrent writers never interleave. Delivery in the
+/// recorded run uses bounded retry-with-backoff on full/empty channels; the
+/// Machine records the attempt count as a syscall input so replay matches
+/// the recorded run attempt-for-attempt.
+///
+/// Replay of one node runs against a ReplayChannelTransport instead: sends
+/// are accepted without a peer and receives redeliver the node's recorded
+/// message-log values in per-thread recorded order (the AirReplay shape —
+/// each node replays in isolation with reproducer-redelivered messages).
+///
+/// Fault surface (support/FaultInjection.h): the record-run sender honors
+///   dist.drop_msg    consume the seqno, never write the frame
+///   dist.dup_msg     write the frame twice
+///   dist.reorder     hold the frame back and deliver it after the next one
+/// so lost, duplicated, and reordered delivery are deterministic, seedable
+/// scenarios the causal-cut salvage must survive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_RUNTIME_CHANNELTRANSPORT_H
+#define LIGHT_RUNTIME_CHANNELTRANSPORT_H
+
+#include "trace/Ids.h"
+#include "trace/MessageLog.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace light {
+
+/// Delivery attempts before a send/recv gives up (the bounded retry of the
+/// recorded run). Replay substitutes the recorded attempt count, so the
+/// bound only has to be generous enough for live runs.
+constexpr uint64_t MaxChanAttempts = 400;
+
+/// How a Machine's channel endpoints cross the process boundary. All
+/// methods are called from the node's single interpreter thread.
+class ChannelTransport {
+public:
+  virtual ~ChannelTransport();
+
+  /// Attempts to enqueue \p Value on \p Chan; fills \p Seq with the
+  /// message's per-channel sequence number on success. False means the
+  /// channel is at capacity — the caller retries with backoff.
+  virtual bool trySend(ThreadId T, uint32_t Chan, int64_t Value,
+                       uint64_t &Seq) = 0;
+
+  /// Attempts to dequeue a message from \p Chan. False means empty.
+  virtual bool tryRecv(ThreadId T, uint32_t Chan, int64_t &Value,
+                       uint64_t &Seq) = 0;
+
+  /// ChanMake: bounds the channel's in-flight message count (0 = default).
+  virtual void setCapacity(uint32_t Chan, uint64_t Capacity) = 0;
+
+  /// Called between delivery attempts (\p Attempt is 1-based). The live
+  /// transport sleeps a growing slice; replay never sleeps.
+  virtual void backoff(uint64_t Attempt);
+};
+
+/// The pre-fork shared state of a multi-node run: per-channel pipes plus a
+/// shared anonymous mapping of atomic sequence counters. Create in the
+/// parent, then hand to one PipeTransport per node (parent and children
+/// share the descriptors across fork).
+class PipeFabric {
+public:
+  /// Creates the fabric for \p NumChannels channels. Returns nullptr and
+  /// sets \p Err on resource exhaustion.
+  static std::unique_ptr<PipeFabric> create(size_t NumChannels,
+                                            std::string &Err);
+  ~PipeFabric();
+
+  PipeFabric(const PipeFabric &) = delete;
+  PipeFabric &operator=(const PipeFabric &) = delete;
+
+  size_t numChannels() const { return Channels; }
+
+private:
+  friend class PipeTransport;
+  PipeFabric() = default;
+
+  struct ChanShared; ///< atomic seq counters in the shared mapping
+  ChanShared *Shared = nullptr;
+  size_t Channels = 0;
+  std::vector<int> ReadFds, WriteFds;
+};
+
+/// The live (record-run) transport over a PipeFabric.
+class PipeTransport : public ChannelTransport {
+public:
+  explicit PipeTransport(PipeFabric &Fabric) : F(Fabric) {}
+
+  bool trySend(ThreadId T, uint32_t Chan, int64_t Value,
+               uint64_t &Seq) override;
+  bool tryRecv(ThreadId T, uint32_t Chan, int64_t &Value,
+               uint64_t &Seq) override;
+  void setCapacity(uint32_t Chan, uint64_t Capacity) override;
+  void backoff(uint64_t Attempt) override;
+
+private:
+  PipeFabric &F;
+  /// dist.reorder stash: one held-back frame per channel, delivered after
+  /// the next send on that channel.
+  std::unordered_map<uint32_t, std::pair<uint64_t, int64_t>> Held;
+
+  bool writeFrame(uint32_t Chan, uint64_t Seq, int64_t Value);
+};
+
+/// The per-node replay transport: receives redeliver the node's recorded
+/// deliveries in per-thread recorded order; sends are accepted unpeered
+/// (their recorded seqnos are replayed for message-log faithfulness).
+class ReplayChannelTransport : public ChannelTransport {
+public:
+  explicit ReplayChannelTransport(const std::vector<MessageRecord> &Records);
+
+  bool trySend(ThreadId T, uint32_t Chan, int64_t Value,
+               uint64_t &Seq) override;
+  bool tryRecv(ThreadId T, uint32_t Chan, int64_t &Value,
+               uint64_t &Seq) override;
+  void setCapacity(uint32_t Chan, uint64_t Capacity) override {}
+  void backoff(uint64_t Attempt) override {}
+
+private:
+  static uint64_t key(ThreadId T, uint32_t Chan) {
+    return (static_cast<uint64_t>(T) << 32) | Chan;
+  }
+  std::unordered_map<uint64_t, std::deque<std::pair<int64_t, uint64_t>>>
+      Recvs; ///< (thread, chan) -> FIFO of recorded (value, seq)
+  std::unordered_map<uint64_t, std::deque<uint64_t>>
+      Sends; ///< (thread, chan) -> FIFO of recorded send seqnos
+};
+
+} // namespace light
+
+#endif // LIGHT_RUNTIME_CHANNELTRANSPORT_H

@@ -41,6 +41,13 @@
 ///   ci.salvage_truncate                              trace/RecordingLog
 ///   ci.explore_timeout, ci.shrink_timeout,           ci/CiOrchestrator
 ///   ci.verify_diverge
+///   dist.drop_msg, dist.dup_msg, dist.reorder        runtime/
+///                                                    ChannelTransport
+///   dist.kill_node.start, dist.kill_node.mid,        dist/DistRunner
+///   dist.kill_node.flush                             (N selects the
+///                                                    1-based target
+///                                                    node, not a hit
+///                                                    count)
 ///
 /// Every fired fault bumps the `fault.injected.<site>` counter in the
 /// light_obs metrics registry, so --metrics-json captures the injection

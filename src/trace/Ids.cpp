@@ -33,6 +33,12 @@ std::string light::loc::str(LocationId L) {
     return "rwlock(" + ObjectId::unpack(P).str() + ")";
   case LocationKind::Barrier:
     return "barrier(" + ObjectId::unpack(P).str() + ")";
+  case LocationKind::Chan: {
+    std::string Out = "chan" + std::to_string(P & 0xffffffffu);
+    if (uint64_t Node = P >> 32)
+      Out += "@n" + std::to_string(Node);
+    return Out;
+  }
   }
   return "<bad-loc>";
 }

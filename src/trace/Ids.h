@@ -155,6 +155,7 @@ enum class LocationKind : uint8_t {
   Var = 7,         ///< runtime-API shared variable: user-assigned id
   RwLock = 8,      ///< ghost read-write-lock word: obj(40)
   Barrier = 9,     ///< ghost barrier word (arrival/release): obj(40)
+  Chan = 10,       ///< ghost channel word: node(16) << 32 | channel id
 };
 
 namespace loc {
@@ -208,13 +209,25 @@ inline LocationId barrier(ObjectId Obj) {
   return make(LocationKind::Barrier, Obj.pack());
 }
 
+/// Ghost word of message channel \p Chan. Each node of a multi-node run
+/// records its channel endpoint operations against its *own* chan word
+/// (\p Node is the node index, 0 for single-process runs): a node's local
+/// recorded RMW chain is true locally, while cross-node send->recv ordering is
+/// supplied by explicit message-log edges when the per-node systems are
+/// merged (dist/NodeSet.h), not by collapsing all nodes onto one word.
+inline LocationId chan(uint32_t Chan, uint32_t Node = 0) {
+  return make(LocationKind::Chan,
+              (static_cast<uint64_t>(Node) << 32) | Chan);
+}
+
 /// Returns true if \p L is a ghost location synthesized for a
 /// synchronization primitive rather than actual program data.
 inline bool isGhost(LocationId L) {
   LocationKind K = kindOf(L);
   return K == LocationKind::Lock || K == LocationKind::Cond ||
          K == LocationKind::ThreadStart || K == LocationKind::ThreadTerm ||
-         K == LocationKind::RwLock || K == LocationKind::Barrier;
+         K == LocationKind::RwLock || K == LocationKind::Barrier ||
+         K == LocationKind::Chan;
 }
 
 /// The field index used for striping decisions ("the offset of field f

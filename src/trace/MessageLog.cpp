@@ -1,0 +1,115 @@
+//===- trace/MessageLog.cpp - Durable per-node message log ----------------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/MessageLog.h"
+
+#include "support/Crc32.h"
+
+using namespace light;
+
+namespace {
+
+// "LMSG0001" little-endian; distinct from every RecordingLog magic.
+constexpr uint64_t MsgMagic = 0x3130303047534d4cull;
+// "LMSGEND\0"-ish close marker.
+constexpr uint64_t MsgClose = 0x00444e4547534d4cull;
+constexpr size_t RecordWords = 5;
+
+uint32_t recordCrc(const uint64_t *W) {
+  return crc32c(W, 4 * sizeof(uint64_t));
+}
+
+} // namespace
+
+MessageLogWriter::MessageLogWriter(std::string Path)
+    : Writer(std::make_unique<LongWriter>(std::move(Path),
+                                          /*FlushThresholdWords=*/1)) {
+  Writer->put(MsgMagic);
+  Writer->flush();
+}
+
+MessageLogWriter::~MessageLogWriter() {
+  if (!Finished)
+    finish();
+}
+
+void MessageLogWriter::append(const MessageRecord &R) {
+  uint64_t W[RecordWords];
+  W[0] = (static_cast<uint64_t>(R.IsSend ? 1 : 0) << 32) | R.Chan;
+  W[1] = R.Seq;
+  W[2] = static_cast<uint64_t>(R.Value);
+  W[3] = R.Access.pack();
+  W[4] = recordCrc(W);
+  for (uint64_t Word : W)
+    Writer->put(Word);
+  Writer->flush();
+  ++Records;
+}
+
+bool MessageLogWriter::finish() {
+  if (Finished)
+    return ok();
+  Finished = true;
+  Writer->put(MsgClose);
+  Writer->finish();
+  return ok();
+}
+
+bool MessageLogWriter::ok() const { return Writer->ok(); }
+
+const std::string &MessageLogWriter::error() const { return Writer->error(); }
+
+MessageLogSalvage light::loadMessageLog(const std::string &Path) {
+  MessageLogSalvage Out;
+  LongReader Reader(Path);
+  if (!Reader.ok()) {
+    Out.Error = "cannot open message log '" + Path + "'";
+    return Out;
+  }
+  if (Reader.size() < 1 || Reader.get() != MsgMagic) {
+    Out.Error = "'" + Path + "' is not a message log";
+    return Out;
+  }
+  Out.Loaded = true;
+
+  size_t Body = Reader.size() - 1; // words after the magic
+  bool SawClose = false;
+  if (Body >= 1 && Body % RecordWords == 1)
+    SawClose = true; // candidate close marker; validated below
+  size_t WholeRecords = (SawClose ? Body - 1 : Body) / RecordWords;
+  size_t TornWords = (SawClose ? Body - 1 : Body) % RecordWords;
+
+  for (size_t I = 0; I < WholeRecords; ++I) {
+    uint64_t W[RecordWords];
+    for (size_t J = 0; J < RecordWords; ++J)
+      W[J] = Reader.get();
+    if (static_cast<uint32_t>(W[4]) != recordCrc(W)) {
+      // Corrupt record: everything from here on is untrusted tail.
+      Out.RecordsDropped += WholeRecords - I;
+      SawClose = false;
+      break;
+    }
+    MessageRecord R;
+    R.Chan = static_cast<uint32_t>(W[0]);
+    R.IsSend = (W[0] >> 32) & 1;
+    R.Seq = W[1];
+    R.Value = static_cast<int64_t>(W[2]);
+    R.Access = AccessId::unpack(W[3]);
+    Out.Records.push_back(R);
+  }
+  if (SawClose && Reader.get() != MsgClose) {
+    SawClose = false;
+    ++Out.RecordsDropped; // trailing word was a torn record, not the marker
+  }
+  if (TornWords)
+    ++Out.RecordsDropped; // a partially written record counts as one cut
+  Out.CleanClose = SawClose && Out.RecordsDropped == 0;
+  return Out;
+}
+
+std::string light::messageLogPath(const std::string &LogPath) {
+  return LogPath + ".msg";
+}

@@ -239,16 +239,17 @@ TEST_F(CiPipelineTest, CorpusSummaryAggregatesAndValidates) {
   std::vector<std::string> Paths;
   std::string Err;
   ASSERT_TRUE(listCorpusDir(LIGHT_TEST_CORPUS_DIR, Paths, Err)) << Err;
-  ASSERT_EQ(Paths.size(), 6u);
+  ASSERT_EQ(Paths.size(), 8u);
   CorpusSummary S = runCorpusCi(Paths, fastOpts());
-  EXPECT_EQ(S.Programs.size(), 6u);
+  EXPECT_EQ(S.Programs.size(), 8u);
   EXPECT_TRUE(S.clean());
-  EXPECT_EQ(S.count(Verdict::Pass), 1u);
+  // clean_pair and the multi-node ping_ring pass under every schedule.
+  EXPECT_EQ(S.count(Verdict::Pass), 2u);
   EXPECT_EQ(S.count(Verdict::SalvagedPartial), 1u);
-  // spin_hang is deterministic; racy_counter, rwlock_race, and
-  // timedwait_flake each land as reproduced or flaky.
+  // spin_hang is deterministic; racy_counter, rwlock_race,
+  // timedwait_flake, and dist_reorder each land as reproduced or flaky.
   EXPECT_GE(S.count(Verdict::Reproduced), 1u);
-  EXPECT_EQ(S.count(Verdict::Reproduced) + S.count(Verdict::Flaky), 4u);
+  EXPECT_EQ(S.count(Verdict::Reproduced) + S.count(Verdict::Flaky), 5u);
   EXPECT_EQ(validateCiSummaryJson(ciSummaryToJson(S)), "");
 }
 

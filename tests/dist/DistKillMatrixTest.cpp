@@ -1,0 +1,129 @@
+//===- tests/dist/DistKillMatrixTest.cpp - Node-kill outcome matrix -------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The ISSUE's kill matrix: SIGKILL each node of a three-node run at each
+/// lifecycle stage (before the recorder exists / mid-protocol / before the
+/// final flush) and pin the outcome class. Every cell must end in a
+/// structured result — a full global schedule or a PartialCut whose
+/// surviving prefixes replay without divergence — never a wrong schedule.
+///
+/// Kill sites address their victim as a 1-based node number
+/// (`dist.kill_node.mid=2` kills node 1); see dist/DistRunner.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "DistTestUtil.h"
+
+#include "bugs/BugPrograms.h"
+#include "support/FaultInjection.h"
+
+#include <csignal>
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::disttest;
+
+namespace {
+
+struct Cell {
+  const char *Site;
+  uint32_t Victim;
+};
+
+std::string cellName(const ::testing::TestParamInfo<Cell> &Info) {
+  std::string Site = Info.param.Site;
+  // "dist.kill_node.mid" -> "mid"
+  Site = Site.substr(Site.rfind('.') + 1);
+  return Site + "_node" + std::to_string(Info.param.Victim);
+}
+
+class DistKillMatrix : public ::testing::TestWithParam<Cell> {
+protected:
+  void TearDown() override { fault::Injector::global().reset(); }
+};
+
+} // namespace
+
+TEST_P(DistKillMatrix, StructuredOutcomeNeverAWrongSchedule) {
+  const Cell &C = GetParam();
+  mir::Program Prog = bugs::distCounter();
+
+  std::string Spec =
+      std::string(C.Site) + "=" + std::to_string(C.Victim + 1);
+  ASSERT_EQ(fault::Injector::global().configure(Spec), "");
+
+  dist::DistOptions Opts;
+  Opts.Nodes = 3;
+  Opts.Seed = 1;
+  Opts.LogBase = makeTempPath(std::string("killmatrix-") +
+                              cellName({GetParam(), 0}));
+  Opts.EpochSpans = 2;
+  dist::DistRecordResult DR = dist::runDistRecord(Prog, Opts);
+  // The fault only targets the forked children; the offline phases below
+  // must run with the injector disarmed.
+  fault::Injector::global().reset();
+
+  ASSERT_TRUE(DR.Started) << DR.Error;
+  ASSERT_EQ(DR.Nodes.size(), 3u);
+  EXPECT_TRUE(DR.Nodes[C.Victim].Signaled)
+      << "victim survived: " << DR.Nodes[C.Victim].str();
+  EXPECT_EQ(DR.Nodes[C.Victim].Signal, SIGKILL);
+
+  dist::NodeSetLoader Loader;
+  dist::MergeResult MR = Loader.load(Opts.LogBase, Opts.Nodes);
+  ASSERT_TRUE(MR.Loaded) << MR.Error;
+
+  // Per-stage durable-evidence pins.
+  const dist::NodeSalvage &Victim = MR.Nodes[C.Victim];
+  std::string Site = C.Site;
+  if (Site == "dist.kill_node.start") {
+    // Killed before the recorder existed: no epoch log at all.
+    EXPECT_FALSE(Victim.Epoch.Loaded);
+  } else {
+    // mid / flush: a durable prefix exists but never closed cleanly.
+    EXPECT_TRUE(Victim.Epoch.Loaded) << Victim.Epoch.Error;
+    EXPECT_FALSE(Victim.Epoch.Report.CleanClose);
+  }
+  // A killed node means the schedule cannot be full.
+  EXPECT_FALSE(MR.FullSchedule);
+
+  ASSERT_TRUE(Loader.solve(MR)) << MR.Error;
+  for (uint32_t N = 0; N < Opts.Nodes; ++N) {
+    const dist::NodeSalvage &NS = MR.Nodes[N];
+    if (!NS.Epoch.Loaded || !NS.Epoch.UsablePrefix)
+      continue;
+    mir::Program NodeProg;
+    std::string Err;
+    ASSERT_TRUE(dist::makeNodeProgram(Prog, N, NodeProg, Err)) << Err;
+    dist::NodeReplayPlan NP = Loader.projectNode(MR, N);
+    ASSERT_TRUE(NP.Plan.ok())
+        << "node " << N << " plan: " << NP.Plan.error();
+    ReplayChannelTransport Redelivery(NP.Messages);
+    ReplayDirector Director(NP.Plan, /*RealThreads=*/false, NP.Validate);
+    Machine M(NodeProg, Director);
+    M.prepareReplay(NP.Log.Spawns);
+    M.setChannelTransport(&Redelivery, N);
+    RunResult R = M.runReplay(Director);
+    EXPECT_FALSE(Director.failed())
+        << "node " << N << " diverged: " << Director.divergenceInfo().str();
+    EXPECT_NE(R.Bug.What, BugReport::Kind::ReplayDivergence)
+        << "node " << N << ": " << R.Bug.str();
+  }
+  removeNodeLogs(Opts.LogBase, Opts.Nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DistKillMatrix,
+    ::testing::Values(Cell{"dist.kill_node.start", 0},
+                      Cell{"dist.kill_node.start", 1},
+                      Cell{"dist.kill_node.start", 2},
+                      Cell{"dist.kill_node.mid", 0},
+                      Cell{"dist.kill_node.mid", 1},
+                      Cell{"dist.kill_node.mid", 2},
+                      Cell{"dist.kill_node.flush", 0},
+                      Cell{"dist.kill_node.flush", 1},
+                      Cell{"dist.kill_node.flush", 2}),
+    cellName);

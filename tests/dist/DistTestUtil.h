@@ -1,0 +1,136 @@
+//===- tests/dist/DistTestUtil.h - Multi-node test drivers ------*- C++ -*-===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared drivers for the dist suites: run the full multi-node pipeline
+/// (fork-record -> salvage -> causal cut -> merge -> solve -> per-node
+/// replay) against a program and hand back every structured intermediate,
+/// with the replay loop mirroring `light-replay record --nodes`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIGHT_TESTS_DIST_DISTTESTUTIL_H
+#define LIGHT_TESTS_DIST_DISTTESTUTIL_H
+
+#include "core/ReplayDirector.h"
+#include "dist/DistRunner.h"
+#include "dist/NodeSet.h"
+#include "interp/Machine.h"
+#include "runtime/ChannelTransport.h"
+#include "support/BinaryIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace light {
+namespace disttest {
+
+/// One node's offline replay verdict.
+struct NodeReplayOutcome {
+  bool HadUsablePrefix = false;
+  bool PlanOk = false;
+  bool Diverged = false;
+  bool Validated = false; ///< the plan demanded validation (clean evidence)
+  RunResult Result;
+  std::string Note;
+};
+
+/// Everything one end-to-end pipeline run produced.
+struct DistPipelineOutcome {
+  dist::DistRecordResult Record;
+  dist::MergeResult Merge;
+  bool Solved = false;
+  std::vector<NodeReplayOutcome> Replays;
+
+  /// The ISSUE's acceptance shape: a full global schedule, or a partial
+  /// cut whose surviving prefixes replayed; never a wrong schedule.
+  bool structured() const {
+    if (!Merge.Loaded)
+      return false;
+    if (!Solved)
+      return false;
+    for (const NodeReplayOutcome &N : Replays)
+      if (N.HadUsablePrefix && (!N.PlanOk || N.Diverged))
+        return false;
+    return true;
+  }
+};
+
+/// Runs the whole pipeline. Any fault spec must already be armed on
+/// fault::Injector::global(); the caller owns disarming it (the offline
+/// phases here run with whatever is armed, so disarm before calling when
+/// the fault should only hit the recording children).
+inline DistPipelineOutcome
+runDistPipeline(const mir::Program &Prog, const dist::DistOptions &Opts) {
+  DistPipelineOutcome Out;
+  Out.Record = dist::runDistRecord(Prog, Opts);
+  if (!Out.Record.Started)
+    return Out;
+
+  dist::NodeSetLoader Loader;
+  Out.Merge = Loader.load(Opts.LogBase, Opts.Nodes);
+  if (!Out.Merge.Loaded)
+    return Out;
+  Out.Solved = Loader.solve(Out.Merge);
+  if (!Out.Solved)
+    return Out;
+
+  for (uint32_t N = 0; N < Opts.Nodes; ++N) {
+    NodeReplayOutcome R;
+    const dist::NodeSalvage &NS = Out.Merge.Nodes[N];
+    R.HadUsablePrefix = NS.Epoch.Loaded && NS.Epoch.UsablePrefix;
+    if (!R.HadUsablePrefix) {
+      Out.Replays.push_back(R);
+      continue;
+    }
+    mir::Program NodeProg;
+    std::string Err;
+    if (!dist::makeNodeProgram(Prog, N, NodeProg, Err)) {
+      R.Note = Err;
+      Out.Replays.push_back(R);
+      continue;
+    }
+    dist::NodeReplayPlan NP = Loader.projectNode(Out.Merge, N);
+    R.PlanOk = NP.Plan.ok();
+    R.Validated = NP.Validate;
+    if (!R.PlanOk) {
+      R.Note = NP.Plan.error();
+      Out.Replays.push_back(R);
+      continue;
+    }
+    ReplayChannelTransport Redelivery(NP.Messages);
+    ReplayDirector Director(NP.Plan, /*RealThreads=*/false, NP.Validate);
+    Machine M(NodeProg, Director);
+    M.prepareReplay(NP.Log.Spawns);
+    M.setChannelTransport(&Redelivery, N);
+    R.Result = M.runReplay(Director);
+    if (Director.failed()) {
+      R.Diverged = true;
+      R.Note = Director.divergenceInfo().str();
+    } else if (R.Result.Bug.What == BugReport::Kind::ReplayDivergence) {
+      R.Diverged = true;
+      R.Note = R.Result.Bug.str();
+    }
+    Out.Replays.push_back(R);
+  }
+  return Out;
+}
+
+/// Removes the per-node log files a pipeline run left under \p Base.
+inline void removeNodeLogs(const std::string &Base, uint32_t Nodes) {
+  for (uint32_t N = 0; N < Nodes; ++N) {
+    std::string P = dist::nodeLogPath(Base, N);
+    std::remove(P.c_str());
+    std::remove(messageLogPath(P).c_str());
+  }
+}
+
+} // namespace disttest
+} // namespace light
+
+#endif // LIGHT_TESTS_DIST_DISTTESTUTIL_H

@@ -1,0 +1,230 @@
+//===- tests/interp/ChannelTest.cpp - In-process channel semantics --------===//
+//
+// Part of the Light record/replay project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// In-process channel semantics (interp/Machine.cpp): per-sender FIFO
+/// delivery, blocking receive on empty, bounded-capacity send parking,
+/// both ChanTryRecv arms, and record/replay faithfulness of channel
+/// programs — the ghost chan RMWs must carry the send->recv flow
+/// dependence through the ordinary Eq. 1 pipeline with no new constraint
+/// forms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestPrograms.h"
+#include "mir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace light;
+using namespace light::mir;
+using namespace light::testprogs;
+
+namespace {
+
+/// Ping-pong over two channels: pinger sends i on c0 and prints the reply
+/// from c1; ponger echoes v+10. Three rounds, all blocking endpoints.
+Program pingPong(int Rounds = 3) {
+  ProgramBuilder PB;
+  uint32_t C0 = PB.addChannel("ping");
+  uint32_t C1 = PB.addChannel("pong");
+  FuncId Pinger = PB.declareFunction("pinger", 0);
+  FuncId Ponger = PB.declareFunction("ponger", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("pinger", 0);
+    Reg V = FB.newReg(), W = FB.newReg();
+    for (int I = 0; I < Rounds; ++I) {
+      FB.constInt(V, I + 1);
+      FB.send(V, C0);
+      FB.recv(W, C1);
+      FB.print(W);
+    }
+    FB.ret();
+    PB.defineFunction(Pinger, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("ponger", 0);
+    Reg V = FB.newReg(), Ten = FB.newReg();
+    FB.constInt(Ten, 10);
+    for (int I = 0; I < Rounds; ++I) {
+      FB.recv(V, C0);
+      FB.add(V, V, Ten);
+      FB.send(V, C1);
+    }
+    FB.ret();
+    PB.defineFunction(Ponger, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg T1 = FB.newReg(), T2 = FB.newReg();
+    FB.threadStart(T1, Pinger);
+    FB.threadStart(T2, Ponger);
+    FB.threadJoin(T1);
+    FB.threadJoin(T2);
+    FB.ret();
+    FuncId Main = PB.endFunction(FB);
+    PB.setEntry(Main);
+  }
+  return PB.take();
+}
+
+RunResult runOnce(const Program &Prog, uint64_t Seed) {
+  NullHook Null;
+  Machine M(Prog, Null);
+  M.seedEnvironment(Seed ^ 0x5a5a);
+  RandomScheduler Sched(Seed);
+  return M.run(Sched);
+}
+
+} // namespace
+
+TEST(Channel, PingPongDeliversPerSenderFifo) {
+  Program Prog = pingPong();
+  ASSERT_EQ(Prog.verify(), "") << Prog.str();
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    RunResult R = runOnce(Prog, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    // Pinger is thread 1 (main spawned it first): replies arrive in
+    // request order regardless of the schedule.
+    ASSERT_GE(R.OutputByThread.size(), 2u);
+    EXPECT_EQ(R.OutputByThread[1], "11\n12\n13\n") << "seed " << Seed;
+  }
+}
+
+TEST(Channel, RecvBlocksUntilSendUnderEverySchedule) {
+  // Receiver starts first under many schedules; it must park, not fail.
+  ProgramBuilder PB;
+  uint32_t Ch = PB.addChannel("c");
+  FuncId Rx = PB.declareFunction("rx", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("rx", 0);
+    Reg V = FB.newReg();
+    FB.recv(V, Ch);
+    FB.print(V);
+    FB.ret();
+    PB.defineFunction(Rx, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg T = FB.newReg(), V = FB.newReg();
+    FB.threadStart(T, Rx);
+    FB.constInt(V, 77);
+    FB.send(V, Ch);
+    FB.threadJoin(T);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program Prog = PB.take();
+  ASSERT_EQ(Prog.verify(), "") << Prog.str();
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    RunResult R = runOnce(Prog, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[1], "77\n");
+  }
+}
+
+TEST(Channel, BoundedCapacityParksTheSender) {
+  // Capacity 1: the second send must wait for the drain; every schedule
+  // still completes with both values through.
+  ProgramBuilder PB;
+  uint32_t Ch = PB.addChannel("c");
+  FuncId Rx = PB.declareFunction("rx", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("rx", 0);
+    Reg V = FB.newReg();
+    FB.recv(V, Ch);
+    FB.print(V);
+    FB.recv(V, Ch);
+    FB.print(V);
+    FB.ret();
+    PB.defineFunction(Rx, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Cap = FB.newReg(), V = FB.newReg(), T = FB.newReg();
+    FB.constInt(Cap, 1);
+    FB.chanMake(Cap, Ch);
+    FB.threadStart(T, Rx);
+    FB.constInt(V, 1);
+    FB.send(V, Ch);
+    FB.constInt(V, 2);
+    FB.send(V, Ch);
+    FB.threadJoin(T);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program Prog = PB.take();
+  ASSERT_EQ(Prog.verify(), "") << Prog.str();
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    RunResult R = runOnce(Prog, Seed);
+    ASSERT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Bug.str();
+    EXPECT_EQ(R.OutputByThread[1], "1\n2\n");
+  }
+}
+
+TEST(Channel, TryRecvTakesBothArms) {
+  // Single-threaded, so both arms are exercised deterministically: empty
+  // poll first (got=0), then a send makes the second poll succeed.
+  ProgramBuilder PB;
+  uint32_t Ch = PB.addChannel("c");
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg Got = FB.newReg(), V = FB.newReg(), S = FB.newReg();
+    FB.tryRecv(Got, V, Ch);
+    FB.print(Got); // 0: nothing queued yet
+    FB.constInt(S, 9);
+    FB.send(S, Ch);
+    FB.tryRecv(Got, V, Ch);
+    FB.print(Got); // 1
+    FB.print(V);   // 9
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program Prog = PB.take();
+  ASSERT_EQ(Prog.verify(), "") << Prog.str();
+  RunResult R = runOnce(Prog, 1);
+  ASSERT_TRUE(R.Completed) << R.Bug.str();
+  EXPECT_EQ(R.OutputByThread[0], "0\n1\n9\n");
+}
+
+TEST(Channel, UnboundedSendNeverBlocks) {
+  // Default capacity 0 = unbounded: a sender with no receiver completes.
+  ProgramBuilder PB;
+  uint32_t Ch = PB.addChannel("c");
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    Reg V = FB.newReg();
+    for (int I = 0; I < 16; ++I) {
+      FB.constInt(V, I);
+      FB.send(V, Ch);
+    }
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+  Program Prog = PB.take();
+  ASSERT_EQ(Prog.verify(), "") << Prog.str();
+  EXPECT_TRUE(runOnce(Prog, 1).Completed);
+}
+
+TEST(Channel, RecordReplayIsFaithful) {
+  // The ghost chan RMWs must round-trip the ordinary pipeline: recorded
+  // spans -> Eq. 1 constraints -> solved order -> validated replay.
+  Program Prog = pingPong();
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    RecordOutcome Rec = recordRun(Prog, Seed);
+    ASSERT_TRUE(Rec.Result.Completed) << Rec.Result.Bug.str();
+    expectFaithfulReplay(Prog, Rec);
+  }
+}
+
+TEST(Channel, ChannelProgramPrintParseRoundTrips) {
+  // `chan` directives and send/recv/tryrecv ops survive print -> parse.
+  Program Prog = pingPong();
+  ParseResult PR = parseProgram(Prog.str());
+  ASSERT_TRUE(PR.Ok) << PR.Error;
+  EXPECT_EQ(PR.Prog.verify(), "");
+  EXPECT_EQ(PR.Prog.str(), Prog.str());
+}

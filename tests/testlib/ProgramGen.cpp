@@ -364,3 +364,172 @@ Program testgen::randomProgram(Rng &R, const GenConfig &C) {
   PB.setEntry(PB.endFunction(FB));
   return PB.take();
 }
+
+namespace {
+
+/// Emits the node-convention plumbing shared with the dist bug kernels:
+/// the `node(i)` dispatcher chain plus an entry spawning node(i) threads.
+void emitNodeDispatch(ProgramBuilder &PB, FuncId NodeFn,
+                      const std::vector<FuncId> &Roles) {
+  {
+    FunctionBuilder FB = PB.beginFunction("node", 1);
+    Reg Idx = FB.param(0);
+    Reg K = FB.newReg(), IsK = FB.newReg();
+    for (size_t I = 0; I + 1 < Roles.size(); ++I) {
+      Label Hit = FB.makeLabel(), Next = FB.makeLabel();
+      FB.constInt(K, static_cast<int64_t>(I));
+      FB.cmpEq(IsK, Idx, K);
+      FB.br(IsK, Hit, Next);
+      FB.place(Hit);
+      FB.call(NoReg, Roles[I]);
+      FB.ret();
+      FB.place(Next);
+    }
+    FB.call(NoReg, Roles.back());
+    FB.ret();
+    PB.defineFunction(NodeFn, FB);
+  }
+  {
+    FunctionBuilder FB = PB.beginFunction("main", 0);
+    std::vector<Reg> Tids;
+    Reg Idx = FB.newReg();
+    for (size_t I = 0; I < Roles.size(); ++I) {
+      Reg T = FB.newReg();
+      FB.constInt(Idx, static_cast<int64_t>(I));
+      FB.threadStart(T, NodeFn, Idx);
+      Tids.push_back(T);
+    }
+    for (Reg T : Tids)
+      FB.threadJoin(T);
+    FB.ret();
+    PB.setEntry(PB.endFunction(FB));
+  }
+}
+
+} // namespace
+
+Program testgen::randomNodeProgram(Rng &R, const NodeGenConfig &C,
+                                   uint32_t &NodesOut) {
+  uint32_t Nodes = drawRange(R, C.MinNodes, C.MaxNodes);
+  uint32_t Laps = drawRange(R, C.MinLaps, C.MaxLaps);
+  NodesOut = Nodes;
+
+  ProgramBuilder PB;
+  // Globals are per-node state: every forked node holds its own copy, so
+  // cross-node traffic flows only through the channels.
+  uint32_t GAcc = PB.addGlobal("acc");
+  uint32_t GScratch = PB.addGlobal("scratch");
+
+  // ring<i> delivers the token *to* node i; bus carries fire-and-forget
+  // noise nobody is required to drain.
+  std::vector<uint32_t> Ring;
+  for (uint32_t N = 0; N < Nodes; ++N)
+    Ring.push_back(PB.addChannel("ring" + std::to_string(N)));
+  uint32_t Bus = PB.addChannel("bus");
+
+  // In-node helper: a joined thread racing the role on `scratch`, so a
+  // node's salvaged log spans more than one thread.
+  FuncId Helper = PB.declareFunction("helper", 0);
+  {
+    FunctionBuilder FB = PB.beginFunction("helper", 0);
+    Reg V = FB.newReg(), One = FB.newReg();
+    FB.constInt(One, 1);
+    uint32_t Reps = drawRange(R, 1, 4);
+    for (uint32_t I = 0; I < Reps; ++I) {
+      FB.getGlobal(V, GScratch);
+      FB.add(V, V, One);
+      FB.putGlobal(GScratch, V);
+    }
+    FB.ret();
+    PB.defineFunction(Helper, FB);
+  }
+
+  std::vector<FuncId> Roles;
+  for (uint32_t N = 0; N < Nodes; ++N)
+    Roles.push_back(PB.declareFunction("role" + std::to_string(N), 0));
+  FuncId NodeFn = PB.declareFunction("node", 1);
+
+  for (uint32_t N = 0; N < Nodes; ++N) {
+    FunctionBuilder FB = PB.beginFunction("role" + std::to_string(N), 0);
+    Reg Acc = FB.newReg(), V = FB.newReg(), Tmp = FB.newReg();
+    Reg K = FB.newReg(), Got = FB.newReg();
+    FB.constInt(Acc, 0);
+
+    bool WithHelper = C.HelperThread && R.below(2) == 0;
+    Reg HT = FB.newReg();
+    if (WithHelper)
+      FB.threadStart(HT, Helper);
+
+    auto LocalOps = [&] {
+      uint32_t Ops = static_cast<uint32_t>(R.below(C.MaxLocalOps + 1));
+      for (uint32_t I = 0; I < Ops; ++I) {
+        uint32_t G = R.below(2) ? GAcc : GScratch;
+        switch (R.below(3)) {
+        case 0:
+          FB.getGlobal(Tmp, G);
+          FB.add(Acc, Acc, Tmp);
+          break;
+        case 1:
+          FB.constInt(Tmp, static_cast<int64_t>(R.below(100)));
+          FB.putGlobal(G, Tmp);
+          break;
+        default:
+          FB.getGlobal(Tmp, G);
+          FB.constInt(K, static_cast<int64_t>(1 + R.below(5)));
+          FB.add(Tmp, Tmp, K);
+          FB.putGlobal(G, Tmp);
+          break;
+        }
+      }
+    };
+    auto Noise = [&] {
+      uint32_t Sends = static_cast<uint32_t>(R.below(C.MaxNoiseSends + 1));
+      for (uint32_t I = 0; I < Sends; ++I) {
+        FB.constInt(Tmp, static_cast<int64_t>(1000 + R.below(1000)));
+        FB.send(Tmp, Bus);
+      }
+    };
+
+    for (uint32_t Lap = 0; Lap < Laps; ++Lap) {
+      if (N == 0) {
+        // Node 0 seeds the token, then blocks until it circles back.
+        LocalOps();
+        Noise();
+        FB.constInt(V, static_cast<int64_t>(Lap + 1));
+        FB.send(V, Ring[1 % Nodes]);
+        FB.recv(V, Ring[0]);
+        FB.add(Acc, Acc, V);
+      } else {
+        FB.recv(V, Ring[N]);
+        LocalOps();
+        FB.constInt(K, static_cast<int64_t>(N));
+        FB.add(V, V, K);
+        Noise();
+        FB.send(V, Ring[(N + 1) % Nodes]);
+      }
+    }
+
+    // Non-blocking bus drains: either arm is clean, and the got/empty
+    // outcome is recorded as a syscall input, so replay is arm-faithful.
+    uint32_t Polls = static_cast<uint32_t>(R.below(C.MaxBusPolls + 1));
+    for (uint32_t I = 0; I < Polls; ++I) {
+      Label Use = FB.makeLabel(), Skip = FB.makeLabel();
+      FB.tryRecv(Got, V, Bus);
+      FB.br(Got, Use, Skip);
+      FB.place(Use);
+      FB.add(Acc, Acc, V);
+      FB.place(Skip);
+    }
+
+    if (WithHelper)
+      FB.threadJoin(HT);
+    FB.getGlobal(Tmp, GScratch);
+    FB.add(Acc, Acc, Tmp);
+    FB.print(Acc);
+    FB.ret();
+    PB.defineFunction(Roles[N], FB);
+  }
+
+  emitNodeDispatch(PB, NodeFn, Roles);
+  return PB.take();
+}

@@ -102,6 +102,30 @@ struct GenConfig {
 /// Draws one random concurrent program from \p R under \p C.
 mir::Program randomProgram(Rng &R, const GenConfig &C = GenConfig::full());
 
+/// Knobs for the random multi-node program generator (node-kill property
+/// suites). Programs follow the dist/DistRunner.h node convention: a unary
+/// `node(i)` dispatcher over N single- or two-threaded roles, plus an
+/// entry that spawns node(i) threads so the same program also runs
+/// in-process.
+struct NodeGenConfig {
+  uint32_t MinNodes = 2, MaxNodes = 4;
+  uint32_t MinLaps = 1, MaxLaps = 2; ///< token-ring round trips
+  uint32_t MaxLocalOps = 5;          ///< straight-line global ops per hop
+  uint32_t MaxNoiseSends = 2;        ///< fire-and-forget bus sends per hop
+  uint32_t MaxBusPolls = 2;          ///< non-blocking bus drains per role
+  bool HelperThread = true;          ///< roles may spawn one joined helper
+};
+
+/// Draws one random multi-node token-ring program: node 0 seeds a token
+/// that circulates the ring (blocking recv/send, deadlock-free under any
+/// live schedule), with random per-hop local traffic, fire-and-forget
+/// "bus" sends, and non-blocking bus polls. Every program verifies clean
+/// and terminates when all nodes stay alive; when a node is killed the
+/// ring starves through the transport's bounded retry, so death is still
+/// bounded. \p NodesOut receives the drawn node count.
+mir::Program randomNodeProgram(Rng &R, const NodeGenConfig &C,
+                               uint32_t &NodesOut);
+
 } // namespace testgen
 } // namespace light
 

@@ -155,6 +155,76 @@ int checkBugMatrixRows(const std::string &Path, const JsonValue &Rows) {
   return 0;
 }
 
+/// Deep checks for the multi-node pipeline table: pipeline rows ("clean" /
+/// "kill") carry the salvage measurements and must be structured — clean
+/// earns a full schedule, a kill must not — and matrix rows extend the
+/// bug matrix to the four distributed kernels.
+int checkDistRows(const std::string &Path, const JsonValue &Rows) {
+  int Pipeline = 0, Matrix = 0;
+  for (size_t I = 0; I < Rows.Items.size(); ++I) {
+    const JsonValue &Row = Rows.Items[I];
+    std::string Where = "rows[" + std::to_string(I) + "]";
+    const JsonValue *Scenario = Row.find("scenario");
+    if (!Scenario || Scenario->What != JsonValue::Kind::String ||
+        (Scenario->Str != "clean" && Scenario->Str != "kill" &&
+         Scenario->Str != "matrix"))
+      return fail(Path, Where + " missing \"scenario\" (want clean|kill|"
+                                "matrix)");
+    if (Scenario->Str == "matrix") {
+      ++Matrix;
+      const JsonValue *Bug = Row.find("bug");
+      if (!Bug || Bug->What != JsonValue::Kind::String || Bug->Str.empty())
+        return fail(Path, Where + " missing string \"bug\"");
+      const JsonValue *SeedFound = Row.find("seed_found");
+      if (!SeedFound || SeedFound->What != JsonValue::Kind::Bool)
+        return fail(Path, Where + " missing boolean \"seed_found\"");
+      if (!SeedFound->B)
+        continue;
+      for (const char *Col : {"light", "clap", "chimera", "clap_expected",
+                              "chimera_expected"}) {
+        const JsonValue *V = Row.find(Col);
+        if (!V || V->What != JsonValue::Kind::Bool)
+          return fail(Path, Where + " missing boolean \"" + Col + "\"");
+      }
+      for (const char *Col : {"light_space_longs", "chimera_space_longs"}) {
+        const JsonValue *V = Row.find(Col);
+        if (!V || V->What != JsonValue::Kind::Number || V->Num < 0)
+          return fail(Path, Where + " missing non-negative numeric \"" +
+                                Col + "\"");
+      }
+      continue;
+    }
+    ++Pipeline;
+    for (const char *Col : {"nodes", "laps", "messages", "spans",
+                            "cross_edges", "cut_entries", "record_seconds",
+                            "solve_seconds"}) {
+      const JsonValue *V = Row.find(Col);
+      if (!V || V->What != JsonValue::Kind::Number || V->Num < 0)
+        return fail(Path, Where + " missing non-negative numeric \"" + Col +
+                              "\"");
+    }
+    double Nodes = Row.find("nodes")->Num;
+    if (Nodes < 2 || Nodes > 16)
+      return fail(Path, Where + " has nodes outside [2, 16]");
+    for (const char *Col : {"full_schedule", "structured", "replays_ok"}) {
+      const JsonValue *V = Row.find(Col);
+      if (!V || V->What != JsonValue::Kind::Bool)
+        return fail(Path, Where + " missing boolean \"" + Col + "\"");
+    }
+    if (!Row.find("structured")->B)
+      return fail(Path, Where + " is not a structured outcome");
+    if (Row.find("full_schedule")->B != (Scenario->Str == "clean"))
+      return fail(Path, Where + " full_schedule does not match scenario \"" +
+                            Scenario->Str + "\"");
+  }
+  if (Pipeline == 0)
+    return fail(Path, "dist report has no pipeline rows");
+  if (Matrix != 4)
+    return fail(Path, "dist report must carry the 4 distributed-kernel "
+                      "matrix rows");
+  return 0;
+}
+
 /// Deep checks for the exploration table: one row per (suite, bug,
 /// strategy) with the search outcome and its cost.
 int checkExploreRows(const std::string &Path, const JsonValue &Rows) {
@@ -238,6 +308,9 @@ int checkOne(const std::string &Path) {
       return Rc;
   if (Bench->Str == "explore")
     if (int Rc = checkExploreRows(Path, *Rows))
+      return Rc;
+  if (Bench->Str == "dist")
+    if (int Rc = checkDistRows(Path, *Rows))
       return Rc;
 
   if (const JsonValue *Metrics = Root.find("metrics")) {

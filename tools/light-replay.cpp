@@ -15,6 +15,7 @@
 ///   light-replay run    <bug|file.mir> [seed]      # plain execution
 ///   light-replay hunt   <bug|file.mir> [max-seeds] # find a failing seed
 ///   light-replay record <bug|file.mir> [seed] [log]
+///   light-replay record <bug|file.mir> [seed] [log] --nodes N
 ///   light-replay show   <log>
 ///   light-replay replay <bug|file.mir> <log>
 ///   light-replay crashtest <bug|file.mir> [seed] [log]
@@ -62,6 +63,15 @@
 /// A <bug> is one of the built-in Figure-6 benchmarks; anything else is
 /// treated as a path to a textual MIR file (see mir/Parser.h).
 ///
+/// `record --nodes N` is the multi-node pipeline: fork one process per
+/// node (the program's unary `node(i)` function), each recording into its
+/// own durable epoch + message log over a shared pipe fabric; then salvage
+/// every node log independently, compute the maximal causal cut, merge the
+/// per-node constraint systems with send->recv cross-node edges, solve one
+/// global schedule, and verify each node's projected replay in isolation
+/// against redelivered messages. The result is a full global schedule or a
+/// structured partial cut — never a wrong schedule.
+///
 /// `crashtest` is the end-to-end fault-tolerance exercise: it forks a
 /// child that records the buggy run with the durable epoch log enabled
 /// and dies at the bug *without* closing the log cleanly (crash-handler
@@ -84,6 +94,9 @@
 #include "core/ReplayDirector.h"
 #include "core/ReplaySchedule.h"
 #include "core/WindowedSchedule.h"
+#include "dist/DistRunner.h"
+#include "dist/NodeSet.h"
+#include "runtime/ChannelTransport.h"
 #include "trace/SegmentReader.h"
 #include "interp/Machine.h"
 #include "mir/Parser.h"
@@ -122,6 +135,10 @@ int usage() {
       "schedule\n"
       "  record <bug|file.mir> [seed] [log]   record with Light, then\n"
       "                                       solve + validated replay\n"
+      "                                       (--nodes N: fork N node\n"
+      "                                       processes, salvage + causal\n"
+      "                                       cut + global solve + per-node\n"
+      "                                       replay)\n"
       "  show   <log>                         dump a recording\n"
       "  replay <bug|file.mir> <log>          solve + validated replay\n"
       "  crashtest <bug|file.mir> [seed] [log]\n"
@@ -151,7 +168,12 @@ int usage() {
       "                         and solve in bounded windows instead of\n"
       "                         loading + solving monolithically\n"
       "  --window-spans <N>     --stream window size in spans "
-      "(default 32768)\n"
+      "(default 32768);\n"
+      "                         on WindowTooSmall the pass retries with a\n"
+      "                         doubled window (bounded)\n"
+      "  --nodes <N>            record: run N forked node processes (the\n"
+      "                         program must define a unary `node`\n"
+      "                         function); logs land at <log>.node<i>\n"
       "  --fault <spec>         arm fault injection (LIGHT_FAULT grammar)\n"
       "  --metrics-json <file>  write the metrics snapshot as JSON\n"
       "  --trace-out <file>     write a Chrome trace of the run\n"
@@ -185,6 +207,9 @@ std::optional<mir::Program> loadProgram(const std::string &Name) {
     if (B.Name == Name)
       return std::move(B.Prog);
   for (BugBenchmark &B : makeSyncBugSuite())
+    if (B.Name == Name)
+      return std::move(B.Prog);
+  for (BugBenchmark &B : makeDistBugSuite())
     if (B.Name == Name)
       return std::move(B.Prog);
 
@@ -321,43 +346,63 @@ int replayWithPlan(const mir::Program &Prog, const RecordingLog &Log,
 /// and solves it in bounded windows, so peak memory holds one window's
 /// constraint system instead of the whole trace's. Salvaged (torn) logs
 /// replay unvalidated, matching crashtest's salvage semantics.
+///
+/// WindowTooSmall is an adaptive, not fatal, condition: a dependence that
+/// crosses a frozen window aborts that pass, and the stream restarts from
+/// the log with a doubled window. The doubling is bounded — a log whose
+/// longest dependence exceeds every retry is a configuration error the
+/// user must see, not an infinite loop. Each retry counts into the
+/// stream.window_retries metric.
 int streamedSolveAndReplay(const mir::Program &Prog, const std::string &Path,
                            bool UseZ3, unsigned SolverShards,
                            size_t WindowSpans) {
-  TraceSegmentReader Reader(Path);
-  if (!Reader.ok()) {
-    std::fprintf(stderr, "error: cannot stream '%s': %s\n", Path.c_str(),
-                 Reader.report().Error.c_str());
-    return 1;
-  }
-  WindowedOptions WO;
-  WO.Engine = UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl;
-  WO.SolverShards = SolverShards;
-  WO.WindowSpans = WindowSpans;
-  WindowedScheduleBuilder Builder(WO);
+  constexpr unsigned MaxWindowRetries = 5;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    TraceSegmentReader Reader(Path);
+    if (!Reader.ok()) {
+      std::fprintf(stderr, "error: cannot stream '%s': %s\n", Path.c_str(),
+                   Reader.report().Error.c_str());
+      return 1;
+    }
+    WindowedOptions WO;
+    WO.Engine = UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl;
+    WO.SolverShards = SolverShards;
+    WO.WindowSpans = WindowSpans;
+    WindowedScheduleBuilder Builder(WO);
 
-  RecordingLog Log;
-  while (Reader.next(Log) && Builder.addSpans(Log))
-    ;
-  Reader.finish(Log);
-  Builder.addSpans(Log);
-  if (!Builder.finish()) {
-    std::fprintf(stderr, "error: %s\n", Builder.error().c_str());
-    if (Builder.tooSmall().fired())
-      std::fprintf(stderr,
-                   "hint: a dependence crossed a frozen window; retry with "
-                   "a larger --window-spans\n");
-    return 1;
+    RecordingLog Log;
+    while (Reader.next(Log) && Builder.addSpans(Log))
+      ;
+    Reader.finish(Log);
+    Builder.addSpans(Log);
+    if (!Builder.finish()) {
+      if (Builder.tooSmall().fired() && Attempt < MaxWindowRetries) {
+        obs::Registry::global().counter("stream.window_retries").add(1);
+        std::printf("window of %zu spans too small (%s); retrying with "
+                    "%zu\n",
+                    WindowSpans, Builder.error().c_str(), WindowSpans * 2);
+        WindowSpans *= 2;
+        continue;
+      }
+      std::fprintf(stderr, "error: %s\n", Builder.error().c_str());
+      if (Builder.tooSmall().fired())
+        std::fprintf(stderr,
+                     "hint: a dependence outlived %u doublings of the "
+                     "window; pass a larger --window-spans explicitly\n",
+                     MaxWindowRetries);
+      return 1;
+    }
+    printLoadReport(Reader.report());
+    std::printf("streamed %zu window(s): solved %llu-turn schedule in "
+                "%.2f ms%s\n",
+                Builder.windowsSolved(),
+                static_cast<unsigned long long>(Builder.orderSize()),
+                Builder.stats().SolveSeconds * 1000,
+                Attempt ? " (after window retries)" : "");
+    ReplaySchedule Plan = Builder.takeSchedule(Log);
+    return replayWithPlan(Prog, Log, Plan, nullptr,
+                          /*Validate=*/Reader.report().CleanClose);
   }
-  printLoadReport(Reader.report());
-  std::printf("streamed %zu window(s): solved %llu-turn schedule in "
-              "%.2f ms\n",
-              Builder.windowsSolved(),
-              static_cast<unsigned long long>(Builder.orderSize()),
-              Builder.stats().SolveSeconds * 1000);
-  ReplaySchedule Plan = Builder.takeSchedule(Log);
-  return replayWithPlan(Prog, Log, Plan, nullptr,
-                        /*Validate=*/Reader.report().CleanClose);
 }
 
 /// Writes the telemetry outputs requested on the command line. Runs on
@@ -400,12 +445,15 @@ struct EpochFlags {
 /// completed cleanly.
 [[noreturn]] void crashtestChild(const mir::Program &Prog, uint64_t Seed,
                                  const std::string &DurablePath,
-                                 const EpochFlags &Epochs) {
+                                 const EpochFlags &Epochs, bool Compress) {
   LightOptions Opts;
   Opts.WriteToDisk = false;
   Opts.EpochSpans = Epochs.Spans ? Epochs.Spans : 4;
   Opts.EpochMs = Epochs.Ms;
   Opts.DurableLogPath = DurablePath;
+  // --compress: the child dies on a compressed LIGHT003 log, so the
+  // parent's salvage exercises torn-tail recovery of the packed format.
+  Opts.CompressedEpochs = Compress;
   LightRecorder Rec(Opts);
   Machine M(Prog, Rec);
   Rec.attachRegistry(&M.registry());
@@ -424,7 +472,7 @@ struct EpochFlags {
 /// its durable log, and verify the replay. Returns the process exit code.
 int runCrashtest(const mir::Program &Prog, uint64_t Seed,
                  const std::string &DurablePath, const EpochFlags &Epochs,
-                 bool UseZ3, unsigned SolverShards) {
+                 bool Compress, bool UseZ3, unsigned SolverShards) {
   // The reference outcome: the same seed under a plain run (recording does
   // not perturb the cooperative schedule, so this is the bug the salvaged
   // log must reproduce).
@@ -449,7 +497,7 @@ int runCrashtest(const mir::Program &Prog, uint64_t Seed,
     return 1;
   }
   if (Pid == 0)
-    crashtestChild(Prog, Seed, DurablePath, Epochs);
+    crashtestChild(Prog, Seed, DurablePath, Epochs, Compress);
 
   int Status = 0;
   if (::waitpid(Pid, &Status, 0) != Pid) {
@@ -497,6 +545,110 @@ int runCrashtest(const mir::Program &Prog, uint64_t Seed,
                          : "salvaged log reproduced the bug");
   else
     std::printf("CRASHTEST FAIL\n");
+  return Rc;
+}
+
+/// `record --nodes N`: the fault-tolerant multi-node pipeline. Forks N
+/// node processes over a shared pipe fabric (each with its own durable
+/// epoch + message log), salvages every node log independently, computes
+/// the maximal causal cut, merges and solves one global schedule with
+/// send->recv cross-node edges, then verifies each node's projected
+/// replay in isolation against its redelivered messages. Returns 0 when
+/// the pipeline produced a full global schedule or a structured partial
+/// cut whose surviving prefixes all replayed without divergence.
+int runDistPipeline(const mir::Program &Prog, uint32_t Nodes, uint64_t Seed,
+                    const std::string &LogBase, const EpochFlags &Epochs,
+                    bool Compress, bool Verify, bool UseZ3,
+                    unsigned SolverShards) {
+  dist::DistOptions DO;
+  DO.Nodes = Nodes;
+  DO.Seed = Seed;
+  DO.LogBase = LogBase;
+  DO.EpochSpans = Epochs.Spans ? Epochs.Spans : 4;
+  DO.EpochMs = Epochs.Ms;
+  DO.Compress = Compress;
+  dist::DistRecordResult DR = dist::runDistRecord(Prog, DO);
+  if (!DR.Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", DR.Error.c_str());
+    return 1;
+  }
+  for (uint32_t N = 0; N < Nodes; ++N)
+    std::printf("node %u: %s\n", N, DR.Nodes[N].str().c_str());
+
+  dist::NodeSetLoader Loader;
+  dist::MergeResult MR = Loader.load(LogBase, Nodes);
+  if (!MR.Loaded) {
+    // Still a structured outcome — every node's evidence was unusable —
+    // but there is nothing to solve or replay.
+    std::printf("SALVAGE EMPTY: %s\n", MR.Error.c_str());
+    return 1;
+  }
+  for (const dist::PartialCutEntry &E : MR.Cut)
+    std::printf("  cut: %s\n", E.str().c_str());
+  std::printf("merged %zu span(s), %zu syscall(s) across %u node(s)%s\n",
+              MR.Merged.Spans.size(), MR.Merged.Syscalls.size(), Nodes,
+              MR.FullSchedule ? "" : " [PARTIAL CUT]");
+  if (!Verify)
+    return 0;
+
+  if (!Loader.solve(MR,
+                    UseZ3 ? smt::SolverEngine::Z3 : smt::SolverEngine::Idl,
+                    {}, SolverShards)) {
+    std::fprintf(stderr, "error: global solve: %s\n", MR.Error.c_str());
+    return 1;
+  }
+  std::printf("solved %zu-turn global schedule (%llu cross-node edges, "
+              "%.2f ms)\n",
+              MR.Order.size(),
+              static_cast<unsigned long long>(MR.CrossEdges),
+              MR.Stats.SolveSeconds * 1000);
+
+  int Rc = 0;
+  for (uint32_t N = 0; N < Nodes; ++N) {
+    const dist::NodeSalvage &NS = MR.Nodes[N];
+    if (!NS.Epoch.Loaded || !NS.Epoch.UsablePrefix) {
+      std::printf("node %u: nothing to replay (no usable salvage)\n", N);
+      continue;
+    }
+    mir::Program NodeProg;
+    std::string Err;
+    if (!dist::makeNodeProgram(Prog, N, NodeProg, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    dist::NodeReplayPlan NP = Loader.projectNode(MR, N);
+    if (!NP.Plan.ok()) {
+      std::printf("node %u PLAN FAILED: %s\n", N, NP.Plan.error().c_str());
+      Rc = 1;
+      continue;
+    }
+    ReplayChannelTransport Redelivery(NP.Messages);
+    ReplayDirector Director(NP.Plan, /*RealThreads=*/false, NP.Validate);
+    Machine M(NodeProg, Director);
+    M.prepareReplay(NP.Log.Spawns);
+    M.setChannelTransport(&Redelivery, N);
+    RunResult R = M.runReplay(Director);
+    if (Director.failed()) {
+      std::printf("node %u REPLAY DIVERGED: %s\n", N,
+                  Director.divergenceInfo().str().c_str());
+      Rc = 1;
+      continue;
+    }
+    if (R.Bug.What == BugReport::Kind::ReplayDivergence) {
+      std::printf("node %u REPLAY DIVERGED: %s\n", N, R.Bug.str().c_str());
+      Rc = 1;
+      continue;
+    }
+    std::printf("node %u replay %s: %s\n", N,
+                NP.Validate ? "faithful" : "best-effort (cut prefix)",
+                R.Completed ? "completed" : R.Bug.str().c_str());
+  }
+  if (Rc == 0)
+    std::printf("DIST %s: %s\n",
+                MR.FullSchedule ? "FULL SCHEDULE" : "PARTIAL CUT",
+                MR.FullSchedule
+                    ? "global schedule solved and every node replayed"
+                    : "surviving prefixes solved and replayed");
   return Rc;
 }
 
@@ -598,7 +750,8 @@ int main(int argc, char **argv) {
   obs::ArgList Args(
       argc, argv,
       {"metrics-json", "trace-out", "epoch-spans", "epoch-ms", "fault",
-       "solver-shards", "window-spans", "explore", "preemption-bound",
+       "solver-shards", "window-spans", "nodes", "explore",
+       "preemption-bound",
        "pct-depth", "seeds", "budget", "repro-out", "progress", "ci-json",
        "ci-artifacts", "ci-deadline", "ci-retries", "ci-seed",
        "ci-explore-budget"},
@@ -675,6 +828,10 @@ int main(int argc, char **argv) {
                   B.ClapExpected ? "yes" : "no",
                   B.ChimeraExpected ? "yes" : "no");
     for (const BugBenchmark &B : makeSyncBugSuite())
+      std::printf("%-16s clap=%s chimera=%s\n", B.Name.c_str(),
+                  B.ClapExpected ? "yes" : "no",
+                  B.ChimeraExpected ? "yes" : "no");
+    for (const BugBenchmark &B : makeDistBugSuite())
       std::printf("%-16s clap=%s chimera=%s\n", B.Name.c_str(),
                   B.ClapExpected ? "yes" : "no",
                   B.ChimeraExpected ? "yes" : "no");
@@ -827,6 +984,19 @@ int main(int argc, char **argv) {
     uint64_t Seed = std::strtoull(Args.positionalOr(1, "1").c_str(),
                                   nullptr, 10);
     std::string LogPath = Args.positionalOr(2, Target + ".lightlog");
+    if (Args.has("nodes")) {
+      uint32_t Nodes = static_cast<uint32_t>(
+          std::strtoul(Args.get("nodes", "2", "2").c_str(), nullptr, 10));
+      if (Nodes == 0 || Nodes > dist::MaxNodes) {
+        std::fprintf(stderr, "error: --nodes wants a count in [1, %u]\n",
+                     dist::MaxNodes);
+        return Finish(2);
+      }
+      return Finish(runDistPipeline(*Prog, Nodes, Seed, LogPath, Epochs,
+                                    Args.has("compress"),
+                                    !Args.has("no-verify"), UseZ3,
+                                    SolverShards));
+    }
     LightOptions Opts;
     Opts.WriteToDisk = false;
     if (Epochs.on()) {
@@ -950,8 +1120,8 @@ int main(int argc, char **argv) {
     }
     std::string DurablePath =
         Args.positionalOr(2, makeTempPath("crashtest"));
-    return Finish(
-        runCrashtest(*Prog, Seed, DurablePath, Epochs, UseZ3, SolverShards));
+    return Finish(runCrashtest(*Prog, Seed, DurablePath, Epochs,
+                               Args.has("compress"), UseZ3, SolverShards));
   }
 
   return usage();
